@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md Section 7): the realisation of the single global
+// exchange. SimMPI implements two schedules — the ring ("pairwise",
+// Fig. 3's technique of gathering per-destination blocks then exchanging
+// round by round) and the direct post-all-then-drain schedule. Both move
+// identical bytes; they differ in message pacing, which matters on real
+// fabrics with limited injection concurrency. This bench reports the
+// in-process wall time (functional cost) and the modeled per-message
+// latency contribution on each fabric.
+#include <cstdio>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "harness.hpp"
+#include "net/comm.hpp"
+#include "net/costmodel.hpp"
+
+using namespace soi;
+
+namespace {
+
+double run_schedule(int ranks, std::int64_t count, net::AlltoallAlgo algo,
+                    int reps) {
+  double best = 1e300;
+  std::mutex mu;
+  net::run_ranks(ranks, [&](net::Comm& c) {
+    cvec send(static_cast<std::size_t>(ranks) * count);
+    cvec recv(send.size());
+    fill_gaussian(send, static_cast<std::uint64_t>(c.rank()));
+    for (int r = 0; r < reps; ++r) {
+      c.barrier();
+      Timer t;
+      c.alltoall(send, recv, count, algo);
+      c.barrier();
+      const double sec = t.seconds();
+      std::lock_guard<std::mutex> lock(mu);
+      best = std::min(best, sec);
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = 5;
+  Table table("Ablation | all-to-all schedule (in-process SimMPI)");
+  table.header({"ranks", "count/pair", "pairwise ms", "direct ms",
+                "messages/rank", "latency share (fat tree)"});
+  const auto fabric = net::make_endeavor_fat_tree();
+  for (int ranks : {4, 8, 16}) {
+    for (std::int64_t count : {1024, 16384}) {
+      const double tp = run_schedule(ranks, count, net::AlltoallAlgo::kPairwise, reps);
+      const double td = run_schedule(ranks, count, net::AlltoallAlgo::kDirect, reps);
+      const std::int64_t bytes = count * 16 * (ranks - 1);
+      const double modeled = fabric->alltoall_seconds(ranks, bytes);
+      const double lat_share =
+          1.5e-6 * (ranks - 1) / modeled * 100.0;
+      table.row({std::to_string(ranks), std::to_string(count),
+                 Table::num(tp * 1e3, 3), Table::num(td * 1e3, 3),
+                 std::to_string(ranks - 1),
+                 Table::num(lat_share, 1) + "%"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nBoth schedules deliver identical data (asserted by tests); the\n"
+      "paper's Fig. 3 point is that gathering per-destination blocks first\n"
+      "keeps the message count at P-1 per rank regardless of segment\n"
+      "granularity — visible above as the fixed messages/rank column.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Substrate benchmark: the node-local FFT engine across strategies and
+// sizes (google-benchmark). Not a paper figure — it grounds the compute
+// calibration used by the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "soi/conv_table.hpp"
+#include "soi/convolve.hpp"
+#include "soi/params.hpp"
+#include "window/design.hpp"
+
+using namespace soi;
+
+namespace {
+
+void BM_FftForward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  fft::FftPlan plan(n);
+  cvec x(static_cast<std::size_t>(n)), y(x.size());
+  cvec work(plan.workspace_size());
+  fill_gaussian(x, 5);
+  for (auto _ : state) {
+    plan.forward(x, y, work);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["gflops"] = benchmark::Counter(
+      5.0 * static_cast<double>(n) *
+          std::log2(static_cast<double>(n)) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+// Power-of-two (mixed radix 4/2).
+BENCHMARK(BM_FftForward)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 20);
+// Non-pow2 smooth sizes.
+BENCHMARK(BM_FftForward)->Arg(3 * (1 << 12))->Arg(5 * (1 << 12))->Arg(7 * 9 * 1024);
+// Rader (prime) and Bluestein (non-smooth composite).
+BENCHMARK(BM_FftForward)->Arg(65537)->Arg(2 * 65537);
+
+void BM_FftForwardF32(benchmark::State& state) {
+  // Single-precision engine: typically ~1.5-2x the double throughput
+  // (twice the SIMD lanes, half the memory traffic).
+  const std::int64_t n = state.range(0);
+  fft::FftPlanF plan(n);
+  cvecf x(static_cast<std::size_t>(n)), y(x.size());
+  cvecf work(plan.workspace_size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = {static_cast<float>(i % 7) - 3.0f, static_cast<float>(i % 5)};
+  }
+  for (auto _ : state) {
+    plan.forward(x, y, work);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["gflops"] = benchmark::Counter(
+      5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n)) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FftForwardF32)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FftBatchFp(benchmark::State& state) {
+  // The SOI inner shape: many tiny F_P transforms.
+  const std::int64_t p = state.range(0);
+  const std::int64_t count = (1 << 18) / p;
+  fft::FftPlan plan(p);
+  cvec x(static_cast<std::size_t>(p * count)), y(x.size());
+  fill_gaussian(x, 6);
+  for (auto _ : state) {
+    plan.forward_batch(x, y, count);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p * count);
+}
+BENCHMARK(BM_FftBatchFp)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_Convolution(benchmark::State& state) {
+  const std::int64_t nodes = state.range(0);
+  const std::int64_t s = 1 << 17;
+  static const win::SoiProfile profile =
+      win::make_profile(win::Accuracy::kFull);
+  const core::SoiGeometry g(s * nodes, nodes, profile);
+  const core::ConvTable table(g, *profile.window);
+  cvec in(static_cast<std::size_t>(g.local_input()));
+  fill_gaussian(in, 7);
+  cvec out(static_cast<std::size_t>(g.chunks_per_rank() * g.p()));
+  for (auto _ : state) {
+    core::convolve_rank(g, table, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double flops = 8.0 * static_cast<double>(g.conv_madds_per_rank());
+  state.counters["gflops"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Convolution)->Arg(8)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Figure 5: weak-scaling comparison on the Endeavor-class fat-tree fabric.
+//
+// Paper: bar chart of best GFLOPS for SOI / MKL / FFTE / FFTW at 1..64
+// nodes (2^28 points per node), plus the SOI-over-MKL speedup line rising
+// to ~1.5-2x. Expected shape here: all libraries near parity at 1 node
+// (no communication), SOI pulling ahead as node count grows, speedup well
+// above 1 and growing past 32 nodes where the fat tree's full bisection
+// runs out.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "net/costmodel.hpp"
+#include "perfmodel/model.hpp"
+#include "window/design.hpp"
+
+using namespace soi;
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  const double fscale =
+      bench::fabric_balance_scale(scale.points_per_rank, scale.reps);
+  const auto fabric = bench::scaled_fat_tree(fscale);
+  const win::SoiProfile profile = win::make_profile(win::Accuracy::kFull);
+
+  std::printf("Figure 5 reproduction: weak scaling, %s\n",
+              fabric->name().c_str());
+  std::printf("points/node = %lld, window %s (B=%lld), reps=%d\n",
+              static_cast<long long>(scale.points_per_rank),
+              profile.window->name().c_str(),
+              static_cast<long long>(profile.taps), scale.reps);
+  std::printf("balance-preserving fabric scale = %.4f "
+              "(measured node FFT %.1f GFLOPS vs paper ~%.0f)\n\n",
+              fscale, fscale * bench::kPaperNodeFftGflops,
+              bench::kPaperNodeFftGflops);
+
+  Table table("Fig.5 | GFLOPS by node count (modeled fabric: fat tree)");
+  table.header({"nodes", "SOI", "MKL-class", "FFTW-class", "FFTE-class",
+                "speedup SOI/MKL", "paper speedup"});
+
+  // Paper's Fig. 5 speedup line (read off the plot) for shape comparison.
+  const double paper_speedup[] = {0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.6};
+
+  int idx = 0;
+  for (int n = 1; n <= scale.max_nodes; n *= 2, ++idx) {
+    const bench::RankCompute soi_rc =
+        bench::measure_soi_rank(scale.points_per_rank, n, profile, scale.reps);
+    const bench::RankCompute base_rc =
+        bench::measure_sixstep_rank(scale.points_per_rank, n, scale.reps);
+
+    const bench::ClusterTime soi_t = bench::soi_cluster_time(
+        soi_rc, *fabric, n, scale.points_per_rank, profile);
+    const bench::ClusterTime mkl_t = bench::sixstep_cluster_time(
+        base_rc, *fabric, n, scale.points_per_rank);
+    // FFTW/FFTE classes: identical algorithm, lower node-local efficiency.
+    bench::ClusterTime fftw_t = mkl_t;
+    fftw_t.compute = mkl_t.compute / bench::kFftwClassEfficiency;
+    bench::ClusterTime ffte_t = mkl_t;
+    ffte_t.compute = mkl_t.compute / bench::kFfteClassEfficiency;
+
+    const double speedup = mkl_t.total() / soi_t.total();
+    table.row({std::to_string(n),
+               Table::num(bench::gflops(scale.points_per_rank, n, soi_t.total()), 1),
+               Table::num(bench::gflops(scale.points_per_rank, n, mkl_t.total()), 1),
+               Table::num(bench::gflops(scale.points_per_rank, n, fftw_t.total()), 1),
+               Table::num(bench::gflops(scale.points_per_rank, n, ffte_t.total()), 1),
+               Table::num(speedup, 2),
+               idx < 7 ? Table::num(paper_speedup[idx], 1) : "-"});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: SOI <= baseline at 1 node (extra convolution, no\n"
+      "communication to save), then overtakes as the single exchange saves\n"
+      "more than the convolution costs; the gap widens beyond 32 nodes\n"
+      "where the modeled fat tree leaves its full-bisection regime.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 7: the accuracy/performance tradeoff at 64 nodes on the Gordon
+// torus. Relaxing the SNR target lets the window designer raise kappa and
+// shrink B, cutting convolution flops; the paper shows >2x over MKL at
+// ~10-digit accuracy. Also includes the oversampling (beta) ablation the
+// framework's design space invites (DESIGN.md Section 7).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fft/plan.hpp"
+#include "harness.hpp"
+#include "net/costmodel.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+
+using namespace soi;
+
+namespace {
+
+// Measured SNR of a profile on a moderate serial problem (ground truth via
+// the exact FFT engine).
+double measured_snr(const win::SoiProfile& profile) {
+  const std::int64_t n = 1 << 16;
+  const std::int64_t p = 8;
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 2024);
+  cvec want(x.size()), got(x.size());
+  fft::FftPlan exact(n);
+  exact.forward(x, want);
+  core::SoiFftSerial soi(n, p, profile);
+  soi.forward(x, got);
+  return snr_db(got, want);
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  const int nodes = scale.max_nodes;
+  const double fscale =
+      bench::fabric_balance_scale(scale.points_per_rank, scale.reps);
+  const auto torus = bench::scaled_torus(fscale);
+
+  std::printf("Figure 7 reproduction: accuracy-performance tradeoff at %d\n"
+              "nodes on %s (fabric scale %.4f)\n\n",
+              nodes, torus->name().c_str(), fscale);
+
+  const bench::RankCompute base_rc =
+      bench::measure_sixstep_rank(scale.points_per_rank, nodes, scale.reps);
+  const double t_mkl =
+      bench::sixstep_cluster_time(base_rc, *torus, nodes,
+                                  scale.points_per_rank)
+          .total();
+
+  Table table("Fig.7 | speedup over MKL-class vs accuracy (64-node torus)");
+  table.header({"profile", "B", "target SNR dB", "measured SNR dB", "digits",
+                "GFLOPS", "speedup vs MKL", "boost vs SOI-full"});
+
+  double t_full = 0.0;
+  for (auto acc : {win::Accuracy::kFull, win::Accuracy::kHigh,
+                   win::Accuracy::kMedium, win::Accuracy::kLow}) {
+    const win::SoiProfile profile = win::make_profile(acc);
+    // Fixed segmentation (4/rank) across all profiles so the sweep
+    // isolates the taps-B effect rather than geometry changes.
+    const bench::RankCompute rc =
+        bench::measure_soi_rank(scale.points_per_rank, nodes, profile,
+                                scale.reps, /*max_segments_per_rank=*/4);
+    const double t = bench::soi_cluster_time(rc, *torus, nodes,
+                                             scale.points_per_rank, profile)
+                         .total();
+    if (acc == win::Accuracy::kFull) t_full = t;
+    const double snr = measured_snr(profile);
+    table.row({profile.name, std::to_string(profile.taps),
+               Table::num(profile.target_snr, 0), Table::num(snr, 1),
+               Table::num(snr_digits(snr), 1),
+               Table::num(bench::gflops(scale.points_per_rank, nodes, t), 1),
+               Table::num(t_mkl / t, 2), Table::num(t_full / t, 2)});
+  }
+  table.print();
+
+  // Ablation: oversampling rate beta. More oversampling -> fewer taps but
+  // more data in the single exchange and bigger node FFTs.
+  Table ab("Ablation | oversampling beta at full accuracy");
+  ab.header({"beta", "mu/nu", "B", "measured SNR dB", "GFLOPS",
+             "speedup vs MKL"});
+  struct BetaCase {
+    std::int64_t mu, nu;
+  };
+  for (const auto& bc : {BetaCase{9, 8}, BetaCase{5, 4}, BetaCase{3, 2}}) {
+    const win::SoiProfile profile = win::design_gauss_rect(
+        bc.mu, bc.nu, 3.16e-15, 16.0,
+        "beta=" + std::to_string(bc.mu) + "/" + std::to_string(bc.nu));
+    const bench::RankCompute rc =
+        bench::measure_soi_rank(scale.points_per_rank, nodes, profile,
+                                scale.reps);
+    const double t = bench::soi_cluster_time(rc, *torus, nodes,
+                                             scale.points_per_rank, profile)
+                         .total();
+    ab.row({Table::num(profile.beta(), 3),
+            std::to_string(bc.mu) + "/" + std::to_string(bc.nu),
+            std::to_string(profile.taps), Table::num(measured_snr(profile), 1),
+            Table::num(bench::gflops(scale.points_per_rank, nodes, t), 1),
+            Table::num(t_mkl / t, 2)});
+  }
+  ab.print();
+
+  std::printf(
+      "\nShape check: speedup rises monotonically as accuracy is relaxed\n"
+      "(paper: >2x at ~10 digits); at fixed accuracy, beta=1/4 should be\n"
+      "near the sweet spot (beta=1/8 inflates B, beta=1/2 inflates the\n"
+      "exchange and the oversampled FFT).\n");
+  return 0;
+}

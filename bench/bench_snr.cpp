@@ -1,0 +1,122 @@
+// Section 7.2 / 7.3 accuracy reproduction: measured SNR of SOI against the
+// exact transform for every accuracy preset, compared with the standard
+// FFT's own SNR (the paper: SOI ~ 290 dB, standard FFT ~ 310 dB — about
+// one digit apart), plus the Section 8 window-family ablation.
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fft/dft.hpp"
+#include "fft/plan.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+
+using namespace soi;
+
+namespace {
+
+// SNR of the engine FFT itself vs the O(N^2) direct transform (small N).
+double engine_snr() {
+  const std::int64_t n = 4096;
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 7);
+  cvec want(x.size()), got(x.size());
+  fft::dft_direct(x, want);
+  fft::FftPlan plan(n);
+  plan.forward(x, got);
+  return snr_db(got, want);
+}
+
+double soi_snr(const win::SoiProfile& profile, std::int64_t n, std::int64_t p) {
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 2025);
+  cvec want(x.size()), got(x.size());
+  fft::FftPlan exact(n);
+  exact.forward(x, want);
+  core::SoiFftSerial soi(n, p, profile);
+  soi.forward(x, got);
+  return snr_db(got, want);
+}
+
+// Single-precision SOI SNR vs the double reference (Section 7.3's
+// "6-digit-accurate single-precision" regime).
+double soi_snr_f32(const win::SoiProfile& profile, std::int64_t n,
+                   std::int64_t p) {
+  cvec xd(static_cast<std::size_t>(n));
+  fill_gaussian(xd, 2025);
+  cvecf xf(xd.size());
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    xf[i] = {static_cast<float>(xd[i].real()),
+             static_cast<float>(xd[i].imag())};
+  }
+  cvec want(xd.size());
+  fft::FftPlan exact(n);
+  exact.forward(xd, want);
+  core::SoiFftSerialF soi(n, p, profile);
+  cvecf got(xf.size());
+  soi.forward(xf, got);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    num += std::norm(cplx(got[i]) - want[i]);
+    den += std::norm(want[i]);
+  }
+  return -10.0 * std::log10(num / den);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 1 << 18;
+  const std::int64_t p = 8;
+
+  std::printf("Section 7.2/7.3 accuracy reproduction (N = 2^18, P = 8)\n\n");
+  const double std_snr = engine_snr();
+  std::printf("standard FFT engine SNR vs direct DFT: %.1f dB (paper: MKL ~ 310 dB)\n\n",
+              std_snr);
+
+  Table table("SNR | SOI accuracy presets vs exact transform");
+  table.header({"profile", "B", "kappa", "eps_alias", "target dB",
+                "measured dB", "digits"});
+  for (auto acc : {win::Accuracy::kFull, win::Accuracy::kHigh,
+                   win::Accuracy::kMedium, win::Accuracy::kLow}) {
+    const win::SoiProfile prof = win::make_profile(acc);
+    const double snr = soi_snr(prof, n, p);
+    table.row({prof.name, std::to_string(prof.taps), Table::num(prof.kappa, 1),
+               Table::sci(prof.eps_alias, 1), Table::num(prof.target_snr, 0),
+               Table::num(snr, 1), Table::num(snr_digits(snr), 1)});
+  }
+  table.print();
+
+  Table fam("Ablation | window family at beta = 1/4 (Section 8)");
+  fam.header({"window", "B", "kappa", "measured dB", "note"});
+  {
+    const win::SoiProfile gr = win::make_profile(win::Accuracy::kFull);
+    fam.row({"gauss-rect (tau,sigma)", std::to_string(gr.taps),
+             Table::num(gr.kappa, 1), Table::num(soi_snr(gr, n, p), 1),
+             "the paper's two-parameter family"});
+    const win::SoiProfile ga = win::make_gaussian_profile(5, 4);
+    fam.row({"pure gaussian", std::to_string(ga.taps),
+             Table::sci(ga.kappa, 1), Table::num(soi_snr(ga, n, p), 1),
+             "Section 8: ~10 digits at best"});
+    const win::SoiProfile bs = win::make_bspline_profile(5, 4, 30);
+    fam.row({"b-spline order 30", std::to_string(bs.taps),
+             Table::sci(bs.kappa, 1), Table::num(soi_snr(bs, n, p), 1),
+             "compact TIME support: zero truncation, alias-limited"});
+    const win::SoiProfile kb = win::make_kaiser_profile(5, 4, 12.0);
+    fam.row({"kaiser-bessel (compact)", std::to_string(kb.taps), "-", "-",
+             "zero alias but B explodes (1/t decay) — impractical"});
+    const win::SoiProfile lo = win::make_profile(win::Accuracy::kLow);
+    fam.row({"fp32 pipeline (low)", std::to_string(lo.taps), "-",
+             Table::num(soi_snr_f32(lo, n, p), 1),
+             "single precision: Section 7.3's ~6-digit regime"});
+  }
+  fam.print();
+
+  std::printf(
+      "\nShape check: full-accuracy SOI should land ~1 digit (~20 dB) below\n"
+      "the standard FFT; the ladder should track the design targets; the\n"
+      "pure Gaussian should cap near 10-12 digits.\n");
+  return 0;
+}

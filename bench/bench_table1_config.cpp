@@ -1,0 +1,59 @@
+// Table 1 analogue: the evaluation configuration. The paper tabulates the
+// Endeavor/Gordon hardware; this build substitutes modeled fabrics for the
+// interconnects and prints the actual compute substrate plus the library
+// configuration (the "Libraries" block of Table 1).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/table.hpp"
+#include "net/costmodel.hpp"
+#include "window/design.hpp"
+
+using namespace soi;
+
+namespace {
+std::string cpu_model() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto pos = line.find(':');
+      if (pos != std::string::npos) return line.substr(pos + 2);
+    }
+  }
+  return "unknown";
+}
+}  // namespace
+
+int main() {
+  Table node("Table 1 | compute node (this build's substrate)");
+  node.header({"item", "value"});
+  node.row({"CPU", cpu_model()});
+  node.row({"hardware threads", std::to_string(std::thread::hardware_concurrency())});
+  node.row({"working precision", "double complex (16 B/point)"});
+  node.print();
+
+  Table fab("Table 1 | interconnect (modeled; see DESIGN.md substitutions)");
+  fab.header({"fabric", "model", "key parameters"});
+  fab.row({"Endeavor", net::make_endeavor_fat_tree()->name(),
+           "two-level fat tree, full bisection to 32 nodes, QDR IB 40 Gbit/s"});
+  fab.row({"Gordon", net::make_gordon_torus()->name(),
+           "k-ary 3-D torus, conc. 16, local 40 / global 120 Gbit/s"});
+  fab.row({"Endeavor-10GbE", net::make_endeavor_ethernet()->name(),
+           "flat 10 GbE, 30% effective all-to-all throughput"});
+  fab.print();
+
+  Table libs("Table 1 | libraries");
+  libs.header({"library", "configuration"});
+  const win::SoiProfile p = win::make_profile(win::Accuracy::kFull);
+  libs.row({"SOI", p.window->name() + ", beta=1/4, B=" +
+                        std::to_string(p.taps) + ", kappa=" +
+                        Table::num(p.kappa, 1) + " (paper: B=72, ~290 dB)"});
+  libs.row({"MKL-class baseline", "six-step triple-all-to-all, this repo"});
+  libs.row({"FFTW-class baseline", "six-step at 80% node efficiency"});
+  libs.row({"FFTE-class baseline", "six-step at 65% node efficiency"});
+  libs.print();
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "soi/conv_table.hpp"
+#include "soi/convolve.hpp"
+#include "soi/params.hpp"
+
+namespace soi::bench {
+
+namespace {
+template <class F>
+double best_of(int reps, F&& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+}  // namespace
+
+RankCompute measure_soi_rank(std::int64_t points_per_rank, int nodes,
+                             const win::SoiProfile& profile, int reps,
+                             std::int64_t max_segments_per_rank) {
+  const std::int64_t s = points_per_rank;
+  const std::int64_t n_total = s * nodes;
+
+  // The paper runs 8 segments per process ("8 segment/process", Table 1):
+  // finer granularity and decent F_P sizes even on few nodes. Use the
+  // largest segments-per-rank (<= the cap) whose geometry is valid at this
+  // problem size (the halo must fit inside one segment).
+  std::int64_t spr = max_segments_per_rank;
+  std::unique_ptr<core::SoiGeometry> geom;
+  for (; spr >= 1; spr /= 2) {
+    try {
+      geom = std::make_unique<core::SoiGeometry>(
+          n_total, spr * static_cast<std::int64_t>(nodes), profile);
+      break;
+    } catch (const Error&) {
+      continue;  // halo/divisibility fails; try coarser segmentation
+    }
+  }
+  SOI_CHECK(geom != nullptr, "measure_soi_rank: no valid segmentation for S="
+                                 << s << " nodes=" << nodes);
+  const core::SoiGeometry& g = *geom;
+  const core::ConvTable table(g, *profile.window);
+  const std::int64_t mc = g.chunks_per_rank();   // per geometry-rank
+  const std::int64_t p = g.p();                  // segments total
+  const std::int64_t mprime = g.mprime();        // per-segment M'
+
+  // One physical rank owns `spr` consecutive geometry-ranks.
+  cvec in(static_cast<std::size_t>(g.local_input() + (spr - 1) * g.m()));
+  fill_gaussian(in, 1234);
+  cvec v(static_cast<std::size_t>(spr * mc * p));
+  cvec vf(v.size());
+  cvec sendbuf(v.size());
+  cvec u(static_cast<std::size_t>(spr * mprime));
+  cvec uf(u.size());
+  cvec y(static_cast<std::size_t>(spr * g.m()));
+
+  const fft::FftPlan plan_p(p);
+  const fft::FftPlan plan_mp(mprime);
+
+  RankCompute rc;
+  rc.conv = best_of(reps, [&] {
+    for (std::int64_t seg = 0; seg < spr; ++seg) {
+      core::convolve_rank(
+          g, table,
+          cspan{in.data() + seg * g.m(),
+                static_cast<std::size_t>(g.local_input())},
+          mspan{v.data() + seg * mc * p, static_cast<std::size_t>(mc * p)});
+    }
+  });
+  rc.fp = best_of(reps, [&] { plan_p.forward_batch(v, vf, spr * mc); });
+  rc.pack = best_of(reps, [&] {
+    for (std::int64_t dst = 0; dst < p; ++dst) {
+      cplx* out = sendbuf.data() + dst * spr * mc;
+      const cplx* src = vf.data() + dst;
+      for (std::int64_t j = 0; j < spr * mc; ++j) out[j] = src[j * p];
+    }
+  });
+  // Stand-in contents for the post-exchange buffer (timing only).
+  std::copy(sendbuf.begin(), sendbuf.end(), u.begin());
+  rc.fm = best_of(reps, [&] { plan_mp.forward_batch(u, uf, spr); });
+  const cspan demod = table.demod();
+  rc.demod = best_of(reps, [&] {
+    for (std::int64_t seg = 0; seg < spr; ++seg) {
+      const cplx* src = uf.data() + seg * mprime;
+      cplx* dst = y.data() + seg * g.m();
+      for (std::int64_t k = 0; k < g.m(); ++k) {
+        dst[k] = src[k] * demod[static_cast<std::size_t>(k)];
+      }
+    }
+  });
+  return rc;
+}
+
+RankCompute measure_sixstep_rank(std::int64_t points_per_rank, int nodes,
+                                 int reps) {
+  const std::int64_t s = points_per_rank;  // == M (points per rank)
+  const std::int64_t p = nodes;
+  const std::int64_t rows = s / p;  // chunks of F_P after transpose #1
+
+  cvec a(static_cast<std::size_t>(s));
+  fill_gaussian(a, 4321);
+  cvec b(a.size());
+  cvec tw(a.size());
+  fill_gaussian(tw, 99);  // stand-in twiddles: same flop count
+
+  const fft::FftPlan plan_p(p);
+  const fft::FftPlan plan_m(s);
+
+  RankCompute rc;
+  rc.fp = best_of(reps, [&] { plan_p.forward_batch(a, b, rows); });
+  rc.twiddle = best_of(reps, [&] {
+    for (std::int64_t i = 0; i < s; ++i) {
+      a[static_cast<std::size_t>(i)] *= tw[static_cast<std::size_t>(i)];
+    }
+  });
+  rc.fm = best_of(reps, [&] { plan_m.forward(a, b); });
+  // Three local transposes accompany the three exchanges (Fig. 3's local
+  // permutations); measure one and count it three times.
+  const double one_pack = best_of(reps, [&] {
+    for (std::int64_t r = 0; r < p; ++r) {
+      for (std::int64_t j = 0; j < rows; ++j) {
+        b[static_cast<std::size_t>(j * p + r)] =
+            a[static_cast<std::size_t>(r * rows + j)];
+      }
+    }
+  });
+  rc.pack = 3.0 * one_pack;
+  return rc;
+}
+
+ClusterTime soi_cluster_time(const RankCompute& rc,
+                             const net::NetworkModel& net, int nodes,
+                             std::int64_t points_per_rank,
+                             const win::SoiProfile& profile) {
+  ClusterTime ct;
+  ct.compute = rc.total();
+  const double oversample = profile.oversampling();
+  const auto a2a_bytes = static_cast<std::int64_t>(
+      oversample * 16.0 * static_cast<double>(points_per_rank));
+  ct.comm = net.alltoall_seconds(nodes, a2a_bytes);
+  if (nodes > 1) {
+    // Halo sendrecv: (B + 2 nu - nu) * P complex values.
+    const std::int64_t halo_bytes =
+        (profile.taps + profile.nu) * nodes * 16;
+    ct.comm += net.p2p_seconds(halo_bytes);
+  }
+  return ct;
+}
+
+ClusterTime sixstep_cluster_time(const RankCompute& rc,
+                                 const net::NetworkModel& net, int nodes,
+                                 std::int64_t points_per_rank) {
+  ClusterTime ct;
+  ct.compute = rc.total();
+  const std::int64_t a2a_bytes = 16 * points_per_rank;
+  ct.comm = 3.0 * net.alltoall_seconds(nodes, a2a_bytes);
+  return ct;
+}
+
+double gflops(std::int64_t points_per_rank, int nodes, double seconds) {
+  const double n =
+      static_cast<double>(points_per_rank) * static_cast<double>(nodes);
+  return 5.0 * n * std::log2(n) / seconds / 1e9;
+}
+
+double measured_fft_gflops(std::int64_t points_per_rank, int reps) {
+  const fft::FftPlan plan(points_per_rank);
+  cvec x(static_cast<std::size_t>(points_per_rank)), y(x.size());
+  cvec work(plan.workspace_size());
+  fill_gaussian(x, 555);
+  const double t = best_of(reps, [&] { plan.forward(x, y, work); });
+  const double s = static_cast<double>(points_per_rank);
+  return 5.0 * s * std::log2(s) / t / 1e9;
+}
+
+double fabric_balance_scale(std::int64_t points_per_rank, int reps) {
+  return measured_fft_gflops(points_per_rank, reps) / kPaperNodeFftGflops;
+}
+
+std::unique_ptr<net::NetworkModel> scaled_fat_tree(double scale) {
+  // 50% full-exchange efficiency as in make_endeavor_fat_tree().
+  return std::make_unique<net::FatTreeModel>(
+      net::LinkSpec{40.0 * scale, 1.5e-6 / scale}, 32, 0.35, 0.5);
+}
+
+std::unique_ptr<net::NetworkModel> scaled_torus(double scale) {
+  return std::make_unique<net::Torus3DModel>(
+      net::LinkSpec{40.0 * scale, 1.5e-6 / scale}, 120.0 * scale, 16, 0.5);
+}
+
+std::unique_ptr<net::NetworkModel> scaled_ethernet(double scale) {
+  return std::make_unique<net::EthernetModel>(
+      net::LinkSpec{10.0 * scale, 10e-6 / scale}, 0.30);
+}
+
+BenchScale bench_scale() {
+  BenchScale s;
+  const std::int64_t lg = env_i64("SOI_BENCH_POINTS_LOG2", 17);
+  s.points_per_rank = std::int64_t{1} << lg;
+  s.reps = static_cast<int>(env_i64("SOI_BENCH_REPS", 3));
+  s.max_nodes = static_cast<int>(env_i64("SOI_BENCH_MAX_NODES", 64));
+  return s;
+}
+
+}  // namespace soi::bench

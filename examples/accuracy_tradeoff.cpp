@@ -1,0 +1,41 @@
+// The Fig. 7 capability from a user's point of view: dial accuracy down,
+// watch the convolution shrink and the transform speed up. Useful for
+// iterative solvers where inner-loop FFTs need far less than 15 digits.
+//
+//   build/examples/accuracy_tradeoff
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "soi/soi.hpp"
+
+int main() {
+  using namespace soi;
+  const std::int64_t n = 1 << 18;
+  const std::int64_t p = 8;
+
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 3);
+  cvec want(x.size());
+  fft::FftPlan exact(n);
+  exact.forward(x, want);
+
+  std::printf("%-22s %5s %14s %12s %10s\n", "profile", "B", "measured dB",
+              "digits", "time ms");
+  cvec y(x.size());
+  for (auto acc : {win::Accuracy::kFull, win::Accuracy::kHigh,
+                   win::Accuracy::kMedium, win::Accuracy::kLow}) {
+    const win::SoiProfile profile = win::make_profile(acc);
+    core::SoiFftSerial soi(n, p, profile);
+    soi.forward(x, y);  // warm-up
+    Timer t;
+    soi.forward(x, y);
+    const double ms = t.millis();
+    const double snr = snr_db(y, want);
+    std::printf("%-22s %5lld %14.1f %12.1f %10.2f\n", profile.name.c_str(),
+                static_cast<long long>(profile.taps), snr, snr_digits(snr),
+                ms);
+  }
+  std::printf("\nExpect: each step down the ladder trades ~2 digits for\n"
+              "speed as B shrinks (the convolution is the adjustable cost).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The Section 7.3 use case made concrete: "in the context of iterative
+// algorithms where FFT is computed in an inner loop, full accuracy is
+// typically unnecessary until very late in the iterative process."
+//
+// Solves a periodic deconvolution problem  (g * u) = f  for u with
+// Richardson iteration in the Fourier domain, running the inner-loop
+// transforms with the LOW-accuracy SOI profile and only the final
+// correction pass at full accuracy — then compares against running every
+// iteration at full accuracy.
+//
+//   build/examples/iterative_solver
+#include <cmath>
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "soi/soi.hpp"
+
+using namespace soi;
+
+namespace {
+
+// Apply the convolution operator A u = ifft(ghat .* fft(u)).
+void apply_operator(const core::SoiFftSerial& plan, const cvec& ghat,
+                    const cvec& u, cvec& out, cvec& scratch) {
+  plan.forward(u, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) scratch[i] *= ghat[i];
+  plan.inverse(scratch, out);
+}
+
+double solve(const core::SoiFftSerial& inner, const core::SoiFftSerial& last,
+             const cvec& ghat, const cvec& f, int iters, cvec& u,
+             const cvec& truth) {
+  const std::size_t n = f.size();
+  u.assign(n, cplx{0.0, 0.0});
+  cvec r = f, au(n), scratch(n);
+  const double omega_relax = 0.9;  // |ghat| <= 1 by construction below
+  for (int it = 0; it < iters; ++it) {
+    const core::SoiFftSerial& plan = (it == iters - 1) ? last : inner;
+    // u += omega * r;  r = f - A u.
+    for (std::size_t i = 0; i < n; ++i) u[i] += omega_relax * r[i];
+    apply_operator(plan, ghat, u, au, scratch);
+    for (std::size_t i = 0; i < n; ++i) r[i] = f[i] - au[i];
+  }
+  return rel_error(u, truth);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 1 << 16;
+  const std::int64_t p = 8;
+
+  // A well-conditioned smoothing kernel in the Fourier domain, a known
+  // solution, and the blurred right-hand side f = A u*.
+  cvec ghat(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double frac =
+        std::min(static_cast<double>(k), static_cast<double>(n - k)) /
+        static_cast<double>(n);
+    ghat[static_cast<std::size_t>(k)] = 0.4 + 0.6 * std::exp(-40.0 * frac);
+  }
+  cvec truth(static_cast<std::size_t>(n));
+  fill_gaussian(truth, 321);
+  const win::SoiProfile full = win::make_profile(win::Accuracy::kFull);
+  const win::SoiProfile low = win::make_profile(win::Accuracy::kLow);
+  core::SoiFftSerial plan_full(n, p, full);
+  core::SoiFftSerial plan_low(n, p, low);
+  cvec f(truth.size()), scratch(truth.size());
+  apply_operator(plan_full, ghat, truth, f, scratch);
+
+  const int iters = 25;
+  cvec u;
+
+  Timer t;
+  const double err_full = solve(plan_full, plan_full, ghat, f, iters, u, truth);
+  const double time_full = t.seconds();
+
+  t.reset();
+  const double err_mixed = solve(plan_low, plan_full, ghat, f, iters, u, truth);
+  const double time_mixed = t.seconds();
+
+  std::printf("Richardson deconvolution, %d iterations, N = %lld:\n\n", iters,
+              static_cast<long long>(n));
+  std::printf("  all-full-accuracy : err %.2e, %.0f ms\n", err_full,
+              time_full * 1e3);
+  std::printf("  low + final full  : err %.2e, %.0f ms (%.2fx faster)\n",
+              err_mixed, time_mixed * 1e3, time_full / time_mixed);
+  std::printf("\nThe mixed-precision run converges to the same solution\n"
+              "error while doing the bulk of its transforms with the\n"
+              "B=%lld window instead of B=%lld — the paper's Section 7.3\n"
+              "accuracy-for-speed dial applied where it matters.\n",
+              static_cast<long long>(low.taps),
+              static_cast<long long>(full.taps));
+  const bool ok = err_mixed < 2.0 * err_full + 1e-6 && time_mixed < time_full;
+  return ok ? 0 : 1;
+}

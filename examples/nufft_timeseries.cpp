@@ -1,0 +1,69 @@
+// NUFFT example (the Section 8 extension): spectrum of an UNEVENLY sampled
+// time series — the standard problem in astronomy/geophysics where samples
+// arrive at irregular times and an ordinary FFT cannot be applied.
+//
+//   build/examples/nufft_timeseries
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "nufft/nufft.hpp"
+
+int main() {
+  using namespace soi;
+  const std::int64_t modes = 512;   // frequency resolution
+  const std::size_t nsamples = 2000;
+
+  // Irregular observation times on [0, 1) and a two-tone signal observed
+  // through them (frequencies 37 and -121 cycles, amplitudes 1.0 / 0.4).
+  Rng rng(2026);
+  std::vector<double> t(nsamples);
+  for (auto& v : t) v = rng.uniform();
+  cvec samples(nsamples);
+  for (std::size_t j = 0; j < nsamples; ++j) {
+    const double a1 = kTwoPi * 37.0 * t[j];
+    const double a2 = kTwoPi * -121.0 * t[j];
+    samples[j] = cplx{std::cos(a1), std::sin(a1)} +
+                 0.4 * cplx{std::cos(a2), std::sin(a2)} +
+                 0.05 * rng.gaussian_cplx();
+  }
+
+  // Type-1 NUFFT: nonuniform samples -> uniform frequency bins.
+  nufft::NufftPlan plan(modes, 1e-10);
+  std::printf("NUFFT plan: %lld modes, spreading width %lld, tol 1e-10\n",
+              static_cast<long long>(plan.modes()),
+              static_cast<long long>(plan.width()));
+  cvec spec(static_cast<std::size_t>(modes));
+  plan.type1(t, samples, spec);
+
+  // Locate the two strongest bins (k is offset by modes/2).
+  auto mag = [&](std::int64_t k) {
+    return std::abs(spec[static_cast<std::size_t>(k + modes / 2)]);
+  };
+  std::int64_t best = 0, second = 0;
+  for (std::int64_t k = -modes / 2; k < modes / 2; ++k) {
+    if (mag(k) > mag(best)) {
+      second = best;
+      best = k;
+    } else if (k != best && mag(k) > mag(second)) {
+      second = k;
+    }
+  }
+  std::printf("strongest bins: k=%lld (|f|=%.1f), k=%lld (|f|=%.1f)\n",
+              static_cast<long long>(best), mag(best),
+              static_cast<long long>(second), mag(second));
+  std::printf("expected: k=37 (~%zu) and k=-121 (~%.0f)\n", nsamples,
+              0.4 * static_cast<double>(nsamples));
+
+  // Verify the fast transform against the O(M n) direct sum.
+  cvec direct(static_cast<std::size_t>(modes));
+  nufft::NufftPlan::type1_direct(t, samples, modes, direct);
+  std::printf("NUFFT vs direct sum: %.1f dB\n", snr_db(spec, direct));
+
+  const bool ok = (best == 37 && second == -121) ||
+                  (best == -121 && second == 37);
+  std::printf("%s\n", ok ? "tones recovered" : "tone recovery FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Spectral filtering with the SOI transform: forward -> mask -> inverse.
+// The motivating pattern for low-communication FFTs in practice (signal
+// denoising / band extraction in long 1-D records), exercising both
+// transform directions.
+//
+//   build/examples/spectral_filter
+#include <cstdio>
+
+#include "soi/soi.hpp"
+
+int main() {
+  using namespace soi;
+  const std::int64_t n = 1 << 17;
+  const std::int64_t p = 8;
+
+  // Clean signal: three tones. Observation: tones + heavy wideband noise.
+  const std::size_t bins[] = {3000, 31000, 99000};
+  const double amps[] = {1.0, 0.6, 0.8};
+  cvec clean(static_cast<std::size_t>(n));
+  fill_tones(clean, bins, amps, 0.0, 1);
+  cvec noisy(static_cast<std::size_t>(n));
+  fill_tones(noisy, bins, amps, 0.8, 1);
+
+  const win::SoiProfile profile = win::make_profile(win::Accuracy::kHigh);
+  core::SoiFftSerial soi(n, p, profile);
+
+  // Forward, keep only the strongest 0.1% of bins, inverse.
+  cvec spec(noisy.size());
+  soi.forward(noisy, spec);
+  // Threshold = the amplitude a lone tone of 0.15 would show.
+  const double threshold = 0.15 * static_cast<double>(n);
+  std::int64_t kept = 0;
+  for (auto& v : spec) {
+    if (std::abs(v) < threshold) {
+      v = cplx{0.0, 0.0};
+    } else {
+      ++kept;
+    }
+  }
+  cvec denoised(noisy.size());
+  soi.inverse(spec, denoised);
+
+  std::printf("kept %lld of %lld bins\n", static_cast<long long>(kept),
+              static_cast<long long>(n));
+  std::printf("SNR of noisy observation vs clean : %6.1f dB\n",
+              snr_db(noisy, clean));
+  std::printf("SNR after SOI filter vs clean     : %6.1f dB\n",
+              snr_db(denoised, clean));
+  const bool improved = snr_db(denoised, clean) > snr_db(noisy, clean) + 10.0;
+  std::printf("%s\n", improved ? "filtering improved the signal by >10 dB"
+                               : "filtering FAILED to improve the signal");
+  return improved ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and the validation record.
+#   scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "=== $b ==="
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,79 @@
+#include "baseline/fft2d_dist.hpp"
+
+#include "common/error.hpp"
+
+namespace soi::baseline {
+
+Fft2DDist::Fft2DDist(net::Comm& comm, std::int64_t rows, std::int64_t cols,
+                     Ordering2D ordering)
+    : comm_(comm),
+      r0_(rows),
+      r1_(cols),
+      ordering_(ordering),
+      plan_rows_(cols),
+      plan_cols_(rows) {
+  const int p = comm.size();
+  SOI_CHECK(rows >= p && rows % p == 0,
+            "Fft2DDist: P=" << p << " must divide rows=" << rows);
+  SOI_CHECK(cols >= p && cols % p == 0,
+            "Fft2DDist: P=" << p << " must divide cols=" << cols);
+  a_.resize(static_cast<std::size_t>(local_elems()));
+  b_.resize(a_.size());
+}
+
+void Fft2DDist::global_transpose(cspan in, mspan out, std::int64_t a,
+                                 std::int64_t b) {
+  const int p = comm_.size();
+  const std::int64_t ra = a / p;  // local rows before
+  const std::int64_t rb = b / p;  // local rows after (columns owned)
+  // Pack per-destination blocks: dest t takes my rows x its column range.
+  cvec send(static_cast<std::size_t>(ra * b));
+  for (int t = 0; t < p; ++t) {
+    cplx* blk = send.data() + t * ra * rb;
+    for (std::int64_t i = 0; i < ra; ++i) {
+      const cplx* src = in.data() + i * b + t * rb;
+      std::copy_n(src, rb, blk + i * rb);
+    }
+  }
+  cvec recv(send.size());
+  comm_.alltoall(send, recv, ra * rb);
+  // Unpack with the local transpose: out[j][s*ra + i] = recv[s][i][j].
+  for (int s = 0; s < p; ++s) {
+    const cplx* blk = recv.data() + s * ra * rb;
+    for (std::int64_t i = 0; i < ra; ++i) {
+      for (std::int64_t j = 0; j < rb; ++j) {
+        out[static_cast<std::size_t>(j * a + s * ra + i)] =
+            blk[i * rb + j];
+      }
+    }
+  }
+}
+
+void Fft2DDist::forward(cspan x_local, mspan y_local) {
+  const int p = comm_.size();
+  const std::int64_t lr0 = r0_ / p;  // local rows
+  const std::int64_t lr1 = r1_ / p;  // local rows after transpose
+  SOI_CHECK(x_local.size() == static_cast<std::size_t>(local_elems()),
+            "Fft2DDist::forward: local slab size mismatch");
+  const std::size_t out_elems = static_cast<std::size_t>(
+      ordering_ == Ordering2D::kNatural ? lr0 * r1_ : lr1 * r0_);
+  SOI_CHECK(y_local.size() >= out_elems,
+            "Fft2DDist::forward: local output too small");
+
+  // 1. FFT along rows (contiguous, local).
+  plan_rows_.forward_batch(x_local, a_, lr0);
+  // 2. Global transpose #1: (r0 x r1) -> (r1 x r0).
+  b_.resize(static_cast<std::size_t>(lr1 * r0_));
+  global_transpose(a_, b_, r0_, r1_);
+  // 3. FFT along the former columns (now contiguous rows of length r0).
+  if (ordering_ == Ordering2D::kTransposed) {
+    plan_cols_.forward_batch(b_, y_local, lr1);
+    return;
+  }
+  cvec c(b_.size());
+  plan_cols_.forward_batch(b_, c, lr1);
+  // 4. Global transpose #2 restores natural (row-major spectrum) order.
+  global_transpose(c, y_local, r1_, r0_);
+}
+
+}  // namespace soi::baseline

@@ -1,0 +1,63 @@
+// Distributed 2-D FFT with slab decomposition over SimMPI — the
+// higher-dimensional generalisation the paper's conclusion points to, and
+// a concrete illustration of its Section 1 observation that "the numbers
+// of global transposes can be reduced if out-of-order data can be
+// accommodated":
+//
+//   kNatural    — row FFTs, transpose, column FFTs, transpose back:
+//                 in-order result, TWO all-to-alls.
+//   kTransposed — row FFTs, transpose, column FFTs: the result stays
+//                 column-major (transposed), ONE all-to-all — fine for
+//                 convolution-style use where a matching inverse eats the
+//                 transposition.
+//
+// Layout: the R0 x R1 array is distributed by rows; rank s of P holds rows
+// [s*R0/P, (s+1)*R0/P). Requires P | R0 and P | R1.
+#pragma once
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "net/comm.hpp"
+
+namespace soi::baseline {
+
+enum class Ordering2D {
+  kNatural,     ///< in-order output, two global transposes
+  kTransposed,  ///< transposed output, one global transpose
+};
+
+/// Distributed 2-D complex FFT plan (P = comm.size()).
+class Fft2DDist {
+ public:
+  Fft2DDist(net::Comm& comm, std::int64_t rows, std::int64_t cols,
+            Ordering2D ordering);
+
+  [[nodiscard]] std::int64_t rows() const { return r0_; }
+  [[nodiscard]] std::int64_t cols() const { return r1_; }
+  [[nodiscard]] Ordering2D ordering() const { return ordering_; }
+  /// Local slab: rows()/P rows of cols() values (row-major).
+  [[nodiscard]] std::int64_t local_elems() const {
+    return r0_ / comm_.size() * r1_;
+  }
+
+  /// Forward transform of the local slab. With kNatural the output is this
+  /// rank's slab of the row-major spectrum; with kTransposed it is this
+  /// rank's slab of the TRANSPOSED spectrum (cols()/P rows of rows()
+  /// values).
+  void forward(cspan x_local, mspan y_local);
+
+ private:
+  /// Global transpose: local slab of an (a x b) row-major matrix
+  /// (a/P rows each) becomes local slab of the (b x a) transpose.
+  void global_transpose(cspan in, mspan out, std::int64_t a, std::int64_t b);
+
+  net::Comm& comm_;
+  std::int64_t r0_;
+  std::int64_t r1_;
+  Ordering2D ordering_;
+  fft::FftPlan plan_rows_;  // F_{r1} along rows
+  fft::FftPlan plan_cols_;  // F_{r0} along columns (post transpose)
+  cvec a_, b_;
+};
+
+}  // namespace soi::baseline

@@ -1,0 +1,133 @@
+#include "baseline/sixstep.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace soi::baseline {
+
+SixStepFftDist::SixStepFftDist(net::Comm& comm, std::int64_t n)
+    : comm_(comm),
+      n_(n),
+      m_(n / comm.size()),
+      rows_(m_ / comm.size()),
+      plan_p_(comm.size()),
+      plan_m_(m_) {
+  const std::int64_t p = comm.size();
+  SOI_CHECK(n % p == 0, "SixStepFftDist: P must divide N");
+  SOI_CHECK(m_ % p == 0,
+            "SixStepFftDist: P^2 must divide N (got N=" << n << ", P=" << p
+                                                        << ")");
+  // Twiddles w_N^{j2*k1} for this rank's j2 in [rank*rows, (rank+1)*rows).
+  twiddle_.resize(static_cast<std::size_t>(rows_ * p));
+  const std::int64_t j2_base = static_cast<std::int64_t>(comm.rank()) * rows_;
+  for (std::int64_t jl = 0; jl < rows_; ++jl) {
+    for (std::int64_t k1 = 0; k1 < p; ++k1) {
+      twiddle_[static_cast<std::size_t>(jl * p + k1)] =
+          omega((j2_base + jl) * k1, n_);
+    }
+  }
+  a_.resize(static_cast<std::size_t>(m_));
+  b_.resize(static_cast<std::size_t>(m_));
+  c_.resize(static_cast<std::size_t>(m_));
+  d_.resize(static_cast<std::size_t>(m_));
+}
+
+void SixStepFftDist::forward(cspan x_local, mspan y_local) {
+  const std::int64_t p = comm_.size();
+  SOI_CHECK(x_local.size() == static_cast<std::size_t>(m_),
+            "SixStepFftDist::forward: expected M=" << m_ << " local points");
+  SOI_CHECK(y_local.size() >= static_cast<std::size_t>(m_),
+            "SixStepFftDist::forward: local output too small");
+  breakdown_ = SixStepBreakdown{};
+  breakdown_.alltoall_bytes_each =
+      static_cast<std::int64_t>(sizeof(cplx)) * rows_ * (p - 1);
+  Timer t;
+
+  // --- 1. transpose #1: block j2-ranges to their owners -------------------
+  // x_local is row j1 = rank of X[P][M]; destination t needs columns
+  // [t*rows, (t+1)*rows) — already contiguous in x_local.
+  t.reset();
+  comm_.alltoall(x_local, a_, rows_);
+  breakdown_.alltoall += t.seconds();
+  // a_ = P source-blocks of `rows_` values: a_[s*rows + jl] = X[s][j2l].
+  // Local transpose to rows of j1: b_[jl*P + s].
+  t.reset();
+  for (std::int64_t s = 0; s < p; ++s) {
+    for (std::int64_t jl = 0; jl < rows_; ++jl) {
+      b_[static_cast<std::size_t>(jl * p + s)] =
+          a_[static_cast<std::size_t>(s * rows_ + jl)];
+    }
+  }
+  breakdown_.pack += t.seconds();
+
+  // --- 2. M/P local F_P transforms over j1 ---------------------------------
+  t.reset();
+  plan_p_.forward_batch(b_, a_, rows_);
+  breakdown_.fp = t.seconds();
+
+  // --- 3. twiddle multiply --------------------------------------------------
+  t.reset();
+  for (std::int64_t i = 0; i < m_; ++i) {
+    a_[static_cast<std::size_t>(i)] *= twiddle_[static_cast<std::size_t>(i)];
+  }
+  breakdown_.twiddle = t.seconds();
+
+  // --- 4. transpose #2: rank k1 assembles its full j2 row ------------------
+  // Send to rank k1 the local values A[k1][j2l]: local transpose first.
+  t.reset();
+  for (std::int64_t jl = 0; jl < rows_; ++jl) {
+    for (std::int64_t k1 = 0; k1 < p; ++k1) {
+      b_[static_cast<std::size_t>(k1 * rows_ + jl)] =
+          a_[static_cast<std::size_t>(jl * p + k1)];
+    }
+  }
+  breakdown_.pack += t.seconds();
+  t.reset();
+  comm_.alltoall(b_, c_, rows_);
+  breakdown_.alltoall += t.seconds();
+  // c_[t*rows + jl] = A[rank][t*rows + jl]: already the natural j2 order.
+
+  // --- 5. one local F_M over j2 ---------------------------------------------
+  t.reset();
+  plan_m_.forward(c_, d_);
+  breakdown_.fm = t.seconds();
+  // d_[k2] = y[rank + P*k2].
+
+  // --- 6. transpose #3: strided slices back to natural-order blocks --------
+  // Destination t needs k2 in [t*rows, (t+1)*rows) — contiguous in d_.
+  t.reset();
+  comm_.alltoall(d_, a_, rows_);
+  breakdown_.alltoall += t.seconds();
+  // a_[s*rows + k2l] = y[s + P*(rank*rows + k2l)] -> local scatter.
+  t.reset();
+  for (std::int64_t s = 0; s < p; ++s) {
+    for (std::int64_t k2l = 0; k2l < rows_; ++k2l) {
+      y_local[static_cast<std::size_t>(k2l * p + s)] =
+          a_[static_cast<std::size_t>(s * rows_ + k2l)];
+    }
+  }
+  breakdown_.pack += t.seconds();
+}
+
+void SixStepFftDist::inverse(cspan y_local, mspan x_local) {
+  SOI_CHECK(y_local.size() == static_cast<std::size_t>(m_),
+            "SixStepFftDist::inverse: local input size mismatch");
+  SOI_CHECK(x_local.size() >= static_cast<std::size_t>(m_),
+            "SixStepFftDist::inverse: local output too small");
+  conj_in_.resize(static_cast<std::size_t>(m_));
+  conj_out_.resize(static_cast<std::size_t>(m_));
+  for (std::int64_t i = 0; i < m_; ++i) {
+    conj_in_[static_cast<std::size_t>(i)] =
+        std::conj(y_local[static_cast<std::size_t>(i)]);
+  }
+  forward(conj_in_, conj_out_);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::int64_t i = 0; i < m_; ++i) {
+    x_local[static_cast<std::size_t>(i)] =
+        std::conj(conj_out_[static_cast<std::size_t>(i)]) * scale;
+  }
+}
+
+}  // namespace soi::baseline

@@ -1,0 +1,68 @@
+// Baseline: the industry-standard in-order distributed 1-D FFT with THREE
+// all-to-all exchanges (the decomposition sketched in the paper's Section 2
+// overview — what Intel MKL / FFTW / FFTE implement).
+//
+// With N = P * M on P ranks (block distribution, natural order in and out):
+//   view x as X[P][M] (rank j1 owns row j1); for k = k1 + P_dim... with
+//   j = j1*M + j2 and k = k1 + P*k2:
+//     1. all-to-all transpose: rank t gathers X[.][j2] for its j2 range,
+//     2. M/P local F_P transforms over j1,
+//     3. twiddle multiply by w_N^{j2*k1},
+//     4. all-to-all transpose back: rank k1 assembles its row over j2,
+//     5. one local F_M over j2,
+//     6. all-to-all to convert the stride-P output slices to natural-order
+//        blocks.
+// Requires P | M (i.e. P^2 | N).
+#pragma once
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "net/comm.hpp"
+
+namespace soi::baseline {
+
+/// Per-phase seconds + communication volume of one execution on this rank.
+struct SixStepBreakdown {
+  double fp = 0.0;        ///< step 2: M/P transforms of size P
+  double twiddle = 0.0;   ///< step 3
+  double fm = 0.0;        ///< step 5: one transform of size M
+  double pack = 0.0;      ///< all local transposes
+  double alltoall = 0.0;  ///< the three exchanges (in-process wall time)
+  std::int64_t alltoall_bytes_each = 0;  ///< bytes per rank per exchange
+  int alltoall_count = 3;
+  [[nodiscard]] double compute_total() const { return fp + twiddle + fm + pack; }
+};
+
+/// Triple-all-to-all in-order distributed FFT plan (P = comm.size()).
+class SixStepFftDist {
+ public:
+  SixStepFftDist(net::Comm& comm, std::int64_t n);
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+  [[nodiscard]] std::int64_t local_size() const { return m_; }
+
+  /// Forward transform; x_local/y_local are this rank's M points.
+  void forward(cspan x_local, mspan y_local);
+
+  /// Inverse transform (scaled by 1/N) via the conjugation identity;
+  /// same block layout and the same three exchanges.
+  void inverse(cspan y_local, mspan x_local);
+
+  [[nodiscard]] const SixStepBreakdown& last_breakdown() const {
+    return breakdown_;
+  }
+
+ private:
+  net::Comm& comm_;
+  std::int64_t n_;
+  std::int64_t m_;       // N / P
+  std::int64_t rows_;    // M / P (local j2 rows after the first transpose)
+  fft::FftPlan plan_p_;  // F_P
+  fft::FftPlan plan_m_;  // F_M
+  cvec twiddle_;         // w_N^{j2*k1} for local j2, all k1
+  SixStepBreakdown breakdown_;
+  cvec a_, b_, c_, d_;   // persistent working buffers (M each)
+  cvec conj_in_, conj_out_;
+};
+
+}  // namespace soi::baseline

@@ -1,0 +1,48 @@
+// Aligned allocation support for SIMD/cache-friendly buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace soi {
+
+/// Allocate `bytes` with the given power-of-two alignment. Throws
+/// std::bad_alloc on failure. Pair with aligned_free().
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment);
+
+/// Free memory obtained from aligned_alloc_bytes().
+void aligned_free(void* p) noexcept;
+
+/// Minimal standard-conforming allocator delivering Align-byte aligned
+/// storage; used for all transform buffers (cvec/dvec in types.hpp).
+template <class T, std::size_t Align = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::size_t alignment = Align;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(aligned_alloc_bytes(n * sizeof(T), Align));
+  }
+  void deallocate(T* p, std::size_t) noexcept { aligned_free(p); }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace soi

@@ -1,0 +1,19 @@
+// Environment-variable configuration for benches (scale knobs), so the same
+// binaries can run quick smoke sweeps or paper-scale sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace soi {
+
+/// Read an integer from the environment, or `fallback` when unset/invalid.
+std::int64_t env_i64(const char* name, std::int64_t fallback);
+
+/// Read a double from the environment, or `fallback` when unset/invalid.
+double env_f64(const char* name, double fallback);
+
+/// Read a string from the environment, or `fallback` when unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace soi

@@ -1,0 +1,39 @@
+// Error reporting: precondition checks throw soi::Error with context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace soi {
+
+/// Library-wide exception type. Thrown on violated preconditions
+/// (bad transform sizes, mismatched buffers, invalid window parameters).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SOI_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace soi
+
+/// Precondition/invariant check; always active (library correctness must not
+/// depend on NDEBUG). Usage: SOI_CHECK(n > 0, "n must be positive");
+#define SOI_CHECK(expr, msg)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream soi_check_os_;                                       \
+      soi_check_os_ << msg; /* allows streaming-style messages */             \
+      ::soi::detail::throw_check_failure(#expr, __FILE__, __LINE__,           \
+                                         soi_check_os_.str());                \
+    }                                                                         \
+  } while (false)

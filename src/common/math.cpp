@@ -1,0 +1,126 @@
+#include "common/math.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace soi {
+
+double sinc(double x) {
+  const double px = kPi * x;
+  if (std::abs(px) < 1e-8) {
+    // Series: sin(t)/t = 1 - t^2/6 + t^4/120 ...
+    const double t2 = px * px;
+    return 1.0 - t2 / 6.0 + t2 * t2 / 120.0;
+  }
+  return std::sin(px) / px;
+}
+
+double erf_diff(double a, double b) {
+  // erf(b) - erf(a). When both arguments share a sign and are large, use
+  // erfc to avoid subtracting two values that are both ~ +-1.
+  if (a > 0.0 && b > 0.0) return std::erfc(a) - std::erfc(b);
+  if (a < 0.0 && b < 0.0) return std::erfc(-b) - std::erfc(-a);
+  return std::erf(b) - std::erf(a);
+}
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int ilog2(std::int64_t n) {
+  SOI_CHECK(n > 0, "ilog2 requires positive argument");
+  int k = 0;
+  while ((std::int64_t{1} << (k + 1)) <= n) ++k;
+  return k;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                          19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin bases for 64-bit range.
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                          19ull, 23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int r = 1; r < s; ++r) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t primitive_root(std::uint64_t p) {
+  SOI_CHECK(is_prime(p), "primitive_root requires a prime modulus");
+  if (p == 2) return 1;
+  // Factor p-1.
+  std::uint64_t phi = p - 1;
+  std::uint64_t m = phi;
+  std::uint64_t factors[64];
+  int nf = 0;
+  for (std::uint64_t f = 2; f * f <= m; ++f) {
+    if (m % f == 0) {
+      factors[nf++] = f;
+      while (m % f == 0) m /= f;
+    }
+  }
+  if (m > 1) factors[nf++] = m;
+  for (std::uint64_t g = 2; g < p; ++g) {
+    bool ok = true;
+    for (int i = 0; i < nf; ++i) {
+      if (powmod(g, phi / factors[i], p) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw Error("primitive_root: no root found (should be impossible)");
+}
+
+std::int64_t next_pow2(std::int64_t n) {
+  std::int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace soi

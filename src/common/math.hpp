@@ -1,0 +1,46 @@
+// Small numeric helpers shared across modules: sinc, integer utilities,
+// and the special functions appearing in the (tau, sigma) window closed forms.
+#pragma once
+
+#include <cstdint>
+
+namespace soi {
+
+/// Normalised sinc: sin(pi x)/(pi x), sinc(0) = 1.
+double sinc(double x);
+
+/// erf difference erf(b) - erf(a) computed to avoid catastrophic
+/// cancellation when a and b are close and large.
+double erf_diff(double a, double b);
+
+/// true iff n is a power of two (n > 0).
+bool is_pow2(std::int64_t n);
+
+/// floor(log2(n)) for n > 0.
+int ilog2(std::int64_t n);
+
+/// Greatest common divisor (non-negative inputs).
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// a*b mod m without overflow for m < 2^62.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// a^e mod m.
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m);
+
+/// Deterministic Miller-Rabin primality for 64-bit integers.
+bool is_prime(std::uint64_t n);
+
+/// Smallest primitive root modulo prime p (p must be prime).
+std::uint64_t primitive_root(std::uint64_t p);
+
+/// Next power of two >= n.
+std::int64_t next_pow2(std::int64_t n);
+
+/// Positive modulus: ((a % m) + m) % m.
+inline std::int64_t pmod(std::int64_t a, std::int64_t m) {
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace soi

@@ -1,0 +1,91 @@
+#include "common/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi {
+
+namespace {
+
+struct SimpsonState {
+  const std::function<double(double)>* f;
+  double tol;
+  int max_depth;
+};
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const SimpsonState& st, double a, double b, double fa,
+                double fm, double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = (*st.f)(lm);
+  const double frm = (*st.f)(rm);
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth >= st.max_depth || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(st, a, m, fa, flm, fm, left, 0.5 * tol, depth + 1) +
+         adaptive(st, m, b, fm, frm, fb, right, 0.5 * tol, depth + 1);
+}
+
+// 16-point Gauss-Legendre nodes/weights on [-1, 1] (symmetric halves).
+constexpr std::array<double, 8> kGlNodes = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr std::array<double, 8> kGlWeights = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol, int max_depth) {
+  SOI_CHECK(b >= a, "integrate: reversed interval");
+  if (a == b) return 0.0;
+  SimpsonState st{&f, tol, max_depth};
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = simpson(fa, fm, fb, a, b);
+  return adaptive(st, a, b, fa, fm, fb, whole, tol, 0);
+}
+
+double integrate_tail(const std::function<double(double)>& f, double a,
+                      double tol) {
+  double total = 0.0;
+  double lo = a;
+  double width = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double hi = lo + width;
+    const double part = integrate(f, lo, hi, tol * 0.01);
+    total += part;
+    if (std::abs(part) < tol && iter > 2) break;
+    lo = hi;
+    width *= 2.0;  // geometric windows: fine near a, coarse in the far tail
+  }
+  return total;
+}
+
+double gauss_legendre(const std::function<double(double)>& f, double a,
+                      double b) {
+  const double c = 0.5 * (a + b);
+  const double h = 0.5 * (b - a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kGlNodes.size(); ++i) {
+    sum += kGlWeights[i] * (f(c - h * kGlNodes[i]) + f(c + h * kGlNodes[i]));
+  }
+  return h * sum;
+}
+
+}  // namespace soi

@@ -1,0 +1,24 @@
+// Numerical integration used by the window designer: kappa, eps_alias and
+// eps_trunc are defined as integrals of |H-hat| / |H| (paper, Section 4).
+#pragma once
+
+#include <functional>
+
+namespace soi {
+
+/// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
+/// Robust for the smooth, fast-decaying window integrands used here.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-12, int max_depth = 40);
+
+/// Integral of f over [a, +inf) for exponentially decaying f: integrates
+/// doubling windows until a window's contribution falls below tol.
+double integrate_tail(const std::function<double(double)>& f, double a,
+                      double tol = 1e-16);
+
+/// Fixed-order Gauss-Legendre on [a, b] (order 32); used inside the adaptive
+/// routine's leaf panels for speed in the design search.
+double gauss_legendre(const std::function<double(double)>& f, double a,
+                      double b);
+
+}  // namespace soi

@@ -1,0 +1,112 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Avoid the all-zero state (cannot occur from splitmix64, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::gaussian() {
+  if (have_cached_gauss_) {
+    have_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double th = kTwoPi * u2;
+  cached_gauss_ = r * std::sin(th);
+  have_cached_gauss_ = true;
+  return r * std::cos(th);
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  SOI_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+cplx Rng::gaussian_cplx() {
+  const double re = gaussian();
+  const double im = gaussian();
+  return {re, im};
+}
+
+cplx Rng::unit_cplx() {
+  const double th = kTwoPi * uniform();
+  return {std::cos(th), std::sin(th)};
+}
+
+void fill_gaussian(mspan out, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& v : out) v = rng.gaussian_cplx();
+}
+
+void fill_tones(mspan out, std::span<const std::size_t> tone_bins,
+                std::span<const double> tone_amps, double noise_amp,
+                std::uint64_t seed) {
+  SOI_CHECK(tone_bins.size() == tone_amps.size(),
+            "one amplitude per tone required");
+  const std::size_t n = out.size();
+  Rng rng(seed);
+  for (std::size_t j = 0; j < n; ++j) {
+    cplx v = noise_amp * rng.gaussian_cplx();
+    for (std::size_t t = 0; t < tone_bins.size(); ++t) {
+      const double ang =
+          kTwoPi * static_cast<double>(tone_bins[t] % n) *
+          static_cast<double>(j) / static_cast<double>(n);
+      v += tone_amps[t] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[j] = v;
+  }
+}
+
+}  // namespace soi

@@ -1,0 +1,54 @@
+// Deterministic random number generation for tests, examples and workload
+// generators. xoshiro256++ core (public-domain algorithm by Blackman/Vigna)
+// so results are reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace soi {
+
+/// xoshiro256++ PRNG. Deterministic across platforms (unlike std::mt19937's
+/// distribution wrappers, whose outputs are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (uses an internal cache).
+  double gaussian();
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Complex with independent standard-normal real/imag parts.
+  cplx gaussian_cplx();
+
+  /// Complex uniform on the unit circle.
+  cplx unit_cplx();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+/// Fill `out` with deterministic complex Gaussian noise from `seed`.
+void fill_gaussian(mspan out, std::uint64_t seed);
+
+/// Fill `out` with a deterministic sum-of-tones signal plus low-level noise:
+/// a realistic spectrum for examples (peaks at `tones` bin positions).
+void fill_tones(mspan out, std::span<const std::size_t> tone_bins,
+                std::span<const double> tone_amps, double noise_amp,
+                std::uint64_t seed);
+
+}  // namespace soi

@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi {
+
+double l2_diff(cspan a, cspan b) {
+  SOI_CHECK(a.size() == b.size(), "l2_diff: size mismatch " << a.size()
+                                                            << " vs " << b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const cplx d = a[i] - b[i];
+    s += std::norm(d);
+  }
+  return std::sqrt(s);
+}
+
+double l2_norm(cspan a) {
+  double s = 0.0;
+  for (const auto& v : a) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+double rel_error(cspan got, cspan ref) {
+  const double nref = l2_norm(ref);
+  const double diff = l2_diff(got, ref);
+  if (nref == 0.0) return diff == 0.0 ? 0.0 : 1e9;
+  return diff / nref;
+}
+
+double snr_db(cspan got, cspan ref) {
+  const double e = rel_error(got, ref);
+  if (e == 0.0) return 1e9;
+  return -20.0 * std::log10(e);
+}
+
+double snr_digits(double snr_db_value) { return snr_db_value / 20.0; }
+
+double max_abs_diff(cspan a, cspan b) {
+  SOI_CHECK(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+RunStats summarize(const std::vector<double>& samples) {
+  RunStats st;
+  st.n = samples.size();
+  if (samples.empty()) return st;
+  st.best = *std::min_element(samples.begin(), samples.end());
+  st.worst = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  st.mean = sum / static_cast<double>(st.n);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - st.mean) * (v - st.mean);
+  st.stddev = st.n > 1 ? std::sqrt(ss / static_cast<double>(st.n - 1)) : 0.0;
+  // 90% two-sided normal CI half-width: z_{0.95} * s / sqrt(n).
+  const double z95 = 1.6448536269514722;
+  st.ci90_half =
+      st.n > 1 ? z95 * st.stddev / std::sqrt(static_cast<double>(st.n)) : 0.0;
+  return st;
+}
+
+double fft_gflops(std::size_t n, double seconds) {
+  SOI_CHECK(seconds > 0.0, "fft_gflops: non-positive time");
+  const double nn = static_cast<double>(n);
+  return 5.0 * nn * std::log2(nn) / seconds / 1e9;
+}
+
+}  // namespace soi

@@ -1,0 +1,49 @@
+// Accuracy and run-statistics helpers: SNR in dB (the paper's accuracy
+// metric, Section 7.2), relative errors, and the best-of-many / confidence
+// interval reporting used in Figures 5 and 6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace soi {
+
+/// ||a - b||_2.
+double l2_diff(cspan a, cspan b);
+
+/// ||a||_2.
+double l2_norm(cspan a);
+
+/// Relative L2 error ||got - ref|| / ||ref||. Returns 0 when both are zero.
+double rel_error(cspan got, cspan ref);
+
+/// Signal-to-noise ratio in dB: 10*log10(||ref||^2 / ||got-ref||^2).
+/// Returns +inf (represented as 1e9) for an exact match.
+double snr_db(cspan got, cspan ref);
+
+/// Convert an SNR in dB to equivalent decimal digits of accuracy
+/// (the paper speaks of "14.5 digits" for 290 dB: digits = dB / 20).
+double snr_digits(double snr_db_value);
+
+/// Maximum elementwise absolute difference.
+double max_abs_diff(cspan a, cspan b);
+
+/// Summary statistics for repeated timing runs.
+struct RunStats {
+  double best = 0.0;    ///< minimum (paper reports max GFLOPS == min time)
+  double worst = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci90_half = 0.0;  ///< half-width of 90% CI (normal approx, Fig. 6)
+  std::size_t n = 0;
+};
+
+/// Compute RunStats from a sample of measurements (seconds, GFLOPS, ...).
+RunStats summarize(const std::vector<double>& samples);
+
+/// The paper's performance metric: 5*N*log2(N) / seconds, in GFLOPS.
+double fft_gflops(std::size_t n, double seconds);
+
+}  // namespace soi

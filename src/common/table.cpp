@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace soi {
+
+void Table::header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+void Table::row(std::vector<std::string> cols) {
+  SOI_CHECK(header_.empty() || cols.size() == header_.size(),
+            "Table row width " << cols.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(cols));
+}
+
+std::string Table::str() const {
+  // Column widths.
+  std::vector<std::size_t> w(header_.size(), 0);
+  auto grow = [&w](const std::vector<std::string>& r) {
+    if (w.size() < r.size()) w.resize(r.size(), 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      w[i] = std::max(w[i], r[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&os, &w](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << r[i];
+      os << std::string(w[i] - r[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  std::size_t total = 1;
+  for (std::size_t x : w) total += x + 3;
+  const std::string rule(total, '-');
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+}  // namespace soi

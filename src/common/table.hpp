@@ -1,0 +1,40 @@
+// Plain-text table rendering for bench output: every figure/table bench
+// prints paper-style rows through this, so EXPERIMENTS.md and bench output
+// stay directly comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soi {
+
+/// Column-aligned ASCII table with a title, header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row (defines the column count).
+  void header(std::vector<std::string> cols);
+
+  /// Append a data row; must match the header width.
+  void row(std::vector<std::string> cols);
+
+  /// Render with box-drawing-free ASCII (| and -), suitable for logs.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Format helper: fixed-point double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+
+  /// Format helper: scientific notation with `prec` significant decimals.
+  static std::string sci(double v, int prec = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soi

@@ -1,0 +1,54 @@
+// Monotonic wall-clock timing helpers used by benches and the
+// measured-compute / modeled-communication harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace soi {
+
+/// Simple steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop sections (e.g. summing the
+/// per-phase compute time of one simulated rank).
+class PhaseTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      ++count_;
+      running_ = false;
+    }
+  }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  void reset() { total_ = 0; count_ = 0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+  std::int64_t count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace soi

@@ -1,0 +1,56 @@
+// Core scalar and vector types shared by every SOI-FFT module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace soi {
+
+/// Precision-generic aliases (the FFT engine is instantiated for both
+/// double and float, FFTW-style).
+template <class Real>
+using cplx_t = std::complex<Real>;
+template <class Real>
+using cvec_t = std::vector<cplx_t<Real>, AlignedAllocator<cplx_t<Real>, 64>>;
+template <class Real>
+using cspan_t = std::span<const cplx_t<Real>>;
+template <class Real>
+using mspan_t = std::span<cplx_t<Real>>;
+
+/// Double-precision complex — the working precision of the library,
+/// matching the paper's double-precision evaluation (Section 7).
+using cplx = cplx_t<double>;
+
+/// Single-precision complex, used by the reduced-precision experiments.
+using cplxf = cplx_t<float>;
+
+/// Cache-line aligned complex vector. All transform buffers use this so
+/// kernels may assume 64-byte alignment.
+using cvec = cvec_t<double>;
+using cvecf = cvec_t<float>;
+
+/// Cache-line aligned double vector.
+using dvec = std::vector<double, AlignedAllocator<double, 64>>;
+
+/// Read-only / mutable complex views used across public APIs.
+using cspan = cspan_t<double>;
+using mspan = mspan_t<double>;
+using cspanf = cspan_t<float>;
+using mspanf = mspan_t<float>;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// exp(-i*2*pi*k/n): the DFT root of unity convention used throughout
+/// (forward transform has the negative exponent, as in the paper).
+inline cplx omega(std::int64_t k, std::int64_t n) {
+  const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+}  // namespace soi

@@ -1,0 +1,113 @@
+// Bluestein chirp-z transform: turns an arbitrary-length DFT into a cyclic
+// convolution of a power-of-two length, enabling O(n log n) for any n
+// (including large primes, used as the catch-all strategy).
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "fft/executor.hpp"
+#include "fft/plan.hpp"
+
+namespace soi::fft::detail {
+
+namespace {
+
+template <class Real>
+class BluesteinExecutor final : public ExecutorT<Real> {
+ public:
+  using C = cplx_t<Real>;
+
+  explicit BluesteinExecutor(std::int64_t n)
+      : n_(n), len_(next_pow2(2 * n - 1)), sub_(len_) {
+    chirp_fwd_.resize(static_cast<std::size_t>(n));
+    chirp_inv_.resize(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j) {
+      // exp(-i pi j^2 / n); exponent reduced mod 2n (the chirp's period).
+      // Chirps are computed in double regardless of Real to keep the
+      // quadratic phase accurate at large n.
+      const std::int64_t jj = (j * j) % (2 * n);
+      const double ang =
+          -kPi * static_cast<double>(jj) / static_cast<double>(n);
+      chirp_fwd_[static_cast<std::size_t>(j)] =
+          static_cast<C>(cplx{std::cos(ang), std::sin(ang)});
+      chirp_inv_[static_cast<std::size_t>(j)] =
+          std::conj(chirp_fwd_[static_cast<std::size_t>(j)]);
+    }
+    kernel_fft_fwd_ = build_kernel(chirp_fwd_);
+    kernel_fft_inv_ = build_kernel(chirp_inv_);
+  }
+
+  [[nodiscard]] std::size_t work_elems() const override {
+    // Layout: [A: len][B: len][sub-plan workspace].
+    return static_cast<std::size_t>(2 * len_) + sub_.workspace_size();
+  }
+
+  void forward(const C* in, C* out, C* work) const override {
+    run(in, out, work, chirp_fwd_, kernel_fft_fwd_, /*scale=*/Real(1));
+  }
+
+  void inverse(const C* in, C* out, C* work) const override {
+    run(in, out, work, chirp_inv_, kernel_fft_inv_,
+        /*scale=*/Real(1) / static_cast<Real>(n_));
+  }
+
+ private:
+  cvec_t<Real> build_kernel(const cvec_t<Real>& chirp) const {
+    // Kernel k[j] = conj(chirp[j]) placed circularly: k[0], k[j] = k[len-j].
+    cvec_t<Real> k(static_cast<std::size_t>(len_), C{0, 0});
+    for (std::int64_t j = 0; j < n_; ++j) {
+      const C v = std::conj(chirp[static_cast<std::size_t>(j)]);
+      k[static_cast<std::size_t>(j)] = v;
+      if (j != 0) k[static_cast<std::size_t>(len_ - j)] = v;
+    }
+    cvec_t<Real> kf(static_cast<std::size_t>(len_));
+    sub_.forward(k, kf);
+    return kf;
+  }
+
+  void run(const C* in, C* out, C* work, const cvec_t<Real>& chirp,
+           const cvec_t<Real>& kernel_fft, Real scale) const {
+    C* a = work;
+    C* b = work + len_;
+    C* sub_work = work + 2 * len_;
+    const mspan_t<Real> sub_ws{sub_work, sub_.workspace_size()};
+    // a := chirped input, zero padded to len.
+    for (std::int64_t j = 0; j < n_; ++j) {
+      a[j] = in[j] * chirp[static_cast<std::size_t>(j)];
+    }
+    for (std::int64_t j = n_; j < len_; ++j) a[j] = C{0, 0};
+    sub_.forward(cspan_t<Real>{a, static_cast<std::size_t>(len_)},
+                 mspan_t<Real>{b, static_cast<std::size_t>(len_)}, sub_ws);
+    for (std::int64_t j = 0; j < len_; ++j) {
+      b[j] *= kernel_fft[static_cast<std::size_t>(j)];
+    }
+    sub_.inverse(cspan_t<Real>{b, static_cast<std::size_t>(len_)},
+                 mspan_t<Real>{a, static_cast<std::size_t>(len_)}, sub_ws);
+    for (std::int64_t k = 0; k < n_; ++k) {
+      out[k] = a[k] * chirp[static_cast<std::size_t>(k)] * scale;
+    }
+  }
+
+  std::int64_t n_;
+  std::int64_t len_;
+  FftPlanT<Real> sub_;  // power-of-two: always mixed radix, never recurses
+  cvec_t<Real> chirp_fwd_;
+  cvec_t<Real> chirp_inv_;
+  cvec_t<Real> kernel_fft_fwd_;
+  cvec_t<Real> kernel_fft_inv_;
+};
+
+}  // namespace
+
+template <class Real>
+std::unique_ptr<ExecutorT<Real>> make_bluestein_executor(std::int64_t n) {
+  SOI_CHECK(n >= 2, "Bluestein requires n >= 2");
+  return std::make_unique<BluesteinExecutor<Real>>(n);
+}
+
+template std::unique_ptr<ExecutorT<double>> make_bluestein_executor<double>(
+    std::int64_t);
+template std::unique_ptr<ExecutorT<float>> make_bluestein_executor<float>(
+    std::int64_t);
+
+}  // namespace soi::fft::detail

@@ -1,0 +1,55 @@
+#include "fft/dft.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace soi::fft {
+
+void dft_direct(cspan in, mspan out) {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  SOI_CHECK(out.size() >= in.size(), "dft_direct: output too small");
+  SOI_CHECK(in.data() != out.data(), "dft_direct: in-place not supported");
+  for (std::int64_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::int64_t j = 0; j < n; ++j) {
+      // (j*k) mod n via 128-bit-safe mulmod: exact for any test size.
+      const auto e = static_cast<std::int64_t>(
+          mulmod(static_cast<std::uint64_t>(j), static_cast<std::uint64_t>(k),
+                 static_cast<std::uint64_t>(n)));
+      acc += in[static_cast<std::size_t>(j)] * omega(e, n);
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+}
+
+void idft_direct(cspan in, mspan out) {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  SOI_CHECK(out.size() >= in.size(), "idft_direct: output too small");
+  SOI_CHECK(in.data() != out.data(), "idft_direct: in-place not supported");
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    cplx acc{0.0, 0.0};
+    for (std::int64_t k = 0; k < n; ++k) {
+      const auto e = static_cast<std::int64_t>(
+          mulmod(static_cast<std::uint64_t>(j), static_cast<std::uint64_t>(k),
+                 static_cast<std::uint64_t>(n)));
+      acc += in[static_cast<std::size_t>(k)] * std::conj(omega(e, n));
+    }
+    out[static_cast<std::size_t>(j)] = acc * scale;
+  }
+}
+
+cplx dft_bin(cspan in, std::int64_t k) {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  cplx acc{0.0, 0.0};
+  for (std::int64_t j = 0; j < n; ++j) {
+    const auto e = static_cast<std::int64_t>(
+        mulmod(static_cast<std::uint64_t>(j),
+               static_cast<std::uint64_t>(pmod(k, n)),
+               static_cast<std::uint64_t>(n)));
+    acc += in[static_cast<std::size_t>(j)] * omega(e, n);
+  }
+  return acc;
+}
+
+}  // namespace soi::fft

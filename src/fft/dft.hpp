@@ -1,0 +1,18 @@
+// Direct O(n^2) DFT — the ground truth used by tests and accuracy benches.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace soi::fft {
+
+/// out[k] = sum_j in[j] exp(-2 pi i jk / n). O(n^2); testing only.
+void dft_direct(cspan in, mspan out);
+
+/// out[j] = (1/n) sum_k in[k] exp(+2 pi i jk / n). O(n^2); testing only.
+void idft_direct(cspan in, mspan out);
+
+/// Direct evaluation of a single output bin y[k] (useful to spot-check huge
+/// transforms without O(n^2) total cost).
+cplx dft_bin(cspan in, std::int64_t k);
+
+}  // namespace soi::fft

@@ -1,0 +1,52 @@
+// Internal executor interface behind FftPlan. Not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace soi::fft::detail {
+
+/// Strategy object: immutable after construction, thread-safe execution
+/// provided each call gets its own workspace. Templated on the working
+/// precision (double and float instantiations are compiled).
+template <class Real>
+class ExecutorT {
+ public:
+  using C = cplx_t<Real>;
+
+  virtual ~ExecutorT() = default;
+
+  /// Complex scratch elements required by forward()/inverse().
+  [[nodiscard]] virtual std::size_t work_elems() const = 0;
+
+  /// out[k] = sum_j in[j] exp(-2 pi i jk / n). No aliasing among args.
+  virtual void forward(const C* in, C* out, C* work) const = 0;
+
+  /// out[j] = (1/n) sum_k in[k] exp(+2 pi i jk / n). No aliasing among args.
+  virtual void inverse(const C* in, C* out, C* work) const = 0;
+
+  /// Optional fast path for `count` INTERLEAVED transforms (the Kronecker
+  /// form F_n (x) I_count: element j of transform c lives at
+  /// [j*count + c]). Buffers are n*count elements; `work` likewise.
+  /// Returns false when the strategy has no native interleaved path (the
+  /// plan then falls back to gather/scatter).
+  virtual bool forward_interleaved(const C*, C*, C*, std::int64_t) const {
+    return false;
+  }
+  virtual bool inverse_interleaved(const C*, C*, C*, std::int64_t) const {
+    return false;
+  }
+};
+
+using Executor = ExecutorT<double>;
+
+/// Factories (defined in rader.cpp / bluestein.cpp, instantiated for
+/// double and float).
+template <class Real>
+std::unique_ptr<ExecutorT<Real>> make_rader_executor(std::int64_t prime);
+template <class Real>
+std::unique_ptr<ExecutorT<Real>> make_bluestein_executor(std::int64_t n);
+
+}  // namespace soi::fft::detail

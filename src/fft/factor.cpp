@@ -1,0 +1,58 @@
+#include "fft/factor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace soi::fft {
+
+std::vector<std::int64_t> prime_factors(std::int64_t n) {
+  SOI_CHECK(n >= 1, "prime_factors: n must be >= 1, got " << n);
+  std::vector<std::int64_t> f;
+  for (std::int64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) f.push_back(n);
+  return f;
+}
+
+bool is_smooth(std::int64_t n) {
+  return largest_prime_factor(n) <= kMaxDirectRadix;
+}
+
+std::int64_t largest_prime_factor(std::int64_t n) {
+  const auto f = prime_factors(n);
+  return f.empty() ? 1 : f.back();
+}
+
+std::vector<std::int64_t> radix_schedule(std::int64_t n) {
+  SOI_CHECK(n >= 1, "radix_schedule: n must be >= 1");
+  SOI_CHECK(is_smooth(n), "radix_schedule: " << n << " has a prime factor > "
+                                             << kMaxDirectRadix);
+  auto primes = prime_factors(n);
+  // Combine pairs of 2s into 4s (radix-4 does the work of two radix-2
+  // stages with half the passes over memory).
+  std::vector<std::int64_t> radices;
+  std::int64_t twos = 0;
+  for (std::int64_t p : primes) {
+    if (p == 2) {
+      ++twos;
+    } else {
+      radices.push_back(p);
+    }
+  }
+  while (twos >= 2) {
+    radices.push_back(4);
+    twos -= 2;
+  }
+  if (twos == 1) radices.push_back(2);
+  // Larger radices first: early stages have small strides, where the wider
+  // butterflies stay cache-resident.
+  std::sort(radices.begin(), radices.end(), std::greater<>());
+  return radices;
+}
+
+}  // namespace soi::fft

@@ -1,0 +1,29 @@
+// Transform-size factorisation: picks the radix schedule for the mixed-radix
+// engine and decides when a size needs the Rader or Bluestein fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soi::fft {
+
+/// Largest prime the generic mixed-radix butterfly handles directly; bigger
+/// prime factors route the whole transform to Bluestein (or Rader when the
+/// size itself is prime).
+inline constexpr std::int64_t kMaxDirectRadix = 13;
+
+/// Full prime factorisation of n (ascending, with multiplicity).
+std::vector<std::int64_t> prime_factors(std::int64_t n);
+
+/// Radix schedule for the Stockham engine: prefers radix 4 over 2x2,
+/// orders larger radices first (better locality while strides are small).
+/// Only valid when smooth(n) holds.
+std::vector<std::int64_t> radix_schedule(std::int64_t n);
+
+/// True iff all prime factors of n are <= kMaxDirectRadix.
+bool is_smooth(std::int64_t n);
+
+/// Largest prime factor of n.
+std::int64_t largest_prime_factor(std::int64_t n);
+
+}  // namespace soi::fft

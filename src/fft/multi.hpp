@@ -1,0 +1,39 @@
+// Multi-dimensional FFT on top of the 1-D engine (row-column method with
+// full transposes between axes). Covers the paper's "generalize to
+// higher-dimensional FFTs" direction at the substrate level and gives the
+// examples a 2-D/3-D-capable transform.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+
+namespace soi::fft {
+
+/// N-dimensional complex FFT over a row-major dense array.
+/// Axis order convention: dims = {d0, d1, ..., dk-1} with dk-1 contiguous.
+class NdFft {
+ public:
+  explicit NdFft(std::vector<std::int64_t> dims);
+
+  [[nodiscard]] std::int64_t size() const { return total_; }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Forward transform (exp(-i 2 pi ...) along every axis), out-of-place.
+  void forward(cspan in, mspan out) const;
+
+  /// Inverse transform, scaled by 1/size().
+  void inverse(cspan in, mspan out) const;
+
+ private:
+  template <bool Inverse>
+  void run(cspan in, mspan out) const;
+
+  std::vector<std::int64_t> dims_;
+  std::int64_t total_;
+  std::vector<const FftPlan*> plans_;  // one per axis, from the cache
+  PlanCache cache_;
+};
+
+}  // namespace soi::fft

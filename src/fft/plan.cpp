@@ -1,0 +1,509 @@
+#include "fft/plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "fft/executor.hpp"
+#include "fft/factor.hpp"
+
+namespace soi::fft {
+namespace detail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mixed-radix Stockham executor.
+//
+// The transform is decomposed as a sequence of decimation-in-frequency
+// passes. At each stage the working sequence length is n_t = r * m; a pass
+// maps (for every interleave offset c in [0, s) and every j2 in [0, m)):
+//
+//   a[j1] = src[c + s*(j2 + m*j1)] ,  j1 = 0..r-1
+//   b[q1] = sum_j1 a[j1] * w_r^{j1*q1}              (radix butterfly)
+//   dst[c + s*(q1 + r*j2)] = b[q1] * w_{n_t}^{j2*q1}  (stage twiddle)
+//
+// After all stages the output is in natural order (autosort) — no
+// bit/digit-reversal pass, which keeps memory traffic at one read + one
+// write per element per stage.
+// ---------------------------------------------------------------------------
+
+template <class Real>
+struct Stage {
+  std::int64_t r = 0;  // radix of this pass
+  std::int64_t m = 0;  // n_t / r
+  // Twiddles w_{n_t}^{j2*q1}, laid out [j2*r + q1]; forward and inverse.
+  const cplx_t<Real>* tw_fwd = nullptr;
+  const cplx_t<Real>* tw_inv = nullptr;
+  // Butterfly constants w_r^{j1*q1}, laid out [j1*r + q1] (generic radix).
+  const cplx_t<Real>* wr_fwd = nullptr;
+  const cplx_t<Real>* wr_inv = nullptr;
+};
+
+constexpr double kSqrt3Over2 = 0.86602540378443864676;
+constexpr double kCos2Pi5 = 0.30901699437494742410;   // cos(2*pi/5)
+constexpr double kSin2Pi5 = 0.95105651629515357212;   // sin(2*pi/5)
+constexpr double kCos4Pi5 = -0.80901699437494742410;  // cos(4*pi/5)
+constexpr double kSin4Pi5 = 0.58778525229247312917;   // sin(4*pi/5)
+
+// Multiplies b by +/- i depending on Sign (-1: forward convention uses -i).
+template <int Sign, class Real>
+inline cplx_t<Real> mul_pm_i(cplx_t<Real> v) {
+  if constexpr (Sign < 0) {
+    return {v.imag(), -v.real()};
+  } else {
+    return {-v.imag(), v.real()};
+  }
+}
+
+template <int Sign, class Real>
+void pass_radix2(std::int64_t m, std::int64_t s, const cplx_t<Real>* src,
+                 cplx_t<Real>* dst, const cplx_t<Real>* tw) {
+  for (std::int64_t j2 = 0; j2 < m; ++j2) {
+    const cplx_t<Real> t1 = tw[j2 * 2 + 1];
+    const cplx_t<Real>* sp0 = src + s * j2;
+    const cplx_t<Real>* sp1 = src + s * (j2 + m);
+    cplx_t<Real>* dp = dst + s * (2 * j2);
+    for (std::int64_t c = 0; c < s; ++c) {
+      const cplx_t<Real> a0 = sp0[c];
+      const cplx_t<Real> a1 = sp1[c];
+      dp[c] = a0 + a1;
+      dp[c + s] = (a0 - a1) * t1;
+    }
+  }
+}
+
+template <int Sign, class Real>
+void pass_radix3(std::int64_t m, std::int64_t s, const cplx_t<Real>* src,
+                 cplx_t<Real>* dst, const cplx_t<Real>* tw) {
+  const Real half(0.5);
+  const Real s32(kSqrt3Over2);
+  for (std::int64_t j2 = 0; j2 < m; ++j2) {
+    const cplx_t<Real> t1 = tw[j2 * 3 + 1];
+    const cplx_t<Real> t2 = tw[j2 * 3 + 2];
+    const cplx_t<Real>* sp0 = src + s * j2;
+    const cplx_t<Real>* sp1 = src + s * (j2 + m);
+    const cplx_t<Real>* sp2 = src + s * (j2 + 2 * m);
+    cplx_t<Real>* dp = dst + s * (3 * j2);
+    for (std::int64_t c = 0; c < s; ++c) {
+      const cplx_t<Real> a0 = sp0[c];
+      const cplx_t<Real> a1 = sp1[c];
+      const cplx_t<Real> a2 = sp2[c];
+      const cplx_t<Real> sum = a1 + a2;
+      const cplx_t<Real> diff = mul_pm_i<Sign, Real>(s32 * (a1 - a2));
+      const cplx_t<Real> base = a0 - half * sum;
+      dp[c] = a0 + sum;
+      dp[c + s] = (base + diff) * t1;
+      dp[c + 2 * s] = (base - diff) * t2;
+    }
+  }
+}
+
+template <int Sign, class Real>
+void pass_radix4(std::int64_t m, std::int64_t s, const cplx_t<Real>* src,
+                 cplx_t<Real>* dst, const cplx_t<Real>* tw) {
+  for (std::int64_t j2 = 0; j2 < m; ++j2) {
+    const cplx_t<Real> t1 = tw[j2 * 4 + 1];
+    const cplx_t<Real> t2 = tw[j2 * 4 + 2];
+    const cplx_t<Real> t3 = tw[j2 * 4 + 3];
+    const cplx_t<Real>* sp0 = src + s * j2;
+    const cplx_t<Real>* sp1 = src + s * (j2 + m);
+    const cplx_t<Real>* sp2 = src + s * (j2 + 2 * m);
+    const cplx_t<Real>* sp3 = src + s * (j2 + 3 * m);
+    cplx_t<Real>* dp = dst + s * (4 * j2);
+    for (std::int64_t c = 0; c < s; ++c) {
+      const cplx_t<Real> a0 = sp0[c];
+      const cplx_t<Real> a1 = sp1[c];
+      const cplx_t<Real> a2 = sp2[c];
+      const cplx_t<Real> a3 = sp3[c];
+      const cplx_t<Real> e0 = a0 + a2;
+      const cplx_t<Real> e1 = a0 - a2;
+      const cplx_t<Real> o0 = a1 + a3;
+      const cplx_t<Real> o1 = mul_pm_i<Sign, Real>(a1 - a3);
+      dp[c] = e0 + o0;
+      dp[c + s] = (e1 + o1) * t1;
+      dp[c + 2 * s] = (e0 - o0) * t2;
+      dp[c + 3 * s] = (e1 - o1) * t3;
+    }
+  }
+}
+
+template <int Sign, class Real>
+void pass_radix5(std::int64_t m, std::int64_t s, const cplx_t<Real>* src,
+                 cplx_t<Real>* dst, const cplx_t<Real>* tw) {
+  const Real c1(kCos2Pi5), c2(kCos4Pi5), s1(kSin2Pi5), s2(kSin4Pi5);
+  for (std::int64_t j2 = 0; j2 < m; ++j2) {
+    const cplx_t<Real> t1 = tw[j2 * 5 + 1];
+    const cplx_t<Real> t2 = tw[j2 * 5 + 2];
+    const cplx_t<Real> t3 = tw[j2 * 5 + 3];
+    const cplx_t<Real> t4 = tw[j2 * 5 + 4];
+    const cplx_t<Real>* sp0 = src + s * j2;
+    const cplx_t<Real>* sp1 = src + s * (j2 + m);
+    const cplx_t<Real>* sp2 = src + s * (j2 + 2 * m);
+    const cplx_t<Real>* sp3 = src + s * (j2 + 3 * m);
+    const cplx_t<Real>* sp4 = src + s * (j2 + 4 * m);
+    cplx_t<Real>* dp = dst + s * (5 * j2);
+    for (std::int64_t c = 0; c < s; ++c) {
+      const cplx_t<Real> a0 = sp0[c];
+      const cplx_t<Real> a1 = sp1[c];
+      const cplx_t<Real> a2 = sp2[c];
+      const cplx_t<Real> a3 = sp3[c];
+      const cplx_t<Real> a4 = sp4[c];
+      const cplx_t<Real> su1 = a1 + a4;
+      const cplx_t<Real> su2 = a2 + a3;
+      const cplx_t<Real> d1 = a1 - a4;
+      const cplx_t<Real> d2 = a2 - a3;
+      const cplx_t<Real> m1 = a0 + c1 * su1 + c2 * su2;
+      const cplx_t<Real> m2 = a0 + c2 * su1 + c1 * su2;
+      const cplx_t<Real> m3 = mul_pm_i<Sign, Real>(s1 * d1 + s2 * d2);
+      const cplx_t<Real> m4 = mul_pm_i<Sign, Real>(s2 * d1 - s1 * d2);
+      dp[c] = a0 + su1 + su2;
+      dp[c + s] = (m1 + m3) * t1;
+      dp[c + 2 * s] = (m2 + m4) * t2;
+      dp[c + 3 * s] = (m2 - m4) * t3;
+      dp[c + 4 * s] = (m1 - m3) * t4;
+    }
+  }
+}
+
+// Generic radix: O(r^2) butterfly driven by the precomputed w_r table.
+template <class Real>
+void pass_generic(std::int64_t r, std::int64_t m, std::int64_t s,
+                  const cplx_t<Real>* src, cplx_t<Real>* dst,
+                  const cplx_t<Real>* tw, const cplx_t<Real>* wr) {
+  constexpr std::int64_t kMaxR = kMaxDirectRadix;
+  cplx_t<Real> a[kMaxR];
+  for (std::int64_t j2 = 0; j2 < m; ++j2) {
+    const cplx_t<Real>* t = tw + j2 * r;
+    for (std::int64_t c = 0; c < s; ++c) {
+      for (std::int64_t j1 = 0; j1 < r; ++j1) {
+        a[j1] = src[c + s * (j2 + m * j1)];
+      }
+      for (std::int64_t q1 = 0; q1 < r; ++q1) {
+        cplx_t<Real> acc = a[0];
+        for (std::int64_t j1 = 1; j1 < r; ++j1) {
+          acc += a[j1] * wr[j1 * r + q1];
+        }
+        dst[c + s * (q1 + r * j2)] = acc * t[q1];
+      }
+    }
+  }
+}
+
+template <class Real>
+class MixedRadixExecutor final : public ExecutorT<Real> {
+ public:
+  using C = cplx_t<Real>;
+
+  explicit MixedRadixExecutor(std::int64_t n) : n_(n) {
+    const auto radices = radix_schedule(n);
+    // Precompute stage twiddles (both signs) and per-radix butterfly tables.
+    std::int64_t nt = n;
+    std::size_t tw_total = 0;
+    for (std::int64_t r : radices) {
+      tw_total += static_cast<std::size_t>(nt);
+      nt /= r;
+    }
+    tw_fwd_.resize(tw_total);
+    tw_inv_.resize(tw_total);
+    std::size_t off = 0;
+    nt = n;
+    for (std::int64_t r : radices) {
+      const std::int64_t m = nt / r;
+      Stage<Real> st;
+      st.r = r;
+      st.m = m;
+      st.tw_fwd = tw_fwd_.data() + off;
+      st.tw_inv = tw_inv_.data() + off;
+      for (std::int64_t j2 = 0; j2 < m; ++j2) {
+        for (std::int64_t q1 = 0; q1 < r; ++q1) {
+          const C w = static_cast<C>(omega(j2 * q1, nt));
+          tw_fwd_[off + static_cast<std::size_t>(j2 * r + q1)] = w;
+          tw_inv_[off + static_cast<std::size_t>(j2 * r + q1)] = std::conj(w);
+        }
+      }
+      off += static_cast<std::size_t>(nt);
+      if (r != 2 && r != 3 && r != 4 && r != 5) {
+        ensure_wr(r);
+        st.wr_fwd = wr_fwd_.at(static_cast<std::size_t>(r)).data();
+        st.wr_inv = wr_inv_.at(static_cast<std::size_t>(r)).data();
+      }
+      stages_.push_back(st);
+      nt = m;
+    }
+  }
+
+  [[nodiscard]] std::size_t work_elems() const override {
+    return static_cast<std::size_t>(n_);
+  }
+
+  void forward(const C* in, C* out, C* work) const override {
+    run</*Inverse=*/false>(in, out, work);
+  }
+
+  void inverse(const C* in, C* out, C* work) const override {
+    run</*Inverse=*/true>(in, out, work);
+    const Real scale = Real(1) / static_cast<Real>(n_);
+    for (std::int64_t i = 0; i < n_; ++i) out[i] *= scale;
+  }
+
+  bool forward_interleaved(const C* in, C* out, C* work,
+                           std::int64_t count) const override {
+    run</*Inverse=*/false>(in, out, work, count);
+    return true;
+  }
+
+  bool inverse_interleaved(const C* in, C* out, C* work,
+                           std::int64_t count) const override {
+    run</*Inverse=*/true>(in, out, work, count);
+    const Real scale = Real(1) / static_cast<Real>(n_);
+    for (std::int64_t i = 0; i < n_ * count; ++i) out[i] *= scale;
+    return true;
+  }
+
+ private:
+  void ensure_wr(std::int64_t r) {
+    auto& fwd = wr_fwd_[static_cast<std::size_t>(r)];
+    if (!fwd.empty()) return;
+    auto& inv = wr_inv_[static_cast<std::size_t>(r)];
+    fwd.resize(static_cast<std::size_t>(r * r));
+    inv.resize(static_cast<std::size_t>(r * r));
+    for (std::int64_t j = 0; j < r; ++j) {
+      for (std::int64_t q = 0; q < r; ++q) {
+        const C w = static_cast<C>(omega(j * q, r));
+        fwd[static_cast<std::size_t>(j * r + q)] = w;
+        inv[static_cast<std::size_t>(j * r + q)] = std::conj(w);
+      }
+    }
+  }
+
+  template <bool Inverse>
+  void run(const C* in, C* out, C* work, std::int64_t s0 = 1) const {
+    // Ping-pong between `out` and `work`, arranged so the last stage
+    // writes into `out`. The Stockham passes operate on s interleaved
+    // sub-sequences at every level, so an initial stride s0 > 1 computes
+    // s0 interleaved transforms natively (F_n (x) I_s0).
+    const std::size_t k = stages_.size();
+    const C* src = in;
+    std::int64_t s = s0;
+    for (std::size_t t = 0; t < k; ++t) {
+      const Stage<Real>& st = stages_[t];
+      const bool last_to_out = ((k - 1 - t) % 2 == 0);
+      C* dst = last_to_out ? out : work;
+      const C* tw = Inverse ? st.tw_inv : st.tw_fwd;
+      constexpr int sign = Inverse ? +1 : -1;
+      switch (st.r) {
+        case 2:
+          pass_radix2<sign, Real>(st.m, s, src, dst, tw);
+          break;
+        case 3:
+          pass_radix3<sign, Real>(st.m, s, src, dst, tw);
+          break;
+        case 4:
+          pass_radix4<sign, Real>(st.m, s, src, dst, tw);
+          break;
+        case 5:
+          pass_radix5<sign, Real>(st.m, s, src, dst, tw);
+          break;
+        default:
+          pass_generic<Real>(st.r, st.m, s, src, dst, tw,
+                             Inverse ? st.wr_inv : st.wr_fwd);
+          break;
+      }
+      src = dst;
+      s *= st.r;
+    }
+    if (k == 0) {
+      for (std::int64_t c = 0; c < s0; ++c) out[c] = in[c];
+    }
+  }
+
+  std::int64_t n_;
+  std::vector<Stage<Real>> stages_;
+  cvec_t<Real> tw_fwd_;
+  cvec_t<Real> tw_inv_;
+  // Butterfly tables per generic radix (index = radix value).
+  std::array<cvec_t<Real>, kMaxDirectRadix + 1> wr_fwd_{};
+  std::array<cvec_t<Real>, kMaxDirectRadix + 1> wr_inv_{};
+};
+
+template <class Real>
+class IdentityExecutor final : public ExecutorT<Real> {
+ public:
+  using C = cplx_t<Real>;
+  [[nodiscard]] std::size_t work_elems() const override { return 0; }
+  void forward(const C* in, C* out, C*) const override { out[0] = in[0]; }
+  void inverse(const C* in, C* out, C*) const override { out[0] = in[0]; }
+};
+
+}  // namespace
+}  // namespace detail
+
+template <class Real>
+FftPlanT<Real>::FftPlanT(std::int64_t n) : n_(n) {
+  SOI_CHECK(n >= 1, "FftPlan: size must be positive, got " << n);
+  if (n == 1) {
+    strategy_ = Strategy::kIdentity;
+    exec_ = std::make_unique<detail::IdentityExecutor<Real>>();
+  } else if (is_smooth(n)) {
+    strategy_ = Strategy::kMixedRadix;
+    radices_ = radix_schedule(n);
+    exec_ = std::make_unique<detail::MixedRadixExecutor<Real>>(n);
+  } else if (is_prime(static_cast<std::uint64_t>(n))) {
+    strategy_ = Strategy::kRader;
+    exec_ = detail::make_rader_executor<Real>(n);
+  } else {
+    strategy_ = Strategy::kBluestein;
+    exec_ = detail::make_bluestein_executor<Real>(n);
+  }
+}
+
+template <class Real>
+FftPlanT<Real>::~FftPlanT() = default;
+template <class Real>
+FftPlanT<Real>::FftPlanT(FftPlanT&&) noexcept = default;
+template <class Real>
+FftPlanT<Real>& FftPlanT<Real>::operator=(FftPlanT&&) noexcept = default;
+
+template <class Real>
+std::size_t FftPlanT<Real>::workspace_size() const {
+  return exec_->work_elems();
+}
+
+template <class Real>
+void FftPlanT<Real>::forward(cspan_t<Real> in, mspan_t<Real> out,
+                             mspan_t<Real> work) const {
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_),
+            "forward: input size " << in.size() << " != plan size " << n_);
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(n_),
+            "forward: output too small");
+  SOI_CHECK(work.size() >= workspace_size(), "forward: workspace too small");
+  exec_->forward(in.data(), out.data(), work.data());
+}
+
+template <class Real>
+void FftPlanT<Real>::inverse(cspan_t<Real> in, mspan_t<Real> out,
+                             mspan_t<Real> work) const {
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_),
+            "inverse: input size " << in.size() << " != plan size " << n_);
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(n_),
+            "inverse: output too small");
+  SOI_CHECK(work.size() >= workspace_size(), "inverse: workspace too small");
+  exec_->inverse(in.data(), out.data(), work.data());
+}
+
+template <class Real>
+void FftPlanT<Real>::forward(cspan_t<Real> in, mspan_t<Real> out) const {
+  cvec_t<Real> work(workspace_size());
+  forward(in, out, work);
+}
+
+template <class Real>
+void FftPlanT<Real>::inverse(cspan_t<Real> in, mspan_t<Real> out) const {
+  cvec_t<Real> work(workspace_size());
+  inverse(in, out, work);
+}
+
+namespace {
+template <class Real, class Fn>
+void run_batch(std::int64_t count, std::size_t work_elems, Fn&& fn) {
+#ifdef _OPENMP
+#pragma omp parallel
+  {
+    cvec_t<Real> work(work_elems);
+#pragma omp for schedule(static)
+    for (std::int64_t b = 0; b < count; ++b) fn(b, work.data());
+  }
+#else
+  cvec_t<Real> work(work_elems);
+  for (std::int64_t b = 0; b < count; ++b) fn(b, work.data());
+#endif
+}
+}  // namespace
+
+template <class Real>
+void FftPlanT<Real>::forward_batch(cspan_t<Real> in, mspan_t<Real> out,
+                                   std::int64_t count) const {
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_ * count),
+            "forward_batch: input size mismatch");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
+            "forward_batch: output too small");
+  run_batch<Real>(count, workspace_size(), [&](std::int64_t b, C* work) {
+    exec_->forward(in.data() + b * n_, out.data() + b * n_, work);
+  });
+}
+
+template <class Real>
+void FftPlanT<Real>::inverse_batch(cspan_t<Real> in, mspan_t<Real> out,
+                                   std::int64_t count) const {
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_ * count),
+            "inverse_batch: input size mismatch");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
+            "inverse_batch: output too small");
+  run_batch<Real>(count, workspace_size(), [&](std::int64_t b, C* work) {
+    exec_->inverse(in.data() + b * n_, out.data() + b * n_, work);
+  });
+}
+
+namespace {
+template <class Real, bool Inverse>
+void interleaved_fallback(const detail::ExecutorT<Real>& exec, std::int64_t n,
+                          cspan_t<Real> in, mspan_t<Real> out,
+                          std::int64_t count) {
+  // Gather/scatter per transform through contiguous staging buffers.
+  cvec_t<Real> gathered(static_cast<std::size_t>(n));
+  cvec_t<Real> result(static_cast<std::size_t>(n));
+  cvec_t<Real> work(exec.work_elems());
+  for (std::int64_t c = 0; c < count; ++c) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      gathered[static_cast<std::size_t>(j)] = in[j * count + c];
+    }
+    if constexpr (Inverse) {
+      exec.inverse(gathered.data(), result.data(), work.data());
+    } else {
+      exec.forward(gathered.data(), result.data(), work.data());
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      out[j * count + c] = result[static_cast<std::size_t>(j)];
+    }
+  }
+}
+}  // namespace
+
+template <class Real>
+void FftPlanT<Real>::forward_interleaved(cspan_t<Real> in, mspan_t<Real> out,
+                                         std::int64_t count) const {
+  SOI_CHECK(count >= 1, "forward_interleaved: count must be >= 1");
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_ * count),
+            "forward_interleaved: input size mismatch");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
+            "forward_interleaved: output too small");
+  cvec_t<Real> work(static_cast<std::size_t>(n_ * count));
+  if (!exec_->forward_interleaved(in.data(), out.data(), work.data(), count)) {
+    interleaved_fallback<Real, false>(*exec_, n_, in, out, count);
+  }
+}
+
+template <class Real>
+void FftPlanT<Real>::inverse_interleaved(cspan_t<Real> in, mspan_t<Real> out,
+                                         std::int64_t count) const {
+  SOI_CHECK(count >= 1, "inverse_interleaved: count must be >= 1");
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_ * count),
+            "inverse_interleaved: input size mismatch");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
+            "inverse_interleaved: output too small");
+  cvec_t<Real> work(static_cast<std::size_t>(n_ * count));
+  if (!exec_->inverse_interleaved(in.data(), out.data(), work.data(), count)) {
+    interleaved_fallback<Real, true>(*exec_, n_, in, out, count);
+  }
+}
+
+template class FftPlanT<double>;
+template class FftPlanT<float>;
+
+}  // namespace soi::fft

@@ -1,0 +1,131 @@
+// Plan-based 1-D complex FFT engine — the node-local building block the
+// paper takes from Intel MKL (Fig. 2: "Intel MKL FFTs ... are used as
+// building blocks"). Here it is implemented from scratch:
+//   * iterative mixed-radix Stockham (autosort, no bit reversal) for sizes
+//     whose prime factors are <= 13, with hard-coded radix 2/3/4/5 kernels,
+//   * Rader's algorithm for prime sizes (length p-1 cyclic convolution),
+//   * Bluestein's chirp-z fallback for any remaining size,
+// with native inverse paths and batched execution (I_m (x) F_n).
+//
+// Precision: the engine is templated on the real scalar and instantiated
+// for double (FftPlan) and float (FftPlanF), like FFTW's d/f libraries.
+//
+// Conventions: forward uses exp(-i 2 pi jk / n); inverse includes the 1/n
+// scaling, so inverse(forward(x)) == x.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace soi::fft {
+
+enum class Strategy {
+  kIdentity,    ///< n == 1
+  kMixedRadix,  ///< smooth n: Stockham with radix schedule
+  kRader,       ///< prime n > 13
+  kBluestein,   ///< everything else (non-smooth composite)
+};
+
+namespace detail {
+template <class Real>
+class ExecutorT;
+}
+
+/// Reusable, immutable, thread-safe FFT plan for a fixed size n.
+/// Create once, execute many times; concurrent execute calls are safe as
+/// long as each call supplies its own workspace (the convenience overloads
+/// allocate one per call).
+template <class Real>
+class FftPlanT {
+ public:
+  using C = cplx_t<Real>;
+
+  explicit FftPlanT(std::int64_t n);
+  ~FftPlanT();
+  FftPlanT(FftPlanT&&) noexcept;
+  FftPlanT& operator=(FftPlanT&&) noexcept;
+  FftPlanT(const FftPlanT&) = delete;
+  FftPlanT& operator=(const FftPlanT&) = delete;
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+  [[nodiscard]] Strategy strategy() const { return strategy_; }
+
+  /// Complex elements of scratch required by the workspace overloads.
+  [[nodiscard]] std::size_t workspace_size() const;
+
+  /// Forward DFT, out-of-place. `in` and `out` are n elements and must not
+  /// alias each other or `work`; `work` needs workspace_size() elements.
+  void forward(cspan_t<Real> in, mspan_t<Real> out, mspan_t<Real> work) const;
+
+  /// Inverse DFT (scaled by 1/n), same buffer contract as forward().
+  void inverse(cspan_t<Real> in, mspan_t<Real> out, mspan_t<Real> work) const;
+
+  /// Convenience overloads that allocate the workspace internally.
+  void forward(cspan_t<Real> in, mspan_t<Real> out) const;
+  void inverse(cspan_t<Real> in, mspan_t<Real> out) const;
+
+  /// `count` independent transforms over contiguous length-n chunks
+  /// (the Kronecker product I_count (x) F_n). OpenMP-parallel across chunks.
+  void forward_batch(cspan_t<Real> in, mspan_t<Real> out,
+                     std::int64_t count) const;
+  void inverse_batch(cspan_t<Real> in, mspan_t<Real> out,
+                     std::int64_t count) const;
+
+  /// `count` INTERLEAVED transforms (the Kronecker product F_n (x)
+  /// I_count): element j of transform c lives at index j*count + c. The
+  /// mixed-radix strategy runs this natively through the Stockham stride
+  /// machinery (no transposes); other strategies gather/scatter. Useful
+  /// for transforming the non-contiguous axis of a multi-dimensional
+  /// array in place of an explicit transpose.
+  void forward_interleaved(cspan_t<Real> in, mspan_t<Real> out,
+                           std::int64_t count) const;
+  void inverse_interleaved(cspan_t<Real> in, mspan_t<Real> out,
+                           std::int64_t count) const;
+
+  /// Radix schedule (empty unless strategy is kMixedRadix).
+  [[nodiscard]] const std::vector<std::int64_t>& radices() const {
+    return radices_;
+  }
+
+ private:
+  std::int64_t n_;
+  Strategy strategy_;
+  std::vector<std::int64_t> radices_;
+  std::unique_ptr<detail::ExecutorT<Real>> exec_;
+};
+
+extern template class FftPlanT<double>;
+extern template class FftPlanT<float>;
+
+/// The double-precision plan used throughout the SOI pipeline.
+using FftPlan = FftPlanT<double>;
+/// Single-precision plan (the "6-digit" regime Section 7.3 refers to).
+using FftPlanF = FftPlanT<float>;
+
+/// Plan cache keyed by size: the SOI pipeline repeatedly needs F_P, F_M'
+/// and Bluestein sub-transforms; this avoids re-planning in inner loops.
+/// Not thread-safe for concurrent insertion; construct plans up-front.
+template <class Real>
+class PlanCacheT {
+ public:
+  /// Get (or create) the plan for size n. The reference stays valid for the
+  /// lifetime of the cache.
+  const FftPlanT<Real>& get(std::int64_t n) {
+    for (const auto& p : plans_) {
+      if (p->size() == n) return *p;
+    }
+    plans_.push_back(std::make_unique<FftPlanT<Real>>(n));
+    return *plans_.back();
+  }
+
+  [[nodiscard]] std::size_t size() const { return plans_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<FftPlanT<Real>>> plans_;
+};
+
+using PlanCache = PlanCacheT<double>;
+
+}  // namespace soi::fft

@@ -1,0 +1,113 @@
+// Rader's algorithm for prime-length DFTs: reindexing by a primitive root g
+// turns the nontrivial outputs into a length (p-1) cyclic convolution,
+// computed here with a precomputed-kernel FFT of length p-1.
+//
+//   y[0]          = sum_j x[j]
+//   y[g^{-m}]     = x[0] + (a (*) b)[m],   a[q] = x[g^q],  b[q] = w_p^{g^{-q}}
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "fft/executor.hpp"
+#include "fft/plan.hpp"
+
+namespace soi::fft::detail {
+
+namespace {
+
+template <class Real>
+class RaderExecutor final : public ExecutorT<Real> {
+ public:
+  using C = cplx_t<Real>;
+
+  explicit RaderExecutor(std::int64_t p) : p_(p), sub_(p - 1) {
+    SOI_CHECK(is_prime(static_cast<std::uint64_t>(p)) && p > 2,
+              "Rader requires an odd prime, got " << p);
+    const auto g = primitive_root(static_cast<std::uint64_t>(p));
+    const std::int64_t q = p - 1;
+    perm_.resize(static_cast<std::size_t>(q));      // perm_[m] = g^m mod p
+    inv_perm_.resize(static_cast<std::size_t>(q));  // inv_perm_[m] = g^{-m}
+    std::uint64_t gm = 1;
+    for (std::int64_t m = 0; m < q; ++m) {
+      perm_[static_cast<std::size_t>(m)] = static_cast<std::int64_t>(gm);
+      inv_perm_[static_cast<std::size_t>((q - m) % q)] =
+          static_cast<std::int64_t>(gm);
+      gm = mulmod(gm, g, static_cast<std::uint64_t>(p));
+    }
+    // Kernel b[m] = w_p^{g^{-m}}; store its forward FFT for fast convolution.
+    cvec_t<Real> b(static_cast<std::size_t>(q));
+    for (std::int64_t m = 0; m < q; ++m) {
+      b[static_cast<std::size_t>(m)] =
+          static_cast<C>(omega(inv_perm_[static_cast<std::size_t>(m)], p));
+    }
+    kernel_fft_.resize(static_cast<std::size_t>(q));
+    sub_.forward(b, kernel_fft_);
+  }
+
+  [[nodiscard]] std::size_t work_elems() const override {
+    // [a: q][conv: q][staging: p][sub workspace]
+    return static_cast<std::size_t>(2 * (p_ - 1) + p_) + sub_.workspace_size();
+  }
+
+  void forward(const C* in, C* out, C* work) const override {
+    run_forward(in, out, work);
+  }
+
+  void inverse(const C* in, C* out, C* work) const override {
+    // inverse(x) = conj(forward(conj(x))) / p — staged through workspace.
+    C* staged = work + 2 * (p_ - 1);
+    for (std::int64_t j = 0; j < p_; ++j) staged[j] = std::conj(in[j]);
+    run_forward(staged, out, work);
+    const Real scale = Real(1) / static_cast<Real>(p_);
+    for (std::int64_t j = 0; j < p_; ++j) out[j] = std::conj(out[j]) * scale;
+  }
+
+ private:
+  void run_forward(const C* in, C* out, C* work) const {
+    const std::int64_t q = p_ - 1;
+    C* a = work;
+    C* conv = work + q;
+    C* sub_work = work + 2 * q + p_;
+    const mspan_t<Real> sub_ws{sub_work, sub_.workspace_size()};
+
+    // Gather a[m] = x[g^m]; also the plain sum for y[0].
+    C total = in[0];
+    for (std::int64_t m = 0; m < q; ++m) {
+      a[m] = in[perm_[static_cast<std::size_t>(m)]];
+      total += a[m];
+    }
+    // Cyclic convolution with the precomputed kernel.
+    sub_.forward(cspan_t<Real>{a, static_cast<std::size_t>(q)},
+                 mspan_t<Real>{conv, static_cast<std::size_t>(q)}, sub_ws);
+    for (std::int64_t m = 0; m < q; ++m) {
+      conv[m] *= kernel_fft_[static_cast<std::size_t>(m)];
+    }
+    sub_.inverse(cspan_t<Real>{conv, static_cast<std::size_t>(q)},
+                 mspan_t<Real>{a, static_cast<std::size_t>(q)}, sub_ws);
+    // Scatter: y[g^{-m}] = x[0] + conv[m].
+    out[0] = total;
+    for (std::int64_t m = 0; m < q; ++m) {
+      out[inv_perm_[static_cast<std::size_t>(m)]] = in[0] + a[m];
+    }
+  }
+
+  std::int64_t p_;
+  FftPlanT<Real> sub_;  // size p-1 (even, never Rader again at this size)
+  std::vector<std::int64_t> perm_;
+  std::vector<std::int64_t> inv_perm_;
+  cvec_t<Real> kernel_fft_;
+};
+
+}  // namespace
+
+template <class Real>
+std::unique_ptr<ExecutorT<Real>> make_rader_executor(std::int64_t prime) {
+  return std::make_unique<RaderExecutor<Real>>(prime);
+}
+
+template std::unique_ptr<ExecutorT<double>> make_rader_executor<double>(
+    std::int64_t);
+template std::unique_ptr<ExecutorT<float>> make_rader_executor<float>(
+    std::int64_t);
+
+}  // namespace soi::fft::detail

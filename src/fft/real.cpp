@@ -1,0 +1,74 @@
+#include "fft/real.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi::fft {
+
+RealFftPlan::RealFftPlan(std::int64_t n) : n_(n), half_(n / 2) {
+  SOI_CHECK(n >= 2 && n % 2 == 0, "RealFftPlan: n must be even, got " << n);
+  const std::int64_t h = n / 2;
+  twiddle_.resize(static_cast<std::size_t>(h));
+  for (std::int64_t k = 0; k < h; ++k) {
+    const double ang = -kPi * static_cast<double>(k) / static_cast<double>(h);
+    twiddle_[static_cast<std::size_t>(k)] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void RealFftPlan::forward(std::span<const double> in, mspan out) const {
+  const std::int64_t h = n_ / 2;
+  SOI_CHECK(in.size() == static_cast<std::size_t>(n_),
+            "RealFftPlan::forward: bad input size");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(h + 1),
+            "RealFftPlan::forward: output needs n/2+1 bins");
+  // Pack pairs into complex, transform at half length.
+  cvec z(static_cast<std::size_t>(h));
+  for (std::int64_t j = 0; j < h; ++j) {
+    z[static_cast<std::size_t>(j)] = {in[static_cast<std::size_t>(2 * j)],
+                                      in[static_cast<std::size_t>(2 * j + 1)]};
+  }
+  cvec zf(static_cast<std::size_t>(h));
+  half_.forward(z, zf);
+  // Untangle: Z[k] = (E[k] + i O[k]) where E/O are FFTs of even/odd samples.
+  for (std::int64_t k = 0; k <= h; ++k) {
+    const std::int64_t km = k % h;
+    const std::int64_t kc = (h - k) % h;
+    const cplx zk = zf[static_cast<std::size_t>(km)];
+    const cplx zc = std::conj(zf[static_cast<std::size_t>(kc)]);
+    const cplx even = 0.5 * (zk + zc);
+    const cplx odd = cplx{0.0, -0.5} * (zk - zc);
+    const cplx tw = (k == h) ? cplx{-1.0, 0.0}
+                             : twiddle_[static_cast<std::size_t>(k)];
+    out[static_cast<std::size_t>(k)] = even + tw * odd;
+  }
+}
+
+void RealFftPlan::inverse(cspan in, std::span<double> out) const {
+  const std::int64_t h = n_ / 2;
+  SOI_CHECK(in.size() >= static_cast<std::size_t>(h + 1),
+            "RealFftPlan::inverse: input needs n/2+1 bins");
+  SOI_CHECK(out.size() == static_cast<std::size_t>(n_),
+            "RealFftPlan::inverse: bad output size");
+  // Re-tangle into the half-length complex spectrum and invert.
+  cvec zf(static_cast<std::size_t>(h));
+  for (std::int64_t k = 0; k < h; ++k) {
+    const cplx yk = in[static_cast<std::size_t>(k)];
+    const cplx ycc = std::conj(in[static_cast<std::size_t>(h - k)]);
+    const cplx even = 0.5 * (yk + ycc);
+    const cplx tw = std::conj(twiddle_[static_cast<std::size_t>(k)]);
+    // O[k] recovered via the conjugate twiddle; Z[k] = E[k] + i*O[k], and
+    // the factor i is folded into the 0.5i coefficient below.
+    const cplx i_odd = cplx{0.0, 0.5} * tw * (yk - ycc);
+    zf[static_cast<std::size_t>(k)] = even + i_odd;
+  }
+  cvec z(static_cast<std::size_t>(h));
+  half_.inverse(zf, z);
+  for (std::int64_t j = 0; j < h; ++j) {
+    out[static_cast<std::size_t>(2 * j)] = z[static_cast<std::size_t>(j)].real();
+    out[static_cast<std::size_t>(2 * j + 1)] =
+        z[static_cast<std::size_t>(j)].imag();
+  }
+}
+
+}  // namespace soi::fft

@@ -1,0 +1,32 @@
+// Real-input transforms built on the complex engine: an even-length real
+// signal is packed into a half-length complex FFT and untangled, matching
+// how production libraries expose r2c/c2r paths.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+
+namespace soi::fft {
+
+/// r2c plan for even real length n: produces the n/2+1 non-redundant bins.
+class RealFftPlan {
+ public:
+  explicit RealFftPlan(std::int64_t n);
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+
+  /// out[k], k = 0..n/2, of the DFT of the real signal `in` (n values).
+  void forward(std::span<const double> in, mspan out) const;
+
+  /// Reconstruct the real signal from its n/2+1 spectrum bins.
+  void inverse(cspan in, std::span<double> out) const;
+
+ private:
+  std::int64_t n_;
+  FftPlan half_;
+  cvec twiddle_;  // exp(-i pi k / (n/2)) untangling factors
+};
+
+}  // namespace soi::fft

@@ -1,0 +1,404 @@
+#include "net/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <thread>
+
+namespace soi::net {
+
+namespace detail {
+
+namespace {
+// Internal tags (user tags must be >= 0).
+constexpr int kTagBcast = -2;
+constexpr int kTagGather = -3;
+constexpr int kTagAllgather = -4;
+constexpr int kTagAlltoall = -5;
+constexpr int kTagAlltoallv = -6;
+}  // namespace
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> msgs;
+};
+
+struct World {
+  explicit World(int n) : nranks(n), boxes(static_cast<std::size_t>(n)) {}
+
+  int nranks;
+  std::deque<Mailbox> boxes;  // deque: Mailbox is not movable
+
+  // Generation-counted barrier.
+  std::mutex bar_mu;
+  std::condition_variable bar_cv;
+  int bar_waiting = 0;
+  std::uint64_t bar_gen = 0;
+
+  // Generation-counted reduction rendezvous.
+  std::mutex red_mu;
+  std::condition_variable red_cv;
+  int red_count = 0;
+  std::uint64_t red_gen = 0;
+  double red_acc = 0.0;
+  double red_result = 0.0;
+
+  TrafficLog traffic;
+
+  void push(int dst, Message msg) {
+    auto& box = boxes[static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.msgs.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  Message pop(int me, int src, int tag) {
+    auto& box = boxes[static_cast<std::size_t>(me)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    for (;;) {
+      for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
+        if ((src == kAnySource || it->src == src) && it->tag == tag) {
+          Message m = std::move(*it);
+          box.msgs.erase(it);
+          return m;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  /// Non-blocking variant of pop(): nullopt when nothing matches yet.
+  std::optional<Message> try_pop(int me, int src, int tag) {
+    auto& box = boxes[static_cast<std::size_t>(me)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
+      if ((src == kAnySource || it->src == src) && it->tag == tag) {
+        Message m = std::move(*it);
+        box.msgs.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace detail
+
+Comm::Comm(std::shared_ptr<detail::World> world, int rank)
+    : world_(std::move(world)), rank_(rank) {}
+
+int Comm::size() const { return world_->nranks; }
+
+TrafficLog& Comm::traffic() { return world_->traffic; }
+
+namespace {
+void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
+               std::size_t bytes, bool record) {
+  SOI_CHECK(dst >= 0 && dst < w.nranks,
+            "send: destination rank " << dst << " out of range");
+  detail::Message m;
+  m.src = src;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  if (record) {
+    w.traffic.record({CommEvent::Kind::kP2P, 2,
+                      static_cast<std::int64_t>(bytes), 1});
+  }
+  w.push(dst, std::move(m));
+}
+
+void recv_impl(detail::World& w, int me, int src, int tag, void* data,
+               std::size_t bytes) {
+  SOI_CHECK(src == kAnySource || (src >= 0 && src < w.nranks),
+            "recv: source rank " << src << " out of range");
+  detail::Message m = w.pop(me, src, tag);
+  SOI_CHECK(m.payload.size() == bytes,
+            "recv: expected " << bytes << " bytes from rank " << m.src
+                              << " tag " << tag << ", got "
+                              << m.payload.size());
+  if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
+}
+}  // namespace
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+  send_impl(*world_, rank_, dst, tag, data, bytes, /*record=*/true);
+}
+
+void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+  recv_impl(*world_, rank_, src, tag, data, bytes);
+}
+
+void Comm::send(int dst, int tag, cspan data) {
+  send_bytes(dst, tag, data.data(), data.size_bytes());
+}
+
+void Comm::recv(int src, int tag, mspan data) {
+  recv_bytes(src, tag, data.data(), data.size_bytes());
+}
+
+bool Comm::try_recv(int src, int tag, mspan data) {
+  SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+  auto m = world_->try_pop(rank_, src, tag);
+  if (!m.has_value()) return false;
+  SOI_CHECK(m->payload.size() == data.size_bytes(),
+            "try_recv: expected " << data.size_bytes() << " bytes, got "
+                                  << m->payload.size());
+  if (!m->payload.empty()) {
+    std::memcpy(data.data(), m->payload.data(), m->payload.size());
+  }
+  return true;
+}
+
+void Comm::sendrecv(int dst, cspan send_data, int src, mspan recv_data,
+                    int tag) {
+  // Sends never block (buffered), so send-then-recv cannot deadlock even in
+  // a fully cyclic exchange pattern.
+  send(dst, tag, send_data);
+  recv(src, tag, recv_data);
+}
+
+void Comm::barrier() {
+  auto& w = *world_;
+  std::unique_lock<std::mutex> lock(w.bar_mu);
+  const std::uint64_t gen = w.bar_gen;
+  if (++w.bar_waiting == w.nranks) {
+    w.bar_waiting = 0;
+    ++w.bar_gen;
+    w.bar_cv.notify_all();
+  } else {
+    w.bar_cv.wait(lock, [&w, gen] { return w.bar_gen != gen; });
+  }
+  if (rank_ == 0) {
+    w.traffic.record({CommEvent::Kind::kBarrier, w.nranks, 0, 1});
+  }
+}
+
+void Comm::bcast(mspan data, int root) {
+  auto& w = *world_;
+  SOI_CHECK(root >= 0 && root < w.nranks, "bcast: bad root " << root);
+  if (rank_ == root) {
+    for (int r = 0; r < w.nranks; ++r) {
+      if (r == root) continue;
+      send_impl(w, rank_, r, detail::kTagBcast, data.data(),
+                data.size_bytes(), /*record=*/false);
+    }
+    w.traffic.record({CommEvent::Kind::kBcast, w.nranks,
+                      static_cast<std::int64_t>(data.size_bytes()),
+                      w.nranks - 1});
+  } else {
+    recv_impl(w, rank_, root, detail::kTagBcast, data.data(),
+              data.size_bytes());
+  }
+}
+
+void Comm::gather(cspan send_data, mspan recv_data, int root) {
+  auto& w = *world_;
+  const std::size_t block = send_data.size();
+  if (rank_ == root) {
+    SOI_CHECK(recv_data.size() >=
+                  block * static_cast<std::size_t>(w.nranks),
+              "gather: receive buffer too small");
+    std::copy(send_data.begin(), send_data.end(),
+              recv_data.begin() +
+                  static_cast<std::ptrdiff_t>(block) * root);
+    for (int r = 0; r < w.nranks; ++r) {
+      if (r == root) continue;
+      recv_impl(w, rank_, r, detail::kTagGather,
+                recv_data.data() + block * static_cast<std::size_t>(r),
+                block * sizeof(cplx));
+    }
+    w.traffic.record({CommEvent::Kind::kAllgather, w.nranks,
+                      static_cast<std::int64_t>(block * sizeof(cplx)), 1});
+  } else {
+    send_impl(w, rank_, root, detail::kTagGather, send_data.data(),
+              send_data.size_bytes(), /*record=*/false);
+  }
+}
+
+void Comm::allgather(cspan send_data, mspan recv_data) {
+  auto& w = *world_;
+  const std::size_t block = send_data.size();
+  SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(w.nranks),
+            "allgather: receive buffer too small");
+  for (int r = 0; r < w.nranks; ++r) {
+    if (r == rank_) continue;
+    send_impl(w, rank_, r, detail::kTagAllgather, send_data.data(),
+              send_data.size_bytes(), /*record=*/false);
+  }
+  std::copy(send_data.begin(), send_data.end(),
+            recv_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_);
+  for (int r = 0; r < w.nranks; ++r) {
+    if (r == rank_) continue;
+    recv_impl(w, rank_, r, detail::kTagAllgather,
+              recv_data.data() + block * static_cast<std::size_t>(r),
+              block * sizeof(cplx));
+  }
+  if (rank_ == 0) {
+    w.traffic.record({CommEvent::Kind::kAllgather, w.nranks,
+                      static_cast<std::int64_t>(block * sizeof(cplx) *
+                                                static_cast<std::size_t>(
+                                                    w.nranks - 1)),
+                      w.nranks - 1});
+  }
+}
+
+namespace {
+double reduce_rendezvous(detail::World& w, double value, bool is_sum) {
+  std::unique_lock<std::mutex> lock(w.red_mu);
+  const std::uint64_t gen = w.red_gen;
+  if (w.red_count == 0) {
+    w.red_acc = value;
+  } else {
+    w.red_acc = is_sum ? w.red_acc + value : std::max(w.red_acc, value);
+  }
+  if (++w.red_count == w.nranks) {
+    w.red_result = w.red_acc;
+    w.red_count = 0;
+    ++w.red_gen;
+    w.red_cv.notify_all();
+    w.traffic.record({CommEvent::Kind::kAllreduce, w.nranks,
+                      static_cast<std::int64_t>(sizeof(double)), 1});
+    return w.red_result;
+  }
+  w.red_cv.wait(lock, [&w, gen] { return w.red_gen != gen; });
+  return w.red_result;
+}
+}  // namespace
+
+double Comm::allreduce_sum(double value) {
+  return reduce_rendezvous(*world_, value, /*is_sum=*/true);
+}
+
+double Comm::allreduce_max(double value) {
+  return reduce_rendezvous(*world_, value, /*is_sum=*/false);
+}
+
+void Comm::alltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                    AlltoallAlgo algo) {
+  auto& w = *world_;
+  const int p = w.nranks;
+  const auto block = static_cast<std::size_t>(count);
+  SOI_CHECK(send_data.size() >= block * static_cast<std::size_t>(p),
+            "alltoall: send buffer too small");
+  SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(p),
+            "alltoall: recv buffer too small");
+
+  // Own block: straight copy.
+  std::copy(send_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_,
+            send_data.begin() + static_cast<std::ptrdiff_t>(block) * (rank_ + 1),
+            recv_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_);
+
+  if (algo == AlltoallAlgo::kPairwise) {
+    // Ring schedule: step k exchanges with (rank+k) / (rank-k).
+    for (int step = 1; step < p; ++step) {
+      const int to = (rank_ + step) % p;
+      const int from = (rank_ - step + p) % p;
+      send_impl(w, rank_, to, detail::kTagAlltoall,
+                send_data.data() + block * static_cast<std::size_t>(to),
+                block * sizeof(cplx), /*record=*/false);
+      recv_impl(w, rank_, from, detail::kTagAlltoall,
+                recv_data.data() + block * static_cast<std::size_t>(from),
+                block * sizeof(cplx));
+    }
+  } else {
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      send_impl(w, rank_, r, detail::kTagAlltoall,
+                send_data.data() + block * static_cast<std::size_t>(r),
+                block * sizeof(cplx), /*record=*/false);
+    }
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      recv_impl(w, rank_, r, detail::kTagAlltoall,
+                recv_data.data() + block * static_cast<std::size_t>(r),
+                block * sizeof(cplx));
+    }
+  }
+  if (rank_ == 0) {
+    w.traffic.record(
+        {CommEvent::Kind::kAlltoall, p,
+         static_cast<std::int64_t>(block * sizeof(cplx)) * (p - 1), p - 1});
+  }
+}
+
+void Comm::alltoallv(cspan send_data,
+                     std::span<const std::int64_t> send_counts,
+                     std::span<const std::int64_t> send_displs,
+                     mspan recv_data,
+                     std::span<const std::int64_t> recv_counts,
+                     std::span<const std::int64_t> recv_displs) {
+  auto& w = *world_;
+  const int p = w.nranks;
+  SOI_CHECK(send_counts.size() == static_cast<std::size_t>(p) &&
+                send_displs.size() == static_cast<std::size_t>(p) &&
+                recv_counts.size() == static_cast<std::size_t>(p) &&
+                recv_displs.size() == static_cast<std::size_t>(p),
+            "alltoallv: counts/displs must have one entry per rank");
+
+  // Own block.
+  {
+    const auto sc = static_cast<std::size_t>(send_counts[static_cast<std::size_t>(rank_)]);
+    const auto rc = static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(rank_)]);
+    SOI_CHECK(sc == rc, "alltoallv: self send/recv count mismatch");
+    std::copy_n(send_data.begin() +
+                    send_displs[static_cast<std::size_t>(rank_)],
+                sc,
+                recv_data.begin() +
+                    recv_displs[static_cast<std::size_t>(rank_)]);
+  }
+  std::int64_t bytes_out = 0;
+  for (int step = 1; step < p; ++step) {
+    const int to = (rank_ + step) % p;
+    const int from = (rank_ - step + p) % p;
+    const auto sc = static_cast<std::size_t>(send_counts[static_cast<std::size_t>(to)]);
+    const auto rc = static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(from)]);
+    send_impl(w, rank_, to, detail::kTagAlltoallv,
+              send_data.data() + send_displs[static_cast<std::size_t>(to)],
+              sc * sizeof(cplx), /*record=*/false);
+    recv_impl(w, rank_, from, detail::kTagAlltoallv,
+              recv_data.data() + recv_displs[static_cast<std::size_t>(from)],
+              rc * sizeof(cplx));
+    bytes_out += static_cast<std::int64_t>(sc * sizeof(cplx));
+  }
+  if (rank_ == 0) {
+    w.traffic.record({CommEvent::Kind::kAlltoall, p, bytes_out, p - 1});
+  }
+}
+
+std::vector<CommEvent> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& body) {
+  SOI_CHECK(nranks >= 1, "run_ranks: need at least one rank");
+  auto world = std::make_shared<detail::World>(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      try {
+        Comm comm(world, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return world->traffic.events();
+}
+
+}  // namespace soi::net

@@ -1,0 +1,106 @@
+// SimMPI: an MPI-like message-passing layer whose ranks are threads inside
+// one process. This is the build's substitute for MPI on a real cluster
+// (none is available here): the data movement, matching semantics and
+// collective algorithms are executed for real, while communication *time*
+// on cluster fabrics is produced by the cost models in costmodel.hpp.
+//
+// Supported surface (mirrors the MPI subset the paper's implementation
+// needs, Fig. 2/3): blocking tagged send/recv, sendrecv, barrier, bcast,
+// gather/allgather, allreduce, alltoall and alltoallv.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "net/traffic.hpp"
+
+namespace soi::net {
+
+/// Wildcard source for recv_any-style matching.
+inline constexpr int kAnySource = -1;
+
+/// All-to-all algorithm selection (both give identical results; tests
+/// assert so — the choice models different message schedules).
+enum class AlltoallAlgo {
+  kPairwise,  ///< P-1 rounds of sendrecv with partner (rank + step) mod P
+  kDirect,    ///< post all sends, then drain all receives
+};
+
+namespace detail {
+struct World;
+}
+
+/// Per-rank communicator handle. Obtained from run_ranks(); value-semantic
+/// view onto the shared world. All operations are blocking.
+class Comm {
+ public:
+  Comm(std::shared_ptr<detail::World> world, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // -- point to point (byte payloads) --
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  // -- typed convenience (complex doubles, the library's working type) --
+  void send(int dst, int tag, cspan data);
+  void recv(int src, int tag, mspan data);
+
+  /// Simultaneous exchange (deadlock-free even for self/neighbour cycles).
+  void sendrecv(int dst, cspan send_data, int src, mspan recv_data, int tag);
+
+  /// Non-blocking receive attempt: if a matching message is already
+  /// queued, consume it into `data` and return true; otherwise return
+  /// false immediately. Enables communication/computation overlap
+  /// (the optimisation of the paper's reference [11]).
+  bool try_recv(int src, int tag, mspan data);
+
+  // -- collectives --
+  void barrier();
+  void bcast(mspan data, int root);
+  /// Root gathers size-per-rank blocks in rank order.
+  void gather(cspan send_data, mspan recv_data, int root);
+  void allgather(cspan send_data, mspan recv_data);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+  /// Exchange `count` complex values with every rank: block d of `send_data`
+  /// goes to rank d; block s of `recv_data` arrives from rank s.
+  /// This is the single global transpose of the SOI algorithm (and each of
+  /// the three in the baseline).
+  void alltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                AlltoallAlgo algo = AlltoallAlgo::kPairwise);
+
+  /// Variable-size all-to-all: counts/displacements per destination/source,
+  /// in complex elements.
+  void alltoallv(cspan send_data, std::span<const std::int64_t> send_counts,
+                 std::span<const std::int64_t> send_displs, mspan recv_data,
+                 std::span<const std::int64_t> recv_counts,
+                 std::span<const std::int64_t> recv_displs);
+
+  /// Shared traffic recorder for the whole world (same object on all ranks).
+  [[nodiscard]] TrafficLog& traffic();
+
+ private:
+  std::shared_ptr<detail::World> world_;
+  int rank_;
+};
+
+/// Launch `nranks` rank bodies on dedicated threads and wait for all to
+/// finish. Exceptions thrown by rank bodies are captured; the first one (by
+/// rank order) is rethrown here after every thread has joined.
+/// Returns a snapshot of the world's traffic events (cost-model input).
+std::vector<CommEvent> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& body);
+
+}  // namespace soi::net

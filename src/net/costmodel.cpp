@@ -1,0 +1,182 @@
+#include "net/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi::net {
+
+namespace {
+double bits(std::int64_t bytes) { return 8.0 * static_cast<double>(bytes); }
+}  // namespace
+
+double NetworkModel::control_seconds(int nodes) const {
+  // Latency-bound tree exchange.
+  const double rounds = std::ceil(std::log2(std::max(nodes, 2)));
+  return 2.0 * rounds * link_.latency_s;
+}
+
+double NetworkModel::events_seconds(
+    const std::vector<CommEvent>& events) const {
+  double total = 0.0;
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case CommEvent::Kind::kP2P:
+        total += p2p_seconds(ev.bytes);
+        break;
+      case CommEvent::Kind::kAlltoall:
+        total += alltoall_seconds(ev.nodes, ev.bytes);
+        break;
+      case CommEvent::Kind::kBcast:
+      case CommEvent::Kind::kAllgather: {
+        // Tree-structured: log2(n) rounds of the payload on the local link.
+        const double rounds = std::ceil(std::log2(std::max(ev.nodes, 2)));
+        total += rounds * p2p_seconds(ev.bytes);
+        break;
+      }
+      case CommEvent::Kind::kBarrier:
+      case CommEvent::Kind::kAllreduce:
+        total += control_seconds(ev.nodes);
+        break;
+    }
+  }
+  return total;
+}
+
+// --- fat tree ---------------------------------------------------------------
+
+FatTreeModel::FatTreeModel(LinkSpec link, int full_bisection_nodes,
+                           double oversub_exponent,
+                           double alltoall_efficiency)
+    : NetworkModel(link),
+      full_bisection_nodes_(full_bisection_nodes),
+      oversub_exponent_(oversub_exponent),
+      alltoall_efficiency_(alltoall_efficiency) {
+  SOI_CHECK(full_bisection_nodes >= 1, "fat tree: bad full-bisection size");
+  SOI_CHECK(alltoall_efficiency > 0.0 && alltoall_efficiency <= 1.0,
+            "fat tree: efficiency must be in (0, 1]");
+}
+
+std::string FatTreeModel::name() const {
+  return "fat-tree(QDR-IB " + std::to_string(link().local_gbps) + " Gbit/s)";
+}
+
+double FatTreeModel::alltoall_seconds(int nodes,
+                                      std::int64_t bytes_out_per_node) const {
+  SOI_CHECK(nodes >= 1, "alltoall_seconds: bad node count");
+  if (nodes == 1) return 0.0;
+  const double inject = bits(bytes_out_per_node) /
+                        (link().local_gbps * 1e9 * alltoall_efficiency_);
+  double penalty = 1.0;
+  if (nodes > full_bisection_nodes_) {
+    penalty = std::pow(static_cast<double>(nodes) /
+                           static_cast<double>(full_bisection_nodes_),
+                       oversub_exponent_);
+  }
+  return inject * penalty + link().latency_s * (nodes - 1);
+}
+
+double FatTreeModel::p2p_seconds(std::int64_t bytes) const {
+  return link().latency_s + bits(bytes) / (link().local_gbps * 1e9);
+}
+
+// --- 3-D torus ---------------------------------------------------------------
+
+Torus3DModel::Torus3DModel(LinkSpec link, double global_gbps,
+                           int concentration, double alltoall_efficiency)
+    : NetworkModel(link),
+      global_gbps_(global_gbps),
+      concentration_(concentration),
+      alltoall_efficiency_(alltoall_efficiency) {
+  SOI_CHECK(concentration >= 1, "torus: bad concentration");
+  SOI_CHECK(global_gbps > 0, "torus: bad global channel bandwidth");
+  SOI_CHECK(alltoall_efficiency > 0.0 && alltoall_efficiency <= 1.0,
+            "torus: efficiency must be in (0, 1]");
+}
+
+std::string Torus3DModel::name() const {
+  return "3-D torus(conc " + std::to_string(concentration_) + ", global " +
+         std::to_string(global_gbps_) + " Gbit/s)";
+}
+
+int Torus3DModel::radix_for(int nodes) const {
+  int k = 1;
+  while (static_cast<std::int64_t>(concentration_) * k * k * k < nodes) ++k;
+  return k;
+}
+
+double Torus3DModel::alltoall_seconds(int nodes,
+                                      std::int64_t bytes_out_per_node) const {
+  SOI_CHECK(nodes >= 1, "alltoall_seconds: bad node count");
+  if (nodes == 1) return 0.0;
+  // Local-link injection bound.
+  const double t_local = bits(bytes_out_per_node) / (link().local_gbps * 1e9);
+  // Bisection bound (paper, footnote 7, after Dally & Towles): a k-ary
+  // 3-cube of k^3 switches has 4*k^3/k = 4k^2 bisection channels; half the
+  // total payload crosses it. (The footnote's "4n/k" counts switches.)
+  const int k = radix_for(nodes);
+  const double total_bits =
+      bits(bytes_out_per_node) * static_cast<double>(nodes);
+  const double bisection_bw =
+      4.0 * static_cast<double>(k) * static_cast<double>(k) * global_gbps_ *
+      1e9;
+  const double t_bisect = (total_bits / 2.0) / bisection_bw;
+  return std::max(t_local, t_bisect) / alltoall_efficiency_ +
+         link().latency_s * (nodes - 1);
+}
+
+double Torus3DModel::p2p_seconds(std::int64_t bytes) const {
+  return link().latency_s + bits(bytes) / (link().local_gbps * 1e9);
+}
+
+// --- Ethernet -----------------------------------------------------------------
+
+EthernetModel::EthernetModel(LinkSpec link, double alltoall_efficiency)
+    : NetworkModel(link), alltoall_efficiency_(alltoall_efficiency) {
+  SOI_CHECK(alltoall_efficiency > 0.0 && alltoall_efficiency <= 1.0,
+            "ethernet: efficiency must be in (0, 1]");
+}
+
+std::string EthernetModel::name() const {
+  return "ethernet(" + std::to_string(link().local_gbps) + " Gbit/s)";
+}
+
+double EthernetModel::alltoall_seconds(int nodes,
+                                       std::int64_t bytes_out_per_node) const {
+  if (nodes == 1) return 0.0;
+  return bits(bytes_out_per_node) /
+             (link().local_gbps * 1e9 * alltoall_efficiency_) +
+         link().latency_s * (nodes - 1);
+}
+
+double EthernetModel::p2p_seconds(std::int64_t bytes) const {
+  return link().latency_s + bits(bytes) / (link().local_gbps * 1e9);
+}
+
+// --- factory presets ---------------------------------------------------------
+
+std::unique_ptr<NetworkModel> make_endeavor_fat_tree() {
+  // 50% effective all-to-all throughput: what production MPI full
+  // exchanges typically reach on QDR IB fat trees (the Section 7.4 model
+  // assumes theoretical peak; the *measured* Figs. 5/6 speedups are only
+  // reproduced once this real-world derating is applied).
+  return std::make_unique<FatTreeModel>(LinkSpec{40.0, 1.5e-6}, 32, 0.35,
+                                        0.5);
+}
+
+std::unique_ptr<NetworkModel> make_gordon_torus() {
+  // Same 50% full-exchange derating as the fat tree preset; torus routing
+  // under uniform traffic typically fares no better.
+  return std::make_unique<Torus3DModel>(LinkSpec{40.0, 1.5e-6}, 120.0, 16,
+                                        0.5);
+}
+
+std::unique_ptr<NetworkModel> make_endeavor_ethernet() {
+  // 30% effective all-to-all throughput: commodity 10 GbE under the full
+  // exchange's congestion (calibrated so the composed model reproduces the
+  // paper's measured 2.3-2.4x in Fig. 8).
+  return std::make_unique<EthernetModel>(LinkSpec{10.0, 10e-6}, 0.30);
+}
+
+}  // namespace soi::net

@@ -1,0 +1,132 @@
+// Cluster fabric cost models (Table 1 + Section 7.4 of the paper).
+//
+// The paper evaluates on: Endeavor (two-level 14-ary fat tree, QDR IB 4x),
+// Gordon (4-ary 3-D torus, concentration 16, QDR IB), and a 10 GbE variant
+// of Endeavor (Fig. 8). None of those fabrics exist in this build
+// environment, so these models translate recorded traffic into fabric time,
+// exactly the way the paper's own Section 7.4 model does:
+//   * all-to-all time = max(local-link bound, bisection-bandwidth bound)
+//   * torus bisection = 4n/k channels (n = 16 k^3 nodes, concentration 16)
+//   * QDR IB 4x local link = 40 Gbit/s; torus global channel = 3 links
+//     = 120 Gbit/s; 10 GbE = 10 Gbit/s.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/traffic.hpp"
+
+namespace soi::net {
+
+/// Link characteristics shared by the models.
+struct LinkSpec {
+  double local_gbps = 40.0;    ///< node-to-switch bandwidth, Gbit/s
+  double latency_s = 1.5e-6;   ///< per-message injection latency, seconds
+};
+
+/// Turns communication events into modeled seconds on a specific fabric.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Modeled time of one all-to-all among `nodes` nodes where each node
+  /// sends `bytes_out_per_node` in total (its outgoing payload).
+  [[nodiscard]] virtual double alltoall_seconds(
+      int nodes, std::int64_t bytes_out_per_node) const = 0;
+
+  /// Modeled time of one point-to-point message.
+  [[nodiscard]] virtual double p2p_seconds(std::int64_t bytes) const = 0;
+
+  /// Modeled time of a small-control collective (barrier/allreduce).
+  [[nodiscard]] virtual double control_seconds(int nodes) const;
+
+  /// Sum the model over a full traffic log.
+  [[nodiscard]] double events_seconds(
+      const std::vector<CommEvent>& events) const;
+
+ protected:
+  explicit NetworkModel(LinkSpec link) : link_(link) {}
+  [[nodiscard]] const LinkSpec& link() const { return link_; }
+
+ private:
+  LinkSpec link_;
+};
+
+/// Two-level fat tree (Endeavor). Full bisection up to `full_bisection_nodes`
+/// (the paper: "aggregated peak bandwidth ... scales linearly up to 32
+/// nodes"); beyond that an oversubscription penalty (n/32)^exponent models
+/// the gradually tightening upper tiers.
+class FatTreeModel final : public NetworkModel {
+ public:
+  /// `alltoall_efficiency`: achievable fraction of line rate for a full
+  /// exchange (real MPI all-to-alls over IB typically reach ~half of the
+  /// theoretical peak; 1.0 keeps the Section 7.4 theoretical assumption).
+  explicit FatTreeModel(LinkSpec link = {40.0, 1.5e-6},
+                        int full_bisection_nodes = 32,
+                        double oversub_exponent = 0.35,
+                        double alltoall_efficiency = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alltoall_seconds(
+      int nodes, std::int64_t bytes_out_per_node) const override;
+  [[nodiscard]] double p2p_seconds(std::int64_t bytes) const override;
+
+ private:
+  int full_bisection_nodes_;
+  double oversub_exponent_;
+  double alltoall_efficiency_;
+};
+
+/// k-ary 3-D torus with a concentration factor (Gordon: 4-ary, 16 nodes per
+/// switch). Implements the paper's Section 7.4 model verbatim: local links
+/// of link.local_gbps, switch-to-switch channels of global_gbps, bisection
+/// of 4n/k channels carrying half the total payload.
+class Torus3DModel final : public NetworkModel {
+ public:
+  explicit Torus3DModel(LinkSpec link = {40.0, 1.5e-6},
+                        double global_gbps = 120.0, int concentration = 16,
+                        double alltoall_efficiency = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alltoall_seconds(
+      int nodes, std::int64_t bytes_out_per_node) const override;
+  [[nodiscard]] double p2p_seconds(std::int64_t bytes) const override;
+
+  /// Torus radix for a node count: smallest k with concentration*k^3 >= n.
+  [[nodiscard]] int radix_for(int nodes) const;
+
+ private:
+  double global_gbps_;
+  int concentration_;
+  double alltoall_efficiency_;
+};
+
+/// Flat switched Ethernet (Fig. 8's 10 GbE): bandwidth-bound on the node
+/// uplink, no bisection limit modeled (single switch domain).
+class EthernetModel final : public NetworkModel {
+ public:
+  /// `alltoall_efficiency` models the achievable fraction of line rate for
+  /// a congested full exchange over commodity Ethernet/TCP (Fig. 8 ran in
+  /// this regime; IB models keep the paper's theoretical-peak assumption).
+  explicit EthernetModel(LinkSpec link = {10.0, 10e-6},
+                         double alltoall_efficiency = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alltoall_seconds(
+      int nodes, std::int64_t bytes_out_per_node) const override;
+  [[nodiscard]] double p2p_seconds(std::int64_t bytes) const override;
+
+ private:
+  double alltoall_efficiency_;
+};
+
+/// The three paper configurations, ready made.
+std::unique_ptr<NetworkModel> make_endeavor_fat_tree();
+std::unique_ptr<NetworkModel> make_gordon_torus();
+std::unique_ptr<NetworkModel> make_endeavor_ethernet();
+
+}  // namespace soi::net

@@ -1,0 +1,72 @@
+#include "net/traffic.hpp"
+
+namespace soi::net {
+
+TrafficTotals summarize_events(const std::vector<CommEvent>& events) {
+  TrafficTotals t;
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case CommEvent::Kind::kP2P:
+        ++t.p2p_messages;
+        t.p2p_bytes += ev.bytes;
+        break;
+      case CommEvent::Kind::kAlltoall:
+        ++t.alltoall_calls;
+        t.alltoall_bytes_per_rank += ev.bytes;
+        break;
+      default:
+        ++t.collective_calls;
+        break;
+    }
+  }
+  return t;
+}
+
+void TrafficLog::record(const CommEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+void TrafficLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  marks_.clear();
+}
+
+std::vector<CommEvent> TrafficLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+TrafficTotals TrafficLog::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TrafficTotals t;
+  for (const auto& ev : events_) {
+    switch (ev.kind) {
+      case CommEvent::Kind::kP2P:
+        ++t.p2p_messages;
+        t.p2p_bytes += ev.bytes;
+        break;
+      case CommEvent::Kind::kAlltoall:
+        ++t.alltoall_calls;
+        t.alltoall_bytes_per_rank += ev.bytes;
+        break;
+      default:
+        ++t.collective_calls;
+        break;
+    }
+  }
+  return t;
+}
+
+void TrafficLog::mark(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  marks_.emplace_back(events_.size(), label);
+}
+
+std::vector<std::pair<std::size_t, std::string>> TrafficLog::marks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return marks_;
+}
+
+}  // namespace soi::net

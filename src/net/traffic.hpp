@@ -1,0 +1,65 @@
+// Traffic recording: every SimMPI operation logs what a real fabric would
+// have to move. The cost models turn this log into modeled cluster time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace soi::net {
+
+/// One recorded communication event (already aggregated per collective:
+/// a P-rank all-to-all is one event, not P^2).
+struct CommEvent {
+  enum class Kind : std::uint8_t {
+    kP2P,        ///< one point-to-point message
+    kAlltoall,   ///< full exchange; bytes = payload each rank sends in total
+    kBarrier,
+    kBcast,
+    kAllgather,
+    kAllreduce,
+  };
+  Kind kind = Kind::kP2P;
+  int nodes = 0;            ///< participating ranks
+  std::int64_t bytes = 0;   ///< per-rank outgoing payload bytes (kP2P: msg size)
+  std::int64_t messages = 0;///< messages injected per rank
+};
+
+/// Aggregate counters (cheap to read at any time).
+struct TrafficTotals {
+  std::int64_t p2p_messages = 0;
+  std::int64_t p2p_bytes = 0;
+  std::int64_t alltoall_calls = 0;
+  std::int64_t alltoall_bytes_per_rank = 0;  ///< summed over calls
+  std::int64_t collective_calls = 0;
+};
+
+/// Aggregate a snapshot of events (as returned by run_ranks).
+TrafficTotals summarize_events(const std::vector<CommEvent>& events);
+
+/// Thread-safe event log shared by all ranks of a world.
+class TrafficLog {
+ public:
+  void record(const CommEvent& ev);
+  void clear();
+
+  /// Snapshot of the event list.
+  [[nodiscard]] std::vector<CommEvent> events() const;
+
+  /// Aggregate totals.
+  [[nodiscard]] TrafficTotals totals() const;
+
+  /// Marks a named phase boundary; phases() lets benches attribute events
+  /// (e.g. "halo" vs "global transpose").
+  void mark(const std::string& label);
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::string>> marks() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommEvent> events_;
+  std::vector<std::pair<std::size_t, std::string>> marks_;
+};
+
+}  // namespace soi::net

@@ -1,0 +1,180 @@
+#include "nufft/nufft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "window/design.hpp"
+
+namespace soi::nufft {
+
+namespace {
+
+// NUFFT band geometry at 2x oversampling: the M modes map to
+// |xi| <= M/(2*Mr) = 1/4 of the window's normalised axis; periodisation
+// images appear from |xi| >= 1 - 1/4 = 3/4, spaced 1 apart.
+constexpr double kBandHalf = 0.25;
+constexpr double kAliasStart = 0.75;
+constexpr double kImagePeriod = 1.0;
+
+/// Smallest-width (tau, sigma) window meeting `tol` in the NUFFT geometry.
+std::shared_ptr<const win::Window> design_gridding_window(double tol,
+                                                          std::int64_t* taps) {
+  SOI_CHECK(tol > 0.0 && tol < 0.1, "NufftPlan: tol out of range (0, 0.1)");
+  std::shared_ptr<const win::GaussSmoothedRect> best;
+  std::int64_t best_taps = 1 << 30;
+  for (double tau = 0.35; tau <= 0.90 + 1e-9; tau += 0.05) {
+    // For fixed tau, aliasing falls monotonically with sigma; binary-search
+    // the smallest feasible sigma (fewest taps).
+    double lo = 0.5, hi = 0.5;
+    bool feasible = false;
+    for (int it = 0; it < 40; ++it) {
+      win::GaussSmoothedRect w(tau, hi);
+      if (win::evaluate_window_bands(w, kBandHalf, kAliasStart, kImagePeriod)
+              .eps_alias <= tol) {
+        feasible = true;
+        break;
+      }
+      lo = hi;
+      hi *= 2.0;
+    }
+    if (!feasible) continue;
+    for (int it = 0; it < 30 && hi / lo > 1.01; ++it) {
+      const double mid = std::sqrt(lo * hi);
+      win::GaussSmoothedRect w(tau, mid);
+      if (win::evaluate_window_bands(w, kBandHalf, kAliasStart, kImagePeriod)
+              .eps_alias <= tol) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    auto w = std::make_shared<win::GaussSmoothedRect>(tau, hi);
+    const auto m =
+        win::evaluate_window_bands(*w, kBandHalf, kAliasStart, kImagePeriod);
+    if (m.kappa > 1e4) continue;  // keep the deconvolution well conditioned
+    const std::int64_t t = win::choose_taps(*w, tol);
+    if (t < best_taps) {
+      best_taps = t;
+      best = std::move(w);
+    }
+  }
+  SOI_CHECK(best != nullptr, "NufftPlan: no feasible window for tol=" << tol);
+  *taps = best_taps;
+  return best;
+}
+
+}  // namespace
+
+NufftPlan::NufftPlan(std::int64_t modes, double tol)
+    : m_(modes), mr_(2 * modes), tol_(tol), plan_(2 * modes) {
+  SOI_CHECK(modes >= 8 && modes % 2 == 0,
+            "NufftPlan: modes must be even and >= 8, got " << modes);
+  window_ = design_gridding_window(tol, &width_);
+  SOI_CHECK(width_ < mr_, "NufftPlan: spreading width exceeds the grid");
+  // Deconvolution table 1 / Hhat(k / Mr) for k = -M/2 .. M/2-1.
+  deconv_.resize(static_cast<std::size_t>(m_));
+  for (std::int64_t k = -m_ / 2; k < m_ / 2; ++k) {
+    const double h = window_->hhat(static_cast<double>(k) /
+                                   static_cast<double>(mr_));
+    SOI_CHECK(std::abs(h) > 1e-300, "NufftPlan: window vanishes in band");
+    deconv_[static_cast<std::size_t>(k + m_ / 2)] = 1.0 / h;
+  }
+}
+
+double NufftPlan::kernel(double grid_units) const {
+  return window_->h(grid_units);
+}
+
+void NufftPlan::type1(std::span<const double> points, cspan coeffs,
+                      mspan out) const {
+  SOI_CHECK(points.size() == coeffs.size(),
+            "type1: one coefficient per point required");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(m_),
+            "type1: output needs `modes` entries");
+  // Spread onto the oversampled grid.
+  cvec grid(static_cast<std::size_t>(mr_), cplx{0.0, 0.0});
+  const double w2 = 0.5 * static_cast<double>(width_);
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    double tj = points[j] - std::floor(points[j]);  // wrap into [0,1)
+    const double x = tj * static_cast<double>(mr_);
+    const auto i0 = static_cast<std::int64_t>(std::ceil(x - w2));
+    for (std::int64_t l = 0; l < width_; ++l) {
+      const std::int64_t i = i0 + l;
+      grid[static_cast<std::size_t>(pmod(i, mr_))] +=
+          coeffs[j] * kernel(x - static_cast<double>(i));
+    }
+  }
+  // One FFT of the oversampled grid, then deconvolve the kept band.
+  cvec ghat(grid.size());
+  plan_.forward(grid, ghat);
+  for (std::int64_t k = -m_ / 2; k < m_ / 2; ++k) {
+    out[static_cast<std::size_t>(k + m_ / 2)] =
+        ghat[static_cast<std::size_t>(pmod(k, mr_))] *
+        deconv_[static_cast<std::size_t>(k + m_ / 2)];
+  }
+}
+
+void NufftPlan::type2(std::span<const double> points, cspan f,
+                      mspan out) const {
+  SOI_CHECK(f.size() == static_cast<std::size_t>(m_),
+            "type2: f needs `modes` entries");
+  SOI_CHECK(out.size() >= points.size(), "type2: output too small");
+  // Deconvolve and pad into the oversampled spectrum.
+  cvec d(static_cast<std::size_t>(mr_), cplx{0.0, 0.0});
+  for (std::int64_t k = -m_ / 2; k < m_ / 2; ++k) {
+    d[static_cast<std::size_t>(pmod(k, mr_))] =
+        f[static_cast<std::size_t>(k + m_ / 2)] *
+        deconv_[static_cast<std::size_t>(k + m_ / 2)];
+  }
+  // G(i/Mr) = sum_k d_k exp(+2 pi i k i / Mr): inverse FFT sans the 1/Mr.
+  cvec g(d.size());
+  plan_.inverse(d, g);
+  for (auto& v : g) v *= static_cast<double>(mr_);
+  // Interpolate at each target point.
+  const double w2 = 0.5 * static_cast<double>(width_);
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    double tj = points[j] - std::floor(points[j]);
+    const double x = tj * static_cast<double>(mr_);
+    const auto i0 = static_cast<std::int64_t>(std::ceil(x - w2));
+    cplx acc{0.0, 0.0};
+    for (std::int64_t l = 0; l < width_; ++l) {
+      const std::int64_t i = i0 + l;
+      acc += g[static_cast<std::size_t>(pmod(i, mr_))] *
+             kernel(x - static_cast<double>(i));
+    }
+    out[j] = acc;
+  }
+}
+
+void NufftPlan::type1_direct(std::span<const double> points, cspan coeffs,
+                             std::int64_t modes, mspan out) {
+  SOI_CHECK(points.size() == coeffs.size(), "type1_direct: size mismatch");
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(modes),
+            "type1_direct: output too small");
+  for (std::int64_t k = -modes / 2; k < modes / 2; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      const double ang = -kTwoPi * static_cast<double>(k) * points[j];
+      acc += coeffs[j] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k + modes / 2)] = acc;
+  }
+}
+
+void NufftPlan::type2_direct(std::span<const double> points, cspan f,
+                             mspan out) {
+  const auto modes = static_cast<std::int64_t>(f.size());
+  SOI_CHECK(out.size() >= points.size(), "type2_direct: output too small");
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    cplx acc{0.0, 0.0};
+    for (std::int64_t k = -modes / 2; k < modes / 2; ++k) {
+      const double ang = kTwoPi * static_cast<double>(k) * points[j];
+      acc += f[static_cast<std::size_t>(k + modes / 2)] *
+             cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[j] = acc;
+  }
+}
+
+}  // namespace soi::nufft

@@ -1,0 +1,69 @@
+// Nonuniform FFT, derived from the same hybrid convolution machinery as the
+// SOI transform (paper, Section 8: "Using that general convolution theorem,
+// a large body of the work generally known as nonuniform FFTs can be
+// rederived").
+//
+// Conventions (modes are centred, points live on the unit circle [0, 1)):
+//   type 1 (nonuniform -> uniform, "adjoint"):
+//       f[k] = sum_j c[j] exp(-i 2 pi k t_j),   k = -M/2 .. M/2-1
+//   type 2 (uniform -> nonuniform, "evaluation"):
+//       c[j] = sum_k f[k] exp(+i 2 pi k t_j)
+//
+// Algorithm: spread/interpolate through a truncated (tau, sigma)
+// Gauss-smoothed-rect window on a 2x oversampled grid, one FFT of length
+// 2M, and a diagonal deconvolution by Hhat — the exact analogue of the SOI
+// pipeline's convolution + F_M' + demodulation, with the band geometry
+// (band 1/4 of the oversampled grid, aliases from 3/4) instead of SOI's
+// (1/2, 1/2 + beta).
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "window/window.hpp"
+
+namespace soi::nufft {
+
+/// Reusable plan for M modes at a given accuracy.
+class NufftPlan {
+ public:
+  /// `modes` must be even. `tol` is the target relative accuracy
+  /// (e.g. 1e-12); the plan designs the window and spreading width for it.
+  NufftPlan(std::int64_t modes, double tol);
+
+  [[nodiscard]] std::int64_t modes() const { return m_; }
+  /// Spreading width in (oversampled) grid points.
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] double tol() const { return tol_; }
+
+  /// Type 1: points[j] in [0,1), coeffs[j] arbitrary; out has `modes`
+  /// entries ordered k = -M/2 .. M/2-1.
+  void type1(std::span<const double> points, cspan coeffs, mspan out) const;
+
+  /// Type 2: f has `modes` entries (k = -M/2 .. M/2-1); out[j] receives the
+  /// trigonometric sum at points[j].
+  void type2(std::span<const double> points, cspan f, mspan out) const;
+
+  /// O(M * n) direct evaluation of the type-1 sum (testing/verification).
+  static void type1_direct(std::span<const double> points, cspan coeffs,
+                           std::int64_t modes, mspan out);
+
+  /// O(M * n) direct evaluation of the type-2 sum.
+  static void type2_direct(std::span<const double> points, cspan f,
+                           mspan out);
+
+ private:
+  /// Spreading kernel value psi(t - i/Mr) = H(Mr*t - i).
+  [[nodiscard]] double kernel(double grid_units) const;
+
+  std::int64_t m_;        // modes M
+  std::int64_t mr_;       // oversampled grid, 2M
+  std::int64_t width_;    // spreading width (grid points)
+  double tol_;
+  std::shared_ptr<const win::Window> window_;
+  fft::FftPlan plan_;     // size Mr
+  dvec deconv_;           // 1 / Hhat(k / Mr), k = -M/2 .. M/2-1
+};
+
+}  // namespace soi::nufft

@@ -1,0 +1,51 @@
+#include "perfmodel/model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi::perf {
+
+double t_fft(const ComputeCalib& c, double nodes) {
+  SOI_CHECK(nodes >= 1.0, "t_fft: bad node count");
+  SOI_CHECK(c.points_per_node > 0 && c.fft_sec_per_point_log > 0,
+            "t_fft: calibration not set");
+  return c.fft_sec_per_point_log * c.points_per_node *
+         (std::log2(c.points_per_node) + std::log2(nodes));
+}
+
+double t_mpi(const net::NetworkModel& net, int nodes, double bytes_per_node) {
+  return net.alltoall_seconds(nodes,
+                              static_cast<std::int64_t>(bytes_per_node));
+}
+
+double t_soi(const ComputeCalib& c, const net::NetworkModel& net, int nodes) {
+  const double oversample = 1.0 + c.beta;
+  const double bytes_per_node = 16.0 * c.points_per_node;  // complex double
+  // T_fft((1+beta) n): the same per-node point count, but the SOI pipeline
+  // transforms N' = (1+beta) N points in total.
+  return t_fft(c, oversample * nodes) * oversample +
+         c.conv_scale_c * c.conv_seconds +
+         oversample * t_mpi(net, nodes, bytes_per_node);
+}
+
+double t_baseline(const ComputeCalib& c, const net::NetworkModel& net,
+                  int nodes) {
+  const double bytes_per_node = 16.0 * c.points_per_node;
+  return t_fft(c, nodes) + 3.0 * t_mpi(net, nodes, bytes_per_node);
+}
+
+double speedup(const ComputeCalib& c, const net::NetworkModel& net,
+               int nodes) {
+  return t_baseline(c, net, nodes) / t_soi(c, net, nodes);
+}
+
+double gflops(double points_per_node, int nodes, double seconds) {
+  SOI_CHECK(seconds > 0.0, "gflops: non-positive time");
+  const double n = points_per_node * nodes;
+  return 5.0 * n * std::log2(n) / seconds / 1e9;
+}
+
+double comm_bound_speedup(double beta) { return 3.0 / (1.0 + beta); }
+
+}  // namespace soi::perf

@@ -1,0 +1,58 @@
+// The paper's Section 7.4 execution-time model, used twice:
+//  * to generate Fig. 9 (speedup projection on a hypothetical 3-D torus),
+//  * to compose "cluster time" for Figs. 5/6/8 from per-rank compute that
+//    *is* measured here and communication that is modeled (the substitute
+//    for fabrics this build cannot access).
+//
+//   T_soi(n)  ~= T_fft((1+beta) n) + c * T_conv + (1+beta) * T_mpi(n)
+//   T_base(n) ~= T_fft(n) + 3 * T_mpi(n)
+//
+// with weak scaling at S points per node: T_fft(n) = alpha (log2 S + log2 n),
+// T_conv constant in n, and T_mpi(n) the fabric's all-to-all time for the
+// 16 S bytes per node of one global transpose.
+#pragma once
+
+#include <cstdint>
+
+#include "net/costmodel.hpp"
+
+namespace soi::perf {
+
+/// Calibration of the compute side of the model.
+struct ComputeCalib {
+  double points_per_node = 0.0;  ///< S (the paper uses 2^28)
+  /// Seconds per point per log2-factor of the node-local FFT work:
+  /// T_fft = fft_sec_per_point_log * S * (log2(S) + log2(n)).
+  double fft_sec_per_point_log = 0.0;
+  /// Seconds of the SOI convolution for S points (constant under weak
+  /// scaling; Section 7.4).
+  double conv_seconds = 0.0;
+  double beta = 0.25;            ///< oversampling
+  double conv_scale_c = 1.0;     ///< the paper's c in [0.75, 1.25]
+};
+
+/// Node-local FFT time at n nodes (weak scaling).
+double t_fft(const ComputeCalib& c, double nodes);
+
+/// One all-to-all global transpose of the per-node payload on the fabric.
+double t_mpi(const net::NetworkModel& net, int nodes, double bytes_per_node);
+
+/// Modeled SOI execution time at n nodes.
+double t_soi(const ComputeCalib& c, const net::NetworkModel& net, int nodes);
+
+/// Modeled triple-all-to-all baseline execution time at n nodes.
+double t_baseline(const ComputeCalib& c, const net::NetworkModel& net,
+                  int nodes);
+
+/// speedup(n) = T_baseline / T_soi (the paper's headline metric).
+double speedup(const ComputeCalib& c, const net::NetworkModel& net,
+               int nodes);
+
+/// GFLOPS the paper reports: 5 N log2 N / seconds with N = S * nodes.
+double gflops(double points_per_node, int nodes, double seconds);
+
+/// Communication-dominated limit of the speedup: 3 / (1 + beta)
+/// (Fig. 8's theoretical 2.4x at beta = 1/4).
+double comm_bound_speedup(double beta);
+
+}  // namespace soi::perf

@@ -1,0 +1,68 @@
+#include "soi/conv_table.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace soi::core {
+
+template <class Real>
+ConvTableT<Real>::ConvTableT(const SoiGeometry& g, const win::Window& window) {
+  const std::int64_t mu = g.mu();
+  const std::int64_t nu = g.nu();
+  const std::int64_t b = g.taps();
+  const std::int64_t p = g.p();
+  const std::int64_t m = g.m();
+  row_width_ = b * p;
+
+  // E[r][i]; see header for the derivation from w-hat via the inverse
+  // Fourier transform of the translated/dilated/phase-shifted window.
+  coeff_.resize(static_cast<std::size_t>(mu * row_width_));
+  const double scale = static_cast<double>(nu) / static_cast<double>(mu);
+  const double half_b_phase = kPi * 0.5 * static_cast<double>(b);
+  const cplx phase_b{std::cos(half_b_phase), std::sin(half_b_phase)};
+  for (std::int64_t r = 0; r < mu; ++r) {
+    const double rshift =
+        static_cast<double>(r) * static_cast<double>(nu) /
+        static_cast<double>(mu);
+    for (std::int64_t i = 0; i < row_width_; ++i) {
+      const double t =
+          rshift - static_cast<double>(i) / static_cast<double>(p);
+      const double hval = window.h(t + 0.5 * static_cast<double>(b));
+      const double ang = kPi * t;
+      const cplx ph{std::cos(ang), std::sin(ang)};
+      coeff_[static_cast<std::size_t>(r * row_width_ + i)] =
+          static_cast<cplx_t<Real>>(scale * phase_b * ph * hval);
+    }
+  }
+
+  // Split layout for the vectorised kernel.
+  split_re_.resize(coeff_.size());
+  split_im_.resize(coeff_.size());
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    split_re_[i] = coeff_[i].real();
+    split_im_[i] = coeff_[i].imag();
+  }
+
+  // Demodulation: 1 / w-hat(k) on the segment band.
+  demod_.resize(static_cast<std::size_t>(m));
+  for (std::int64_t k = 0; k < m; ++k) {
+    const double u =
+        (static_cast<double>(k) - 0.5 * static_cast<double>(m)) /
+        static_cast<double>(m);
+    const double mag = window.hhat(u);
+    SOI_CHECK(std::abs(mag) > 1e-300,
+              "ConvTable: window vanishes inside the band at k=" << k);
+    const double ang = kPi * static_cast<double>(b) *
+                       static_cast<double>(k) / static_cast<double>(m);
+    const cplx what = cplx{std::cos(ang), std::sin(ang)} * mag;
+    const cplx inv = 1.0 / what;
+    demod_[static_cast<std::size_t>(k)] = static_cast<cplx_t<Real>>(inv);
+    max_demod_ = std::max(max_demod_, std::abs(inv));
+  }
+}
+
+template class ConvTableT<double>;
+template class ConvTableT<float>;
+
+}  // namespace soi::core

@@ -1,0 +1,72 @@
+// The convolution element table and demodulation factors (Sections 4-5).
+//
+// The node-local convolution matrix (Fig. 4) has only mu * P * B distinct
+// elements: row j = mu*q + r of W reads inputs x[(q*nu*P + i) mod N] with
+// coefficient E[r][i] that is independent of q. With the problem-specific
+// window  w-hat(u) = exp(i pi B P u / N) * Hhat((u - M/2) / M)  these are
+//
+//   E[r][i] = (nu/mu) * exp(i pi B/2) * exp(i pi (r nu/mu - i/P))
+//             * H(r nu/mu - i/P + B/2) ,   r in [0, mu), i in [0, B*P)
+//
+// and the demodulation divisors are w-hat(k) = exp(i pi B k / M)
+// * Hhat((k - M/2)/M) for k in [0, M).
+#pragma once
+
+#include "common/types.hpp"
+#include "soi/params.hpp"
+#include "window/window.hpp"
+
+namespace soi::core {
+
+/// Precomputed convolution coefficients and demodulation factors for one
+/// geometry + reference window. Immutable and shareable across executions.
+/// Templated on the working precision (tables are always computed in
+/// double, then stored at Real).
+template <class Real>
+class ConvTableT {
+ public:
+  ConvTableT(const SoiGeometry& g, const win::Window& window);
+
+  /// Coefficient row r (r in [0, mu)): B*P complex taps.
+  [[nodiscard]] cspan_t<Real> row(std::int64_t r) const {
+    const auto width = static_cast<std::size_t>(row_width_);
+    return cspan_t<Real>{coeff_.data() + static_cast<std::size_t>(r) * width,
+                         width};
+  }
+
+  /// Taps per row: B * P.
+  [[nodiscard]] std::int64_t row_width() const { return row_width_; }
+
+  /// Split (structure-of-arrays) coefficient layout for the vectorised
+  /// kernel: real and imaginary parts of row r as separate contiguous
+  /// arrays of B*P scalars.
+  [[nodiscard]] const Real* row_re(std::int64_t r) const {
+    return split_re_.data() + static_cast<std::size_t>(r * row_width_);
+  }
+  [[nodiscard]] const Real* row_im(std::int64_t r) const {
+    return split_im_.data() + static_cast<std::size_t>(r * row_width_);
+  }
+
+  /// Demodulation multipliers 1 / w-hat(k), k in [0, M).
+  [[nodiscard]] cspan_t<Real> demod() const { return demod_; }
+
+  /// Largest |1/w-hat(k)| (the realised condition-number amplification).
+  [[nodiscard]] double max_demod_magnitude() const { return max_demod_; }
+
+ private:
+  using rvec = std::vector<Real, AlignedAllocator<Real, 64>>;
+  std::int64_t row_width_;
+  cvec_t<Real> coeff_;   // mu rows of B*P taps (interleaved)
+  rvec split_re_;        // same coefficients, split layout
+  rvec split_im_;
+  cvec_t<Real> demod_;   // M entries
+  double max_demod_ = 0.0;
+};
+
+extern template class ConvTableT<double>;
+extern template class ConvTableT<float>;
+
+using ConvTable = ConvTableT<double>;
+using ConvTableF = ConvTableT<float>;
+
+}  // namespace soi::core

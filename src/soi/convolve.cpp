@@ -1,0 +1,297 @@
+#include "soi/convolve.hpp"
+
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace soi::core {
+
+namespace {
+template <class Real>
+void check_buffers(const SoiGeometry& g, cspan_t<Real> local_in,
+                   mspan_t<Real> out) {
+  SOI_CHECK(local_in.size() >= static_cast<std::size_t>(g.local_input()),
+            "convolve: input needs M + halo = " << g.local_input()
+                                                << " elements, got "
+                                                << local_in.size());
+  SOI_CHECK(out.size() >= static_cast<std::size_t>(g.chunks_per_rank() * g.p()),
+            "convolve: output needs M'/P * P elements");
+}
+}  // namespace
+
+template <class Real>
+void convolve_rank_reference(const SoiGeometry& g,
+                             const ConvTableT<Real>& table,
+                             std::type_identity_t<cspan_t<Real>> local_in,
+                             std::type_identity_t<mspan_t<Real>> out) {
+  check_buffers<Real>(g, local_in, out);
+  using C = cplx_t<Real>;
+  const std::int64_t p = g.p();
+  const std::int64_t b = g.taps();
+  const std::int64_t mu = g.mu();
+  const std::int64_t nu = g.nu();
+  const C* in = local_in.data();
+
+  // loop_a over groups (chunks of mu rows sharing one input range)
+  for (std::int64_t q = 0; q < g.groups_per_rank(); ++q) {
+    const C* base = in + q * nu * p;
+    // loop_b over the mu rows of the group
+    for (std::int64_t r = 0; r < mu; ++r) {
+      const C* e = table.row(r).data();
+      C* dst = out.data() + (q * mu + r) * p;
+      for (std::int64_t pp = 0; pp < p; ++pp) {
+        C acc{0, 0};
+        // loop_c over B blocks; loop_d is the pp loop hoisted outside here
+        for (std::int64_t blk = 0; blk < b; ++blk) {
+          acc += e[blk * p + pp] * base[blk * p + pp];
+        }
+        dst[pp] = acc;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Register-blocked group kernel, tiled over the chunk dimension: a tile of
+// kTile accumulator lanes (re/im of a jammed row pair) lives entirely in
+// SIMD registers across the B-block reduction — the paper's Section 6
+// "keep partial sums of inner products in registers while exploiting SIMD
+// parallelism". Works for any P divisible by kTile.
+template <int kTile, class Real>
+void conv_group_tiled(const Real* __restrict base_re,
+                      const Real* __restrict base_im,
+                      const ConvTableT<Real>& table, std::int64_t mu,
+                      std::int64_t b, std::int64_t p, cplx_t<Real>* gout) {
+  std::int64_t r = 0;
+  for (; r + 1 < mu; r += 2) {
+    const Real* __restrict t0r_row = table.row_re(r);
+    const Real* __restrict t0i_row = table.row_im(r);
+    const Real* __restrict t1r_row = table.row_re(r + 1);
+    const Real* __restrict t1i_row = table.row_im(r + 1);
+    auto* d0 = reinterpret_cast<Real*>(gout + r * p);
+    auto* d1 = reinterpret_cast<Real*>(gout + (r + 1) * p);
+    for (std::int64_t off = 0; off < p; off += kTile) {
+      Real a0r[kTile] = {}, a0i[kTile] = {}, a1r[kTile] = {}, a1i[kTile] = {};
+      for (std::int64_t blk = 0; blk < b; ++blk) {
+        const Real* __restrict sr = base_re + blk * p + off;
+        const Real* __restrict si = base_im + blk * p + off;
+        const Real* __restrict t0r = t0r_row + blk * p + off;
+        const Real* __restrict t0i = t0i_row + blk * p + off;
+        const Real* __restrict t1r = t1r_row + blk * p + off;
+        const Real* __restrict t1i = t1i_row + blk * p + off;
+        for (int pp = 0; pp < kTile; ++pp) {
+          a0r[pp] += t0r[pp] * sr[pp] - t0i[pp] * si[pp];
+          a0i[pp] += t0r[pp] * si[pp] + t0i[pp] * sr[pp];
+          a1r[pp] += t1r[pp] * sr[pp] - t1i[pp] * si[pp];
+          a1i[pp] += t1r[pp] * si[pp] + t1i[pp] * sr[pp];
+        }
+      }
+      for (int pp = 0; pp < kTile; ++pp) {
+        d0[2 * (off + pp)] = a0r[pp];
+        d0[2 * (off + pp) + 1] = a0i[pp];
+        d1[2 * (off + pp)] = a1r[pp];
+        d1[2 * (off + pp) + 1] = a1i[pp];
+      }
+    }
+  }
+  for (; r < mu; ++r) {
+    const Real* __restrict t0r_row = table.row_re(r);
+    const Real* __restrict t0i_row = table.row_im(r);
+    auto* d0 = reinterpret_cast<Real*>(gout + r * p);
+    for (std::int64_t off = 0; off < p; off += kTile) {
+      Real a0r[kTile] = {}, a0i[kTile] = {};
+      for (std::int64_t blk = 0; blk < b; ++blk) {
+        const Real* __restrict sr = base_re + blk * p + off;
+        const Real* __restrict si = base_im + blk * p + off;
+        const Real* __restrict t0r = t0r_row + blk * p + off;
+        const Real* __restrict t0i = t0i_row + blk * p + off;
+        for (int pp = 0; pp < kTile; ++pp) {
+          a0r[pp] += t0r[pp] * sr[pp] - t0i[pp] * si[pp];
+          a0i[pp] += t0r[pp] * si[pp] + t0i[pp] * sr[pp];
+        }
+      }
+      for (int pp = 0; pp < kTile; ++pp) {
+        d0[2 * (off + pp)] = a0r[pp];
+        d0[2 * (off + pp) + 1] = a0i[pp];
+      }
+    }
+  }
+}
+
+// Generic-P group kernel (interleaved complex arithmetic on raw scalars).
+template <class Real>
+void conv_group_dynamic(const cplx_t<Real>* base, const ConvTableT<Real>& table,
+                        std::int64_t mu, std::int64_t b, std::int64_t p,
+                        cplx_t<Real>* gout) {
+  const auto* src_d = reinterpret_cast<const Real*>(base);
+  std::int64_t r = 0;
+  for (; r + 1 < mu; r += 2) {
+    const auto* e0 = reinterpret_cast<const Real*>(table.row(r).data());
+    const auto* e1 = reinterpret_cast<const Real*>(table.row(r + 1).data());
+    auto* d0 = reinterpret_cast<Real*>(gout + r * p);
+    auto* d1 = reinterpret_cast<Real*>(gout + (r + 1) * p);
+    for (std::int64_t i = 0; i < 2 * p; ++i) {
+      d0[i] = Real(0);
+      d1[i] = Real(0);
+    }
+    for (std::int64_t blk = 0; blk < b; ++blk) {
+      const Real* __restrict s = src_d + 2 * blk * p;
+      const Real* __restrict t0 = e0 + 2 * blk * p;
+      const Real* __restrict t1 = e1 + 2 * blk * p;
+      for (std::int64_t pp = 0; pp < p; ++pp) {
+        const Real vr = s[2 * pp];
+        const Real vi = s[2 * pp + 1];
+        d0[2 * pp] += t0[2 * pp] * vr - t0[2 * pp + 1] * vi;
+        d0[2 * pp + 1] += t0[2 * pp] * vi + t0[2 * pp + 1] * vr;
+        d1[2 * pp] += t1[2 * pp] * vr - t1[2 * pp + 1] * vi;
+        d1[2 * pp + 1] += t1[2 * pp] * vi + t1[2 * pp + 1] * vr;
+      }
+    }
+  }
+  for (; r < mu; ++r) {
+    const auto* e0 = reinterpret_cast<const Real*>(table.row(r).data());
+    auto* d0 = reinterpret_cast<Real*>(gout + r * p);
+    for (std::int64_t i = 0; i < 2 * p; ++i) d0[i] = Real(0);
+    for (std::int64_t blk = 0; blk < b; ++blk) {
+      const Real* __restrict s = src_d + 2 * blk * p;
+      const Real* __restrict t0 = e0 + 2 * blk * p;
+      for (std::int64_t pp = 0; pp < p; ++pp) {
+        const Real vr = s[2 * pp];
+        const Real vi = s[2 * pp + 1];
+        d0[2 * pp] += t0[2 * pp] * vr - t0[2 * pp + 1] * vi;
+        d0[2 * pp + 1] += t0[2 * pp] * vi + t0[2 * pp + 1] * vr;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class Real>
+void convolve_rank_groups(const SoiGeometry& g, const ConvTableT<Real>& table,
+                          std::type_identity_t<cspan_t<Real>> local_in,
+                          std::type_identity_t<mspan_t<Real>> out,
+                          std::int64_t q_begin, std::int64_t q_end) {
+  check_buffers<Real>(g, local_in, out);
+  SOI_CHECK(0 <= q_begin && q_begin <= q_end && q_end <= g.groups_per_rank(),
+            "convolve_rank_groups: bad group range [" << q_begin << ", "
+                                                      << q_end << ")");
+  using C = cplx_t<Real>;
+  const std::int64_t p = g.p();
+  const std::int64_t b = g.taps();
+  const std::int64_t mu = g.mu();
+  const std::int64_t nu = g.nu();
+  const std::int64_t len = g.local_input();
+
+  // Tile width for the register kernel: 16 when P allows (two AVX-512
+  // vectors per accumulator lane at double), else the largest power of two
+  // dividing P, falling back to the dynamic kernel for odd/unaligned P.
+  const std::int64_t tile = (p % 16 == 0) ? 16 : (p % 8 == 0) ? 8
+                            : (p % 4 == 0)                    ? 4
+                                                              : 0;
+  // Deinterleave scratch; thread_local so repeated calls do not reallocate.
+  // Pointers are hoisted BEFORE the parallel region below (worker threads
+  // must see the caller's buffer, not their own empty thread_local copy).
+  thread_local std::vector<Real, AlignedAllocator<Real, 64>> split;
+  const Real* split_re = nullptr;
+  const Real* split_im = nullptr;
+  if (tile != 0) {
+    split.resize(static_cast<std::size_t>(2 * len));
+    const auto* raw = reinterpret_cast<const Real*>(local_in.data());
+    Real* in_re = split.data();
+    Real* in_im = split.data() + len;
+    for (std::int64_t i = 0; i < len; ++i) {
+      in_re[i] = raw[2 * i];
+      in_im[i] = raw[2 * i + 1];
+    }
+    split_re = in_re;
+    split_im = in_im;
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t q = q_begin; q < q_end; ++q) {
+    C* gout = out.data() + q * mu * p;
+    if (tile != 0) {
+      const Real* base_re = split_re + q * nu * p;
+      const Real* base_im = split_im + q * nu * p;
+      switch (tile) {
+        case 16:
+          conv_group_tiled<16, Real>(base_re, base_im, table, mu, b, p, gout);
+          break;
+        case 8:
+          conv_group_tiled<8, Real>(base_re, base_im, table, mu, b, p, gout);
+          break;
+        default:
+          conv_group_tiled<4, Real>(base_re, base_im, table, mu, b, p, gout);
+          break;
+      }
+    } else {
+      conv_group_dynamic<Real>(local_in.data() + q * nu * p, table, mu, b, p,
+                               gout);
+    }
+  }
+}
+
+template <class Real>
+void convolve_rank(const SoiGeometry& g, const ConvTableT<Real>& table,
+                   std::type_identity_t<cspan_t<Real>> local_in,
+                   std::type_identity_t<mspan_t<Real>> out) {
+  convolve_rank_groups<Real>(g, table, local_in, out, 0, g.groups_per_rank());
+}
+
+void convolve_rank_phased(const SoiGeometry& g, const ConvTable& table,
+                          cspan phases, cspan local_in, mspan out) {
+  check_buffers<double>(g, local_in, out);
+  SOI_CHECK(phases.size() == static_cast<std::size_t>(g.p()),
+            "convolve_rank_phased: need P phase factors");
+  const std::int64_t p = g.p();
+  const std::int64_t b = g.taps();
+  const std::int64_t mu = g.mu();
+  const std::int64_t nu = g.nu();
+  const cplx* in = local_in.data();
+  const cplx* ph = phases.data();
+
+  for (std::int64_t q = 0; q < g.groups_per_rank(); ++q) {
+    const cplx* base = in + q * nu * p;
+    for (std::int64_t r = 0; r < mu; ++r) {
+      const cplx* e = table.row(r).data();
+      cplx* dst = out.data() + (q * mu + r) * p;
+      for (std::int64_t pp = 0; pp < p; ++pp) dst[pp] = cplx{0.0, 0.0};
+      for (std::int64_t blk = 0; blk < b; ++blk) {
+        const cplx* src = base + blk * p;
+        const cplx* t = e + blk * p;
+        for (std::int64_t pp = 0; pp < p; ++pp) {
+          dst[pp] += t[pp] * ph[pp] * src[pp];
+        }
+      }
+    }
+  }
+}
+
+// Explicit instantiations (double drives the SOI pipeline; float backs the
+// single-precision transform).
+template void convolve_rank_reference<double>(const SoiGeometry&,
+                                              const ConvTableT<double>&,
+                                              cspan_t<double>, mspan_t<double>);
+template void convolve_rank_reference<float>(const SoiGeometry&,
+                                             const ConvTableT<float>&,
+                                             cspan_t<float>, mspan_t<float>);
+template void convolve_rank_groups<double>(const SoiGeometry&,
+                                           const ConvTableT<double>&,
+                                           cspan_t<double>, mspan_t<double>,
+                                           std::int64_t, std::int64_t);
+template void convolve_rank_groups<float>(const SoiGeometry&,
+                                          const ConvTableT<float>&,
+                                          cspan_t<float>, mspan_t<float>,
+                                          std::int64_t, std::int64_t);
+template void convolve_rank<double>(const SoiGeometry&,
+                                    const ConvTableT<double>&, cspan_t<double>,
+                                    mspan_t<double>);
+template void convolve_rank<float>(const SoiGeometry&,
+                                   const ConvTableT<float>&, cspan_t<float>,
+                                   mspan_t<float>);
+
+}  // namespace soi::core

@@ -1,0 +1,84 @@
+// Node-local structured convolution kernels (the W x product, Section 6).
+//
+// One rank computes chunks_per_rank chunks; chunk j_local = mu*q + r is a
+// P-vector whose element p is a length-B inner product with stride-P reads:
+//
+//   out[j_local*P + p] = sum_{b=0}^{B-1} E[r][b*P + p] * in[q*nu*P + b*P + p]
+//
+// `in` holds the rank's M points followed by the (B-nu)*P halo from the
+// right neighbour. Two implementations are provided: a reference triple
+// loop matching the paper's pseudo code, and the optimised kernel using the
+// paper's loop interchange (contiguous unit-stride inner loop over p,
+// vectorisable) with unroll-and-jam over the mu rows of a group.
+//
+// All kernels are templated on the working precision (double and float
+// instantiations are compiled).
+#pragma once
+
+#include <type_traits>
+
+#include "common/types.hpp"
+#include "soi/conv_table.hpp"
+#include "soi/params.hpp"
+
+namespace soi::core {
+
+/// Reference kernel: direct transcription of the loop nest of Section 6
+/// (loop_a chunks / loop_b rows / loop_c blocks / loop_d elements).
+template <class Real>
+void convolve_rank_reference(const SoiGeometry& g,
+                             const ConvTableT<Real>& table,
+                             std::type_identity_t<cspan_t<Real>> local_in,
+                             std::type_identity_t<mspan_t<Real>> out);
+
+/// Optimised kernel: loop interchange + unroll-and-jam + register-resident
+/// partial sums (Section 6's "standard optimizations"). Identical results
+/// (up to FP associativity) at several times the throughput.
+template <class Real>
+void convolve_rank(const SoiGeometry& g, const ConvTableT<Real>& table,
+                   std::type_identity_t<cspan_t<Real>> local_in,
+                   std::type_identity_t<mspan_t<Real>> out);
+
+/// Convolve only row groups [q_begin, q_end) of the rank's block, writing
+/// chunks [q_begin*mu, q_end*mu). Used by the halo-overlap execution path:
+/// groups whose input range is fully local run while the halo is in
+/// flight; the tail groups run after it lands.
+template <class Real>
+void convolve_rank_groups(const SoiGeometry& g, const ConvTableT<Real>& table,
+                          std::type_identity_t<cspan_t<Real>> local_in,
+                          std::type_identity_t<mspan_t<Real>> out,
+                          std::int64_t q_begin, std::int64_t q_end);
+
+/// Same as convolve_rank but with per-input-element phase factors applied
+/// on the fly — used by the segment (zoom) transform where C_s =
+/// C_0 (I_M (x) diag(omega^s)) adds the column phases omega^{s * (i mod P)}.
+/// `phases` has P entries. Double precision only (zoom path).
+void convolve_rank_phased(const SoiGeometry& g, const ConvTable& table,
+                          cspan phases, cspan local_in, mspan out);
+
+extern template void convolve_rank_reference<double>(const SoiGeometry&,
+                                                     const ConvTableT<double>&,
+                                                     cspan_t<double>,
+                                                     mspan_t<double>);
+extern template void convolve_rank_reference<float>(const SoiGeometry&,
+                                                    const ConvTableT<float>&,
+                                                    cspan_t<float>,
+                                                    mspan_t<float>);
+extern template void convolve_rank<double>(const SoiGeometry&,
+                                           const ConvTableT<double>&,
+                                           cspan_t<double>, mspan_t<double>);
+extern template void convolve_rank<float>(const SoiGeometry&,
+                                          const ConvTableT<float>&,
+                                          cspan_t<float>, mspan_t<float>);
+extern template void convolve_rank_groups<double>(const SoiGeometry&,
+                                                  const ConvTableT<double>&,
+                                                  cspan_t<double>,
+                                                  mspan_t<double>,
+                                                  std::int64_t, std::int64_t);
+extern template void convolve_rank_groups<float>(const SoiGeometry&,
+                                                 const ConvTableT<float>&,
+                                                 cspan_t<float>,
+                                                 mspan_t<float>, std::int64_t,
+                                                 std::int64_t);
+
+}  // namespace soi::core

@@ -1,0 +1,98 @@
+// Distributed SOI FFT (paper, Sections 5-6, Figs. 2-4): the single-
+// all-to-all, in-order, O(N log N) 1-D FFT over a SimMPI communicator.
+//
+// Data distribution: block layout. Rank s holds x[s*M_rank .. (s+1)*M_rank)
+// on input and receives the same span of y (its segments of interest) on
+// output — natural order is preserved end to end.
+//
+// Segmentation: the factorisation's segment count P may exceed the rank
+// count R ("In general, P can be a multiple of number of processor nodes,
+// increasing the granularity of parallelism", Section 6). With
+// segments_per_rank = g, P = g*R: each rank computes g consecutive
+// segments; the convolution halo still crosses only one rank boundary.
+//
+// Pipeline per rank (communication in *italics*):
+//   1. *halo*: one sendrecv of (B-nu)*P points with the ring neighbours,
+//   2. convolution W x (g sub-blocks of chunks),
+//   3. I (x) F_P over the local chunks,
+//   4. local transpose packing per-destination blocks (Fig. 3),
+//   5. *one Alltoall*,
+//   6. g transforms F_M' on the assembled segment data,
+//   7. demodulate + project to the M_rank outputs.
+#pragma once
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "net/comm.hpp"
+#include "soi/conv_table.hpp"
+#include "soi/params.hpp"
+#include "window/design.hpp"
+
+namespace soi::core {
+
+/// Per-phase seconds of one distributed execution on this rank, plus the
+/// communication volume, for the measured-compute/modeled-comm harness.
+struct SoiDistBreakdown {
+  double halo = 0.0;
+  double conv = 0.0;
+  double fp = 0.0;
+  double pack = 0.0;
+  double alltoall = 0.0;       ///< wall time of the in-process exchange
+  double fm = 0.0;
+  double demod = 0.0;
+  std::int64_t halo_bytes = 0;      ///< bytes each rank sends for the halo
+  std::int64_t alltoall_bytes = 0;  ///< bytes each rank sends in the exchange
+  [[nodiscard]] double compute_total() const {
+    return conv + fp + pack + fm + demod;
+  }
+};
+
+/// Distributed SOI plan bound to a communicator.
+/// Construct once per (N, profile, segmentation) and execute repeatedly.
+class SoiFftDist {
+ public:
+  /// P = comm.size() * segments_per_rank segments in total.
+  SoiFftDist(net::Comm& comm, std::int64_t n, win::SoiProfile profile,
+             std::int64_t segments_per_rank = 1);
+
+  [[nodiscard]] const SoiGeometry& geometry() const { return geom_; }
+  [[nodiscard]] std::int64_t segments_per_rank() const { return spr_; }
+  /// Points per rank: N / comm.size().
+  [[nodiscard]] std::int64_t local_size() const { return spr_ * geom_.m(); }
+
+  /// Forward transform of the block-distributed signal. `x_local` and
+  /// `y_local` are this rank's local_size() input/output points.
+  void forward(cspan x_local, mspan y_local);
+
+  /// Forward transform with communication/computation overlap: the halo
+  /// sendrecv is split into an eager send plus polling, and every row
+  /// group whose inputs are fully local is convolved while the halo is in
+  /// flight (the overlapping technique of the paper's reference [11]).
+  /// Bit-identical results to forward().
+  void forward_overlapped(cspan x_local, mspan y_local);
+
+  /// Inverse transform (scaled by 1/N) via the conjugation identity —
+  /// same block layout, same single all-to-all.
+  void inverse(cspan y_local, mspan x_local);
+
+  /// Timing/volume breakdown of the most recent forward() call.
+  [[nodiscard]] const SoiDistBreakdown& last_breakdown() const {
+    return breakdown_;
+  }
+
+ private:
+  void run_pipeline(cspan x_local, mspan y_local, bool overlap);
+
+  net::Comm& comm_;
+  win::SoiProfile profile_;
+  std::int64_t spr_;
+  SoiGeometry geom_;
+  ConvTable table_;
+  fft::FftPlan plan_p_;
+  fft::FftPlan plan_mp_;
+  SoiDistBreakdown breakdown_;
+  // Persistent buffers (avoid per-call allocation jitter in benches).
+  cvec ext_, v_, vf_, sendbuf_, recvbuf_, uf_, conj_in_, conj_out_;
+};
+
+}  // namespace soi::core

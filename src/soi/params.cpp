@@ -1,0 +1,40 @@
+#include "soi/params.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace soi::core {
+
+SoiGeometry::SoiGeometry(std::int64_t n, std::int64_t p,
+                         const win::SoiProfile& profile)
+    : n_(n), p_(p), mu_(profile.mu), nu_(profile.nu) {
+  SOI_CHECK(n >= 1 && p >= 1, "SoiGeometry: need n >= 1, p >= 1");
+  SOI_CHECK(mu_ > nu_ && nu_ >= 1, "SoiGeometry: oversampling mu/nu must be > 1");
+  SOI_CHECK(gcd64(mu_, nu_) == 1,
+            "SoiGeometry: mu/nu must be irreducible, got " << mu_ << "/"
+                                                           << nu_);
+  SOI_CHECK(n % p == 0, "SoiGeometry: P=" << p << " must divide N=" << n);
+  m_ = n / p;
+  SOI_CHECK(m_ % nu_ == 0, "SoiGeometry: nu=" << nu_ << " must divide M="
+                                              << m_
+                                              << " (so M' is an integer)");
+  mprime_ = m_ / nu_ * mu_;
+  SOI_CHECK(mprime_ % p == 0,
+            "SoiGeometry: P=" << p << " must divide M'=" << mprime_
+                              << " (chunks split evenly across ranks)");
+  SOI_CHECK((mprime_ / p) % mu_ == 0,
+            "SoiGeometry: mu=" << mu_ << " must divide M'/P=" << mprime_ / p
+                               << " (row groups must not straddle ranks)");
+  SOI_CHECK(profile.taps >= 2, "SoiGeometry: profile has no taps");
+  // Slack for the shared group input range (see header comment); keep even.
+  taps_ = profile.taps + 2 * nu_;
+  if (taps_ % 2 != 0) ++taps_;
+  // The halo must come from the single right-hand neighbour (Fig. 4):
+  // (B - nu) * P <= M, i.e. the problem must be large enough for the window.
+  SOI_CHECK(halo() <= m_,
+            "SoiGeometry: halo " << halo() << " exceeds M=" << m_
+                                 << "; N too small for this window "
+                                    "(B*P too large)");
+}
+
+}  // namespace soi::core

@@ -1,0 +1,69 @@
+// Problem geometry for the SOI factorisation (paper, Sections 4-6).
+//
+// For an N-point transform split into P segments with oversampling
+// mu/nu = 1 + beta and truncation width B (blocks of P taps):
+//   M  = N / P          points per segment / per node
+//   M' = M * mu / nu    oversampled segment length
+//   N' = M' * P         oversampled total
+// The convolution matrix on a node is M'/P rows of chunks; rows come in
+// groups of mu sharing one input range of B*P contiguous points starting
+// nu*P apart (Fig. 4), so a node reads its own M points plus a halo of
+// (B - nu) * P points from its right neighbour.
+#pragma once
+
+#include <cstdint>
+
+#include "window/design.hpp"
+
+namespace soi::core {
+
+/// All derived sizes of one (N, P, profile) instance; validates every
+/// divisibility requirement at construction.
+class SoiGeometry {
+ public:
+  SoiGeometry(std::int64_t n, std::int64_t p, const win::SoiProfile& profile);
+
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  [[nodiscard]] std::int64_t p() const { return p_; }
+  [[nodiscard]] std::int64_t m() const { return m_; }
+  [[nodiscard]] std::int64_t mprime() const { return mprime_; }
+  [[nodiscard]] std::int64_t nprime() const { return mprime_ * p_; }
+  [[nodiscard]] std::int64_t mu() const { return mu_; }
+  [[nodiscard]] std::int64_t nu() const { return nu_; }
+
+  /// Truncation width actually used by the kernels: the profile's designed
+  /// B plus 2*nu slack (rows within a group share the group's input range,
+  /// which shifts each row's effective window by up to nu blocks).
+  [[nodiscard]] std::int64_t taps() const { return taps_; }
+
+  /// Convolution chunks (rows) per rank: M'/P.
+  [[nodiscard]] std::int64_t chunks_per_rank() const { return mprime_ / p_; }
+
+  /// Row groups per rank (mu rows each).
+  [[nodiscard]] std::int64_t groups_per_rank() const {
+    return chunks_per_rank() / mu_;
+  }
+
+  /// Halo elements needed from the right neighbour: (B - nu) * P.
+  [[nodiscard]] std::int64_t halo() const { return (taps_ - nu_) * p_; }
+
+  /// Elements a node's convolution reads: M + halo (Fig. 4's matrix width).
+  [[nodiscard]] std::int64_t local_input() const { return m_ + halo(); }
+
+  /// Complex multiply-adds of one node's convolution:
+  /// chunks_per_rank * P * B = M' * B (Section 7.4's flops accounting).
+  [[nodiscard]] std::int64_t conv_madds_per_rank() const {
+    return mprime_ * taps_;
+  }
+
+ private:
+  std::int64_t n_;
+  std::int64_t p_;
+  std::int64_t m_;
+  std::int64_t mu_;
+  std::int64_t nu_;
+  std::int64_t mprime_;
+  std::int64_t taps_;
+};
+
+}  // namespace soi::core

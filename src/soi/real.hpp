@@ -1,0 +1,35 @@
+// Real-input SOI transform: an even-length real signal packed into a
+// half-length complex SOI FFT and untangled — the r2c surface production
+// FFT libraries expose, here backed by the low-communication factorisation.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+
+namespace soi::core {
+
+/// r2c/c2r SOI plan for even real length n: n/2+1 non-redundant bins.
+class SoiRealFft {
+ public:
+  /// The internal complex SOI transform has length n/2 split into p
+  /// segments (the usual divisibility rules apply to n/2 and p).
+  SoiRealFft(std::int64_t n, std::int64_t p, win::SoiProfile profile);
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+
+  /// out[k], k = 0..n/2, of the DFT of the real signal `in` (n values).
+  void forward(std::span<const double> in, mspan out) const;
+
+  /// Reconstruct the real signal from its n/2+1 spectrum bins.
+  void inverse(cspan in, std::span<double> out) const;
+
+ private:
+  std::int64_t n_;
+  SoiFftSerial half_;
+  cvec twiddle_;  // exp(-i pi k / (n/2)) untangling factors
+};
+
+}  // namespace soi::core

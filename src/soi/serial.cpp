@@ -1,0 +1,190 @@
+#include "soi/serial.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "soi/convolve.hpp"
+
+namespace soi::core {
+
+namespace {
+/// Extended copy of x: N elements plus `extra` wrapped-around leading
+/// elements, so every virtual rank's convolution reads contiguously.
+template <class Real>
+cvec_t<Real> extend_input(cspan_t<Real> x, std::int64_t extra) {
+  cvec_t<Real> ext(x.size() + static_cast<std::size_t>(extra));
+  std::copy(x.begin(), x.end(), ext.begin());
+  for (std::int64_t i = 0; i < extra; ++i) {
+    ext[x.size() + static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(i) % x.size()];
+  }
+  return ext;
+}
+}  // namespace
+
+template <class Real>
+SoiFftSerialT<Real>::SoiFftSerialT(std::int64_t n, std::int64_t p,
+                                   win::SoiProfile profile)
+    : profile_(std::move(profile)),
+      geom_(n, p, profile_),
+      table_(geom_, *profile_.window),
+      plan_p_(p),
+      plan_mp_(geom_.mprime()) {}
+
+template <class Real>
+void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
+  SoiPhaseTimes unused;
+  forward_timed(x, y, unused);
+}
+
+template <class Real>
+void SoiFftSerialT<Real>::forward_timed(cspan_t<Real> x, mspan_t<Real> y,
+                                        SoiPhaseTimes& times) const {
+  const std::int64_t n = geom_.n();
+  const std::int64_t p = geom_.p();
+  const std::int64_t m = geom_.m();
+  const std::int64_t mp = geom_.mprime();
+  const std::int64_t mc = geom_.chunks_per_rank();
+  SOI_CHECK(x.size() == static_cast<std::size_t>(n),
+            "SoiFftSerial::forward: input size " << x.size() << " != N "
+                                                 << n);
+  SOI_CHECK(y.size() >= static_cast<std::size_t>(n),
+            "SoiFftSerial::forward: output too small");
+
+  using C = cplx_t<Real>;
+  Timer t;
+
+  // --- convolution W x: all M' chunks, virtual rank by virtual rank ------
+  const cvec_t<Real> ext = extend_input<Real>(x, geom_.halo());
+  cvec_t<Real> v(static_cast<std::size_t>(mp * p));  // chunk-major: v[j*P+p]
+  t.reset();
+  for (std::int64_t vr = 0; vr < p; ++vr) {
+    convolve_rank<Real>(geom_, table_,
+                        cspan_t<Real>{ext.data() + vr * m,
+                                      static_cast<std::size_t>(
+                                          geom_.local_input())},
+                        mspan_t<Real>{v.data() + vr * mc * p,
+                                      static_cast<std::size_t>(mc * p)});
+  }
+  times.conv = t.seconds();
+
+  // --- I_M' (x) F_P on the chunks ----------------------------------------
+  cvec_t<Real> vf(v.size());
+  t.reset();
+  plan_p_.forward_batch(v, vf, mp);
+  times.fp = t.seconds();
+
+  // --- global stride-P permutation (the single all-to-all) ---------------
+  // u[t*M' + j] = vf[j*P + t]
+  cvec_t<Real> u(v.size());
+  t.reset();
+  for (std::int64_t tseg = 0; tseg < p; ++tseg) {
+    C* dst = u.data() + tseg * mp;
+    const C* src = vf.data() + tseg;
+    for (std::int64_t j = 0; j < mp; ++j) dst[j] = src[j * p];
+  }
+  times.pack = t.seconds();
+
+  // --- I_P (x) F_M' --------------------------------------------------------
+  cvec_t<Real> uf(u.size());
+  t.reset();
+  plan_mp_.forward_batch(u, uf, p);
+  times.fm = t.seconds();
+
+  // --- demodulation + projection ------------------------------------------
+  const cspan_t<Real> demod = table_.demod();
+  t.reset();
+  for (std::int64_t s = 0; s < p; ++s) {
+    const C* seg = uf.data() + s * mp;
+    C* dst = y.data() + s * m;
+    for (std::int64_t k = 0; k < m; ++k) {
+      dst[k] = seg[k] * demod[static_cast<std::size_t>(k)];
+    }
+  }
+  times.demod = t.seconds();
+}
+
+template <class Real>
+void SoiFftSerialT<Real>::inverse(cspan_t<Real> y, mspan_t<Real> x) const {
+  const std::int64_t n = geom_.n();
+  SOI_CHECK(y.size() == static_cast<std::size_t>(n),
+            "SoiFftSerial::inverse: input size mismatch");
+  SOI_CHECK(x.size() >= static_cast<std::size_t>(n),
+            "SoiFftSerial::inverse: output too small");
+  // inverse(y) = conj(forward(conj(y))) / N.
+  cvec_t<Real> tmp(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    tmp[static_cast<std::size_t>(i)] =
+        std::conj(y[static_cast<std::size_t>(i)]);
+  }
+  cvec_t<Real> out(static_cast<std::size_t>(n));
+  forward(tmp, out);
+  const Real scale = Real(1) / static_cast<Real>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        std::conj(out[static_cast<std::size_t>(i)]) * scale;
+  }
+}
+
+template class SoiFftSerialT<double>;
+template class SoiFftSerialT<float>;
+
+// --- SegmentPlan -------------------------------------------------------------
+
+SegmentPlan::SegmentPlan(std::int64_t n, std::int64_t p,
+                         win::SoiProfile profile)
+    : profile_(std::move(profile)),
+      geom_(n, p, profile_),
+      table_(geom_, *profile_.window),
+      plan_mp_(geom_.mprime()) {}
+
+void SegmentPlan::compute(cspan x, std::int64_t s, mspan y_seg) const {
+  const std::int64_t n = geom_.n();
+  const std::int64_t p = geom_.p();
+  const std::int64_t m = geom_.m();
+  const std::int64_t mp = geom_.mprime();
+  const std::int64_t mc = geom_.chunks_per_rank();
+  SOI_CHECK(x.size() == static_cast<std::size_t>(n),
+            "SegmentPlan::compute: input size mismatch");
+  SOI_CHECK(s >= 0 && s < p, "SegmentPlan::compute: segment " << s
+                                                              << " out of range");
+  SOI_CHECK(y_seg.size() >= static_cast<std::size_t>(m),
+            "SegmentPlan::compute: output needs M elements");
+
+  // Column phases of C_s = C_0 (I_M (x) diag(omega^s)).
+  cvec phases(static_cast<std::size_t>(p));
+  for (std::int64_t t = 0; t < p; ++t) {
+    phases[static_cast<std::size_t>(t)] = omega(s * t, p);
+  }
+
+  // x-tilde = C_s x, evaluated with the same rank kernel over P virtual
+  // ranks; chunk j's P elements here are *summed* (a segment needs the
+  // full row sum, not the per-residue partials kept by the parallel form).
+  const cvec ext = extend_input(x, geom_.halo());
+  cvec partial(static_cast<std::size_t>(mc * p));
+  cvec xt(static_cast<std::size_t>(mp));
+  for (std::int64_t vr = 0; vr < p; ++vr) {
+    convolve_rank_phased(geom_, table_, phases,
+                         cspan{ext.data() + vr * m,
+                               static_cast<std::size_t>(geom_.local_input())},
+                         partial);
+    for (std::int64_t j = 0; j < mc; ++j) {
+      cplx acc{0.0, 0.0};
+      const cplx* row = partial.data() + j * p;
+      for (std::int64_t t = 0; t < p; ++t) acc += row[t];
+      xt[static_cast<std::size_t>(vr * mc + j)] = acc;
+    }
+  }
+
+  // F_M', then demodulate the first M bins.
+  cvec xf(static_cast<std::size_t>(mp));
+  plan_mp_.forward(xt, xf);
+  const cspan demod = table_.demod();
+  for (std::int64_t k = 0; k < m; ++k) {
+    y_seg[static_cast<std::size_t>(k)] =
+        xf[static_cast<std::size_t>(k)] * demod[static_cast<std::size_t>(k)];
+  }
+}
+
+}  // namespace soi::core

@@ -1,0 +1,93 @@
+// Single-process SOI FFT: executes the complete factorisation (Eq. 6)
+//
+//   y ~= (I_P (x) W-hat^{-1} P_proj F_M') P_perm (I_M' (x) F_P) W x
+//
+// with all P segments computed in-process. This is both the reference
+// implementation the distributed version is tested against and a useful
+// shared-memory transform in its own right (P plays the role of the
+// "number of segments", paper Section 6: P may exceed the node count).
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+#include "soi/conv_table.hpp"
+#include "soi/params.hpp"
+#include "window/design.hpp"
+
+namespace soi::core {
+
+/// Per-phase wall-clock seconds of one execution (benchmark support;
+/// mirrors the paper's conv-vs-FFT accounting in Section 7.4).
+struct SoiPhaseTimes {
+  double conv = 0.0;    ///< W x
+  double fp = 0.0;      ///< I_M' (x) F_P
+  double pack = 0.0;    ///< local permutation / transpose
+  double fm = 0.0;      ///< I_P (x) F_M'
+  double demod = 0.0;   ///< projection + W-hat^{-1}
+  [[nodiscard]] double total() const {
+    return conv + fp + pack + fm + demod;
+  }
+};
+
+/// Reusable serial SOI plan for fixed (N, P, profile), templated on the
+/// working precision: SoiFftSerial (double, the paper's regime) and
+/// SoiFftSerialF (float — the "6-digit" single-precision regime Section
+/// 7.3 alludes to; window tables are designed in double, stored at float).
+template <class Real>
+class SoiFftSerialT {
+ public:
+  SoiFftSerialT(std::int64_t n, std::int64_t p, win::SoiProfile profile);
+
+  [[nodiscard]] const SoiGeometry& geometry() const { return geom_; }
+  [[nodiscard]] const win::SoiProfile& profile() const { return profile_; }
+  [[nodiscard]] std::int64_t size() const { return geom_.n(); }
+
+  /// Forward transform: y[k] ~= sum_j x[j] exp(-2 pi i jk / N), in order.
+  void forward(cspan_t<Real> x, mspan_t<Real> y) const;
+
+  /// Forward with a per-phase timing breakdown.
+  void forward_timed(cspan_t<Real> x, mspan_t<Real> y,
+                     SoiPhaseTimes& times) const;
+
+  /// Inverse transform (scaled by 1/N) via the conjugation identity.
+  void inverse(cspan_t<Real> y, mspan_t<Real> x) const;
+
+ private:
+  win::SoiProfile profile_;
+  SoiGeometry geom_;
+  ConvTableT<Real> table_;
+  fft::FftPlanT<Real> plan_p_;   // F_P
+  fft::FftPlanT<Real> plan_mp_;  // F_M'
+};
+
+extern template class SoiFftSerialT<double>;
+extern template class SoiFftSerialT<float>;
+
+using SoiFftSerial = SoiFftSerialT<double>;
+using SoiFftSerialF = SoiFftSerialT<float>;
+
+/// Segment-of-interest ("zoom") transform: computes only the M = N/P
+/// outputs y[s*M .. (s+1)*M) from all N inputs, at cost O(N*B + M' log M')
+/// — the Fig. 1 primitive exposed directly. For M << N this is far cheaper
+/// than a full FFT when only a band of the spectrum is wanted.
+class SegmentPlan {
+ public:
+  SegmentPlan(std::int64_t n, std::int64_t p, win::SoiProfile profile);
+
+  [[nodiscard]] const SoiGeometry& geometry() const { return geom_; }
+  /// Output band length M.
+  [[nodiscard]] std::int64_t segment_length() const { return geom_.m(); }
+
+  /// Compute segment s (0 <= s < P): y_seg gets y[s*M .. (s+1)*M).
+  void compute(cspan x, std::int64_t s, mspan y_seg) const;
+
+ private:
+  win::SoiProfile profile_;
+  SoiGeometry geom_;
+  ConvTable table_;
+  fft::FftPlan plan_mp_;
+};
+
+}  // namespace soi::core

@@ -1,0 +1,29 @@
+// Umbrella header: the full public API of the SOI-FFT library.
+//
+// Quick tour:
+//   win::make_profile(win::Accuracy::kFull)  -> algorithm configuration
+//   core::SoiFftSerial(n, p, profile)        -> in-process transform
+//   core::SegmentPlan(n, p, profile)         -> zoom: one spectrum band
+//   core::SoiFftDist(comm, n, profile)       -> distributed, 1 all-to-all
+//   baseline::SixStepFftDist(comm, n)        -> comparator, 3 all-to-alls
+//   net::run_ranks / net::make_gordon_torus  -> SimMPI + fabric models
+//   perf::t_soi / perf::speedup              -> Section 7.4 analytic model
+#pragma once
+
+#include "baseline/fft2d_dist.hpp"
+#include "baseline/sixstep.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "fft/dft.hpp"
+#include "fft/plan.hpp"
+#include "fft/multi.hpp"
+#include "fft/real.hpp"
+#include "net/comm.hpp"
+#include "net/costmodel.hpp"
+#include "perfmodel/model.hpp"
+#include "soi/dist.hpp"
+#include "soi/real.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+#include "window/window.hpp"

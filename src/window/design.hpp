@@ -1,0 +1,108 @@
+// Window design (paper, Section 4): quantifies a reference window's
+// condition number kappa and aliasing leak eps_alias, picks the truncation
+// width B for a target eps_trunc, and searches the (tau, sigma) plane for
+// profiles meeting an accuracy target — including the reduced-accuracy
+// profiles behind the paper's accuracy/performance tradeoff (Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "window/window.hpp"
+
+namespace soi::win {
+
+/// Quality metrics of a reference window at oversampling beta.
+struct WindowMetrics {
+  /// kappa = max / min of |Hhat| over the band [-1/2, 1/2] (condition
+  /// number of the demodulation, Section 4 (b)).
+  double kappa = 0.0;
+  /// eps_alias = out-of-band mass / in-band mass:
+  ///   integral_{|u| >= 1/2 + beta} |Hhat| / integral_{-1/2}^{1/2} |Hhat|.
+  double eps_alias = 0.0;
+};
+
+/// Evaluate kappa and eps_alias by dense sampling (robust for every window
+/// family, including compact support).
+WindowMetrics evaluate_window(const Window& w, double beta);
+
+/// Generalised band geometry: kappa over [-band_half, band_half], aliasing
+/// as the worst pointwise |Hhat| beyond |u| >= alias_start (summed over
+/// periodisation images spaced `image_period` apart), relative to the peak.
+/// evaluate_window(w, beta) == evaluate_window_bands(w, 0.5, 0.5 + beta,
+/// 1 + 2*beta). The NUFFT gridder uses a different geometry (band 1/4,
+/// alias from 3/4 at 2x oversampling).
+WindowMetrics evaluate_window_bands(const Window& w, double band_half,
+                                    double alias_start, double image_period);
+
+/// Smallest even B such that the tail mass of |H| beyond |t| >= B/2 is at
+/// most eps_trunc of its total mass (Section 4's truncation rule).
+std::int64_t choose_taps(const Window& w, double eps_trunc);
+
+/// Accuracy presets for the Fig. 7 tradeoff. Target SNR in dB:
+/// kFull ~ 290 (the paper's flagship setting), then progressively relaxed.
+enum class Accuracy { kFull, kHigh, kMedium, kLow };
+
+/// Target SNR in dB for a preset.
+double target_snr_db(Accuracy acc);
+
+/// A complete algorithm configuration: oversampling ratio mu/nu, taps B,
+/// the reference window, and its quality numbers. Everything the SOI plans
+/// need that does not depend on the transform size.
+struct SoiProfile {
+  std::string name;
+  std::int64_t mu = 5;    ///< oversampling numerator
+  std::int64_t nu = 4;    ///< oversampling denominator (1+beta = mu/nu)
+  std::int64_t taps = 0;  ///< B: blocks of P taps per convolution row
+  double target_snr = 0.0;   ///< design SNR target, dB
+  double kappa = 0.0;
+  double eps_alias = 0.0;
+  double eps_trunc = 0.0;
+  std::shared_ptr<const Window> window;
+
+  [[nodiscard]] double beta() const {
+    return static_cast<double>(mu) / static_cast<double>(nu) - 1.0;
+  }
+  [[nodiscard]] double oversampling() const {
+    return static_cast<double>(mu) / static_cast<double>(nu);
+  }
+};
+
+/// Design a (tau, sigma) profile: smallest B whose window satisfies
+/// eps_alias <= eps_target and kappa <= kappa_max at beta = mu/nu - 1.
+SoiProfile design_gauss_rect(std::int64_t mu, std::int64_t nu,
+                             double eps_target, double kappa_max,
+                             const std::string& name);
+
+/// Preset profiles at the paper's beta = 1/4 (mu=5, nu=4). kFull lands in
+/// the regime the paper reports: B in the ~70s, SNR ~ 290 dB.
+SoiProfile make_profile(Accuracy acc);
+
+/// Serialise a profile to a single text line ("wisdom"): skips the design
+/// search on the next run. Round-trips every field including the window
+/// family and its parameters. Supported families: gauss-rect, gaussian,
+/// bspline, kaiser-bessel.
+std::string serialize_profile(const SoiProfile& profile);
+
+/// Parse a profile produced by serialize_profile(); throws soi::Error on
+/// malformed input or an unknown window family.
+SoiProfile parse_profile(const std::string& text);
+
+/// One-parameter Gaussian profile (Section 8's discussion: accuracy capped
+/// near 10 digits at beta = 1/4). Picks sigma minimising the estimated
+/// error kappa * (eps_alias + eps_trunc).
+SoiProfile make_gaussian_profile(std::int64_t mu, std::int64_t nu);
+
+/// B-spline profile: compact TIME support, so eps_trunc is exactly zero
+/// and B = order; the error budget is pure aliasing (sinc^order decay)
+/// times a sizeable kappa. Mid-accuracy niche; the dual of Kaiser-Bessel.
+SoiProfile make_bspline_profile(std::int64_t mu, std::int64_t nu, int order);
+
+/// Kaiser-Bessel profile with compact support (zero aliasing). Included as
+/// a documented *negative* ablation: the edge discontinuity of its Hhat
+/// makes H decay only polynomially, so B explodes for high accuracy —
+/// evidence for why the paper's smooth two-parameter family is preferred.
+SoiProfile make_kaiser_profile(std::int64_t mu, std::int64_t nu, double b);
+
+}  // namespace soi::win

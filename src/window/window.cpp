@@ -1,0 +1,165 @@
+#include "window/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/types.hpp"
+
+namespace soi::win {
+
+double bessel_i0(double x) {
+  const double ax = std::abs(x);
+  if (ax < 15.0) {
+    // Power series: I0(x) = sum ((x/2)^k / k!)^2 — converges fast here.
+    const double q = 0.25 * ax * ax;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k < 200; ++k) {
+      term *= q / (static_cast<double>(k) * static_cast<double>(k));
+      sum += term;
+      if (term < sum * 1e-17) break;
+    }
+    return sum;
+  }
+  // Asymptotic expansion: I0(x) ~ e^x / sqrt(2 pi x) * sum a_k / x^k with
+  // a_k = ((2k)!)^2 / (k!^3 32^k ...) — six terms give ~1e-8 rel. at x=15.
+  const double inv = 1.0 / ax;
+  const double series =
+      1.0 +
+      inv * (0.125 +
+             inv * (0.0703125 +
+                    inv * (0.0732421875 +
+                           inv * (0.112152099609375 +
+                                  inv * 0.22710800170898438))));
+  return std::exp(ax) / std::sqrt(kTwoPi * ax) * series;
+}
+
+// --- GaussSmoothedRect -------------------------------------------------------
+
+GaussSmoothedRect::GaussSmoothedRect(double tau, double sigma)
+    : tau_(tau), sigma_(sigma) {
+  SOI_CHECK(tau > 0.0, "GaussSmoothedRect: tau must be positive");
+  SOI_CHECK(sigma > 0.0, "GaussSmoothedRect: sigma must be positive");
+}
+
+double GaussSmoothedRect::hhat(double u) const {
+  const double rs = std::sqrt(sigma_);
+  // (1/tau) * sqrt(pi/sigma)/2 * [erf(rs(u+tau/2)) - erf(rs(u-tau/2))]
+  const double a = rs * (u - 0.5 * tau_);
+  const double b = rs * (u + 0.5 * tau_);
+  return std::sqrt(kPi / sigma_) / (2.0 * tau_) * erf_diff(a, b);
+}
+
+double GaussSmoothedRect::h(double t) const {
+  const double g = kPi * kPi * t * t / sigma_;
+  if (g > 745.0) return 0.0;  // below double underflow anyway
+  return sinc(tau_ * t) * std::sqrt(kPi / sigma_) * std::exp(-g);
+}
+
+std::string GaussSmoothedRect::name() const {
+  return "gauss-rect(tau=" + std::to_string(tau_) +
+         ",sigma=" + std::to_string(sigma_) + ")";
+}
+
+// --- GaussianWindow ----------------------------------------------------------
+
+GaussianWindow::GaussianWindow(double sigma) : sigma_(sigma) {
+  SOI_CHECK(sigma > 0.0, "GaussianWindow: sigma must be positive");
+}
+
+double GaussianWindow::hhat(double u) const {
+  return std::exp(-sigma_ * u * u);
+}
+
+double GaussianWindow::h(double t) const {
+  const double g = kPi * kPi * t * t / sigma_;
+  if (g > 745.0) return 0.0;
+  return std::sqrt(kPi / sigma_) * std::exp(-g);
+}
+
+std::string GaussianWindow::name() const {
+  return "gaussian(sigma=" + std::to_string(sigma_) + ")";
+}
+
+// --- KaiserBesselWindow ------------------------------------------------------
+
+KaiserBesselWindow::KaiserBesselWindow(double b, double c)
+    : b_(b), c_(c), i0b_(bessel_i0(b)) {
+  SOI_CHECK(b > 0.0, "KaiserBessel: shape b must be positive");
+  SOI_CHECK(c > 0.0, "KaiserBessel: support half-width c must be positive");
+}
+
+double KaiserBesselWindow::hhat(double u) const {
+  const double r = u / c_;
+  if (std::abs(r) >= 1.0) return 0.0;
+  return bessel_i0(b_ * std::sqrt(1.0 - r * r)) / i0b_;
+}
+
+double KaiserBesselWindow::h(double t) const {
+  // FT of the compact Kaiser-Bessel bump: (2c/I0(b)) * sinh(s)/s with
+  // s = sqrt(b^2 - (2 pi c t)^2); analytic continuation to sin for s^2 < 0.
+  const double x = kTwoPi * c_ * t;
+  const double s2 = b_ * b_ - x * x;
+  double core;
+  if (s2 > 0.0) {
+    const double s = std::sqrt(s2);
+    core = (s < 1e-8) ? 1.0 + s2 / 6.0 : std::sinh(s) / s;
+  } else {
+    const double s = std::sqrt(-s2);
+    core = (s < 1e-8) ? 1.0 - s * s / 6.0 : std::sin(s) / s;
+  }
+  return 2.0 * c_ / i0b_ * core;
+}
+
+std::string KaiserBesselWindow::name() const {
+  return "kaiser-bessel(b=" + std::to_string(b_) + ",c=" + std::to_string(c_) +
+         ")";
+}
+
+// --- BSplineWindow -------------------------------------------------------------
+
+BSplineWindow::BSplineWindow(int order) : order_(order) {
+  SOI_CHECK(order >= 1 && order <= 60,
+            "BSplineWindow: order must be in [1, 60], got " << order);
+}
+
+double BSplineWindow::hhat(double u) const {
+  double v = 1.0;
+  const double s = sinc(u);
+  for (int i = 0; i < order_; ++i) v *= s;
+  return v;
+}
+
+double BSplineWindow::h(double t) const {
+  // Centred cardinal B-spline of order m via Cox-de Boor on knots
+  // 0, 1, ..., m: N_m(x) with x = t + m/2; zero outside [0, m].
+  const int m = order_;
+  const double x = t + 0.5 * static_cast<double>(m);
+  if (x <= 0.0 || x >= static_cast<double>(m)) return 0.0;
+  // Degree-0 pieces: indicator of [i, i+1).
+  std::vector<double> coef(static_cast<std::size_t>(m), 0.0);
+  const int cell = static_cast<int>(x);
+  coef[static_cast<std::size_t>(std::min(cell, m - 1))] = 1.0;
+  // Elevate degree: N_{i,k}(x) combines N_{i,k-1} and N_{i+1,k-1}.
+  for (int k = 1; k < m; ++k) {
+    for (int i = 0; i + k < m; ++i) {
+      const double a = (x - i) / static_cast<double>(k) *
+                       coef[static_cast<std::size_t>(i)];
+      const double b = (static_cast<double>(i + k + 1) - x) /
+                       static_cast<double>(k) *
+                       coef[static_cast<std::size_t>(i + 1)];
+      coef[static_cast<std::size_t>(i)] = a + b;
+    }
+  }
+  return coef[0];
+}
+
+std::string BSplineWindow::name() const {
+  return "bspline(order=" + std::to_string(order_) + ")";
+}
+
+}  // namespace soi::win

@@ -1,0 +1,129 @@
+// Window functions (paper, Sections 3-4 and 8).
+//
+// A *reference* window Hhat(u) lives on the normalised frequency axis: it
+// should be bounded away from zero on [-1/2, 1/2] (the segment band) and
+// negligible for |u| >= 1/2 + beta (the alias region). Its inverse Fourier
+// transform H(t) determines the convolution taps; fast decay of H is what
+// makes the truncated convolution matrix sparse.
+//
+// Three families are provided:
+//  * GaussSmoothedRect — the paper's two-parameter (tau, sigma) window
+//    (Eq. 2): rectangle convolved with a Gaussian. Both Hhat (erf
+//    difference) and H (sinc x Gaussian) have closed forms (footnote 5).
+//  * GaussianWindow — the one-parameter window discussed in Section 8
+//    (accuracy capped near 10 digits at beta = 1/4).
+//  * KaiserBesselWindow — compactly supported Hhat (Section 8's
+//    "compact-support windows eliminate aliasing completely"); implemented
+//    as the classic Kaiser-Bessel pair.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace soi::win {
+
+/// Reference window interface on the normalised axis.
+class Window {
+ public:
+  virtual ~Window() = default;
+
+  /// Frequency-domain reference window Hhat(u); real and even.
+  [[nodiscard]] virtual double hhat(double u) const = 0;
+
+  /// Time-domain window H(t) = integral Hhat(u) exp(+i 2 pi u t) du;
+  /// real and even for the families here.
+  [[nodiscard]] virtual double h(double t) const = 0;
+
+  /// Human-readable identification (appears in bench output).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when hhat(u) == 0 exactly for |u| >= support (no aliasing).
+  [[nodiscard]] virtual bool compact_support() const { return false; }
+
+  /// Half-width of hhat's support when compact_support() is true.
+  [[nodiscard]] virtual double support_halfwidth() const { return 0.0; }
+};
+
+/// The paper's two-parameter reference window:
+///   Hhat(u) = (1/tau) * integral_{-tau/2}^{tau/2} exp(-sigma (u-t)^2) dt
+///   H(t)    = sinc(tau t) * sqrt(pi/sigma) * exp(-pi^2 t^2 / sigma)
+class GaussSmoothedRect final : public Window {
+ public:
+  GaussSmoothedRect(double tau, double sigma);
+
+  [[nodiscard]] double hhat(double u) const override;
+  [[nodiscard]] double h(double t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double tau() const { return tau_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double tau_;
+  double sigma_;
+};
+
+/// One-parameter Gaussian window: Hhat(u) = exp(-sigma u^2).
+class GaussianWindow final : public Window {
+ public:
+  explicit GaussianWindow(double sigma);
+
+  [[nodiscard]] double hhat(double u) const override;
+  [[nodiscard]] double h(double t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// Kaiser-Bessel window with *compactly supported* Hhat:
+///   Hhat(u) = I0(b sqrt(1 - (u/c)^2)) / I0(b)   for |u| <= c, else 0
+///   H(t)    = (2c/I0(b)) * sinh(s)/s,  s = sqrt(b^2 - (2 pi c t)^2)
+/// (s imaginary gives sin(|s|)/|s|). Choosing c = 1/2 + beta removes
+/// aliasing exactly — the paper's Section 8 extension.
+class KaiserBesselWindow final : public Window {
+ public:
+  KaiserBesselWindow(double b, double c);
+
+  [[nodiscard]] double hhat(double u) const override;
+  [[nodiscard]] double h(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool compact_support() const override { return true; }
+  [[nodiscard]] double support_halfwidth() const override { return c_; }
+
+ private:
+  double b_;
+  double c_;
+  double i0b_;
+};
+
+/// Cardinal B-spline window of order m: H(t) is the centred B-spline
+/// (COMPACT support [-m/2, m/2] — zero truncation error, exactly B = m
+/// taps), and Hhat(u) = sinc(u)^m decays only polynomially (aliasing is
+/// the limiting error). The exact dual of the Kaiser-Bessel tradeoff;
+/// included to map the design space the paper's Section 8 sketches.
+class BSplineWindow final : public Window {
+ public:
+  explicit BSplineWindow(int order);
+
+  [[nodiscard]] double hhat(double u) const override;
+  [[nodiscard]] double h(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int order() const { return order_; }
+
+  /// Time-domain support is compact: |t| >= order/2 gives exactly 0.
+  [[nodiscard]] double time_support_halfwidth() const {
+    return 0.5 * static_cast<double>(order_);
+  }
+
+ private:
+  int order_;
+};
+
+/// Modified Bessel function of the first kind, order zero (series +
+/// asymptotic); exposed for tests.
+double bessel_i0(double x);
+
+}  // namespace soi::win

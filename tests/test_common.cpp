@@ -1,0 +1,292 @@
+// Unit tests for the common utilities: aligned allocation, RNG determinism,
+// math helpers, quadrature, statistics and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/quadrature.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace soi {
+namespace {
+
+// --- aligned allocation ----------------------------------------------------
+
+TEST(Aligned, VectorsAre64ByteAligned) {
+  cvec v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  dvec d(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % 64, 0u);
+}
+
+TEST(Aligned, ZeroSizeAllocationWorks) {
+  void* p = aligned_alloc_bytes(0, 64);
+  EXPECT_NE(p, nullptr);
+  aligned_free(p);
+}
+
+TEST(Aligned, OddSizesRoundedUp) {
+  void* p = aligned_alloc_bytes(65, 64);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  aligned_free(p);
+}
+
+// --- error macro -----------------------------------------------------------
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    SOI_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(SOI_CHECK(true, "never"));
+}
+
+// --- rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng r(6);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng r(7);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng r(8);
+  EXPECT_THROW(r.uniform_index(0), Error);
+}
+
+TEST(Rng, FillTonesPutsEnergyInRequestedBins) {
+  cvec x(256);
+  const std::size_t bins[] = {10, 50};
+  const double amps[] = {1.0, 0.5};
+  fill_tones(x, bins, amps, 0.0, 9);
+  // Direct correlation against bin 10 should be ~ amp * n.
+  cplx acc{0, 0};
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    acc += x[j] * omega(static_cast<std::int64_t>(j) * 10, 256);
+  }
+  EXPECT_NEAR(std::abs(acc), 256.0, 1e-9);
+}
+
+// --- math helpers ------------------------------------------------------
+
+TEST(MathUtil, SincBasics) {
+  EXPECT_DOUBLE_EQ(sinc(0.0), 1.0);
+  EXPECT_NEAR(sinc(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(sinc(0.5), 2.0 / kPi, 1e-15);
+  // continuity near zero (series branch)
+  EXPECT_NEAR(sinc(1e-9), 1.0, 1e-12);
+}
+
+TEST(MathUtil, ErfDiffMatchesNaiveInSafeRange) {
+  for (double a : {-1.5, -0.2, 0.3, 2.0}) {
+    for (double b : {-1.0, 0.0, 0.5, 2.5}) {
+      EXPECT_NEAR(erf_diff(a, b), std::erf(b) - std::erf(a), 1e-14);
+    }
+  }
+}
+
+TEST(MathUtil, ErfDiffAvoidsCancellationInFarTail) {
+  // Naive erf(b)-erf(a) would be 0 in double; erfc-based path resolves it.
+  const double a = 7.0, b = 7.1;
+  const double v = erf_diff(a, b);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1e-20);
+}
+
+TEST(MathUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(17), 32);
+}
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(5, 4), 1);
+  EXPECT_EQ(gcd64(0, 7), 7);
+}
+
+TEST(MathUtil, ModularArithmetic) {
+  EXPECT_EQ(mulmod(1ull << 40, 1ull << 40, 1000000007ull),
+            (static_cast<unsigned __int128>(1ull << 40) * (1ull << 40)) %
+                1000000007ull);
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(pmod(-3, 8), 5);
+  EXPECT_EQ(pmod(11, 8), 3);
+}
+
+TEST(MathUtil, Primality) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(17));
+  EXPECT_TRUE(is_prime(1000003));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(1000001));  // 101 * 9901
+}
+
+TEST(MathUtil, PrimitiveRootGeneratesFullGroup) {
+  for (std::uint64_t p : {3ull, 17ull, 101ull, 257ull}) {
+    const std::uint64_t g = primitive_root(p);
+    std::vector<bool> seen(p, false);
+    std::uint64_t v = 1;
+    for (std::uint64_t i = 0; i < p - 1; ++i) {
+      EXPECT_FALSE(seen[v]) << "p=" << p;
+      seen[v] = true;
+      v = mulmod(v, g, p);
+    }
+    EXPECT_EQ(v, 1u);
+  }
+}
+
+// --- quadrature --------------------------------------------------------
+
+TEST(Quadrature, PolynomialExact) {
+  const double v = integrate([](double t) { return 3 * t * t; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 8.0, 1e-10);
+}
+
+TEST(Quadrature, GaussianIntegral) {
+  const double v =
+      integrate([](double t) { return std::exp(-t * t); }, -8.0, 8.0);
+  EXPECT_NEAR(v, std::sqrt(kPi), 1e-10);
+}
+
+TEST(Quadrature, TailIntegralOfExponential) {
+  const double v =
+      integrate_tail([](double t) { return std::exp(-t); }, 1.0);
+  EXPECT_NEAR(v, std::exp(-1.0), 1e-9);
+}
+
+TEST(Quadrature, GaussLegendreSmooth) {
+  const double v = gauss_legendre([](double t) { return std::sin(t); }, 0.0,
+                                  kPi);
+  EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+// --- statistics --------------------------------------------------------
+
+TEST(Stats, NormsAndErrors) {
+  cvec a = {cplx{3, 0}, cplx{0, 4}};
+  cvec b = {cplx{3, 0}, cplx{0, 0}};
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(l2_diff(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(rel_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 4.0);
+}
+
+TEST(Stats, SnrDbAndDigits) {
+  cvec ref(100, cplx{1.0, 0.0});
+  cvec got = ref;
+  for (auto& v : got) v += cplx{1e-10, 0.0};
+  const double snr = snr_db(got, ref);
+  EXPECT_NEAR(snr, 200.0, 0.5);
+  EXPECT_NEAR(snr_digits(snr), 10.0, 0.1);
+}
+
+TEST(Stats, ExactMatchGivesHugeSnr) {
+  cvec a(4, cplx{1.0, 2.0});
+  EXPECT_GE(snr_db(a, a), 1e9);
+}
+
+TEST(Stats, SummaryStatistics) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const RunStats st = summarize(s);
+  EXPECT_EQ(st.n, 5u);
+  EXPECT_DOUBLE_EQ(st.best, 1.0);
+  EXPECT_DOUBLE_EQ(st.worst, 5.0);
+  EXPECT_DOUBLE_EQ(st.mean, 3.0);
+  EXPECT_NEAR(st.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_GT(st.ci90_half, 0.0);
+}
+
+TEST(Stats, GflopsMetric) {
+  // 2^20 points in 1 ms: 5 * 2^20 * 20 / 1e-3 / 1e9 GFLOPS.
+  EXPECT_NEAR(fft_gflops(1 << 20, 1e-3), 5.0 * (1 << 20) * 20 / 1e6 / 1e9 * 1e9,
+              1e-6);
+}
+
+TEST(Stats, MismatchedSizesThrow) {
+  cvec a(3), b(4);
+  EXPECT_THROW(l2_diff(a, b), Error);
+}
+
+// --- table formatting ----------------------------------------------------
+
+TEST(TableFmt, AlignsColumns) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| x      | 1"), std::string::npos);
+}
+
+TEST(TableFmt, RejectsWrongWidth) {
+  Table t("demo");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(TableFmt, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,460 @@
+// FFT engine unit + property tests: every strategy (mixed radix, Rader,
+// Bluestein), batched paths, real-input wrapper, and the algebraic
+// identities a DFT must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "fft/dft.hpp"
+#include "fft/factor.hpp"
+#include "fft/plan.hpp"
+#include "fft/real.hpp"
+
+namespace soi::fft {
+namespace {
+
+cvec random_signal(std::int64_t n, std::uint64_t seed) {
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, seed);
+  return x;
+}
+
+double tol_for(std::int64_t n) {
+  // Generous but meaningful: eps * log2-ish growth, looser for Bluestein
+  // (two extra transforms at padded length).
+  return 1e-13 * std::max<double>(4.0, std::log2(static_cast<double>(n)) * 4.0);
+}
+
+// --- factorisation ---------------------------------------------------------
+
+TEST(Factor, PrimeFactorsBasic) {
+  EXPECT_EQ(prime_factors(1), (std::vector<std::int64_t>{}));
+  EXPECT_EQ(prime_factors(2), (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(prime_factors(360), (std::vector<std::int64_t>{2, 2, 2, 3, 3, 5}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::int64_t>{97}));
+}
+
+TEST(Factor, RadixSchedulePow2PrefersRadix4) {
+  const auto r = radix_schedule(64);
+  for (auto v : r) EXPECT_EQ(v, 4);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Factor, RadixScheduleOddPow2GetsOneRadix2) {
+  const auto r = radix_schedule(32);  // 4*4*2
+  std::int64_t prod = 1;
+  std::int64_t twos = 0;
+  for (auto v : r) {
+    prod *= v;
+    if (v == 2) ++twos;
+  }
+  EXPECT_EQ(prod, 32);
+  EXPECT_EQ(twos, 1);
+}
+
+TEST(Factor, RadixScheduleProductInvariant) {
+  for (std::int64_t n : {6, 12, 30, 35, 49, 100, 120, 240, 1001, 2310}) {
+    if (!is_smooth(n)) continue;
+    std::int64_t prod = 1;
+    for (auto v : radix_schedule(n)) prod *= v;
+    EXPECT_EQ(prod, n) << "n=" << n;
+  }
+}
+
+TEST(Factor, Smoothness) {
+  EXPECT_TRUE(is_smooth(13 * 13 * 8));
+  EXPECT_FALSE(is_smooth(17));
+  EXPECT_FALSE(is_smooth(2 * 17));
+}
+
+// --- strategy selection ----------------------------------------------------
+
+TEST(Plan, StrategySelection) {
+  EXPECT_EQ(FftPlan(1).strategy(), Strategy::kIdentity);
+  EXPECT_EQ(FftPlan(1024).strategy(), Strategy::kMixedRadix);
+  EXPECT_EQ(FftPlan(60).strategy(), Strategy::kMixedRadix);
+  EXPECT_EQ(FftPlan(17).strategy(), Strategy::kRader);
+  EXPECT_EQ(FftPlan(101).strategy(), Strategy::kRader);
+  EXPECT_EQ(FftPlan(2 * 17).strategy(), Strategy::kBluestein);
+  EXPECT_EQ(FftPlan(1000003).strategy(), Strategy::kRader);
+}
+
+TEST(Plan, RejectsNonPositiveSize) {
+  EXPECT_THROW(FftPlan(0), Error);
+  EXPECT_THROW(FftPlan(-4), Error);
+}
+
+// --- correctness vs direct DFT across sizes --------------------------------
+
+class FftVsDirect : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FftVsDirect, ForwardMatchesDirect) {
+  const std::int64_t n = GetParam();
+  const cvec x = random_signal(n, 42 + static_cast<std::uint64_t>(n));
+  cvec want(x.size());
+  dft_direct(x, want);
+  FftPlan plan(n);
+  cvec got(x.size());
+  plan.forward(x, got);
+  EXPECT_LT(rel_error(got, want), tol_for(n)) << "n=" << n;
+}
+
+TEST_P(FftVsDirect, InverseMatchesDirect) {
+  const std::int64_t n = GetParam();
+  const cvec x = random_signal(n, 4242 + static_cast<std::uint64_t>(n));
+  cvec want(x.size());
+  idft_direct(x, want);
+  FftPlan plan(n);
+  cvec got(x.size());
+  plan.inverse(x, got);
+  EXPECT_LT(rel_error(got, want), tol_for(n)) << "n=" << n;
+}
+
+TEST_P(FftVsDirect, RoundTripIsIdentity) {
+  const std::int64_t n = GetParam();
+  const cvec x = random_signal(n, 7 + static_cast<std::uint64_t>(n));
+  FftPlan plan(n);
+  cvec y(x.size());
+  cvec back(x.size());
+  plan.forward(x, y);
+  plan.inverse(y, back);
+  EXPECT_LT(rel_error(back, x), tol_for(n)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, FftVsDirect,
+    ::testing::Values<std::int64_t>(
+        // identity / tiny
+        1, 2, 3, 4, 5, 6, 7, 8,
+        // pow2 mixed radix
+        16, 32, 64, 128, 256, 512, 1024,
+        // mixed radix with odd factors
+        9, 12, 15, 20, 24, 27, 36, 48, 60, 100, 120, 125, 144, 210, 243, 360,
+        500, 625, 729, 1000, 1296, 2048,
+        // generic radices 7, 11, 13
+        49, 77, 91, 121, 143, 169, 1001,
+        // Rader primes
+        17, 19, 23, 29, 31, 37, 41, 53, 61, 97, 101, 127, 251, 509, 1021,
+        // Bluestein composites with large prime factors
+        34, 51, 68, 2 * 101, 3 * 17 * 19, 4 * 97));
+
+// Exhaustive coverage of every size 1..200: all radix mixes, Rader primes
+// and Bluestein composites in one sweep, against the O(n^2) oracle.
+TEST(Exhaustive, AllSizesUpTo200) {
+  for (std::int64_t n = 1; n <= 200; ++n) {
+    const cvec x = random_signal(n, 9000 + static_cast<std::uint64_t>(n));
+    cvec want(x.size());
+    dft_direct(x, want);
+    FftPlan plan(n);
+    cvec got(x.size());
+    plan.forward(x, got);
+    ASSERT_LT(rel_error(got, want), 1e-11) << "n=" << n;
+  }
+}
+
+TEST(Determinism, RepeatedExecutionIsBitIdentical) {
+  const std::int64_t n = 360;
+  const cvec x = random_signal(n, 31);
+  FftPlan plan(n);
+  cvec a(x.size()), b(x.size());
+  plan.forward(x, a);
+  plan.forward(x, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].real(), b[i].real());
+    EXPECT_EQ(a[i].imag(), b[i].imag());
+  }
+  // A fresh plan of the same size must also reproduce the same bits
+  // (tables are deterministic functions of n).
+  FftPlan plan2(n);
+  cvec c(x.size());
+  plan2.forward(x, c);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].real(), c[i].real());
+    EXPECT_EQ(a[i].imag(), c[i].imag());
+  }
+}
+
+// --- algebraic properties --------------------------------------------------
+
+class FftProps : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FftProps, ImpulseGivesFlatSpectrum) {
+  const std::int64_t n = GetParam();
+  cvec x(static_cast<std::size_t>(n), cplx{0.0, 0.0});
+  x[0] = cplx{1.0, 0.0};
+  FftPlan plan(n);
+  cvec y(x.size());
+  plan.forward(x, y);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST_P(FftProps, SingleToneLandsInOneBin) {
+  const std::int64_t n = GetParam();
+  if (n < 4) GTEST_SKIP();
+  const std::int64_t bin = n / 3;
+  cvec x(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    x[static_cast<std::size_t>(j)] = std::conj(omega(j * bin, n));
+  }
+  FftPlan plan(n);
+  cvec y(x.size());
+  plan.forward(x, y);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double expect = (k == bin) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(k)]), expect,
+                1e-9 * static_cast<double>(n))
+        << "k=" << k;
+  }
+}
+
+TEST_P(FftProps, Linearity) {
+  const std::int64_t n = GetParam();
+  const cvec a = random_signal(n, 1);
+  const cvec b = random_signal(n, 2);
+  const cplx alpha{0.7, -1.3};
+  const cplx beta{-0.2, 0.5};
+  cvec mix(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) mix[i] = alpha * a[i] + beta * b[i];
+  FftPlan plan(n);
+  cvec fa(a.size()), fb(a.size()), fmix(a.size()), want(a.size());
+  plan.forward(a, fa);
+  plan.forward(b, fb);
+  plan.forward(mix, fmix);
+  for (std::size_t i = 0; i < a.size(); ++i) want[i] = alpha * fa[i] + beta * fb[i];
+  EXPECT_LT(rel_error(fmix, want), tol_for(n));
+}
+
+TEST_P(FftProps, ParsevalHolds) {
+  const std::int64_t n = GetParam();
+  const cvec x = random_signal(n, 99);
+  FftPlan plan(n);
+  cvec y(x.size());
+  plan.forward(x, y);
+  const double ex = l2_norm(x);
+  const double ey = l2_norm(y) / std::sqrt(static_cast<double>(n));
+  EXPECT_NEAR(ey / ex, 1.0, 1e-12);
+}
+
+TEST_P(FftProps, TimeShiftMultipliesSpectrumByPhase) {
+  const std::int64_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  const cvec x = random_signal(n, 5);
+  cvec shifted(x.size());
+  for (std::int64_t j = 0; j < n; ++j) {
+    shifted[static_cast<std::size_t>(j)] =
+        x[static_cast<std::size_t>((j + 1) % n)];
+  }
+  FftPlan plan(n);
+  cvec fx(x.size()), fs(x.size()), want(x.size());
+  plan.forward(x, fx);
+  plan.forward(shifted, fs);
+  for (std::int64_t k = 0; k < n; ++k) {
+    want[static_cast<std::size_t>(k)] =
+        fx[static_cast<std::size_t>(k)] * std::conj(omega(k, n));
+  }
+  EXPECT_LT(rel_error(fs, want), tol_for(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftProps,
+                         ::testing::Values<std::int64_t>(8, 12, 17, 34, 60,
+                                                         101, 128, 210, 256,
+                                                         509, 1024));
+
+// --- batched execution -----------------------------------------------------
+
+TEST(Batch, MatchesSingleTransforms) {
+  const std::int64_t n = 48;
+  const std::int64_t count = 37;
+  cvec x(static_cast<std::size_t>(n * count));
+  fill_gaussian(x, 11);
+  FftPlan plan(n);
+  cvec batched(x.size());
+  plan.forward_batch(x, batched, count);
+  cvec single(static_cast<std::size_t>(n));
+  for (std::int64_t b = 0; b < count; ++b) {
+    plan.forward(cspan{x.data() + b * n, static_cast<std::size_t>(n)}, single);
+    EXPECT_LT(rel_error(cspan{batched.data() + b * n,
+                              static_cast<std::size_t>(n)},
+                        single),
+              1e-14)
+        << "batch " << b;
+  }
+}
+
+TEST(Batch, InverseRoundTrip) {
+  const std::int64_t n = 40;
+  const std::int64_t count = 16;
+  cvec x(static_cast<std::size_t>(n * count));
+  fill_gaussian(x, 12);
+  FftPlan plan(n);
+  cvec y(x.size());
+  cvec back(x.size());
+  plan.forward_batch(x, y, count);
+  plan.inverse_batch(y, back, count);
+  EXPECT_LT(rel_error(back, x), 1e-13);
+}
+
+// --- interleaved (strided) transforms ----------------------------------------
+
+class Interleaved : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Interleaved, MatchesGatheredTransforms) {
+  // F_n (x) I_count must equal `count` independent transforms of the
+  // strided sub-sequences, for every strategy (native Stockham stride path
+  // for smooth n, gather/scatter fallback for Rader/Bluestein).
+  const std::int64_t n = GetParam();
+  const std::int64_t count = 6;
+  cvec x(static_cast<std::size_t>(n * count));
+  fill_gaussian(x, 3000 + static_cast<std::uint64_t>(n));
+  FftPlan plan(n);
+  cvec got(x.size());
+  plan.forward_interleaved(x, got, count);
+  cvec gathered(static_cast<std::size_t>(n)), want(static_cast<std::size_t>(n));
+  for (std::int64_t c = 0; c < count; ++c) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      gathered[static_cast<std::size_t>(j)] =
+          x[static_cast<std::size_t>(j * count + c)];
+    }
+    plan.forward(gathered, want);
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_LT(std::abs(got[static_cast<std::size_t>(j * count + c)] -
+                         want[static_cast<std::size_t>(j)]),
+                1e-10)
+          << "n=" << n << " c=" << c << " j=" << j;
+    }
+  }
+}
+
+TEST_P(Interleaved, RoundTrip) {
+  const std::int64_t n = GetParam();
+  const std::int64_t count = 5;
+  cvec x(static_cast<std::size_t>(n * count));
+  fill_gaussian(x, 3100 + static_cast<std::uint64_t>(n));
+  FftPlan plan(n);
+  cvec y(x.size()), back(x.size());
+  plan.forward_interleaved(x, y, count);
+  plan.inverse_interleaved(y, back, count);
+  EXPECT_LT(rel_error(back, x), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, Interleaved,
+                         ::testing::Values<std::int64_t>(16, 60, 128, 101,
+                                                         2 * 17, 243));
+
+TEST(Interleaved2, CountOneEqualsPlainTransform) {
+  const std::int64_t n = 96;
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 32);
+  FftPlan plan(n);
+  cvec a(x.size()), b(x.size());
+  plan.forward_interleaved(x, a, 1);
+  plan.forward(x, b);
+  EXPECT_LT(rel_error(a, b), 1e-15);
+}
+
+TEST(Interleaved2, RejectsBadCount) {
+  FftPlan plan(16);
+  cvec x(16), y(16);
+  EXPECT_THROW(plan.forward_interleaved(x, y, 0), Error);
+  EXPECT_THROW(plan.forward_interleaved(x, y, 2), Error);  // size mismatch
+}
+
+// --- workspace API ---------------------------------------------------------
+
+TEST(Workspace, ExplicitWorkspaceMatchesConvenience) {
+  const std::int64_t n = 100;
+  const cvec x = random_signal(n, 3);
+  FftPlan plan(n);
+  cvec a(x.size()), b(x.size());
+  cvec ws(plan.workspace_size());
+  plan.forward(x, a, ws);
+  plan.forward(x, b);
+  EXPECT_LT(rel_error(a, b), 1e-16);
+}
+
+TEST(Workspace, RejectsTooSmallBuffers) {
+  FftPlan plan(64);
+  cvec x(64), y(64), ws(1);
+  EXPECT_THROW(plan.forward(x, y, ws), Error);
+  cvec small_out(32);
+  EXPECT_THROW(plan.forward(x, small_out), Error);
+}
+
+// --- real-input wrapper ----------------------------------------------------
+
+TEST(RealFft, MatchesComplexTransform) {
+  for (std::int64_t n : {8, 16, 30, 64, 100, 256}) {
+    dvec x(static_cast<std::size_t>(n));
+    Rng rng(77);
+    for (auto& v : x) v = rng.gaussian();
+    cvec xc(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j) {
+      xc[static_cast<std::size_t>(j)] = {x[static_cast<std::size_t>(j)], 0.0};
+    }
+    cvec want(static_cast<std::size_t>(n));
+    FftPlan plan(n);
+    plan.forward(xc, want);
+    RealFftPlan rplan(n);
+    cvec got(static_cast<std::size_t>(n / 2 + 1));
+    rplan.forward(x, got);
+    for (std::int64_t k = 0; k <= n / 2; ++k) {
+      EXPECT_NEAR(std::abs(got[static_cast<std::size_t>(k)] -
+                           want[static_cast<std::size_t>(k)]),
+                  0.0, 1e-11)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RealFft, RoundTrip) {
+  const std::int64_t n = 128;
+  dvec x(static_cast<std::size_t>(n));
+  Rng rng(78);
+  for (auto& v : x) v = rng.gaussian();
+  RealFftPlan rplan(n);
+  cvec spec(static_cast<std::size_t>(n / 2 + 1));
+  rplan.forward(x, spec);
+  dvec back(static_cast<std::size_t>(n));
+  rplan.inverse(spec, back);
+  for (std::int64_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(back[static_cast<std::size_t>(j)],
+                x[static_cast<std::size_t>(j)], 1e-12);
+  }
+}
+
+TEST(RealFft, RejectsOddLength) { EXPECT_THROW(RealFftPlan(9), Error); }
+
+// --- single-bin checker ----------------------------------------------------
+
+TEST(DftBin, MatchesFullTransform) {
+  const std::int64_t n = 60;
+  const cvec x = random_signal(n, 8);
+  cvec y(x.size());
+  dft_direct(x, y);
+  for (std::int64_t k : {0L, 1L, 7L, 59L}) {
+    const cplx v = dft_bin(x, k);
+    EXPECT_LT(std::abs(v - y[static_cast<std::size_t>(k)]), 1e-10);
+  }
+}
+
+// --- plan cache ------------------------------------------------------------
+
+TEST(PlanCache, ReusesPlans) {
+  PlanCache cache;
+  const FftPlan& a = cache.get(64);
+  const FftPlan& b = cache.get(64);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.get(128);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace soi::fft

@@ -1,0 +1,221 @@
+// Single-precision engine tests: every strategy at float32, checked against
+// the double engine; accuracy should sit in the fp32 regime ("6-digit"
+// transforms, the regime Section 7.3's single-precision MKL remark refers
+// to).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "fft/plan.hpp"
+
+namespace soi::fft {
+namespace {
+
+// Relative L2 error between a float result and a double reference.
+double rel_error_f(const cvecf& got, const cvec& ref) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const cplx g{static_cast<double>(got[i].real()),
+                 static_cast<double>(got[i].imag())};
+    num += std::norm(g - ref[i]);
+    den += std::norm(ref[i]);
+  }
+  return std::sqrt(num / den);
+}
+
+struct Signals {
+  cvecf xf;
+  cvec xd;
+};
+
+Signals random_signal(std::int64_t n, std::uint64_t seed) {
+  Signals s;
+  s.xd.resize(static_cast<std::size_t>(n));
+  fill_gaussian(s.xd, seed);
+  s.xf.resize(s.xd.size());
+  for (std::size_t i = 0; i < s.xd.size(); ++i) {
+    s.xf[i] = {static_cast<float>(s.xd[i].real()),
+               static_cast<float>(s.xd[i].imag())};
+  }
+  return s;
+}
+
+class FloatFft : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FloatFft, MatchesDoubleEngineAtFloatPrecision) {
+  const std::int64_t n = GetParam();
+  const Signals s = random_signal(n, 100 + static_cast<std::uint64_t>(n));
+  FftPlan dplan(n);
+  cvec want(s.xd.size());
+  dplan.forward(s.xd, want);
+  FftPlanF fplan(n);
+  cvecf got(s.xf.size());
+  fplan.forward(s.xf, got);
+  // fp32 epsilon is ~6e-8; allow growth with log n and the Bluestein
+  // detour's extra transforms.
+  EXPECT_LT(rel_error_f(got, want), 5e-5) << "n=" << n;
+  EXPECT_GT(rel_error_f(got, want), 1e-9) << "n=" << n;  // truly fp32
+}
+
+TEST_P(FloatFft, RoundTrip) {
+  const std::int64_t n = GetParam();
+  const Signals s = random_signal(n, 200 + static_cast<std::uint64_t>(n));
+  FftPlanF plan(n);
+  cvecf y(s.xf.size()), back(s.xf.size());
+  plan.forward(s.xf, y);
+  plan.inverse(y, back);
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < s.xf.size(); ++i) {
+    err += std::norm(cplx(back[i]) - cplx(s.xf[i]));
+    ref += std::norm(cplx(s.xf[i]));
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-4) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FloatFft,
+                         ::testing::Values<std::int64_t>(
+                             8, 60, 128, 1024,  // mixed radix
+                             101, 509,          // Rader
+                             2 * 101,           // Bluestein
+                             4096));
+
+TEST(FloatFft2, StrategySelectionIdenticalToDouble) {
+  for (std::int64_t n : {1, 17, 60, 34, 1024}) {
+    EXPECT_EQ(FftPlanF(n).strategy(), FftPlan(n).strategy()) << n;
+  }
+}
+
+TEST(FloatFft2, BatchMatchesSingle) {
+  const std::int64_t n = 64, count = 20;
+  Signals s = random_signal(n * count, 7);
+  FftPlanF plan(n);
+  cvecf batched(s.xf.size());
+  plan.forward_batch(s.xf, batched, count);
+  cvecf single(static_cast<std::size_t>(n));
+  for (std::int64_t b = 0; b < count; ++b) {
+    plan.forward(cspanf{s.xf.data() + b * n, static_cast<std::size_t>(n)},
+                 single);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(single[static_cast<std::size_t>(i)],
+                batched[static_cast<std::size_t>(b * n + i)]);
+    }
+  }
+}
+
+TEST(FloatFft2, SnrInTheSixDigitRegime) {
+  // Section 7.3's reference point: single-precision transforms live near
+  // 6-7 digits. SNR of the float engine vs the double engine at 2^16.
+  const std::int64_t n = 1 << 16;
+  const Signals s = random_signal(n, 9);
+  FftPlan dplan(n);
+  cvec want(s.xd.size());
+  dplan.forward(s.xd, want);
+  FftPlanF fplan(n);
+  cvecf got(s.xf.size());
+  fplan.forward(s.xf, got);
+  const double snr = -20.0 * std::log10(rel_error_f(got, want));
+  EXPECT_GT(snr, 110.0);  // >= ~5.5 digits
+  EXPECT_LT(snr, 160.0);  // clearly not double precision
+}
+
+TEST(FloatFft2, PlanCacheWorksForFloat) {
+  PlanCacheT<float> cache;
+  const FftPlanF& a = cache.get(128);
+  const FftPlanF& b = cache.get(128);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(FloatFft2, RejectsBadSizes) { EXPECT_THROW(FftPlanF(0), Error); }
+
+}  // namespace
+}  // namespace soi::fft
+
+// --- single-precision SOI transform ------------------------------------------
+
+#include "soi/convolve.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+
+namespace soi::core {
+namespace {
+
+TEST(FloatSoi, SixDigitTransform) {
+  // The full pipeline at fp32: this is the "6-digit-accurate
+  // single-precision" regime of Section 7.3. Window/design run in double;
+  // tables, FFTs and convolution run at float.
+  const std::int64_t n = 1 << 14;
+  const std::int64_t p = 4;
+  const win::SoiProfile prof = win::make_profile(win::Accuracy::kLow);
+
+  cvec xd(static_cast<std::size_t>(n));
+  fill_gaussian(xd, 77);
+  cvecf xf(xd.size());
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    xf[i] = {static_cast<float>(xd[i].real()),
+             static_cast<float>(xd[i].imag())};
+  }
+  fft::FftPlan exact(n);
+  cvec want(xd.size());
+  exact.forward(xd, want);
+
+  SoiFftSerialF soi(n, p, prof);
+  cvecf got(xf.size());
+  soi.forward(xf, got);
+
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    num += std::norm(cplx(got[i]) - want[i]);
+    den += std::norm(want[i]);
+  }
+  const double snr = -10.0 * std::log10(num / den);
+  EXPECT_GT(snr, 90.0);   // >= ~4.5 digits
+  EXPECT_LT(snr, 165.0);  // clearly fp32-limited, not fp64
+}
+
+TEST(FloatSoi, RoundTrip) {
+  const std::int64_t n = 1 << 13;
+  const win::SoiProfile prof = win::make_profile(win::Accuracy::kLow);
+  SoiFftSerialF soi(n, 4, prof);
+  cvecf x(static_cast<std::size_t>(n));
+  Rng rng(5);
+  for (auto& v : x) {
+    v = {static_cast<float>(rng.gaussian()), static_cast<float>(rng.gaussian())};
+  }
+  cvecf y(x.size()), back(x.size());
+  soi.forward(x, y);
+  soi.inverse(y, back);
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err += std::norm(cplx(back[i]) - cplx(x[i]));
+    ref += std::norm(cplx(x[i]));
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-4);
+}
+
+TEST(FloatSoi, FloatKernelsMatchReference) {
+  const win::SoiProfile prof = win::make_profile(win::Accuracy::kLow);
+  const SoiGeometry g(8192, 4, prof);
+  const ConvTableF table(g, *prof.window);
+  cvecf in(static_cast<std::size_t>(g.local_input()));
+  Rng rng(6);
+  for (auto& v : in) {
+    v = {static_cast<float>(rng.gaussian()), static_cast<float>(rng.gaussian())};
+  }
+  cvecf ref(static_cast<std::size_t>(g.chunks_per_rank() * g.p()));
+  cvecf opt(ref.size());
+  convolve_rank_reference<float>(g, table, in, ref);
+  convolve_rank<float>(g, table, in, opt);
+  double err = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    err += std::norm(cplx(opt[i]) - cplx(ref[i]));
+    den += std::norm(cplx(ref[i]));
+  }
+  EXPECT_LT(std::sqrt(err / den), 1e-5);
+}
+
+}  // namespace
+}  // namespace soi::core

@@ -1,0 +1,286 @@
+// Multi-dimensional FFT tests (NdFft) and the real-input SOI transform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "baseline/fft2d_dist.hpp"
+#include "fft/multi.hpp"
+#include "fft/plan.hpp"
+#include "net/comm.hpp"
+#include "soi/real.hpp"
+#include "window/design.hpp"
+
+namespace soi {
+namespace {
+
+// Direct 2-D DFT for ground truth (tiny sizes only).
+cvec dft2_direct(const cvec& x, std::int64_t r, std::int64_t c) {
+  cvec y(x.size());
+  for (std::int64_t k1 = 0; k1 < r; ++k1) {
+    for (std::int64_t k2 = 0; k2 < c; ++k2) {
+      cplx acc{0.0, 0.0};
+      for (std::int64_t j1 = 0; j1 < r; ++j1) {
+        for (std::int64_t j2 = 0; j2 < c; ++j2) {
+          acc += x[static_cast<std::size_t>(j1 * c + j2)] *
+                 omega(j1 * k1, r) * omega(j2 * k2, c);
+        }
+      }
+      y[static_cast<std::size_t>(k1 * c + k2)] = acc;
+    }
+  }
+  return y;
+}
+
+TEST(NdFft, OneDimMatchesPlan) {
+  const std::int64_t n = 96;
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 1);
+  fft::NdFft nd({n});
+  fft::FftPlan plan(n);
+  cvec a(x.size()), b(x.size());
+  nd.forward(x, a);
+  plan.forward(x, b);
+  EXPECT_LT(rel_error(a, b), 1e-14);
+}
+
+TEST(NdFft, TwoDimMatchesDirect) {
+  for (auto [r, c] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {4, 8}, {8, 8}, {6, 10}, {16, 3}}) {
+    cvec x(static_cast<std::size_t>(r * c));
+    fill_gaussian(x, 2 + static_cast<std::uint64_t>(r));
+    const cvec want = dft2_direct(x, r, c);
+    fft::NdFft nd({r, c});
+    cvec got(x.size());
+    nd.forward(x, got);
+    EXPECT_LT(rel_error(got, want), 1e-12) << r << "x" << c;
+  }
+}
+
+TEST(NdFft, SeparabilityOfOuterProduct) {
+  // 2-D transform of an outer product is the outer product of 1-D
+  // transforms — the defining property of the row-column method.
+  // r = 48 regresses the buffer-aliasing bug: its radix schedule has an
+  // odd stage count, which made the old two-buffer rotation read and write
+  // the same buffer in round 2.
+  const std::int64_t r = 48, c = 20;
+  cvec a(static_cast<std::size_t>(r)), b(static_cast<std::size_t>(c));
+  fill_gaussian(a, 3);
+  fill_gaussian(b, 4);
+  cvec x(static_cast<std::size_t>(r * c));
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      x[static_cast<std::size_t>(i * c + j)] =
+          a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(j)];
+    }
+  }
+  fft::NdFft nd({r, c});
+  cvec got(x.size());
+  nd.forward(x, got);
+  fft::FftPlan pa(r), pb(c);
+  cvec fa(a.size()), fb(b.size());
+  pa.forward(a, fa);
+  pb.forward(b, fb);
+  cvec want(x.size());
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      want[static_cast<std::size_t>(i * c + j)] =
+          fa[static_cast<std::size_t>(i)] * fb[static_cast<std::size_t>(j)];
+    }
+  }
+  EXPECT_LT(rel_error(got, want), 1e-13);
+}
+
+TEST(NdFft, ThreeDimRoundTrip) {
+  fft::NdFft nd({6, 8, 10});
+  cvec x(static_cast<std::size_t>(6 * 8 * 10));
+  fill_gaussian(x, 5);
+  cvec y(x.size()), back(x.size());
+  nd.forward(x, y);
+  nd.inverse(y, back);
+  EXPECT_LT(rel_error(back, x), 1e-13);
+}
+
+TEST(NdFft, ThreeDimImpulse) {
+  fft::NdFft nd({4, 4, 4});
+  cvec x(64, cplx{0.0, 0.0});
+  x[0] = cplx{1.0, 0.0};
+  cvec y(64);
+  nd.forward(x, y);
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v - cplx{1.0, 0.0}), 0.0, 1e-13);
+}
+
+TEST(NdFft, ParsevalIn3D) {
+  fft::NdFft nd({8, 6, 4});
+  cvec x(static_cast<std::size_t>(8 * 6 * 4));
+  fill_gaussian(x, 6);
+  cvec y(x.size());
+  nd.forward(x, y);
+  EXPECT_NEAR(l2_norm(y) / std::sqrt(static_cast<double>(x.size())),
+              l2_norm(x), 1e-10);
+}
+
+TEST(NdFft, RejectsBadShapes) {
+  EXPECT_THROW(fft::NdFft({}), Error);
+  EXPECT_THROW(fft::NdFft({4, 0}), Error);
+  fft::NdFft nd({4, 4});
+  cvec x(15), y(16);
+  EXPECT_THROW(nd.forward(x, y), Error);
+}
+
+// --- distributed 2-D FFT --------------------------------------------------------
+
+namespace dist2d {
+
+cvec run_2d(std::int64_t r0, std::int64_t r1, int p, const cvec& x,
+            baseline::Ordering2D ord,
+            std::vector<net::CommEvent>* events = nullptr) {
+  const std::int64_t in_slab = r0 / p * r1;
+  const std::int64_t out_slab =
+      ord == baseline::Ordering2D::kNatural ? in_slab : r1 / p * r0;
+  cvec y(static_cast<std::size_t>(out_slab * p));
+  std::mutex mu;
+  auto ev = net::run_ranks(p, [&](net::Comm& c) {
+    baseline::Fft2DDist plan(c, r0, r1, ord);
+    cvec y_local(static_cast<std::size_t>(out_slab));
+    plan.forward(cspan{x.data() + c.rank() * in_slab,
+                       static_cast<std::size_t>(in_slab)},
+                 y_local);
+    std::lock_guard<std::mutex> lock(mu);
+    std::copy(y_local.begin(), y_local.end(),
+              y.begin() + c.rank() * out_slab);
+  });
+  if (events != nullptr) *events = std::move(ev);
+  return y;
+}
+
+}  // namespace dist2d
+
+TEST(Fft2DDist, NaturalOrderingMatchesNdFft) {
+  const std::int64_t r0 = 32, r1 = 48;
+  const int p = 4;
+  cvec x(static_cast<std::size_t>(r0 * r1));
+  fill_gaussian(x, 41);
+  fft::NdFft nd({r0, r1});
+  cvec want(x.size());
+  nd.forward(x, want);
+  const cvec got =
+      dist2d::run_2d(r0, r1, p, x, baseline::Ordering2D::kNatural);
+  EXPECT_LT(rel_error(got, want), 1e-12);
+}
+
+TEST(Fft2DDist, TransposedOrderingIsTheTransposeOfNatural) {
+  const std::int64_t r0 = 24, r1 = 40;
+  const int p = 4;
+  cvec x(static_cast<std::size_t>(r0 * r1));
+  fill_gaussian(x, 42);
+  fft::NdFft nd({r0, r1});
+  cvec full(x.size());
+  nd.forward(x, full);
+  const cvec got =
+      dist2d::run_2d(r0, r1, p, x, baseline::Ordering2D::kTransposed);
+  // got is the r1 x r0 transpose of the spectrum.
+  for (std::int64_t j = 0; j < r1; ++j) {
+    for (std::int64_t i = 0; i < r0; ++i) {
+      const cplx want = full[static_cast<std::size_t>(i * r1 + j)];
+      const cplx have = got[static_cast<std::size_t>(j * r0 + i)];
+      ASSERT_LT(std::abs(want - have), 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Fft2DDist, OrderingControlsTransposeCount) {
+  // The paper's Section 1 point, made concrete: natural order costs two
+  // global transposes, transposed output costs one.
+  const std::int64_t r0 = 32, r1 = 32;
+  const int p = 4;
+  cvec x(static_cast<std::size_t>(r0 * r1));
+  fill_gaussian(x, 43);
+  std::vector<net::CommEvent> ev_nat, ev_tr;
+  dist2d::run_2d(r0, r1, p, x, baseline::Ordering2D::kNatural, &ev_nat);
+  dist2d::run_2d(r0, r1, p, x, baseline::Ordering2D::kTransposed, &ev_tr);
+  EXPECT_EQ(net::summarize_events(ev_nat).alltoall_calls, 2);
+  EXPECT_EQ(net::summarize_events(ev_tr).alltoall_calls, 1);
+}
+
+TEST(Fft2DDist, RejectsIndivisibleShapes) {
+  EXPECT_THROW(
+      net::run_ranks(4,
+                     [](net::Comm& c) {
+                       baseline::Fft2DDist plan(c, 30, 32,
+                                                baseline::Ordering2D::kNatural);
+                       (void)plan;
+                     }),
+      Error);
+}
+
+// --- real-input SOI -----------------------------------------------------------
+
+TEST(SoiRealFft, MatchesComplexReference) {
+  const std::int64_t n = 1 << 14;
+  const std::int64_t p = 4;
+  dvec x(static_cast<std::size_t>(n));
+  Rng rng(7);
+  for (auto& v : x) v = rng.gaussian();
+  // Ground truth from the exact complex engine.
+  cvec xc(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    xc[static_cast<std::size_t>(j)] = {x[static_cast<std::size_t>(j)], 0.0};
+  }
+  cvec want(xc.size());
+  fft::FftPlan plan(n);
+  plan.forward(xc, want);
+
+  core::SoiRealFft rsoi(n, p, win::make_profile(win::Accuracy::kFull));
+  cvec got(static_cast<std::size_t>(n / 2 + 1));
+  rsoi.forward(x, got);
+  const cspan want_half{want.data(), static_cast<std::size_t>(n / 2 + 1)};
+  EXPECT_GT(snr_db(got, want_half), 265.0);
+}
+
+TEST(SoiRealFft, RoundTrip) {
+  const std::int64_t n = 1 << 13;
+  const std::int64_t p = 4;
+  dvec x(static_cast<std::size_t>(n));
+  Rng rng(8);
+  for (auto& v : x) v = rng.gaussian();
+  core::SoiRealFft rsoi(n, p, win::make_profile(win::Accuracy::kFull));
+  cvec spec(static_cast<std::size_t>(n / 2 + 1));
+  rsoi.forward(x, spec);
+  dvec back(static_cast<std::size_t>(n));
+  rsoi.inverse(spec, back);
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const double d = back[static_cast<std::size_t>(j)] -
+                     x[static_cast<std::size_t>(j)];
+    err += d * d;
+    ref += x[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-12);
+}
+
+TEST(SoiRealFft, HermitianSymmetryRealized) {
+  // A real signal's bins must satisfy y[0], y[n/2] real (up to SOI error).
+  const std::int64_t n = 1 << 13;
+  dvec x(static_cast<std::size_t>(n));
+  Rng rng(9);
+  for (auto& v : x) v = rng.gaussian();
+  core::SoiRealFft rsoi(n, 4, win::make_profile(win::Accuracy::kFull));
+  cvec spec(static_cast<std::size_t>(n / 2 + 1));
+  rsoi.forward(x, spec);
+  EXPECT_LT(std::abs(spec[0].imag()), 1e-8 * std::abs(spec[0]));
+  EXPECT_LT(std::abs(spec[static_cast<std::size_t>(n / 2)].imag()),
+            1e-8 * std::abs(spec[static_cast<std::size_t>(n / 2)]) + 1e-8);
+}
+
+TEST(SoiRealFft, RejectsOddLength) {
+  EXPECT_THROW(
+      core::SoiRealFft(9, 3, win::make_profile(win::Accuracy::kLow)), Error);
+}
+
+}  // namespace
+}  // namespace soi

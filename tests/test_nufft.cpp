@@ -1,0 +1,169 @@
+// NUFFT tests (the Section 8 extension): both transform types against the
+// O(M n) direct sums, accuracy scaling with the tolerance knob, adjoint
+// consistency, and the degenerate uniform-points case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "fft/plan.hpp"
+#include "nufft/nufft.hpp"
+
+namespace soi::nufft {
+namespace {
+
+struct Problem {
+  std::vector<double> points;
+  cvec coeffs;
+};
+
+Problem random_problem(std::size_t npts, std::uint64_t seed) {
+  Problem p;
+  Rng rng(seed);
+  p.points.resize(npts);
+  p.coeffs.resize(npts);
+  for (std::size_t j = 0; j < npts; ++j) {
+    p.points[j] = rng.uniform();
+    p.coeffs[j] = rng.gaussian_cplx();
+  }
+  return p;
+}
+
+class NufftTol : public ::testing::TestWithParam<double> {};
+
+TEST_P(NufftTol, Type1MatchesDirect) {
+  const double tol = GetParam();
+  const std::int64_t m = 128;
+  const Problem p = random_problem(300, 1);
+  NufftPlan plan(m, tol);
+  cvec got(static_cast<std::size_t>(m)), want(static_cast<std::size_t>(m));
+  plan.type1(p.points, p.coeffs, got);
+  NufftPlan::type1_direct(p.points, p.coeffs, m, want);
+  EXPECT_LT(rel_error(got, want), 30.0 * tol) << "tol=" << tol;
+}
+
+TEST_P(NufftTol, Type2MatchesDirect) {
+  const double tol = GetParam();
+  const std::int64_t m = 128;
+  cvec f(static_cast<std::size_t>(m));
+  fill_gaussian(f, 2);
+  const Problem p = random_problem(257, 3);
+  NufftPlan plan(m, tol);
+  cvec got(p.points.size()), want(p.points.size());
+  plan.type2(p.points, f, got);
+  NufftPlan::type2_direct(p.points, f, want);
+  EXPECT_LT(rel_error(got, want), 30.0 * tol) << "tol=" << tol;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, NufftTol,
+                         ::testing::Values(1e-4, 1e-7, 1e-10, 1e-12));
+
+TEST(Nufft, AccuracyImprovesWithTighterTol) {
+  const std::int64_t m = 256;
+  const Problem p = random_problem(400, 4);
+  cvec want(static_cast<std::size_t>(m));
+  NufftPlan::type1_direct(p.points, p.coeffs, m, want);
+  double prev = 1.0;
+  for (double tol : {1e-4, 1e-8, 1e-12}) {
+    NufftPlan plan(m, tol);
+    cvec got(static_cast<std::size_t>(m));
+    plan.type1(p.points, p.coeffs, got);
+    const double err = rel_error(got, want);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Nufft, WidthGrowsWithAccuracy) {
+  NufftPlan loose(64, 1e-4);
+  NufftPlan tight(64, 1e-12);
+  EXPECT_LT(loose.width(), tight.width());
+}
+
+TEST(Nufft, UniformPointsReduceToDft) {
+  // t_j = j/n with n == modes: type1 becomes an ordinary DFT (reordered).
+  const std::int64_t m = 64;
+  std::vector<double> pts(static_cast<std::size_t>(m));
+  cvec c(static_cast<std::size_t>(m));
+  fill_gaussian(c, 5);
+  for (std::int64_t j = 0; j < m; ++j) {
+    pts[static_cast<std::size_t>(j)] =
+        static_cast<double>(j) / static_cast<double>(m);
+  }
+  NufftPlan plan(m, 1e-12);
+  cvec got(static_cast<std::size_t>(m));
+  plan.type1(pts, c, got);
+  // Reference: y[k] = sum_j c_j exp(-2 pi i k j / m) == FFT bins, with our
+  // output ordered k = -m/2 .. m/2-1 (bin k mod m).
+  cvec fftref(static_cast<std::size_t>(m));
+  fft::FftPlan fft_plan(m);
+  fft_plan.forward(c, fftref);
+  for (std::int64_t k = -m / 2; k < m / 2; ++k) {
+    const cplx want = fftref[static_cast<std::size_t>((k + m) % m)];
+    const cplx have = got[static_cast<std::size_t>(k + m / 2)];
+    EXPECT_LT(std::abs(want - have), 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Nufft, AdjointConsistency) {
+  // <type2(f), c> == <f, type1(c)> (type2 is the adjoint of type1 up to
+  // conjugation conventions): a strong structural check.
+  const std::int64_t m = 96;
+  const Problem p = random_problem(150, 7);
+  cvec f(static_cast<std::size_t>(m));
+  fill_gaussian(f, 8);
+  NufftPlan plan(m, 1e-12);
+  cvec t2(p.points.size());
+  plan.type2(p.points, f, t2);
+  cvec t1(static_cast<std::size_t>(m));
+  plan.type1(p.points, p.coeffs, t1);
+  cplx lhs{0.0, 0.0}, rhs{0.0, 0.0};
+  for (std::size_t j = 0; j < p.points.size(); ++j) {
+    lhs += t2[j] * std::conj(p.coeffs[j]);
+  }
+  for (std::int64_t k = 0; k < m; ++k) {
+    rhs += f[static_cast<std::size_t>(k)] *
+           std::conj(t1[static_cast<std::size_t>(k)]);
+  }
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 1e-10);
+}
+
+TEST(Nufft, PointsOutsideUnitIntervalWrap) {
+  const std::int64_t m = 64;
+  NufftPlan plan(m, 1e-10);
+  std::vector<double> a = {0.3};
+  std::vector<double> b = {2.3};  // same circle position
+  cvec c = {cplx{1.0, -0.5}};
+  cvec ya(static_cast<std::size_t>(m)), yb(static_cast<std::size_t>(m));
+  plan.type1(a, c, ya);
+  plan.type1(b, c, yb);
+  EXPECT_LT(rel_error(yb, ya), 1e-9);
+}
+
+TEST(Nufft, RejectsBadArguments) {
+  EXPECT_THROW(NufftPlan(63, 1e-8), Error);   // odd
+  EXPECT_THROW(NufftPlan(4, 1e-8), Error);    // too small
+  EXPECT_THROW(NufftPlan(64, 0.5), Error);    // tol out of range
+  NufftPlan plan(64, 1e-8);
+  std::vector<double> pts = {0.1, 0.2};
+  cvec c(1);
+  cvec out(64);
+  EXPECT_THROW(plan.type1(pts, c, out), Error);  // size mismatch
+}
+
+TEST(Nufft, ClusteredPointsStayAccurate) {
+  // All points crammed into a tiny arc: stresses the wrap/spreading logic.
+  const std::int64_t m = 128;
+  Problem p = random_problem(200, 11);
+  for (auto& t : p.points) t = 0.999 + 0.002 * t;  // straddles the wrap
+  NufftPlan plan(m, 1e-11);
+  cvec got(static_cast<std::size_t>(m)), want(static_cast<std::size_t>(m));
+  plan.type1(p.points, p.coeffs, got);
+  NufftPlan::type1_direct(p.points, p.coeffs, m, want);
+  EXPECT_LT(rel_error(got, want), 1e-9);
+}
+
+}  // namespace
+}  // namespace soi::nufft

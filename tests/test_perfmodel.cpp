@@ -1,0 +1,96 @@
+// Section 7.4 model tests: asymptotics, the 3/(1+beta) communication-bound
+// speedup, monotonicity on torus fabrics and the GFLOPS metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "net/costmodel.hpp"
+#include "perfmodel/model.hpp"
+
+namespace soi::perf {
+namespace {
+
+ComputeCalib calib() {
+  ComputeCalib c;
+  c.points_per_node = static_cast<double>(1 << 20);
+  // A multithreaded node-local FFT (the paper's nodes run 16 cores):
+  // fast enough that cluster fabrics are the bottleneck.
+  c.fft_sec_per_point_log = 1e-10;
+  // Section 7.4: convolution time ~ the FFT time inside SOI.
+  c.conv_seconds = c.fft_sec_per_point_log * c.points_per_node *
+                   std::log2(c.points_per_node);
+  c.beta = 0.25;
+  return c;
+}
+
+TEST(Model, FftTimeGrowsLogarithmically) {
+  const ComputeCalib c = calib();
+  const double t1 = t_fft(c, 1);
+  const double t64 = t_fft(c, 64);
+  EXPECT_GT(t64, t1);
+  EXPECT_NEAR(t64 - t1,
+              c.fft_sec_per_point_log * c.points_per_node * 6.0, 1e-12);
+}
+
+TEST(Model, CommBoundSpeedupFormula) {
+  EXPECT_NEAR(comm_bound_speedup(0.25), 2.4, 1e-12);
+  EXPECT_NEAR(comm_bound_speedup(0.5), 2.0, 1e-12);
+}
+
+TEST(Model, EthernetApproachesCommBound) {
+  // Fig. 8: on 10 GbE (with the congested-exchange efficiency of the
+  // Endeavor-Ethernet preset), communication dominates and the speedup
+  // approaches 3/(1+beta) = 2.4 from below.
+  const ComputeCalib c = calib();
+  net::EthernetModel eth(net::LinkSpec{10.0, 0.0}, 0.30);
+  const double s = speedup(c, eth, 64);
+  EXPECT_GT(s, 2.0);
+  EXPECT_LT(s, 2.4);
+}
+
+TEST(Model, SpeedupGrowsOnTorusWithScale) {
+  // Fig. 9's shape: bisection tightens as n grows, so SOI's advantage grows.
+  const ComputeCalib c = calib();
+  net::Torus3DModel torus(net::LinkSpec{40.0, 0.0}, 120.0, 16);
+  const double s256 = speedup(c, torus, 256);
+  const double s2k = speedup(c, torus, 2048);
+  const double s16k = speedup(c, torus, 16384);
+  EXPECT_GT(s2k, s256 * 0.95);
+  EXPECT_GT(s16k, s2k);
+  EXPECT_GT(s16k, 1.0);
+}
+
+TEST(Model, ConvScaleCBandMovesSpeedup) {
+  const ComputeCalib base = calib();
+  net::Torus3DModel torus(net::LinkSpec{40.0, 0.0}, 120.0, 16);
+  ComputeCalib cheap = base;
+  cheap.conv_scale_c = 0.75;
+  ComputeCalib costly = base;
+  costly.conv_scale_c = 1.25;
+  EXPECT_GT(speedup(cheap, torus, 4096), speedup(base, torus, 4096));
+  EXPECT_LT(speedup(costly, torus, 4096), speedup(base, torus, 4096));
+}
+
+TEST(Model, SoiSlowerOnSingleNode) {
+  // Without communication to save, the extra convolution + oversampled FFT
+  // make SOI slower: speedup < 1 at n = 1.
+  const ComputeCalib c = calib();
+  net::FatTreeModel ft;
+  EXPECT_LT(speedup(c, ft, 1), 1.0);
+}
+
+TEST(Model, GflopsMetric) {
+  const double g = gflops(static_cast<double>(1 << 20), 8, 1.0);
+  const double n = static_cast<double>(1 << 23);
+  EXPECT_NEAR(g, 5.0 * n * std::log2(n) / 1e9, 1e-9);
+  EXPECT_THROW(gflops(1024, 1, 0.0), Error);
+}
+
+TEST(Model, UncalibratedThrows) {
+  ComputeCalib c;  // zeros
+  EXPECT_THROW(t_fft(c, 4), Error);
+}
+
+}  // namespace
+}  // namespace soi::perf

@@ -1,0 +1,359 @@
+// Window-function tests: closed forms vs numeric transforms (the Fourier
+// pair property), design metrics, tap selection, profiles and the Section 8
+// window-family comparisons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/quadrature.hpp"
+#include "common/types.hpp"
+#include "window/design.hpp"
+#include "window/window.hpp"
+
+namespace soi::win {
+namespace {
+
+// Numeric inverse Fourier transform of hhat at t (real part; all families
+// here are even so the transform is real).
+double numeric_h(const Window& w, double t, double umax) {
+  return integrate(
+      [&w, t](double u) { return w.hhat(u) * std::cos(kTwoPi * u * t); },
+      -umax, umax, 1e-12);
+}
+
+// --- Bessel ------------------------------------------------------------------
+
+TEST(Bessel, KnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-12);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-9);
+  // Above the series/asymptotic crossover (x = 15).
+  EXPECT_NEAR(bessel_i0(20.0) / 4.355828255955353e7, 1.0, 1e-7);
+  // Continuity across the crossover: the ratio over a small step must track
+  // the local growth rate (d/dx log I0 ~ 1 for large x).
+  EXPECT_NEAR(bessel_i0(15.001) / bessel_i0(14.999), std::exp(0.002), 1e-4);
+}
+
+TEST(Bessel, SymmetricInSign) {
+  EXPECT_DOUBLE_EQ(bessel_i0(-3.0), bessel_i0(3.0));
+}
+
+// --- GaussSmoothedRect ---------------------------------------------------------
+
+TEST(GaussRect, HhatMatchesDefinitionIntegral) {
+  // Hhat(u) = (1/tau) * int_{-tau/2}^{tau/2} exp(-sigma (u-t)^2) dt.
+  const double tau = 1.1, sigma = 80.0;
+  GaussSmoothedRect w(tau, sigma);
+  for (double u : {0.0, 0.3, 0.55, 0.8, 1.2}) {
+    const double direct =
+        integrate(
+            [&](double t) { return std::exp(-sigma * (u - t) * (u - t)); },
+            -tau / 2, tau / 2, 1e-14) /
+        tau;
+    EXPECT_NEAR(w.hhat(u), direct, 1e-12) << "u=" << u;
+  }
+}
+
+TEST(GaussRect, TimeDomainIsFourierPairOfHhat) {
+  const double tau = 1.0, sigma = 60.0;
+  GaussSmoothedRect w(tau, sigma);
+  for (double t : {0.0, 0.5, 1.0, 2.5, 5.0}) {
+    EXPECT_NEAR(w.h(t), numeric_h(w, t, 6.0), 1e-9) << "t=" << t;
+  }
+}
+
+TEST(GaussRect, EvenSymmetry) {
+  GaussSmoothedRect w(0.9, 100.0);
+  EXPECT_NEAR(w.hhat(0.4), w.hhat(-0.4), 1e-15);
+  EXPECT_NEAR(w.h(1.7), w.h(-1.7), 1e-15);
+}
+
+TEST(GaussRect, RejectsBadParameters) {
+  EXPECT_THROW(GaussSmoothedRect(0.0, 1.0), Error);
+  EXPECT_THROW(GaussSmoothedRect(1.0, -2.0), Error);
+}
+
+TEST(GaussRect, FarTailUnderflowsToZeroSafely) {
+  GaussSmoothedRect w(1.0, 50.0);
+  EXPECT_EQ(w.h(1e6), 0.0);
+}
+
+// --- GaussianWindow -------------------------------------------------------------
+
+TEST(Gaussian, FourierPair) {
+  GaussianWindow w(40.0);
+  for (double t : {0.0, 0.7, 2.0}) {
+    EXPECT_NEAR(w.h(t), numeric_h(w, t, 4.0), 1e-9);
+  }
+}
+
+TEST(Gaussian, PeakValue) {
+  GaussianWindow w(25.0);
+  EXPECT_NEAR(w.h(0.0), std::sqrt(kPi / 25.0), 1e-14);
+}
+
+// --- KaiserBessel ----------------------------------------------------------------
+
+TEST(Kaiser, CompactSupportIsExact) {
+  KaiserBesselWindow w(10.0, 0.75);
+  EXPECT_EQ(w.hhat(0.7500001), 0.0);
+  EXPECT_EQ(w.hhat(-0.76), 0.0);
+  EXPECT_GT(w.hhat(0.74), 0.0);
+  EXPECT_TRUE(w.compact_support());
+  EXPECT_DOUBLE_EQ(w.support_halfwidth(), 0.75);
+}
+
+TEST(Kaiser, FourierPair) {
+  KaiserBesselWindow w(8.0, 0.75);
+  for (double t : {0.0, 0.4, 1.1, 3.0}) {
+    EXPECT_NEAR(w.h(t), numeric_h(w, t, 0.75), 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Kaiser, NormalizedAtCenter) {
+  KaiserBesselWindow w(12.0, 0.75);
+  EXPECT_NEAR(w.hhat(0.0), 1.0, 1e-14);
+}
+
+// --- (tau, sigma) property sweep ---------------------------------------------------
+
+struct TauSigma {
+  double tau;
+  double sigma;
+};
+
+class GaussRectSweep : public ::testing::TestWithParam<TauSigma> {};
+
+TEST_P(GaussRectSweep, FourierPairHoldsAcrossTheParameterPlane) {
+  const auto [tau, sigma] = GetParam();
+  GaussSmoothedRect w(tau, sigma);
+  for (double t : {0.0, 0.7, 1.9}) {
+    const double umax = 0.5 * tau + 12.0 / std::sqrt(sigma) + 1.0;
+    EXPECT_NEAR(w.h(t), numeric_h(w, t, umax), 1e-8)
+        << "tau=" << tau << " sigma=" << sigma << " t=" << t;
+  }
+}
+
+TEST_P(GaussRectSweep, MetricsAreFiniteAndConsistent) {
+  const auto [tau, sigma] = GetParam();
+  GaussSmoothedRect w(tau, sigma);
+  const WindowMetrics m = evaluate_window(w, 0.25);
+  EXPECT_GE(m.kappa, 1.0);
+  EXPECT_GT(m.eps_alias, 0.0);
+  EXPECT_LT(m.eps_alias, 1.0);
+  // Taps must exist for a loose budget and grow for a tight one.
+  const std::int64_t loose = choose_taps(w, 1e-4);
+  const std::int64_t tight = choose_taps(w, 1e-12);
+  EXPECT_LE(loose, tight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plane, GaussRectSweep,
+    ::testing::Values(TauSigma{0.7, 50.0}, TauSigma{0.7, 400.0},
+                      TauSigma{0.9, 120.0}, TauSigma{1.0, 60.0},
+                      TauSigma{1.0, 800.0}, TauSigma{1.2, 250.0},
+                      TauSigma{1.3, 1500.0}));
+
+// --- BSpline ----------------------------------------------------------------------
+
+TEST(BSpline, CompactTimeSupport) {
+  BSplineWindow w(8);
+  EXPECT_EQ(w.h(4.0), 0.0);
+  EXPECT_EQ(w.h(-4.0001), 0.0);
+  EXPECT_GT(w.h(3.9), 0.0);
+  EXPECT_DOUBLE_EQ(w.time_support_halfwidth(), 4.0);
+}
+
+TEST(BSpline, FourierPair) {
+  // Hhat(u) = sinc(u)^m must be the transform of the order-m spline.
+  BSplineWindow w(6);
+  for (double t : {0.0, 0.4, 1.3, 2.7}) {
+    const double numeric = integrate(
+        [&w, t](double u) { return w.hhat(u) * std::cos(kTwoPi * u * t); },
+        -40.0, 40.0, 1e-10);
+    EXPECT_NEAR(w.h(t), numeric, 2e-6) << "t=" << t;
+  }
+}
+
+TEST(BSpline, OrderOneIsBoxcar) {
+  BSplineWindow w(1);
+  EXPECT_NEAR(w.h(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(w.h(0.49), 1.0, 1e-15);
+  EXPECT_EQ(w.h(0.51), 0.0);
+}
+
+TEST(BSpline, PartitionOfUnity) {
+  // Splines shifted by integers sum to 1 — a classic identity that
+  // exercises the Cox-de Boor evaluation across all cells.
+  BSplineWindow w(7);
+  for (double t : {0.1, 0.37, 0.83}) {
+    double sum = 0.0;
+    for (int k = -8; k <= 8; ++k) sum += w.h(t + k);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(BSpline, ProfileHasZeroTruncationError) {
+  const SoiProfile p = make_bspline_profile(5, 4, 24);
+  EXPECT_EQ(p.eps_trunc, 0.0);
+  EXPECT_EQ(p.taps, 24);
+  EXPECT_GT(p.eps_alias, 0.0);  // the polynomial sinc^m tail
+  // Mid-accuracy niche: clearly usable, clearly below full precision.
+  EXPECT_GT(p.target_snr, 60.0);
+  EXPECT_LT(p.target_snr, 290.0);
+}
+
+TEST(BSpline, AliasFallsWithOrder) {
+  const SoiProfile lo = make_bspline_profile(5, 4, 8);
+  const SoiProfile hi = make_bspline_profile(5, 4, 32);
+  EXPECT_LT(hi.eps_alias, lo.eps_alias);
+}
+
+// --- metrics -----------------------------------------------------------------------
+
+TEST(Metrics, KappaOfFlatWindowIsOne) {
+  // A very wide smoothed rect is ~flat over the band.
+  GaussSmoothedRect w(3.0, 400.0);
+  const WindowMetrics m = evaluate_window(w, 0.25);
+  EXPECT_LT(m.kappa, 1.05);
+}
+
+TEST(Metrics, AliasFallsWithSigma) {
+  const WindowMetrics loose = evaluate_window(GaussSmoothedRect(1.0, 30.0), 0.25);
+  const WindowMetrics tight = evaluate_window(GaussSmoothedRect(1.0, 300.0), 0.25);
+  EXPECT_LT(tight.eps_alias, loose.eps_alias);
+}
+
+TEST(Metrics, CompactSupportInsideBoundaryHasZeroAlias) {
+  KaiserBesselWindow w(10.0, 0.75);
+  const WindowMetrics m = evaluate_window(w, 0.25);
+  EXPECT_EQ(m.eps_alias, 0.0);
+}
+
+TEST(Metrics, GaussianKappaIsLarge) {
+  // Section 8: the plain Gaussian pays with a big condition number.
+  GaussianWindow w(100.0);
+  const WindowMetrics m = evaluate_window(w, 0.25);
+  EXPECT_GT(m.kappa, 1e5);
+}
+
+// --- tap selection --------------------------------------------------------------
+
+TEST(Taps, MonotoneInEps) {
+  GaussSmoothedRect w(1.0, 500.0);
+  const std::int64_t loose = choose_taps(w, 1e-6);
+  const std::int64_t tight = choose_taps(w, 1e-14);
+  EXPECT_LT(loose, tight);
+  EXPECT_EQ(loose % 2, 0);
+  EXPECT_EQ(tight % 2, 0);
+}
+
+TEST(Taps, SlowDecayNeedsMoreTaps) {
+  // Larger sigma -> wider H envelope -> more taps at fixed eps.
+  const std::int64_t narrow = choose_taps(GaussSmoothedRect(1.0, 100.0), 1e-12);
+  const std::int64_t wide = choose_taps(GaussSmoothedRect(1.0, 1000.0), 1e-12);
+  EXPECT_LT(narrow, wide);
+}
+
+TEST(Taps, RejectsBadEps) {
+  GaussSmoothedRect w(1.0, 100.0);
+  EXPECT_THROW(choose_taps(w, 0.0), Error);
+}
+
+// --- profiles ---------------------------------------------------------------------
+
+TEST(Profiles, FullAccuracyLandsInPaperRegime) {
+  const SoiProfile p = make_profile(Accuracy::kFull);
+  EXPECT_EQ(p.mu, 5);
+  EXPECT_EQ(p.nu, 4);
+  EXPECT_NEAR(p.beta(), 0.25, 1e-15);
+  // Paper: B = 72 at full accuracy. The search should land in the same
+  // neighbourhood (tens, not hundreds).
+  EXPECT_GE(p.taps, 40);
+  EXPECT_LE(p.taps, 140);
+  EXPECT_LE(p.eps_alias, std::pow(10.0, -290.0 / 20.0));
+  EXPECT_LE(p.kappa, 16.0);
+  EXPECT_NEAR(p.target_snr, 290.0, 1e-9);
+}
+
+TEST(Profiles, TapsShrinkWithAccuracy) {
+  const SoiProfile full = make_profile(Accuracy::kFull);
+  const SoiProfile high = make_profile(Accuracy::kHigh);
+  const SoiProfile med = make_profile(Accuracy::kMedium);
+  const SoiProfile low = make_profile(Accuracy::kLow);
+  EXPECT_GT(full.taps, high.taps);
+  EXPECT_GT(high.taps, med.taps);
+  EXPECT_GT(med.taps, low.taps);
+}
+
+TEST(Profiles, CustomOversampling) {
+  // beta = 1/2 (mu/nu = 3/2): more oversampling allows fewer taps at the
+  // same accuracy than beta = 1/4 (the relaxed alias boundary).
+  const SoiProfile wide = design_gauss_rect(3, 2, 1e-13, 16.0, "beta-half");
+  const SoiProfile narrow = design_gauss_rect(5, 4, 1e-13, 16.0, "beta-quarter");
+  EXPECT_LT(wide.taps, narrow.taps);
+  EXPECT_NEAR(wide.beta(), 0.5, 1e-15);
+}
+
+TEST(Profiles, InfeasibleTargetThrows) {
+  // kappa_max below 1 can never be met.
+  EXPECT_THROW(design_gauss_rect(5, 4, 1e-10, 0.5, "impossible"), Error);
+}
+
+TEST(Profiles, GaussianProfileCapsNearTenDigits) {
+  const SoiProfile p = make_gaussian_profile(5, 4);
+  // Section 8: ~10 digits at best for beta = 1/4. Allow a generous band
+  // around that statement (8..13 digits of design estimate).
+  EXPECT_GT(p.target_snr, 140.0);
+  EXPECT_LT(p.target_snr, 260.0);
+  EXPECT_GT(p.kappa, 10.0);
+}
+
+TEST(Profiles, KaiserProfileHasZeroAliasButManyTaps) {
+  const SoiProfile p = make_kaiser_profile(5, 4, 12.0);
+  EXPECT_EQ(p.eps_alias, 0.0);
+  const SoiProfile ref = make_profile(Accuracy::kLow);
+  EXPECT_GT(p.taps, ref.taps);  // the polynomial H decay costs taps
+}
+
+TEST(Profiles, SerializationRoundTrip) {
+  for (const SoiProfile& p :
+       {make_profile(Accuracy::kMedium), make_gaussian_profile(5, 4),
+        make_bspline_profile(5, 4, 20)}) {
+    const std::string text = serialize_profile(p);
+    const SoiProfile q = parse_profile(text);
+    EXPECT_EQ(q.name, p.name);
+    EXPECT_EQ(q.mu, p.mu);
+    EXPECT_EQ(q.nu, p.nu);
+    EXPECT_EQ(q.taps, p.taps);
+    EXPECT_DOUBLE_EQ(q.kappa, p.kappa);
+    EXPECT_DOUBLE_EQ(q.eps_alias, p.eps_alias);
+    EXPECT_EQ(q.window->name(), p.window->name());
+    // Window values must round-trip exactly through the text form.
+    for (double u : {0.0, 0.3, 0.7}) {
+      EXPECT_DOUBLE_EQ(q.window->hhat(u), p.window->hhat(u));
+    }
+  }
+}
+
+TEST(Profiles, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_profile("not a profile"), Error);
+  EXPECT_THROW(parse_profile("soiprofile v1 mu=5"), Error);  // no window
+  EXPECT_THROW(parse_profile("soiprofile v1 mu=5 nu=4 taps=64 "
+                             "window=martian:1.0"),
+               Error);
+  EXPECT_THROW(parse_profile("soiprofile v1 mu=4 nu=5 taps=64 "
+                             "window=gaussian:100"),
+               Error);  // mu <= nu
+}
+
+TEST(Profiles, TargetSnrTable) {
+  EXPECT_DOUBLE_EQ(target_snr_db(Accuracy::kFull), 290.0);
+  EXPECT_DOUBLE_EQ(target_snr_db(Accuracy::kHigh), 250.0);
+  EXPECT_DOUBLE_EQ(target_snr_db(Accuracy::kMedium), 210.0);
+  EXPECT_DOUBLE_EQ(target_snr_db(Accuracy::kLow), 170.0);
+}
+
+}  // namespace
+}  // namespace soi::win

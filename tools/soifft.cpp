@@ -1,0 +1,257 @@
+// soifft — command-line front end for the SOI-FFT library.
+//
+//   soifft design    [--accuracy A] [--mu M --nu N] [--eps E --kappa K]
+//   soifft transform --n N --p P [--accuracy A] [--inverse] [--check]
+//                    [--input FILE] [--output FILE] [--segments-per-rank G]
+//   soifft segment   --n N --p P --s S [--accuracy A] [--input FILE]
+//   soifft bench     --n N --p P [--accuracy A] [--reps R]
+//
+// Files are raw little-endian complex128 (interleaved re/im); without
+// --input a deterministic Gaussian test signal is used. --check compares
+// against the exact FFT engine and prints the SNR.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/timer.hpp"
+#include "soi/soi.hpp"
+
+namespace {
+
+using namespace soi;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& name) const { return kv.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& dflt) const {
+    auto it = kv.find(name);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::int64_t geti(const std::string& name, std::int64_t dflt) const {
+    auto it = kv.find(name);
+    return it == kv.end() ? dflt : std::stoll(it->second);
+  }
+  double getf(const std::string& name, double dflt) const {
+    auto it = kv.find(name);
+    return it == kv.end() ? dflt : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+win::SoiProfile profile_from(const Args& a) {
+  if (a.flag("profile")) {
+    // "Wisdom" file produced by `soifft design --save-profile`: skips the
+    // design search entirely.
+    std::ifstream f(a.get("profile", ""));
+    SOI_CHECK(f.good(), "cannot open profile file " << a.get("profile", ""));
+    std::string line;
+    std::getline(f, line);
+    return win::parse_profile(line);
+  }
+  if (a.flag("eps") || a.flag("mu")) {
+    return win::design_gauss_rect(a.geti("mu", 5), a.geti("nu", 4),
+                                  a.getf("eps", 3.16e-15),
+                                  a.getf("kappa", 16.0), "custom");
+  }
+  const std::string acc = a.get("accuracy", "full");
+  if (acc == "full") return win::make_profile(win::Accuracy::kFull);
+  if (acc == "high") return win::make_profile(win::Accuracy::kHigh);
+  if (acc == "medium") return win::make_profile(win::Accuracy::kMedium);
+  if (acc == "low") return win::make_profile(win::Accuracy::kLow);
+  throw Error("unknown --accuracy '" + acc +
+              "' (full|high|medium|low)");
+}
+
+cvec load_or_generate(const Args& a, std::int64_t n) {
+  cvec x(static_cast<std::size_t>(n));
+  const std::string path = a.get("input", "");
+  if (path.empty()) {
+    fill_gaussian(x, static_cast<std::uint64_t>(a.geti("seed", 1)));
+    return x;
+  }
+  std::ifstream f(path, std::ios::binary);
+  SOI_CHECK(f.good(), "cannot open input file " << path);
+  f.read(reinterpret_cast<char*>(x.data()),
+         static_cast<std::streamsize>(x.size() * sizeof(cplx)));
+  SOI_CHECK(f.gcount() ==
+                static_cast<std::streamsize>(x.size() * sizeof(cplx)),
+            "input file " << path << " holds fewer than " << n
+                          << " complex values");
+  return x;
+}
+
+void maybe_save(const Args& a, const cvec& y) {
+  const std::string path = a.get("output", "");
+  if (path.empty()) return;
+  std::ofstream f(path, std::ios::binary);
+  SOI_CHECK(f.good(), "cannot open output file " << path);
+  f.write(reinterpret_cast<const char*>(y.data()),
+          static_cast<std::streamsize>(y.size() * sizeof(cplx)));
+  std::printf("wrote %zu complex values to %s\n", y.size(), path.c_str());
+}
+
+int cmd_design(const Args& a) {
+  const win::SoiProfile p = profile_from(a);
+  std::printf("profile    : %s\n", p.name.c_str());
+  std::printf("window     : %s\n", p.window->name().c_str());
+  std::printf("oversample : %lld/%lld (beta = %.4f)\n",
+              static_cast<long long>(p.mu), static_cast<long long>(p.nu),
+              p.beta());
+  std::printf("taps B     : %lld (+%lld group slack when planned)\n",
+              static_cast<long long>(p.taps),
+              static_cast<long long>(2 * p.nu));
+  std::printf("kappa      : %.3f\n", p.kappa);
+  std::printf("eps_alias  : %.3e\n", p.eps_alias);
+  std::printf("eps_trunc  : %.3e\n", p.eps_trunc);
+  std::printf("target SNR : %.0f dB (~%.1f digits)\n", p.target_snr,
+              p.target_snr / 20.0);
+  if (a.flag("save-profile")) {
+    const std::string path = a.get("save-profile", "");
+    std::ofstream f(path);
+    SOI_CHECK(f.good(), "cannot open " << path);
+    f << win::serialize_profile(p) << "\n";
+    std::printf("saved to   : %s (reuse with --profile %s)\n", path.c_str(),
+                path.c_str());
+  }
+  return 0;
+}
+
+int cmd_transform(const Args& a) {
+  const std::int64_t n = a.geti("n", 1 << 16);
+  const std::int64_t p = a.geti("p", 8);
+  const win::SoiProfile prof = profile_from(a);
+  core::SoiFftSerial plan(n, p, prof);
+  const cvec x = load_or_generate(a, n);
+  cvec y(x.size());
+  Timer t;
+  if (a.flag("inverse")) {
+    plan.inverse(x, y);
+  } else {
+    plan.forward(x, y);
+  }
+  const double sec = t.seconds();
+  std::printf("%s SOI transform: N=%lld P=%lld in %.3f ms (%.2f GFLOPS)\n",
+              a.flag("inverse") ? "inverse" : "forward",
+              static_cast<long long>(n), static_cast<long long>(p),
+              sec * 1e3, fft_gflops(static_cast<std::size_t>(n), sec));
+  if (a.flag("check")) {
+    fft::FftPlan exact(n);
+    cvec want(x.size());
+    if (a.flag("inverse")) {
+      exact.inverse(x, want);
+    } else {
+      exact.forward(x, want);
+    }
+    const double snr = snr_db(y, want);
+    std::printf("SNR vs exact engine: %.1f dB (%.1f digits)\n", snr,
+                snr_digits(snr));
+  }
+  maybe_save(a, y);
+  return 0;
+}
+
+int cmd_segment(const Args& a) {
+  const std::int64_t n = a.geti("n", 1 << 18);
+  const std::int64_t p = a.geti("p", 64);
+  const std::int64_t s = a.geti("s", 0);
+  const win::SoiProfile prof = profile_from(a);
+  core::SegmentPlan plan(n, p, prof);
+  const cvec x = load_or_generate(a, n);
+  cvec seg(static_cast<std::size_t>(plan.segment_length()));
+  Timer t;
+  plan.compute(x, s, seg);
+  std::printf("segment %lld of %lld (bins [%lld, %lld)) in %.3f ms\n",
+              static_cast<long long>(s), static_cast<long long>(p),
+              static_cast<long long>(s * plan.segment_length()),
+              static_cast<long long>((s + 1) * plan.segment_length()),
+              t.millis());
+  if (a.flag("check")) {
+    fft::FftPlan exact(n);
+    cvec want(x.size());
+    exact.forward(x, want);
+    const cspan want_seg{want.data() + s * plan.segment_length(),
+                         seg.size()};
+    std::printf("SNR vs exact engine: %.1f dB\n", snr_db(seg, want_seg));
+  }
+  maybe_save(a, seg);
+  return 0;
+}
+
+int cmd_bench(const Args& a) {
+  const std::int64_t n = a.geti("n", 1 << 18);
+  const std::int64_t p = a.geti("p", 8);
+  const int reps = static_cast<int>(a.geti("reps", 5));
+  const win::SoiProfile prof = profile_from(a);
+  core::SoiFftSerial soi(n, p, prof);
+  fft::FftPlan exact(n);
+  const cvec x = load_or_generate(a, n);
+  cvec y(x.size());
+  double best_soi = 1e300, best_fft = 1e300;
+  core::SoiPhaseTimes phases;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    soi.forward_timed(x, y, phases);
+    best_soi = std::min(best_soi, t.seconds());
+    t.reset();
+    exact.forward(x, y);
+    best_fft = std::min(best_fft, t.seconds());
+  }
+  std::printf("N=%lld P=%lld reps=%d\n", static_cast<long long>(n),
+              static_cast<long long>(p), reps);
+  std::printf("SOI     : %.3f ms (%.2f GFLOPS)\n", best_soi * 1e3,
+              fft_gflops(static_cast<std::size_t>(n), best_soi));
+  std::printf("plain FFT: %.3f ms (%.2f GFLOPS)\n", best_fft * 1e3,
+              fft_gflops(static_cast<std::size_t>(n), best_fft));
+  std::printf("phase split: conv %.2f / F_P %.2f / pack %.2f / F_M' %.2f / "
+              "demod %.2f ms\n",
+              phases.conv * 1e3, phases.fp * 1e3, phases.pack * 1e3,
+              phases.fm * 1e3, phases.demod * 1e3);
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: soifft <design|transform|segment|bench> [--options]\n"
+      "  design    --accuracy full|high|medium|low | --mu --nu --eps --kappa\n"
+      "  transform --n N --p P [--accuracy A] [--inverse] [--check]\n"
+      "            [--input F] [--output F] [--seed S]\n"
+      "  segment   --n N --p P --s S [--accuracy A] [--check]\n"
+      "  bench     --n N --p P [--accuracy A] [--reps R]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "design") return cmd_design(a);
+    if (a.command == "transform") return cmd_transform(a);
+    if (a.command == "segment") return cmd_segment(a);
+    if (a.command == "bench") return cmd_bench(a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soifft: %s\n", e.what());
+    return 1;
+  }
+}
