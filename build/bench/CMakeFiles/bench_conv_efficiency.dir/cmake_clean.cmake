@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conv_efficiency.dir/bench_conv_efficiency.cpp.o"
+  "CMakeFiles/bench_conv_efficiency.dir/bench_conv_efficiency.cpp.o.d"
+  "bench_conv_efficiency"
+  "bench_conv_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conv_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

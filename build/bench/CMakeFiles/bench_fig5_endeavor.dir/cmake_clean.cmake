@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_endeavor.dir/bench_fig5_endeavor.cpp.o"
+  "CMakeFiles/bench_fig5_endeavor.dir/bench_fig5_endeavor.cpp.o.d"
+  "bench_fig5_endeavor"
+  "bench_fig5_endeavor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_endeavor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

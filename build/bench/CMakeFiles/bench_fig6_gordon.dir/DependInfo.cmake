@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_gordon.cpp" "bench/CMakeFiles/bench_fig6_gordon.dir/bench_fig6_gordon.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_gordon.dir/bench_fig6_gordon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/soi_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/soi/CMakeFiles/soi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/soi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/soi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/soi_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/soi_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gordon.dir/bench_fig6_gordon.cpp.o"
+  "CMakeFiles/bench_fig6_gordon.dir/bench_fig6_gordon.cpp.o.d"
+  "bench_fig6_gordon"
+  "bench_fig6_gordon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gordon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

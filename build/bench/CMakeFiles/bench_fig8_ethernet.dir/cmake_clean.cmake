@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ethernet.dir/bench_fig8_ethernet.cpp.o"
+  "CMakeFiles/bench_fig8_ethernet.dir/bench_fig8_ethernet.cpp.o.d"
+  "bench_fig8_ethernet"
+  "bench_fig8_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

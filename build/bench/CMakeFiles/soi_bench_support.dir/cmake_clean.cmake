@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_bench_support.dir/harness.cpp.o"
+  "CMakeFiles/soi_bench_support.dir/harness.cpp.o.d"
+  "libsoi_bench_support.a"
+  "libsoi_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoi_bench_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_fft.dir/distributed_fft.cpp.o"
+  "CMakeFiles/distributed_fft.dir/distributed_fft.cpp.o.d"
+  "distributed_fft"
+  "distributed_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nufft_timeseries.dir/nufft_timeseries.cpp.o"
+  "CMakeFiles/nufft_timeseries.dir/nufft_timeseries.cpp.o.d"
+  "nufft_timeseries"
+  "nufft_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nufft_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

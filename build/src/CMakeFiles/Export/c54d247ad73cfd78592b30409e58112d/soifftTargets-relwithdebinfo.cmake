@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "soifft::soi_common" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_common )
+list(APPEND _cmake_import_check_files_for_soifft::soi_common "${_IMPORT_PREFIX}/lib/libsoi_common.a" )
+
+# Import target "soifft::soi_fft" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_fft APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_fft PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_fft.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_fft )
+list(APPEND _cmake_import_check_files_for_soifft::soi_fft "${_IMPORT_PREFIX}/lib/libsoi_fft.a" )
+
+# Import target "soifft::soi_net" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_net )
+list(APPEND _cmake_import_check_files_for_soifft::soi_net "${_IMPORT_PREFIX}/lib/libsoi_net.a" )
+
+# Import target "soifft::soi_window" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_window APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_window PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_window.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_window )
+list(APPEND _cmake_import_check_files_for_soifft::soi_window "${_IMPORT_PREFIX}/lib/libsoi_window.a" )
+
+# Import target "soifft::soi_nufft" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_nufft APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_nufft PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_nufft.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_nufft )
+list(APPEND _cmake_import_check_files_for_soifft::soi_nufft "${_IMPORT_PREFIX}/lib/libsoi_nufft.a" )
+
+# Import target "soifft::soi_core" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_core )
+list(APPEND _cmake_import_check_files_for_soifft::soi_core "${_IMPORT_PREFIX}/lib/libsoi_core.a" )
+
+# Import target "soifft::soi_baseline" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_baseline APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_baseline PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_baseline.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_baseline )
+list(APPEND _cmake_import_check_files_for_soifft::soi_baseline "${_IMPORT_PREFIX}/lib/libsoi_baseline.a" )
+
+# Import target "soifft::soi_perfmodel" for configuration "RelWithDebInfo"
+set_property(TARGET soifft::soi_perfmodel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(soifft::soi_perfmodel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsoi_perfmodel.a"
+  )
+
+list(APPEND _cmake_import_check_targets soifft::soi_perfmodel )
+list(APPEND _cmake_import_check_files_for_soifft::soi_perfmodel "${_IMPORT_PREFIX}/lib/libsoi_perfmodel.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/fft2d_dist.cpp" "src/baseline/CMakeFiles/soi_baseline.dir/fft2d_dist.cpp.o" "gcc" "src/baseline/CMakeFiles/soi_baseline.dir/fft2d_dist.cpp.o.d"
+  "/root/repo/src/baseline/sixstep.cpp" "src/baseline/CMakeFiles/soi_baseline.dir/sixstep.cpp.o" "gcc" "src/baseline/CMakeFiles/soi_baseline.dir/sixstep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/soi_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soi_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_baseline.dir/fft2d_dist.cpp.o"
+  "CMakeFiles/soi_baseline.dir/fft2d_dist.cpp.o.d"
+  "CMakeFiles/soi_baseline.dir/sixstep.cpp.o"
+  "CMakeFiles/soi_baseline.dir/sixstep.cpp.o.d"
+  "libsoi_baseline.a"
+  "libsoi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_common.dir/aligned.cpp.o"
+  "CMakeFiles/soi_common.dir/aligned.cpp.o.d"
+  "CMakeFiles/soi_common.dir/env.cpp.o"
+  "CMakeFiles/soi_common.dir/env.cpp.o.d"
+  "CMakeFiles/soi_common.dir/math.cpp.o"
+  "CMakeFiles/soi_common.dir/math.cpp.o.d"
+  "CMakeFiles/soi_common.dir/quadrature.cpp.o"
+  "CMakeFiles/soi_common.dir/quadrature.cpp.o.d"
+  "CMakeFiles/soi_common.dir/rng.cpp.o"
+  "CMakeFiles/soi_common.dir/rng.cpp.o.d"
+  "CMakeFiles/soi_common.dir/stats.cpp.o"
+  "CMakeFiles/soi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/soi_common.dir/table.cpp.o"
+  "CMakeFiles/soi_common.dir/table.cpp.o.d"
+  "libsoi_common.a"
+  "libsoi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/bluestein.cpp" "src/fft/CMakeFiles/soi_fft.dir/bluestein.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/bluestein.cpp.o.d"
+  "/root/repo/src/fft/dft.cpp" "src/fft/CMakeFiles/soi_fft.dir/dft.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/dft.cpp.o.d"
+  "/root/repo/src/fft/factor.cpp" "src/fft/CMakeFiles/soi_fft.dir/factor.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/factor.cpp.o.d"
+  "/root/repo/src/fft/multi.cpp" "src/fft/CMakeFiles/soi_fft.dir/multi.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/multi.cpp.o.d"
+  "/root/repo/src/fft/plan.cpp" "src/fft/CMakeFiles/soi_fft.dir/plan.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/plan.cpp.o.d"
+  "/root/repo/src/fft/rader.cpp" "src/fft/CMakeFiles/soi_fft.dir/rader.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/rader.cpp.o.d"
+  "/root/repo/src/fft/real.cpp" "src/fft/CMakeFiles/soi_fft.dir/real.cpp.o" "gcc" "src/fft/CMakeFiles/soi_fft.dir/real.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

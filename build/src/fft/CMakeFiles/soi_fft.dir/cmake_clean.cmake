@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_fft.dir/bluestein.cpp.o"
+  "CMakeFiles/soi_fft.dir/bluestein.cpp.o.d"
+  "CMakeFiles/soi_fft.dir/dft.cpp.o"
+  "CMakeFiles/soi_fft.dir/dft.cpp.o.d"
+  "CMakeFiles/soi_fft.dir/factor.cpp.o"
+  "CMakeFiles/soi_fft.dir/factor.cpp.o.d"
+  "CMakeFiles/soi_fft.dir/multi.cpp.o"
+  "CMakeFiles/soi_fft.dir/multi.cpp.o.d"
+  "CMakeFiles/soi_fft.dir/plan.cpp.o"
+  "CMakeFiles/soi_fft.dir/plan.cpp.o.d"
+  "CMakeFiles/soi_fft.dir/rader.cpp.o"
+  "CMakeFiles/soi_fft.dir/rader.cpp.o.d"
+  "CMakeFiles/soi_fft.dir/real.cpp.o"
+  "CMakeFiles/soi_fft.dir/real.cpp.o.d"
+  "libsoi_fft.a"
+  "libsoi_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

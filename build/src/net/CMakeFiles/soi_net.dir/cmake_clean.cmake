@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_net.dir/comm.cpp.o"
+  "CMakeFiles/soi_net.dir/comm.cpp.o.d"
+  "CMakeFiles/soi_net.dir/costmodel.cpp.o"
+  "CMakeFiles/soi_net.dir/costmodel.cpp.o.d"
+  "CMakeFiles/soi_net.dir/traffic.cpp.o"
+  "CMakeFiles/soi_net.dir/traffic.cpp.o.d"
+  "libsoi_net.a"
+  "libsoi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_nufft.dir/nufft.cpp.o"
+  "CMakeFiles/soi_nufft.dir/nufft.cpp.o.d"
+  "libsoi_nufft.a"
+  "libsoi_nufft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_nufft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

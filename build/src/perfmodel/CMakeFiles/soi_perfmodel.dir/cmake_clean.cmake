@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_perfmodel.dir/model.cpp.o"
+  "CMakeFiles/soi_perfmodel.dir/model.cpp.o.d"
+  "libsoi_perfmodel.a"
+  "libsoi_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

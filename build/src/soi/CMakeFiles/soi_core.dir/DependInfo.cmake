@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soi/conv_table.cpp" "src/soi/CMakeFiles/soi_core.dir/conv_table.cpp.o" "gcc" "src/soi/CMakeFiles/soi_core.dir/conv_table.cpp.o.d"
+  "/root/repo/src/soi/convolve.cpp" "src/soi/CMakeFiles/soi_core.dir/convolve.cpp.o" "gcc" "src/soi/CMakeFiles/soi_core.dir/convolve.cpp.o.d"
+  "/root/repo/src/soi/dist.cpp" "src/soi/CMakeFiles/soi_core.dir/dist.cpp.o" "gcc" "src/soi/CMakeFiles/soi_core.dir/dist.cpp.o.d"
+  "/root/repo/src/soi/params.cpp" "src/soi/CMakeFiles/soi_core.dir/params.cpp.o" "gcc" "src/soi/CMakeFiles/soi_core.dir/params.cpp.o.d"
+  "/root/repo/src/soi/real.cpp" "src/soi/CMakeFiles/soi_core.dir/real.cpp.o" "gcc" "src/soi/CMakeFiles/soi_core.dir/real.cpp.o.d"
+  "/root/repo/src/soi/serial.cpp" "src/soi/CMakeFiles/soi_core.dir/serial.cpp.o" "gcc" "src/soi/CMakeFiles/soi_core.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/soi_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/soi_window.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

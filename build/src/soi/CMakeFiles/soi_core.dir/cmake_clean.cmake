@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_core.dir/conv_table.cpp.o"
+  "CMakeFiles/soi_core.dir/conv_table.cpp.o.d"
+  "CMakeFiles/soi_core.dir/convolve.cpp.o"
+  "CMakeFiles/soi_core.dir/convolve.cpp.o.d"
+  "CMakeFiles/soi_core.dir/dist.cpp.o"
+  "CMakeFiles/soi_core.dir/dist.cpp.o.d"
+  "CMakeFiles/soi_core.dir/params.cpp.o"
+  "CMakeFiles/soi_core.dir/params.cpp.o.d"
+  "CMakeFiles/soi_core.dir/real.cpp.o"
+  "CMakeFiles/soi_core.dir/real.cpp.o.d"
+  "CMakeFiles/soi_core.dir/serial.cpp.o"
+  "CMakeFiles/soi_core.dir/serial.cpp.o.d"
+  "libsoi_core.a"
+  "libsoi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_window.dir/design.cpp.o"
+  "CMakeFiles/soi_window.dir/design.cpp.o.d"
+  "CMakeFiles/soi_window.dir/window.cpp.o"
+  "CMakeFiles/soi_window.dir/window.cpp.o.d"
+  "libsoi_window.a"
+  "libsoi_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

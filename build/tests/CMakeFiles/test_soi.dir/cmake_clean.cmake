@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soi.dir/test_soi.cpp.o"
+  "CMakeFiles/test_soi.dir/test_soi.cpp.o.d"
+  "test_soi"
+  "test_soi.pdb"
+  "test_soi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soifft.dir/soifft.cpp.o"
+  "CMakeFiles/soifft.dir/soifft.cpp.o.d"
+  "soifft"
+  "soifft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soifft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

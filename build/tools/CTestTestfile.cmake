@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_design "/root/repo/build/tools/soifft" "design" "--accuracy" "low")
+set_tests_properties(cli_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_transform "/root/repo/build/tools/soifft" "transform" "--n" "16384" "--p" "4" "--accuracy" "low" "--check")
+set_tests_properties(cli_transform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_segment "/root/repo/build/tools/soifft" "segment" "--n" "65536" "--p" "16" "--s" "3" "--accuracy" "low" "--check")
+set_tests_properties(cli_segment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_wisdom_roundtrip "sh" "-c" "/root/repo/build/tools/soifft design --accuracy low              --save-profile wisdom_test.prof && /root/repo/build/tools/soifft              transform --n 16384 --p 4 --profile wisdom_test.prof --check")
+set_tests_properties(cli_wisdom_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_usage "/root/repo/build/tools/soifft" "frobnicate")
+set_tests_properties(cli_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
