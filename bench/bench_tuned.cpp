@@ -1,0 +1,109 @@
+// bench_tuned — tuned configuration vs the hard-coded default, plus the
+// plan-registry reuse effect.
+//
+// Part 1: for a sweep of (N, ranks, accuracy) shapes, scores the seed's
+// hard-coded configuration (requested tier, 1 segment/rank, pairwise
+// exchange, no overlap) and the autotuned winner under the same scoring,
+// and reports the ratio. The default is a member of the candidate space,
+// so tuned <= default must hold whenever both are scored consistently —
+// the bench exits nonzero if that invariant is violated (within noise for
+// measured mode; exact for modeled mode).
+//
+// Part 2: times SoiFftSerial construction cold vs through the registry
+// (second lookup of the same key), showing the design + table cost that
+// repeated transforms of one shape no longer pay.
+//
+// Env knobs: SOI_BENCH_TUNE_MODE=modeled|measured (default modeled),
+// SOI_BENCH_REPS (default 3).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timer.hpp"
+#include "harness.hpp"
+#include "soi/soi.hpp"
+
+using namespace soi;
+
+namespace {
+
+struct Shape {
+  std::int64_t n;
+  int ranks;
+  win::Accuracy acc;
+};
+
+}  // namespace
+
+int main() {
+  const char* mode_env = std::getenv("SOI_BENCH_TUNE_MODE");
+  const bool measured = mode_env && std::strcmp(mode_env, "measured") == 0;
+  const char* reps_env = std::getenv("SOI_BENCH_REPS");
+  const int reps = reps_env ? std::atoi(reps_env) : 3;
+
+  tune::TuneOptions opts;
+  opts.mode = measured ? tune::TuneMode::kMeasured : tune::TuneMode::kModeled;
+  opts.reps = reps;
+
+  const Shape shapes[] = {
+      {1 << 16, 4, win::Accuracy::kFull},
+      {1 << 18, 8, win::Accuracy::kFull},
+      {1 << 18, 8, win::Accuracy::kLow},
+      {1 << 20, 16, win::Accuracy::kMedium},
+  };
+  // Measured mode pays real wall-clock per candidate and per rep; noise up
+  // to a few percent between two scorings of the same candidate is normal.
+  const double tolerance = measured ? 1.10 : 1.0 + 1e-12;
+
+  std::printf("tuned vs default (%s scoring, reps=%d)\n",
+              measured ? "measured" : "modeled", reps);
+  std::printf("%-36s %14s %14s %9s  %s\n", "shape", "default ms", "tuned ms",
+              "ratio", "tuned candidate");
+  bool ok = true;
+  for (const auto& s : shapes) {
+    tune::TuneKey key{s.n, s.ranks, s.acc};
+    const tune::Candidate dflt{s.acc, 1, net::AlltoallAlgo::kPairwise, false};
+    const auto dflt_score = tune::score_candidate(key, dflt, opts);
+    const auto result = tune::autotune(key, opts);
+    const double ratio =
+        result.best.total_seconds() / dflt_score.total_seconds();
+    std::printf("%-36s %14.4f %14.4f %9.3f  %s\n", key.str().c_str(),
+                dflt_score.total_seconds() * 1e3,
+                result.best.total_seconds() * 1e3, ratio,
+                result.best.candidate.describe().c_str());
+    if (ratio > tolerance) {
+      std::printf("  ^^ FAIL: tuned slower than the hard-coded default\n");
+      ok = false;
+    }
+  }
+
+  std::printf("\nplan-registry reuse (same key, second lookup)\n");
+  tune::PlanRegistry registry(8);
+  const auto prof = registry.profile(win::Accuracy::kFull);
+  Timer t;
+  auto first = registry.serial_plan(1 << 18, 8, *prof);
+  const double cold = t.seconds();
+  t.reset();
+  auto second = registry.serial_plan(1 << 18, 8, *prof);
+  const double warm = t.seconds();
+  std::printf("construction (design+tables+FFT plans): %10.3f ms\n",
+              cold * 1e3);
+  std::printf("registry hit:                           %10.5f ms (%.0fx)\n",
+              warm * 1e3, cold / std::max(warm, 1e-9));
+  if (first.get() != second.get()) {
+    std::printf("FAIL: registry returned distinct plans for one key\n");
+    ok = false;
+  }
+  // The hit must eliminate the construction cost, not merely shrink it.
+  if (warm > cold / 10.0) {
+    std::printf("FAIL: registry hit cost is not << construction cost\n");
+    ok = false;
+  }
+  const auto stats = registry.stats();
+  std::printf("registry: %lld hits / %lld misses / %zu resident\n",
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses), stats.size);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verification, an AddressSanitizer pass over the core
+# suites, and a tuning-pipeline smoke run.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh tier1      # just the standard build + full ctest
+#   scripts/ci.sh asan       # just the ASan build + core suites
+#   scripts/ci.sh smoke      # just the tune -> wisdom -> reuse smoke
+#
+# Each stage uses its own build tree under build-ci/ so a normal build/
+# is never clobbered.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_tier1() {
+  echo "=== tier-1: standard build + full test suite ==="
+  cmake -B build-ci/tier1 -S . >/dev/null
+  cmake --build build-ci/tier1 -j "${jobs}"
+  (cd build-ci/tier1 && ctest --output-on-failure -j "${jobs}")
+}
+
+run_asan() {
+  echo "=== asan: AddressSanitizer build + core suites ==="
+  cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ci/asan -j "${jobs}" --target \
+    test_common test_net test_soi test_dist test_tune
+  (cd build-ci/asan &&
+    ./tests/test_common && ./tests/test_net && ./tests/test_soi &&
+    ./tests/test_dist && ./tests/test_tune)
+}
+
+run_smoke() {
+  echo "=== smoke: tune -> wisdom -> reuse pipeline ==="
+  local bin=build-ci/tier1/tools/soifft
+  if [ ! -x "${bin}" ]; then
+    cmake -B build-ci/tier1 -S . >/dev/null
+    cmake --build build-ci/tier1 -j "${jobs}" --target soifft
+  fi
+  local wisdom=build-ci/smoke_wisdom.txt
+  rm -f "${wisdom}"
+  "${bin}" tune --n 4096 --p 4 --wisdom "${wisdom}"
+  "${bin}" transform --n 4096 --p 4 --wisdom "${wisdom}" --check \
+    | grep "cache hit"
+  "${bin}" dist --n 4096 --p 4 --wisdom "${wisdom}" --check \
+    | grep "cache hit"
+  echo "smoke OK"
+}
+
+case "${stage}" in
+  tier1) run_tier1 ;;
+  asan)  run_asan ;;
+  smoke) run_smoke ;;
+  all)   run_tier1; run_asan; run_smoke ;;
+  *) echo "usage: $0 [tier1|asan|smoke|all]" >&2; exit 2 ;;
+esac
+echo "ci: ${stage} passed"

@@ -14,14 +14,31 @@ constexpr int kTagHalo = 101;
 
 SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
                        win::SoiProfile profile, std::int64_t segments_per_rank)
+    : SoiFftDist(comm, n, std::move(profile), [&] {
+        DistOptions opts;
+        opts.segments_per_rank = segments_per_rank;
+        return opts;
+      }()) {}
+
+SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
+                       win::SoiProfile profile, DistOptions options)
     : comm_(comm),
       profile_(std::move(profile)),
-      spr_(segments_per_rank),
-      geom_(n, comm.size() * segments_per_rank, profile_),
-      table_(geom_, *profile_.window),
+      opts_(std::move(options)),
+      spr_(opts_.segments_per_rank),
+      geom_(n, comm.size() * spr_, profile_),
+      table_(opts_.table ? opts_.table
+                         : std::make_shared<const ConvTable>(
+                               geom_, *profile_.window)),
       plan_p_(geom_.p()),
       plan_mp_(geom_.mprime()) {
   SOI_CHECK(spr_ >= 1, "SoiFftDist: segments_per_rank must be >= 1");
+  // The halo crosses exactly one rank boundary (Fig. 4); a geometry whose
+  // halo exceeds one segment would need points beyond the right neighbour.
+  SOI_CHECK(geom_.halo() <= geom_.m(),
+            "SoiFftDist: halo " << geom_.halo() << " exceeds segment length "
+                                << geom_.m()
+                                << " (reduce segments_per_rank or taps)");
   const auto mcg = geom_.chunks_per_rank();  // chunks per geometry sub-rank
   const auto p = geom_.p();                  // total segments
   const auto chunks = spr_ * mcg;            // chunks on this physical rank
@@ -36,7 +53,7 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
 }
 
 void SoiFftDist::forward(cspan x_local, mspan y_local) {
-  run_pipeline(x_local, y_local, /*overlap=*/false);
+  run_pipeline(x_local, y_local, opts_.overlap);
 }
 
 void SoiFftDist::forward_overlapped(cspan x_local, mspan y_local) {
@@ -75,7 +92,7 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
     }
     t.reset();
     for (std::int64_t g = 0; g < spr_; ++g) {
-      convolve_rank(geom_, table_,
+      convolve_rank(geom_, *table_,
                     cspan{ext_.data() + g * m_seg,
                           static_cast<std::size_t>(geom_.local_input())},
                     mspan{v_.data() + g * mcg * p,
@@ -91,7 +108,7 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
     breakdown_.halo = t.seconds();
     t.reset();
     for (std::int64_t g = 0; g < spr_; ++g) {
-      convolve_rank(geom_, table_,
+      convolve_rank(geom_, *table_,
                     cspan{ext_.data() + g * m_seg,
                           static_cast<std::size_t>(geom_.local_input())},
                     mspan{v_.data() + g * mcg * p,
@@ -112,7 +129,7 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
     t.reset();
     for (std::int64_t g = 0; g < spr_; ++g) {
       const std::int64_t q_end = (g == spr_ - 1) ? q_safe : groups;
-      convolve_rank_groups(geom_, table_,
+      convolve_rank_groups(geom_, *table_,
                            cspan{ext_.data() + g * m_seg,
                                  static_cast<std::size_t>(geom_.local_input())},
                            mspan{v_.data() + g * mcg * p,
@@ -128,7 +145,7 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
     }
     breakdown_.halo += t.seconds();
     t.reset();
-    convolve_rank_groups(geom_, table_,
+    convolve_rank_groups(geom_, *table_,
                          cspan{ext_.data() + (spr_ - 1) * m_seg,
                                static_cast<std::size_t>(geom_.local_input())},
                          mspan{v_.data() + (spr_ - 1) * mcg * p,
@@ -158,7 +175,7 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
 
   // --- 5. the single all-to-all --------------------------------------------
   t.reset();
-  comm_.alltoall(sendbuf_, recvbuf_, spr_ * chunks);
+  comm_.alltoall(sendbuf_, recvbuf_, spr_ * chunks, opts_.alltoall_algo);
   breakdown_.alltoall = t.seconds();
   breakdown_.alltoall_bytes =
       static_cast<std::int64_t>(sizeof(cplx)) * spr_ * chunks * (ranks - 1);
@@ -187,7 +204,7 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
 
   // --- 7. demodulate + project ------------------------------------------------
   t.reset();
-  const cspan demod = table_.demod();
+  const cspan demod = table_->demod();
   for (std::int64_t sl = 0; sl < spr_; ++sl) {
     const cplx* seg = uf_.data() + sl * mprime;
     cplx* dst = y_local.data() + sl * m_seg;

@@ -21,6 +21,8 @@
 //   7. demodulate + project to the M_rank outputs.
 #pragma once
 
+#include <memory>
+
 #include "common/types.hpp"
 #include "fft/plan.hpp"
 #include "net/comm.hpp"
@@ -47,6 +49,22 @@ struct SoiDistBreakdown {
   }
 };
 
+/// Execution knobs of one distributed plan — the tunable point in the
+/// candidate space src/tune searches over. Defaults reproduce the seed
+/// behaviour (one segment per rank, pairwise exchange, no overlap).
+struct DistOptions {
+  /// P = comm.size() * segments_per_rank segments in total (Section 6).
+  std::int64_t segments_per_rank = 1;
+  /// Message schedule of the single global exchange.
+  net::AlltoallAlgo alltoall_algo = net::AlltoallAlgo::kPairwise;
+  /// When true, forward() uses the halo-overlapped pipeline by default.
+  bool overlap = false;
+  /// Pre-built convolution table for this (N, P, profile) geometry, e.g.
+  /// from tune::PlanRegistry so all ranks share one table instead of each
+  /// building an identical copy. When null the plan builds its own.
+  std::shared_ptr<const ConvTable> table;
+};
+
 /// Distributed SOI plan bound to a communicator.
 /// Construct once per (N, profile, segmentation) and execute repeatedly.
 class SoiFftDist {
@@ -55,13 +73,20 @@ class SoiFftDist {
   SoiFftDist(net::Comm& comm, std::int64_t n, win::SoiProfile profile,
              std::int64_t segments_per_rank = 1);
 
+  /// Fully-knobbed constructor (autotuner / registry entry point).
+  SoiFftDist(net::Comm& comm, std::int64_t n, win::SoiProfile profile,
+             DistOptions options);
+
   [[nodiscard]] const SoiGeometry& geometry() const { return geom_; }
   [[nodiscard]] std::int64_t segments_per_rank() const { return spr_; }
+  [[nodiscard]] const DistOptions& options() const { return opts_; }
   /// Points per rank: N / comm.size().
   [[nodiscard]] std::int64_t local_size() const { return spr_ * geom_.m(); }
 
   /// Forward transform of the block-distributed signal. `x_local` and
-  /// `y_local` are this rank's local_size() input/output points.
+  /// `y_local` are this rank's local_size() input/output points. Runs the
+  /// halo-overlapped pipeline when options().overlap is set (bit-identical
+  /// results either way).
   void forward(cspan x_local, mspan y_local);
 
   /// Forward transform with communication/computation overlap: the halo
@@ -85,9 +110,10 @@ class SoiFftDist {
 
   net::Comm& comm_;
   win::SoiProfile profile_;
+  DistOptions opts_;
   std::int64_t spr_;
   SoiGeometry geom_;
-  ConvTable table_;
+  std::shared_ptr<const ConvTable> table_;
   fft::FftPlan plan_p_;
   fft::FftPlan plan_mp_;
   SoiDistBreakdown breakdown_;

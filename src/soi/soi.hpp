@@ -8,6 +8,8 @@
 //   baseline::SixStepFftDist(comm, n)        -> comparator, 3 all-to-alls
 //   net::run_ranks / net::make_gordon_torus  -> SimMPI + fabric models
 //   perf::t_soi / perf::speedup              -> Section 7.4 analytic model
+//   tune::autotune / tune::PlanRegistry      -> autotuning, plan cache,
+//   tune::WisdomStore                           persisted tuned decisions
 #pragma once
 
 #include "baseline/fft2d_dist.hpp"
@@ -25,5 +27,9 @@
 #include "soi/dist.hpp"
 #include "soi/real.hpp"
 #include "soi/serial.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/candidates.hpp"
+#include "tune/registry.hpp"
+#include "tune/wisdom.hpp"
 #include "window/design.hpp"
 #include "window/window.hpp"

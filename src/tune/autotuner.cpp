@@ -1,0 +1,186 @@
+#include "tune/autotuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/comm.hpp"
+#include "soi/dist.hpp"
+#include "soi/params.hpp"
+
+namespace soi::tune {
+
+namespace {
+
+const net::NetworkModel& fabric_or_default(const TuneOptions& opts) {
+  static const std::unique_ptr<net::NetworkModel> kDefault =
+      net::make_endeavor_fat_tree();
+  return opts.fabric ? *opts.fabric : *kDefault;
+}
+
+PlanRegistry& registry_or_global(const TuneOptions& opts) {
+  return opts.registry ? *opts.registry : PlanRegistry::global();
+}
+
+/// Per-rank compute flops of one candidate's pipeline (Section 7.4's
+/// accounting): convolution madds + the two batched FFT stages + the
+/// linear packing/demodulation passes.
+double modeled_compute_flops(const core::SoiGeometry& g, std::int64_t spr) {
+  const double p = static_cast<double>(g.p());
+  const double mprime = static_cast<double>(g.mprime());
+  const double chunks = static_cast<double>(spr * g.chunks_per_rank());
+  const double sprd = static_cast<double>(spr);
+  // Convolution: one complex madd = 8 real flops; M' * B madds per
+  // geometry sub-rank, spr sub-ranks per physical rank.
+  const double conv = 8.0 * sprd * static_cast<double>(g.conv_madds_per_rank());
+  // I (x) F_P over the local chunks: 5 P log2 P per chunk.
+  const double fp = chunks * 5.0 * p * std::log2(p);
+  // F_M' per local segment.
+  const double fm = sprd * 5.0 * mprime * std::log2(mprime);
+  // Packing transposes (2 passes over spr*M' points) and demodulation
+  // (spr*M points), ~8 flops-equivalents per point for the memory traffic.
+  const double linear = 8.0 * (2.0 * sprd * mprime +
+                               sprd * static_cast<double>(g.m()));
+  return conv + fp + fm + linear;
+}
+
+/// Modeled communication seconds: the halo point-to-point (hidden behind
+/// the convolution when the candidate overlaps) plus the single all-to-all
+/// with a schedule-dependent injection term — kPairwise serialises R-1
+/// latency-bound rounds, kDirect posts everything and pays ~2 latencies.
+double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
+                            std::int64_t halo_bytes,
+                            std::int64_t alltoall_bytes_per_rank,
+                            const Candidate& cand, double conv_seconds) {
+  if (ranks <= 1) return 0.0;
+  double halo = fabric.p2p_seconds(halo_bytes);
+  if (cand.overlap) halo = std::max(0.0, halo - conv_seconds);
+  const double exchange =
+      fabric.alltoall_seconds(ranks, alltoall_bytes_per_rank);
+  const double lat = fabric.p2p_seconds(0);
+  const double schedule =
+      cand.alltoall_algo == net::AlltoallAlgo::kPairwise
+          ? static_cast<double>(ranks - 1) * lat
+          : 2.0 * lat;
+  return halo + exchange + schedule;
+}
+
+CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
+                             const TuneOptions& opts,
+                             const win::SoiProfile& prof) {
+  const core::SoiGeometry g(key.n, key.ranks * cand.segments_per_rank, prof);
+  CandidateScore score;
+  score.candidate = cand;
+  score.compute_seconds =
+      modeled_compute_flops(g, cand.segments_per_rank) /
+      (opts.node_gflops * 1e9);
+  // Shares of the compute that are convolution (the overlap budget).
+  const double conv_share =
+      8.0 * static_cast<double>(cand.segments_per_rank) *
+      static_cast<double>(g.conv_madds_per_rank()) /
+      (opts.node_gflops * 1e9);
+  const std::int64_t halo_bytes =
+      static_cast<std::int64_t>(sizeof(cplx)) * g.halo();
+  const std::int64_t a2a_bytes = static_cast<std::int64_t>(sizeof(cplx)) *
+                                 cand.segments_per_rank *
+                                 cand.segments_per_rank *
+                                 g.chunks_per_rank() * (key.ranks - 1);
+  score.comm_seconds =
+      modeled_comm_seconds(fabric_or_default(opts), key.ranks, halo_bytes,
+                           a2a_bytes, cand, conv_share);
+  return score;
+}
+
+CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
+                              const TuneOptions& opts,
+                              const win::SoiProfile& prof) {
+  PlanRegistry& reg = registry_or_global(opts);
+  const int reps = std::max(1, opts.reps);
+  // Deterministic test signal, one block per rank.
+  cvec x(static_cast<std::size_t>(key.n));
+  fill_gaussian(x, opts.seed);
+
+  double compute_best = 0.0;
+  core::SoiDistBreakdown bd0{};
+  std::mutex mu;
+  net::run_ranks(key.ranks, [&](net::Comm& comm) {
+    core::DistOptions dopts;
+    dopts.segments_per_rank = cand.segments_per_rank;
+    dopts.alltoall_algo = cand.alltoall_algo;
+    dopts.overlap = cand.overlap;
+    // All ranks share one registry-built table.
+    dopts.table =
+        reg.conv_table(key.n, key.ranks * cand.segments_per_rank, prof);
+    core::SoiFftDist plan(comm, key.n, prof, dopts);
+    const std::int64_t m_rank = plan.local_size();
+    cvec y(static_cast<std::size_t>(m_rank));
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      plan.forward(cspan{x.data() + comm.rank() * m_rank,
+                         static_cast<std::size_t>(m_rank)},
+                   y);
+      best = std::min(best, plan.last_breakdown().compute_total());
+    }
+    // The slowest rank sets the pipeline's compute critical path.
+    const double worst = comm.allreduce_max(best);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      compute_best = worst;
+      bd0 = plan.last_breakdown();
+    }
+  });
+
+  CandidateScore score;
+  score.candidate = cand;
+  score.compute_seconds = compute_best;
+  score.comm_seconds = modeled_comm_seconds(
+      fabric_or_default(opts), key.ranks, bd0.halo_bytes, bd0.alltoall_bytes,
+      cand, bd0.conv);
+  return score;
+}
+
+}  // namespace
+
+CandidateScore score_candidate(const TuneKey& key, const Candidate& cand,
+                               const TuneOptions& opts) {
+  const auto prof = registry_or_global(opts).profile(cand.accuracy);
+  return opts.mode == TuneMode::kModeled
+             ? score_modeled(key, cand, opts, *prof)
+             : score_measured(key, cand, opts, *prof);
+}
+
+TuneResult autotune(const TuneKey& key, const TuneOptions& opts) {
+  const auto candidates = candidate_space(key, opts.max_segments_per_rank);
+  TuneResult result;
+  result.key = key;
+  result.scores.reserve(candidates.size());
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    result.scores.push_back(score_candidate(key, candidates[i], opts));
+    if (result.scores[i].total_seconds() <
+        result.scores[best_idx].total_seconds()) {
+      best_idx = i;  // strict '<': ties keep the earliest (default) entry
+    }
+  }
+  result.best = result.scores[best_idx];
+  result.profile =
+      *registry_or_global(opts).profile(result.best.candidate.accuracy);
+  return result;
+}
+
+TunedConfig tuned_config(const TuneKey& key, WisdomStore& wisdom,
+                         const TuneOptions& opts, bool* was_hit) {
+  if (auto hit = wisdom.find(key)) {
+    if (was_hit) *was_hit = true;
+    return *hit;
+  }
+  if (was_hit) *was_hit = false;
+  const TuneResult result = autotune(key, opts);
+  const TunedConfig cfg = result.config();
+  wisdom.put(key, cfg);
+  return cfg;
+}
+
+}  // namespace soi::tune

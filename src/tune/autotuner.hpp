@@ -1,0 +1,97 @@
+// The autotuner: scores every feasible candidate of a (N, ranks, accuracy)
+// key and picks the fastest, in one of two modes.
+//
+//   kModeled  — fully deterministic. Per-rank compute is counted from the
+//               geometry's flop accounting (Section 7.4) at a fixed nominal
+//               node rate; communication comes from the fabric cost models
+//               plus a per-message schedule term that separates the two
+//               all-to-all algorithms. Same key + options => same winner,
+//               bit for bit. This is the default: wisdom produced on one
+//               run reproduces on the next.
+//
+//   kMeasured — per-rank compute is MEASURED by executing each candidate's
+//               SoiFftDist pipeline on SimMPI against a deterministic
+//               Gaussian input (fixed RNG seed) and taking the best of
+//               `reps` repetitions of SoiDistBreakdown::compute_total();
+//               communication is still modeled from the recorded volumes
+//               (the harness's measured-compute / modeled-comm
+//               methodology). Winner may vary with machine noise.
+//
+// Either way the seed's hard-coded default configuration is in the
+// candidate set, so the tuned choice is never worse than the default
+// under the scoring used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/costmodel.hpp"
+#include "tune/candidates.hpp"
+#include "tune/registry.hpp"
+#include "tune/wisdom.hpp"
+
+namespace soi::tune {
+
+enum class TuneMode {
+  kModeled,   ///< deterministic analytic scoring (default)
+  kMeasured,  ///< wall-clock compute via SimMPI execution
+};
+
+struct TuneOptions {
+  TuneMode mode = TuneMode::kModeled;
+  /// Repetitions per candidate in kMeasured mode (best-of).
+  int reps = 3;
+  /// RNG seed of the deterministic test signal (kMeasured input).
+  std::uint64_t seed = 1;
+  /// Nominal node compute rate for kModeled scoring, GFLOPS. Any fixed
+  /// value yields a deterministic tuner; this one approximates the class
+  /// of node this build targets.
+  double node_gflops = 4.0;
+  /// Fabric whose cost model prices the communication; null = the
+  /// Endeavor fat tree (the paper's primary testbed).
+  const net::NetworkModel* fabric = nullptr;
+  /// Cap on the segments-per-rank knob (the paper uses up to 8).
+  std::int64_t max_segments_per_rank = 8;
+  /// Registry the sweep draws profiles/tables from; null = the global one.
+  PlanRegistry* registry = nullptr;
+};
+
+/// One scored candidate.
+struct CandidateScore {
+  Candidate candidate;
+  double compute_seconds = 0.0;  ///< per-rank critical-path compute
+  double comm_seconds = 0.0;     ///< modeled halo + all-to-all
+  [[nodiscard]] double total_seconds() const {
+    return compute_seconds + comm_seconds;
+  }
+};
+
+/// Sweep outcome: the winner plus every score (enumeration order).
+struct TuneResult {
+  TuneKey key;
+  CandidateScore best;
+  win::SoiProfile profile;  ///< profile of the winning tier
+  std::vector<CandidateScore> scores;
+
+  /// The winner as a wisdom entry.
+  [[nodiscard]] TunedConfig config() const {
+    return TunedConfig{best.candidate, profile, best.total_seconds()};
+  }
+};
+
+/// Score one candidate (exposed for benches; autotune() loops over this).
+CandidateScore score_candidate(const TuneKey& key, const Candidate& cand,
+                               const TuneOptions& opts = {});
+
+/// Sweep the candidate space of `key` and return the fastest candidate
+/// (ties break toward the earliest enumerated, i.e. the default config).
+TuneResult autotune(const TuneKey& key, const TuneOptions& opts = {});
+
+/// Tune-or-reuse: return wisdom's decision for `key` when present (a cache
+/// hit — no sweep runs), otherwise autotune and record the result in
+/// `wisdom`. `was_hit` (optional) reports which path was taken.
+TunedConfig tuned_config(const TuneKey& key, WisdomStore& wisdom,
+                         const TuneOptions& opts = {},
+                         bool* was_hit = nullptr);
+
+}  // namespace soi::tune

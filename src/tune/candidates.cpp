@@ -1,0 +1,171 @@
+#include "tune/candidates.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "soi/params.hpp"
+#include "tune/registry.hpp"
+
+namespace soi::tune {
+
+std::string accuracy_name(win::Accuracy acc) {
+  switch (acc) {
+    case win::Accuracy::kFull: return "full";
+    case win::Accuracy::kHigh: return "high";
+    case win::Accuracy::kMedium: return "medium";
+    case win::Accuracy::kLow: return "low";
+  }
+  throw Error("accuracy_name: bad accuracy enum");
+}
+
+win::Accuracy accuracy_from_name(const std::string& name) {
+  if (name == "full") return win::Accuracy::kFull;
+  if (name == "high") return win::Accuracy::kHigh;
+  if (name == "medium") return win::Accuracy::kMedium;
+  if (name == "low") return win::Accuracy::kLow;
+  throw Error("unknown accuracy '" + name + "' (full|high|medium|low)");
+}
+
+std::vector<win::Accuracy> tiers_at_or_above(win::Accuracy floor) {
+  const win::Accuracy all[] = {win::Accuracy::kFull, win::Accuracy::kHigh,
+                               win::Accuracy::kMedium, win::Accuracy::kLow};
+  std::vector<win::Accuracy> out;
+  for (const auto acc : all) {
+    if (win::target_snr_db(acc) >= win::target_snr_db(floor)) out.push_back(acc);
+  }
+  return out;
+}
+
+std::string TuneKey::str() const {
+  std::ostringstream os;
+  os << "n=" << n << " ranks=" << ranks << " acc=" << accuracy_name(accuracy);
+  return os.str();
+}
+
+namespace {
+
+/// Split "k=v k=v ..." into pairs; throws on malformed tokens.
+std::vector<std::pair<std::string, std::string>> kv_pairs(
+    const std::string& text, const char* what) {
+  std::istringstream is(text);
+  std::vector<std::pair<std::string, std::string>> out;
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    SOI_CHECK(eq != std::string::npos && eq > 0,
+              what << ": bad token '" << tok << "' in '" << text << "'");
+    out.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+TuneKey parse_tune_key(const std::string& text) {
+  TuneKey key;
+  bool have_n = false, have_ranks = false, have_acc = false;
+  for (const auto& [k, v] : kv_pairs(text, "parse_tune_key")) {
+    if (k == "n") {
+      key.n = std::stoll(v);
+      have_n = true;
+    } else if (k == "ranks") {
+      key.ranks = std::stoi(v);
+      have_ranks = true;
+    } else if (k == "acc") {
+      key.accuracy = accuracy_from_name(v);
+      have_acc = true;
+    } else {
+      throw Error("parse_tune_key: unknown field '" + k + "'");
+    }
+  }
+  SOI_CHECK(have_n && have_ranks && have_acc,
+            "parse_tune_key: missing field in '" << text << "'");
+  SOI_CHECK(key.n > 0 && key.ranks > 0,
+            "parse_tune_key: non-positive n/ranks in '" << text << "'");
+  return key;
+}
+
+std::string Candidate::describe() const {
+  std::ostringstream os;
+  os << "tier=" << accuracy_name(accuracy) << " spr=" << segments_per_rank
+     << " algo="
+     << (alltoall_algo == net::AlltoallAlgo::kPairwise ? "pairwise" : "direct")
+     << " overlap=" << (overlap ? 1 : 0);
+  return os.str();
+}
+
+Candidate parse_candidate(const std::string& text) {
+  Candidate c;
+  bool have_tier = false, have_spr = false, have_algo = false,
+       have_overlap = false;
+  for (const auto& [k, v] : kv_pairs(text, "parse_candidate")) {
+    if (k == "tier") {
+      c.accuracy = accuracy_from_name(v);
+      have_tier = true;
+    } else if (k == "spr") {
+      c.segments_per_rank = std::stoll(v);
+      have_spr = true;
+    } else if (k == "algo") {
+      if (v == "pairwise") {
+        c.alltoall_algo = net::AlltoallAlgo::kPairwise;
+      } else if (v == "direct") {
+        c.alltoall_algo = net::AlltoallAlgo::kDirect;
+      } else {
+        throw Error("parse_candidate: unknown algo '" + v + "'");
+      }
+      have_algo = true;
+    } else if (k == "overlap") {
+      c.overlap = v != "0";
+      have_overlap = true;
+    } else {
+      throw Error("parse_candidate: unknown field '" + k + "'");
+    }
+  }
+  SOI_CHECK(have_tier && have_spr && have_algo && have_overlap,
+            "parse_candidate: missing field in '" << text << "'");
+  SOI_CHECK(c.segments_per_rank >= 1,
+            "parse_candidate: bad segments_per_rank in '" << text << "'");
+  return c;
+}
+
+std::vector<Candidate> candidate_space(const TuneKey& key,
+                                       std::int64_t max_segments_per_rank) {
+  SOI_CHECK(key.n > 0 && key.ranks > 0,
+            "candidate_space: need positive n and ranks");
+  SOI_CHECK(max_segments_per_rank >= 1,
+            "candidate_space: max_segments_per_rank must be >= 1");
+  std::vector<Candidate> out;
+  // Requested tier first so the seed's hard-coded configuration leads the
+  // enumeration (the tuner's tie-break is "first wins").
+  auto tiers = tiers_at_or_above(key.accuracy);
+  std::reverse(tiers.begin(), tiers.end());  // requested tier leads
+  for (const auto tier : tiers) {
+    // Registry-cached: the design search runs once per tier per process.
+    const win::SoiProfile& profile = *PlanRegistry::global().profile(tier);
+    for (std::int64_t spr = 1; spr <= max_segments_per_rank; spr *= 2) {
+      const std::int64_t p = key.ranks * spr;
+      bool feasible = true;
+      try {
+        const core::SoiGeometry g(key.n, p, profile);
+        // One-neighbour halo invariant of the distributed pipeline.
+        feasible = g.halo() <= g.m();
+      } catch (const Error&) {
+        feasible = false;
+      }
+      if (!feasible) continue;
+      for (const auto algo :
+           {net::AlltoallAlgo::kPairwise, net::AlltoallAlgo::kDirect}) {
+        for (const bool overlap : {false, true}) {
+          if (overlap && key.ranks == 1) continue;  // nothing to hide
+          out.push_back(Candidate{tier, spr, algo, overlap});
+        }
+      }
+    }
+  }
+  SOI_CHECK(!out.empty(),
+            "candidate_space: no feasible candidate for " << key.str());
+  return out;
+}
+
+}  // namespace soi::tune

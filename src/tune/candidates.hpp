@@ -1,0 +1,84 @@
+// The tuning candidate space: every knob the SOI factorisation exposes
+// that changes execution time without changing the answer below the
+// requested accuracy floor.
+//
+// Knobs per (N, ranks, accuracy) key:
+//   * window profile tier — the Fig. 7 B/kappa trade-off: any preset at
+//     least as accurate as the requested one is admissible,
+//   * segments_per_rank — Section 6's granularity (P = g * ranks),
+//   * all-to-all schedule — net::AlltoallAlgo (pairwise vs direct),
+//   * halo overlap — plain sendrecv vs eager-send + poll (reference [11]).
+//
+// candidate_space() enumerates only FEASIBLE points: every candidate's
+// SoiGeometry constructs (divisibility) and its halo fits inside one
+// segment (the distributed pipeline's one-neighbour invariant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/comm.hpp"
+#include "window/design.hpp"
+
+namespace soi::tune {
+
+/// Identity of one tuning problem. Two runs with equal keys may share a
+/// tuned decision (via WisdomStore) and constructed plans (PlanRegistry).
+struct TuneKey {
+  std::int64_t n = 0;                            ///< transform size
+  int ranks = 1;                                 ///< communicator size
+  win::Accuracy accuracy = win::Accuracy::kFull; ///< requested floor
+
+  /// Canonical text form, e.g. "n=65536 ranks=8 acc=full"; used as the
+  /// wisdom-file key and the registry key prefix.
+  [[nodiscard]] std::string str() const;
+
+  bool operator==(const TuneKey& o) const {
+    return n == o.n && ranks == o.ranks && accuracy == o.accuracy;
+  }
+};
+
+/// Parse the output of TuneKey::str(); throws soi::Error on malformed text.
+TuneKey parse_tune_key(const std::string& text);
+
+/// One point in the tuning space.
+struct Candidate {
+  win::Accuracy accuracy = win::Accuracy::kFull; ///< profile tier used
+  std::int64_t segments_per_rank = 1;
+  net::AlltoallAlgo alltoall_algo = net::AlltoallAlgo::kPairwise;
+  bool overlap = false;
+
+  /// Canonical text form, e.g. "tier=full spr=2 algo=direct overlap=1";
+  /// round-trips through parse_candidate().
+  [[nodiscard]] std::string describe() const;
+
+  bool operator==(const Candidate& o) const {
+    return accuracy == o.accuracy &&
+           segments_per_rank == o.segments_per_rank &&
+           alltoall_algo == o.alltoall_algo && overlap == o.overlap;
+  }
+};
+
+/// Parse the output of Candidate::describe(); throws soi::Error.
+Candidate parse_candidate(const std::string& text);
+
+/// Lowercase preset name ("full", "high", "medium", "low").
+std::string accuracy_name(win::Accuracy acc);
+
+/// Inverse of accuracy_name(); throws soi::Error on an unknown name.
+win::Accuracy accuracy_from_name(const std::string& name);
+
+/// Presets at least as accurate as `floor`, most accurate first.
+std::vector<win::Accuracy> tiers_at_or_above(win::Accuracy floor);
+
+/// Enumerate every feasible candidate for `key`, in a deterministic order
+/// (tier-major, then segments_per_rank in {1,2,4,...,max_segments_per_rank},
+/// then schedule, then overlap). The seed's hard-coded configuration —
+/// requested tier, one segment per rank, pairwise, no overlap — is always
+/// the first entry when feasible. Throws soi::Error if no candidate is
+/// feasible at all.
+std::vector<Candidate> candidate_space(const TuneKey& key,
+                                       std::int64_t max_segments_per_rank = 8);
+
+}  // namespace soi::tune

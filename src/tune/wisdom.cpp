@@ -1,0 +1,105 @@
+#include "tune/wisdom.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace soi::tune {
+
+void WisdomStore::put(const TuneKey& key, const TunedConfig& config) {
+  SOI_CHECK(config.profile.window != nullptr,
+            "WisdomStore::put: config has no window profile");
+  entries_[key.str()] = config;
+}
+
+std::optional<TunedConfig> WisdomStore::find(const TuneKey& key) const {
+  const auto it = entries_.find(key.str());
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string WisdomStore::serialize() const {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  os << "# SOI-FFT tuned plan decisions — regenerate with `soifft tune`\n";
+  os.precision(17);
+  for (const auto& [key, cfg] : entries_) {
+    os << key << " | " << cfg.candidate.describe() << " | score="
+       << cfg.score_seconds << " | " << win::serialize_profile(cfg.profile)
+       << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Split a wisdom line on " | " into exactly `n` fields.
+std::vector<std::string> split_fields(const std::string& line, std::size_t n) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (fields.size() + 1 < n) {
+    const auto bar = line.find(" | ", pos);
+    SOI_CHECK(bar != std::string::npos,
+              "wisdom: malformed line '" << line << "'");
+    fields.push_back(line.substr(pos, bar - pos));
+    pos = bar + 3;
+  }
+  fields.push_back(line.substr(pos));
+  return fields;
+}
+
+}  // namespace
+
+WisdomStore WisdomStore::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  SOI_CHECK(std::getline(is, line),
+            "wisdom: empty input (expected header '" << kHeader << "')");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  SOI_CHECK(line == kHeader,
+            "wisdom: version mismatch — expected header '"
+                << kHeader << "', got '" << line
+                << "'; re-run `soifft tune` to regenerate");
+  WisdomStore store;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_fields(line, 4);
+    const TuneKey key = parse_tune_key(fields[0]);
+    TunedConfig cfg;
+    cfg.candidate = parse_candidate(fields[1]);
+    SOI_CHECK(fields[2].rfind("score=", 0) == 0,
+              "wisdom: expected score field, got '" << fields[2] << "'");
+    cfg.score_seconds = std::stod(fields[2].substr(6));
+    cfg.profile = win::parse_profile(fields[3]);
+    store.put(key, cfg);
+  }
+  return store;
+}
+
+void WisdomStore::save(const std::string& path) const {
+  std::ofstream f(path);
+  SOI_CHECK(f.good(), "wisdom: cannot open '" << path << "' for writing");
+  f << serialize();
+  SOI_CHECK(f.good(), "wisdom: write to '" << path << "' failed");
+}
+
+WisdomStore WisdomStore::load(const std::string& path) {
+  std::ifstream f(path);
+  SOI_CHECK(f.good(), "wisdom: cannot open '" << path << "'");
+  std::ostringstream text;
+  text << f.rdbuf();
+  return parse(text.str());
+}
+
+WisdomStore WisdomStore::load_or_empty(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) return WisdomStore{};
+  std::ostringstream text;
+  text << f.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace soi::tune

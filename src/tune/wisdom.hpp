@@ -1,0 +1,75 @@
+// Wisdom: tuned plan decisions persisted across runs (FFTW's term for the
+// same idea). A wisdom file is versioned, line-oriented text:
+//
+//   soiwisdom v1
+//   # optional comments
+//   <key> | <candidate> | <score> | <profile>
+//
+// with <key> = TuneKey::str() ("n=65536 ranks=8 acc=full"), <candidate> =
+// Candidate::describe() ("tier=full spr=2 algo=direct overlap=1"),
+// <score> = "score=<seconds>" (the tuner's winning estimate), and
+// <profile> = win::serialize_profile() of the winning tier's profile, so a
+// reload skips the design search as well as the tuning sweep.
+//
+// This subsumes the old single-line `--profile` files of tools/soifft:
+// those stored only a window profile; wisdom stores the full tuned
+// decision keyed by problem shape.
+//
+// A file whose first line is not exactly the expected header is rejected
+// with a clear error — never silently misparsed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "tune/candidates.hpp"
+#include "window/design.hpp"
+
+namespace soi::tune {
+
+/// One tuned decision: the winning candidate, its profile (design-search
+/// output) and the tuner's score for it.
+struct TunedConfig {
+  Candidate candidate;
+  win::SoiProfile profile;
+  double score_seconds = 0.0;
+};
+
+/// In-memory wisdom collection with text (de)serialisation. Not
+/// thread-safe; the thread-safe component of the subsystem is
+/// PlanRegistry — guard shared WisdomStore access externally.
+class WisdomStore {
+ public:
+  static constexpr const char* kHeader = "soiwisdom v1";
+
+  /// Insert or replace the decision for `key`.
+  void put(const TuneKey& key, const TunedConfig& config);
+
+  /// Look up a decision; nullopt when this shape was never tuned.
+  [[nodiscard]] std::optional<TunedConfig> find(const TuneKey& key) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Full text form (header + one line per entry, key-sorted).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse text produced by serialize(). Throws soi::Error on a missing or
+  /// mismatched version header or any malformed line.
+  static WisdomStore parse(const std::string& text);
+
+  /// Write to / read from a file. load() throws soi::Error when the file
+  /// cannot be opened or fails to parse.
+  void save(const std::string& path) const;
+  static WisdomStore load(const std::string& path);
+
+  /// load() if `path` exists, otherwise an empty store (the tune
+  /// subcommand's append-to-existing-file behaviour).
+  static WisdomStore load_or_empty(const std::string& path);
+
+ private:
+  std::map<std::string, TunedConfig> entries_;  // keyed by TuneKey::str()
+};
+
+}  // namespace soi::tune

@@ -278,6 +278,9 @@ std::string serialize_profile(const SoiProfile& profile) {
   } else if (const auto* bs =
                  dynamic_cast<const BSplineWindow*>(profile.window.get())) {
     os << "bspline:" << bs->order();
+  } else if (const auto* kb = dynamic_cast<const KaiserBesselWindow*>(
+                 profile.window.get())) {
+    os << "kaiser-bessel:" << kb->b() << ":" << kb->c();
   } else {
     throw Error("serialize_profile: unsupported window family " +
                 profile.window->name());
@@ -335,6 +338,12 @@ SoiProfile parse_profile(const std::string& text) {
     p.window = std::make_shared<GaussianWindow>(std::stod(params));
   } else if (family == "bspline") {
     p.window = std::make_shared<BSplineWindow>(std::stoi(params));
+  } else if (family == "kaiser-bessel") {
+    const auto c2 = params.find(':');
+    SOI_CHECK(c2 != std::string::npos,
+              "parse_profile: kaiser-bessel needs b:c");
+    p.window = std::make_shared<KaiserBesselWindow>(
+        std::stod(params.substr(0, c2)), std::stod(params.substr(c2 + 1)));
   } else {
     throw Error("parse_profile: unknown window family " + family);
   }

@@ -93,6 +93,9 @@ class KaiserBesselWindow final : public Window {
   [[nodiscard]] bool compact_support() const override { return true; }
   [[nodiscard]] double support_halfwidth() const override { return c_; }
 
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] double c() const { return c_; }
+
  private:
   double b_;
   double c_;

@@ -264,6 +264,75 @@ TEST(Alltoall, RepeatedCallsStayConsistent) {
   });
 }
 
+TEST(Alltoall, SchedulesProduceIdenticalResults) {
+  // kPairwise and kDirect are two schedules of the SAME collective; for
+  // identical inputs their outputs must match element for element.
+  const int p = 8;
+  const std::int64_t count = 7;
+  run_ranks(p, [=](Comm& c) {
+    cvec send(static_cast<std::size_t>(p * count));
+    fill_gaussian(send, static_cast<std::uint64_t>(c.rank()) + 41);
+    cvec via_pairwise(send.size());
+    cvec via_direct(send.size());
+    c.alltoall(send, via_pairwise, count, AlltoallAlgo::kPairwise);
+    c.alltoall(send, via_direct, count, AlltoallAlgo::kDirect);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      ASSERT_EQ(via_pairwise[i], via_direct[i]) << "element " << i;
+    }
+  });
+}
+
+TEST(Alltoallv, ZeroCountRanksAndRaggedDisplacements) {
+  // Rank r sends nothing to d whenever (r + d) % 3 == 0 (so some rank
+  // pairs exchange zero elements, and rank 0 sends nothing to rank 3 and
+  // vice versa), and the send/recv blocks are laid out with 3-element
+  // sentinel gaps between them — the collective must honour the given
+  // displacements exactly and leave the gaps untouched.
+  const int p = 4;
+  const std::int64_t kGap = 3;
+  const cplx sentinel = val(-7, -7);
+  auto count_for = [](int src, int dst) -> std::int64_t {
+    return (src + dst) % 3 == 0 ? 0 : src + 2 * dst + 1;
+  };
+  run_ranks(p, [&](Comm& c) {
+    std::vector<std::int64_t> scnt(p), sdsp(p), rcnt(p), rdsp(p);
+    std::int64_t soff = 0;
+    std::int64_t roff = 0;
+    for (int d = 0; d < p; ++d) {
+      scnt[static_cast<std::size_t>(d)] = count_for(c.rank(), d);
+      sdsp[static_cast<std::size_t>(d)] = soff;
+      soff += scnt[static_cast<std::size_t>(d)] + kGap;
+      rcnt[static_cast<std::size_t>(d)] = count_for(d, c.rank());
+      rdsp[static_cast<std::size_t>(d)] = roff;
+      roff += rcnt[static_cast<std::size_t>(d)] + kGap;
+    }
+    cvec send(static_cast<std::size_t>(soff), sentinel);
+    for (int d = 0; d < p; ++d) {
+      for (std::int64_t e = 0; e < scnt[static_cast<std::size_t>(d)]; ++e) {
+        send[static_cast<std::size_t>(sdsp[static_cast<std::size_t>(d)] + e)] =
+            val(c.rank() * 100 + d, static_cast<int>(e));
+      }
+    }
+    cvec recv(static_cast<std::size_t>(roff), sentinel);
+    c.alltoallv(send, scnt, sdsp, recv, rcnt, rdsp);
+    for (int s = 0; s < p; ++s) {
+      const auto base = rdsp[static_cast<std::size_t>(s)];
+      for (std::int64_t e = 0; e < rcnt[static_cast<std::size_t>(s)]; ++e) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(base + e)],
+                  val(s * 100 + c.rank(), static_cast<int>(e)))
+            << "from " << s << " elem " << e;
+      }
+      // The gap after each block must keep its sentinel fill.
+      for (std::int64_t g = 0; g < kGap; ++g) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(
+                      base + rcnt[static_cast<std::size_t>(s)] + g)],
+                  sentinel)
+            << "gap after block " << s << " clobbered at +" << g;
+      }
+    }
+  });
+}
+
 TEST(Alltoallv, VariableCounts) {
   const int p = 4;
   run_ranks(p, [p](Comm& c) {

@@ -1,0 +1,315 @@
+// Tuning subsystem tests: candidate-space enumeration, the plan registry's
+// exactly-once concurrency contract and LRU eviction, wisdom round-trips
+// (including version rejection) and autotuner determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "soi/params.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/candidates.hpp"
+#include "tune/registry.hpp"
+#include "tune/wisdom.hpp"
+#include "window/design.hpp"
+
+namespace soi::tune {
+namespace {
+
+// --- candidate space ---------------------------------------------------------
+
+TEST(Candidates, KeyAndCandidateRoundTrip) {
+  const TuneKey key{1 << 18, 8, win::Accuracy::kMedium};
+  EXPECT_EQ(key.str(), "n=262144 ranks=8 acc=medium");
+  EXPECT_EQ(parse_tune_key(key.str()), key);
+
+  const Candidate cand{win::Accuracy::kLow, 4, net::AlltoallAlgo::kDirect,
+                       true};
+  EXPECT_EQ(cand.describe(), "tier=low spr=4 algo=direct overlap=1");
+  EXPECT_EQ(parse_candidate(cand.describe()), cand);
+}
+
+TEST(Candidates, ParseRejectsMalformedText) {
+  EXPECT_THROW(parse_tune_key("n=4096 ranks=4"), Error);       // missing acc
+  EXPECT_THROW(parse_tune_key("n=4096 ranks=4 acc=?"), Error); // bad tier
+  EXPECT_THROW(parse_candidate("tier=low spr=2 algo=rotating overlap=0"),
+               Error);
+  EXPECT_THROW(parse_candidate("spr=2 algo=direct overlap=0"), Error);
+}
+
+TEST(Candidates, DefaultConfigurationLeadsTheEnumeration) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  const auto space = candidate_space(key);
+  ASSERT_FALSE(space.empty());
+  // The seed's hard-coded configuration must be first: it is the tuner's
+  // tie-break anchor ("tuned never worse than default").
+  const Candidate dflt{key.accuracy, 1, net::AlltoallAlgo::kPairwise, false};
+  EXPECT_EQ(space.front(), dflt);
+}
+
+TEST(Candidates, EveryCandidateIsFeasible) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  for (const auto& cand : candidate_space(key)) {
+    // Admissible tier: at least as accurate as requested.
+    EXPECT_GE(win::target_snr_db(cand.accuracy),
+              win::target_snr_db(key.accuracy));
+    // Geometry constructs and the halo fits inside one segment.
+    const auto prof = PlanRegistry::global().profile(cand.accuracy);
+    const core::SoiGeometry g(key.n, key.ranks * cand.segments_per_rank,
+                              *prof);
+    EXPECT_LE(g.halo(), g.m()) << cand.describe();
+  }
+}
+
+TEST(Candidates, NoOverlapCandidatesOnOneRank) {
+  const TuneKey key{1 << 14, 1, win::Accuracy::kLow};
+  for (const auto& cand : candidate_space(key)) {
+    EXPECT_FALSE(cand.overlap) << cand.describe();
+  }
+}
+
+TEST(Candidates, InfeasibleSegmentCountsArePruned) {
+  // Small N with many ranks: large spr values make the halo exceed one
+  // segment (or break divisibility) and must not appear.
+  const TuneKey key{1 << 12, 4, win::Accuracy::kFull};
+  for (const auto& cand : candidate_space(key)) {
+    EXPECT_EQ(cand.segments_per_rank, 1) << cand.describe();
+  }
+}
+
+// --- plan registry -----------------------------------------------------------
+
+TEST(Registry, ConcurrentLookupsConstructExactlyOnce) {
+  PlanRegistry reg(8);
+  std::atomic<int> builds{0};
+  const int kThreads = 16;
+  std::vector<std::shared_ptr<const int>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[static_cast<std::size_t>(t)] = reg.get_or_build<int>(
+          "the-key", [&]() -> std::shared_ptr<const int> {
+            builds.fetch_add(1);
+            // Widen the race window: every other thread must wait, not
+            // start a second construction.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return std::make_shared<const int>(42);
+          });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& p : got) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 42);
+    EXPECT_EQ(p.get(), got[0].get());  // one shared instance
+  }
+  const auto stats = reg.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+}
+
+TEST(Registry, SerialPlanSharedAndReused) {
+  PlanRegistry reg(8);
+  const auto prof = reg.profile(win::Accuracy::kLow);
+  const auto a = reg.serial_plan(1 << 12, 4, *prof);
+  const auto b = reg.serial_plan(1 << 12, 4, *prof);
+  EXPECT_EQ(a.get(), b.get());
+  const auto other = reg.serial_plan(1 << 13, 4, *prof);
+  EXPECT_NE(a.get(), other.get());
+}
+
+TEST(Registry, LruEvictionDropsColdestEntry) {
+  PlanRegistry reg(2);
+  auto build_counting = [](std::atomic<int>& n) {
+    return [&n]() -> std::shared_ptr<const int> {
+      n.fetch_add(1);
+      return std::make_shared<const int>(0);
+    };
+  };
+  std::atomic<int> ba{0}, bb{0}, bc{0};
+  (void)reg.get_or_build<int>("a", build_counting(ba));
+  (void)reg.get_or_build<int>("b", build_counting(bb));
+  (void)reg.get_or_build<int>("a", build_counting(ba));  // touch a: b coldest
+  (void)reg.get_or_build<int>("c", build_counting(bc));  // evicts b
+  EXPECT_EQ(reg.stats().evictions, 1);
+  EXPECT_EQ(reg.stats().size, 2u);
+  // a and c are resident; b was evicted and must rebuild on next lookup.
+  (void)reg.get_or_build<int>("a", build_counting(ba));
+  (void)reg.get_or_build<int>("c", build_counting(bc));
+  EXPECT_EQ(ba.load(), 1);
+  EXPECT_EQ(bc.load(), 1);
+  (void)reg.get_or_build<int>("b", build_counting(bb));
+  EXPECT_EQ(bb.load(), 2);
+}
+
+TEST(Registry, EvictedHandlesStayValid) {
+  PlanRegistry reg(1);
+  const auto a = reg.get_or_build<int>(
+      "a", []() -> std::shared_ptr<const int> {
+        return std::make_shared<const int>(11);
+      });
+  (void)reg.get_or_build<int>("b", []() -> std::shared_ptr<const int> {
+    return std::make_shared<const int>(22);
+  });  // capacity 1: evicts a
+  EXPECT_EQ(reg.stats().evictions, 1);
+  EXPECT_EQ(*a, 11);  // handed-out pointer survives eviction
+}
+
+TEST(Registry, ThrowingBuildIsNotCachedAndPropagates) {
+  PlanRegistry reg(4);
+  int attempts = 0;
+  auto failing = [&]() -> std::shared_ptr<const int> {
+    ++attempts;
+    throw Error("build exploded");
+  };
+  EXPECT_THROW((void)reg.get_or_build<int>("k", failing), Error);
+  // The failure must not poison the key: a later build runs and succeeds.
+  const auto ok = reg.get_or_build<int>(
+      "k", []() -> std::shared_ptr<const int> {
+        return std::make_shared<const int>(5);
+      });
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(*ok, 5);
+}
+
+TEST(Registry, ClearDropsEntriesButNotHandles) {
+  PlanRegistry reg(4);
+  const auto prof = reg.profile(win::Accuracy::kLow);
+  reg.clear();
+  EXPECT_EQ(reg.stats().size, 0u);
+  EXPECT_GT(prof->taps, 0);  // still usable
+}
+
+// --- wisdom ------------------------------------------------------------------
+
+TunedConfig demo_config() {
+  TunedConfig cfg;
+  cfg.candidate = Candidate{win::Accuracy::kLow, 2,
+                            net::AlltoallAlgo::kDirect, true};
+  cfg.profile = win::make_profile(win::Accuracy::kLow);
+  cfg.score_seconds = 1.25e-3;
+  return cfg;
+}
+
+TEST(Wisdom, RoundTripPreservesDecisionAndProfile) {
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  const auto reparsed = WisdomStore::parse(store.serialize());
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, demo_config().candidate);
+  EXPECT_DOUBLE_EQ(got->score_seconds, 1.25e-3);
+  // Profile numerics survive: same taps and oversampling, window usable.
+  EXPECT_EQ(got->profile.taps, demo_config().profile.taps);
+  EXPECT_EQ(got->profile.mu, demo_config().profile.mu);
+  EXPECT_EQ(got->profile.nu, demo_config().profile.nu);
+  ASSERT_NE(got->profile.window, nullptr);
+  EXPECT_NEAR(got->profile.window->hhat(0.0),
+              demo_config().profile.window->hhat(0.0), 1e-15);
+}
+
+TEST(Wisdom, FindMissesUnknownShape) {
+  WisdomStore store;
+  store.put(TuneKey{1 << 14, 4, win::Accuracy::kLow}, demo_config());
+  EXPECT_FALSE(
+      store.find(TuneKey{1 << 14, 8, win::Accuracy::kLow}).has_value());
+  EXPECT_FALSE(
+      store.find(TuneKey{1 << 14, 4, win::Accuracy::kFull}).has_value());
+}
+
+TEST(Wisdom, PutReplacesExistingEntry) {
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  auto updated = demo_config();
+  updated.candidate.segments_per_rank = 4;
+  store.put(key, updated);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(key)->candidate.segments_per_rank, 4);
+}
+
+TEST(Wisdom, WrongVersionRejectedClearly) {
+  WisdomStore store;
+  store.put(TuneKey{1 << 14, 4, win::Accuracy::kLow}, demo_config());
+  std::string text = store.serialize();
+  const std::string header(WisdomStore::kHeader);
+  text.replace(0, header.size(), "soiwisdom v9");
+  try {
+    (void)WisdomStore::parse(text);
+    FAIL() << "parse accepted a v9 header";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)WisdomStore::parse("no header at all\n"), Error);
+  EXPECT_THROW((void)WisdomStore::parse(""), Error);
+}
+
+TEST(Wisdom, MalformedLineRejected) {
+  const std::string text =
+      std::string(WisdomStore::kHeader) + "\nonly | three | fields\n";
+  EXPECT_THROW((void)WisdomStore::parse(text), Error);
+}
+
+TEST(Wisdom, CommentsAndBlankLinesIgnored) {
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  std::string text = store.serialize();
+  text += "\n# trailing comment\n\n";
+  const auto reparsed = WisdomStore::parse(text);
+  EXPECT_EQ(reparsed.size(), 1u);
+  EXPECT_TRUE(reparsed.find(key).has_value());
+}
+
+// --- autotuner ---------------------------------------------------------------
+
+TEST(Autotune, ModeledScoringIsDeterministic) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  const auto a = autotune(key);
+  const auto b = autotune(key);
+  EXPECT_EQ(a.best.candidate, b.best.candidate);
+  EXPECT_EQ(a.best.total_seconds(), b.best.total_seconds());  // bitwise
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i].total_seconds(), b.scores[i].total_seconds());
+  }
+}
+
+TEST(Autotune, WinnerIsNeverWorseThanDefault) {
+  for (const auto& key :
+       {TuneKey{1 << 14, 4, win::Accuracy::kFull},
+        TuneKey{1 << 18, 8, win::Accuracy::kLow},
+        TuneKey{1 << 16, 16, win::Accuracy::kMedium}}) {
+    const auto result = autotune(key);
+    const Candidate dflt{key.accuracy, 1, net::AlltoallAlgo::kPairwise,
+                         false};
+    const auto dflt_score = score_candidate(key, dflt);
+    EXPECT_LE(result.best.total_seconds(), dflt_score.total_seconds())
+        << key.str();
+  }
+}
+
+TEST(Autotune, TunedConfigCachesInWisdom) {
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  WisdomStore wisdom;
+  bool was_hit = true;
+  const auto first = tuned_config(key, wisdom, {}, &was_hit);
+  EXPECT_FALSE(was_hit);  // miss: sweep ran and populated the store
+  EXPECT_EQ(wisdom.size(), 1u);
+  const auto second = tuned_config(key, wisdom, {}, &was_hit);
+  EXPECT_TRUE(was_hit);  // hit: no re-tuning
+  EXPECT_EQ(first.candidate, second.candidate);
+}
+
+}  // namespace
+}  // namespace soi::tune

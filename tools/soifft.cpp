@@ -2,19 +2,31 @@
 //
 //   soifft design    [--accuracy A] [--mu M --nu N] [--eps E --kappa K]
 //   soifft transform --n N --p P [--accuracy A] [--inverse] [--check]
-//                    [--input FILE] [--output FILE] [--segments-per-rank G]
+//                    [--input FILE] [--output FILE] [--wisdom FILE]
 //   soifft segment   --n N --p P --s S [--accuracy A] [--input FILE]
 //   soifft bench     --n N --p P [--accuracy A] [--reps R]
+//   soifft tune      --n N --p P [--accuracy A] [--wisdom FILE]
+//                    [--mode modeled|measured] [--reps R] [--seed S]
+//   soifft dist      --n N --p P [--accuracy A] [--wisdom FILE] [--check]
 //
 // Files are raw little-endian complex128 (interleaved re/im); without
 // --input a deterministic Gaussian test signal is used. --check compares
 // against the exact FFT engine and prints the SNR.
+//
+// Wisdom (`--wisdom FILE`) persists autotuned plan decisions keyed by
+// (N, ranks, accuracy): `tune` writes them, every other subcommand reuses
+// them — a hit skips both the tuning sweep and the window design search.
+// Unknown flags are rejected with the list of valid options; a typo never
+// silently falls back to a default.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "soi/soi.hpp"
@@ -33,52 +45,136 @@ struct Args {
   }
   std::int64_t geti(const std::string& name, std::int64_t dflt) const {
     auto it = kv.find(name);
-    return it == kv.end() ? dflt : std::stoll(it->second);
+    if (it == kv.end()) return dflt;
+    try {
+      return std::stoll(it->second);
+    } catch (const std::exception&) {
+      throw Error("flag '--" + name + "': expected an integer, got '" +
+                  it->second + "'");
+    }
   }
   double getf(const std::string& name, double dflt) const {
     auto it = kv.find(name);
-    return it == kv.end() ? dflt : std::stod(it->second);
+    if (it == kv.end()) return dflt;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw Error("flag '--" + name + "': expected a number, got '" +
+                  it->second + "'");
+    }
   }
 };
+
+/// Valid flags per subcommand; parse() rejects anything else.
+const std::map<std::string, std::set<std::string>>& valid_flags() {
+  static const std::map<std::string, std::set<std::string>> kFlags = {
+      {"design", {"accuracy", "mu", "nu", "eps", "kappa", "help"}},
+      {"transform",
+       {"n", "p", "accuracy", "mu", "nu", "eps", "kappa", "inverse", "check",
+        "input", "output", "seed", "wisdom", "help"}},
+      {"segment",
+       {"n", "p", "s", "accuracy", "mu", "nu", "eps", "kappa", "check",
+        "input", "output", "seed", "help"}},
+      {"bench",
+       {"n", "p", "accuracy", "mu", "nu", "eps", "kappa", "reps", "input",
+        "seed", "help"}},
+      {"tune",
+       {"n", "p", "accuracy", "wisdom", "mode", "reps", "seed", "gflops",
+        "max-spr", "help"}},
+      {"dist", {"n", "p", "accuracy", "wisdom", "check", "seed", "help"}},
+  };
+  return kFlags;
+}
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: soifft <design|transform|segment|bench|tune|dist> [--options]\n"
+      "  design    --accuracy full|high|medium|low | --mu --nu --eps --kappa\n"
+      "  transform --n N --p P [--accuracy A] [--inverse] [--check]\n"
+      "            [--input F] [--output F] [--seed S] [--wisdom F]\n"
+      "  segment   --n N --p P --s S [--accuracy A] [--check]\n"
+      "  bench     --n N --p P [--accuracy A] [--reps R]\n"
+      "  tune      --n N --p P [--accuracy A] [--wisdom F]\n"
+      "            [--mode modeled|measured] [--reps R] [--seed S]\n"
+      "            [--gflops G] [--max-spr G]\n"
+      "  dist      --n N --p P [--accuracy A] [--wisdom F] [--check]\n"
+      "  --help    print this message (exit 0)\n"
+      "\n"
+      "wisdom: `tune` persists the fastest (profile tier, segments/rank,\n"
+      "all-to-all schedule, overlap) per shape; other subcommands reuse it\n"
+      "via --wisdom FILE instead of re-tuning or re-running the design\n"
+      "search.\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
 
 Args parse(int argc, char** argv) {
   Args a;
   if (argc >= 2) a.command = argv[1];
+  const auto cmd_it = valid_flags().find(a.command);
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      throw Error("unexpected argument '" + key + "' (flags start with --)");
+    }
     key = key.substr(2);
+    if (key != "help" && cmd_it != valid_flags().end() &&
+        cmd_it->second.count(key) == 0) {
+      std::string valid;
+      for (const auto& f : cmd_it->second) {
+        if (f == "help") continue;
+        valid += (valid.empty() ? "--" : ", --") + f;
+      }
+      throw Error("unknown flag '--" + key + "' for '" + a.command +
+                  "' (valid: " + valid + ", --help)");
+    }
+    static const std::set<std::string> kBoolean = {"check", "inverse", "help"};
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       a.kv[key] = argv[++i];
-    } else {
+    } else if (kBoolean.count(key) > 0) {
       a.kv[key] = "1";
+    } else {
+      throw Error("flag '--" + key + "' requires a value");
     }
   }
   return a;
 }
 
 win::SoiProfile profile_from(const Args& a) {
-  if (a.flag("profile")) {
-    // "Wisdom" file produced by `soifft design --save-profile`: skips the
-    // design search entirely.
-    std::ifstream f(a.get("profile", ""));
-    SOI_CHECK(f.good(), "cannot open profile file " << a.get("profile", ""));
-    std::string line;
-    std::getline(f, line);
-    return win::parse_profile(line);
-  }
   if (a.flag("eps") || a.flag("mu")) {
     return win::design_gauss_rect(a.geti("mu", 5), a.geti("nu", 4),
                                   a.getf("eps", 3.16e-15),
                                   a.getf("kappa", 16.0), "custom");
   }
-  const std::string acc = a.get("accuracy", "full");
-  if (acc == "full") return win::make_profile(win::Accuracy::kFull);
-  if (acc == "high") return win::make_profile(win::Accuracy::kHigh);
-  if (acc == "medium") return win::make_profile(win::Accuracy::kMedium);
-  if (acc == "low") return win::make_profile(win::Accuracy::kLow);
-  throw Error("unknown --accuracy '" + acc +
-              "' (full|high|medium|low)");
+  // Registry-cached: repeated profile requests skip the design search.
+  return *tune::PlanRegistry::global().profile(
+      tune::accuracy_from_name(a.get("accuracy", "full")));
+}
+
+tune::TuneKey key_from(const Args& a, std::int64_t n, std::int64_t p) {
+  tune::TuneKey key;
+  key.n = n;
+  key.ranks = static_cast<int>(p);
+  key.accuracy = tune::accuracy_from_name(a.get("accuracy", "full"));
+  return key;
+}
+
+/// Wisdom lookup shared by transform/dist: returns the tuned config on a
+/// hit (logged), nullopt when no --wisdom was given or the key is absent.
+std::optional<tune::TunedConfig> wisdom_lookup(const Args& a,
+                                               const tune::TuneKey& key) {
+  if (!a.flag("wisdom")) return std::nullopt;
+  const std::string path = a.get("wisdom", "");
+  const tune::WisdomStore store = tune::WisdomStore::load(path);
+  if (auto hit = store.find(key)) {
+    std::printf("wisdom: cache hit for [%s] -> %s (no re-tuning)\n",
+                key.str().c_str(), hit->candidate.describe().c_str());
+    return hit;
+  }
+  std::printf("wisdom: miss for [%s] in %s (run `soifft tune`); using "
+              "defaults\n",
+              key.str().c_str(), path.c_str());
+  return std::nullopt;
 }
 
 cvec load_or_generate(const Args& a, std::int64_t n) {
@@ -124,34 +220,36 @@ int cmd_design(const Args& a) {
   std::printf("eps_trunc  : %.3e\n", p.eps_trunc);
   std::printf("target SNR : %.0f dB (~%.1f digits)\n", p.target_snr,
               p.target_snr / 20.0);
-  if (a.flag("save-profile")) {
-    const std::string path = a.get("save-profile", "");
-    std::ofstream f(path);
-    SOI_CHECK(f.good(), "cannot open " << path);
-    f << win::serialize_profile(p) << "\n";
-    std::printf("saved to   : %s (reuse with --profile %s)\n", path.c_str(),
-                path.c_str());
-  }
   return 0;
 }
 
 int cmd_transform(const Args& a) {
   const std::int64_t n = a.geti("n", 1 << 16);
   const std::int64_t p = a.geti("p", 8);
-  const win::SoiProfile prof = profile_from(a);
-  core::SoiFftSerial plan(n, p, prof);
+  win::SoiProfile prof;
+  std::int64_t segments = p;
+  if (const auto tuned = wisdom_lookup(a, key_from(a, n, p))) {
+    // Serial execution maps the tuned (ranks, segments/rank) granularity
+    // onto P = ranks * spr total segments and reuses the tuned profile.
+    prof = tuned->profile;
+    segments = p * tuned->candidate.segments_per_rank;
+  } else {
+    prof = profile_from(a);
+  }
+  const auto plan =
+      tune::PlanRegistry::global().serial_plan(n, segments, prof);
   const cvec x = load_or_generate(a, n);
   cvec y(x.size());
   Timer t;
   if (a.flag("inverse")) {
-    plan.inverse(x, y);
+    plan->inverse(x, y);
   } else {
-    plan.forward(x, y);
+    plan->forward(x, y);
   }
   const double sec = t.seconds();
   std::printf("%s SOI transform: N=%lld P=%lld in %.3f ms (%.2f GFLOPS)\n",
               a.flag("inverse") ? "inverse" : "forward",
-              static_cast<long long>(n), static_cast<long long>(p),
+              static_cast<long long>(n), static_cast<long long>(segments),
               sec * 1e3, fft_gflops(static_cast<std::size_t>(n), sec));
   if (a.flag("check")) {
     fft::FftPlan exact(n);
@@ -228,28 +326,135 @@ int cmd_bench(const Args& a) {
   return 0;
 }
 
-int usage() {
-  std::fputs(
-      "usage: soifft <design|transform|segment|bench> [--options]\n"
-      "  design    --accuracy full|high|medium|low | --mu --nu --eps --kappa\n"
-      "  transform --n N --p P [--accuracy A] [--inverse] [--check]\n"
-      "            [--input F] [--output F] [--seed S]\n"
-      "  segment   --n N --p P --s S [--accuracy A] [--check]\n"
-      "  bench     --n N --p P [--accuracy A] [--reps R]\n",
-      stderr);
-  return 2;
+int cmd_tune(const Args& a) {
+  const std::int64_t n = a.geti("n", 1 << 16);
+  const std::int64_t p = a.geti("p", 4);
+  const tune::TuneKey key = key_from(a, n, p);
+
+  tune::TuneOptions opts;
+  const std::string mode = a.get("mode", "modeled");
+  if (mode == "modeled") {
+    opts.mode = tune::TuneMode::kModeled;
+  } else if (mode == "measured") {
+    opts.mode = tune::TuneMode::kMeasured;
+  } else {
+    throw Error("unknown --mode '" + mode + "' (modeled|measured)");
+  }
+  opts.reps = static_cast<int>(a.geti("reps", 3));
+  opts.seed = static_cast<std::uint64_t>(a.geti("seed", 1));
+  opts.node_gflops = a.getf("gflops", 4.0);
+  opts.max_segments_per_rank = a.geti("max-spr", 8);
+
+  std::printf("tuning [%s], mode=%s\n", key.str().c_str(), mode.c_str());
+  const Timer t;
+  const tune::TuneResult result = tune::autotune(key, opts);
+  std::printf("%-44s %12s %12s %12s\n", "candidate", "compute ms", "comm ms",
+              "total ms");
+  for (const auto& s : result.scores) {
+    const bool winner = s.candidate == result.best.candidate;
+    std::printf("%c %-42s %12.4f %12.4f %12.4f\n", winner ? '*' : ' ',
+                s.candidate.describe().c_str(), s.compute_seconds * 1e3,
+                s.comm_seconds * 1e3, s.total_seconds() * 1e3);
+  }
+  std::printf("winner: %s (%.4f ms, %zu candidates, tuned in %.2f s)\n",
+              result.best.candidate.describe().c_str(),
+              result.best.total_seconds() * 1e3, result.scores.size(),
+              t.seconds());
+
+  if (a.flag("wisdom")) {
+    const std::string path = a.get("wisdom", "");
+    tune::WisdomStore store = tune::WisdomStore::load_or_empty(path);
+    store.put(key, result.config());
+    store.save(path);
+    std::printf("wisdom: saved [%s] to %s (%zu entr%s)\n", key.str().c_str(),
+                path.c_str(), store.size(), store.size() == 1 ? "y" : "ies");
+  }
+  return 0;
+}
+
+int cmd_dist(const Args& a) {
+  const std::int64_t n = a.geti("n", 1 << 16);
+  const int ranks = static_cast<int>(a.geti("p", 4));
+  const tune::TuneKey key = key_from(a, n, ranks);
+
+  tune::Candidate cand;  // seed defaults: spr=1, pairwise, no overlap
+  cand.accuracy = key.accuracy;
+  win::SoiProfile prof;
+  if (const auto tuned = wisdom_lookup(a, key)) {
+    cand = tuned->candidate;
+    prof = tuned->profile;
+  } else {
+    prof = profile_from(a);
+  }
+
+  cvec x = load_or_generate(a, n);
+  cvec y(x.size());
+  std::mutex mu;
+  core::SoiDistBreakdown bd0{};
+  auto& registry = tune::PlanRegistry::global();
+  Timer t;
+  net::run_ranks(ranks, [&](net::Comm& comm) {
+    core::DistOptions dopts;
+    dopts.segments_per_rank = cand.segments_per_rank;
+    dopts.alltoall_algo = cand.alltoall_algo;
+    dopts.overlap = cand.overlap;
+    // One conv table for the whole world, built by whichever rank gets
+    // there first.
+    dopts.table =
+        registry.conv_table(n, ranks * cand.segments_per_rank, prof);
+    core::SoiFftDist plan(comm, n, prof, dopts);
+    const std::int64_t m_rank = plan.local_size();
+    cvec y_local(static_cast<std::size_t>(m_rank));
+    plan.forward(cspan{x.data() + comm.rank() * m_rank,
+                       static_cast<std::size_t>(m_rank)},
+                 y_local);
+    std::lock_guard<std::mutex> lock(mu);
+    std::copy(y_local.begin(), y_local.end(),
+              y.begin() + comm.rank() * m_rank);
+    if (comm.rank() == 0) bd0 = plan.last_breakdown();
+  });
+  const double sec = t.seconds();
+  std::printf("distributed SOI transform: N=%lld ranks=%d (%s) in %.3f ms\n",
+              static_cast<long long>(n), ranks, cand.describe().c_str(),
+              sec * 1e3);
+  const auto stats = registry.stats();
+  std::printf("plan registry: %lld hits / %lld misses (conv table built "
+              "once, shared by %d ranks)\n",
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses), ranks);
+  std::printf("rank-0 breakdown: halo %.2e conv %.2e F_P %.2e pack %.2e "
+              "a2a %.2e F_M' %.2e demod %.2e s\n",
+              bd0.halo, bd0.conv, bd0.fp, bd0.pack, bd0.alltoall, bd0.fm,
+              bd0.demod);
+  if (a.flag("check")) {
+    fft::FftPlan exact(n);
+    cvec want(x.size());
+    exact.forward(x, want);
+    const double snr = snr_db(y, want);
+    std::printf("SNR vs exact engine: %.1f dB (%.1f digits)\n", snr,
+                snr_digits(snr));
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0 ||
+                      std::strcmp(argv[1], "help") == 0)) {
+      return usage(stdout);
+    }
     const Args a = parse(argc, argv);
+    if (a.flag("help")) return usage(stdout);
     if (a.command == "design") return cmd_design(a);
     if (a.command == "transform") return cmd_transform(a);
     if (a.command == "segment") return cmd_segment(a);
     if (a.command == "bench") return cmd_bench(a);
-    return usage();
+    if (a.command == "tune") return cmd_tune(a);
+    if (a.command == "dist") return cmd_dist(a);
+    return usage(stderr);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "soifft: %s\n", e.what());
     return 1;
