@@ -14,12 +14,14 @@
 // repeated transforms of one shape no longer pay.
 //
 // Env knobs: SOI_BENCH_TUNE_MODE=modeled|measured (default modeled),
-// SOI_BENCH_REPS (default 3).
+// SOI_BENCH_REPS (default 3). `--json` replaces the tables with the
+// harness BenchRecord array (part 2's registry timing is skipped).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "harness.hpp"
@@ -37,7 +39,8 @@ struct Shape {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::json_mode(argc, argv);
   const char* mode_env = std::getenv("SOI_BENCH_TUNE_MODE");
   const bool measured = mode_env && std::strcmp(mode_env, "measured") == 0;
   const char* reps_env = std::getenv("SOI_BENCH_REPS");
@@ -57,11 +60,14 @@ int main() {
   // to a few percent between two scorings of the same candidate is normal.
   const double tolerance = measured ? 1.10 : 1.0 + 1e-12;
 
-  std::printf("tuned vs default (%s scoring, reps=%d)\n",
-              measured ? "measured" : "modeled", reps);
-  std::printf("%-36s %14s %14s %9s  %s\n", "shape", "default ms", "tuned ms",
-              "ratio", "tuned candidate");
+  if (!json) {
+    std::printf("tuned vs default (%s scoring, reps=%d)\n",
+                measured ? "measured" : "modeled", reps);
+    std::printf("%-36s %14s %14s %9s  %s\n", "shape", "default ms",
+                "tuned ms", "ratio", "tuned candidate");
+  }
   bool ok = true;
+  std::vector<bench::BenchRecord> records;
   for (const auto& s : shapes) {
     tune::TuneKey key{s.n, s.ranks, s.acc};
     const tune::Candidate dflt{s.acc, 1, net::AlltoallAlgo::kPairwise, false};
@@ -69,14 +75,28 @@ int main() {
     const auto result = tune::autotune(key, opts);
     const double ratio =
         result.best.total_seconds() / dflt_score.total_seconds();
-    std::printf("%-36s %14.4f %14.4f %9.3f  %s\n", key.str().c_str(),
-                dflt_score.total_seconds() * 1e3,
-                result.best.total_seconds() * 1e3, ratio,
-                result.best.candidate.describe().c_str());
+    records.push_back(bench::make_record("bench_tuned",
+                                         "default " + key.str(), s.n, 1,
+                                         dflt_score.total_seconds()));
+    records.push_back(bench::make_record("bench_tuned",
+                                         "tuned " + key.str(), s.n, 1,
+                                         result.best.total_seconds()));
+    if (!json) {
+      std::printf("%-36s %14.4f %14.4f %9.3f  %s\n", key.str().c_str(),
+                  dflt_score.total_seconds() * 1e3,
+                  result.best.total_seconds() * 1e3, ratio,
+                  result.best.candidate.describe().c_str());
+    }
     if (ratio > tolerance) {
-      std::printf("  ^^ FAIL: tuned slower than the hard-coded default\n");
+      if (!json) {
+        std::printf("  ^^ FAIL: tuned slower than the hard-coded default\n");
+      }
       ok = false;
     }
+  }
+  if (json) {
+    std::fputs(bench::to_json(records).c_str(), stdout);
+    return ok ? 0 : 1;
   }
 
   std::printf("\nplan-registry reuse (same key, second lookup)\n");

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <sstream>
 
 #include "common/env.hpp"
 #include "common/error.hpp"
@@ -28,6 +30,57 @@ double best_of(int reps, F&& f) {
   return best;
 }
 }  // namespace
+
+bool json_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+BenchRecord make_record(std::string bench, std::string label, std::int64_t n,
+                        std::int64_t batch, double seconds) {
+  BenchRecord rec;
+  rec.bench = std::move(bench);
+  rec.label = std::move(label);
+  rec.n = n;
+  rec.batch = batch;
+  rec.seconds = seconds;
+  const double points = static_cast<double>(n) * static_cast<double>(batch);
+  rec.gflops =
+      5.0 * points * std::log2(static_cast<double>(n)) / seconds / 1e9;
+  rec.ns_per_point = seconds * 1e9 / points;
+  return rec;
+}
+
+namespace {
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string to_json(const std::vector<BenchRecord>& records) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"bench\": ";
+    json_string(os, r.bench);
+    os << ", \"case\": ";
+    json_string(os, r.label);
+    os << ", \"n\": " << r.n << ", \"batch\": " << r.batch
+       << ", \"seconds\": " << r.seconds << ", \"gflops\": " << r.gflops
+       << ", \"ns_per_point\": " << r.ns_per_point << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
 
 RankCompute measure_soi_rank(std::int64_t points_per_rank, int nodes,
                              const win::SoiProfile& profile, int reps,

@@ -14,11 +14,39 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/costmodel.hpp"
 #include "window/design.hpp"
 
 namespace soi::bench {
+
+/// --- machine-readable output (--json) ------------------------------------
+///
+/// Benches that accept `--json` replace their human-readable tables with
+/// one JSON array of measurement records on stdout, ready to append to the
+/// BENCH_*.json perf-trajectory files tracked across PRs. Schema per
+/// record: {"bench","case","n","batch","seconds","gflops","ns_per_point"}.
+struct BenchRecord {
+  std::string bench;       ///< binary name, e.g. "bench_batch_fft"
+  std::string label;       ///< case within the bench, e.g. "batched"
+  std::int64_t n = 0;      ///< transform length (points)
+  std::int64_t batch = 1;  ///< transforms per timed call
+  double seconds = 0.0;    ///< best-of wall time of one call
+  double gflops = 0.0;     ///< 5 N log2 N scale over all `batch` transforms
+  double ns_per_point = 0.0;
+};
+
+/// True when `--json` appears anywhere in argv.
+bool json_mode(int argc, char** argv);
+
+/// Build a record with the derived rate fields (gflops, ns_per_point)
+/// filled in from n/batch/seconds.
+BenchRecord make_record(std::string bench, std::string label, std::int64_t n,
+                        std::int64_t batch, double seconds);
+
+/// Records as a JSON array, one record object per line.
+std::string to_json(const std::vector<BenchRecord>& records);
 
 /// One rank's measured compute phases (seconds, best of `reps`).
 struct RankCompute {

@@ -2,10 +2,11 @@
 # CI driver: tier-1 verification, an AddressSanitizer pass over the core
 # suites, and a tuning-pipeline smoke run.
 #
-#   scripts/ci.sh            # everything
-#   scripts/ci.sh tier1      # just the standard build + full ctest
-#   scripts/ci.sh asan       # just the ASan build + core suites
-#   scripts/ci.sh smoke      # just the tune -> wisdom -> reuse smoke
+#   scripts/ci.sh             # everything
+#   scripts/ci.sh tier1       # just the standard build + full ctest
+#   scripts/ci.sh asan        # just the ASan build + core suites
+#   scripts/ci.sh smoke       # just the tune -> wisdom -> reuse smoke
+#   scripts/ci.sh bench-smoke # JSON benches on tiny sizes, validated
 #
 # Each stage uses its own build tree under build-ci/ so a normal build/
 # is never clobbered.
@@ -27,9 +28,10 @@ run_asan() {
   cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-ci/asan -j "${jobs}" --target \
-    test_common test_net test_soi test_dist test_tune
+    test_common test_net test_fft test_batch_fft test_soi test_dist test_tune
   (cd build-ci/asan &&
-    ./tests/test_common && ./tests/test_net && ./tests/test_soi &&
+    ./tests/test_common && ./tests/test_net && ./tests/test_fft &&
+    ./tests/test_batch_fft && ./tests/test_soi &&
     ./tests/test_dist && ./tests/test_tune)
 }
 
@@ -50,11 +52,43 @@ run_smoke() {
   echo "smoke OK"
 }
 
+run_bench_smoke() {
+  echo "=== bench-smoke: JSON benches on tiny sizes ==="
+  if [ ! -x build-ci/tier1/bench/bench_batch_fft ] ||
+     [ ! -x build-ci/tier1/bench/bench_tuned ]; then
+    cmake -B build-ci/tier1 -S . >/dev/null
+    cmake --build build-ci/tier1 -j "${jobs}" --target \
+      bench_batch_fft bench_tuned
+  fi
+  # Tiny shapes so the stage takes seconds; the point is that every bench
+  # runs end-to-end and emits a well-formed, non-empty record array.
+  local out=build-ci/bench_smoke
+  mkdir -p "${out}"
+  SOI_BENCH_REPS=2 SOI_BENCH_BATCH_MAX=8 SOI_BENCH_BATCH_LENGTHS=32,30 \
+    build-ci/tier1/bench/bench_batch_fft --json \
+    > "${out}/batch_fft.json"
+  SOI_BENCH_REPS=2 build-ci/tier1/bench/bench_tuned --json \
+    > "${out}/tuned.json"
+  python3 - "${out}/batch_fft.json" "${out}/tuned.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        records = json.load(f)
+    assert isinstance(records, list) and records, f"{path}: empty or not a list"
+    for r in records:
+        for key in ("bench", "case", "n", "batch", "seconds", "ns_per_point"):
+            assert key in r, f"{path}: record missing {key}: {r}"
+    print(f"{path}: {len(records)} records OK")
+EOF
+  echo "bench-smoke OK"
+}
+
 case "${stage}" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   smoke) run_smoke ;;
-  all)   run_tier1; run_asan; run_smoke ;;
-  *) echo "usage: $0 [tier1|asan|smoke|all]" >&2; exit 2 ;;
+  bench-smoke) run_bench_smoke ;;
+  all)   run_tier1; run_asan; run_smoke; run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|smoke|bench-smoke|all]" >&2; exit 2 ;;
 esac
 echo "ci: ${stage} passed"

@@ -55,4 +55,28 @@ std::vector<std::int64_t> radix_schedule(std::int64_t n) {
   return radices;
 }
 
+std::vector<std::int64_t> radix_schedule_batch(std::int64_t n) {
+  SOI_CHECK(n >= 1, "radix_schedule_batch: n must be >= 1");
+  SOI_CHECK(is_smooth(n), "radix_schedule_batch: " << n
+                              << " has a prime factor > " << kMaxDirectRadix);
+  auto primes = prime_factors(n);
+  std::vector<std::int64_t> radices;
+  std::int64_t twos = 0;
+  for (std::int64_t p : primes) {
+    if (p == 2) {
+      ++twos;
+    } else {
+      radices.push_back(p);
+    }
+  }
+  while (twos >= 3) {
+    radices.push_back(8);
+    twos -= 3;
+  }
+  if (twos == 2) radices.push_back(4);
+  if (twos == 1) radices.push_back(2);
+  std::sort(radices.begin(), radices.end(), std::greater<>());
+  return radices;
+}
+
 }  // namespace soi::fft

@@ -20,6 +20,12 @@ std::vector<std::int64_t> prime_factors(std::int64_t n);
 /// Only valid when smooth(n) holds.
 std::vector<std::int64_t> radix_schedule(std::int64_t n);
 
+/// Radix schedule for the batched (SoA) engine: like radix_schedule() but
+/// greedily merges 2s into radix-8 passes first, then 4, then 2 — a
+/// length-2^k transform runs ~k/3 passes instead of ~k/2, and every pass
+/// is one full read+write sweep over the batch. Only valid for smooth n.
+std::vector<std::int64_t> radix_schedule_batch(std::int64_t n);
+
 /// True iff all prime factors of n are <= kMaxDirectRadix.
 bool is_smooth(std::int64_t n);
 

@@ -1,7 +1,5 @@
 #include "fft/multi.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 
 namespace soi::fft {
@@ -15,26 +13,21 @@ NdFft::NdFft(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
     total_ *= d;
   }
   plans_.reserve(dims_.size());
-  for (std::int64_t d : dims_) plans_.push_back(&cache_.get(d));
-}
-
-namespace {
-/// Out-of-place transpose of an R x C row-major matrix into C x R.
-void transpose(const cplx* in, cplx* out, std::int64_t r, std::int64_t c) {
-  constexpr std::int64_t kBlock = 32;  // cache blocking
-  for (std::int64_t i0 = 0; i0 < r; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, r);
-    for (std::int64_t j0 = 0; j0 < c; j0 += kBlock) {
-      const std::int64_t j1 = std::min(j0 + kBlock, c);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t j = j0; j < j1; ++j) {
-          out[j * r + i] = in[i * c + j];
-        }
+  for (std::int64_t d : dims_) {
+    const BatchFft* found = nullptr;
+    for (const auto& b : owned_) {
+      if (b->size() == d) {
+        found = b.get();
+        break;
       }
     }
+    if (!found) {
+      owned_.push_back(std::make_unique<BatchFft>(d));
+      found = owned_.back().get();
+    }
+    plans_.push_back(found);
   }
 }
-}  // namespace
 
 template <bool Inverse>
 void NdFft::run(cspan in, mspan out) const {
@@ -42,46 +35,34 @@ void NdFft::run(cspan in, mspan out) const {
             "NdFft: input size mismatch");
   SOI_CHECK(out.size() >= static_cast<std::size_t>(total_),
             "NdFft: output too small");
-  // Each round: batched 1-D transforms along the (contiguous) last axis,
-  // then a full transpose rotating that axis to the front. After `rank`
-  // rounds every axis is transformed once and the layout is restored.
-  //
-  // Buffering: the batched transform must NOT read and write the same
-  // buffer (the Stockham passes are not in-place safe), and neither may
-  // the transpose — so rounds rotate through three slots: every batch
-  // lands in slot0, every transpose alternates between slot1 and slot2.
-  cvec tmp1(static_cast<std::size_t>(total_));
-  cvec tmp2;  // only needed for rank >= 2
   const int rank = static_cast<int>(dims_.size());
-  if (rank > 1) tmp2.resize(static_cast<std::size_t>(total_));
+  // Each round transforms the (contiguous) last axis AND rotates it to the
+  // front in one batched pass: the contiguous-input / interleaved-output
+  // layout pair makes the store phase write the transpose directly, so no
+  // separate transpose sweep exists. After `rank` rounds every axis is
+  // transformed once and the layout is restored.
+  //
+  // The fused pass is out-of-place, so rounds ping-pong between `out` and
+  // one scratch buffer, phased so the last round lands in `out`.
+  cvec tmp;
+  if (rank > 1) tmp.resize(static_cast<std::size_t>(total_));
   const cplx* src = in.data();
-  cplx* slot0 = out.data();
-  cplx* slot_t[2] = {tmp1.data(), tmp2.data()};
-  // Axis currently last: rank-1, then rank-2, ... (after each rotation).
   for (int round = 0; round < rank; ++round) {
     const int axis = rank - 1 - round;
-    const FftPlan& plan = *plans_[static_cast<std::size_t>(axis)];
+    const BatchFft& plan = *plans_[static_cast<std::size_t>(axis)];
     const std::int64_t len = dims_[static_cast<std::size_t>(axis)];
     const std::int64_t count = total_ / len;
+    cplx* dst = (round % 2 == (rank - 1) % 2) ? out.data() : tmp.data();
+    const cspan s{src, static_cast<std::size_t>(total_)};
+    const mspan d{dst, static_cast<std::size_t>(total_)};
+    const BatchLayout lout =
+        rank == 1 ? contiguous_layout(len) : interleaved_layout(count);
     if constexpr (Inverse) {
-      plan.inverse_batch(cspan{src, static_cast<std::size_t>(total_)},
-                         mspan{slot0, static_cast<std::size_t>(total_)},
-                         count);
+      plan.inverse_strided(s, contiguous_layout(len), d, lout, count);
     } else {
-      plan.forward_batch(cspan{src, static_cast<std::size_t>(total_)},
-                         mspan{slot0, static_cast<std::size_t>(total_)},
-                         count);
+      plan.forward_strided(s, contiguous_layout(len), d, lout, count);
     }
-    if (rank == 1) {
-      src = slot0;
-      break;
-    }
-    cplx* tdst = slot_t[round % 2];
-    transpose(slot0, tdst, count, len);
-    src = tdst;
-  }
-  if (src != out.data()) {
-    std::copy_n(src, total_, out.data());
+    src = dst;
   }
 }
 

@@ -1,13 +1,16 @@
-// Multi-dimensional FFT on top of the 1-D engine (row-column method with
-// full transposes between axes). Covers the paper's "generalize to
+// Multi-dimensional FFT on top of the batched 1-D engine (row-column
+// method). The inter-axis transposes are not separate sweeps: each round
+// is one batched transform whose strided store phase writes the rotated
+// layout directly (fft/batch.hpp). Covers the paper's "generalize to
 // higher-dimensional FFTs" direction at the substrate level and gives the
 // examples a 2-D/3-D-capable transform.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
-#include "fft/plan.hpp"
+#include "fft/batch.hpp"
 
 namespace soi::fft {
 
@@ -32,8 +35,8 @@ class NdFft {
 
   std::vector<std::int64_t> dims_;
   std::int64_t total_;
-  std::vector<const FftPlan*> plans_;  // one per axis, from the cache
-  PlanCache cache_;
+  std::vector<std::unique_ptr<BatchFft>> owned_;  // one per distinct size
+  std::vector<const BatchFft*> plans_;            // one per axis
 };
 
 }  // namespace soi::fft

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "fft/batch.hpp"
 #include "fft/executor.hpp"
 #include "fft/factor.hpp"
 
@@ -361,6 +362,7 @@ FftPlanT<Real>::FftPlanT(std::int64_t n) : n_(n) {
     strategy_ = Strategy::kBluestein;
     exec_ = detail::make_bluestein_executor<Real>(n);
   }
+  batch_ = std::make_unique<BatchFftT<Real>>(n);
 }
 
 template <class Real>
@@ -433,6 +435,10 @@ void FftPlanT<Real>::forward_batch(cspan_t<Real> in, mspan_t<Real> out,
             "forward_batch: input size mismatch");
   SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
             "forward_batch: output too small");
+  if (count > 1) {
+    batch_->forward(in, out, count);
+    return;
+  }
   run_batch<Real>(count, workspace_size(), [&](std::int64_t b, C* work) {
     exec_->forward(in.data() + b * n_, out.data() + b * n_, work);
   });
@@ -445,6 +451,10 @@ void FftPlanT<Real>::inverse_batch(cspan_t<Real> in, mspan_t<Real> out,
             "inverse_batch: input size mismatch");
   SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
             "inverse_batch: output too small");
+  if (count > 1) {
+    batch_->inverse(in, out, count);
+    return;
+  }
   run_batch<Real>(count, workspace_size(), [&](std::int64_t b, C* work) {
     exec_->inverse(in.data() + b * n_, out.data() + b * n_, work);
   });
@@ -483,6 +493,11 @@ void FftPlanT<Real>::forward_interleaved(cspan_t<Real> in, mspan_t<Real> out,
             "forward_interleaved: input size mismatch");
   SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
             "forward_interleaved: output too small");
+  if (count > 1) {
+    batch_->forward_strided(in, interleaved_layout(count), out,
+                            interleaved_layout(count), count);
+    return;
+  }
   cvec_t<Real> work(static_cast<std::size_t>(n_ * count));
   if (!exec_->forward_interleaved(in.data(), out.data(), work.data(), count)) {
     interleaved_fallback<Real, false>(*exec_, n_, in, out, count);
@@ -497,6 +512,11 @@ void FftPlanT<Real>::inverse_interleaved(cspan_t<Real> in, mspan_t<Real> out,
             "inverse_interleaved: input size mismatch");
   SOI_CHECK(out.size() >= static_cast<std::size_t>(n_ * count),
             "inverse_interleaved: output too small");
+  if (count > 1) {
+    batch_->inverse_strided(in, interleaved_layout(count), out,
+                            interleaved_layout(count), count);
+    return;
+  }
   cvec_t<Real> work(static_cast<std::size_t>(n_ * count));
   if (!exec_->inverse_interleaved(in.data(), out.data(), work.data(), count)) {
     interleaved_fallback<Real, true>(*exec_, n_, in, out, count);

@@ -33,6 +33,9 @@ template <class Real>
 class ExecutorT;
 }
 
+template <class Real>
+class BatchFftT;
+
 /// Reusable, immutable, thread-safe FFT plan for a fixed size n.
 /// Create once, execute many times; concurrent execute calls are safe as
 /// long as each call supplies its own workspace (the convenience overloads
@@ -67,18 +70,20 @@ class FftPlanT {
   void inverse(cspan_t<Real> in, mspan_t<Real> out) const;
 
   /// `count` independent transforms over contiguous length-n chunks
-  /// (the Kronecker product I_count (x) F_n). OpenMP-parallel across chunks.
+  /// (the Kronecker product I_count (x) F_n). count > 1 routes through the
+  /// batch-vectorized SoA executor (see fft/batch.hpp); OpenMP-parallel
+  /// across chunks of its batch width.
   void forward_batch(cspan_t<Real> in, mspan_t<Real> out,
                      std::int64_t count) const;
   void inverse_batch(cspan_t<Real> in, mspan_t<Real> out,
                      std::int64_t count) const;
 
   /// `count` INTERLEAVED transforms (the Kronecker product F_n (x)
-  /// I_count): element j of transform c lives at index j*count + c. The
-  /// mixed-radix strategy runs this natively through the Stockham stride
-  /// machinery (no transposes); other strategies gather/scatter. Useful
-  /// for transforming the non-contiguous axis of a multi-dimensional
-  /// array in place of an explicit transpose.
+  /// I_count): element j of transform c lives at index j*count + c.
+  /// count > 1 runs through the batched SoA executor with the interleave
+  /// fused into its load/store phases (no transposes). Useful for
+  /// transforming the non-contiguous axis of a multi-dimensional array in
+  /// place of an explicit transpose.
   void forward_interleaved(cspan_t<Real> in, mspan_t<Real> out,
                            std::int64_t count) const;
   void inverse_interleaved(cspan_t<Real> in, mspan_t<Real> out,
@@ -94,6 +99,7 @@ class FftPlanT {
   Strategy strategy_;
   std::vector<std::int64_t> radices_;
   std::unique_ptr<detail::ExecutorT<Real>> exec_;
+  std::unique_ptr<BatchFftT<Real>> batch_;
 };
 
 extern template class FftPlanT<double>;

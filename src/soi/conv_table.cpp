@@ -62,6 +62,31 @@ ConvTableT<Real>::ConvTableT(const SoiGeometry& g, const win::Window& window) {
   }
 }
 
+template <class Real>
+ConvTableT<Real> ConvTableT<Real>::phased(cspan_t<Real> phases) const {
+  const std::int64_t p = static_cast<std::int64_t>(phases.size());
+  SOI_CHECK(p >= 1 && row_width_ % p == 0,
+            "ConvTable::phased: phase count " << p
+                                              << " does not divide row width "
+                                              << row_width_);
+  ConvTableT out;
+  out.row_width_ = row_width_;
+  out.demod_ = demod_;
+  out.max_demod_ = max_demod_;
+  out.coeff_.resize(coeff_.size());
+  out.split_re_.resize(coeff_.size());
+  out.split_im_.resize(coeff_.size());
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    const auto pp = static_cast<std::size_t>(
+        static_cast<std::int64_t>(i) % row_width_ % p);
+    const cplx_t<Real> v = coeff_[i] * phases[pp];
+    out.coeff_[i] = v;
+    out.split_re_[i] = v.real();
+    out.split_im_[i] = v.imag();
+  }
+  return out;
+}
+
 template class ConvTableT<double>;
 template class ConvTableT<float>;
 

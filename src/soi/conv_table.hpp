@@ -53,7 +53,16 @@ class ConvTableT {
   /// Largest |1/w-hat(k)| (the realised condition-number amplification).
   [[nodiscard]] double max_demod_magnitude() const { return max_demod_; }
 
+  /// Copy of this table with per-column phases folded into the taps:
+  /// E'[r][blk*P + pp] = E[r][blk*P + pp] * phases[pp]. The phased table
+  /// runs through the same vectorised convolve_rank kernel — how the zoom
+  /// transform's C_s = C_0 (I (x) diag(omega^s)) columns are applied
+  /// without a per-element multiply in the inner loop. `phases` has P
+  /// entries.
+  [[nodiscard]] ConvTableT phased(cspan_t<Real> phases) const;
+
  private:
+  ConvTableT() = default;  // for phased()
   using rvec = std::vector<Real, AlignedAllocator<Real, 64>>;
   std::int64_t row_width_;
   cvec_t<Real> coeff_;   // mu rows of B*P taps (interleaved)

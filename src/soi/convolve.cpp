@@ -247,28 +247,13 @@ void convolve_rank_phased(const SoiGeometry& g, const ConvTable& table,
   check_buffers<double>(g, local_in, out);
   SOI_CHECK(phases.size() == static_cast<std::size_t>(g.p()),
             "convolve_rank_phased: need P phase factors");
-  const std::int64_t p = g.p();
-  const std::int64_t b = g.taps();
-  const std::int64_t mu = g.mu();
-  const std::int64_t nu = g.nu();
-  const cplx* in = local_in.data();
-  const cplx* ph = phases.data();
-
-  for (std::int64_t q = 0; q < g.groups_per_rank(); ++q) {
-    const cplx* base = in + q * nu * p;
-    for (std::int64_t r = 0; r < mu; ++r) {
-      const cplx* e = table.row(r).data();
-      cplx* dst = out.data() + (q * mu + r) * p;
-      for (std::int64_t pp = 0; pp < p; ++pp) dst[pp] = cplx{0.0, 0.0};
-      for (std::int64_t blk = 0; blk < b; ++blk) {
-        const cplx* src = base + blk * p;
-        const cplx* t = e + blk * p;
-        for (std::int64_t pp = 0; pp < p; ++pp) {
-          dst[pp] += t[pp] * ph[pp] * src[pp];
-        }
-      }
-    }
-  }
+  // The phases depend only on pp = i mod P, so they fold into a phased
+  // copy of the tap table and the whole product runs through the tiled,
+  // OpenMP-parallel convolve_rank kernel instead of a scalar triple loop.
+  // Callers evaluating many ranks against ONE phase vector should hoist
+  // table.phased(phases) themselves (see SegmentPlan::compute).
+  const ConvTable shifted = table.phased(phases);
+  convolve_rank<double>(g, shifted, local_in, out);
 }
 
 // Explicit instantiations (double drives the SOI pipeline; float backs the

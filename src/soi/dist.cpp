@@ -30,8 +30,8 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
       table_(opts_.table ? opts_.table
                          : std::make_shared<const ConvTable>(
                                geom_, *profile_.window)),
-      plan_p_(geom_.p()),
-      plan_mp_(geom_.mprime()) {
+      batch_p_(geom_.p(), opts_.batch_width),
+      batch_mp_(geom_.mprime(), opts_.batch_width) {
   SOI_CHECK(spr_ >= 1, "SoiFftDist: segments_per_rank must be >= 1");
   // The halo crosses exactly one rank boundary (Fig. 4); a geometry whose
   // halo exceeds one segment would need points beyond the right neighbour.
@@ -44,7 +44,6 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
   const auto chunks = spr_ * mcg;            // chunks on this physical rank
   ext_.resize(static_cast<std::size_t>(spr_ * geom_.m() + geom_.halo()));
   v_.resize(static_cast<std::size_t>(chunks * p));
-  vf_.resize(v_.size());
   // Each rank sends, per destination rank, its `chunks` values for each of
   // the destination's spr_ segments.
   sendbuf_.resize(static_cast<std::size_t>(chunks * p));
@@ -154,24 +153,16 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
     breakdown_.conv += t.seconds();
   }
 
-  // --- 3. F_P on each local chunk ------------------------------------------
-  t.reset();
-  plan_p_.forward_batch(v_, vf_, chunks);
-  breakdown_.fp = t.seconds();
-
-  // --- 4. local transpose: per-destination blocks (Fig. 3) -----------------
+  // --- 3+4. F_P fused with the per-destination transpose pack (Fig. 3) ----
   // Destination rank d gets, for each of its segments sigma = d*spr + sl,
-  // element sigma of every local chunk, laid out [sl][chunk].
+  // element sigma of every local chunk, laid out [sl][chunk]:
+  // sendbuf[sigma*chunks + c] = F_P(v_c)[sigma] — exactly the interleaved
+  // store layout of the batched pass, so no separate pack sweep runs.
   t.reset();
-  for (int d = 0; d < ranks; ++d) {
-    for (std::int64_t sl = 0; sl < spr_; ++sl) {
-      const std::int64_t sigma = d * spr_ + sl;
-      cplx* out = sendbuf_.data() + (d * spr_ + sl) * chunks;
-      const cplx* src = vf_.data() + sigma;
-      for (std::int64_t c = 0; c < chunks; ++c) out[c] = src[c * p];
-    }
-  }
-  breakdown_.pack = t.seconds();
+  batch_p_.forward_strided(v_, fft::contiguous_layout(p), sendbuf_,
+                           fft::interleaved_layout(chunks), chunks);
+  breakdown_.fp = t.seconds();
+  breakdown_.pack = 0.0;
 
   // --- 5. the single all-to-all --------------------------------------------
   t.reset();
@@ -197,9 +188,9 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
 
   // --- 6. F_M' per local segment --------------------------------------------
   t.reset();
-  plan_mp_.forward_batch(
-      cspan{v_.data(), static_cast<std::size_t>(spr_ * mprime)},
-      mspan{uf_.data(), static_cast<std::size_t>(spr_ * mprime)}, spr_);
+  batch_mp_.forward(cspan{v_.data(), static_cast<std::size_t>(spr_ * mprime)},
+                    mspan{uf_.data(), static_cast<std::size_t>(spr_ * mprime)},
+                    spr_);
   breakdown_.fm = t.seconds();
 
   // --- 7. demodulate + project ------------------------------------------------

@@ -14,8 +14,8 @@
 // Pipeline per rank (communication in *italics*):
 //   1. *halo*: one sendrecv of (B-nu)*P points with the ring neighbours,
 //   2. convolution W x (g sub-blocks of chunks),
-//   3. I (x) F_P over the local chunks,
-//   4. local transpose packing per-destination blocks (Fig. 3),
+//   3. I (x) F_P over the local chunks, with the Fig. 3 per-destination
+//      transpose pack fused into the batched pass's store phase,
 //   5. *one Alltoall*,
 //   6. g transforms F_M' on the assembled segment data,
 //   7. demodulate + project to the M_rank outputs.
@@ -24,7 +24,7 @@
 #include <memory>
 
 #include "common/types.hpp"
-#include "fft/plan.hpp"
+#include "fft/batch.hpp"
 #include "net/comm.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/params.hpp"
@@ -59,6 +59,9 @@ struct DistOptions {
   net::AlltoallAlgo alltoall_algo = net::AlltoallAlgo::kPairwise;
   /// When true, forward() uses the halo-overlapped pipeline by default.
   bool overlap = false;
+  /// Transforms per SoA pass of the batched FFT stages (fft/batch.hpp);
+  /// 0 derives the width from the detected SIMD tier. Autotuner knob.
+  std::int64_t batch_width = 0;
   /// Pre-built convolution table for this (N, P, profile) geometry, e.g.
   /// from tune::PlanRegistry so all ranks share one table instead of each
   /// building an identical copy. When null the plan builds its own.
@@ -114,11 +117,11 @@ class SoiFftDist {
   std::int64_t spr_;
   SoiGeometry geom_;
   std::shared_ptr<const ConvTable> table_;
-  fft::FftPlan plan_p_;
-  fft::FftPlan plan_mp_;
+  fft::BatchFft batch_p_;
+  fft::BatchFft batch_mp_;
   SoiDistBreakdown breakdown_;
   // Persistent buffers (avoid per-call allocation jitter in benches).
-  cvec ext_, v_, vf_, sendbuf_, recvbuf_, uf_, conj_in_, conj_out_;
+  cvec ext_, v_, sendbuf_, recvbuf_, uf_, conj_in_, conj_out_;
 };
 
 }  // namespace soi::core

@@ -29,8 +29,8 @@ SoiFftSerialT<Real>::SoiFftSerialT(std::int64_t n, std::int64_t p,
     : profile_(std::move(profile)),
       geom_(n, p, profile_),
       table_(geom_, *profile_.window),
-      plan_p_(p),
-      plan_mp_(geom_.mprime()) {}
+      batch_p_(p),
+      batch_mp_(geom_.mprime()) {}
 
 template <class Real>
 void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
@@ -69,27 +69,21 @@ void SoiFftSerialT<Real>::forward_timed(cspan_t<Real> x, mspan_t<Real> y,
   }
   times.conv = t.seconds();
 
-  // --- I_M' (x) F_P on the chunks ----------------------------------------
-  cvec_t<Real> vf(v.size());
-  t.reset();
-  plan_p_.forward_batch(v, vf, mp);
-  times.fp = t.seconds();
-
-  // --- global stride-P permutation (the single all-to-all) ---------------
-  // u[t*M' + j] = vf[j*P + t]
+  // --- I_M' (x) F_P fused with the global stride-P permutation -----------
+  // u[t*M' + j] = F_P(v_j)[t]: the interleaved store layout of the batched
+  // pass writes the permuted (all-to-all) order directly, so the former
+  // separate pack sweep over memory no longer exists.
   cvec_t<Real> u(v.size());
   t.reset();
-  for (std::int64_t tseg = 0; tseg < p; ++tseg) {
-    C* dst = u.data() + tseg * mp;
-    const C* src = vf.data() + tseg;
-    for (std::int64_t j = 0; j < mp; ++j) dst[j] = src[j * p];
-  }
-  times.pack = t.seconds();
+  batch_p_.forward_strided(v, fft::contiguous_layout(p), u,
+                           fft::interleaved_layout(mp), mp);
+  times.fp = t.seconds();
+  times.pack = 0.0;
 
   // --- I_P (x) F_M' --------------------------------------------------------
   cvec_t<Real> uf(u.size());
   t.reset();
-  plan_mp_.forward_batch(u, uf, p);
+  batch_mp_.forward(u, uf, p);
   times.fm = t.seconds();
 
   // --- demodulation + projection ------------------------------------------
@@ -161,14 +155,18 @@ void SegmentPlan::compute(cspan x, std::int64_t s, mspan y_seg) const {
   // x-tilde = C_s x, evaluated with the same rank kernel over P virtual
   // ranks; chunk j's P elements here are *summed* (a segment needs the
   // full row sum, not the per-residue partials kept by the parallel form).
+  // The phases are identical for every virtual rank, so the phased tap
+  // table is built ONCE here and the loop runs the plain vectorised
+  // kernel on it.
+  const ConvTable shifted = table_.phased(phases);
   const cvec ext = extend_input(x, geom_.halo());
   cvec partial(static_cast<std::size_t>(mc * p));
   cvec xt(static_cast<std::size_t>(mp));
   for (std::int64_t vr = 0; vr < p; ++vr) {
-    convolve_rank_phased(geom_, table_, phases,
-                         cspan{ext.data() + vr * m,
-                               static_cast<std::size_t>(geom_.local_input())},
-                         partial);
+    convolve_rank(geom_, shifted,
+                  cspan{ext.data() + vr * m,
+                        static_cast<std::size_t>(geom_.local_input())},
+                  partial);
     for (std::int64_t j = 0; j < mc; ++j) {
       cplx acc{0.0, 0.0};
       const cplx* row = partial.data() + j * p;

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/types.hpp"
+#include "fft/batch.hpp"
 #include "fft/plan.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/params.hpp"
@@ -22,8 +23,9 @@ namespace soi::core {
 /// mirrors the paper's conv-vs-FFT accounting in Section 7.4).
 struct SoiPhaseTimes {
   double conv = 0.0;    ///< W x
-  double fp = 0.0;      ///< I_M' (x) F_P
-  double pack = 0.0;    ///< local permutation / transpose
+  double fp = 0.0;      ///< I_M' (x) F_P, with the stride-P permutation
+                        ///< fused into its store phase
+  double pack = 0.0;    ///< separate permutation sweep (0 when fused)
   double fm = 0.0;      ///< I_P (x) F_M'
   double demod = 0.0;   ///< projection + W-hat^{-1}
   [[nodiscard]] double total() const {
@@ -58,8 +60,8 @@ class SoiFftSerialT {
   win::SoiProfile profile_;
   SoiGeometry geom_;
   ConvTableT<Real> table_;
-  fft::FftPlanT<Real> plan_p_;   // F_P
-  fft::FftPlanT<Real> plan_mp_;  // F_M'
+  fft::BatchFftT<Real> batch_p_;   // I_M' (x) F_P, SoA-vectorized
+  fft::BatchFftT<Real> batch_mp_;  // I_P (x) F_M'
 };
 
 extern template class SoiFftSerialT<double>;

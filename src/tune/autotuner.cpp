@@ -110,6 +110,7 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
     dopts.segments_per_rank = cand.segments_per_rank;
     dopts.alltoall_algo = cand.alltoall_algo;
     dopts.overlap = cand.overlap;
+    dopts.batch_width = cand.batch_width;
     // All ranks share one registry-built table.
     dopts.table =
         reg.conv_table(key.n, key.ranks * cand.segments_per_rank, prof);

@@ -91,7 +91,7 @@ std::string Candidate::describe() const {
   os << "tier=" << accuracy_name(accuracy) << " spr=" << segments_per_rank
      << " algo="
      << (alltoall_algo == net::AlltoallAlgo::kPairwise ? "pairwise" : "direct")
-     << " overlap=" << (overlap ? 1 : 0);
+     << " overlap=" << (overlap ? 1 : 0) << " bw=" << batch_width;
   return os.str();
 }
 
@@ -118,6 +118,9 @@ Candidate parse_candidate(const std::string& text) {
     } else if (k == "overlap") {
       c.overlap = v != "0";
       have_overlap = true;
+    } else if (k == "bw") {
+      // Optional (absent in v1 wisdom lines; defaults to 0 = auto).
+      c.batch_width = std::stoll(v);
     } else {
       throw Error("parse_candidate: unknown field '" + k + "'");
     }
@@ -126,6 +129,8 @@ Candidate parse_candidate(const std::string& text) {
             "parse_candidate: missing field in '" << text << "'");
   SOI_CHECK(c.segments_per_rank >= 1,
             "parse_candidate: bad segments_per_rank in '" << text << "'");
+  SOI_CHECK(c.batch_width >= 0,
+            "parse_candidate: bad batch_width in '" << text << "'");
   return c;
 }
 
@@ -158,7 +163,12 @@ std::vector<Candidate> candidate_space(const TuneKey& key,
            {net::AlltoallAlgo::kPairwise, net::AlltoallAlgo::kDirect}) {
         for (const bool overlap : {false, true}) {
           if (overlap && key.ranks == 1) continue;  // nothing to hide
-          out.push_back(Candidate{tier, spr, algo, overlap});
+          // Batch width of the SoA FFT stages: auto (SIMD-derived) first,
+          // then one narrow and one wide explicit setting.
+          for (const std::int64_t bw : {std::int64_t{0}, std::int64_t{8},
+                                        std::int64_t{32}}) {
+            out.push_back(Candidate{tier, spr, algo, overlap, bw});
+          }
         }
       }
     }

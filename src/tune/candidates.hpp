@@ -7,7 +7,9 @@
 //     least as accurate as the requested one is admissible,
 //   * segments_per_rank — Section 6's granularity (P = g * ranks),
 //   * all-to-all schedule — net::AlltoallAlgo (pairwise vs direct),
-//   * halo overlap — plain sendrecv vs eager-send + poll (reference [11]).
+//   * halo overlap — plain sendrecv vs eager-send + poll (reference [11]),
+//   * batch_width — SoA transforms per pass of the batched FFT stages
+//     (fft/batch.hpp); 0 lets the executor derive it from the SIMD tier.
 //
 // candidate_space() enumerates only FEASIBLE points: every candidate's
 // SoiGeometry constructs (divisibility) and its halo fits inside one
@@ -48,19 +50,22 @@ struct Candidate {
   std::int64_t segments_per_rank = 1;
   net::AlltoallAlgo alltoall_algo = net::AlltoallAlgo::kPairwise;
   bool overlap = false;
+  std::int64_t batch_width = 0;  ///< SoA batch width (0 = auto from SIMD tier)
 
-  /// Canonical text form, e.g. "tier=full spr=2 algo=direct overlap=1";
+  /// Canonical text form, e.g. "tier=full spr=2 algo=direct overlap=1 bw=0";
   /// round-trips through parse_candidate().
   [[nodiscard]] std::string describe() const;
 
   bool operator==(const Candidate& o) const {
     return accuracy == o.accuracy &&
            segments_per_rank == o.segments_per_rank &&
-           alltoall_algo == o.alltoall_algo && overlap == o.overlap;
+           alltoall_algo == o.alltoall_algo && overlap == o.overlap &&
+           batch_width == o.batch_width;
   }
 };
 
-/// Parse the output of Candidate::describe(); throws soi::Error.
+/// Parse the output of Candidate::describe(); throws soi::Error. Accepts
+/// v1 wisdom lines that predate the bw field (batch_width defaults to 0).
 Candidate parse_candidate(const std::string& text);
 
 /// Lowercase preset name ("full", "high", "medium", "low").
@@ -74,10 +79,10 @@ std::vector<win::Accuracy> tiers_at_or_above(win::Accuracy floor);
 
 /// Enumerate every feasible candidate for `key`, in a deterministic order
 /// (tier-major, then segments_per_rank in {1,2,4,...,max_segments_per_rank},
-/// then schedule, then overlap). The seed's hard-coded configuration —
-/// requested tier, one segment per rank, pairwise, no overlap — is always
-/// the first entry when feasible. Throws soi::Error if no candidate is
-/// feasible at all.
+/// then schedule, then overlap, then batch width in {0, 8, 32}). The
+/// seed's hard-coded configuration — requested tier, one segment per rank,
+/// pairwise, no overlap, auto width — is always the first entry when
+/// feasible. Throws soi::Error if no candidate is feasible at all.
 std::vector<Candidate> candidate_space(const TuneKey& key,
                                        std::int64_t max_segments_per_rank = 8);
 

@@ -54,6 +54,15 @@ std::shared_ptr<const core::SoiFftSerial> PlanRegistry::serial_plan(
   });
 }
 
+std::shared_ptr<const fft::BatchFft> PlanRegistry::batch_plan(
+    std::int64_t n, std::int64_t width) {
+  std::ostringstream key;
+  key << "batch:n=" << n << ":w=" << width;
+  return get_or_build<fft::BatchFft>(key.str(), [n, width] {
+    return std::make_shared<const fft::BatchFft>(n, width);
+  });
+}
+
 std::shared_ptr<const void> PlanRegistry::get_or_build_erased(
     const std::string& key,
     const std::function<std::shared_ptr<const void>()>& build) {

@@ -30,6 +30,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fft/batch.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/serial.hpp"
 #include "window/design.hpp"
@@ -53,6 +54,13 @@ class PlanRegistry {
   /// Complete serial plan for (n, p, profile).
   std::shared_ptr<const core::SoiFftSerial> serial_plan(
       std::int64_t n, std::int64_t p, const win::SoiProfile& prof);
+
+  /// Batched SoA FFT executor for length-`n` transforms at the given batch
+  /// width (0 = auto from the SIMD tier). The executor owns the SoA twiddle
+  /// layout for every pass, which dominates its construction cost — sharing
+  /// one instance across plans of the same shape memoises that layout.
+  std::shared_ptr<const fft::BatchFft> batch_plan(std::int64_t n,
+                                                  std::int64_t width = 0);
 
   /// Generic memoisation used by the typed getters: returns the cached
   /// value for `key` or runs `build` (exactly once per key, outside the

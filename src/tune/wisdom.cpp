@@ -58,10 +58,10 @@ WisdomStore WisdomStore::parse(const std::string& text) {
   SOI_CHECK(std::getline(is, line),
             "wisdom: empty input (expected header '" << kHeader << "')");
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  SOI_CHECK(line == kHeader,
+  SOI_CHECK(line == kHeader || line == kHeaderV1,
             "wisdom: version mismatch — expected header '"
-                << kHeader << "', got '" << line
-                << "'; re-run `soifft tune` to regenerate");
+                << kHeader << "' (or legacy '" << kHeaderV1 << "'), got '"
+                << line << "'; re-run `soifft tune` to regenerate");
   WisdomStore store;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();

@@ -1,21 +1,25 @@
 // Wisdom: tuned plan decisions persisted across runs (FFTW's term for the
 // same idea). A wisdom file is versioned, line-oriented text:
 //
-//   soiwisdom v1
+//   soiwisdom v2
 //   # optional comments
 //   <key> | <candidate> | <score> | <profile>
 //
 // with <key> = TuneKey::str() ("n=65536 ranks=8 acc=full"), <candidate> =
-// Candidate::describe() ("tier=full spr=2 algo=direct overlap=1"),
+// Candidate::describe() ("tier=full spr=2 algo=direct overlap=1 bw=0"),
 // <score> = "score=<seconds>" (the tuner's winning estimate), and
 // <profile> = win::serialize_profile() of the winning tier's profile, so a
 // reload skips the design search as well as the tuning sweep.
+//
+// v2 added the candidate's bw (SoA batch width) field. v1 files are still
+// READ (their candidates default to bw=0, the auto width); files are
+// always WRITTEN at the current version.
 //
 // This subsumes the old single-line `--profile` files of tools/soifft:
 // those stored only a window profile; wisdom stores the full tuned
 // decision keyed by problem shape.
 //
-// A file whose first line is not exactly the expected header is rejected
+// A file whose first line is not an accepted version header is rejected
 // with a clear error — never silently misparsed.
 #pragma once
 
@@ -41,7 +45,9 @@ struct TunedConfig {
 /// PlanRegistry — guard shared WisdomStore access externally.
 class WisdomStore {
  public:
-  static constexpr const char* kHeader = "soiwisdom v1";
+  static constexpr const char* kHeader = "soiwisdom v2";
+  /// Older header still accepted by parse() (read-compat).
+  static constexpr const char* kHeaderV1 = "soiwisdom v1";
 
   /// Insert or replace the decision for `key`.
   void put(const TuneKey& key, const TunedConfig& config);
@@ -55,8 +61,9 @@ class WisdomStore {
   /// Full text form (header + one line per entry, key-sorted).
   [[nodiscard]] std::string serialize() const;
 
-  /// Parse text produced by serialize(). Throws soi::Error on a missing or
-  /// mismatched version header or any malformed line.
+  /// Parse text produced by serialize() — current or v1 format. Throws
+  /// soi::Error on a missing or unknown version header or any malformed
+  /// line.
   static WisdomStore parse(const std::string& text);
 
   /// Write to / read from a file. load() throws soi::Error when the file

@@ -90,6 +90,9 @@ TEST(FloatFft2, StrategySelectionIdenticalToDouble) {
 }
 
 TEST(FloatFft2, BatchMatchesSingle) {
+  // The batched path runs the SoA vectorized engine (different radix
+  // schedule and summation order than the scalar executor), so agreement
+  // is to fp32 rounding, not bitwise.
   const std::int64_t n = 64, count = 20;
   Signals s = random_signal(n * count, 7);
   FftPlanF plan(n);
@@ -100,8 +103,9 @@ TEST(FloatFft2, BatchMatchesSingle) {
     plan.forward(cspanf{s.xf.data() + b * n, static_cast<std::size_t>(n)},
                  single);
     for (std::int64_t i = 0; i < n; ++i) {
-      EXPECT_EQ(single[static_cast<std::size_t>(i)],
-                batched[static_cast<std::size_t>(b * n + i)]);
+      EXPECT_NEAR(std::abs(single[static_cast<std::size_t>(i)] -
+                           batched[static_cast<std::size_t>(b * n + i)]),
+                  0.0f, 1e-4f);
     }
   }
 }

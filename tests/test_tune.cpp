@@ -29,9 +29,19 @@ TEST(Candidates, KeyAndCandidateRoundTrip) {
   EXPECT_EQ(parse_tune_key(key.str()), key);
 
   const Candidate cand{win::Accuracy::kLow, 4, net::AlltoallAlgo::kDirect,
-                       true};
-  EXPECT_EQ(cand.describe(), "tier=low spr=4 algo=direct overlap=1");
+                       true, 16};
+  EXPECT_EQ(cand.describe(), "tier=low spr=4 algo=direct overlap=1 bw=16");
   EXPECT_EQ(parse_candidate(cand.describe()), cand);
+}
+
+TEST(Candidates, ParseAcceptsV1LinesWithoutBatchWidth) {
+  // v1 wisdom predates the bw field: it must parse with bw defaulting to
+  // the auto width (0).
+  const auto c = parse_candidate("tier=low spr=4 algo=direct overlap=1");
+  EXPECT_EQ(c.batch_width, 0);
+  EXPECT_EQ(c.segments_per_rank, 4);
+  EXPECT_THROW(parse_candidate("tier=low spr=4 algo=direct overlap=1 bw=-2"),
+               Error);
 }
 
 TEST(Candidates, ParseRejectsMalformedText) {
@@ -64,6 +74,20 @@ TEST(Candidates, EveryCandidateIsFeasible) {
                               *prof);
     EXPECT_LE(g.halo(), g.m()) << cand.describe();
   }
+}
+
+TEST(Candidates, BatchWidthsEnumerated) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  bool saw0 = false, saw8 = false, saw32 = false;
+  for (const auto& cand : candidate_space(key)) {
+    saw0 |= cand.batch_width == 0;
+    saw8 |= cand.batch_width == 8;
+    saw32 |= cand.batch_width == 32;
+    EXPECT_TRUE(cand.batch_width == 0 || cand.batch_width == 8 ||
+                cand.batch_width == 32)
+        << cand.describe();
+  }
+  EXPECT_TRUE(saw0 && saw8 && saw32);
 }
 
 TEST(Candidates, NoOverlapCandidatesOnOneRank) {
@@ -123,6 +147,17 @@ TEST(Registry, SerialPlanSharedAndReused) {
   EXPECT_EQ(a.get(), b.get());
   const auto other = reg.serial_plan(1 << 13, 4, *prof);
   EXPECT_NE(a.get(), other.get());
+}
+
+TEST(Registry, BatchPlanSharedAndKeyedOnWidth) {
+  PlanRegistry reg(8);
+  const auto a = reg.batch_plan(256);
+  const auto b = reg.batch_plan(256);
+  EXPECT_EQ(a.get(), b.get());  // memoised SoA twiddle layout
+  EXPECT_EQ(a->size(), 256);
+  const auto wide = reg.batch_plan(256, 32);
+  EXPECT_NE(a.get(), wide.get());  // width is part of the key
+  EXPECT_EQ(wide->batch_width(), 32);
 }
 
 TEST(Registry, LruEvictionDropsColdestEntry) {
@@ -192,7 +227,7 @@ TEST(Registry, ClearDropsEntriesButNotHandles) {
 TunedConfig demo_config() {
   TunedConfig cfg;
   cfg.candidate = Candidate{win::Accuracy::kLow, 2,
-                            net::AlltoallAlgo::kDirect, true};
+                            net::AlltoallAlgo::kDirect, true, 8};
   cfg.profile = win::make_profile(win::Accuracy::kLow);
   cfg.score_seconds = 1.25e-3;
   return cfg;
@@ -252,6 +287,25 @@ TEST(Wisdom, WrongVersionRejectedClearly) {
   }
   EXPECT_THROW((void)WisdomStore::parse("no header at all\n"), Error);
   EXPECT_THROW((void)WisdomStore::parse(""), Error);
+}
+
+TEST(Wisdom, V1FilesStillReadable) {
+  // A v1 file: old header, candidate lines without the bw field. It must
+  // parse (bw defaults to auto) and re-serialise at the current version.
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  std::string text = store.serialize();
+  const std::string header(WisdomStore::kHeader);
+  text.replace(0, header.size(), WisdomStore::kHeaderV1);
+  const auto bw = text.find(" bw=8");
+  ASSERT_NE(bw, std::string::npos);
+  text.erase(bw, 5);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate.batch_width, 0);  // v1 default: auto width
+  EXPECT_EQ(reparsed.serialize().rfind(WisdomStore::kHeader, 0), 0u);
 }
 
 TEST(Wisdom, MalformedLineRejected) {
