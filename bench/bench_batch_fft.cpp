@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -100,10 +101,22 @@ int main(int argc, char** argv) {
         batched = best_of(reps, run_batched);
       }
 
+      // Steady-state allocation count of one more (already warm) call of
+      // each path. Smooth lengths run out of persistent per-thread scratch
+      // and report 0; Rader/Bluestein lengths still allocate per call.
+      const std::int64_t scalar_before = alloc_stats().count;
+      run_scalar();
+      const std::int64_t scalar_allocs = alloc_stats().count - scalar_before;
+      const std::int64_t batched_before = alloc_stats().count;
+      run_batched();
+      const std::int64_t batched_allocs = alloc_stats().count - batched_before;
+
       records.push_back(
           bench::make_record("bench_batch_fft", "scalar", n, b, scalar));
+      records.back().steady_state_allocs = scalar_allocs;
       records.push_back(
           bench::make_record("bench_batch_fft", "batched", n, b, batched));
+      records.back().steady_state_allocs = batched_allocs;
       const double speedup = scalar / batched;
       if (!json) {
         std::printf("%6lld %6lld %12.2f %12.2f %8.2fx %11.3f\n",

@@ -1,5 +1,7 @@
 #include "harness.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -38,6 +40,14 @@ bool json_mode(int argc, char** argv) {
   return false;
 }
 
+namespace {
+std::int64_t peak_rss_bytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+}
+}  // namespace
+
 BenchRecord make_record(std::string bench, std::string label, std::int64_t n,
                         std::int64_t batch, double seconds) {
   BenchRecord rec;
@@ -50,6 +60,7 @@ BenchRecord make_record(std::string bench, std::string label, std::int64_t n,
   rec.gflops =
       5.0 * points * std::log2(static_cast<double>(n)) / seconds / 1e9;
   rec.ns_per_point = seconds * 1e9 / points;
+  rec.peak_rss_bytes = peak_rss_bytes();
   return rec;
 }
 
@@ -76,7 +87,21 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     json_string(os, r.label);
     os << ", \"n\": " << r.n << ", \"batch\": " << r.batch
        << ", \"seconds\": " << r.seconds << ", \"gflops\": " << r.gflops
-       << ", \"ns_per_point\": " << r.ns_per_point << "}";
+       << ", \"ns_per_point\": " << r.ns_per_point
+       << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
+       << ", \"steady_state_allocs\": " << r.steady_state_allocs;
+    if (!r.stages.empty()) {
+      os << ", \"stages\": [";
+      for (std::size_t s = 0; s < r.stages.size(); ++s) {
+        const exec::StageRecord& st = r.stages[s];
+        os << (s == 0 ? "" : ", ") << "{\"stage\": ";
+        json_string(os, st.name);
+        os << ", \"seconds\": " << st.seconds << ", \"bytes\": "
+           << st.bytes_moved << ", \"flops\": " << st.flops << "}";
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "\n]\n";
   return os.str();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/costmodel.hpp"
+#include "soi/exec.hpp"
 #include "window/design.hpp"
 
 namespace soi::bench {
@@ -26,7 +27,12 @@ namespace soi::bench {
 /// Benches that accept `--json` replace their human-readable tables with
 /// one JSON array of measurement records on stdout, ready to append to the
 /// BENCH_*.json perf-trajectory files tracked across PRs. Schema per
-/// record: {"bench","case","n","batch","seconds","gflops","ns_per_point"}.
+/// record (docs/ALGORITHM.md Section 10.4):
+///   {"bench","case","n","batch","seconds","gflops","ns_per_point",
+///    "peak_rss_bytes","steady_state_allocs","stages"?}
+/// `stages` (present when the bench captured a pipeline trace) is an array
+/// of {"stage","seconds","bytes","flops"} objects whose seconds sum to ~the
+/// record's pipeline wall time.
 struct BenchRecord {
   std::string bench;       ///< binary name, e.g. "bench_batch_fft"
   std::string label;       ///< case within the bench, e.g. "batched"
@@ -35,6 +41,12 @@ struct BenchRecord {
   double seconds = 0.0;    ///< best-of wall time of one call
   double gflops = 0.0;     ///< 5 N log2 N scale over all `batch` transforms
   double ns_per_point = 0.0;
+  std::int64_t peak_rss_bytes = 0;  ///< process peak RSS at record time
+  /// Heap allocations (aligned_alloc_bytes calls) during one steady-state
+  /// execution; -1 = the bench did not measure it.
+  std::int64_t steady_state_allocs = -1;
+  /// Per-stage trace of the timed pipeline execution (empty = no trace).
+  std::vector<exec::StageRecord> stages;
 };
 
 /// True when `--json` appears anywhere in argv.

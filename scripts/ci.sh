@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# CI driver: tier-1 verification, an AddressSanitizer pass over the core
-# suites, and a tuning-pipeline smoke run.
+# CI driver: tier-1 verification, sanitizer passes over the core suites,
+# and a tuning-pipeline smoke run.
 #
 #   scripts/ci.sh             # everything
 #   scripts/ci.sh tier1       # just the standard build + full ctest
 #   scripts/ci.sh asan        # just the ASan build + core suites
+#   scripts/ci.sh tsan        # ThreadSanitizer build + SimMPI dist/pipeline
 #   scripts/ci.sh smoke       # just the tune -> wisdom -> reuse smoke
 #   scripts/ci.sh bench-smoke # JSON benches on tiny sizes, validated
 #
@@ -28,11 +29,28 @@ run_asan() {
   cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-ci/asan -j "${jobs}" --target \
-    test_common test_net test_fft test_batch_fft test_soi test_dist test_tune
+    test_common test_net test_fft test_batch_fft test_soi test_dist \
+    test_pipeline test_tune
   (cd build-ci/asan &&
     ./tests/test_common && ./tests/test_net && ./tests/test_fft &&
     ./tests/test_batch_fft && ./tests/test_soi &&
-    ./tests/test_dist && ./tests/test_tune)
+    ./tests/test_dist && ./tests/test_pipeline && ./tests/test_tune)
+}
+
+run_tsan() {
+  echo "=== tsan: ThreadSanitizer build + SimMPI dist/pipeline suites ==="
+  # The suites that exercise cross-thread rank communication: the SimMPI
+  # mailbox fabric itself, both all-to-all algorithms, the halo-overlap
+  # path, and the pipeline's barrier-bracketed steady-state checks. OpenMP
+  # is disabled: libgomp's barriers are opaque to TSan and drown the run
+  # in false positives; rank-level threading is what this stage verifies.
+  cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
+  cmake --build build-ci/tsan -j "${jobs}" --target \
+    test_net test_dist test_pipeline
+  (cd build-ci/tsan &&
+    ./tests/test_net && ./tests/test_dist && ./tests/test_pipeline)
 }
 
 run_smoke() {
@@ -76,9 +94,27 @@ for path in sys.argv[1:]:
         records = json.load(f)
     assert isinstance(records, list) and records, f"{path}: empty or not a list"
     for r in records:
-        for key in ("bench", "case", "n", "batch", "seconds", "ns_per_point"):
+        for key in ("bench", "case", "n", "batch", "seconds", "ns_per_point",
+                    "peak_rss_bytes", "steady_state_allocs"):
             assert key in r, f"{path}: record missing {key}: {r}"
-    print(f"{path}: {len(records)} records OK")
+        assert r["peak_rss_bytes"] > 0, f"{path}: bogus peak_rss_bytes: {r}"
+    traced = [r for r in records if "stages" in r]
+    if "tuned" in path:
+        # bench_tuned must emit per-stage traces whose wall times are
+        # self-consistent with the record total, and a zero-allocation
+        # steady state on every traced shape.
+        assert traced, f"{path}: no record carries a stages array"
+        for r in traced:
+            assert r["steady_state_allocs"] == 0, \
+                f"{path}: steady-state forward allocated: {r}"
+            stage_sum = sum(s["seconds"] for s in r["stages"])
+            assert abs(stage_sum - r["seconds"]) <= 0.05 * r["seconds"], \
+                f"{path}: stage sum {stage_sum} vs total {r['seconds']}: {r}"
+            names = [s["stage"] for s in r["stages"]]
+            assert names == ["halo", "conv", "f_p", "exchange", "unpack",
+                             "f_mprime", "demod"], f"{path}: bad chain {names}"
+    print(f"{path}: {len(records)} records OK"
+          f" ({len(traced)} with stage traces)")
 EOF
   echo "bench-smoke OK"
 }
@@ -86,9 +122,10 @@ EOF
 case "${stage}" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
+  tsan)  run_tsan ;;
   smoke) run_smoke ;;
   bench-smoke) run_bench_smoke ;;
-  all)   run_tier1; run_asan; run_smoke; run_bench_smoke ;;
-  *) echo "usage: $0 [tier1|asan|smoke|bench-smoke|all]" >&2; exit 2 ;;
+  all)   run_tier1; run_asan; run_tsan; run_smoke; run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|tsan|smoke|bench-smoke|all]" >&2; exit 2 ;;
 esac
 echo "ci: ${stage} passed"

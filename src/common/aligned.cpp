@@ -1,9 +1,15 @@
 #include "common/aligned.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace soi {
+
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+std::atomic<std::int64_t> g_alloc_bytes{0};
+}  // namespace
 
 void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment) {
   if (bytes == 0) bytes = alignment;  // avoid zero-size allocation pitfalls
@@ -11,7 +17,17 @@ void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment) {
   const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
   void* p = std::aligned_alloc(alignment, rounded);
   if (p == nullptr) throw std::bad_alloc();
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<std::int64_t>(rounded),
+                          std::memory_order_relaxed);
   return p;
+}
+
+AllocStats alloc_stats() noexcept {
+  AllocStats s;
+  s.count = g_alloc_count.load(std::memory_order_relaxed);
+  s.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  return s;
 }
 
 void aligned_free(void* p) noexcept { std::free(p); }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <new>
@@ -14,6 +15,19 @@ void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment);
 
 /// Free memory obtained from aligned_alloc_bytes().
 void aligned_free(void* p) noexcept;
+
+/// Process-wide tally of aligned_alloc_bytes() calls. Every transform
+/// buffer in the library (cvec/dvec, arena blocks, FFT scratch) funnels
+/// through that one choke point, so a delta of this counter across a
+/// steady-state forward() proves the zero-allocation property the
+/// pipeline arena exists to provide.
+struct AllocStats {
+  std::int64_t count = 0;  ///< allocations since process start
+  std::int64_t bytes = 0;  ///< total bytes handed out (rounded)
+};
+
+/// Snapshot of the counters (monotonic; frees are not subtracted).
+AllocStats alloc_stats() noexcept;
 
 /// Minimal standard-conforming allocator delivering Align-byte aligned
 /// storage; used for all transform buffers (cvec/dvec in types.hpp).

@@ -1,0 +1,109 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace soi {
+
+namespace {
+constexpr std::size_t kAlign = 64;  // cache-line, matches AlignedAllocator
+
+std::size_t align_up(std::size_t x) { return (x + kAlign - 1) / kAlign * kAlign; }
+
+bool lifetimes_overlap(const WorkspaceArena::PlannedBuffer& a,
+                       const WorkspaceArena::PlannedBuffer& b) {
+  return a.first_stage <= b.last_stage && b.first_stage <= a.last_stage;
+}
+}  // namespace
+
+WorkspaceArena::~WorkspaceArena() {
+  if (block_ != nullptr) aligned_free(block_);
+}
+
+WorkspaceArena::BufferId WorkspaceArena::reserve(std::string name,
+                                                 std::size_t bytes,
+                                                 int first_stage,
+                                                 int last_stage) {
+  SOI_CHECK(first_stage <= last_stage,
+            "WorkspaceArena::reserve(" << name << "): bad lifetime ["
+                                       << first_stage << ", " << last_stage
+                                       << "]");
+  PlannedBuffer b;
+  b.name = std::move(name);
+  b.bytes = align_up(std::max<std::size_t>(bytes, 1));
+  b.first_stage = first_stage;
+  b.last_stage = last_stage;
+  bufs_.push_back(std::move(b));
+  committed_ = false;
+  return BufferId{static_cast<std::int32_t>(bufs_.size() - 1)};
+}
+
+void WorkspaceArena::commit() {
+  // Place large buffers first (first-fit decreasing): each buffer takes the
+  // lowest offset that collides with no already-placed buffer whose live
+  // interval overlaps its own. Buffers with disjoint lifetimes may alias.
+  std::vector<std::size_t> order(bufs_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return bufs_[a].bytes > bufs_[b].bytes;
+                   });
+  std::vector<std::size_t> placed;  // indices into bufs_, by offset
+  placed.reserve(bufs_.size());
+  std::size_t peak = 0;
+  for (const std::size_t i : order) {
+    PlannedBuffer& b = bufs_[i];
+    std::size_t off = 0;
+    for (const std::size_t j : placed) {
+      const PlannedBuffer& o = bufs_[j];
+      if (!lifetimes_overlap(b, o)) continue;
+      if (o.offset < off + b.bytes && off < o.offset + o.bytes) {
+        off = align_up(o.offset + o.bytes);
+      }
+    }
+    b.offset = off;
+    peak = std::max(peak, off + b.bytes);
+    // Keep the placed list sorted by offset so the single forward sweep
+    // above finds the final resting offset in one pass.
+    placed.insert(std::upper_bound(placed.begin(), placed.end(), i,
+                                   [this](std::size_t a, std::size_t c) {
+                                     return bufs_[a].offset < bufs_[c].offset;
+                                   }),
+                  i);
+  }
+  committed_bytes_ = peak;
+  if (peak > capacity_) {
+    if (block_ != nullptr) {
+      aligned_free(block_);
+      block_ = nullptr;
+      ++growths_;
+    }
+    block_ = static_cast<std::byte*>(aligned_alloc_bytes(peak, kAlign));
+    capacity_ = peak;
+  }
+  committed_ = true;
+}
+
+void* WorkspaceArena::data(BufferId id) const {
+  SOI_CHECK(committed_, "WorkspaceArena::data: commit() not called");
+  SOI_CHECK(id.valid() && static_cast<std::size_t>(id.index) < bufs_.size(),
+            "WorkspaceArena::data: invalid buffer id");
+  return block_ + bufs_[static_cast<std::size_t>(id.index)].offset;
+}
+
+std::size_t WorkspaceArena::size_bytes(BufferId id) const {
+  SOI_CHECK(id.valid() && static_cast<std::size_t>(id.index) < bufs_.size(),
+            "WorkspaceArena::size_bytes: invalid buffer id");
+  return bufs_[static_cast<std::size_t>(id.index)].bytes;
+}
+
+std::size_t WorkspaceArena::total_reserved_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : bufs_) total += b.bytes;
+  return total;
+}
+
+}  // namespace soi

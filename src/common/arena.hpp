@@ -1,0 +1,82 @@
+// Preplanned workspace arena for allocation-free steady-state execution.
+//
+// A pipeline declares every intermediate buffer it will need at *plan*
+// time — name, byte size, and the [first_stage, last_stage] interval of
+// pipeline positions during which the buffer is live. commit() then packs
+// the declarations into one aligned block, letting buffers whose live
+// intervals are disjoint alias the same offsets, and performs the single
+// allocation. At *run* time data()/span() are pure pointer arithmetic, so
+// a committed arena guarantees zero heap allocations per execution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soi {
+
+class WorkspaceArena {
+ public:
+  /// Opaque plan-time handle; default-constructed ids are invalid (used
+  /// by pipelines to mean "no buffer here — use the caller's span").
+  struct BufferId {
+    std::int32_t index = -1;
+    [[nodiscard]] bool valid() const { return index >= 0; }
+  };
+
+  /// One declared buffer; offsets are filled in by commit().
+  struct PlannedBuffer {
+    std::string name;
+    std::size_t bytes = 0;
+    std::size_t offset = 0;
+    int first_stage = 0;
+    int last_stage = 0;
+  };
+
+  WorkspaceArena() = default;
+  ~WorkspaceArena();
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+
+  /// Declare a buffer live over pipeline stages [first_stage, last_stage].
+  /// Plan-time only; invalidates previous commit() placement.
+  BufferId reserve(std::string name, std::size_t bytes, int first_stage,
+                   int last_stage);
+
+  /// Pack all declared buffers (disjoint-lifetime aliasing, first-fit by
+  /// decreasing size) and allocate the backing block. Recommitting after
+  /// further reserve() calls is allowed; a larger block counts one growth.
+  void commit();
+
+  [[nodiscard]] void* data(BufferId id) const;
+  [[nodiscard]] std::size_t size_bytes(BufferId id) const;
+
+  /// Typed view of a committed buffer (count = bytes / sizeof(T)).
+  template <class T>
+  [[nodiscard]] std::span<T> span(BufferId id) const {
+    return {static_cast<T*>(data(id)), size_bytes(id) / sizeof(T)};
+  }
+
+  /// Bytes of the committed block — the peak of the aliased plan.
+  [[nodiscard]] std::size_t peak_bytes() const { return committed_bytes_; }
+  /// Sum of all declared sizes (what a no-aliasing plan would cost).
+  [[nodiscard]] std::size_t total_reserved_bytes() const;
+  /// Times commit() had to enlarge an existing block. Stays 0 across
+  /// steady-state executions — asserted by the zero-allocation test.
+  [[nodiscard]] std::int64_t growths() const { return growths_; }
+  [[nodiscard]] const std::vector<PlannedBuffer>& buffers() const {
+    return bufs_;
+  }
+
+ private:
+  std::vector<PlannedBuffer> bufs_;
+  std::byte* block_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t committed_bytes_ = 0;
+  std::int64_t growths_ = 0;
+  bool committed_ = false;
+};
+
+}  // namespace soi

@@ -1251,6 +1251,33 @@ class BatchEngine {
     return std::clamp<std::int64_t>(std::min(v, count), 1, cap);
   }
 
+  [[nodiscard]] std::int64_t scratch_bytes(std::int64_t count) const {
+    switch (kind_) {
+      case Kind::kIdentity:
+        return 0;
+      case Kind::kSmooth: {
+        // Mirror execute_smooth: 4 SoA planes of n*v Reals, 64B-rounded
+        // plus the 128B anti-conflict stagger.
+        const std::int64_t v = effective_width(count);
+        const std::int64_t plane = ((n_ * v + 15) & ~std::int64_t{15}) + 16;
+        return 4 * plane * static_cast<std::int64_t>(sizeof(Real));
+      }
+      case Kind::kRader: {
+        const std::int64_t chunk = std::min<std::int64_t>(count, 64);
+        const std::int64_t q = n_ - 1;
+        const std::int64_t elems = 2 * chunk * n_ + 2 * chunk * q + chunk;
+        return elems * static_cast<std::int64_t>(sizeof(C)) +
+               sub_->scratch_bytes(chunk);
+      }
+      case Kind::kBluestein: {
+        const std::int64_t chunk = std::min<std::int64_t>(count, 64);
+        return 2 * chunk * blen_ * static_cast<std::int64_t>(sizeof(C)) +
+               bsub_->scratch_bytes(chunk);
+      }
+    }
+    return 0;
+  }
+
   void execute(const C* in, BatchLayout lin, C* out, BatchLayout lout,
                std::int64_t count, bool inverse) const {
     switch (kind_) {
@@ -1745,6 +1772,11 @@ std::int64_t BatchFftT<Real>::effective_width(std::int64_t count) const {
 template <class Real>
 SimdTier BatchFftT<Real>::simd_tier() const {
   return engine_->tier();
+}
+
+template <class Real>
+std::int64_t BatchFftT<Real>::scratch_bytes(std::int64_t count) const {
+  return engine_->scratch_bytes(std::max<std::int64_t>(count, 1));
 }
 
 namespace {

@@ -76,6 +76,15 @@ class BatchFftT {
   /// Dispatch tier the kernels run at on this machine.
   [[nodiscard]] SimdTier simd_tier() const;
 
+  /// Per-thread scratch bytes one execute of a batch of `count` needs
+  /// (SoA ping-pong planes for smooth sizes; staging chunks plus the
+  /// recursive sub-transform's scratch for Rader/Bluestein). Smooth sizes
+  /// keep this in persistent per-thread storage — allocated on a thread's
+  /// first execute, reused afterwards — which is what makes steady-state
+  /// pipeline execution allocation-free; the workspace planner queries
+  /// this to account for it.
+  [[nodiscard]] std::int64_t scratch_bytes(std::int64_t count) const;
+
   /// `count` transforms over contiguous length-n chunks, out-of-place.
   /// Forward uses exp(-i 2 pi jk/n); inverse includes the 1/n scaling.
   void forward(cspan_t<Real> in, mspan_t<Real> out, std::int64_t count) const;

@@ -378,6 +378,14 @@ std::size_t FftPlanT<Real>::workspace_size() const {
 }
 
 template <class Real>
+std::int64_t FftPlanT<Real>::workspace_bytes(std::int64_t count) const {
+  if (count <= 1) {
+    return static_cast<std::int64_t>(workspace_size() * sizeof(C));
+  }
+  return batch_->scratch_bytes(count);
+}
+
+template <class Real>
 void FftPlanT<Real>::forward(cspan_t<Real> in, mspan_t<Real> out,
                              mspan_t<Real> work) const {
   SOI_CHECK(in.size() == static_cast<std::size_t>(n_),

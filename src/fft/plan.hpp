@@ -58,6 +58,13 @@ class FftPlanT {
   /// Complex elements of scratch required by the workspace overloads.
   [[nodiscard]] std::size_t workspace_size() const;
 
+  /// Scratch BYTES one execution needs beyond in/out: the per-call work
+  /// buffer for count == 1, the batched executor's per-thread SoA planes
+  /// for count > 1. The pipeline workspace planner (soi::WorkspaceArena
+  /// callers) uses this to account for every transform's footprint at
+  /// plan time.
+  [[nodiscard]] std::int64_t workspace_bytes(std::int64_t count = 1) const;
+
   /// Forward DFT, out-of-place. `in` and `out` are n elements and must not
   /// alias each other or `work`; `work` needs workspace_size() elements.
   void forward(cspan_t<Real> in, mspan_t<Real> out, mspan_t<Real> work) const;

@@ -31,10 +31,16 @@ struct Mailbox {
 };
 
 struct World {
-  explicit World(int n) : nranks(n), boxes(static_cast<std::size_t>(n)) {}
+  explicit World(int n)
+      : nranks(n),
+        boxes(static_cast<std::size_t>(n)),
+        sent_bytes(static_cast<std::size_t>(n), 0) {}
 
   int nranks;
   std::deque<Mailbox> boxes;  // deque: Mailbox is not movable
+  // Per-rank sent-payload counters; each slot is only ever written by its
+  // own rank's thread (senders update their own entry).
+  std::vector<std::int64_t> sent_bytes;
 
   // Generation-counted barrier.
   std::mutex bar_mu;
@@ -100,6 +106,10 @@ int Comm::size() const { return world_->nranks; }
 
 TrafficLog& Comm::traffic() { return world_->traffic; }
 
+std::int64_t Comm::bytes_sent() const {
+  return world_->sent_bytes[static_cast<std::size_t>(rank_)];
+}
+
 namespace {
 void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
                std::size_t bytes, bool record) {
@@ -110,6 +120,8 @@ void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
   m.tag = tag;
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  w.sent_bytes[static_cast<std::size_t>(src)] +=
+      static_cast<std::int64_t>(bytes);
   if (record) {
     w.traffic.record({CommEvent::Kind::kP2P, 2,
                       static_cast<std::int64_t>(bytes), 1});

@@ -91,6 +91,12 @@ class Comm {
   /// Shared traffic recorder for the whole world (same object on all ranks).
   [[nodiscard]] TrafficLog& traffic();
 
+  /// Monotonic payload bytes THIS rank has sent (p2p and collectives; own-
+  /// block copies inside collectives are not sends). Pipeline stages read
+  /// the delta around a communication call to trace measured, per-stage
+  /// byte volumes instead of estimates.
+  [[nodiscard]] std::int64_t bytes_sent() const;
+
  private:
   std::shared_ptr<detail::World> world_;
   int rank_;

@@ -1,0 +1,42 @@
+// Unified per-phase accounting: one StageRecord-backed view over the
+// pipeline TraceLog, replacing the former SoiPhaseTimes/SoiDistBreakdown
+// twin structs (those names remain as aliases so existing benches and
+// examples compile unchanged).
+#pragma once
+
+#include <cstdint>
+
+#include "soi/exec.hpp"
+
+namespace soi::core {
+
+/// Seconds per pipeline stage of one execution plus the communication
+/// volumes, populated from the trace by name. Field names keep the
+/// historical phase vocabulary (fp = "f_p" stage, pack = "unpack" stage,
+/// alltoall = "exchange" stage).
+struct SoiStageBreakdown {
+  double halo = 0.0;      ///< halo sendrecv / wrap fill
+  double conv = 0.0;      ///< W x (includes staging the input block)
+  double fp = 0.0;        ///< I (x) F_P with the permutation fused
+  double pack = 0.0;      ///< post-exchange segment assembly
+  double alltoall = 0.0;  ///< the single global exchange
+  double fm = 0.0;        ///< I (x) F_M'
+  double demod = 0.0;     ///< demodulate + project
+  std::int64_t halo_bytes = 0;      ///< bytes each rank sends for the halo
+  std::int64_t alltoall_bytes = 0;  ///< bytes each rank sends in the exchange
+
+  [[nodiscard]] double compute_total() const {
+    return conv + fp + pack + fm + demod;
+  }
+  [[nodiscard]] double total() const {
+    return compute_total() + halo + alltoall;
+  }
+
+  static SoiStageBreakdown from_trace(const exec::TraceLog& trace);
+};
+
+/// Historical names; both now view the same trace-backed struct.
+using SoiPhaseTimes = SoiStageBreakdown;
+using SoiDistBreakdown = SoiStageBreakdown;
+
+}  // namespace soi::core

@@ -3,14 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
-#include "soi/convolve.hpp"
 
 namespace soi::core {
-
-namespace {
-constexpr int kTagHalo = 101;
-}
 
 SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
                        win::SoiProfile profile, std::int64_t segments_per_rank)
@@ -39,16 +33,21 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
             "SoiFftDist: halo " << geom_.halo() << " exceeds segment length "
                                 << geom_.m()
                                 << " (reduce segments_per_rank or taps)");
-  const auto mcg = geom_.chunks_per_rank();  // chunks per geometry sub-rank
-  const auto p = geom_.p();                  // total segments
-  const auto chunks = spr_ * mcg;            // chunks on this physical rank
-  ext_.resize(static_cast<std::size_t>(spr_ * geom_.m() + geom_.halo()));
-  v_.resize(static_cast<std::size_t>(chunks * p));
-  // Each rank sends, per destination rank, its `chunks` values for each of
-  // the destination's spr_ segments.
-  sendbuf_.resize(static_cast<std::size_t>(chunks * p));
-  recvbuf_.resize(static_cast<std::size_t>(spr_ * geom_.mprime()));
-  uf_.resize(recvbuf_.size());
+  // The plan is the shared stage chain bound to this communicator; all
+  // workspace (ext, v, send, recv, xt, uf) is preplanned in the arena so
+  // steady-state forward() allocates nothing.
+  env_.geom = &geom_;
+  env_.table = table_.get();
+  env_.batch_p = &batch_p_;
+  env_.batch_mp = &batch_mp_;
+  env_.ranks = comm.size();
+  env_.spr = spr_;
+  env_.has_comm = true;
+  env_.algo = opts_.alltoall_algo;
+  reserve_chain_buffers(state_.arena, env_, 0);
+  append_chain_stages(pipeline_, env_);
+  state_.arena.commit();
+  pipeline_.init_trace(state_.trace);
 }
 
 void SoiFftDist::forward(cspan x_local, mspan y_local) {
@@ -60,150 +59,22 @@ void SoiFftDist::forward_overlapped(cspan x_local, mspan y_local) {
 }
 
 void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
-  const std::int64_t p = geom_.p();           // segments total
-  const int ranks = comm_.size();
-  const std::int64_t m_seg = geom_.m();       // points per segment
-  const std::int64_t m_rank = spr_ * m_seg;   // points per rank
-  const std::int64_t mcg = geom_.chunks_per_rank();
-  const std::int64_t chunks = spr_ * mcg;     // chunks on this rank
-  const std::int64_t mprime = geom_.mprime();
-  const std::int64_t halo = geom_.halo();
-  const int rank = comm_.rank();
+  const std::int64_t m_rank = spr_ * geom_.m();  // points per rank
   SOI_CHECK(x_local.size() == static_cast<std::size_t>(m_rank),
-            "SoiFftDist::forward: rank " << rank << " expects "
+            "SoiFftDist::forward: rank " << comm_.rank() << " expects "
                                          << m_rank << " local points, got "
                                          << x_local.size());
   SOI_CHECK(y_local.size() >= static_cast<std::size_t>(m_rank),
             "SoiFftDist::forward: local output too small");
-  breakdown_ = SoiDistBreakdown{};
-  Timer t;
-
-  // --- 1+2. halo exchange and convolution ----------------------------------
-  std::copy(x_local.begin(), x_local.end(), ext_.begin());
-  const int left = (rank - 1 + ranks) % ranks;
-  const int right = (rank + 1) % ranks;
-  breakdown_.halo_bytes = static_cast<std::int64_t>(sizeof(cplx)) * halo;
-  const std::int64_t groups = geom_.groups_per_rank();
-  if (ranks == 1) {
-    for (std::int64_t i = 0; i < halo; ++i) {
-      ext_[static_cast<std::size_t>(m_rank + i)] =
-          x_local[static_cast<std::size_t>(i)];
-    }
-    t.reset();
-    for (std::int64_t g = 0; g < spr_; ++g) {
-      convolve_rank(geom_, *table_,
-                    cspan{ext_.data() + g * m_seg,
-                          static_cast<std::size_t>(geom_.local_input())},
-                    mspan{v_.data() + g * mcg * p,
-                          static_cast<std::size_t>(mcg * p)});
-    }
-    breakdown_.conv = t.seconds();
-  } else if (!overlap) {
-    t.reset();
-    comm_.sendrecv(left, cspan{x_local.data(), static_cast<std::size_t>(halo)},
-                   right,
-                   mspan{ext_.data() + m_rank, static_cast<std::size_t>(halo)},
-                   kTagHalo);
-    breakdown_.halo = t.seconds();
-    t.reset();
-    for (std::int64_t g = 0; g < spr_; ++g) {
-      convolve_rank(geom_, *table_,
-                    cspan{ext_.data() + g * m_seg,
-                          static_cast<std::size_t>(geom_.local_input())},
-                    mspan{v_.data() + g * mcg * p,
-                          static_cast<std::size_t>(mcg * p)});
-    }
-    breakdown_.conv = t.seconds();
-  } else {
-    // Overlap: eager halo send, convolve every fully-local group while the
-    // halo travels, then poll, then finish the tail of the last sub-rank.
-    t.reset();
-    comm_.send(left, kTagHalo,
-               cspan{x_local.data(), static_cast<std::size_t>(halo)});
-    breakdown_.halo = t.seconds();
-    // Groups of the LAST sub-rank whose window fits in local data; all
-    // groups of earlier sub-ranks are always fully local (halo <= M_seg).
-    const std::int64_t q_safe = std::clamp<std::int64_t>(
-        (m_seg - geom_.taps() * p) / (geom_.nu() * p) + 1, 0, groups);
-    t.reset();
-    for (std::int64_t g = 0; g < spr_; ++g) {
-      const std::int64_t q_end = (g == spr_ - 1) ? q_safe : groups;
-      convolve_rank_groups(geom_, *table_,
-                           cspan{ext_.data() + g * m_seg,
-                                 static_cast<std::size_t>(geom_.local_input())},
-                           mspan{v_.data() + g * mcg * p,
-                                 static_cast<std::size_t>(mcg * p)},
-                           0, q_end);
-    }
-    breakdown_.conv = t.seconds();
-    t.reset();
-    while (!comm_.try_recv(right, kTagHalo,
-                           mspan{ext_.data() + m_rank,
-                                 static_cast<std::size_t>(halo)})) {
-      // Busy poll; on a real fabric this slot absorbs message latency.
-    }
-    breakdown_.halo += t.seconds();
-    t.reset();
-    convolve_rank_groups(geom_, *table_,
-                         cspan{ext_.data() + (spr_ - 1) * m_seg,
-                               static_cast<std::size_t>(geom_.local_input())},
-                         mspan{v_.data() + (spr_ - 1) * mcg * p,
-                               static_cast<std::size_t>(mcg * p)},
-                         q_safe, groups);
-    breakdown_.conv += t.seconds();
-  }
-
-  // --- 3+4. F_P fused with the per-destination transpose pack (Fig. 3) ----
-  // Destination rank d gets, for each of its segments sigma = d*spr + sl,
-  // element sigma of every local chunk, laid out [sl][chunk]:
-  // sendbuf[sigma*chunks + c] = F_P(v_c)[sigma] — exactly the interleaved
-  // store layout of the batched pass, so no separate pack sweep runs.
-  t.reset();
-  batch_p_.forward_strided(v_, fft::contiguous_layout(p), sendbuf_,
-                           fft::interleaved_layout(chunks), chunks);
-  breakdown_.fp = t.seconds();
-  breakdown_.pack = 0.0;
-
-  // --- 5. the single all-to-all --------------------------------------------
-  t.reset();
-  comm_.alltoall(sendbuf_, recvbuf_, spr_ * chunks, opts_.alltoall_algo);
-  breakdown_.alltoall = t.seconds();
-  breakdown_.alltoall_bytes =
-      static_cast<std::int64_t>(sizeof(cplx)) * spr_ * chunks * (ranks - 1);
-
-  // recvbuf_ block from rank s: [sl][that rank's chunks]. Rank s computed
-  // the global chunks [s*chunks, (s+1)*chunks), so for segment sl the M'
-  // values x-tilde[sl][m] live at recv[s*spr*chunks + sl*chunks + (m mod
-  // chunks)] with s = m / chunks. Assemble into uf_'s input order.
-  t.reset();
-  // Reuse v_ as the assembly buffer (x-tilde per local segment).
-  for (std::int64_t sl = 0; sl < spr_; ++sl) {
-    cplx* xt = v_.data() + sl * mprime;
-    for (int s = 0; s < ranks; ++s) {
-      const cplx* blk = recvbuf_.data() + (s * spr_ + sl) * chunks;
-      std::copy_n(blk, chunks, xt + s * chunks);
-    }
-  }
-  breakdown_.pack += t.seconds();
-
-  // --- 6. F_M' per local segment --------------------------------------------
-  t.reset();
-  batch_mp_.forward(cspan{v_.data(), static_cast<std::size_t>(spr_ * mprime)},
-                    mspan{uf_.data(), static_cast<std::size_t>(spr_ * mprime)},
-                    spr_);
-  breakdown_.fm = t.seconds();
-
-  // --- 7. demodulate + project ------------------------------------------------
-  t.reset();
-  const cspan demod = table_->demod();
-  for (std::int64_t sl = 0; sl < spr_; ++sl) {
-    const cplx* seg = uf_.data() + sl * mprime;
-    cplx* dst = y_local.data() + sl * m_seg;
-    for (std::int64_t k = 0; k < m_seg; ++k) {
-      dst[k] = seg[k] * demod[static_cast<std::size_t>(k)];
-    }
-  }
-  breakdown_.demod = t.seconds();
+  exec::ExecContextT<double> ctx;
+  ctx.in = x_local;
+  ctx.out = y_local;
+  ctx.comm = &comm_;
+  ctx.overlap = overlap;
+  ctx.arena = &state_.arena;
+  ctx.trace = &state_.trace;
+  pipeline_.run(ctx);
+  breakdown_ = SoiDistBreakdown::from_trace(state_.trace);
 }
 
 void SoiFftDist::inverse(cspan y_local, mspan x_local) {

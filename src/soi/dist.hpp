@@ -26,28 +26,14 @@
 #include "common/types.hpp"
 #include "fft/batch.hpp"
 #include "net/comm.hpp"
+#include "soi/breakdown.hpp"
 #include "soi/conv_table.hpp"
+#include "soi/exec.hpp"
 #include "soi/params.hpp"
+#include "soi/stages.hpp"
 #include "window/design.hpp"
 
 namespace soi::core {
-
-/// Per-phase seconds of one distributed execution on this rank, plus the
-/// communication volume, for the measured-compute/modeled-comm harness.
-struct SoiDistBreakdown {
-  double halo = 0.0;
-  double conv = 0.0;
-  double fp = 0.0;
-  double pack = 0.0;
-  double alltoall = 0.0;       ///< wall time of the in-process exchange
-  double fm = 0.0;
-  double demod = 0.0;
-  std::int64_t halo_bytes = 0;      ///< bytes each rank sends for the halo
-  std::int64_t alltoall_bytes = 0;  ///< bytes each rank sends in the exchange
-  [[nodiscard]] double compute_total() const {
-    return conv + fp + pack + fm + demod;
-  }
-};
 
 /// Execution knobs of one distributed plan — the tunable point in the
 /// candidate space src/tune searches over. Defaults reproduce the seed
@@ -103,9 +89,19 @@ class SoiFftDist {
   /// same block layout, same single all-to-all.
   void inverse(cspan y_local, mspan x_local);
 
-  /// Timing/volume breakdown of the most recent forward() call.
+  /// Timing/volume breakdown of the most recent forward() call — a view
+  /// over the per-stage trace.
   [[nodiscard]] const SoiDistBreakdown& last_breakdown() const {
     return breakdown_;
+  }
+
+  /// Structured per-stage trace of the most recent execution.
+  [[nodiscard]] const exec::TraceLog& last_trace() const {
+    return state_.trace;
+  }
+  /// The preplanned workspace (peak bytes, growth count — test surface).
+  [[nodiscard]] const WorkspaceArena& workspace() const {
+    return state_.arena;
   }
 
  private:
@@ -119,9 +115,11 @@ class SoiFftDist {
   std::shared_ptr<const ConvTable> table_;
   fft::BatchFft batch_p_;
   fft::BatchFft batch_mp_;
+  ChainEnvT<double> env_;
+  exec::PipelineT<double> pipeline_;
+  exec::ExecState state_;
   SoiDistBreakdown breakdown_;
-  // Persistent buffers (avoid per-call allocation jitter in benches).
-  cvec ext_, v_, sendbuf_, recvbuf_, uf_, conj_in_, conj_out_;
+  cvec conj_in_, conj_out_;  // conjugation scratch (inverse)
 };
 
 }  // namespace soi::core

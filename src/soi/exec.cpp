@@ -1,0 +1,54 @@
+#include "soi/exec.hpp"
+
+#include "common/error.hpp"
+
+namespace soi::exec {
+
+const StageRecord* TraceLog::find(std::string_view name) const {
+  for (const auto& r : records_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+double TraceLog::total_seconds() const {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.seconds;
+  return total;
+}
+
+template <class Real>
+void PipelineT<Real>::add(std::unique_ptr<StageT<Real>> stage) {
+  SOI_CHECK(stage != nullptr, "Pipeline::add: null stage");
+  stages_.push_back(std::move(stage));
+  rec_offset_.clear();  // trace template is stale until init_trace()
+}
+
+template <class Real>
+void PipelineT<Real>::init_trace(TraceLog& trace) {
+  std::vector<StageRecord> records;
+  rec_offset_.clear();
+  rec_offset_.reserve(stages_.size());
+  for (const auto& s : stages_) {
+    rec_offset_.push_back(records.size());
+    s->plan_records(records);
+  }
+  trace.plan(std::move(records));
+}
+
+template <class Real>
+void PipelineT<Real>::run(ExecContextT<Real>& ctx) const {
+  SOI_CHECK(ctx.arena != nullptr && ctx.trace != nullptr,
+            "Pipeline::run: context missing arena/trace");
+  SOI_CHECK(rec_offset_.size() == stages_.size(),
+            "Pipeline::run: init_trace() not called after the last add()");
+  ctx.trace->zero_seconds();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stages_[i]->run(ctx, ctx.trace->at(rec_offset_[i]));
+  }
+}
+
+template class PipelineT<double>;
+template class PipelineT<float>;
+
+}  // namespace soi::exec

@@ -1,0 +1,135 @@
+// soi::exec — the staged pipeline executor.
+//
+// A plan (serial, distributed, or real-input) is expressed as a Pipeline:
+// an ordered list of Stage objects sharing one WorkspaceArena. Stages
+// declare everything expensive at plan time — workspace requirements (via
+// the arena) and the trace records they emit (name, plan-time byte-volume
+// and flop estimates) — so run() is pure execution: no heap allocation,
+// no string construction, just kernels and timed trace updates.
+//
+// Every execution fills a TraceLog: one StageRecord per stage event with
+// wall seconds, bytes moved (measured for communication stages, estimated
+// for compute stages) and a flop estimate. SoiPhaseTimes/SoiDistBreakdown
+// are thin views over this log (soi/breakdown.hpp); the measured autotuner
+// and `soifft --trace` consume it directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace soi::net {
+class Comm;
+}
+
+namespace soi::exec {
+
+/// One structured trace event of one stage execution.
+struct StageRecord {
+  std::string name;            ///< fixed at plan time ("conv", "f_p", ...)
+  double seconds = 0.0;        ///< measured wall time, reset per execution
+  std::int64_t bytes_moved = 0;  ///< payload bytes (measured for comm)
+  std::int64_t flops = 0;        ///< plan-time flop estimate
+};
+
+/// Per-execution trace. The record vector is built once at plan time
+/// (Pipeline::init_trace); each run only zeroes the seconds, so tracing
+/// itself allocates nothing in steady state.
+class TraceLog {
+ public:
+  void plan(std::vector<StageRecord> records) { records_ = std::move(records); }
+  void zero_seconds() {
+    for (auto& r : records_) r.seconds = 0.0;
+  }
+  [[nodiscard]] StageRecord* at(std::size_t i) { return &records_[i]; }
+  [[nodiscard]] std::span<const StageRecord> records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  /// First record with this name, or nullptr.
+  [[nodiscard]] const StageRecord* find(std::string_view name) const;
+  [[nodiscard]] double total_seconds() const;
+
+ private:
+  std::vector<StageRecord> records_;
+};
+
+/// Everything a stage needs at run time. in/out are the caller's spans;
+/// stages bound to arena buffers ignore them. comm == nullptr means
+/// single-process execution (the serial plan's "null comm").
+template <class Real>
+struct ExecContextT {
+  cspan_t<Real> in;
+  mspan_t<Real> out;
+  std::span<const Real> real_in;  ///< r2c wrapper input (real path only)
+  net::Comm* comm = nullptr;
+  bool overlap = false;
+  WorkspaceArena* arena = nullptr;
+  TraceLog* trace = nullptr;
+};
+
+/// Stage interface. plan_records() declares the trace events the stage
+/// emits (most stages: one; halo+conv: two); run() receives a pointer to
+/// its first record in the execution's TraceLog and must add its wall
+/// time there (StageTimer below).
+template <class Real>
+class StageT {
+ public:
+  virtual ~StageT() = default;
+  virtual void plan_records(std::vector<StageRecord>& out) const = 0;
+  virtual void run(ExecContextT<Real>& ctx, StageRecord* rec) const = 0;
+};
+
+/// Ordered stage list over one arena. add() all stages, then init_trace()
+/// once against the plan's TraceLog; run() executes in order.
+template <class Real>
+class PipelineT {
+ public:
+  void add(std::unique_ptr<StageT<Real>> stage);
+  /// Pipeline position the next add() will occupy (arena lifetime index).
+  [[nodiscard]] int next_index() const {
+    return static_cast<int>(stages_.size());
+  }
+  /// Build the trace template from the stages' declared records.
+  void init_trace(TraceLog& trace);
+  void run(ExecContextT<Real>& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<StageT<Real>>> stages_;
+  std::vector<std::size_t> rec_offset_;  // stage -> first record index
+};
+
+/// Adds its lifetime to `rec.seconds` on destruction; scoped sections of
+/// one stage may open several (e.g. overlap: send / poll separately).
+class StageTimer {
+ public:
+  explicit StageTimer(StageRecord& rec) : rec_(rec) {}
+  ~StageTimer() { rec_.seconds += t_.seconds(); }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageRecord& rec_;
+  Timer t_;
+};
+
+/// Mutable per-plan execution state (the plan objects keep this `mutable`
+/// so const forward() stays allocation-free; concurrent forward() calls on
+/// ONE plan object are therefore not supported — share the plan, not the
+/// execution).
+struct ExecState {
+  WorkspaceArena arena;
+  TraceLog trace;
+};
+
+extern template class PipelineT<double>;
+extern template class PipelineT<float>;
+
+}  // namespace soi::exec

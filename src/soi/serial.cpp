@@ -8,21 +8,6 @@
 
 namespace soi::core {
 
-namespace {
-/// Extended copy of x: N elements plus `extra` wrapped-around leading
-/// elements, so every virtual rank's convolution reads contiguously.
-template <class Real>
-cvec_t<Real> extend_input(cspan_t<Real> x, std::int64_t extra) {
-  cvec_t<Real> ext(x.size() + static_cast<std::size_t>(extra));
-  std::copy(x.begin(), x.end(), ext.begin());
-  for (std::int64_t i = 0; i < extra; ++i) {
-    ext[x.size() + static_cast<std::size_t>(i)] =
-        x[static_cast<std::size_t>(i) % x.size()];
-  }
-  return ext;
-}
-}  // namespace
-
 template <class Real>
 SoiFftSerialT<Real>::SoiFftSerialT(std::int64_t n, std::int64_t p,
                                    win::SoiProfile profile)
@@ -30,73 +15,44 @@ SoiFftSerialT<Real>::SoiFftSerialT(std::int64_t n, std::int64_t p,
       geom_(n, p, profile_),
       table_(geom_, *profile_.window),
       batch_p_(p),
-      batch_mp_(geom_.mprime()) {}
-
-template <class Real>
-void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
-  SoiPhaseTimes unused;
-  forward_timed(x, y, unused);
+      batch_mp_(geom_.mprime()) {
+  // Serial = the shared stage chain under a null comm with all P segments
+  // on this "rank": identical stage names and arithmetic to the
+  // distributed plan, no communication.
+  env_.geom = &geom_;
+  env_.table = &table_;
+  env_.batch_p = &batch_p_;
+  env_.batch_mp = &batch_mp_;
+  env_.ranks = 1;
+  env_.spr = p;
+  env_.has_comm = false;
+  reserve_chain_buffers(state_.arena, env_, 0);
+  append_chain_stages(pipeline_, env_);
+  state_.arena.commit();
+  pipeline_.init_trace(state_.trace);
 }
 
 template <class Real>
-void SoiFftSerialT<Real>::forward_timed(cspan_t<Real> x, mspan_t<Real> y,
-                                        SoiPhaseTimes& times) const {
+void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
   const std::int64_t n = geom_.n();
-  const std::int64_t p = geom_.p();
-  const std::int64_t m = geom_.m();
-  const std::int64_t mp = geom_.mprime();
-  const std::int64_t mc = geom_.chunks_per_rank();
   SOI_CHECK(x.size() == static_cast<std::size_t>(n),
             "SoiFftSerial::forward: input size " << x.size() << " != N "
                                                  << n);
   SOI_CHECK(y.size() >= static_cast<std::size_t>(n),
             "SoiFftSerial::forward: output too small");
+  exec::ExecContextT<Real> ctx;
+  ctx.in = x;
+  ctx.out = y;
+  ctx.arena = &state_.arena;
+  ctx.trace = &state_.trace;
+  pipeline_.run(ctx);
+}
 
-  using C = cplx_t<Real>;
-  Timer t;
-
-  // --- convolution W x: all M' chunks, virtual rank by virtual rank ------
-  const cvec_t<Real> ext = extend_input<Real>(x, geom_.halo());
-  cvec_t<Real> v(static_cast<std::size_t>(mp * p));  // chunk-major: v[j*P+p]
-  t.reset();
-  for (std::int64_t vr = 0; vr < p; ++vr) {
-    convolve_rank<Real>(geom_, table_,
-                        cspan_t<Real>{ext.data() + vr * m,
-                                      static_cast<std::size_t>(
-                                          geom_.local_input())},
-                        mspan_t<Real>{v.data() + vr * mc * p,
-                                      static_cast<std::size_t>(mc * p)});
-  }
-  times.conv = t.seconds();
-
-  // --- I_M' (x) F_P fused with the global stride-P permutation -----------
-  // u[t*M' + j] = F_P(v_j)[t]: the interleaved store layout of the batched
-  // pass writes the permuted (all-to-all) order directly, so the former
-  // separate pack sweep over memory no longer exists.
-  cvec_t<Real> u(v.size());
-  t.reset();
-  batch_p_.forward_strided(v, fft::contiguous_layout(p), u,
-                           fft::interleaved_layout(mp), mp);
-  times.fp = t.seconds();
-  times.pack = 0.0;
-
-  // --- I_P (x) F_M' --------------------------------------------------------
-  cvec_t<Real> uf(u.size());
-  t.reset();
-  batch_mp_.forward(u, uf, p);
-  times.fm = t.seconds();
-
-  // --- demodulation + projection ------------------------------------------
-  const cspan_t<Real> demod = table_.demod();
-  t.reset();
-  for (std::int64_t s = 0; s < p; ++s) {
-    const C* seg = uf.data() + s * mp;
-    C* dst = y.data() + s * m;
-    for (std::int64_t k = 0; k < m; ++k) {
-      dst[k] = seg[k] * demod[static_cast<std::size_t>(k)];
-    }
-  }
-  times.demod = t.seconds();
+template <class Real>
+void SoiFftSerialT<Real>::forward_timed(cspan_t<Real> x, mspan_t<Real> y,
+                                        SoiPhaseTimes& times) const {
+  forward(x, y);
+  times = SoiStageBreakdown::from_trace(state_.trace);
 }
 
 template <class Real>
@@ -107,17 +63,17 @@ void SoiFftSerialT<Real>::inverse(cspan_t<Real> y, mspan_t<Real> x) const {
   SOI_CHECK(x.size() >= static_cast<std::size_t>(n),
             "SoiFftSerial::inverse: output too small");
   // inverse(y) = conj(forward(conj(y))) / N.
-  cvec_t<Real> tmp(static_cast<std::size_t>(n));
+  inv_in_.resize(static_cast<std::size_t>(n));
+  inv_out_.resize(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
-    tmp[static_cast<std::size_t>(i)] =
+    inv_in_[static_cast<std::size_t>(i)] =
         std::conj(y[static_cast<std::size_t>(i)]);
   }
-  cvec_t<Real> out(static_cast<std::size_t>(n));
-  forward(tmp, out);
+  forward(inv_in_, inv_out_);
   const Real scale = Real(1) / static_cast<Real>(n);
   for (std::int64_t i = 0; i < n; ++i) {
     x[static_cast<std::size_t>(i)] =
-        std::conj(out[static_cast<std::size_t>(i)]) * scale;
+        std::conj(inv_out_[static_cast<std::size_t>(i)]) * scale;
   }
 }
 
@@ -125,6 +81,20 @@ template class SoiFftSerialT<double>;
 template class SoiFftSerialT<float>;
 
 // --- SegmentPlan -------------------------------------------------------------
+
+namespace {
+/// Extended copy of x: N elements plus `extra` wrapped-around leading
+/// elements, so every virtual rank's convolution reads contiguously.
+cvec extend_input(cspan x, std::int64_t extra) {
+  cvec ext(x.size() + static_cast<std::size_t>(extra));
+  std::copy(x.begin(), x.end(), ext.begin());
+  for (std::int64_t i = 0; i < extra; ++i) {
+    ext[x.size() + static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(i) % x.size()];
+  }
+  return ext;
+}
+}  // namespace
 
 SegmentPlan::SegmentPlan(std::int64_t n, std::int64_t p,
                          win::SoiProfile profile)

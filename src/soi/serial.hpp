@@ -6,6 +6,11 @@
 // implementation the distributed version is tested against and a useful
 // shared-memory transform in its own right (P plays the role of the
 // "number of segments", paper Section 6: P may exceed the node count).
+//
+// Execution is a soi::exec pipeline over the shared stage chain
+// (soi/stages.hpp) with a null comm: the same stage bodies the
+// distributed plan runs, minus the communication. All workspace lives in
+// a preplanned arena, so steady-state forward() allocates nothing.
 #pragma once
 
 #include <memory>
@@ -13,30 +18,23 @@
 #include "common/types.hpp"
 #include "fft/batch.hpp"
 #include "fft/plan.hpp"
+#include "soi/breakdown.hpp"
 #include "soi/conv_table.hpp"
+#include "soi/exec.hpp"
 #include "soi/params.hpp"
+#include "soi/stages.hpp"
 #include "window/design.hpp"
 
 namespace soi::core {
-
-/// Per-phase wall-clock seconds of one execution (benchmark support;
-/// mirrors the paper's conv-vs-FFT accounting in Section 7.4).
-struct SoiPhaseTimes {
-  double conv = 0.0;    ///< W x
-  double fp = 0.0;      ///< I_M' (x) F_P, with the stride-P permutation
-                        ///< fused into its store phase
-  double pack = 0.0;    ///< separate permutation sweep (0 when fused)
-  double fm = 0.0;      ///< I_P (x) F_M'
-  double demod = 0.0;   ///< projection + W-hat^{-1}
-  [[nodiscard]] double total() const {
-    return conv + fp + pack + fm + demod;
-  }
-};
 
 /// Reusable serial SOI plan for fixed (N, P, profile), templated on the
 /// working precision: SoiFftSerial (double, the paper's regime) and
 /// SoiFftSerialF (float — the "6-digit" single-precision regime Section
 /// 7.3 alludes to; window tables are designed in double, stored at float).
+///
+/// Plans may be shared across threads, but forward()/inverse() reuse the
+/// plan's preplanned workspace: concurrent executions of ONE plan object
+/// are not supported.
 template <class Real>
 class SoiFftSerialT {
  public:
@@ -56,12 +54,25 @@ class SoiFftSerialT {
   /// Inverse transform (scaled by 1/N) via the conjugation identity.
   void inverse(cspan_t<Real> y, mspan_t<Real> x) const;
 
+  /// Structured per-stage trace of the most recent execution.
+  [[nodiscard]] const exec::TraceLog& last_trace() const {
+    return state_.trace;
+  }
+  /// The preplanned workspace (peak bytes, growth count — test surface).
+  [[nodiscard]] const WorkspaceArena& workspace() const {
+    return state_.arena;
+  }
+
  private:
   win::SoiProfile profile_;
   SoiGeometry geom_;
   ConvTableT<Real> table_;
   fft::BatchFftT<Real> batch_p_;   // I_M' (x) F_P, SoA-vectorized
   fft::BatchFftT<Real> batch_mp_;  // I_P (x) F_M'
+  ChainEnvT<Real> env_;
+  exec::PipelineT<Real> pipeline_;
+  mutable exec::ExecState state_;
+  mutable cvec_t<Real> inv_in_, inv_out_;  // conjugation scratch (inverse)
 };
 
 extern template class SoiFftSerialT<double>;

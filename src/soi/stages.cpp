@@ -1,0 +1,505 @@
+#include "soi/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "soi/breakdown.hpp"
+#include "soi/convolve.hpp"
+
+namespace soi::core {
+
+namespace {
+
+constexpr int kTagHalo = 101;
+
+template <class Real>
+std::int64_t cbytes(std::int64_t count) {
+  return static_cast<std::int64_t>(sizeof(cplx_t<Real>)) * count;
+}
+
+std::int64_t fft_flops(std::int64_t batch, std::int64_t n) {
+  return static_cast<std::int64_t>(
+      static_cast<double>(batch) * 5.0 * static_cast<double>(n) *
+      std::log2(static_cast<double>(n)));
+}
+
+/// Stages 1+2 of the per-rank pipeline: halo materialisation (wrap fill,
+/// blocking sendrecv, or eager-send + convolve-safe-groups + poll when
+/// ctx.overlap is set) and the convolution W x. Emits "halo" and "conv".
+template <class Real>
+class HaloConvStageT final : public exec::StageT<Real> {
+ public:
+  explicit HaloConvStageT(const ChainEnvT<Real>* env) : env_(env) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    const SoiGeometry& g = *env_->geom;
+    exec::StageRecord halo;
+    halo.name = "halo";
+    halo.bytes_moved =
+        (env_->has_comm && env_->ranks > 1) ? cbytes<Real>(g.halo()) : 0;
+    out.push_back(std::move(halo));
+    exec::StageRecord conv;
+    conv.name = "conv";
+    conv.flops = 8 * env_->spr * g.conv_madds_per_rank();
+    conv.bytes_moved = cbytes<Real>(env_->spr * g.local_input() +
+                                    env_->chunks() * g.p());
+    out.push_back(std::move(conv));
+  }
+
+  void run(exec::ExecContextT<Real>& ctx,
+           exec::StageRecord* rec) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const SoiGeometry& g = *env.geom;
+    const std::int64_t m_seg = g.m();
+    const std::int64_t m_rank = env.m_rank();
+    const std::int64_t halo = g.halo();
+    const std::int64_t mcg = g.chunks_per_rank();
+    const std::int64_t p = g.p();
+    exec::StageRecord& rhalo = rec[0];
+    exec::StageRecord& rconv = rec[1];
+    const std::span<C> ext = ctx.arena->template span<C>(env.ext);
+    const std::span<C> v = ctx.arena->template span<C>(env.v);
+    const cspan_t<Real> x =
+        env.src.valid()
+            ? cspan_t<Real>(ctx.arena->template span<C>(env.src))
+            : ctx.in;
+
+    const auto convolve_range = [&](std::int64_t seg_begin,
+                                    std::int64_t seg_end) {
+      for (std::int64_t s = seg_begin; s < seg_end; ++s) {
+        convolve_rank<Real>(
+            g, *env.table,
+            cspan_t<Real>{ext.data() + s * m_seg,
+                          static_cast<std::size_t>(g.local_input())},
+            mspan_t<Real>{v.data() + s * mcg * p,
+                          static_cast<std::size_t>(mcg * p)});
+      }
+    };
+
+    {
+      // Staging the owned block is part of materialising the conv input.
+      exec::StageTimer st(rconv);
+      std::copy(x.begin(), x.end(), ext.begin());
+    }
+
+    const bool remote = env.has_comm && env.ranks > 1 && ctx.comm != nullptr;
+    if (!remote) {
+      {
+        exec::StageTimer st(rhalo);
+        for (std::int64_t i = 0; i < halo; ++i) {
+          ext[static_cast<std::size_t>(m_rank + i)] =
+              x[static_cast<std::size_t>(i)];
+        }
+      }
+      exec::StageTimer st(rconv);
+      convolve_range(0, env.spr);
+      return;
+    }
+
+    if constexpr (std::is_same_v<Real, double>) {
+      const int ranks = env.ranks;
+      const int rank = ctx.comm->rank();
+      const int left = (rank - 1 + ranks) % ranks;
+      const int right = (rank + 1) % ranks;
+      const cspan halo_out{x.data(), static_cast<std::size_t>(halo)};
+      const mspan halo_in{ext.data() + m_rank, static_cast<std::size_t>(halo)};
+      if (!ctx.overlap) {
+        {
+          exec::StageTimer st(rhalo);
+          ctx.comm->sendrecv(left, halo_out, right, halo_in, kTagHalo);
+        }
+        exec::StageTimer st(rconv);
+        convolve_range(0, env.spr);
+      } else {
+        // Overlap: eager halo send, convolve every fully-local group while
+        // the halo travels, poll, then finish the last sub-rank's tail.
+        {
+          exec::StageTimer st(rhalo);
+          ctx.comm->send(left, kTagHalo, halo_out);
+        }
+        // Groups of the LAST sub-rank whose window fits in local data; all
+        // groups of earlier sub-ranks are always fully local (halo <= M_seg).
+        const std::int64_t groups = g.groups_per_rank();
+        const std::int64_t q_safe = std::clamp<std::int64_t>(
+            (m_seg - g.taps() * p) / (g.nu() * p) + 1, 0, groups);
+        {
+          exec::StageTimer st(rconv);
+          convolve_range(0, env.spr - 1);
+          convolve_rank_groups<Real>(
+              g, *env.table,
+              cspan_t<Real>{ext.data() + (env.spr - 1) * m_seg,
+                            static_cast<std::size_t>(g.local_input())},
+              mspan_t<Real>{v.data() + (env.spr - 1) * mcg * p,
+                            static_cast<std::size_t>(mcg * p)},
+              0, q_safe);
+        }
+        {
+          exec::StageTimer st(rhalo);
+          while (!ctx.comm->try_recv(right, kTagHalo, halo_in)) {
+            // Busy poll; on a real fabric this slot absorbs message latency.
+          }
+        }
+        exec::StageTimer st(rconv);
+        convolve_rank_groups<Real>(
+            g, *env.table,
+            cspan_t<Real>{ext.data() + (env.spr - 1) * m_seg,
+                          static_cast<std::size_t>(g.local_input())},
+            mspan_t<Real>{v.data() + (env.spr - 1) * mcg * p,
+                          static_cast<std::size_t>(mcg * p)},
+            q_safe, groups);
+      }
+    } else {
+      SOI_CHECK(false, "SOI pipeline: communicator paths are double-only");
+    }
+  }
+
+ private:
+  const ChainEnvT<Real>* env_;
+};
+
+/// Stage "f_p": I (x) F_P over the local chunks, with the Fig. 3
+/// per-destination transpose fused into the batched pass's interleaved
+/// store. Under a null comm it stores straight into x-tilde.
+template <class Real>
+class FpStageT final : public exec::StageT<Real> {
+ public:
+  explicit FpStageT(const ChainEnvT<Real>* env) : env_(env) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    const std::int64_t p = env_->geom->p();
+    exec::StageRecord r;
+    r.name = "f_p";
+    r.bytes_moved = 2 * cbytes<Real>(env_->chunks() * p);
+    r.flops = fft_flops(env_->chunks(), p);
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<Real>& ctx,
+           exec::StageRecord* rec) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const std::int64_t p = env.geom->p();
+    const std::int64_t chunks = env.chunks();
+    const std::span<C> v = ctx.arena->template span<C>(env.v);
+    const std::span<C> dst =
+        ctx.arena->template span<C>(env.has_comm ? env.send : env.xt);
+    exec::StageTimer st(*rec);
+    // Destination rank d gets, for each of its segments sigma, element
+    // sigma of every local chunk, laid out [sigma][chunk]: exactly the
+    // interleaved store layout, so no separate pack sweep runs.
+    env.batch_p->forward_strided(v, fft::contiguous_layout(p), dst,
+                                 fft::interleaved_layout(chunks), chunks);
+  }
+
+ private:
+  const ChainEnvT<Real>* env_;
+};
+
+/// Stage "exchange": the single global all-to-all. bytes_moved is the
+/// measured per-rank send volume (net::Comm counters); a null comm makes
+/// this a no-op (F_P already stored into x-tilde).
+template <class Real>
+class ExchangeStageT final : public exec::StageT<Real> {
+ public:
+  explicit ExchangeStageT(const ChainEnvT<Real>* env) : env_(env) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    exec::StageRecord r;
+    r.name = "exchange";
+    r.bytes_moved = env_->has_comm
+                        ? cbytes<Real>(env_->spr * env_->chunks() *
+                                       (env_->ranks - 1))
+                        : 0;
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<Real>& ctx,
+           exec::StageRecord* rec) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    if (!env.has_comm || ctx.comm == nullptr) return;
+    if constexpr (std::is_same_v<Real, double>) {
+      const std::span<C> send = ctx.arena->template span<C>(env.send);
+      const std::span<C> recv = ctx.arena->template span<C>(env.recv);
+      const std::int64_t before = ctx.comm->bytes_sent();
+      {
+        exec::StageTimer st(*rec);
+        ctx.comm->alltoall(send, recv, env.spr * env.chunks(), env.algo);
+      }
+      rec->bytes_moved = ctx.comm->bytes_sent() - before;
+    } else {
+      SOI_CHECK(false, "SOI pipeline: communicator paths are double-only");
+    }
+  }
+
+ private:
+  const ChainEnvT<Real>* env_;
+};
+
+/// Stage "unpack": assemble the received per-source blocks into segment
+/// order. Source rank s computed the global chunks [s*chunks, (s+1)*chunks);
+/// its block is laid out [sl][chunk], so segment sl's M' values are
+/// gathered as xt[sl*M' + s*chunks + j] = recv[(s*spr + sl)*chunks + j].
+template <class Real>
+class UnpackStageT final : public exec::StageT<Real> {
+ public:
+  explicit UnpackStageT(const ChainEnvT<Real>* env) : env_(env) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    exec::StageRecord r;
+    r.name = "unpack";
+    r.bytes_moved = env_->has_comm
+                        ? 2 * cbytes<Real>(env_->spr * env_->geom->mprime())
+                        : 0;
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<Real>& ctx,
+           exec::StageRecord* rec) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    if (!env.has_comm || ctx.comm == nullptr) return;
+    const std::int64_t chunks = env.chunks();
+    const std::int64_t mprime = env.geom->mprime();
+    const std::span<C> recv = ctx.arena->template span<C>(env.recv);
+    const std::span<C> xt = ctx.arena->template span<C>(env.xt);
+    exec::StageTimer st(*rec);
+    for (std::int64_t sl = 0; sl < env.spr; ++sl) {
+      C* seg = xt.data() + sl * mprime;
+      for (int s = 0; s < env.ranks; ++s) {
+        const C* blk = recv.data() + (s * env.spr + sl) * chunks;
+        std::copy_n(blk, chunks, seg + s * chunks);
+      }
+    }
+  }
+
+ private:
+  const ChainEnvT<Real>* env_;
+};
+
+/// Stage "f_mprime": I (x) F_M' over the assembled local segments.
+template <class Real>
+class FmStageT final : public exec::StageT<Real> {
+ public:
+  explicit FmStageT(const ChainEnvT<Real>* env) : env_(env) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    const std::int64_t mprime = env_->geom->mprime();
+    exec::StageRecord r;
+    r.name = "f_mprime";
+    r.bytes_moved = 2 * cbytes<Real>(env_->spr * mprime);
+    r.flops = fft_flops(env_->spr, mprime);
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<Real>& ctx,
+           exec::StageRecord* rec) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const std::size_t count =
+        static_cast<std::size_t>(env.spr * env.geom->mprime());
+    const std::span<C> xt = ctx.arena->template span<C>(env.xt);
+    const std::span<C> uf = ctx.arena->template span<C>(env.uf);
+    exec::StageTimer st(*rec);
+    env.batch_mp->forward(cspan_t<Real>{xt.data(), count},
+                          mspan_t<Real>{uf.data(), count}, env.spr);
+  }
+
+ private:
+  const ChainEnvT<Real>* env_;
+};
+
+/// Stage "demod": demodulate + project each segment's first M bins.
+template <class Real>
+class DemodStageT final : public exec::StageT<Real> {
+ public:
+  explicit DemodStageT(const ChainEnvT<Real>* env) : env_(env) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    const std::int64_t m = env_->geom->m();
+    exec::StageRecord r;
+    r.name = "demod";
+    r.bytes_moved = cbytes<Real>(2 * env_->spr * m + m);
+    r.flops = 6 * env_->spr * m;
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<Real>& ctx,
+           exec::StageRecord* rec) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const std::int64_t m = env.geom->m();
+    const std::int64_t mprime = env.geom->mprime();
+    const std::span<C> uf = ctx.arena->template span<C>(env.uf);
+    const mspan_t<Real> y =
+        env.dst.valid() ? mspan_t<Real>(ctx.arena->template span<C>(env.dst))
+                        : ctx.out;
+    const cspan_t<Real> demod = env.table->demod();
+    exec::StageTimer st(*rec);
+    for (std::int64_t s = 0; s < env.spr; ++s) {
+      const C* seg = uf.data() + s * mprime;
+      C* dst = y.data() + s * m;
+      for (std::int64_t k = 0; k < m; ++k) {
+        dst[k] = seg[k] * demod[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+ private:
+  const ChainEnvT<Real>* env_;
+};
+
+/// "r2c_pack": z[j] = in[2j] + i*in[2j+1] from ctx.real_in.
+class R2cPackStage final : public exec::StageT<double> {
+ public:
+  R2cPackStage(WorkspaceArena::BufferId z, std::int64_t h) : z_(z), h_(h) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    exec::StageRecord r;
+    r.name = "r2c_pack";
+    r.bytes_moved = cbytes<double>(2 * h_);
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<double>& ctx,
+           exec::StageRecord* rec) const override {
+    const std::span<cplx> z = ctx.arena->span<cplx>(z_);
+    const std::span<const double> in = ctx.real_in;
+    exec::StageTimer st(*rec);
+    for (std::int64_t j = 0; j < h_; ++j) {
+      z[static_cast<std::size_t>(j)] = {in[static_cast<std::size_t>(2 * j)],
+                                        in[static_cast<std::size_t>(2 * j + 1)]};
+    }
+  }
+
+ private:
+  WorkspaceArena::BufferId z_;
+  std::int64_t h_;
+};
+
+/// "r2c_untangle": split the half-length spectrum zf into the h+1 bins of
+/// the real signal's DFT (even/odd untangling with the twiddle table).
+class R2cUntangleStage final : public exec::StageT<double> {
+ public:
+  R2cUntangleStage(WorkspaceArena::BufferId zf, const cvec* twiddle,
+                   std::int64_t h)
+      : zf_(zf), twiddle_(twiddle), h_(h) {}
+
+  void plan_records(std::vector<exec::StageRecord>& out) const override {
+    exec::StageRecord r;
+    r.name = "r2c_untangle";
+    r.bytes_moved = cbytes<double>(2 * h_);
+    r.flops = 14 * h_;
+    out.push_back(std::move(r));
+  }
+
+  void run(exec::ExecContextT<double>& ctx,
+           exec::StageRecord* rec) const override {
+    const std::span<const cplx> zf = ctx.arena->span<cplx>(zf_);
+    const cvec& tw = *twiddle_;
+    exec::StageTimer st(*rec);
+    for (std::int64_t k = 0; k <= h_; ++k) {
+      const std::int64_t km = k % h_;
+      const std::int64_t kc = (h_ - k) % h_;
+      const cplx zk = zf[static_cast<std::size_t>(km)];
+      const cplx zc = std::conj(zf[static_cast<std::size_t>(kc)]);
+      const cplx even = 0.5 * (zk + zc);
+      const cplx odd = cplx{0.0, -0.5} * (zk - zc);
+      const cplx t =
+          (k == h_) ? cplx{-1.0, 0.0} : tw[static_cast<std::size_t>(k)];
+      ctx.out[static_cast<std::size_t>(k)] = even + t * odd;
+    }
+  }
+
+ private:
+  WorkspaceArena::BufferId zf_;
+  const cvec* twiddle_;
+  std::int64_t h_;
+};
+
+}  // namespace
+
+template <class Real>
+void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
+                           int base) {
+  if constexpr (!std::is_same_v<Real, double>) {
+    SOI_CHECK(!env.has_comm,
+              "SOI pipeline: communicator paths are double-only");
+  }
+  const SoiGeometry& g = *env.geom;
+  const auto cb = [](std::int64_t count) {
+    return static_cast<std::size_t>(cbytes<Real>(count));
+  };
+  const std::int64_t chunks = env.chunks();
+  const std::int64_t seg_total = env.spr * g.mprime();  // == chunks * P
+  env.ext = arena.reserve("ext", cb(env.m_rank() + g.halo()), base, base);
+  env.v = arena.reserve("v", cb(chunks * g.p()), base, base + 1);
+  if (env.has_comm) {
+    env.send = arena.reserve("send", cb(chunks * g.p()), base + 1, base + 2);
+    env.recv = arena.reserve("recv", cb(seg_total), base + 2, base + 3);
+    env.xt = arena.reserve("xt", cb(seg_total), base + 3, base + 4);
+  } else {
+    // F_P stores straight into x-tilde; no exchange staging needed.
+    env.xt = arena.reserve("xt", cb(seg_total), base + 1, base + 4);
+  }
+  env.uf = arena.reserve("uf", cb(seg_total), base + 4, base + 5);
+}
+
+template <class Real>
+void append_chain_stages(exec::PipelineT<Real>& pl,
+                         const ChainEnvT<Real>& env) {
+  pl.add(std::make_unique<HaloConvStageT<Real>>(&env));
+  pl.add(std::make_unique<FpStageT<Real>>(&env));
+  pl.add(std::make_unique<ExchangeStageT<Real>>(&env));
+  pl.add(std::make_unique<UnpackStageT<Real>>(&env));
+  pl.add(std::make_unique<FmStageT<Real>>(&env));
+  pl.add(std::make_unique<DemodStageT<Real>>(&env));
+}
+
+std::unique_ptr<exec::StageT<double>> make_r2c_pack_stage(
+    WorkspaceArena::BufferId z, std::int64_t h) {
+  return std::make_unique<R2cPackStage>(z, h);
+}
+
+std::unique_ptr<exec::StageT<double>> make_r2c_untangle_stage(
+    WorkspaceArena::BufferId zf, const cvec* twiddle, std::int64_t h) {
+  return std::make_unique<R2cUntangleStage>(zf, twiddle, h);
+}
+
+SoiStageBreakdown SoiStageBreakdown::from_trace(const exec::TraceLog& trace) {
+  SoiStageBreakdown bd;
+  for (const auto& r : trace.records()) {
+    if (r.name == "halo") {
+      bd.halo += r.seconds;
+      bd.halo_bytes += r.bytes_moved;
+    } else if (r.name == "conv") {
+      bd.conv += r.seconds;
+    } else if (r.name == "f_p") {
+      bd.fp += r.seconds;
+    } else if (r.name == "exchange") {
+      bd.alltoall += r.seconds;
+      bd.alltoall_bytes += r.bytes_moved;
+    } else if (r.name == "unpack") {
+      bd.pack += r.seconds;
+    } else if (r.name == "f_mprime") {
+      bd.fm += r.seconds;
+    } else if (r.name == "demod") {
+      bd.demod += r.seconds;
+    }
+  }
+  return bd;
+}
+
+template void reserve_chain_buffers<double>(WorkspaceArena&,
+                                            ChainEnvT<double>&, int);
+template void reserve_chain_buffers<float>(WorkspaceArena&, ChainEnvT<float>&,
+                                           int);
+template void append_chain_stages<double>(exec::PipelineT<double>&,
+                                          const ChainEnvT<double>&);
+template void append_chain_stages<float>(exec::PipelineT<float>&,
+                                         const ChainEnvT<float>&);
+
+}  // namespace soi::core

@@ -1,0 +1,74 @@
+// The shared SOI stage chain (Eq. 6), expressed once for every execution
+// path: serial (null comm), distributed (SimMPI comm, blocking or
+// halo-overlapped) and the real-input wrapper all append THESE stages to
+// their pipelines — the conv, F_P+permute, exchange, F_M' and demod
+// bodies exist exactly once, in stages.cpp.
+//
+// Chain layout (pipeline positions relative to `base`):
+//   base+0  halo+conv   emits records "halo", "conv"
+//   base+1  f_p         batched I (x) F_P, stride-P permutation fused
+//   base+2  exchange    the single all-to-all (no-op under a null comm)
+//   base+3  unpack      post-exchange segment assembly (no-op, null comm)
+//   base+4  f_mprime    batched I (x) F_M'
+//   base+5  demod       demodulate + project
+// Under a null comm the F_P stage stores straight into the x-tilde buffer
+// (the exchange would be the identity), so serial pays no extra copies.
+#pragma once
+
+#include <memory>
+
+#include "common/arena.hpp"
+#include "fft/batch.hpp"
+#include "net/comm.hpp"
+#include "soi/conv_table.hpp"
+#include "soi/exec.hpp"
+#include "soi/params.hpp"
+
+namespace soi::core {
+
+/// Plan-time environment of one chain instance on one rank. The plan
+/// object owns this (and the pointed-to geometry/table/FFT plans) for the
+/// pipeline's lifetime; stages hold a pointer to it.
+template <class Real>
+struct ChainEnvT {
+  const SoiGeometry* geom = nullptr;
+  const ConvTableT<Real>* table = nullptr;
+  const fft::BatchFftT<Real>* batch_p = nullptr;
+  const fft::BatchFftT<Real>* batch_mp = nullptr;
+  int ranks = 1;          ///< communicator size (1 for serial)
+  std::int64_t spr = 1;   ///< segments computed on this rank
+  bool has_comm = false;  ///< false = null comm: serial specialisation
+  net::AlltoallAlgo algo = net::AlltoallAlgo::kPairwise;
+
+  // Arena buffers, filled by reserve_chain_buffers().
+  WorkspaceArena::BufferId ext, v, send, recv, xt, uf;
+  /// Optional chain endpoints: invalid = use ctx.in / ctx.out (the real
+  /// wrapper brackets the chain with arena-resident z / zf instead).
+  WorkspaceArena::BufferId src, dst;
+
+  [[nodiscard]] std::int64_t chunks() const {
+    return spr * geom->chunks_per_rank();
+  }
+  [[nodiscard]] std::int64_t m_rank() const { return spr * geom->m(); }
+};
+
+/// Declare the chain's intermediate buffers in `arena` with live intervals
+/// relative to pipeline position `base` (the halo+conv stage's index).
+template <class Real>
+void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
+                           int base);
+
+/// Append the six shared stages to `pl`. `env` must outlive the pipeline.
+template <class Real>
+void append_chain_stages(exec::PipelineT<Real>& pl, const ChainEnvT<Real>& env);
+
+/// r2c wrapper stages (double precision): pack interleaves the real signal
+/// into the half-length complex buffer `z` (record "r2c_pack"); untangle
+/// splits the half-spectrum buffer `zf` into the h+1 output bins using the
+/// caller-owned twiddle table (record "r2c_untangle").
+std::unique_ptr<exec::StageT<double>> make_r2c_pack_stage(
+    WorkspaceArena::BufferId z, std::int64_t h);
+std::unique_ptr<exec::StageT<double>> make_r2c_untangle_stage(
+    WorkspaceArena::BufferId zf, const cvec* twiddle, std::int64_t h);
+
+}  // namespace soi::core

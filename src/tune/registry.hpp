@@ -12,9 +12,15 @@
 //                                      tables of one SoiFftDist world are
 //                                      identical, so R threads asking for
 //                                      the same key build exactly one),
-//   * whole serial plans              (SoiFftSerial is immutable and
-//                                      const-executable, so callers share
-//                                      a single instance).
+//   * whole serial plans              (construction — window design,
+//                                      tables, FFT planning — is the
+//                                      expensive part; sharing amortises
+//                                      it. Executions run through the
+//                                      plan's preplanned workspace, so
+//                                      concurrent forward() calls on ONE
+//                                      shared instance are not supported —
+//                                      callers that need parallel
+//                                      execution hold distinct plans).
 //
 // Concurrency contract: lookups of the same key from any number of
 // threads construct the value exactly once; the non-constructing threads

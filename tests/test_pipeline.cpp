@@ -1,0 +1,292 @@
+// Pipeline-executor tests: WorkspaceArena lifetime-aliased packing, the
+// TraceLog surface, the zero-allocation steady state of the pipelined
+// plans, and serial-vs-distributed per-stage parity (same stage chain,
+// bit-identical outputs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/comm.hpp"
+#include "soi/dist.hpp"
+#include "soi/exec.hpp"
+#include "soi/real.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+
+namespace soi {
+namespace {
+
+const win::SoiProfile& full_profile() {
+  static const win::SoiProfile p = win::make_profile(win::Accuracy::kFull);
+  return p;
+}
+
+cvec random_signal(std::int64_t n, std::uint64_t seed) {
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, seed);
+  return x;
+}
+
+// --- WorkspaceArena ---------------------------------------------------------
+
+TEST(Arena, DisjointLifetimesAlias) {
+  WorkspaceArena arena;
+  const auto a = arena.reserve("a", 4096, 0, 1);
+  const auto b = arena.reserve("b", 4096, 2, 3);
+  arena.commit();
+  // Same size, disjoint live intervals: the packer must overlay them.
+  EXPECT_EQ(arena.data(a), arena.data(b));
+  EXPECT_EQ(arena.peak_bytes(), 4096u);
+  EXPECT_EQ(arena.total_reserved_bytes(), 8192u);
+}
+
+TEST(Arena, OverlappingLifetimesDoNotAlias) {
+  WorkspaceArena arena;
+  const auto a = arena.reserve("a", 4096, 0, 2);
+  const auto b = arena.reserve("b", 4096, 1, 3);
+  arena.commit();
+  const auto* pa = static_cast<const std::byte*>(arena.data(a));
+  const auto* pb = static_cast<const std::byte*>(arena.data(b));
+  EXPECT_TRUE(pa + 4096 <= pb || pb + 4096 <= pa);
+  EXPECT_GE(arena.peak_bytes(), 8192u);
+}
+
+TEST(Arena, RandomizedPackingNeverOverlapsLiveBuffers) {
+  // Deterministic pseudo-random plan; every pair of lifetime-overlapping
+  // buffers must occupy disjoint byte ranges, and the pack must never
+  // exceed the no-aliasing total.
+  WorkspaceArena arena;
+  std::uint64_t s = 12345;
+  const auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  };
+  std::vector<WorkspaceArena::BufferId> ids;
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t bytes = 64 + (next() % 8192);
+    const int first = static_cast<int>(next() % 10);
+    const int last = first + static_cast<int>(next() % 4);
+    ids.push_back(arena.reserve("buf" + std::to_string(i), bytes,
+                                first, last));
+  }
+  arena.commit();
+  const auto& bufs = arena.buffers();
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    // 64-byte alignment of every placement.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.data(ids[i])) % 64, 0u);
+    for (std::size_t j = i + 1; j < bufs.size(); ++j) {
+      const bool live_overlap = bufs[i].first_stage <= bufs[j].last_stage &&
+                                bufs[j].first_stage <= bufs[i].last_stage;
+      if (!live_overlap) continue;
+      const bool mem_overlap =
+          bufs[i].offset < bufs[j].offset + bufs[j].bytes &&
+          bufs[j].offset < bufs[i].offset + bufs[i].bytes;
+      EXPECT_FALSE(mem_overlap)
+          << bufs[i].name << " and " << bufs[j].name << " are both live and "
+          << "overlap in memory";
+    }
+  }
+  EXPECT_LE(arena.peak_bytes(), arena.total_reserved_bytes());
+  EXPECT_LT(arena.peak_bytes(), arena.total_reserved_bytes());
+}
+
+TEST(Arena, RecommitAfterGrowthCountsOnce) {
+  WorkspaceArena arena;
+  arena.reserve("a", 1024, 0, 0);
+  arena.commit();
+  EXPECT_EQ(arena.growths(), 0);
+  arena.reserve("b", 1 << 20, 0, 0);
+  arena.commit();
+  EXPECT_EQ(arena.growths(), 1);
+}
+
+// --- TraceLog ---------------------------------------------------------------
+
+TEST(TraceLog, PlanZeroFindTotal) {
+  exec::TraceLog log;
+  EXPECT_TRUE(log.empty());
+  std::vector<exec::StageRecord> recs(2);
+  recs[0].name = "conv";
+  recs[1].name = "f_p";
+  log.plan(std::move(recs));
+  log.at(0)->seconds = 1.0;
+  log.at(1)->seconds = 2.0;
+  EXPECT_DOUBLE_EQ(log.total_seconds(), 3.0);
+  ASSERT_NE(log.find("f_p"), nullptr);
+  EXPECT_DOUBLE_EQ(log.find("f_p")->seconds, 2.0);
+  EXPECT_EQ(log.find("missing"), nullptr);
+  log.zero_seconds();
+  EXPECT_DOUBLE_EQ(log.total_seconds(), 0.0);
+  EXPECT_EQ(log.find("conv")->name, "conv");  // names survive zeroing
+}
+
+// --- zero-allocation steady state -------------------------------------------
+
+TEST(Pipeline, SerialSteadyStateAllocatesNothing) {
+  // Smooth geometry: P and M' run the batched executor's persistent-
+  // scratch path (Rader/Bluestein sizes intentionally allocate per call).
+  const std::int64_t n = 8192, p = 4;
+  core::SoiFftSerial soi(n, p, full_profile());
+  const cvec x = random_signal(n, 7);
+  cvec y(x.size());
+  soi.forward(x, y);  // warm: arena committed, per-thread FFT scratch built
+  soi.forward(x, y);
+  const std::int64_t growths_before = soi.workspace().growths();
+  const std::int64_t allocs_before = alloc_stats().count;
+  soi.forward(x, y);
+  EXPECT_EQ(alloc_stats().count - allocs_before, 0);
+  EXPECT_EQ(soi.workspace().growths() - growths_before, 0);
+  // The aliased pack must beat a no-aliasing layout.
+  EXPECT_LT(soi.workspace().peak_bytes(),
+            soi.workspace().total_reserved_bytes());
+}
+
+TEST(Pipeline, RealSteadyStateAllocatesNothing) {
+  const std::int64_t n = 16384, p = 4;
+  core::SoiRealFft plan(n, p, full_profile());
+  std::vector<double> in(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+  cvec out(static_cast<std::size_t>(n / 2 + 1));
+  plan.forward(in, out);
+  plan.forward(in, out);
+  const std::int64_t allocs_before = alloc_stats().count;
+  plan.forward(in, out);
+  EXPECT_EQ(alloc_stats().count - allocs_before, 0);
+  EXPECT_EQ(plan.workspace().growths(), 0);
+}
+
+TEST(Pipeline, DistSteadyStateAllocatesNothing) {
+  const std::int64_t n = 8192;
+  const int ranks = 4;
+  const cvec x = random_signal(n, 11);
+  std::int64_t delta = -1;
+  std::mutex mu;
+  net::run_ranks(ranks, [&](net::Comm& comm) {
+    core::SoiFftDist plan(comm, n, full_profile());
+    const std::int64_t m = plan.local_size();
+    cvec y(static_cast<std::size_t>(m));
+    const cspan xin{x.data() + comm.rank() * m, static_cast<std::size_t>(m)};
+    plan.forward(xin, y);  // warm within THIS rank thread's lifetime
+    plan.forward(xin, y);
+    comm.barrier();
+    const std::int64_t before = alloc_stats().count;
+    plan.forward(xin, y);
+    comm.barrier();
+    // Between the barriers every rank ran exactly one steady-state
+    // forward, so the process-global counter must not have moved.
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      delta = alloc_stats().count - before;
+    }
+    EXPECT_EQ(plan.workspace().growths(), 0);
+  });
+  EXPECT_EQ(delta, 0);
+}
+
+// --- serial vs distributed stage parity -------------------------------------
+
+TEST(Pipeline, SerialDistStageParity) {
+  // Same factorisation (P = 8 segments) executed serially and over 4 ranks
+  // with 2 segments each: stage-for-stage identical chains, identical
+  // planned byte volumes on the comm-free stages, bit-identical outputs.
+  const std::int64_t n = 16384;
+  const int ranks = 4;
+  const std::int64_t spr = 2;
+  const std::int64_t p_total = ranks * spr;
+  const cvec x = random_signal(n, 21);
+
+  core::SoiFftSerial serial(n, p_total, full_profile());
+  cvec want(x.size());
+  serial.forward(x, want);
+  const auto serial_recs = serial.last_trace().records();
+
+  cvec got(x.size());
+  std::vector<exec::StageRecord> dist_recs;
+  std::mutex mu;
+  net::run_ranks(ranks, [&](net::Comm& comm) {
+    core::DistOptions opts;
+    opts.segments_per_rank = spr;
+    core::SoiFftDist plan(comm, n, full_profile(), opts);
+    const std::int64_t m = plan.local_size();
+    cvec y(static_cast<std::size_t>(m));
+    plan.forward(cspan{x.data() + comm.rank() * m,
+                       static_cast<std::size_t>(m)},
+                 y);
+    std::lock_guard<std::mutex> lock(mu);
+    std::copy(y.begin(), y.end(), got.begin() + comm.rank() * m);
+    if (comm.rank() == 0) {
+      const auto recs = plan.last_trace().records();
+      dist_recs.assign(recs.begin(), recs.end());
+    }
+  });
+
+  // One shared stage chain: identical names in identical order.
+  ASSERT_EQ(serial_recs.size(), dist_recs.size());
+  for (std::size_t i = 0; i < serial_recs.size(); ++i) {
+    EXPECT_EQ(serial_recs[i].name, dist_recs[i].name) << "stage " << i;
+  }
+
+  // Serial = null comm: communication stages carry zero volume.
+  const auto byname = [&](std::span<const exec::StageRecord> recs,
+                          const char* name) -> const exec::StageRecord& {
+    for (const auto& r : recs) {
+      if (r.name == name) return r;
+    }
+    ADD_FAILURE() << "stage " << name << " missing";
+    return recs[0];
+  };
+  EXPECT_EQ(byname(serial_recs, "halo").bytes_moved, 0);
+  EXPECT_EQ(byname(serial_recs, "exchange").bytes_moved, 0);
+  EXPECT_EQ(byname(serial_recs, "unpack").bytes_moved, 0);
+
+  // Distributed volumes match the geometry (Section 5's accounting).
+  const core::SoiGeometry g(n, p_total, full_profile());
+  const std::int64_t csize = static_cast<std::int64_t>(sizeof(cplx));
+  EXPECT_EQ(byname(dist_recs, "halo").bytes_moved, csize * g.halo());
+  const std::int64_t chunks = spr * g.chunks_per_rank();
+  EXPECT_EQ(byname(dist_recs, "exchange").bytes_moved,
+            csize * spr * chunks * (ranks - 1));
+
+  // Same stage bodies on the same data: outputs are bit-identical.
+  std::int64_t mismatches = 0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (want[i].real() != got[i].real() || want[i].imag() != got[i].imag()) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(Pipeline, RealTraceBracketsSharedChain) {
+  const std::int64_t n = 16384, p = 4;
+  core::SoiRealFft plan(n, p, full_profile());
+  std::vector<double> in(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::cos(0.02 * static_cast<double>(i));
+  }
+  cvec out(static_cast<std::size_t>(n / 2 + 1));
+  plan.forward(in, out);
+  const auto recs = plan.last_trace().records();
+  const std::vector<std::string> want = {"r2c_pack", "halo",     "conv",
+                                         "f_p",      "exchange", "unpack",
+                                         "f_mprime", "demod",    "r2c_untangle"};
+  ASSERT_EQ(recs.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(recs[i].name, want[i]);
+  }
+}
+
+}  // namespace
+}  // namespace soi

@@ -307,7 +307,12 @@ TEST(SerialSoiExtra, TimedBreakdownSumsSanely) {
   EXPECT_GT(t.conv, 0.0);
   EXPECT_GT(t.fm, 0.0);
   EXPECT_GT(t.total(), 0.0);
-  EXPECT_NEAR(t.total(), t.conv + t.fp + t.pack + t.fm + t.demod, 1e-12);
+  EXPECT_NEAR(t.total(),
+              t.halo + t.conv + t.fp + t.pack + t.alltoall + t.fm + t.demod,
+              1e-12);
+  // Serial = null comm: the exchange never runs.
+  EXPECT_EQ(t.alltoall, 0.0);
+  EXPECT_EQ(t.alltoall_bytes, 0);
 }
 
 TEST(SerialSoiExtra, RejectsWrongSizes) {

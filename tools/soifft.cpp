@@ -71,17 +71,18 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
       {"design", {"accuracy", "mu", "nu", "eps", "kappa", "help"}},
       {"transform",
        {"n", "p", "accuracy", "mu", "nu", "eps", "kappa", "inverse", "check",
-        "input", "output", "seed", "wisdom", "help"}},
+        "input", "output", "seed", "wisdom", "trace", "help"}},
       {"segment",
        {"n", "p", "s", "accuracy", "mu", "nu", "eps", "kappa", "check",
         "input", "output", "seed", "help"}},
       {"bench",
        {"n", "p", "accuracy", "mu", "nu", "eps", "kappa", "reps", "input",
-        "seed", "help"}},
+        "seed", "trace", "help"}},
       {"tune",
        {"n", "p", "accuracy", "wisdom", "mode", "reps", "seed", "gflops",
         "max-spr", "help"}},
-      {"dist", {"n", "p", "accuracy", "wisdom", "check", "seed", "help"}},
+      {"dist",
+       {"n", "p", "accuracy", "wisdom", "check", "seed", "trace", "help"}},
   };
   return kFlags;
 }
@@ -91,14 +92,17 @@ int usage(std::FILE* out) {
       "usage: soifft <design|transform|segment|bench|tune|dist> [--options]\n"
       "  design    --accuracy full|high|medium|low | --mu --nu --eps --kappa\n"
       "  transform --n N --p P [--accuracy A] [--inverse] [--check]\n"
-      "            [--input F] [--output F] [--seed S] [--wisdom F]\n"
+      "            [--input F] [--output F] [--seed S] [--wisdom F] [--trace]\n"
       "  segment   --n N --p P --s S [--accuracy A] [--check]\n"
-      "  bench     --n N --p P [--accuracy A] [--reps R]\n"
+      "  bench     --n N --p P [--accuracy A] [--reps R] [--trace]\n"
       "  tune      --n N --p P [--accuracy A] [--wisdom F]\n"
       "            [--mode modeled|measured] [--reps R] [--seed S]\n"
       "            [--gflops G] [--max-spr G]\n"
       "  dist      --n N --p P [--accuracy A] [--wisdom F] [--check]\n"
+      "            [--trace]\n"
       "  --help    print this message (exit 0)\n"
+      "  --trace   per-stage table (name, seconds, bytes, flops) of the\n"
+      "            last pipeline execution (rank 0 for dist)\n"
       "\n"
       "wisdom: `tune` persists the fastest (profile tier, segments/rank,\n"
       "all-to-all schedule, overlap) per shape; other subcommands reuse it\n"
@@ -128,7 +132,8 @@ Args parse(int argc, char** argv) {
       throw Error("unknown flag '--" + key + "' for '" + a.command +
                   "' (valid: " + valid + ", --help)");
     }
-    static const std::set<std::string> kBoolean = {"check", "inverse", "help"};
+    static const std::set<std::string> kBoolean = {"check", "inverse", "trace",
+                                                   "help"};
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       a.kv[key] = argv[++i];
     } else if (kBoolean.count(key) > 0) {
@@ -175,6 +180,19 @@ std::optional<tune::TunedConfig> wisdom_lookup(const Args& a,
               "defaults\n",
               key.str().c_str(), path.c_str());
   return std::nullopt;
+}
+
+/// `--trace` output: one row per stage record of the last execution.
+void print_trace(std::span<const exec::StageRecord> records) {
+  std::printf("%-14s %12s %14s %14s\n", "stage", "ms", "bytes", "flops");
+  double total = 0.0;
+  for (const auto& r : records) {
+    std::printf("%-14s %12.4f %14lld %14lld\n", r.name.c_str(),
+                r.seconds * 1e3, static_cast<long long>(r.bytes_moved),
+                static_cast<long long>(r.flops));
+    total += r.seconds;
+  }
+  std::printf("%-14s %12.4f\n", "total", total * 1e3);
 }
 
 cvec load_or_generate(const Args& a, std::int64_t n) {
@@ -251,6 +269,7 @@ int cmd_transform(const Args& a) {
               a.flag("inverse") ? "inverse" : "forward",
               static_cast<long long>(n), static_cast<long long>(segments),
               sec * 1e3, fft_gflops(static_cast<std::size_t>(n), sec));
+  if (a.flag("trace")) print_trace(plan->last_trace().records());
   if (a.flag("check")) {
     fft::FftPlan exact(n);
     cvec want(x.size());
@@ -323,6 +342,7 @@ int cmd_bench(const Args& a) {
               "demod %.2f ms\n",
               phases.conv * 1e3, phases.fp * 1e3, phases.pack * 1e3,
               phases.fm * 1e3, phases.demod * 1e3);
+  if (a.flag("trace")) print_trace(soi.last_trace().records());
   return 0;
 }
 
@@ -391,6 +411,7 @@ int cmd_dist(const Args& a) {
   cvec y(x.size());
   std::mutex mu;
   core::SoiDistBreakdown bd0{};
+  std::vector<exec::StageRecord> trace0;
   auto& registry = tune::PlanRegistry::global();
   Timer t;
   net::run_ranks(ranks, [&](net::Comm& comm) {
@@ -411,7 +432,11 @@ int cmd_dist(const Args& a) {
     std::lock_guard<std::mutex> lock(mu);
     std::copy(y_local.begin(), y_local.end(),
               y.begin() + comm.rank() * m_rank);
-    if (comm.rank() == 0) bd0 = plan.last_breakdown();
+    if (comm.rank() == 0) {
+      bd0 = plan.last_breakdown();
+      const auto recs = plan.last_trace().records();
+      trace0.assign(recs.begin(), recs.end());
+    }
   });
   const double sec = t.seconds();
   std::printf("distributed SOI transform: N=%lld ranks=%d (%s) in %.3f ms\n",
@@ -426,6 +451,7 @@ int cmd_dist(const Args& a) {
               "a2a %.2e F_M' %.2e demod %.2e s\n",
               bd0.halo, bd0.conv, bd0.fp, bd0.pack, bd0.alltoall, bd0.fm,
               bd0.demod);
+  if (a.flag("trace")) print_trace(trace0);
   if (a.flag("check")) {
     fft::FftPlan exact(n);
     cvec want(x.size());
