@@ -9,6 +9,12 @@
 // the bench exits nonzero if that invariant is violated (within noise for
 // measured mode; exact for modeled mode).
 //
+// Part 1b: for the same shapes, prices the best overlapped schedule and
+// the best in-order schedule under the deterministic cost model and
+// checks overlapped <= in-order — the chunked-exchange hiding can only
+// reduce exposed communication, so a violation means the model (or the
+// candidate space) regressed.
+//
 // Part 2: times SoiFftSerial construction cold vs through the registry
 // (second lookup of the same key), showing the design + table cost that
 // repeated transforms of one shape no longer pay.
@@ -108,6 +114,7 @@ int main(int argc, char** argv) {
       std::vector<exec::StageRecord> stages;
       std::int64_t allocs = -1;
       double wall = 1e300;
+      double overlap_eff = -1.0;
       std::mutex mu;
       net::run_ranks(s.ranks, [&](net::Comm& comm) {
         core::DistOptions dopts;
@@ -115,6 +122,7 @@ int main(int argc, char** argv) {
         dopts.alltoall_algo = win.alltoall_algo;
         dopts.overlap = win.overlap;
         dopts.batch_width = win.batch_width;
+        dopts.chunk_depth = win.chunk_depth;
         dopts.table = table;
         core::SoiFftDist plan(comm, s.n, result.profile, dopts);
         const std::int64_t m_rank = plan.local_size();
@@ -139,6 +147,7 @@ int main(int argc, char** argv) {
               wall = sec;
               const auto recs = plan.last_trace().records();
               stages.assign(recs.begin(), recs.end());
+              overlap_eff = exec::overlap_efficiency(plan.last_trace());
             }
           }
         }
@@ -148,17 +157,47 @@ int main(int argc, char** argv) {
         for (const auto& st : stages) {
           std::printf(" %s=%.3fms", st.name.c_str(), st.seconds * 1e3);
         }
-        std::printf("  [steady-state allocs: %lld]\n",
-                    static_cast<long long>(allocs));
+        std::printf("  [steady-state allocs: %lld, overlap eff: %.3f]\n",
+                    static_cast<long long>(allocs), overlap_eff);
       }
       auto rec = bench::make_record("bench_tuned", "stages " + key.str(),
                                     s.n, 1, wall);
       rec.steady_state_allocs = allocs;
+      rec.overlap_efficiency = overlap_eff;
       rec.stages = std::move(stages);
       records.push_back(std::move(rec));
       if (allocs != 0) {
         if (!json) {
           std::printf("  ^^ FAIL: steady-state forward() allocated\n");
+        }
+        ok = false;
+      }
+    }
+
+    // Part 1b: overlapped vs in-order under the deterministic cost model.
+    {
+      tune::TuneOptions mopts;
+      mopts.mode = tune::TuneMode::kModeled;
+      const auto modeled = tune::autotune(key, mopts);
+      double best_overlapped = 1e300, best_inorder = 1e300;
+      for (const auto& sc : modeled.scores) {
+        if (sc.candidate.overlap) {
+          best_overlapped = std::min(best_overlapped, sc.total_seconds());
+        } else {
+          best_inorder = std::min(best_inorder, sc.total_seconds());
+        }
+      }
+      records.push_back(bench::make_record(
+          "bench_tuned", "overlapped " + key.str(), s.n, 1, best_overlapped));
+      records.push_back(bench::make_record(
+          "bench_tuned", "in-order " + key.str(), s.n, 1, best_inorder));
+      if (!json) {
+        std::printf("  modeled: overlapped %.4fms vs in-order %.4fms\n",
+                    best_overlapped * 1e3, best_inorder * 1e3);
+      }
+      if (best_overlapped > best_inorder) {
+        if (!json) {
+          std::printf("  ^^ FAIL: overlapped priced slower than in-order\n");
         }
         ok = false;
       }

@@ -90,14 +90,20 @@ std::string to_json(const std::vector<BenchRecord>& records) {
        << ", \"ns_per_point\": " << r.ns_per_point
        << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
        << ", \"steady_state_allocs\": " << r.steady_state_allocs;
+    if (r.overlap_efficiency >= 0.0) {
+      os << ", \"overlap_efficiency\": " << r.overlap_efficiency;
+    }
     if (!r.stages.empty()) {
       os << ", \"stages\": [";
       for (std::size_t s = 0; s < r.stages.size(); ++s) {
         const exec::StageRecord& st = r.stages[s];
         os << (s == 0 ? "" : ", ") << "{\"stage\": ";
         json_string(os, st.name);
-        os << ", \"seconds\": " << st.seconds << ", \"bytes\": "
-           << st.bytes_moved << ", \"flops\": " << st.flops << "}";
+        os << ", \"chunks\": " << st.chunks << ", \"seconds\": "
+           << st.seconds << ", \"wait_seconds\": " << st.wait_seconds
+           << ", \"bytes\": " << st.bytes_moved << ", \"measured\": "
+           << (st.bytes_measured ? "true" : "false")
+           << ", \"flops\": " << st.flops << "}";
       }
       os << "]";
     }

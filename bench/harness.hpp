@@ -29,10 +29,15 @@ namespace soi::bench {
 /// BENCH_*.json perf-trajectory files tracked across PRs. Schema per
 /// record (docs/ALGORITHM.md Section 10.4):
 ///   {"bench","case","n","batch","seconds","gflops","ns_per_point",
-///    "peak_rss_bytes","steady_state_allocs","stages"?}
-/// `stages` (present when the bench captured a pipeline trace) is an array
-/// of {"stage","seconds","bytes","flops"} objects whose seconds sum to ~the
-/// record's pipeline wall time.
+///    "peak_rss_bytes","steady_state_allocs","overlap_efficiency"?,
+///    "stages"?}
+/// `overlap_efficiency` (present when the bench captured a pipeline trace)
+/// is exec::overlap_efficiency() of that trace: 1 - wait/total, clamped to
+/// [0, 1]. `stages` (same condition) is an array of
+/// {"stage","chunks","seconds","wait_seconds","bytes","measured","flops"}
+/// objects whose seconds sum to ~the record's pipeline wall time;
+/// `measured` tells whether `bytes` was counted from actual SimMPI traffic
+/// (true) or estimated from the data layout (false).
 struct BenchRecord {
   std::string bench;       ///< binary name, e.g. "bench_batch_fft"
   std::string label;       ///< case within the bench, e.g. "batched"
@@ -45,6 +50,8 @@ struct BenchRecord {
   /// Heap allocations (aligned_alloc_bytes calls) during one steady-state
   /// execution; -1 = the bench did not measure it.
   std::int64_t steady_state_allocs = -1;
+  /// exec::overlap_efficiency() of the captured trace; -1 = no trace.
+  double overlap_efficiency = -1.0;
   /// Per-stage trace of the timed pipeline execution (empty = no trace).
   std::vector<exec::StageRecord> stages;
 };

@@ -40,10 +40,12 @@ run_asan() {
 run_tsan() {
   echo "=== tsan: ThreadSanitizer build + SimMPI dist/pipeline suites ==="
   # The suites that exercise cross-thread rank communication: the SimMPI
-  # mailbox fabric itself, both all-to-all algorithms, the halo-overlap
-  # path, and the pipeline's barrier-bracketed steady-state checks. OpenMP
-  # is disabled: libgomp's barriers are opaque to TSan and drown the run
-  # in false positives; rank-level threading is what this stage verifies.
+  # mailbox fabric itself (including the nonblocking Request layer, whose
+  # receive-side progress runs on the waiter's thread), both all-to-all
+  # algorithms, the halo-overlap path, and the chunked dataflow schedules
+  # with their barrier-bracketed steady-state checks. OpenMP is disabled:
+  # libgomp's barriers are opaque to TSan and drown the run in false
+  # positives; rank-level threading is what this stage verifies.
   cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
@@ -51,6 +53,14 @@ run_tsan() {
     test_net test_dist test_pipeline
   (cd build-ci/tsan &&
     ./tests/test_net && ./tests/test_dist && ./tests/test_pipeline)
+  # The nonblocking-comm and dataflow suites are the prime TSan targets of
+  # this PR; assert they actually ran (a filter typo or a suite rename must
+  # fail the stage, not silently skip the coverage).
+  (cd build-ci/tsan &&
+    ./tests/test_net --gtest_filter='Nonblocking.*:TryRecv.*' \
+      | grep -q "PASSED" &&
+    ./tests/test_pipeline --gtest_filter='Pipeline.Chunked*:Pipeline.Reentrant*' \
+      | grep -q "PASSED")
 }
 
 run_smoke() {
@@ -107,12 +117,32 @@ for path in sys.argv[1:]:
         for r in traced:
             assert r["steady_state_allocs"] == 0, \
                 f"{path}: steady-state forward allocated: {r}"
+            eff = r.get("overlap_efficiency")
+            assert eff is not None and 0.0 <= eff <= 1.0, \
+                f"{path}: bad overlap_efficiency {eff}: {r}"
             stage_sum = sum(s["seconds"] for s in r["stages"])
             assert abs(stage_sum - r["seconds"]) <= 0.05 * r["seconds"], \
                 f"{path}: stage sum {stage_sum} vs total {r['seconds']}: {r}"
+            for s in r["stages"]:
+                assert s["chunks"] >= 1, f"{path}: bad chunks: {s}"
+                assert 0.0 <= s["wait_seconds"] <= s["seconds"] + 1e-12, \
+                    f"{path}: wait exceeds stage time: {s}"
+                assert isinstance(s["measured"], bool), \
+                    f"{path}: measured not a bool: {s}"
             names = [s["stage"] for s in r["stages"]]
             assert names == ["halo", "conv", "f_p", "exchange", "unpack",
                              "f_mprime", "demod"], f"{path}: bad chain {names}"
+        # Part 1b's cost-model invariant rides along in the same array:
+        # the best overlapped schedule is never priced above in-order.
+        priced = {r["case"]: r["seconds"] for r in records}
+        pairs = 0
+        for case, sec in priced.items():
+            if case.startswith("overlapped "):
+                inorder = priced.get("in-order " + case[len("overlapped "):])
+                assert inorder is not None and sec <= inorder, \
+                    f"{path}: overlapped {sec} > in-order {inorder} ({case})"
+                pairs += 1
+        assert pairs > 0, f"{path}: no overlapped/in-order record pairs"
     print(f"{path}: {len(records)} records OK"
           f" ({len(traced)} with stage traces)")
 EOF

@@ -41,6 +41,22 @@ WorkspaceArena::BufferId WorkspaceArena::reserve(std::string name,
   return BufferId{static_cast<std::int32_t>(bufs_.size() - 1)};
 }
 
+WorkspaceArena::BufferId WorkspaceArena::reserve_slots(const std::string& name,
+                                                       std::size_t bytes,
+                                                       int slots,
+                                                       int first_stage,
+                                                       int last_stage) {
+  SOI_CHECK(slots >= 1,
+            "WorkspaceArena::reserve_slots(" << name << "): need >= 1 slot");
+  BufferId first;
+  for (int k = 0; k < slots; ++k) {
+    const BufferId id = reserve(name + "#" + std::to_string(k), bytes,
+                                first_stage, last_stage);
+    if (k == 0) first = id;
+  }
+  return first;
+}
+
 void WorkspaceArena::commit() {
   // Place large buffers first (first-fit decreasing): each buffer takes the
   // lowest offset that collides with no already-placed buffer whose live

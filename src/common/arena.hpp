@@ -45,6 +45,19 @@ class WorkspaceArena {
   BufferId reserve(std::string name, std::size_t bytes, int first_stage,
                    int last_stage);
 
+  /// Declare `slots` same-sized buffers ("name#0", "name#1", ...) sharing
+  /// one live interval — the double-buffer form used by chunked pipeline
+  /// stages, where slot (g mod slots) serves chunk g. Slots never alias
+  /// each other (their intervals coincide); slot k's id is the returned
+  /// id with `index + k`.
+  BufferId reserve_slots(const std::string& name, std::size_t bytes,
+                         int slots, int first_stage, int last_stage);
+
+  /// The id of slot `k` of a reserve_slots() family.
+  [[nodiscard]] static BufferId slot(BufferId first, int k) {
+    return BufferId{first.index + k};
+  }
+
   /// Pack all declared buffers (disjoint-lifetime aliasing, first-fit by
   /// decreasing size) and allocate the backing block. Recommitting after
   /// further reserve() calls is allowed; a larger block counts one growth.

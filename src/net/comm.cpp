@@ -16,6 +16,11 @@ constexpr int kTagGather = -3;
 constexpr int kTagAllgather = -4;
 constexpr int kTagAlltoall = -5;
 constexpr int kTagAlltoallv = -6;
+// Nonblocking collectives get a unique tag per posting: kTagICollBase minus
+// the rank's collective sequence number. All ranks post their nonblocking
+// collectives in the same program order, so the per-rank counters agree
+// world-wide and concurrent in-flight collectives cannot cross-match.
+constexpr int kTagICollBase = -16;
 }  // namespace
 
 struct Message {
@@ -34,13 +39,16 @@ struct World {
   explicit World(int n)
       : nranks(n),
         boxes(static_cast<std::size_t>(n)),
-        sent_bytes(static_cast<std::size_t>(n), 0) {}
+        sent_bytes(static_cast<std::size_t>(n), 0),
+        coll_seq(static_cast<std::size_t>(n), 0) {}
 
   int nranks;
   std::deque<Mailbox> boxes;  // deque: Mailbox is not movable
   // Per-rank sent-payload counters; each slot is only ever written by its
   // own rank's thread (senders update their own entry).
   std::vector<std::int64_t> sent_bytes;
+  // Per-rank nonblocking-collective sequence numbers (same ownership rule).
+  std::vector<int> coll_seq;
 
   // Generation-counted barrier.
   std::mutex bar_mu;
@@ -67,25 +75,9 @@ struct World {
     box.cv.notify_all();
   }
 
-  Message pop(int me, int src, int tag) {
-    auto& box = boxes[static_cast<std::size_t>(me)];
-    std::unique_lock<std::mutex> lock(box.mu);
-    for (;;) {
-      for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
-        if ((src == kAnySource || it->src == src) && it->tag == tag) {
-          Message m = std::move(*it);
-          box.msgs.erase(it);
-          return m;
-        }
-      }
-      box.cv.wait(lock);
-    }
-  }
-
-  /// Non-blocking variant of pop(): nullopt when nothing matches yet.
-  std::optional<Message> try_pop(int me, int src, int tag) {
-    auto& box = boxes[static_cast<std::size_t>(me)];
-    std::lock_guard<std::mutex> lock(box.mu);
+  /// Remove and return the oldest queued message matching (src, tag).
+  /// Caller must hold the mailbox mutex.
+  static std::optional<Message> match_locked(Mailbox& box, int src, int tag) {
     for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
       if ((src == kAnySource || it->src == src) && it->tag == tag) {
         Message m = std::move(*it);
@@ -94,6 +86,15 @@ struct World {
       }
     }
     return std::nullopt;
+  }
+
+  Message pop(int me, int src, int tag) {
+    auto& box = boxes[static_cast<std::size_t>(me)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    for (;;) {
+      if (auto m = match_locked(box, src, tag)) return std::move(*m);
+      box.cv.wait(lock);
+    }
   }
 };
 
@@ -161,16 +162,224 @@ void Comm::recv(int src, int tag, mspan data) {
 }
 
 bool Comm::try_recv(int src, int tag, mspan data) {
+  Request req = irecv(src, tag, data);
+  return test(req);
+}
+
+Request Comm::isend_bytes(int dst, int tag, const void* data,
+                          std::size_t bytes) {
   SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
-  auto m = world_->try_pop(rank_, src, tag);
-  if (!m.has_value()) return false;
-  SOI_CHECK(m->payload.size() == data.size_bytes(),
-            "try_recv: expected " << data.size_bytes() << " bytes, got "
-                                  << m->payload.size());
-  if (!m->payload.empty()) {
-    std::memcpy(data.data(), m->payload.data(), m->payload.size());
+  send_impl(*world_, rank_, dst, tag, data, bytes, /*record=*/true);
+  Request req;
+  req.kind_ = Request::Kind::kSend;
+  req.done_ = true;  // buffered: complete at post time
+  req.peer_ = dst;
+  req.tag_ = tag;
+  req.bytes_ = bytes;
+  return req;
+}
+
+Request Comm::isend(int dst, int tag, cspan data) {
+  return isend_bytes(dst, tag, data.data(), data.size_bytes());
+}
+
+Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+  SOI_CHECK(src == kAnySource || (src >= 0 && src < world_->nranks),
+            "irecv: source rank " << src << " out of range");
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.done_ = false;
+  req.peer_ = src;
+  req.tag_ = tag;
+  req.data_ = data;
+  req.bytes_ = bytes;
+  return req;
+}
+
+Request Comm::irecv(int src, int tag, mspan data) {
+  return irecv_bytes(src, tag, data.data(), data.size_bytes());
+}
+
+Request Comm::ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                        AlltoallAlgo algo) {
+  auto& w = *world_;
+  const int p = w.nranks;
+  const auto block = static_cast<std::size_t>(count);
+  SOI_CHECK(count >= 0, "ialltoall: negative count");
+  SOI_CHECK(send_data.size() >= block * static_cast<std::size_t>(p),
+            "ialltoall: send buffer too small");
+  SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(p),
+            "ialltoall: recv buffer too small");
+  const int tag =
+      detail::kTagICollBase - w.coll_seq[static_cast<std::size_t>(rank_)]++;
+
+  // Own block: straight copy at post time.
+  std::copy(send_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_,
+            send_data.begin() + static_cast<std::ptrdiff_t>(block) * (rank_ + 1),
+            recv_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_);
+
+  // Every send is posted here (buffered); only the receive side is
+  // deferred. The algo picks the posting order, mirroring the blocking
+  // schedules.
+  if (algo == AlltoallAlgo::kPairwise) {
+    for (int step = 1; step < p; ++step) {
+      const int to = (rank_ + step) % p;
+      send_impl(w, rank_, to, tag,
+                send_data.data() + block * static_cast<std::size_t>(to),
+                block * sizeof(cplx), /*record=*/false);
+    }
+  } else {
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      send_impl(w, rank_, r, tag,
+                send_data.data() + block * static_cast<std::size_t>(r),
+                block * sizeof(cplx), /*record=*/false);
+    }
   }
-  return true;
+  if (rank_ == 0) {
+    w.traffic.record(
+        {CommEvent::Kind::kAlltoall, p,
+         static_cast<std::int64_t>(block * sizeof(cplx)) * (p - 1), p - 1});
+  }
+
+  Request req;
+  req.kind_ = Request::Kind::kColl;
+  req.done_ = (p == 1);
+  req.tag_ = tag;
+  req.recv_base_ = recv_data.data();
+  req.count_ = count;
+  req.next_step_ = 1;
+  return req;
+}
+
+Request Comm::ialltoallv(cspan send_data,
+                         std::span<const std::int64_t> send_counts,
+                         std::span<const std::int64_t> send_displs,
+                         mspan recv_data,
+                         std::span<const std::int64_t> recv_counts,
+                         std::span<const std::int64_t> recv_displs) {
+  auto& w = *world_;
+  const int p = w.nranks;
+  SOI_CHECK(send_counts.size() == static_cast<std::size_t>(p) &&
+                send_displs.size() == static_cast<std::size_t>(p) &&
+                recv_counts.size() == static_cast<std::size_t>(p) &&
+                recv_displs.size() == static_cast<std::size_t>(p),
+            "ialltoallv: counts/displs must have one entry per rank");
+  const int tag =
+      detail::kTagICollBase - w.coll_seq[static_cast<std::size_t>(rank_)]++;
+
+  // Own block.
+  {
+    const auto sc = static_cast<std::size_t>(
+        send_counts[static_cast<std::size_t>(rank_)]);
+    const auto rc = static_cast<std::size_t>(
+        recv_counts[static_cast<std::size_t>(rank_)]);
+    SOI_CHECK(sc == rc, "ialltoallv: self send/recv count mismatch");
+    std::copy_n(send_data.begin() +
+                    send_displs[static_cast<std::size_t>(rank_)],
+                sc,
+                recv_data.begin() +
+                    recv_displs[static_cast<std::size_t>(rank_)]);
+  }
+  std::int64_t bytes_out = 0;
+  for (int step = 1; step < p; ++step) {
+    const int to = (rank_ + step) % p;
+    const auto sc =
+        static_cast<std::size_t>(send_counts[static_cast<std::size_t>(to)]);
+    send_impl(w, rank_, to, tag,
+              send_data.data() + send_displs[static_cast<std::size_t>(to)],
+              sc * sizeof(cplx), /*record=*/false);
+    bytes_out += static_cast<std::int64_t>(sc * sizeof(cplx));
+  }
+  if (rank_ == 0) {
+    w.traffic.record({CommEvent::Kind::kAlltoall, p, bytes_out, p - 1});
+  }
+
+  Request req;
+  req.kind_ = Request::Kind::kColl;
+  req.done_ = (p == 1);
+  req.tag_ = tag;
+  req.recv_base_ = recv_data.data();
+  req.count_ = -1;  // v-variant: per-source counts/displs below
+  req.recv_counts_ = recv_counts.data();
+  req.recv_displs_ = recv_displs.data();
+  req.next_step_ = 1;
+  return req;
+}
+
+bool Comm::progress_locked(Request& req) {
+  auto& w = *world_;
+  auto& box = w.boxes[static_cast<std::size_t>(rank_)];
+  switch (req.kind_) {
+    case Request::Kind::kNone:
+    case Request::Kind::kSend:
+      return true;
+    case Request::Kind::kRecv: {
+      auto m = detail::World::match_locked(box, req.peer_, req.tag_);
+      if (!m.has_value()) return false;
+      SOI_CHECK(m->payload.size() == req.bytes_,
+                "irecv: expected " << req.bytes_ << " bytes from rank "
+                                   << m->src << " tag " << req.tag_
+                                   << ", got " << m->payload.size());
+      if (!m->payload.empty()) {
+        std::memcpy(req.data_, m->payload.data(), m->payload.size());
+      }
+      req.src_matched_ = m->src;
+      req.done_ = true;
+      return true;
+    }
+    case Request::Kind::kColl: {
+      // Drain the remaining blocks in ring order: step k reads from
+      // (rank - k) mod P. Ring order keeps the scan deterministic and
+      // bounded; every block lands eventually because all sends were
+      // posted when the collective was.
+      const int p = w.nranks;
+      while (req.next_step_ < p) {
+        const int from = (rank_ - req.next_step_ + p) % p;
+        std::int64_t rc = req.count_;
+        std::int64_t rd = req.count_ * from;
+        if (req.count_ < 0) {
+          rc = req.recv_counts_[static_cast<std::size_t>(from)];
+          rd = req.recv_displs_[static_cast<std::size_t>(from)];
+        }
+        auto m = detail::World::match_locked(box, from, req.tag_);
+        if (!m.has_value()) return false;
+        SOI_CHECK(m->payload.size() ==
+                      static_cast<std::size_t>(rc) * sizeof(cplx),
+                  "ialltoall(v): expected "
+                      << static_cast<std::size_t>(rc) * sizeof(cplx)
+                      << " bytes from rank " << from << ", got "
+                      << m->payload.size());
+        if (!m->payload.empty()) {
+          std::memcpy(req.recv_base_ + rd, m->payload.data(),
+                      m->payload.size());
+        }
+        ++req.next_step_;
+      }
+      req.done_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Comm::test(Request& req) {
+  if (req.done_) return true;
+  auto& box = world_->boxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  return progress_locked(req);
+}
+
+void Comm::wait(Request& req) {
+  if (req.done_) return;
+  auto& box = world_->boxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  while (!progress_locked(req)) box.cv.wait(lock);
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
 }
 
 void Comm::sendrecv(int dst, cspan send_data, int src, mspan recv_data,

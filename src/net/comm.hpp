@@ -6,7 +6,14 @@
 //
 // Supported surface (mirrors the MPI subset the paper's implementation
 // needs, Fig. 2/3): blocking tagged send/recv, sendrecv, barrier, bcast,
-// gather/allgather, allreduce, alltoall and alltoallv.
+// gather/allgather, allreduce, alltoall and alltoallv, plus a nonblocking
+// layer (isend/irecv/ialltoall/ialltoallv with test/wait/waitall).
+//
+// Nonblocking model: Request handles are fully PASSIVE. Nothing runs in the
+// background — sends complete at post time (buffered), and all receive-side
+// progress happens on the waiting thread inside test()/wait(), which drain
+// the caller's own mailbox. A Request that is dropped without being waited
+// on has no lingering side effects beyond its already-posted sends.
 #pragma once
 
 #include <condition_variable>
@@ -39,6 +46,53 @@ namespace detail {
 struct World;
 }
 
+/// Handle for an in-flight nonblocking operation. Value-semantic and
+/// passive: no registry, no background progress. Completion is driven by
+/// the owning rank's thread through Comm::test/wait/waitall. Constructed
+/// inactive (done); obtain live ones from isend/irecv/ialltoall(v).
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation has completed (always true for inactive and
+  /// send requests — sends are buffered and finish at post time).
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// True if this handle refers to a posted operation (even a finished one).
+  [[nodiscard]] bool active() const { return kind_ != Kind::kNone; }
+
+  /// For completed receives: the matched source rank (useful with
+  /// kAnySource). -1 until completion.
+  [[nodiscard]] int source() const { return src_matched_; }
+
+ private:
+  friend class Comm;
+  enum class Kind : std::uint8_t {
+    kNone,  ///< default-constructed, nothing to do
+    kSend,  ///< completed at post time
+    kRecv,  ///< completes when a matching message is drained
+    kColl,  ///< alltoall(v): completes when all P-1 blocks have landed
+  };
+
+  Kind kind_ = Kind::kNone;
+  bool done_ = true;
+  int peer_ = kAnySource;  ///< recv: source filter (or kAnySource)
+  int tag_ = 0;
+  int src_matched_ = -1;
+  void* data_ = nullptr;  ///< recv payload destination
+  std::size_t bytes_ = 0;
+
+  // Collective state: remaining receives drain in ring order (step k reads
+  // from (rank - k) mod P) during test/wait. count_ >= 0 selects the
+  // uniform-block layout; otherwise the v-variant views apply. The
+  // counts/displs spans are caller-owned and must outlive the request.
+  int next_step_ = 1;
+  cplx* recv_base_ = nullptr;
+  std::int64_t count_ = -1;
+  const std::int64_t* recv_counts_ = nullptr;
+  const std::int64_t* recv_displs_ = nullptr;
+};
+
 /// Per-rank communicator handle. Obtained from run_ranks(); value-semantic
 /// view onto the shared world. All operations are blocking.
 class Comm {
@@ -61,9 +115,52 @@ class Comm {
 
   /// Non-blocking receive attempt: if a matching message is already
   /// queued, consume it into `data` and return true; otherwise return
-  /// false immediately. Enables communication/computation overlap
-  /// (the optimisation of the paper's reference [11]).
+  /// false immediately. Implemented as irecv + a single test; the
+  /// incomplete request is simply dropped (requests are passive).
   bool try_recv(int src, int tag, mspan data);
+
+  // -- nonblocking point to point --
+
+  /// Post a buffered send. Completes immediately (the returned request is
+  /// already done); it exists so send/recv pairs read symmetrically and so
+  /// waitall can cover both directions.
+  Request isend(int dst, int tag, cspan data);
+  Request isend_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Post a receive. No data moves until test()/wait() matches a message;
+  /// `data` must stay valid until then.
+  Request irecv(int src, int tag, mspan data);
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  // -- nonblocking collectives --
+
+  /// Nonblocking alltoall: the own-block copy and every send happen at
+  /// post time; the P-1 receive blocks land during test()/wait(). All
+  /// ranks must post their nonblocking collectives in the same program
+  /// order (an internal per-rank sequence number disambiguates concurrent
+  /// in-flight collectives).
+  Request ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                    AlltoallAlgo algo = AlltoallAlgo::kPairwise);
+
+  /// Nonblocking alltoallv. `recv_counts`/`recv_displs` are captured by
+  /// pointer and must outlive the request.
+  Request ialltoallv(cspan send_data,
+                     std::span<const std::int64_t> send_counts,
+                     std::span<const std::int64_t> send_displs,
+                     mspan recv_data,
+                     std::span<const std::int64_t> recv_counts,
+                     std::span<const std::int64_t> recv_displs);
+
+  /// One progress attempt on the calling rank's mailbox; true when the
+  /// request has completed. Never blocks.
+  bool test(Request& req);
+
+  /// Block until the request completes, sleeping on the mailbox condition
+  /// variable between progress attempts.
+  void wait(Request& req);
+
+  /// wait() over a span, in order.
+  void waitall(std::span<Request> reqs);
 
   // -- collectives --
   void barrier();
@@ -98,6 +195,11 @@ class Comm {
   [[nodiscard]] std::int64_t bytes_sent() const;
 
  private:
+  /// One completion attempt for `req`. Caller holds this rank's mailbox
+  /// mutex; all receive-side data movement happens here, on the waiter's
+  /// thread.
+  bool progress_locked(Request& req);
+
   std::shared_ptr<detail::World> world_;
   int rank_;
 };

@@ -44,6 +44,13 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
   env_.spr = spr_;
   env_.has_comm = true;
   env_.algo = opts_.alltoall_algo;
+  SOI_CHECK(opts_.chunk_depth >= 1,
+            "SoiFftDist: chunk_depth must be >= 1");
+  // Largest divisor of spr not exceeding the requested depth, so the
+  // chunk groups tile the rank's segments exactly.
+  std::int64_t depth = std::min(opts_.chunk_depth, spr_);
+  while (spr_ % depth != 0) --depth;
+  env_.chunk_depth = depth;
   reserve_chain_buffers(state_.arena, env_, 0);
   append_chain_stages(pipeline_, env_);
   state_.arena.commit();

@@ -48,6 +48,13 @@ struct DistOptions {
   /// Transforms per SoA pass of the batched FFT stages (fft/batch.hpp);
   /// 0 derives the width from the detected SIMD tier. Autotuner knob.
   std::int64_t batch_width = 0;
+  /// Chunk groups the exchange..demod stages are cut into (the dataflow
+  /// executor's double-buffer depth): group g+1's all-to-all piece is in
+  /// flight while group g's f_mprime/demod computes under the pipelined
+  /// schedule. Clamped to the largest divisor of segments_per_rank not
+  /// exceeding it; 1 = the classic whole-rank exchange. Autotuner knob
+  /// (cd=).
+  std::int64_t chunk_depth = 1;
   /// Pre-built convolution table for this (N, P, profile) geometry, e.g.
   /// from tune::PlanRegistry so all ranks share one table instead of each
   /// building an identical copy. When null the plan builds its own.
@@ -74,16 +81,22 @@ class SoiFftDist {
 
   /// Forward transform of the block-distributed signal. `x_local` and
   /// `y_local` are this rank's local_size() input/output points. Runs the
-  /// halo-overlapped pipeline when options().overlap is set (bit-identical
-  /// results either way).
+  /// pipelined (overlapping) schedule when options().overlap is set
+  /// (bit-identical results either way).
   void forward(cspan x_local, mspan y_local);
 
-  /// Forward transform with communication/computation overlap: the halo
-  /// sendrecv is split into an eager send plus polling, and every row
-  /// group whose inputs are fully local is convolved while the halo is in
-  /// flight (the overlapping technique of the paper's reference [11]).
-  /// Bit-identical results to forward().
+  /// Forward transform under the pipelined dataflow schedule: the halo
+  /// isend/irecv overlaps the halo-independent convolution groups
+  /// (generalising the overlapping technique of the paper's reference
+  /// [11]), and with chunk_depth > 1 each chunk group's all-to-all piece
+  /// is in flight while the previous group's f_mprime/demod computes.
+  /// Same nodes, same dependency edges, different schedule — results are
+  /// bit-identical to forward().
   void forward_overlapped(cspan x_local, mspan y_local);
+
+  /// Effective chunk depth after clamping to a divisor of
+  /// segments_per_rank.
+  [[nodiscard]] std::int64_t chunk_depth() const { return env_.chunk_depth; }
 
   /// Inverse transform (scaled by 1/N) via the conjugation identity —
   /// same block layout, same single all-to-all.

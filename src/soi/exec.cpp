@@ -1,5 +1,7 @@
 #include "soi/exec.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace soi::exec {
@@ -17,11 +19,130 @@ double TraceLog::total_seconds() const {
   return total;
 }
 
+double overlap_efficiency(const TraceLog& trace) {
+  double total = 0.0;
+  double wait = 0.0;
+  for (const auto& r : trace.records()) {
+    total += r.seconds;
+    wait += r.wait_seconds;
+  }
+  if (total <= 0.0) return 1.0;
+  return std::clamp(1.0 - wait / total, 0.0, 1.0);
+}
+
 template <class Real>
 void PipelineT<Real>::add(std::unique_ptr<StageT<Real>> stage) {
   SOI_CHECK(stage != nullptr, "Pipeline::add: null stage");
   stages_.push_back(std::move(stage));
   rec_offset_.clear();  // trace template is stale until init_trace()
+  finalized_ = false;
+}
+
+template <class Real>
+int PipelineT<Real>::add_node(const NodeSpec& spec) {
+  SOI_CHECK(spec.stage >= 0 &&
+                spec.stage < static_cast<int>(stages_.size()),
+            "Pipeline::add_node: stage " << spec.stage << " not added yet");
+  finalized_ = false;
+  nodes_.resize(declared_nodes_);
+  edges_.resize(declared_edges_);
+  nodes_.push_back(spec);
+  declared_nodes_ = nodes_.size();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+template <class Real>
+void PipelineT<Real>::add_edge(int before, int after) {
+  finalized_ = false;
+  nodes_.resize(declared_nodes_);
+  edges_.resize(declared_edges_);
+  SOI_CHECK(before >= 0 && before < static_cast<int>(nodes_.size()) &&
+                after >= 0 && after < static_cast<int>(nodes_.size()) &&
+                before != after,
+            "Pipeline::add_edge: bad edge " << before << " -> " << after);
+  edges_.emplace_back(before, after);
+  declared_edges_ = edges_.size();
+}
+
+template <class Real>
+void PipelineT<Real>::finalize_graph() {
+  const int nstages = static_cast<int>(stages_.size());
+  nodes_.resize(declared_nodes_);
+  edges_.resize(declared_edges_);
+
+  // Stages that declared no nodes become atomic auto nodes with barrier
+  // edges to every node of their neighbouring stages; a pipeline with no
+  // declared nodes at all degenerates to the old ordered stage list.
+  std::vector<bool> has_nodes(static_cast<std::size_t>(nstages), false);
+  for (const auto& n : nodes_) {
+    has_nodes[static_cast<std::size_t>(n.stage)] = true;
+  }
+  for (int s = 0; s < nstages; ++s) {
+    if (has_nodes[static_cast<std::size_t>(s)]) continue;
+    NodeSpec spec;
+    spec.stage = s;
+    spec.seq_key = s;
+    spec.ovl_key = s;
+    spec.is_auto = true;
+    nodes_.push_back(spec);
+  }
+  for (int v = 0; v < static_cast<int>(nodes_.size()); ++v) {
+    const int s = nodes_[static_cast<std::size_t>(v)].stage;
+    const bool is_auto = !has_nodes[static_cast<std::size_t>(s)];
+    if (!is_auto) continue;
+    for (int u = 0; u < static_cast<int>(nodes_.size()); ++u) {
+      const int us = nodes_[static_cast<std::size_t>(u)].stage;
+      if (us == s - 1) edges_.emplace_back(u, v);
+      if (us == s + 1 && has_nodes[static_cast<std::size_t>(us)]) {
+        edges_.emplace_back(v, u);
+      }
+    }
+  }
+
+  const auto nnodes = nodes_.size();
+  succ_off_.assign(nnodes + 1, 0);
+  indegree0_.assign(nnodes, 0);
+  for (const auto& [b, a] : edges_) {
+    ++succ_off_[static_cast<std::size_t>(b) + 1];
+    ++indegree0_[static_cast<std::size_t>(a)];
+  }
+  for (std::size_t i = 1; i <= nnodes; ++i) succ_off_[i] += succ_off_[i - 1];
+  succ_.resize(edges_.size());
+  {
+    std::vector<int> cursor(succ_off_.begin(), succ_off_.end() - 1);
+    for (const auto& [b, a] : edges_) {
+      succ_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(b)]++)] =
+          a;
+    }
+  }
+
+  // Acyclicity check (Kahn): every node must be reachable from the roots.
+  {
+    std::vector<int> indeg = indegree0_;
+    std::vector<int> queue;
+    queue.reserve(nnodes);
+    for (std::size_t v = 0; v < nnodes; ++v) {
+      if (indeg[v] == 0) queue.push_back(static_cast<int>(v));
+    }
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const int v = queue[head++];
+      for (int e = succ_off_[static_cast<std::size_t>(v)];
+           e < succ_off_[static_cast<std::size_t>(v) + 1]; ++e) {
+        const int u = succ_[static_cast<std::size_t>(e)];
+        if (--indeg[static_cast<std::size_t>(u)] == 0) queue.push_back(u);
+      }
+    }
+    SOI_CHECK(queue.size() == nnodes,
+              "Pipeline: dataflow graph has a cycle ("
+                  << queue.size() << " of " << nnodes
+                  << " nodes schedulable)");
+  }
+
+  indegree_.assign(nnodes, 0);
+  heap_.clear();
+  heap_.reserve(nnodes);
+  finalized_ = true;
 }
 
 template <class Real>
@@ -34,18 +155,81 @@ void PipelineT<Real>::init_trace(TraceLog& trace) {
     s->plan_records(records);
   }
   trace.plan(std::move(records));
+  finalize_graph();
 }
 
 template <class Real>
 void PipelineT<Real>::run(ExecContextT<Real>& ctx) const {
   SOI_CHECK(ctx.arena != nullptr && ctx.trace != nullptr,
             "Pipeline::run: context missing arena/trace");
-  SOI_CHECK(rec_offset_.size() == stages_.size(),
-            "Pipeline::run: init_trace() not called after the last add()");
+  SOI_CHECK(rec_offset_.size() == stages_.size() && finalized_,
+            "Pipeline::run: init_trace() not called after the last "
+            "add()/add_node()/add_edge()");
+
+  // Reentrancy guard: plan objects keep ExecState mutable so const
+  // forward() stays allocation-free, which makes concurrent forward() on
+  // ONE plan object corruption, not parallelism. Fail loudly instead.
+  bool expected = false;
+  SOI_CHECK(running_.compare_exchange_strong(expected, true),
+            "Pipeline::run: concurrent execution of one plan object "
+            "(share the plan, not the execution)");
+  struct Release {
+    const std::atomic<bool>& flag;
+    ~Release() { const_cast<std::atomic<bool>&>(flag).store(false); }
+  } release{running_};
+
   ctx.trace->zero_seconds();
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    stages_[i]->run(ctx, ctx.trace->at(rec_offset_[i]));
+
+  const bool pipelined = ctx.overlap;
+  auto key = [&](int v) {
+    const auto& n = nodes_[static_cast<std::size_t>(v)];
+    return pipelined ? n.ovl_key : n.seq_key;
+  };
+  // Min-heap over (key, node id): among READY nodes the smallest key runs
+  // first. Ties broken by id for determinism.
+  auto later = [&](int a, int b) {
+    const int ka = key(a);
+    const int kb = key(b);
+    return ka != kb ? ka > kb : a > b;
+  };
+
+  std::copy(indegree0_.begin(), indegree0_.end(), indegree_.begin());
+  heap_.clear();
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (indegree_[v] == 0) {
+      heap_.push_back(static_cast<int>(v));
+      std::push_heap(heap_.begin(), heap_.end(), later);
+    }
   }
+
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const int v = heap_.back();
+    heap_.pop_back();
+    const auto& node = nodes_[static_cast<std::size_t>(v)];
+    StageRecord* rec =
+        ctx.trace->at(rec_offset_[static_cast<std::size_t>(node.stage)] +
+                      static_cast<std::size_t>(node.rec));
+    StageT<Real>& stage = *stages_[static_cast<std::size_t>(node.stage)];
+    if (node.is_auto) {
+      stage.run(ctx, rec);
+    } else {
+      stage.run_node(ctx, rec, node);
+    }
+    ++executed;
+    for (int e = succ_off_[static_cast<std::size_t>(v)];
+         e < succ_off_[static_cast<std::size_t>(v) + 1]; ++e) {
+      const int u = succ_[static_cast<std::size_t>(e)];
+      if (--indegree_[static_cast<std::size_t>(u)] == 0) {
+        heap_.push_back(u);
+        std::push_heap(heap_.begin(), heap_.end(), later);
+      }
+    }
+  }
+  SOI_CHECK(executed == nodes_.size(),
+            "Pipeline::run: scheduled " << executed << " of "
+                                        << nodes_.size() << " nodes");
 }
 
 template class PipelineT<double>;

@@ -1,19 +1,35 @@
-// soi::exec — the staged pipeline executor.
+// soi::exec — the chunk-granular dataflow executor.
 //
 // A plan (serial, distributed, or real-input) is expressed as a Pipeline:
-// an ordered list of Stage objects sharing one WorkspaceArena. Stages
+// a list of Stage objects sharing one WorkspaceArena, plus a dataflow
+// graph of NODES. A node is one unit of work — (stage, chunk, phase) —
+// and edges are its per-chunk dependencies (including write-after-read
+// edges that serialise reuse of double-buffered arena slots). Stages
 // declare everything expensive at plan time — workspace requirements (via
-// the arena) and the trace records they emit (name, plan-time byte-volume
-// and flop estimates) — so run() is pure execution: no heap allocation,
-// no string construction, just kernels and timed trace updates.
+// the arena), the trace records they emit, and their nodes/edges — so
+// run() is pure execution: no heap allocation, no string construction,
+// just a ready-queue over preallocated arrays driving kernels and timed
+// trace updates.
+//
+// Two schedules coexist on one graph: every node carries an in-order key
+// (chunk-major, equivalent to the old run-to-completion stage list) and a
+// pipelined key (chunk g+1's exchange posts while chunk g's f_mprime
+// computes). ExecContext::overlap picks the key set at run time; both are
+// topological orders of the same edges, so outputs are bit-identical.
+// Stages that declare no nodes get one auto node with barrier edges to
+// their neighbour stages — a plain ordered stage list is just the
+// degenerate graph.
 //
 // Every execution fills a TraceLog: one StageRecord per stage event with
-// wall seconds, bytes moved (measured for communication stages, estimated
-// for compute stages) and a flop estimate. SoiPhaseTimes/SoiDistBreakdown
-// are thin views over this log (soi/breakdown.hpp); the measured autotuner
-// and `soifft --trace` consume it directly.
+// wall seconds (and the subset spent blocked in communication waits),
+// bytes moved (measured for communication stages, estimated for compute
+// stages) and a flop estimate. Per-chunk node executions fold into their
+// stage's record, so SoiPhaseTimes/SoiDistBreakdown are unchanged thin
+// views over this log (soi/breakdown.hpp); the measured autotuner and
+// `soifft --trace` consume it directly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -31,22 +47,32 @@ class Comm;
 
 namespace soi::exec {
 
-/// One structured trace event of one stage execution.
+/// One structured trace event of one stage execution. Chunked stages fold
+/// every per-chunk node execution into the same record (`chunks` counts
+/// them), so name-keyed consumers see one row per stage as before.
 struct StageRecord {
   std::string name;            ///< fixed at plan time ("conv", "f_p", ...)
   double seconds = 0.0;        ///< measured wall time, reset per execution
+  double wait_seconds = 0.0;   ///< subset of seconds blocked in comm waits
   std::int64_t bytes_moved = 0;  ///< payload bytes (measured for comm)
   std::int64_t flops = 0;        ///< plan-time flop estimate
+  std::int64_t chunks = 1;       ///< node executions folded into this record
+  bool bytes_measured = false;   ///< bytes_moved measured vs plan estimate
 };
 
 /// Per-execution trace. The record vector is built once at plan time
-/// (Pipeline::init_trace); each run only zeroes the seconds, so tracing
-/// itself allocates nothing in steady state.
+/// (Pipeline::init_trace); each run only zeroes the timings (and the byte
+/// counters of measured records, which re-accumulate), so tracing itself
+/// allocates nothing in steady state.
 class TraceLog {
  public:
   void plan(std::vector<StageRecord> records) { records_ = std::move(records); }
   void zero_seconds() {
-    for (auto& r : records_) r.seconds = 0.0;
+    for (auto& r : records_) {
+      r.seconds = 0.0;
+      r.wait_seconds = 0.0;
+      if (r.bytes_measured) r.bytes_moved = 0;
+    }
   }
   [[nodiscard]] StageRecord* at(std::size_t i) { return &records_[i]; }
   [[nodiscard]] std::span<const StageRecord> records() const {
@@ -59,6 +85,37 @@ class TraceLog {
 
  private:
   std::vector<StageRecord> records_;
+};
+
+/// Fraction of trace wall time NOT spent blocked in communication waits:
+/// 1 - sum(wait_seconds) / sum(seconds), clamped to [0, 1]. 1.0 for an
+/// empty/zero trace (nothing waited).
+[[nodiscard]] double overlap_efficiency(const TraceLog& trace);
+
+/// What a node does, for schedulers and trace accounting.
+enum class StageClass : std::uint8_t {
+  kCompute,   ///< kernels; never blocks on communication
+  kCommPost,  ///< posts sends / nonblocking collectives; returns immediately
+  kCommWait,  ///< completes a posted operation; time counts as wait_seconds
+};
+
+/// One schedulable unit of work: (stage, chunk, phase). `rec` indexes the
+/// record (within the owning stage's plan_records) its time folds into;
+/// `phase` is a stage-private discriminator (post vs wait vs kernel
+/// variant). The two keys are scheduling priorities among READY nodes for
+/// the in-order and pipelined schedules; correctness comes from edges
+/// alone, keys only pick which valid order materialises.
+struct NodeSpec {
+  int stage = 0;
+  int rec = 0;
+  int chunk = 0;
+  int phase = 0;
+  StageClass cls = StageClass::kCompute;
+  int seq_key = 0;  ///< priority under the in-order (chunk-major) schedule
+  int ovl_key = 0;  ///< priority under the pipelined schedule
+  /// Set by finalize_graph() on generated barrier nodes: the executor
+  /// calls the stage's atomic run() instead of run_node().
+  bool is_auto = false;
 };
 
 /// Everything a stage needs at run time. in/out are the caller's spans;
@@ -76,19 +133,31 @@ struct ExecContextT {
 };
 
 /// Stage interface. plan_records() declares the trace events the stage
-/// emits (most stages: one; halo+conv: two); run() receives a pointer to
-/// its first record in the execution's TraceLog and must add its wall
-/// time there (StageTimer below).
+/// emits (most stages: one; halo+conv: two); run_node() executes one node
+/// of the dataflow graph and must add its wall time to `rec` (StageTimer /
+/// WaitTimer below). Stages that declare no nodes are atomic: they get one
+/// auto node and only run() is called.
 template <class Real>
 class StageT {
  public:
   virtual ~StageT() = default;
   virtual void plan_records(std::vector<StageRecord>& out) const = 0;
   virtual void run(ExecContextT<Real>& ctx, StageRecord* rec) const = 0;
+  /// Execute one declared node. `rec` already points at the record the
+  /// node's NodeSpec::rec selected. Default: atomic stages ignore the node.
+  virtual void run_node(ExecContextT<Real>& ctx, StageRecord* rec,
+                        const NodeSpec& node) const {
+    (void)node;
+    run(ctx, rec);
+  }
 };
 
-/// Ordered stage list over one arena. add() all stages, then init_trace()
-/// once against the plan's TraceLog; run() executes in order.
+/// Stage list + dataflow graph over one arena. add() all stages, declare
+/// nodes/edges for the chunked ones, then init_trace() once against the
+/// plan's TraceLog (this finalises the graph); run() drives the
+/// ready-queue. Stages without declared nodes receive one auto node with
+/// full barrier edges to the nodes of their neighbouring stages, so a
+/// graph-free pipeline executes exactly like the old ordered list.
 template <class Real>
 class PipelineT {
  public:
@@ -97,13 +166,38 @@ class PipelineT {
   [[nodiscard]] int next_index() const {
     return static_cast<int>(stages_.size());
   }
-  /// Build the trace template from the stages' declared records.
+  /// Declare one node; returns its id for add_edge().
+  int add_node(const NodeSpec& spec);
+  /// Declare that `before` must complete before `after` becomes ready.
+  void add_edge(int before, int after);
+  /// Build the trace template from the stages' declared records and
+  /// finalise the dataflow graph (auto nodes, CSR edges, scratch arrays).
   void init_trace(TraceLog& trace);
   void run(ExecContextT<Real>& ctx) const;
 
  private:
+  void finalize_graph();
+
   std::vector<std::unique_ptr<StageT<Real>>> stages_;
   std::vector<std::size_t> rec_offset_;  // stage -> first record index
+  // Declared nodes/edges first, then the auto nodes/barrier edges that
+  // finalize_graph() appends (declared_* mark the boundary so the graph
+  // can be re-finalised without duplicating them).
+  std::vector<NodeSpec> nodes_;
+  std::vector<std::pair<int, int>> edges_;
+  std::size_t declared_nodes_ = 0;
+  std::size_t declared_edges_ = 0;
+  // Finalised graph: successor adjacency in CSR form + indegree template.
+  std::vector<int> succ_off_;
+  std::vector<int> succ_;
+  std::vector<int> indegree0_;
+  bool finalized_ = false;
+  // Run-time scratch, preallocated by finalize_graph(). Guarded by the
+  // reentrancy check below — Pipeline::run is not concurrency-safe on one
+  // plan object (share the plan, not the execution).
+  mutable std::vector<int> indegree_;
+  mutable std::vector<int> heap_;
+  mutable std::atomic<bool> running_{false};
 };
 
 /// Adds its lifetime to `rec.seconds` on destruction; scoped sections of
@@ -120,10 +214,28 @@ class StageTimer {
   Timer t_;
 };
 
+/// StageTimer variant for kCommWait sections: the elapsed time counts
+/// toward both `seconds` and `wait_seconds`, feeding overlap_efficiency().
+class WaitTimer {
+ public:
+  explicit WaitTimer(StageRecord& rec) : rec_(rec) {}
+  ~WaitTimer() {
+    const double s = t_.seconds();
+    rec_.seconds += s;
+    rec_.wait_seconds += s;
+  }
+  WaitTimer(const WaitTimer&) = delete;
+  WaitTimer& operator=(const WaitTimer&) = delete;
+
+ private:
+  StageRecord& rec_;
+  Timer t_;
+};
+
 /// Mutable per-plan execution state (the plan objects keep this `mutable`
 /// so const forward() stays allocation-free; concurrent forward() calls on
 /// ONE plan object are therefore not supported — share the plan, not the
-/// execution).
+/// execution; Pipeline::run enforces this with a loud reentrancy check).
 struct ExecState {
   WorkspaceArena arena;
   TraceLog trace;

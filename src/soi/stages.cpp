@@ -1,6 +1,7 @@
 #include "soi/stages.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <type_traits>
 
@@ -25,9 +26,18 @@ std::int64_t fft_flops(std::int64_t batch, std::int64_t n) {
       std::log2(static_cast<double>(n)));
 }
 
-/// Stages 1+2 of the per-rank pipeline: halo materialisation (wrap fill,
-/// blocking sendrecv, or eager-send + convolve-safe-groups + poll when
-/// ctx.overlap is set) and the convolution W x. Emits "halo" and "conv".
+// Node phases (NodeSpec::phase) shared by the chunked stages.
+constexpr int kPhasePost = 0;  ///< stage input + nonblocking comm posts
+constexpr int kPhaseWait = 1;  ///< complete a posted operation
+constexpr int kPhaseWork = 2;  ///< compute kernel
+
+/// Stages 1+2 of the per-rank pipeline: halo materialisation and the
+/// convolution W x. Emits "halo" and "conv". Node-driven: a post node
+/// stages the input (and isend/irecvs the halo when remote), a wait node
+/// completes the receive, and the convolution is split into a
+/// halo-independent "safe" node (chunk 0) plus the last sub-rank's tail
+/// (chunk 1) that depends on the wait — the pipelined schedule runs the
+/// safe groups while the halo travels.
 template <class Real>
 class HaloConvStageT final : public exec::StageT<Real> {
  public:
@@ -37,35 +47,111 @@ class HaloConvStageT final : public exec::StageT<Real> {
     const SoiGeometry& g = *env_->geom;
     exec::StageRecord halo;
     halo.name = "halo";
-    halo.bytes_moved =
-        (env_->has_comm && env_->ranks > 1) ? cbytes<Real>(g.halo()) : 0;
+    halo.bytes_moved = remote() ? cbytes<Real>(g.halo()) : 0;
+    halo.bytes_measured = remote();
     out.push_back(std::move(halo));
     exec::StageRecord conv;
     conv.name = "conv";
     conv.flops = 8 * env_->spr * g.conv_madds_per_rank();
     conv.bytes_moved = cbytes<Real>(env_->spr * g.local_input() +
                                     env_->chunks() * g.p());
+    conv.chunks = remote() ? 2 : 1;
     out.push_back(std::move(conv));
   }
 
   void run(exec::ExecContextT<Real>& ctx,
            exec::StageRecord* rec) const override {
+    (void)ctx;
+    (void)rec;
+    SOI_CHECK(false, "halo+conv is node-driven (append_chain_stages "
+                     "declares its nodes)");
+  }
+
+  void run_node(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                const exec::NodeSpec& node) const override {
+    switch (node.phase) {
+      case kPhasePost:
+        post(ctx, rec);
+        return;
+      case kPhaseWait:
+        wait_halo(ctx, rec);
+        return;
+      default:
+        conv(ctx, rec, node.chunk);
+        return;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool remote() const {
+    return env_->has_comm && env_->ranks > 1;
+  }
+
+  void post(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec) const {
     using C = cplx_t<Real>;
     const ChainEnvT<Real>& env = *env_;
     const SoiGeometry& g = *env.geom;
-    const std::int64_t m_seg = g.m();
     const std::int64_t m_rank = env.m_rank();
     const std::int64_t halo = g.halo();
-    const std::int64_t mcg = g.chunks_per_rank();
-    const std::int64_t p = g.p();
     exec::StageRecord& rhalo = rec[0];
     exec::StageRecord& rconv = rec[1];
     const std::span<C> ext = ctx.arena->template span<C>(env.ext);
-    const std::span<C> v = ctx.arena->template span<C>(env.v);
     const cspan_t<Real> x =
         env.src.valid()
             ? cspan_t<Real>(ctx.arena->template span<C>(env.src))
             : ctx.in;
+
+    {
+      // Staging the owned block is part of materialising the conv input.
+      exec::StageTimer st(rconv);
+      std::copy(x.begin(), x.end(), ext.begin());
+    }
+
+    if (!remote()) {
+      exec::StageTimer st(rhalo);
+      for (std::int64_t i = 0; i < halo; ++i) {
+        ext[static_cast<std::size_t>(m_rank + i)] =
+            x[static_cast<std::size_t>(i)];
+      }
+      return;
+    }
+    SOI_CHECK(ctx.comm != nullptr,
+              "SOI pipeline: distributed chain run without a communicator");
+    if constexpr (std::is_same_v<Real, double>) {
+      const int ranks = env.ranks;
+      const int rank = ctx.comm->rank();
+      const int left = (rank - 1 + ranks) % ranks;
+      const int right = (rank + 1) % ranks;
+      const cspan halo_out{x.data(), static_cast<std::size_t>(halo)};
+      const mspan halo_in{ext.data() + m_rank,
+                          static_cast<std::size_t>(halo)};
+      exec::StageTimer st(rhalo);
+      const std::int64_t before = ctx.comm->bytes_sent();
+      hsend_ = ctx.comm->isend(left, kTagHalo, halo_out);
+      hrecv_ = ctx.comm->irecv(right, kTagHalo, halo_in);
+      rhalo.bytes_moved += ctx.comm->bytes_sent() - before;
+    } else {
+      SOI_CHECK(false, "SOI pipeline: communicator paths are double-only");
+    }
+  }
+
+  void wait_halo(exec::ExecContextT<Real>& ctx,
+                 exec::StageRecord* rec) const {
+    exec::WaitTimer wt(rec[0]);
+    ctx.comm->wait(hrecv_);
+    ctx.comm->wait(hsend_);
+  }
+
+  void conv(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+            int chunk) const {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const SoiGeometry& g = *env.geom;
+    const std::int64_t m_seg = g.m();
+    const std::int64_t mcg = g.chunks_per_rank();
+    const std::int64_t p = g.p();
+    const std::span<C> ext = ctx.arena->template span<C>(env.ext);
+    const std::span<C> v = ctx.arena->template span<C>(env.v);
 
     const auto convolve_range = [&](std::int64_t seg_begin,
                                     std::int64_t seg_end) {
@@ -78,86 +164,37 @@ class HaloConvStageT final : public exec::StageT<Real> {
                           static_cast<std::size_t>(mcg * p)});
       }
     };
+    const auto convolve_last_groups = [&](std::int64_t q_begin,
+                                          std::int64_t q_end) {
+      convolve_rank_groups<Real>(
+          g, *env.table,
+          cspan_t<Real>{ext.data() + (env.spr - 1) * m_seg,
+                        static_cast<std::size_t>(g.local_input())},
+          mspan_t<Real>{v.data() + (env.spr - 1) * mcg * p,
+                        static_cast<std::size_t>(mcg * p)},
+          q_begin, q_end);
+    };
 
-    {
-      // Staging the owned block is part of materialising the conv input.
-      exec::StageTimer st(rconv);
-      std::copy(x.begin(), x.end(), ext.begin());
-    }
-
-    const bool remote = env.has_comm && env.ranks > 1 && ctx.comm != nullptr;
-    if (!remote) {
-      {
-        exec::StageTimer st(rhalo);
-        for (std::int64_t i = 0; i < halo; ++i) {
-          ext[static_cast<std::size_t>(m_rank + i)] =
-              x[static_cast<std::size_t>(i)];
-        }
-      }
-      exec::StageTimer st(rconv);
+    exec::StageTimer st(rec[1]);
+    if (!remote()) {
       convolve_range(0, env.spr);
       return;
     }
-
-    if constexpr (std::is_same_v<Real, double>) {
-      const int ranks = env.ranks;
-      const int rank = ctx.comm->rank();
-      const int left = (rank - 1 + ranks) % ranks;
-      const int right = (rank + 1) % ranks;
-      const cspan halo_out{x.data(), static_cast<std::size_t>(halo)};
-      const mspan halo_in{ext.data() + m_rank, static_cast<std::size_t>(halo)};
-      if (!ctx.overlap) {
-        {
-          exec::StageTimer st(rhalo);
-          ctx.comm->sendrecv(left, halo_out, right, halo_in, kTagHalo);
-        }
-        exec::StageTimer st(rconv);
-        convolve_range(0, env.spr);
-      } else {
-        // Overlap: eager halo send, convolve every fully-local group while
-        // the halo travels, poll, then finish the last sub-rank's tail.
-        {
-          exec::StageTimer st(rhalo);
-          ctx.comm->send(left, kTagHalo, halo_out);
-        }
-        // Groups of the LAST sub-rank whose window fits in local data; all
-        // groups of earlier sub-ranks are always fully local (halo <= M_seg).
-        const std::int64_t groups = g.groups_per_rank();
-        const std::int64_t q_safe = std::clamp<std::int64_t>(
-            (m_seg - g.taps() * p) / (g.nu() * p) + 1, 0, groups);
-        {
-          exec::StageTimer st(rconv);
-          convolve_range(0, env.spr - 1);
-          convolve_rank_groups<Real>(
-              g, *env.table,
-              cspan_t<Real>{ext.data() + (env.spr - 1) * m_seg,
-                            static_cast<std::size_t>(g.local_input())},
-              mspan_t<Real>{v.data() + (env.spr - 1) * mcg * p,
-                            static_cast<std::size_t>(mcg * p)},
-              0, q_safe);
-        }
-        {
-          exec::StageTimer st(rhalo);
-          while (!ctx.comm->try_recv(right, kTagHalo, halo_in)) {
-            // Busy poll; on a real fabric this slot absorbs message latency.
-          }
-        }
-        exec::StageTimer st(rconv);
-        convolve_rank_groups<Real>(
-            g, *env.table,
-            cspan_t<Real>{ext.data() + (env.spr - 1) * m_seg,
-                          static_cast<std::size_t>(g.local_input())},
-            mspan_t<Real>{v.data() + (env.spr - 1) * mcg * p,
-                          static_cast<std::size_t>(mcg * p)},
-            q_safe, groups);
-      }
+    // Groups of the LAST sub-rank whose window fits in local data; all
+    // groups of earlier sub-ranks are always fully local (halo <= M_seg).
+    const std::int64_t groups = g.groups_per_rank();
+    const std::int64_t q_safe = std::clamp<std::int64_t>(
+        (m_seg - g.taps() * p) / (g.nu() * p) + 1, 0, groups);
+    if (chunk == 0) {
+      convolve_range(0, env.spr - 1);
+      convolve_last_groups(0, q_safe);
     } else {
-      SOI_CHECK(false, "SOI pipeline: communicator paths are double-only");
+      convolve_last_groups(q_safe, groups);
     }
   }
 
- private:
   const ChainEnvT<Real>* env_;
+  mutable net::Request hsend_, hrecv_;
 };
 
 /// Stage "f_p": I (x) F_P over the local chunks, with the Fig. 3
@@ -198,13 +235,17 @@ class FpStageT final : public exec::StageT<Real> {
   const ChainEnvT<Real>* env_;
 };
 
-/// Stage "exchange": the single global all-to-all. bytes_moved is the
-/// measured per-rank send volume (net::Comm counters); a null comm makes
-/// this a no-op (F_P already stored into x-tilde).
+/// Stage "exchange": the single global all-to-all, cut into chunk_depth
+/// nonblocking pieces. A post node (per chunk group) fires ialltoall /
+/// ialltoallv into that group's buffer slot; a wait node completes it.
+/// bytes_moved accumulates the measured per-rank send volume (net::Comm
+/// counters); a null comm declares no nodes and run() is a no-op.
 template <class Real>
 class ExchangeStageT final : public exec::StageT<Real> {
  public:
-  explicit ExchangeStageT(const ChainEnvT<Real>* env) : env_(env) {}
+  explicit ExchangeStageT(const ChainEnvT<Real>* env)
+      : env_(env),
+        reqs_(static_cast<std::size_t>(env->chunk_depth)) {}
 
   void plan_records(std::vector<exec::StageRecord>& out) const override {
     exec::StageRecord r;
@@ -213,36 +254,76 @@ class ExchangeStageT final : public exec::StageT<Real> {
                         ? cbytes<Real>(env_->spr * env_->chunks() *
                                        (env_->ranks - 1))
                         : 0;
+    r.bytes_measured = remote();
+    r.chunks = remote() ? env_->chunk_depth : 1;
     out.push_back(std::move(r));
   }
 
   void run(exec::ExecContextT<Real>& ctx,
            exec::StageRecord* rec) const override {
+    (void)ctx;
+    (void)rec;
+    // Null-comm auto node: F_P already stored into x-tilde.
+  }
+
+  void run_node(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                const exec::NodeSpec& node) const override {
     using C = cplx_t<Real>;
     const ChainEnvT<Real>& env = *env_;
-    if (!env.has_comm || ctx.comm == nullptr) return;
+    SOI_CHECK(ctx.comm != nullptr,
+              "SOI pipeline: distributed chain run without a communicator");
     if constexpr (std::is_same_v<Real, double>) {
+      const auto g = static_cast<std::size_t>(node.chunk);
+      if (node.phase == kPhaseWait) {
+        exec::WaitTimer wt(*rec);
+        ctx.comm->wait(reqs_[g]);
+        return;
+      }
       const std::span<C> send = ctx.arena->template span<C>(env.send);
-      const std::span<C> recv = ctx.arena->template span<C>(env.recv);
       const std::int64_t before = ctx.comm->bytes_sent();
       {
         exec::StageTimer st(*rec);
-        ctx.comm->alltoall(send, recv, env.spr * env.chunks(), env.algo);
+        if (env.chunk_depth == 1) {
+          const std::span<C> recv = ctx.arena->template span<C>(env.recv);
+          reqs_[0] = ctx.comm->ialltoall(send, recv,
+                                         env.spr * env.chunks(), env.algo);
+        } else {
+          const std::span<C> recv = ctx.arena->template span<C>(
+              WorkspaceArena::slot(env.recv,
+                                   node.chunk % env.nslots()));
+          const auto ranks = static_cast<std::size_t>(env.ranks);
+          const std::span<const std::int64_t> counts{env.a2a_counts.data(),
+                                                     ranks};
+          const std::span<const std::int64_t> sdispls{
+              env.a2a_send_displs.data() + g * ranks, ranks};
+          const std::span<const std::int64_t> rdispls{
+              env.a2a_recv_displs.data(), ranks};
+          reqs_[g] = ctx.comm->ialltoallv(send, counts, sdispls, recv,
+                                          counts, rdispls);
+        }
       }
-      rec->bytes_moved = ctx.comm->bytes_sent() - before;
+      rec->bytes_moved += ctx.comm->bytes_sent() - before;
     } else {
       SOI_CHECK(false, "SOI pipeline: communicator paths are double-only");
     }
   }
 
  private:
+  [[nodiscard]] bool remote() const {
+    return env_->has_comm && env_->ranks > 1;
+  }
+
   const ChainEnvT<Real>* env_;
+  // One in-flight request per chunk group; reassigned every run (requests
+  // are passive value types, so steady-state reuse allocates nothing).
+  mutable std::vector<net::Request> reqs_;
 };
 
 /// Stage "unpack": assemble the received per-source blocks into segment
-/// order. Source rank s computed the global chunks [s*chunks, (s+1)*chunks);
-/// its block is laid out [sl][chunk], so segment sl's M' values are
-/// gathered as xt[sl*M' + s*chunks + j] = recv[(s*spr + sl)*chunks + j].
+/// order, one chunk group (gseg segments, buffer slot chunk mod 2) at a
+/// time. Source rank s computed the global chunks [s*chunks, (s+1)*chunks);
+/// its group-g block is laid out [sl][chunk], so segment sl's M' values
+/// are gathered as xt[sl*M' + s*chunks + j] = recv[(s*gseg + sl)*chunks + j].
 template <class Real>
 class UnpackStageT final : public exec::StageT<Real> {
  public:
@@ -254,23 +335,34 @@ class UnpackStageT final : public exec::StageT<Real> {
     r.bytes_moved = env_->has_comm
                         ? 2 * cbytes<Real>(env_->spr * env_->geom->mprime())
                         : 0;
+    r.chunks = (env_->has_comm && env_->ranks > 1) ? env_->chunk_depth : 1;
     out.push_back(std::move(r));
   }
 
   void run(exec::ExecContextT<Real>& ctx,
            exec::StageRecord* rec) const override {
+    (void)ctx;
+    (void)rec;
+    // Null-comm auto node: nothing to assemble.
+  }
+
+  void run_node(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                const exec::NodeSpec& node) const override {
     using C = cplx_t<Real>;
     const ChainEnvT<Real>& env = *env_;
-    if (!env.has_comm || ctx.comm == nullptr) return;
     const std::int64_t chunks = env.chunks();
+    const std::int64_t gseg = env.gseg();
     const std::int64_t mprime = env.geom->mprime();
-    const std::span<C> recv = ctx.arena->template span<C>(env.recv);
-    const std::span<C> xt = ctx.arena->template span<C>(env.xt);
+    const int slot = node.chunk % env.nslots();
+    const std::span<C> recv =
+        ctx.arena->template span<C>(WorkspaceArena::slot(env.recv, slot));
+    const std::span<C> xt =
+        ctx.arena->template span<C>(WorkspaceArena::slot(env.xt, slot));
     exec::StageTimer st(*rec);
-    for (std::int64_t sl = 0; sl < env.spr; ++sl) {
+    for (std::int64_t sl = 0; sl < gseg; ++sl) {
       C* seg = xt.data() + sl * mprime;
       for (int s = 0; s < env.ranks; ++s) {
-        const C* blk = recv.data() + (s * env.spr + sl) * chunks;
+        const C* blk = recv.data() + (s * gseg + sl) * chunks;
         std::copy_n(blk, chunks, seg + s * chunks);
       }
     }
@@ -280,7 +372,8 @@ class UnpackStageT final : public exec::StageT<Real> {
   const ChainEnvT<Real>* env_;
 };
 
-/// Stage "f_mprime": I (x) F_M' over the assembled local segments.
+/// Stage "f_mprime": I (x) F_M' over the assembled local segments — the
+/// whole rank under a null comm, one chunk group per node when remote.
 template <class Real>
 class FmStageT final : public exec::StageT<Real> {
  public:
@@ -292,6 +385,7 @@ class FmStageT final : public exec::StageT<Real> {
     r.name = "f_mprime";
     r.bytes_moved = 2 * cbytes<Real>(env_->spr * mprime);
     r.flops = fft_flops(env_->spr, mprime);
+    r.chunks = (env_->has_comm && env_->ranks > 1) ? env_->chunk_depth : 1;
     out.push_back(std::move(r));
   }
 
@@ -308,11 +402,29 @@ class FmStageT final : public exec::StageT<Real> {
                           mspan_t<Real>{uf.data(), count}, env.spr);
   }
 
+  void run_node(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                const exec::NodeSpec& node) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const std::int64_t gseg = env.gseg();
+    const std::size_t count =
+        static_cast<std::size_t>(gseg * env.geom->mprime());
+    const int slot = node.chunk % env.nslots();
+    const std::span<C> xt =
+        ctx.arena->template span<C>(WorkspaceArena::slot(env.xt, slot));
+    const std::span<C> uf =
+        ctx.arena->template span<C>(WorkspaceArena::slot(env.uf, slot));
+    exec::StageTimer st(*rec);
+    env.batch_mp->forward(cspan_t<Real>{xt.data(), count},
+                          mspan_t<Real>{uf.data(), count}, gseg);
+  }
+
  private:
   const ChainEnvT<Real>* env_;
 };
 
-/// Stage "demod": demodulate + project each segment's first M bins.
+/// Stage "demod": demodulate + project each segment's first M bins (per
+/// chunk group when remote; group g covers segments [g*gseg, (g+1)*gseg)).
 template <class Real>
 class DemodStageT final : public exec::StageT<Real> {
  public:
@@ -324,6 +436,7 @@ class DemodStageT final : public exec::StageT<Real> {
     r.name = "demod";
     r.bytes_moved = cbytes<Real>(2 * env_->spr * m + m);
     r.flops = 6 * env_->spr * m;
+    r.chunks = (env_->has_comm && env_->ranks > 1) ? env_->chunk_depth : 1;
     out.push_back(std::move(r));
   }
 
@@ -342,6 +455,30 @@ class DemodStageT final : public exec::StageT<Real> {
     for (std::int64_t s = 0; s < env.spr; ++s) {
       const C* seg = uf.data() + s * mprime;
       C* dst = y.data() + s * m;
+      for (std::int64_t k = 0; k < m; ++k) {
+        dst[k] = seg[k] * demod[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  void run_node(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                const exec::NodeSpec& node) const override {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const std::int64_t m = env.geom->m();
+    const std::int64_t mprime = env.geom->mprime();
+    const std::int64_t gseg = env.gseg();
+    const int slot = node.chunk % env.nslots();
+    const std::span<C> uf =
+        ctx.arena->template span<C>(WorkspaceArena::slot(env.uf, slot));
+    const mspan_t<Real> y =
+        env.dst.valid() ? mspan_t<Real>(ctx.arena->template span<C>(env.dst))
+                        : ctx.out;
+    const cspan_t<Real> demod = env.table->demod();
+    exec::StageTimer st(*rec);
+    for (std::int64_t sl = 0; sl < gseg; ++sl) {
+      const C* seg = uf.data() + sl * mprime;
+      C* dst = y.data() + (node.chunk * gseg + sl) * m;
       for (std::int64_t k = 0; k < m; ++k) {
         dst[k] = seg[k] * demod[static_cast<std::size_t>(k)];
       }
@@ -429,6 +566,9 @@ void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
     SOI_CHECK(!env.has_comm,
               "SOI pipeline: communicator paths are double-only");
   }
+  SOI_CHECK(env.chunk_depth >= 1 && env.spr % env.chunk_depth == 0,
+            "SOI pipeline: chunk_depth " << env.chunk_depth
+                                         << " must divide spr " << env.spr);
   const SoiGeometry& g = *env.geom;
   const auto cb = [](std::int64_t count) {
     return static_cast<std::size_t>(cbytes<Real>(count));
@@ -437,26 +577,140 @@ void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
   const std::int64_t seg_total = env.spr * g.mprime();  // == chunks * P
   env.ext = arena.reserve("ext", cb(env.m_rank() + g.halo()), base, base);
   env.v = arena.reserve("v", cb(chunks * g.p()), base, base + 1);
-  if (env.has_comm) {
+  if (env.has_comm && env.chunk_depth > 1) {
+    // Chunked exchange: the pipelined schedule interleaves positions
+    // base+2..base+5, so every buffer those nodes touch must be live over
+    // the whole span (no aliasing between the chain's own stages), and
+    // recv/x-tilde/uf become two group-sized slots each.
+    const std::int64_t gtotal = env.gseg() * g.mprime();
+    env.send = arena.reserve("send", cb(chunks * g.p()), base + 1, base + 5);
+    env.recv = arena.reserve_slots("recv", cb(gtotal), 2, base + 2, base + 5);
+    env.xt = arena.reserve_slots("xt", cb(gtotal), 2, base + 2, base + 5);
+    env.uf = arena.reserve_slots("uf", cb(gtotal), 2, base + 2, base + 5);
+
+    // ialltoallv layout: destination d's block for group g starts at
+    // segment d*spr + g*gseg of the [sigma][chunk] send buffer; source s's
+    // block lands slot-relative at s*gseg*chunks.
+    const auto ranks = static_cast<std::size_t>(env.ranks);
+    const auto depth = static_cast<std::size_t>(env.chunk_depth);
+    env.a2a_counts.assign(ranks, env.gseg() * chunks);
+    env.a2a_send_displs.resize(depth * ranks);
+    env.a2a_recv_displs.resize(ranks);
+    for (std::size_t gi = 0; gi < depth; ++gi) {
+      for (std::size_t d = 0; d < ranks; ++d) {
+        env.a2a_send_displs[gi * ranks + d] =
+            (static_cast<std::int64_t>(d) * env.spr +
+             static_cast<std::int64_t>(gi) * env.gseg()) *
+            chunks;
+      }
+    }
+    for (std::size_t s = 0; s < ranks; ++s) {
+      env.a2a_recv_displs[s] =
+          static_cast<std::int64_t>(s) * env.gseg() * chunks;
+    }
+  } else if (env.has_comm) {
     env.send = arena.reserve("send", cb(chunks * g.p()), base + 1, base + 2);
     env.recv = arena.reserve("recv", cb(seg_total), base + 2, base + 3);
     env.xt = arena.reserve("xt", cb(seg_total), base + 3, base + 4);
+    env.uf = arena.reserve("uf", cb(seg_total), base + 4, base + 5);
   } else {
     // F_P stores straight into x-tilde; no exchange staging needed.
     env.xt = arena.reserve("xt", cb(seg_total), base + 1, base + 4);
+    env.uf = arena.reserve("uf", cb(seg_total), base + 4, base + 5);
   }
-  env.uf = arena.reserve("uf", cb(seg_total), base + 4, base + 5);
 }
 
 template <class Real>
 void append_chain_stages(exec::PipelineT<Real>& pl,
                          const ChainEnvT<Real>& env) {
+  using exec::NodeSpec;
+  using exec::StageClass;
+  const int s_halo = pl.next_index();
   pl.add(std::make_unique<HaloConvStageT<Real>>(&env));
   pl.add(std::make_unique<FpStageT<Real>>(&env));
+  const int s_exch = s_halo + 2;
   pl.add(std::make_unique<ExchangeStageT<Real>>(&env));
   pl.add(std::make_unique<UnpackStageT<Real>>(&env));
   pl.add(std::make_unique<FmStageT<Real>>(&env));
   pl.add(std::make_unique<DemodStageT<Real>>(&env));
+
+  const auto node = [&pl](int stage, int chunk, int phase, StageClass cls,
+                          int seq_key, int ovl_key) {
+    NodeSpec n;
+    n.stage = stage;
+    n.chunk = chunk;
+    n.phase = phase;
+    n.cls = cls;
+    n.seq_key = seq_key;
+    n.ovl_key = ovl_key;
+    return pl.add_node(n);
+  };
+
+  const bool remote = env.has_comm && env.ranks > 1;
+  if (!remote) {
+    // Serial wrap: stage the input + fill the wrap halo, then one whole-
+    // rank convolution. Everything downstream stays an atomic auto node.
+    const int hpost = node(s_halo, 0, kPhasePost, StageClass::kCompute, 0, 0);
+    const int conv = node(s_halo, 0, kPhaseWork, StageClass::kCompute, 1, 1);
+    pl.add_edge(hpost, conv);
+    return;
+  }
+
+  // Halo + split convolution. In-order keys run wait before the safe
+  // groups (the classic blocking order); pipelined keys convolve the safe
+  // groups while the halo travels.
+  const int hpost = node(s_halo, 0, kPhasePost, StageClass::kCommPost, 0, 0);
+  const int hwait = node(s_halo, 0, kPhaseWait, StageClass::kCommWait, 1, 2);
+  const int csafe = node(s_halo, 0, kPhaseWork, StageClass::kCompute, 2, 1);
+  const int ctail = node(s_halo, 1, kPhaseWork, StageClass::kCompute, 3, 3);
+  pl.add_edge(hpost, hwait);
+  pl.add_edge(hpost, csafe);
+  pl.add_edge(hpost, ctail);
+  pl.add_edge(hwait, ctail);
+
+  // Per-chunk-group exchange..demod. seq keys are chunk-major (the
+  // in-order executor); ovl keys realise the software pipeline
+  //   post(0), post(1), wait(0), unpack(0), fm(0), demod(0), post(2), ...
+  // f_p (no declared nodes) is an auto barrier between conv and the posts.
+  const int depth = static_cast<int>(env.chunk_depth);
+  std::vector<int> post(static_cast<std::size_t>(depth));
+  std::vector<int> wait(static_cast<std::size_t>(depth));
+  std::vector<int> unp(static_cast<std::size_t>(depth));
+  std::vector<int> fm(static_cast<std::size_t>(depth));
+  std::vector<int> dem(static_cast<std::size_t>(depth));
+  std::vector<int> post_ovl(static_cast<std::size_t>(depth));
+  int ko = 200;
+  post_ovl[0] = ko++;
+  std::vector<std::array<int, 4>> rest_ovl(static_cast<std::size_t>(depth));
+  for (int g = 0; g < depth; ++g) {
+    if (g + 1 < depth) post_ovl[static_cast<std::size_t>(g + 1)] = ko++;
+    for (int i = 0; i < 4; ++i) rest_ovl[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] = ko++;
+  }
+  for (int g = 0; g < depth; ++g) {
+    const auto gi = static_cast<std::size_t>(g);
+    const int ks = 100 + 5 * g;
+    post[gi] = node(s_exch, g, kPhasePost, StageClass::kCommPost, ks,
+                    post_ovl[gi]);
+    wait[gi] = node(s_exch, g, kPhaseWait, StageClass::kCommWait, ks + 1,
+                    rest_ovl[gi][0]);
+    unp[gi] = node(s_exch + 1, g, kPhaseWork, StageClass::kCompute, ks + 2,
+                   rest_ovl[gi][1]);
+    fm[gi] = node(s_exch + 2, g, kPhaseWork, StageClass::kCompute, ks + 3,
+                  rest_ovl[gi][2]);
+    dem[gi] = node(s_exch + 3, g, kPhaseWork, StageClass::kCompute, ks + 4,
+                   rest_ovl[gi][3]);
+    pl.add_edge(post[gi], wait[gi]);
+    pl.add_edge(wait[gi], unp[gi]);
+    pl.add_edge(unp[gi], fm[gi]);
+    pl.add_edge(fm[gi], dem[gi]);
+    // Double-buffer write-after-read edges: group g+2 reuses group g's
+    // slots, so its writers wait for g's readers.
+    if (g >= 2) {
+      pl.add_edge(unp[gi - 2], post[gi]);  // recv slot
+      pl.add_edge(fm[gi - 2], unp[gi]);    // xt slot
+      pl.add_edge(dem[gi - 2], fm[gi]);    // uf slot
+    }
+  }
 }
 
 std::unique_ptr<exec::StageT<double>> make_r2c_pack_stage(

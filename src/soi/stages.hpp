@@ -1,8 +1,8 @@
 // The shared SOI stage chain (Eq. 6), expressed once for every execution
-// path: serial (null comm), distributed (SimMPI comm, blocking or
-// halo-overlapped) and the real-input wrapper all append THESE stages to
-// their pipelines — the conv, F_P+permute, exchange, F_M' and demod
-// bodies exist exactly once, in stages.cpp.
+// path: serial (null comm), distributed (SimMPI comm) and the real-input
+// wrapper all append THESE stages to their pipelines — the conv, F_P +
+// permute, exchange, F_M' and demod bodies exist exactly once, in
+// stages.cpp.
 //
 // Chain layout (pipeline positions relative to `base`):
 //   base+0  halo+conv   emits records "halo", "conv"
@@ -13,9 +13,20 @@
 //   base+5  demod       demodulate + project
 // Under a null comm the F_P stage stores straight into the x-tilde buffer
 // (the exchange would be the identity), so serial pays no extra copies.
+//
+// Distributed chains are chunk-granular dataflow graphs: the halo travels
+// as isend/irecv with the convolution split into halo-independent "safe"
+// groups and a tail that waits, and the exchange..demod stages are cut
+// into `chunk_depth` segment groups, each moved by its own nonblocking
+// ialltoallv into one of two group-sized buffer slots. Under the
+// pipelined schedule (ExecContext::overlap) group g+1's exchange is in
+// flight while group g's f_mprime/demod computes; the in-order schedule
+// runs the same nodes chunk-major. Both are topological orders of the
+// same edges, so outputs are bit-identical.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/arena.hpp"
 #include "fft/batch.hpp"
@@ -39,17 +50,33 @@ struct ChainEnvT {
   std::int64_t spr = 1;   ///< segments computed on this rank
   bool has_comm = false;  ///< false = null comm: serial specialisation
   net::AlltoallAlgo algo = net::AlltoallAlgo::kPairwise;
+  /// Chunk groups the exchange..demod stages are cut into; must divide
+  /// spr. 1 = whole-rank exchange (the classic single all-to-all call).
+  std::int64_t chunk_depth = 1;
 
-  // Arena buffers, filled by reserve_chain_buffers().
+  // Arena buffers, filled by reserve_chain_buffers(). With chunk_depth > 1
+  // recv/xt/uf are the FIRST of two group-sized slots (slot g mod 2 serves
+  // chunk group g; WorkspaceArena::slot() addresses the second).
   WorkspaceArena::BufferId ext, v, send, recv, xt, uf;
   /// Optional chain endpoints: invalid = use ctx.in / ctx.out (the real
   /// wrapper brackets the chain with arena-resident z / zf instead).
   WorkspaceArena::BufferId src, dst;
 
+  // Plan-time ialltoallv layout (chunk_depth > 1 only): uniform
+  // per-destination counts, per-group send displacements (chunk_depth x
+  // ranks, row-major), and slot-relative recv displacements.
+  std::vector<std::int64_t> a2a_counts;
+  std::vector<std::int64_t> a2a_send_displs;
+  std::vector<std::int64_t> a2a_recv_displs;
+
   [[nodiscard]] std::int64_t chunks() const {
     return spr * geom->chunks_per_rank();
   }
   [[nodiscard]] std::int64_t m_rank() const { return spr * geom->m(); }
+  /// Segments per chunk group.
+  [[nodiscard]] std::int64_t gseg() const { return spr / chunk_depth; }
+  /// Buffer slots backing the chunked stages (double-buffer when chunked).
+  [[nodiscard]] int nslots() const { return chunk_depth > 1 ? 2 : 1; }
 };
 
 /// Declare the chain's intermediate buffers in `arena` with live intervals
@@ -58,7 +85,10 @@ template <class Real>
 void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
                            int base);
 
-/// Append the six shared stages to `pl`. `env` must outlive the pipeline.
+/// Append the six shared stages to `pl` and declare their dataflow nodes
+/// and edges (halo post/wait + safe/tail convolution; per-chunk-group
+/// exchange post/wait, unpack, f_mprime, demod with double-buffer
+/// write-after-read edges). `env` must outlive the pipeline.
 template <class Real>
 void append_chain_stages(exec::PipelineT<Real>& pl, const ChainEnvT<Real>& env);
 

@@ -51,15 +51,27 @@ double modeled_compute_flops(const core::SoiGeometry& g, std::int64_t spr) {
 /// the convolution when the candidate overlaps) plus the single all-to-all
 /// with a schedule-dependent injection term — kPairwise serialises R-1
 /// latency-bound rounds, kDirect posts everything and pays ~2 latencies.
+/// A chunked pipelined exchange (overlap, chunk_depth D > 1) hides all
+/// but one of its D pieces behind the downstream unpack/F_M'/demod
+/// compute: the exposed time is max(exchange/D, exchange -
+/// downstream*(D-1)/D) — never more than the unchunked exchange, so under
+/// this model the pipelined schedule is never priced slower than the
+/// in-order one.
 double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
                             std::int64_t halo_bytes,
                             std::int64_t alltoall_bytes_per_rank,
-                            const Candidate& cand, double conv_seconds) {
+                            const Candidate& cand, double conv_seconds,
+                            double downstream_seconds) {
   if (ranks <= 1) return 0.0;
   double halo = fabric.p2p_seconds(halo_bytes);
   if (cand.overlap) halo = std::max(0.0, halo - conv_seconds);
-  const double exchange =
+  double exchange =
       fabric.alltoall_seconds(ranks, alltoall_bytes_per_rank);
+  if (cand.overlap && cand.chunk_depth > 1) {
+    const double d = static_cast<double>(cand.chunk_depth);
+    exchange = std::max(exchange / d,
+                        exchange - downstream_seconds * (d - 1.0) / d);
+  }
   const double lat = fabric.p2p_seconds(0);
   const double schedule =
       cand.alltoall_algo == net::AlltoallAlgo::kPairwise
@@ -77,11 +89,18 @@ CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
   score.compute_seconds =
       modeled_compute_flops(g, cand.segments_per_rank) /
       (opts.node_gflops * 1e9);
-  // Shares of the compute that are convolution (the overlap budget).
+  // Shares of the compute that are convolution (the halo's overlap
+  // budget) and the post-exchange stages (the chunked exchange's).
+  const double rate = opts.node_gflops * 1e9;
   const double conv_share =
       8.0 * static_cast<double>(cand.segments_per_rank) *
-      static_cast<double>(g.conv_madds_per_rank()) /
-      (opts.node_gflops * 1e9);
+      static_cast<double>(g.conv_madds_per_rank()) / rate;
+  const double sprd = static_cast<double>(cand.segments_per_rank);
+  const double mprime = static_cast<double>(g.mprime());
+  const double downstream_share =
+      (sprd * 5.0 * mprime * std::log2(mprime) +
+       8.0 * (2.0 * sprd * mprime + sprd * static_cast<double>(g.m()))) /
+      rate;
   const std::int64_t halo_bytes =
       static_cast<std::int64_t>(sizeof(cplx)) * g.halo();
   const std::int64_t a2a_bytes = static_cast<std::int64_t>(sizeof(cplx)) *
@@ -90,7 +109,7 @@ CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
                                  g.chunks_per_rank() * (key.ranks - 1);
   score.comm_seconds =
       modeled_comm_seconds(fabric_or_default(opts), key.ranks, halo_bytes,
-                           a2a_bytes, cand, conv_share);
+                           a2a_bytes, cand, conv_share, downstream_share);
   return score;
 }
 
@@ -105,7 +124,9 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
 
   double compute_best = 0.0;
   double conv_best = 0.0;
+  double downstream_best = 0.0;
   std::int64_t halo_bytes = 0, alltoall_bytes = 0;
+  std::vector<std::pair<std::string, double>> stage_seconds;
   std::mutex mu;
   net::run_ranks(key.ranks, [&](net::Comm& comm) {
     core::DistOptions dopts;
@@ -113,6 +134,7 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
     dopts.alltoall_algo = cand.alltoall_algo;
     dopts.overlap = cand.overlap;
     dopts.batch_width = cand.batch_width;
+    dopts.chunk_depth = cand.chunk_depth;
     // All ranks share one registry-built table.
     dopts.table =
         reg.conv_table(key.n, key.ranks * cand.segments_per_rank, prof);
@@ -134,7 +156,7 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
       }
     }
     const auto recs = plan.last_trace().records();
-    double compute = 0.0, conv = 0.0;
+    double compute = 0.0, conv = 0.0, downstream = 0.0;
     std::int64_t hb = 0, ab = 0;
     for (std::size_t i = 0; i < recs.size(); ++i) {
       if (recs[i].name == "halo") {
@@ -145,6 +167,10 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
         // Everything SimMPI cannot price: the local kernels.
         compute += best_sec[i];
         if (recs[i].name == "conv") conv += best_sec[i];
+        if (recs[i].name == "unpack" || recs[i].name == "f_mprime" ||
+            recs[i].name == "demod") {
+          downstream += best_sec[i];
+        }
       }
     }
     // The slowest rank sets the pipeline's compute critical path.
@@ -153,8 +179,15 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
       std::lock_guard<std::mutex> lock(mu);
       compute_best = worst;
       conv_best = conv;
+      downstream_best = downstream;
       halo_bytes = hb;
       alltoall_bytes = ab;
+      // Rank 0's per-stage minima become the wisdom entry's priors.
+      stage_seconds.clear();
+      stage_seconds.reserve(recs.size());
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        stage_seconds.emplace_back(recs[i].name, best_sec[i]);
+      }
     }
   });
 
@@ -163,7 +196,8 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
   score.compute_seconds = compute_best;
   score.comm_seconds =
       modeled_comm_seconds(fabric_or_default(opts), key.ranks, halo_bytes,
-                           alltoall_bytes, cand, conv_best);
+                           alltoall_bytes, cand, conv_best, downstream_best);
+  score.stage_seconds = std::move(stage_seconds);
   return score;
 }
 
@@ -177,8 +211,47 @@ CandidateScore score_candidate(const TuneKey& key, const Candidate& cand,
              : score_measured(key, cand, opts, *prof);
 }
 
+void order_candidates_with_priors(std::vector<Candidate>& candidates,
+                                  const TuneKey& key,
+                                  const WisdomStore& priors) {
+  // Nearest previously tuned shape: same ranks and accuracy, smallest
+  // |log2(n / key.n)|. Only entries carrying stage priors qualify —
+  // modeled wisdom has no measured stage split to learn from.
+  const std::vector<std::pair<std::string, double>>* stages = nullptr;
+  double best_dist = 0.0;
+  for (const auto& [ktext, cfg] : priors.entries()) {
+    if (cfg.stage_seconds.empty()) continue;
+    const TuneKey k = parse_tune_key(ktext);
+    if (k.ranks != key.ranks || k.accuracy != key.accuracy) continue;
+    const double dist = std::abs(std::log2(static_cast<double>(k.n)) -
+                                 std::log2(static_cast<double>(key.n)));
+    if (stages == nullptr || dist < best_dist) {
+      stages = &cfg.stage_seconds;
+      best_dist = dist;
+    }
+  }
+  if (stages == nullptr) return;
+
+  double total = 0.0, comm = 0.0;
+  for (const auto& [name, sec] : *stages) {
+    total += sec;
+    if (name == "halo" || name == "exchange") comm += sec;
+  }
+  if (total <= 0.0 || comm / total <= 0.4) return;
+  // Comm-bound neighbour: evaluate overlapping/chunked candidates first.
+  // stable_partition keeps the relative enumeration order inside each
+  // class, so determinism and tie-breaks within a class are preserved.
+  std::stable_partition(candidates.begin(), candidates.end(),
+                        [](const Candidate& c) {
+                          return c.overlap || c.chunk_depth > 1;
+                        });
+}
+
 TuneResult autotune(const TuneKey& key, const TuneOptions& opts) {
-  const auto candidates = candidate_space(key, opts.max_segments_per_rank);
+  auto candidates = candidate_space(key, opts.max_segments_per_rank);
+  if (opts.priors != nullptr) {
+    order_candidates_with_priors(candidates, key, *opts.priors);
+  }
   TuneResult result;
   result.key = key;
   result.scores.reserve(candidates.size());
@@ -203,7 +276,11 @@ TunedConfig tuned_config(const TuneKey& key, WisdomStore& wisdom,
     return *hit;
   }
   if (was_hit) *was_hit = false;
-  const TuneResult result = autotune(key, opts);
+  // The store being filled doubles as the priors source: shapes tuned
+  // earlier in this store steer the evaluation order of this sweep.
+  TuneOptions sweep_opts = opts;
+  if (sweep_opts.priors == nullptr) sweep_opts.priors = &wisdom;
+  const TuneResult result = autotune(key, sweep_opts);
   const TunedConfig cfg = result.config();
   wisdom.put(key, cfg);
   return cfg;

@@ -54,13 +54,23 @@ struct TuneOptions {
   std::int64_t max_segments_per_rank = 8;
   /// Registry the sweep draws profiles/tables from; null = the global one.
   PlanRegistry* registry = nullptr;
+  /// Optional wisdom store consulted for PRIORS: per-stage seconds of
+  /// previously tuned neighbouring shapes reorder the candidate
+  /// evaluation (comm-bound neighbours promote overlapping/chunked
+  /// candidates). Ordering only — every candidate is still scored, and
+  /// the default configuration still wins exact ties it partakes in
+  /// first. tuned_config() passes its own store automatically.
+  const WisdomStore* priors = nullptr;
 };
 
 /// One scored candidate.
 struct CandidateScore {
   Candidate candidate;
-  double compute_seconds = 0.0;  ///< per-rank critical-path compute
+  double compute_seconds = 0.0;  ///< per-rank compute critical path
   double comm_seconds = 0.0;     ///< modeled halo + all-to-all
+  /// Measured per-stage seconds (kMeasured mode only; empty when
+  /// modeled). Becomes the wisdom entry's stage priors.
+  std::vector<std::pair<std::string, double>> stage_seconds;
   [[nodiscard]] double total_seconds() const {
     return compute_seconds + comm_seconds;
   }
@@ -73,15 +83,28 @@ struct TuneResult {
   win::SoiProfile profile;  ///< profile of the winning tier
   std::vector<CandidateScore> scores;
 
-  /// The winner as a wisdom entry.
+  /// The winner as a wisdom entry (measured stage timings ride along as
+  /// the priors of later sweeps).
   [[nodiscard]] TunedConfig config() const {
-    return TunedConfig{best.candidate, profile, best.total_seconds()};
+    return TunedConfig{best.candidate, profile, best.total_seconds(),
+                       best.stage_seconds};
   }
 };
 
 /// Score one candidate (exposed for benches; autotune() loops over this).
 CandidateScore score_candidate(const TuneKey& key, const Candidate& cand,
                                const TuneOptions& opts = {});
+
+/// Stable-reorder `candidates` using stage priors from `priors`: when the
+/// nearest previously tuned shape (same ranks and accuracy, smallest
+/// |log2(n ratio)|) spent more than 40% of its stage time in
+/// communication (halo + exchange), overlapping/chunked candidates move
+/// to the front. No candidate is added or removed; without a usable
+/// neighbour the order is untouched. Exposed for tests; autotune() calls
+/// this when TuneOptions::priors is set.
+void order_candidates_with_priors(std::vector<Candidate>& candidates,
+                                  const TuneKey& key,
+                                  const WisdomStore& priors);
 
 /// Sweep the candidate space of `key` and return the fastest candidate
 /// (ties break toward the earliest enumerated, i.e. the default config).

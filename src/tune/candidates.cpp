@@ -91,7 +91,8 @@ std::string Candidate::describe() const {
   os << "tier=" << accuracy_name(accuracy) << " spr=" << segments_per_rank
      << " algo="
      << (alltoall_algo == net::AlltoallAlgo::kPairwise ? "pairwise" : "direct")
-     << " overlap=" << (overlap ? 1 : 0) << " bw=" << batch_width;
+     << " overlap=" << (overlap ? 1 : 0) << " bw=" << batch_width
+     << " cd=" << chunk_depth;
   return os.str();
 }
 
@@ -121,6 +122,9 @@ Candidate parse_candidate(const std::string& text) {
     } else if (k == "bw") {
       // Optional (absent in v1 wisdom lines; defaults to 0 = auto).
       c.batch_width = std::stoll(v);
+    } else if (k == "cd") {
+      // Optional (absent before v3 wisdom; defaults to 1 = unchunked).
+      c.chunk_depth = std::stoll(v);
     } else {
       throw Error("parse_candidate: unknown field '" + k + "'");
     }
@@ -131,6 +135,9 @@ Candidate parse_candidate(const std::string& text) {
             "parse_candidate: bad segments_per_rank in '" << text << "'");
   SOI_CHECK(c.batch_width >= 0,
             "parse_candidate: bad batch_width in '" << text << "'");
+  SOI_CHECK(c.chunk_depth >= 1 && c.segments_per_rank % c.chunk_depth == 0,
+            "parse_candidate: chunk_depth must divide segments_per_rank in '"
+                << text << "'");
   return c;
 }
 
@@ -167,7 +174,13 @@ std::vector<Candidate> candidate_space(const TuneKey& key,
           // then one narrow and one wide explicit setting.
           for (const std::int64_t bw : {std::int64_t{0}, std::int64_t{8},
                                         std::int64_t{32}}) {
-            out.push_back(Candidate{tier, spr, algo, overlap, bw});
+            // Chunk depth matters only under the pipelined schedule; the
+            // in-order executor posts and waits each piece back to back.
+            const std::int64_t max_cd =
+                overlap ? std::min<std::int64_t>(spr, 4) : 1;
+            for (std::int64_t cd = 1; cd <= max_cd; cd *= 2) {
+              out.push_back(Candidate{tier, spr, algo, overlap, bw, cd});
+            }
           }
         }
       }

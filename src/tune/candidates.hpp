@@ -7,9 +7,13 @@
 //     least as accurate as the requested one is admissible,
 //   * segments_per_rank — Section 6's granularity (P = g * ranks),
 //   * all-to-all schedule — net::AlltoallAlgo (pairwise vs direct),
-//   * halo overlap — plain sendrecv vs eager-send + poll (reference [11]),
+//   * halo overlap — in-order vs pipelined dataflow schedule,
 //   * batch_width — SoA transforms per pass of the batched FFT stages
-//     (fft/batch.hpp); 0 lets the executor derive it from the SIMD tier.
+//     (fft/batch.hpp); 0 lets the executor derive it from the SIMD tier,
+//   * chunk_depth — groups the exchange..demod stages are cut into under
+//     the pipelined schedule (the dataflow executor's double-buffer
+//     depth); only enumerated for overlapping candidates, must divide
+//     segments_per_rank.
 //
 // candidate_space() enumerates only FEASIBLE points: every candidate's
 // SoiGeometry constructs (divisibility) and its halo fits inside one
@@ -51,21 +55,26 @@ struct Candidate {
   net::AlltoallAlgo alltoall_algo = net::AlltoallAlgo::kPairwise;
   bool overlap = false;
   std::int64_t batch_width = 0;  ///< SoA batch width (0 = auto from SIMD tier)
+  /// Chunk groups of the pipelined exchange (DistOptions::chunk_depth);
+  /// 1 = the classic whole-rank all-to-all.
+  std::int64_t chunk_depth = 1;
 
-  /// Canonical text form, e.g. "tier=full spr=2 algo=direct overlap=1 bw=0";
-  /// round-trips through parse_candidate().
+  /// Canonical text form, e.g.
+  /// "tier=full spr=2 algo=direct overlap=1 bw=0 cd=1"; round-trips
+  /// through parse_candidate().
   [[nodiscard]] std::string describe() const;
 
   bool operator==(const Candidate& o) const {
     return accuracy == o.accuracy &&
            segments_per_rank == o.segments_per_rank &&
            alltoall_algo == o.alltoall_algo && overlap == o.overlap &&
-           batch_width == o.batch_width;
+           batch_width == o.batch_width && chunk_depth == o.chunk_depth;
   }
 };
 
 /// Parse the output of Candidate::describe(); throws soi::Error. Accepts
-/// v1 wisdom lines that predate the bw field (batch_width defaults to 0).
+/// older wisdom lines that predate the bw / cd fields (both default — 0
+/// auto width, depth 1).
 Candidate parse_candidate(const std::string& text);
 
 /// Lowercase preset name ("full", "high", "medium", "low").
@@ -79,10 +88,12 @@ std::vector<win::Accuracy> tiers_at_or_above(win::Accuracy floor);
 
 /// Enumerate every feasible candidate for `key`, in a deterministic order
 /// (tier-major, then segments_per_rank in {1,2,4,...,max_segments_per_rank},
-/// then schedule, then overlap, then batch width in {0, 8, 32}). The
-/// seed's hard-coded configuration — requested tier, one segment per rank,
-/// pairwise, no overlap, auto width — is always the first entry when
-/// feasible. Throws soi::Error if no candidate is feasible at all.
+/// then schedule, then overlap, then batch width in {0, 8, 32}, then — for
+/// overlapping candidates only — chunk depth in {1, 2, 4} capped by
+/// segments_per_rank). The seed's hard-coded configuration — requested
+/// tier, one segment per rank, pairwise, no overlap, auto width, depth 1 —
+/// is always the first entry when feasible. Throws soi::Error if no
+/// candidate is feasible at all.
 std::vector<Candidate> candidate_space(const TuneKey& key,
                                        std::int64_t max_segments_per_rank = 8);
 

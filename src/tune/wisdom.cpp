@@ -27,8 +27,17 @@ std::string WisdomStore::serialize() const {
   os.precision(17);
   for (const auto& [key, cfg] : entries_) {
     os << key << " | " << cfg.candidate.describe() << " | score="
-       << cfg.score_seconds << " | " << win::serialize_profile(cfg.profile)
-       << "\n";
+       << cfg.score_seconds << " | " << win::serialize_profile(cfg.profile);
+    if (!cfg.stage_seconds.empty()) {
+      os << " | stages=";
+      bool first = true;
+      for (const auto& [name, sec] : cfg.stage_seconds) {
+        if (!first) os << ",";
+        first = false;
+        os << name << ":" << sec;
+      }
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -50,6 +59,25 @@ std::vector<std::string> split_fields(const std::string& line, std::size_t n) {
   return fields;
 }
 
+/// Parse "halo:1.2e-05,conv:3.4e-04,..." (the v3 stages field payload).
+std::vector<std::pair<std::string, double>> parse_stage_seconds(
+    const std::string& text, const std::string& line) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    const auto colon = item.find(':');
+    SOI_CHECK(colon != std::string::npos && colon > 0,
+              "wisdom: malformed stages field in '" << line << "'");
+    out.emplace_back(item.substr(0, colon),
+                     std::stod(item.substr(colon + 1)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 WisdomStore WisdomStore::parse(const std::string& text) {
@@ -58,10 +86,11 @@ WisdomStore WisdomStore::parse(const std::string& text) {
   SOI_CHECK(std::getline(is, line),
             "wisdom: empty input (expected header '" << kHeader << "')");
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  SOI_CHECK(line == kHeader || line == kHeaderV1,
+  SOI_CHECK(line == kHeader || line == kHeaderV2 || line == kHeaderV1,
             "wisdom: version mismatch — expected header '"
-                << kHeader << "' (or legacy '" << kHeaderV1 << "'), got '"
-                << line << "'; re-run `soifft tune` to regenerate");
+                << kHeader << "' (or legacy '" << kHeaderV2 << "' / '"
+                << kHeaderV1 << "'), got '" << line
+                << "'; re-run `soifft tune` to regenerate");
   WisdomStore store;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -73,7 +102,16 @@ WisdomStore WisdomStore::parse(const std::string& text) {
     SOI_CHECK(fields[2].rfind("score=", 0) == 0,
               "wisdom: expected score field, got '" << fields[2] << "'");
     cfg.score_seconds = std::stod(fields[2].substr(6));
-    cfg.profile = win::parse_profile(fields[3]);
+    // fields[3] holds the line's remainder: the profile, optionally
+    // followed by the v3 " | stages=..." field.
+    std::string profile_text = fields[3];
+    const auto bar = profile_text.find(" | stages=");
+    if (bar != std::string::npos) {
+      cfg.stage_seconds = parse_stage_seconds(
+          profile_text.substr(bar + 3 + 7), line);
+      profile_text.resize(bar);
+    }
+    cfg.profile = win::parse_profile(profile_text);
     store.put(key, cfg);
   }
   return store;

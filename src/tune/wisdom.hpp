@@ -1,18 +1,23 @@
 // Wisdom: tuned plan decisions persisted across runs (FFTW's term for the
 // same idea). A wisdom file is versioned, line-oriented text:
 //
-//   soiwisdom v2
+//   soiwisdom v3
 //   # optional comments
-//   <key> | <candidate> | <score> | <profile>
+//   <key> | <candidate> | <score> | <profile> [| <stages>]
 //
 // with <key> = TuneKey::str() ("n=65536 ranks=8 acc=full"), <candidate> =
-// Candidate::describe() ("tier=full spr=2 algo=direct overlap=1 bw=0"),
-// <score> = "score=<seconds>" (the tuner's winning estimate), and
-// <profile> = win::serialize_profile() of the winning tier's profile, so a
-// reload skips the design search as well as the tuning sweep.
+// Candidate::describe() ("tier=full spr=2 algo=direct overlap=1 bw=0
+// cd=1"), <score> = "score=<seconds>" (the tuner's winning estimate),
+// <profile> = win::serialize_profile() of the winning tier's profile (so a
+// reload skips the design search as well as the tuning sweep), and the
+// optional <stages> = "stages=halo:1.2e-05,conv:3.4e-04,..." — the
+// measured tuner's per-stage seconds of the winning run. Later sweeps read
+// these back as PRIORS that reorder candidate evaluation (comm-bound
+// shapes try overlapping/chunked candidates first); they never prune.
 //
-// v2 added the candidate's bw (SoA batch width) field. v1 files are still
-// READ (their candidates default to bw=0, the auto width); files are
+// v3 added the candidate's cd (chunk depth) field and the optional stages
+// field. v2 added bw (SoA batch width). v1/v2 files are still READ (their
+// candidates default to bw=0 / cd=1 and carry no stage priors); files are
 // always WRITTEN at the current version.
 //
 // This subsumes the old single-line `--profile` files of tools/soifft:
@@ -26,6 +31,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "tune/candidates.hpp"
 #include "window/design.hpp"
@@ -33,11 +40,15 @@
 namespace soi::tune {
 
 /// One tuned decision: the winning candidate, its profile (design-search
-/// output) and the tuner's score for it.
+/// output) and the tuner's score for it. `stage_seconds` (may be empty)
+/// carries the measured tuner's per-stage timings of the winning run, in
+/// pipeline order — the priors later sweeps use to order their candidate
+/// evaluation.
 struct TunedConfig {
   Candidate candidate;
   win::SoiProfile profile;
   double score_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> stage_seconds;
 };
 
 /// In-memory wisdom collection with text (de)serialisation. Not
@@ -45,8 +56,9 @@ struct TunedConfig {
 /// PlanRegistry — guard shared WisdomStore access externally.
 class WisdomStore {
  public:
-  static constexpr const char* kHeader = "soiwisdom v2";
-  /// Older header still accepted by parse() (read-compat).
+  static constexpr const char* kHeader = "soiwisdom v3";
+  /// Older headers still accepted by parse() (read-compat).
+  static constexpr const char* kHeaderV2 = "soiwisdom v2";
   static constexpr const char* kHeaderV1 = "soiwisdom v1";
 
   /// Insert or replace the decision for `key`.
@@ -57,11 +69,15 @@ class WisdomStore {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// All decisions, keyed by TuneKey::str() (the prior-ordering scan).
+  [[nodiscard]] const std::map<std::string, TunedConfig>& entries() const {
+    return entries_;
+  }
 
   /// Full text form (header + one line per entry, key-sorted).
   [[nodiscard]] std::string serialize() const;
 
-  /// Parse text produced by serialize() — current or v1 format. Throws
+  /// Parse text produced by serialize() — current, v2 or v1 format. Throws
   /// soi::Error on a missing or unknown version header or any malformed
   /// line.
   static WisdomStore parse(const std::string& text);

@@ -369,6 +369,281 @@ TEST(Alltoallv, VariableCounts) {
   });
 }
 
+// --- nonblocking requests --------------------------------------------------------
+
+TEST(Nonblocking, IsendCompletesAtPostIrecvOnWait) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec d = {val(5, 6)};
+      Request s = c.isend(1, 3, d);
+      EXPECT_TRUE(s.active());
+      EXPECT_TRUE(s.done());  // buffered: finished at post time
+      c.wait(s);              // must be a no-op, not a hang
+    } else {
+      cvec got(1);
+      Request r = c.irecv(0, 3, got);
+      EXPECT_TRUE(r.active());
+      c.wait(r);
+      EXPECT_TRUE(r.done());
+      EXPECT_EQ(r.source(), 0);
+      EXPECT_EQ(got[0], val(5, 6));
+    }
+  });
+}
+
+TEST(Nonblocking, TestNeverBlocksAndEventuallyCompletes) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 1) {
+      cvec got(1);
+      Request r = c.irecv(0, 9, got);
+      // The sender is held behind the barrier: this test() must see an
+      // empty mailbox and return false rather than block.
+      EXPECT_FALSE(c.test(r));
+      c.barrier();
+      while (!c.test(r)) {
+      }
+      EXPECT_EQ(r.source(), 0);
+      EXPECT_EQ(got[0], val(4, 4));
+    } else {
+      c.barrier();
+      cvec d = {val(4, 4)};
+      c.send(1, 9, d);
+    }
+  });
+}
+
+TEST(Nonblocking, AnySourceIrecvReportsMatchedSource) {
+  run_ranks(3, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec got(1);
+      Request r = c.irecv(kAnySource, 4, got);
+      c.wait(r);
+      const int first = r.source();
+      EXPECT_TRUE(first == 1 || first == 2);
+      EXPECT_EQ(got[0], val(first, 0));
+      Request r2 = c.irecv(kAnySource, 4, got);
+      c.wait(r2);
+      EXPECT_EQ(r2.source(), 3 - first);  // the other sender
+      EXPECT_EQ(got[0], val(3 - first, 0));
+    } else {
+      cvec d = {val(c.rank(), 0)};
+      c.send(0, 4, d);
+    }
+  });
+}
+
+TEST(Nonblocking, WaitallCoversMixedDirections) {
+  const int p = 4;
+  run_ranks(p, [p](Comm& c) {
+    const int right = (c.rank() + 1) % p;
+    const int left = (c.rank() - 1 + p) % p;
+    cvec out = {val(c.rank(), 7)};
+    cvec in(1);
+    std::vector<Request> reqs;
+    reqs.push_back(c.irecv(left, 2, in));
+    reqs.push_back(c.isend(right, 2, out));
+    c.waitall(reqs);
+    EXPECT_EQ(in[0], val(left, 7));
+  });
+}
+
+TEST(Nonblocking, DroppedIrecvLeavesMessageForBlockingRecv) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec d = {val(8, 1)};
+      c.send(1, 6, d);
+      c.barrier();
+    } else {
+      cvec a(1);
+      {
+        // Dropped untested: a passive handle has no effect on the mailbox.
+        [[maybe_unused]] Request r = c.irecv(0, 6, a);
+      }
+      c.barrier();  // the message is certainly queued by now
+      cvec b(1);
+      c.recv(0, 6, b);
+      EXPECT_EQ(b[0], val(8, 1));
+    }
+  });
+}
+
+void check_ialltoall(int p, std::int64_t count, AlltoallAlgo algo) {
+  run_ranks(p, [=](Comm& c) {
+    cvec send(static_cast<std::size_t>(p * count));
+    fill_gaussian(send, static_cast<std::uint64_t>(c.rank()) + 71);
+    cvec blocking(send.size());
+    c.alltoall(send, blocking, count, algo);
+    cvec nb(send.size());
+    Request r = c.ialltoall(send, nb, count, algo);
+    c.wait(r);
+    EXPECT_TRUE(r.done());
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      ASSERT_EQ(nb[i], blocking[i]) << "element " << i;
+    }
+  });
+}
+
+TEST(Nonblocking, IalltoallPairwiseMatchesBlocking) {
+  check_ialltoall(6, 5, AlltoallAlgo::kPairwise);
+}
+TEST(Nonblocking, IalltoallDirectMatchesBlocking) {
+  check_ialltoall(6, 5, AlltoallAlgo::kDirect);
+}
+TEST(Nonblocking, IalltoallTwoRanks) {
+  check_ialltoall(2, 9, AlltoallAlgo::kDirect);
+}
+
+TEST(Nonblocking, TwoInFlightCollectivesDisambiguatedBySequence) {
+  const int p = 4;
+  const std::int64_t count = 3;
+  run_ranks(p, [=](Comm& c) {
+    cvec s1(static_cast<std::size_t>(p * count));
+    cvec s2(s1.size());
+    fill_gaussian(s1, static_cast<std::uint64_t>(c.rank()) + 100);
+    fill_gaussian(s2, static_cast<std::uint64_t>(c.rank()) + 200);
+    cvec r1(s1.size()), r2(s2.size());
+    Request q1 = c.ialltoall(s1, r1, count);
+    Request q2 = c.ialltoall(s2, r2, count);
+    // Complete in reverse post order: block matching must go by the
+    // collective sequence number, not by arrival interleaving.
+    c.wait(q2);
+    c.wait(q1);
+    cvec e1(s1.size()), e2(s2.size());
+    c.alltoall(s1, e1, count);
+    c.alltoall(s2, e2, count);
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+      ASSERT_EQ(r1[i], e1[i]) << "first collective, element " << i;
+      ASSERT_EQ(r2[i], e2[i]) << "second collective, element " << i;
+    }
+  });
+}
+
+TEST(Nonblocking, IalltoallvMatchesBlocking) {
+  const int p = 4;
+  run_ranks(p, [p](Comm& c) {
+    // Rank r sends (d+1) elements to destination d (VariableCounts layout).
+    std::vector<std::int64_t> scnt(p), sdsp(p), rcnt(p), rdsp(p);
+    std::int64_t off = 0;
+    for (int d = 0; d < p; ++d) {
+      scnt[static_cast<std::size_t>(d)] = d + 1;
+      sdsp[static_cast<std::size_t>(d)] = off;
+      off += d + 1;
+    }
+    cvec send(static_cast<std::size_t>(off));
+    fill_gaussian(send, static_cast<std::uint64_t>(c.rank()) + 9);
+    off = 0;
+    for (int s = 0; s < p; ++s) {
+      rcnt[static_cast<std::size_t>(s)] = c.rank() + 1;
+      rdsp[static_cast<std::size_t>(s)] = off;
+      off += c.rank() + 1;
+    }
+    cvec blocking(static_cast<std::size_t>(off));
+    c.alltoallv(send, scnt, sdsp, blocking, rcnt, rdsp);
+    cvec nb(blocking.size());
+    Request r = c.ialltoallv(send, scnt, sdsp, nb, rcnt, rdsp);
+    c.wait(r);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      ASSERT_EQ(nb[i], blocking[i]) << "element " << i;
+    }
+  });
+}
+
+// --- try_recv (built on the Request layer) ---------------------------------------
+
+TEST(TryRecv, FalseWhenNothingQueued) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec got(1);
+      EXPECT_FALSE(c.try_recv(1, 5, got));
+      EXPECT_FALSE(c.try_recv(kAnySource, 5, got));
+    }
+    c.barrier();
+  });
+}
+
+TEST(TryRecv, ConsumesQueuedMessageExactlyOnce) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec d = {val(3, 3)};
+      c.send(1, 8, d);
+      c.barrier();
+    } else {
+      c.barrier();
+      cvec got(1);
+      EXPECT_TRUE(c.try_recv(0, 8, got));
+      EXPECT_EQ(got[0], val(3, 3));
+      EXPECT_FALSE(c.try_recv(0, 8, got));
+    }
+  });
+}
+
+TEST(TryRecv, AnySourceWithInterleavedTags) {
+  // Two senders each queue one tag-1 and one tag-2 message. A wildcard
+  // drain of tag 1 must consume exactly the two tag-1 messages and leave
+  // both tag-2 messages matchable afterwards.
+  run_ranks(3, [](Comm& c) {
+    if (c.rank() != 0) {
+      cvec a = {val(c.rank(), 1)};
+      cvec b = {val(c.rank(), 2)};
+      c.send(0, 1, a);
+      c.send(0, 2, b);
+      c.barrier();
+    } else {
+      c.barrier();  // all four messages queued
+      cvec got(1);
+      int hits = 0;
+      double tag1_sum = 0.0;
+      while (c.try_recv(kAnySource, 1, got)) {
+        EXPECT_DOUBLE_EQ(got[0].imag(), 1.0);
+        tag1_sum += got[0].real();
+        ++hits;
+      }
+      EXPECT_EQ(hits, 2);
+      EXPECT_DOUBLE_EQ(tag1_sum, 3.0);  // senders 1 + 2
+      double tag2_sum = 0.0;
+      for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(c.try_recv(kAnySource, 2, got));
+        EXPECT_DOUBLE_EQ(got[0].imag(), 2.0);
+        tag2_sum += got[0].real();
+      }
+      EXPECT_DOUBLE_EQ(tag2_sum, 3.0);
+      EXPECT_FALSE(c.try_recv(kAnySource, 2, got));
+    }
+  });
+}
+
+TEST(TryRecv, UnaffectedByInFlightAlltoall) {
+  // A wildcard try_recv must never match the internal messages of an
+  // in-flight collective, under either all-to-all schedule.
+  for (const auto algo : {AlltoallAlgo::kPairwise, AlltoallAlgo::kDirect}) {
+    const int p = 4;
+    run_ranks(p, [=](Comm& c) {
+      if (c.rank() == 1) {
+        cvec d = {val(42, 0)};
+        c.send(0, 77, d);
+      }
+      c.barrier();  // the user message is queued before the collective
+      cvec send(static_cast<std::size_t>(p));
+      cvec recv(send.size());
+      for (int d = 0; d < p; ++d) {
+        send[static_cast<std::size_t>(d)] = val(c.rank(), d);
+      }
+      Request q = c.ialltoall(send, recv, 1, algo);
+      if (c.rank() == 0) {
+        cvec got(1);
+        EXPECT_TRUE(c.try_recv(kAnySource, 77, got));
+        EXPECT_EQ(got[0], val(42, 0));
+        // Collective blocks are queued but carry internal tags only.
+        EXPECT_FALSE(c.try_recv(kAnySource, 77, got));
+      }
+      c.wait(q);
+      for (int s = 0; s < p; ++s) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(s)], val(s, c.rank()));
+      }
+    });
+  }
+}
+
 // --- stress / interleaving -------------------------------------------------------
 
 TEST(Stress, ManyInterleavedOperations) {

@@ -14,6 +14,7 @@
 
 #include "common/aligned.hpp"
 #include "common/arena.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/comm.hpp"
@@ -28,6 +29,13 @@ namespace {
 
 const win::SoiProfile& full_profile() {
   static const win::SoiProfile p = win::make_profile(win::Accuracy::kFull);
+  return p;
+}
+
+const win::SoiProfile& medium_profile() {
+  // Short enough taps that 16 segments fit a 2^15-point problem (the
+  // chunked-schedule tests below want several segments per rank).
+  static const win::SoiProfile p = win::make_profile(win::Accuracy::kMedium);
   return p;
 }
 
@@ -267,6 +275,154 @@ TEST(Pipeline, SerialDistStageParity) {
     }
   }
   EXPECT_EQ(mismatches, 0);
+}
+
+// --- executor reentrancy guard ----------------------------------------------
+
+TEST(Pipeline, ReentrantRunOnOnePlanThrows) {
+  // Plan objects keep their ExecState mutable, so a second run() entering
+  // the same plan mid-execution would be corruption. The executor must
+  // refuse loudly — and release the guard on unwind so the plan stays
+  // usable afterwards.
+  struct Reenter : exec::StageT<double> {
+    exec::PipelineT<double>* pipe = nullptr;
+    exec::ExecContextT<double>* ctx = nullptr;
+    mutable bool reenter = true;
+    void plan_records(std::vector<exec::StageRecord>& out) const override {
+      exec::StageRecord r;
+      r.name = "reenter";
+      out.push_back(r);
+    }
+    void run(exec::ExecContextT<double>&, exec::StageRecord*) const override {
+      if (reenter) {
+        reenter = false;
+        pipe->run(*ctx);  // reentrant: must throw, not corrupt
+      }
+    }
+  };
+  exec::PipelineT<double> pipe;
+  auto stage = std::make_unique<Reenter>();
+  Reenter* raw = stage.get();
+  pipe.add(std::move(stage));
+  exec::TraceLog trace;
+  pipe.init_trace(trace);
+  WorkspaceArena arena;
+  exec::ExecContextT<double> ctx;
+  ctx.arena = &arena;
+  ctx.trace = &trace;
+  raw->pipe = &pipe;
+  raw->ctx = &ctx;
+  EXPECT_THROW(pipe.run(ctx), Error);
+  // Guard released by the unwind: a fresh non-reentrant run succeeds.
+  EXPECT_FALSE(raw->reenter);
+  pipe.run(ctx);
+}
+
+// --- chunked (D > 1) schedules ----------------------------------------------
+
+TEST(Pipeline, ChunkedOverlapMatchesInOrderBitExactly) {
+  // The pipelined and in-order schedules are topological orders of the
+  // same dataflow edges over the same kernels on the same operands, so at
+  // every chunk depth the two outputs must be bit-identical. Across
+  // depths the arithmetic is not: a depth-D plan runs its F_M' batch as D
+  // groups of spr/D transforms, and batch size may select a different
+  // (equally valid) kernel path, so depth D > 1 is held to a
+  // rounding-level bound against the serial reference while D = 1 — the
+  // same batching as serial — must match it bit-exactly.
+  const std::int64_t n = 1 << 15;
+  const int ranks = 4;
+  const std::int64_t spr = 4;
+  const cvec x = random_signal(n, 33);
+  core::SoiFftSerial serial(n, ranks * spr, medium_profile());
+  cvec want(x.size());
+  serial.forward(x, want);
+  double ref_scale = 0.0;
+  for (const cplx& w : want) ref_scale = std::max(ref_scale, std::abs(w));
+
+  for (const std::int64_t cd :
+       {std::int64_t{1}, std::int64_t{2}, std::int64_t{4}}) {
+    cvec by_schedule[2];
+    for (const bool overlap : {false, true}) {
+      cvec got(x.size());
+      std::mutex mu;
+      net::run_ranks(ranks, [&](net::Comm& comm) {
+        core::DistOptions opts;
+        opts.segments_per_rank = spr;
+        opts.overlap = overlap;
+        opts.chunk_depth = cd;
+        core::SoiFftDist plan(comm, n, medium_profile(), opts);
+        const std::int64_t m = plan.local_size();
+        cvec y(static_cast<std::size_t>(m));
+        plan.forward(cspan{x.data() + comm.rank() * m,
+                           static_cast<std::size_t>(m)},
+                     y);
+        std::lock_guard<std::mutex> lock(mu);
+        std::copy(y.begin(), y.end(), got.begin() + comm.rank() * m);
+      });
+      double worst = 0.0;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        worst = std::max(worst, std::abs(want[i] - got[i]));
+      }
+      EXPECT_LE(worst, (cd == 1 ? 0.0 : 1e-12) * ref_scale)
+          << "cd=" << cd << " overlap=" << overlap;
+      by_schedule[overlap ? 1 : 0] = std::move(got);
+    }
+    std::int64_t schedule_mismatches = 0;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (by_schedule[0][i].real() != by_schedule[1][i].real() ||
+          by_schedule[0][i].imag() != by_schedule[1][i].imag()) {
+        ++schedule_mismatches;
+      }
+    }
+    EXPECT_EQ(schedule_mismatches, 0) << "cd=" << cd;
+  }
+}
+
+TEST(Pipeline, ChunkedDistSteadyStateAllocatesNothing) {
+  // The double-buffered slots and per-group requests are all part of the
+  // plan: a chunked pipelined forward() must stay heap-silent too.
+  const std::int64_t n = 1 << 15;
+  const int ranks = 4;
+  const cvec x = random_signal(n, 17);
+  std::int64_t delta = -1;
+  std::mutex mu;
+  net::run_ranks(ranks, [&](net::Comm& comm) {
+    core::DistOptions opts;
+    opts.segments_per_rank = 4;
+    opts.overlap = true;
+    opts.chunk_depth = 2;
+    core::SoiFftDist plan(comm, n, medium_profile(), opts);
+    const std::int64_t m = plan.local_size();
+    cvec y(static_cast<std::size_t>(m));
+    const cspan xin{x.data() + comm.rank() * m, static_cast<std::size_t>(m)};
+    plan.forward(xin, y);
+    plan.forward(xin, y);
+    comm.barrier();
+    const std::int64_t before = alloc_stats().count;
+    plan.forward(xin, y);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      delta = alloc_stats().count - before;
+    }
+    EXPECT_EQ(plan.workspace().growths(), 0);
+  });
+  EXPECT_EQ(delta, 0);
+}
+
+TEST(Pipeline, ChunkDepthClampsToDivisorOfSegments) {
+  const std::int64_t n = 1 << 15;
+  net::run_ranks(2, [&](net::Comm& comm) {
+    core::DistOptions opts;
+    opts.segments_per_rank = 4;
+    opts.overlap = true;
+    opts.chunk_depth = 3;  // not a divisor of spr: clamps down to 2
+    core::SoiFftDist plan(comm, n, medium_profile(), opts);
+    EXPECT_EQ(plan.chunk_depth(), 2);
+    opts.chunk_depth = 99;  // larger than spr: clamps to spr
+    core::SoiFftDist wide(comm, n, medium_profile(), opts);
+    EXPECT_EQ(wide.chunk_depth(), 4);
+  });
 }
 
 TEST(Pipeline, RealTraceBracketsSharedChain) {

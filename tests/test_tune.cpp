@@ -3,6 +3,7 @@
 // (including version rejection) and autotuner determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -29,9 +30,25 @@ TEST(Candidates, KeyAndCandidateRoundTrip) {
   EXPECT_EQ(parse_tune_key(key.str()), key);
 
   const Candidate cand{win::Accuracy::kLow, 4, net::AlltoallAlgo::kDirect,
-                       true, 16};
-  EXPECT_EQ(cand.describe(), "tier=low spr=4 algo=direct overlap=1 bw=16");
+                       true, 16, 2};
+  EXPECT_EQ(cand.describe(),
+            "tier=low spr=4 algo=direct overlap=1 bw=16 cd=2");
   EXPECT_EQ(parse_candidate(cand.describe()), cand);
+}
+
+TEST(Candidates, ParseAcceptsV2LinesWithoutChunkDepth) {
+  // v2 wisdom predates the cd field: it must parse with chunk_depth
+  // defaulting to 1 (the whole-rank exchange).
+  const auto c = parse_candidate("tier=low spr=4 algo=direct overlap=1 bw=8");
+  EXPECT_EQ(c.chunk_depth, 1);
+  EXPECT_EQ(c.batch_width, 8);
+  // The depth must divide segments_per_rank.
+  EXPECT_THROW(
+      parse_candidate("tier=low spr=4 algo=direct overlap=1 bw=0 cd=3"),
+      Error);
+  EXPECT_THROW(
+      parse_candidate("tier=low spr=4 algo=direct overlap=1 bw=0 cd=0"),
+      Error);
 }
 
 TEST(Candidates, ParseAcceptsV1LinesWithoutBatchWidth) {
@@ -95,6 +112,24 @@ TEST(Candidates, NoOverlapCandidatesOnOneRank) {
   for (const auto& cand : candidate_space(key)) {
     EXPECT_FALSE(cand.overlap) << cand.describe();
   }
+}
+
+TEST(Candidates, ChunkDepthOnlyForOverlapAndDividesSpr) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  bool saw_chunked = false;
+  for (const auto& cand : candidate_space(key)) {
+    if (!cand.overlap) {
+      EXPECT_EQ(cand.chunk_depth, 1) << cand.describe();
+    } else {
+      EXPECT_GE(cand.chunk_depth, 1) << cand.describe();
+      EXPECT_LE(cand.chunk_depth, cand.segments_per_rank)
+          << cand.describe();
+      EXPECT_EQ(cand.segments_per_rank % cand.chunk_depth, 0)
+          << cand.describe();
+      saw_chunked |= cand.chunk_depth > 1;
+    }
+  }
+  EXPECT_TRUE(saw_chunked);  // the new knob actually enumerates
 }
 
 TEST(Candidates, InfeasibleSegmentCountsArePruned) {
@@ -301,11 +336,55 @@ TEST(Wisdom, V1FilesStillReadable) {
   const auto bw = text.find(" bw=8");
   ASSERT_NE(bw, std::string::npos);
   text.erase(bw, 5);
+  const auto cd = text.find(" cd=1");
+  ASSERT_NE(cd, std::string::npos);
+  text.erase(cd, 5);
   const auto reparsed = WisdomStore::parse(text);
   const auto got = reparsed.find(key);
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(got->candidate.batch_width, 0);  // v1 default: auto width
+  EXPECT_EQ(got->candidate.batch_width, 0);   // v1 default: auto width
+  EXPECT_EQ(got->candidate.chunk_depth, 1);   // pre-v3 default: unchunked
   EXPECT_EQ(reparsed.serialize().rfind(WisdomStore::kHeader, 0), 0u);
+}
+
+TEST(Wisdom, V2FilesStillReadable) {
+  // A v2 file: v2 header, bw present, no cd field, no stages field.
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  std::string text = store.serialize();
+  const std::string header(WisdomStore::kHeader);
+  text.replace(0, header.size(), WisdomStore::kHeaderV2);
+  const auto cd = text.find(" cd=1");
+  ASSERT_NE(cd, std::string::npos);
+  text.erase(cd, 5);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate.batch_width, 8);
+  EXPECT_EQ(got->candidate.chunk_depth, 1);
+  EXPECT_TRUE(got->stage_seconds.empty());
+}
+
+TEST(Wisdom, StageSecondsRoundTrip) {
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  auto cfg = demo_config();
+  cfg.stage_seconds = {{"halo", 1.5e-5}, {"conv", 3.25e-4},
+                       {"exchange", 2.0e-4}};
+  store.put(key, cfg);
+  const auto reparsed = WisdomStore::parse(store.serialize());
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->stage_seconds.size(), 3u);
+  EXPECT_EQ(got->stage_seconds[0].first, "halo");
+  EXPECT_DOUBLE_EQ(got->stage_seconds[0].second, 1.5e-5);
+  EXPECT_EQ(got->stage_seconds[1].first, "conv");
+  EXPECT_DOUBLE_EQ(got->stage_seconds[1].second, 3.25e-4);
+  EXPECT_EQ(got->stage_seconds[2].first, "exchange");
+  EXPECT_DOUBLE_EQ(got->stage_seconds[2].second, 2.0e-4);
+  // Profile survives alongside the trailing stages field.
+  ASSERT_NE(got->profile.window, nullptr);
 }
 
 TEST(Wisdom, MalformedLineRejected) {
@@ -350,6 +429,100 @@ TEST(Autotune, WinnerIsNeverWorseThanDefault) {
     const auto dflt_score = score_candidate(key, dflt);
     EXPECT_LE(result.best.total_seconds(), dflt_score.total_seconds())
         << key.str();
+  }
+}
+
+TEST(Autotune, PriorsReorderButNeverPrune) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  auto plain = candidate_space(key);
+
+  // A comm-bound neighbour (same ranks/acc, nearby n): > 40% of its stage
+  // time in halo + exchange promotes overlapping/chunked candidates.
+  WisdomStore priors;
+  auto neighbour = demo_config();
+  neighbour.stage_seconds = {{"halo", 1.0e-4}, {"conv", 2.0e-4},
+                            {"f_p", 1.0e-4},  {"exchange", 6.0e-4},
+                            {"unpack", 5.0e-5}, {"f_mprime", 1.0e-4},
+                            {"demod", 5.0e-5}};
+  priors.put(TuneKey{1 << 15, 8, win::Accuracy::kLow}, neighbour);
+
+  auto ordered = plain;
+  order_candidates_with_priors(ordered, key, priors);
+  ASSERT_EQ(ordered.size(), plain.size());  // no pruning
+  // Same multiset of candidates, overlap/chunked first.
+  auto sorted_a = plain, sorted_b = ordered;
+  auto lt = [](const Candidate& x, const Candidate& y) {
+    return x.describe() < y.describe();
+  };
+  std::sort(sorted_a.begin(), sorted_a.end(), lt);
+  std::sort(sorted_b.begin(), sorted_b.end(), lt);
+  EXPECT_TRUE(std::equal(sorted_a.begin(), sorted_a.end(), sorted_b.begin()));
+  EXPECT_TRUE(ordered.front().overlap || ordered.front().chunk_depth > 1);
+  bool seen_plain = false;
+  for (const auto& c : ordered) {
+    const bool promoted = c.overlap || c.chunk_depth > 1;
+    if (!promoted) seen_plain = true;
+    EXPECT_FALSE(seen_plain && promoted)
+        << "promoted candidate after a plain one: " << c.describe();
+  }
+
+  // A compute-bound neighbour must leave the order untouched.
+  WisdomStore cold;
+  auto compute_bound = demo_config();
+  compute_bound.stage_seconds = {{"halo", 1.0e-6}, {"conv", 9.0e-4},
+                                 {"exchange", 1.0e-5}};
+  cold.put(TuneKey{1 << 15, 8, win::Accuracy::kLow}, compute_bound);
+  auto untouched = plain;
+  order_candidates_with_priors(untouched, key, cold);
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), untouched.begin()));
+
+  // Wrong ranks / no stage data: also untouched.
+  WisdomStore other_ranks;
+  other_ranks.put(TuneKey{1 << 15, 4, win::Accuracy::kLow}, neighbour);
+  auto untouched2 = plain;
+  order_candidates_with_priors(untouched2, key, other_ranks);
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), untouched2.begin()));
+}
+
+TEST(Autotune, MeasuredTunerRecordsStagePriors) {
+  // The measured tuner must write per-stage seconds into the wisdom entry
+  // (the priors of later sweeps); the modeled tuner records none.
+  const TuneKey key{1 << 14, 2, win::Accuracy::kLow};
+  TuneOptions opts;
+  opts.mode = TuneMode::kMeasured;
+  opts.reps = 1;
+  opts.max_segments_per_rank = 1;
+  WisdomStore wisdom;
+  const auto cfg = tuned_config(key, wisdom, opts);
+  ASSERT_FALSE(cfg.stage_seconds.empty());
+  bool saw_conv = false;
+  for (const auto& [name, sec] : cfg.stage_seconds) {
+    EXPECT_GE(sec, 0.0) << name;
+    saw_conv |= name == "conv";
+  }
+  EXPECT_TRUE(saw_conv);
+  // Round-trips through the v3 file format.
+  const auto reparsed = WisdomStore::parse(wisdom.serialize());
+  ASSERT_TRUE(reparsed.find(key).has_value());
+  EXPECT_EQ(reparsed.find(key)->stage_seconds.size(),
+            cfg.stage_seconds.size());
+
+  WisdomStore modeled;
+  const auto mcfg = tuned_config(key, modeled, {});
+  EXPECT_TRUE(mcfg.stage_seconds.empty());
+}
+
+TEST(Autotune, ChunkedOverlapNeverPricedSlowerThanUnchunked) {
+  // The modeled cost of an overlapping candidate must be monotonically
+  // non-increasing in chunk depth: the pipelined exchange hides pieces
+  // behind downstream compute, never adds exposed time.
+  const TuneKey key{1 << 18, 8, win::Accuracy::kLow};
+  Candidate cand{key.accuracy, 4, net::AlltoallAlgo::kPairwise, true, 0, 1};
+  const double base = score_candidate(key, cand).total_seconds();
+  for (const std::int64_t cd : {std::int64_t{2}, std::int64_t{4}}) {
+    cand.chunk_depth = cd;
+    EXPECT_LE(score_candidate(key, cand).total_seconds(), base)
+        << "cd=" << cd;
   }
 }
 

@@ -183,16 +183,26 @@ std::optional<tune::TunedConfig> wisdom_lookup(const Args& a,
 }
 
 /// `--trace` output: one row per stage record of the last execution.
-void print_trace(std::span<const exec::StageRecord> records) {
-  std::printf("%-14s %12s %14s %14s\n", "stage", "ms", "bytes", "flops");
+/// Communication stages report bytes MEASURED from the SimMPI counters
+/// (tagged "meas"); compute stages carry plan-time estimates ("est").
+/// wait_ms is the subset of a stage's time blocked in comm waits; the
+/// overlap line is exec::overlap_efficiency over the same records.
+void print_trace(const exec::TraceLog& trace) {
+  const auto records = trace.records();
+  std::printf("%-14s %6s %12s %10s %19s %14s\n", "stage", "chunks", "ms",
+              "wait_ms", "bytes", "flops");
   double total = 0.0;
   for (const auto& r : records) {
-    std::printf("%-14s %12.4f %14lld %14lld\n", r.name.c_str(),
-                r.seconds * 1e3, static_cast<long long>(r.bytes_moved),
+    std::printf("%-14s %6lld %12.4f %10.4f %14lld %-4s %14lld\n",
+                r.name.c_str(), static_cast<long long>(r.chunks),
+                r.seconds * 1e3, r.wait_seconds * 1e3,
+                static_cast<long long>(r.bytes_moved),
+                r.bytes_measured ? "meas" : "est",
                 static_cast<long long>(r.flops));
     total += r.seconds;
   }
-  std::printf("%-14s %12.4f\n", "total", total * 1e3);
+  std::printf("%-14s %6s %12.4f\n", "total", "", total * 1e3);
+  std::printf("overlap efficiency: %.3f\n", exec::overlap_efficiency(trace));
 }
 
 cvec load_or_generate(const Args& a, std::int64_t n) {
@@ -269,7 +279,7 @@ int cmd_transform(const Args& a) {
               a.flag("inverse") ? "inverse" : "forward",
               static_cast<long long>(n), static_cast<long long>(segments),
               sec * 1e3, fft_gflops(static_cast<std::size_t>(n), sec));
-  if (a.flag("trace")) print_trace(plan->last_trace().records());
+  if (a.flag("trace")) print_trace(plan->last_trace());
   if (a.flag("check")) {
     fft::FftPlan exact(n);
     cvec want(x.size());
@@ -342,7 +352,7 @@ int cmd_bench(const Args& a) {
               "demod %.2f ms\n",
               phases.conv * 1e3, phases.fp * 1e3, phases.pack * 1e3,
               phases.fm * 1e3, phases.demod * 1e3);
-  if (a.flag("trace")) print_trace(soi.last_trace().records());
+  if (a.flag("trace")) print_trace(soi.last_trace());
   return 0;
 }
 
@@ -411,7 +421,7 @@ int cmd_dist(const Args& a) {
   cvec y(x.size());
   std::mutex mu;
   core::SoiDistBreakdown bd0{};
-  std::vector<exec::StageRecord> trace0;
+  exec::TraceLog trace0;
   auto& registry = tune::PlanRegistry::global();
   Timer t;
   net::run_ranks(ranks, [&](net::Comm& comm) {
@@ -419,6 +429,8 @@ int cmd_dist(const Args& a) {
     dopts.segments_per_rank = cand.segments_per_rank;
     dopts.alltoall_algo = cand.alltoall_algo;
     dopts.overlap = cand.overlap;
+    dopts.batch_width = cand.batch_width;
+    dopts.chunk_depth = cand.chunk_depth;
     // One conv table for the whole world, built by whichever rank gets
     // there first.
     dopts.table =
@@ -435,7 +447,7 @@ int cmd_dist(const Args& a) {
     if (comm.rank() == 0) {
       bd0 = plan.last_breakdown();
       const auto recs = plan.last_trace().records();
-      trace0.assign(recs.begin(), recs.end());
+      trace0.plan(std::vector<exec::StageRecord>(recs.begin(), recs.end()));
     }
   });
   const double sec = t.seconds();
