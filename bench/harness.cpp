@@ -48,6 +48,14 @@ std::int64_t peak_rss_bytes() {
 }
 }  // namespace
 
+double process_cpu_seconds() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+         1e-6 * static_cast<double>(ru.ru_utime.tv_usec +
+                                    ru.ru_stime.tv_usec);
+}
+
 BenchRecord make_record(std::string bench, std::string label, std::int64_t n,
                         std::int64_t batch, double seconds) {
   BenchRecord rec;
@@ -93,6 +101,14 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     if (r.overlap_efficiency >= 0.0) {
       os << ", \"overlap_efficiency\": " << r.overlap_efficiency;
     }
+    if (r.faults_injected >= 0) {
+      os << ", \"faults_injected\": " << r.faults_injected
+         << ", \"retries\": " << r.retries
+         << ", \"checksum_failures\": " << r.checksum_failures;
+    }
+    if (r.resilience_overhead >= -0.5) {
+      os << ", \"resilience_overhead\": " << r.resilience_overhead;
+    }
     if (!r.stages.empty()) {
       os << ", \"stages\": [";
       for (std::size_t s = 0; s < r.stages.size(); ++s) {
@@ -101,7 +117,8 @@ std::string to_json(const std::vector<BenchRecord>& records) {
         json_string(os, st.name);
         os << ", \"chunks\": " << st.chunks << ", \"seconds\": "
            << st.seconds << ", \"wait_seconds\": " << st.wait_seconds
-           << ", \"bytes\": " << st.bytes_moved << ", \"measured\": "
+           << ", \"retries\": " << st.retries << ", \"bytes\": "
+           << st.bytes_moved << ", \"measured\": "
            << (st.bytes_measured ? "true" : "false")
            << ", \"flops\": " << st.flops << "}";
       }

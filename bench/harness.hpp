@@ -30,14 +30,19 @@ namespace soi::bench {
 /// record (docs/ALGORITHM.md Section 10.4):
 ///   {"bench","case","n","batch","seconds","gflops","ns_per_point",
 ///    "peak_rss_bytes","steady_state_allocs","overlap_efficiency"?,
-///    "stages"?}
+///    "faults_injected"?,"retries"?,"checksum_failures"?,
+///    "resilience_overhead"?,"stages"?}
 /// `overlap_efficiency` (present when the bench captured a pipeline trace)
 /// is exec::overlap_efficiency() of that trace: 1 - wait/total, clamped to
-/// [0, 1]. `stages` (same condition) is an array of
-/// {"stage","chunks","seconds","wait_seconds","bytes","measured","flops"}
-/// objects whose seconds sum to ~the record's pipeline wall time;
-/// `measured` tells whether `bytes` was counted from actual SimMPI traffic
-/// (true) or estimated from the data layout (false).
+/// [0, 1]. The resilience triple (present when the bench sampled its
+/// world's fault counters) reports injected faults, bounded-wait retries
+/// and CRC rejections for the record's runs; `resilience_overhead` is the
+/// fault-free relative cost of checksums + the residual guard. `stages`
+/// (trace condition) is an array of
+/// {"stage","chunks","seconds","wait_seconds","retries","bytes",
+/// "measured","flops"} objects whose seconds sum to ~the record's pipeline
+/// wall time; `measured` tells whether `bytes` was counted from actual
+/// SimMPI traffic (true) or estimated from the data layout (false).
 struct BenchRecord {
   std::string bench;       ///< binary name, e.g. "bench_batch_fft"
   std::string label;       ///< case within the bench, e.g. "batched"
@@ -52,12 +57,27 @@ struct BenchRecord {
   std::int64_t steady_state_allocs = -1;
   /// exec::overlap_efficiency() of the captured trace; -1 = no trace.
   double overlap_efficiency = -1.0;
+  /// Resilience counters of the record's world (-1 = not measured):
+  /// injected faults, bounded-wait retries summed over the trace, and
+  /// CRC/size verification rejections.
+  std::int64_t faults_injected = -1;
+  std::int64_t retries = -1;
+  std::int64_t checksum_failures = -1;
+  /// Fault-free wall-time overhead of the integrity layer (checksums +
+  /// residual guard) relative to running with both disabled:
+  /// seconds_on / seconds_off - 1. Negative sentinel = not measured.
+  double resilience_overhead = -1.0;
   /// Per-stage trace of the timed pipeline execution (empty = no trace).
   std::vector<exec::StageRecord> stages;
 };
 
 /// True when `--json` appears anywhere in argv.
 bool json_mode(int argc, char** argv);
+
+/// Process-wide CPU time (user + system, all threads) in seconds. The
+/// robust clock for overhead comparisons on an oversubscribed host, where
+/// wall-clock scheduling noise dwarfs small CPU-work deltas.
+double process_cpu_seconds();
 
 /// Build a record with the derived rate fields (gflops, ns_per_point)
 /// filled in from n/batch/seconds.

@@ -6,6 +6,7 @@
 #   scripts/ci.sh tier1       # just the standard build + full ctest
 #   scripts/ci.sh asan        # just the ASan build + core suites
 #   scripts/ci.sh tsan        # ThreadSanitizer build + SimMPI dist/pipeline
+#   scripts/ci.sh chaos       # fault-injection suites under ASan + TSan
 #   scripts/ci.sh smoke       # just the tune -> wisdom -> reuse smoke
 #   scripts/ci.sh bench-smoke # JSON benches on tiny sizes, validated
 #
@@ -61,6 +62,35 @@ run_tsan() {
       | grep -q "PASSED" &&
     ./tests/test_pipeline --gtest_filter='Pipeline.Chunked*:Pipeline.Reentrant*' \
       | grep -q "PASSED")
+}
+
+run_chaos() {
+  echo "=== chaos: fault-injection suites under sanitizers ==="
+  # ASan sees the full fault suite: spec parsing, CRC32C vectors, the
+  # transport recovery paths, the seed-swept chaos gates, the residual
+  # guard, input validation and every typed error path. Injected faults
+  # drive the retransmit/abort machinery through buffers that a fault-free
+  # run never touches, which is exactly where ASan earns its keep.
+  cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ci/asan -j "${jobs}" --target test_fault
+  (cd build-ci/asan && ./tests/test_fault)
+  # TSan sees the suites where ranks take the recovery paths concurrently:
+  # the SimMPI fault + nonblocking tests and the cross-thread chaos/
+  # degradation sweeps. Mailbox locking must hold up while one rank
+  # retransmits, another aborts and a third sits in a bounded wait.
+  # OpenMP off for the same reason as run_tsan.
+  cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
+  cmake --build build-ci/tsan -j "${jobs}" --target test_net test_fault
+  (cd build-ci/tsan &&
+    ./tests/test_net --gtest_filter='Fault.*:Nonblocking.*' \
+      | grep -q "PASSED" &&
+    ./tests/test_fault \
+      --gtest_filter='Transport.*:Chaos.*:*ChaosSweep*:Degradation.*:ResidualGuard.*' \
+      | grep -q "PASSED")
+  echo "chaos OK"
 }
 
 run_smoke() {
@@ -120,6 +150,18 @@ for path in sys.argv[1:]:
             eff = r.get("overlap_efficiency")
             assert eff is not None and 0.0 <= eff <= 1.0, \
                 f"{path}: bad overlap_efficiency {eff}: {r}"
+            # Resilience counters ride on every traced record: a fault-free
+            # bench must report the fields present and at zero (the bench
+            # runs with no injector), and the checksums+guard overhead
+            # measurement must have produced a finite ratio.
+            for key in ("faults_injected", "retries", "checksum_failures",
+                        "resilience_overhead"):
+                assert key in r, f"{path}: traced record missing {key}: {r}"
+            assert r["faults_injected"] == 0 and \
+                r["checksum_failures"] == 0 and r["retries"] == 0, \
+                f"{path}: fault-free bench reported faults/retries: {r}"
+            assert -0.5 <= r["resilience_overhead"] <= 10.0, \
+                f"{path}: implausible resilience_overhead: {r}"
             stage_sum = sum(s["seconds"] for s in r["stages"])
             assert abs(stage_sum - r["seconds"]) <= 0.05 * r["seconds"], \
                 f"{path}: stage sum {stage_sum} vs total {r['seconds']}: {r}"
@@ -129,6 +171,8 @@ for path in sys.argv[1:]:
                     f"{path}: wait exceeds stage time: {s}"
                 assert isinstance(s["measured"], bool), \
                     f"{path}: measured not a bool: {s}"
+                assert s["retries"] == 0, \
+                    f"{path}: fault-free stage recorded retries: {s}"
             names = [s["stage"] for s in r["stages"]]
             assert names == ["halo", "conv", "f_p", "exchange", "unpack",
                              "f_mprime", "demod"], f"{path}: bad chain {names}"
@@ -153,9 +197,10 @@ case "${stage}" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   tsan)  run_tsan ;;
+  chaos) run_chaos ;;
   smoke) run_smoke ;;
   bench-smoke) run_bench_smoke ;;
-  all)   run_tier1; run_asan; run_tsan; run_smoke; run_bench_smoke ;;
-  *) echo "usage: $0 [tier1|asan|tsan|smoke|bench-smoke|all]" >&2; exit 2 ;;
+  all)   run_tier1; run_asan; run_tsan; run_chaos; run_smoke; run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|tsan|chaos|smoke|bench-smoke|all]" >&2; exit 2 ;;
 esac
 echo "ci: ${stage} passed"

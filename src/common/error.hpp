@@ -1,4 +1,11 @@
 // Error reporting: precondition checks throw soi::Error with context.
+//
+// Errors carry a Status code so callers can tell recoverable conditions
+// (a communication timeout that a retry may clear) from fatal ones (bad
+// arguments, corrupted payloads that exhausted recovery, numerically
+// poisoned output). SOI_CHECK failures are kInvalidArgument; the typed
+// subclasses below are thrown by the transport and pipeline resilience
+// paths.
 #pragma once
 
 #include <sstream>
@@ -7,11 +14,71 @@
 
 namespace soi {
 
+/// Error taxonomy of the library. Every thrown soi::Error carries one.
+enum class Status {
+  kOk = 0,
+  kInvalidArgument,     ///< violated precondition (SOI_CHECK, bad sizes)
+  kCommTimeout,         ///< a bounded wait exhausted its retries
+  kPayloadCorruption,   ///< checksum/size mismatch that recovery couldn't fix
+  kAccuracyFault,       ///< residual guard: output outside the error bound
+};
+
+/// Stable name for a status code ("CommTimeout", ...).
+[[nodiscard]] constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "Ok";
+    case Status::kInvalidArgument: return "InvalidArgument";
+    case Status::kCommTimeout: return "CommTimeout";
+    case Status::kPayloadCorruption: return "PayloadCorruption";
+    case Status::kAccuracyFault: return "AccuracyFault";
+  }
+  return "Unknown";
+}
+
 /// Library-wide exception type. Thrown on violated preconditions
-/// (bad transform sizes, mismatched buffers, invalid window parameters).
+/// (bad transform sizes, mismatched buffers, invalid window parameters)
+/// and by the resilience layer with the matching Status code.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 Status status = Status::kInvalidArgument)
+      : std::runtime_error(what), status_(status) {}
+
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// A deadline-bounded wait ran out of retries (net::Comm::wait /
+/// the executor's chunk-retry loop).
+class CommTimeoutError : public Error {
+ public:
+  explicit CommTimeoutError(const std::string& what)
+      : Error(what, Status::kCommTimeout) {}
+};
+
+/// A message failed its CRC32 / size verification and the retained-copy
+/// recovery path was disabled or exhausted.
+class PayloadCorruptionError : public Error {
+ public:
+  explicit PayloadCorruptionError(const std::string& what)
+      : Error(what, Status::kPayloadCorruption) {}
+};
+
+/// Post-demodulation residual guard tripped: the output's energy residual
+/// exceeds the window-conditioned bound kappa*(eps_fft+eps_alias+eps_trunc).
+class AccuracyFaultError : public Error {
+ public:
+  explicit AccuracyFaultError(const std::string& what)
+      : Error(what, Status::kAccuracyFault) {}
+};
+
+/// Explicit alias for the default taxonomy entry (NaN/Inf input pre-scan).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what)
+      : Error(what, Status::kInvalidArgument) {}
 };
 
 namespace detail {

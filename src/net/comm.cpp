@@ -1,9 +1,14 @@
 #include "net/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <optional>
+#include <sstream>
 #include <thread>
+#include <unordered_set>
+
+#include "common/env.hpp"
 
 namespace soi::net {
 
@@ -21,18 +26,42 @@ constexpr int kTagAlltoallv = -6;
 // collectives in the same program order, so the per-rank counters agree
 // world-wide and concurrent in-flight collectives cannot cross-match.
 constexpr int kTagICollBase = -16;
+
+// When faults are active but no deadline was configured, waits must still
+// be bounded or an injected drop would hang the world.
+constexpr double kDefaultFaultTimeoutMs = 50.0;
+
+std::chrono::steady_clock::duration to_duration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
 }  // namespace
 
 struct Message {
   int src = 0;
   int tag = 0;
   std::vector<std::byte> payload;
+  // Integrity + recovery metadata. `crc` covers the payload as sent;
+  // `seq` numbers the src->dst channel; `reliable` marks messages sent
+  // while the injector was engaged (only those carry a retained clean
+  // copy and participate in sequence-number dedup, so mixed-mode worlds
+  // stay well-defined).
+  std::uint32_t crc = 0;
+  std::uint64_t seq = 0;
+  bool has_crc = false;
+  bool reliable = false;
 };
 
 struct Mailbox {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Message> msgs;
+  // Resilience state (only populated in reliable mode; the fault-free
+  // path never touches these):
+  std::deque<Message> delayed;   ///< injector-parked, promoted on deadline
+  std::deque<Message> retained;  ///< clean copies pending delivery
+  std::unordered_set<std::uint64_t> delivered;  ///< (src, seq) dedup keys
+  std::unordered_set<int> cancelled;  ///< tags of dropped collectives
 };
 
 struct World {
@@ -40,7 +69,9 @@ struct World {
       : nranks(n),
         boxes(static_cast<std::size_t>(n)),
         sent_bytes(static_cast<std::size_t>(n), 0),
-        coll_seq(static_cast<std::size_t>(n), 0) {}
+        coll_seq(static_cast<std::size_t>(n), 0),
+        chan_seq(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 0) {}
 
   int nranks;
   std::deque<Mailbox> boxes;  // deque: Mailbox is not movable
@@ -49,6 +80,21 @@ struct World {
   std::vector<std::int64_t> sent_bytes;
   // Per-rank nonblocking-collective sequence numbers (same ownership rule).
   std::vector<int> coll_seq;
+  // Per-channel (src*nranks+dst) message sequence numbers; slot src*n+dst
+  // is only ever touched by rank src's thread.
+  std::vector<std::uint64_t> chan_seq;
+
+  // Resilience configuration. Installed once (configure(), first caller
+  // wins) and read lock-free on the send/wait hot paths; the raw injector
+  // pointer is published with release ordering and owned by the world.
+  std::mutex cfg_mu;
+  bool configured = false;
+  std::unique_ptr<const FaultInjector> injector_owned;
+  std::atomic<const FaultInjector*> injector{nullptr};
+  std::atomic<double> timeout_ms{0.0};
+  std::atomic<int> max_retries{8};
+  std::atomic<bool> checksums{true};
+  FaultStatsAtomic stats;
 
   // Generation-counted barrier.
   std::mutex bar_mu;
@@ -63,14 +109,50 @@ struct World {
   std::uint64_t red_gen = 0;
   double red_acc = 0.0;
   double red_result = 0.0;
+  std::vector<double> red_vec_acc;
+  std::vector<double> red_vec_result;
+
+  // Set when a rank's body failed: every blocked wait unwinds with
+  // WorldAbortedError instead of deadlocking on a peer that will never
+  // arrive (run_ranks resurfaces the primary error, not these).
+  std::atomic<bool> aborted{false};
 
   TrafficLog traffic;
+
+  void configure(const NetOptions& opts);
+
+  /// Mark the world dead and wake every sleeper (mailboxes, barrier,
+  /// reduction rendezvous) so they observe `aborted` and throw.
+  void abort_world() {
+    aborted.store(true, std::memory_order_release);
+    for (auto& b : boxes) {
+      std::lock_guard<std::mutex> lock(b.mu);  // guarantee no missed wakeup
+      b.cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(bar_mu);
+      bar_cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(red_mu);
+      red_cv.notify_all();
+    }
+  }
+
+  void check_alive() const {
+    if (aborted.load(std::memory_order_acquire)) {
+      throw WorldAbortedError(
+          "comm: world aborted after a failure on a peer rank");
+    }
+  }
 
   void push(int dst, Message msg) {
     auto& box = boxes[static_cast<std::size_t>(dst)];
     {
       std::lock_guard<std::mutex> lock(box.mu);
-      box.msgs.push_back(std::move(msg));
+      if (box.cancelled.count(msg.tag) == 0) {
+        box.msgs.push_back(std::move(msg));
+      }
     }
     box.cv.notify_all();
   }
@@ -88,17 +170,218 @@ struct World {
     return std::nullopt;
   }
 
-  Message pop(int me, int src, int tag) {
-    auto& box = boxes[static_cast<std::size_t>(me)];
-    std::unique_lock<std::mutex> lock(box.mu);
+  Message pop(int me, int src, int tag, std::size_t expected_bytes);
+};
+
+void World::configure(const NetOptions& opts) {
+  std::lock_guard<std::mutex> lock(cfg_mu);
+  if (configured) return;
+  configured = true;
+  double t = opts.timeout_ms;
+  if (opts.faults.any() && t <= 0) t = kDefaultFaultTimeoutMs;
+  checksums.store(opts.checksums, std::memory_order_relaxed);
+  max_retries.store(opts.max_retries, std::memory_order_relaxed);
+  timeout_ms.store(t, std::memory_order_relaxed);
+  if (opts.faults.any()) {
+    injector_owned = std::make_unique<FaultInjector>(opts.faults);
+    injector.store(injector_owned.get(), std::memory_order_release);
+  }
+}
+
+namespace {
+
+std::uint64_t dedup_key(int src, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) |
+         seq;
+}
+
+/// Move every injector-parked message into the deliverable queue.
+/// Caller holds the mailbox mutex.
+int promote_delayed_locked(Mailbox& box) {
+  int moved = 0;
+  while (!box.delayed.empty()) {
+    box.msgs.push_back(std::move(box.delayed.front()));
+    box.delayed.pop_front();
+    ++moved;
+  }
+  return moved;
+}
+
+/// Drop the retained clean copy of a delivered message.
+/// Caller holds the mailbox mutex.
+void erase_retained_locked(Mailbox& box, int src, int tag, std::uint64_t seq) {
+  for (auto it = box.retained.begin(); it != box.retained.end(); ++it) {
+    if (it->src == src && it->tag == tag && it->seq == seq) {
+      box.retained.erase(it);
+      return;
+    }
+  }
+}
+
+/// Re-queue the retained clean copies of every undelivered (src, tag)
+/// message — the receiver-driven, idempotent retransmit. Returns how many
+/// were moved. Caller holds the mailbox mutex.
+int requeue_retained_locked(World& w, Mailbox& box, int src, int tag) {
+  int moved = 0;
+  for (auto it = box.retained.begin(); it != box.retained.end();) {
+    const bool pending =
+        (src == kAnySource || it->src == src) && it->tag == tag &&
+        box.delivered.count(dedup_key(it->src, it->seq)) == 0;
+    if (pending) {
+      box.msgs.push_back(std::move(*it));
+      it = box.retained.erase(it);
+      ++moved;
+    } else {
+      ++it;
+    }
+  }
+  if (moved > 0) {
+    w.stats.retransmits.fetch_add(moved, std::memory_order_relaxed);
+  }
+  return moved;
+}
+
+/// Match + verify loop: dedup stale duplicates/retransmits, check size and
+/// CRC, and on a verification failure either recover (re-queue the retained
+/// clean copy and match again) or throw soi::PayloadCorruptionError.
+/// Caller holds the mailbox mutex.
+std::optional<Message> take_verified_locked(World& w, Mailbox& box, int src,
+                                            int tag,
+                                            std::size_t expected_bytes) {
+  for (;;) {
+    auto m = World::match_locked(box, src, tag);
+    if (!m.has_value()) return std::nullopt;
+    std::uint64_t key = 0;
+    if (m->reliable) {
+      key = dedup_key(m->src, m->seq);
+      if (box.delivered.count(key) != 0) continue;  // stale duplicate
+    }
+    const bool size_ok = m->payload.size() == expected_bytes;
+    // Verify the checksum only for messages that crossed the simulated
+    // unreliable wire (`reliable` = an injector was engaged at send). A
+    // plain in-process queue move cannot corrupt the payload, so
+    // re-hashing every fault-free delivery would be dead work on the
+    // critical path; the stamp is still computed unconditionally so any
+    // consumer (or a future real-network backend) can verify.
+    const bool crc_ok =
+        !m->has_crc || !m->reliable ||
+        crc32(m->payload.data(), m->payload.size()) == m->crc;
+    if (size_ok && crc_ok) {
+      if (m->reliable) {
+        box.delivered.insert(key);
+        erase_retained_locked(box, m->src, tag, m->seq);
+      }
+      return m;
+    }
+    w.stats.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    if (m->reliable && w.max_retries.load(std::memory_order_relaxed) > 0) {
+      // Recovery on: re-queue the retained clean copy (if still held) and
+      // keep scanning. A failed requeue must NOT be fatal — when a message
+      // is both duplicated and corrupted, both wire copies are corrupt and
+      // the clean copy may already sit in the queue BEHIND the second bad
+      // one (the first failure consumed the retained slot). Each loop
+      // iteration removes one matching message, so this terminates; if the
+      // queue drains without a verified match the caller's bounded wait
+      // takes over.
+      requeue_retained_locked(w, box, m->src, tag);
+      continue;
+    }
+    std::ostringstream os;
+    os << "recv: expected " << expected_bytes << " bytes from rank "
+       << m->src << " tag " << tag << ", got " << m->payload.size();
+    if (!crc_ok) os << " (CRC mismatch)";
+    throw PayloadCorruptionError(os.str());
+  }
+}
+
+/// Discard a collective a receiver gave up on: purge its queued blocks and
+/// make push() drop future arrivals for its (never reused) tag.
+void cancel_collective(World& w, int owner, int tag) {
+  auto& box = w.boxes[static_cast<std::size_t>(owner)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  box.cancelled.insert(tag);
+  const auto has_tag = [tag](const Message& m) { return m.tag == tag; };
+  std::erase_if(box.msgs, has_tag);
+  std::erase_if(box.delayed, has_tag);
+  std::erase_if(box.retained, has_tag);
+}
+
+}  // namespace
+
+Message World::pop(int me, int src, int tag, std::size_t expected_bytes) {
+  auto& box = boxes[static_cast<std::size_t>(me)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const double base = timeout_ms.load(std::memory_order_relaxed);
+  if (base <= 0) {
     for (;;) {
-      if (auto m = match_locked(box, src, tag)) return std::move(*m);
+      check_alive();
+      if (auto m = take_verified_locked(*this, box, src, tag, expected_bytes))
+        return std::move(*m);
       box.cv.wait(lock);
     }
   }
-};
+  double t = base;
+  int attempt = 0;
+  auto deadline = std::chrono::steady_clock::now() + to_duration(t);
+  for (;;) {
+    check_alive();
+    if (auto m = take_verified_locked(*this, box, src, tag, expected_bytes))
+      return std::move(*m);
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // The bounded wait expired: count it whether or not the recovery
+      // attempt below succeeds (FaultStats::timeouts documents "expired
+      // at least once", not "expired unrecoverably").
+      stats.timeouts.fetch_add(1, std::memory_order_relaxed);
+      promote_delayed_locked(box);
+      const int maxr = max_retries.load(std::memory_order_relaxed);
+      if (injector.load(std::memory_order_acquire) != nullptr && maxr > 0) {
+        requeue_retained_locked(*this, box, src, tag);
+      }
+      if (auto m = take_verified_locked(*this, box, src, tag, expected_bytes))
+        return std::move(*m);
+      if (++attempt > maxr) {
+        std::ostringstream os;
+        os << "recv: timed out waiting for rank " << src << " tag " << tag
+           << " after " << attempt << " attempt(s), base deadline " << base
+           << " ms";
+        throw CommTimeoutError(os.str());
+      }
+      t *= 2;  // exponential backoff
+      deadline = std::chrono::steady_clock::now() + to_duration(t);
+    }
+  }
+}
 
 }  // namespace detail
+
+void Request::steal(Request& other) noexcept {
+  kind_ = other.kind_;
+  done_ = other.done_;
+  peer_ = other.peer_;
+  tag_ = other.tag_;
+  src_matched_ = other.src_matched_;
+  data_ = other.data_;
+  bytes_ = other.bytes_;
+  next_step_ = other.next_step_;
+  recv_base_ = other.recv_base_;
+  count_ = other.count_;
+  recv_counts_ = other.recv_counts_;
+  recv_displs_ = other.recv_displs_;
+  world_ = other.world_;
+  owner_ = other.owner_;
+  other.kind_ = Kind::kNone;
+  other.done_ = true;
+  other.world_ = nullptr;
+}
+
+void Request::release() noexcept {
+  if (kind_ == Kind::kColl && !done_ && world_ != nullptr) {
+    detail::cancel_collective(*world_, owner_, tag_);
+  }
+  kind_ = Kind::kNone;
+  done_ = true;
+  world_ = nullptr;
+}
 
 Comm::Comm(std::shared_ptr<detail::World> world, int rank)
     : world_(std::move(world)), rank_(rank) {}
@@ -111,34 +394,103 @@ std::int64_t Comm::bytes_sent() const {
   return world_->sent_bytes[static_cast<std::size_t>(rank_)];
 }
 
+void Comm::configure_resilience(const NetOptions& opts) {
+  world_->configure(opts);
+}
+
+double Comm::timeout_ms() const {
+  return world_->timeout_ms.load(std::memory_order_relaxed);
+}
+
+int Comm::max_retries() const {
+  return world_->max_retries.load(std::memory_order_relaxed);
+}
+
+FaultStats Comm::fault_stats() const { return world_->stats.snapshot(); }
+
 namespace {
 void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
                std::size_t bytes, bool record) {
   SOI_CHECK(dst >= 0 && dst < w.nranks,
             "send: destination rank " << dst << " out of range");
+  const FaultInjector* inj =
+      w.injector.load(std::memory_order_acquire);
+  if (inj != nullptr && inj->spec().stall_rank == src &&
+      inj->spec().stall_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(inj->spec().stall_ms));
+  }
   detail::Message m;
   m.src = src;
   m.tag = tag;
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  if (w.checksums.load(std::memory_order_relaxed)) {
+    m.crc = crc32(data, bytes);
+    m.has_crc = true;
+  }
   w.sent_bytes[static_cast<std::size_t>(src)] +=
       static_cast<std::int64_t>(bytes);
   if (record) {
     w.traffic.record({CommEvent::Kind::kP2P, 2,
                       static_cast<std::int64_t>(bytes), 1});
   }
-  w.push(dst, std::move(m));
+  if (inj == nullptr) {
+    w.push(dst, std::move(m));
+    return;
+  }
+
+  // Reliable mode: stamp the channel sequence number, retain a clean copy
+  // in the destination mailbox (the recovery source for drops and
+  // corruption), then deliver whatever the injector decides the wire copy
+  // looks like.
+  m.reliable = true;
+  m.seq = ++w.chan_seq[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(w.nranks) +
+                       static_cast<std::size_t>(dst)];
+  const FaultInjector::Action act = inj->decide(src, dst, tag, m.seq, bytes);
+  auto& st = w.stats;
+  auto& box = w.boxes[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    if (box.cancelled.count(tag) != 0) return;  // receiver gave this up
+    box.retained.push_back(m);
+    if (act.fired()) st.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    if (act.drop) {
+      st.drops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      detail::Message wire = std::move(m);
+      if (act.truncate && !wire.payload.empty()) {
+        wire.payload.resize(wire.payload.size() / 2);
+        st.truncations.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (act.corrupt_bit >= 0 && !wire.payload.empty()) {
+        const auto bit = static_cast<std::size_t>(act.corrupt_bit) %
+                         (wire.payload.size() * 8);
+        wire.payload[bit / 8] ^=
+            static_cast<std::byte>(1u << (bit % 8));
+        st.corruptions.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (act.duplicate) {
+        box.msgs.push_back(wire);  // second, independently matchable copy
+        st.duplicates.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (act.delay) {
+        box.delayed.push_back(std::move(wire));
+        st.delays.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        box.msgs.push_back(std::move(wire));
+      }
+    }
+  }
+  box.cv.notify_all();
 }
 
 void recv_impl(detail::World& w, int me, int src, int tag, void* data,
                std::size_t bytes) {
   SOI_CHECK(src == kAnySource || (src >= 0 && src < w.nranks),
             "recv: source rank " << src << " out of range");
-  detail::Message m = w.pop(me, src, tag);
-  SOI_CHECK(m.payload.size() == bytes,
-            "recv: expected " << bytes << " bytes from rank " << m.src
-                              << " tag " << tag << ", got "
-                              << m.payload.size());
+  detail::Message m = w.pop(me, src, tag, bytes);
   if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
 }
 }  // namespace
@@ -250,6 +602,8 @@ Request Comm::ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
   req.recv_base_ = recv_data.data();
   req.count_ = count;
   req.next_step_ = 1;
+  req.world_ = world_.get();
+  req.owner_ = rank_;
   return req;
 }
 
@@ -305,6 +659,8 @@ Request Comm::ialltoallv(cspan send_data,
   req.recv_counts_ = recv_counts.data();
   req.recv_displs_ = recv_displs.data();
   req.next_step_ = 1;
+  req.world_ = world_.get();
+  req.owner_ = rank_;
   return req;
 }
 
@@ -316,12 +672,9 @@ bool Comm::progress_locked(Request& req) {
     case Request::Kind::kSend:
       return true;
     case Request::Kind::kRecv: {
-      auto m = detail::World::match_locked(box, req.peer_, req.tag_);
+      auto m = detail::take_verified_locked(w, box, req.peer_, req.tag_,
+                                            req.bytes_);
       if (!m.has_value()) return false;
-      SOI_CHECK(m->payload.size() == req.bytes_,
-                "irecv: expected " << req.bytes_ << " bytes from rank "
-                                   << m->src << " tag " << req.tag_
-                                   << ", got " << m->payload.size());
       if (!m->payload.empty()) {
         std::memcpy(req.data_, m->payload.data(), m->payload.size());
       }
@@ -343,14 +696,10 @@ bool Comm::progress_locked(Request& req) {
           rc = req.recv_counts_[static_cast<std::size_t>(from)];
           rd = req.recv_displs_[static_cast<std::size_t>(from)];
         }
-        auto m = detail::World::match_locked(box, from, req.tag_);
+        auto m = detail::take_verified_locked(
+            w, box, from, req.tag_,
+            static_cast<std::size_t>(rc) * sizeof(cplx));
         if (!m.has_value()) return false;
-        SOI_CHECK(m->payload.size() ==
-                      static_cast<std::size_t>(rc) * sizeof(cplx),
-                  "ialltoall(v): expected "
-                      << static_cast<std::size_t>(rc) * sizeof(cplx)
-                      << " bytes from rank " << from << ", got "
-                      << m->payload.size());
         if (!m->payload.empty()) {
           std::memcpy(req.recv_base_ + rd, m->payload.data(),
                       m->payload.size());
@@ -371,11 +720,72 @@ bool Comm::test(Request& req) {
   return progress_locked(req);
 }
 
+bool Comm::wait_for(Request& req, double timeout_ms) {
+  if (req.done_) return true;
+  auto& w = *world_;
+  auto& box = w.boxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (progress_locked(req)) return true;
+  if (timeout_ms <= 0) {
+    while (!progress_locked(req)) {
+      w.check_alive();
+      box.cv.wait(lock);
+    }
+    return true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + detail::to_duration(timeout_ms);
+  for (;;) {
+    w.check_alive();
+    if (progress_locked(req)) return true;
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Deadline expired: promote injector-parked messages, re-queue the
+      // retained clean copies of this request's pending pieces, and give
+      // progress one final attempt before reporting back.
+      detail::promote_delayed_locked(box);
+      if (w.injector.load(std::memory_order_acquire) != nullptr &&
+          w.max_retries.load(std::memory_order_relaxed) > 0) {
+        if (req.kind_ == Request::Kind::kRecv) {
+          detail::requeue_retained_locked(w, box, req.peer_, req.tag_);
+        } else if (req.kind_ == Request::Kind::kColl) {
+          const int p = w.nranks;
+          for (int k = req.next_step_; k < p; ++k) {
+            detail::requeue_retained_locked(w, box, (rank_ - k + p) % p,
+                                            req.tag_);
+          }
+        }
+      }
+      const bool ok = progress_locked(req);
+      if (!ok) w.stats.timeouts.fetch_add(1, std::memory_order_relaxed);
+      return ok;
+    }
+  }
+}
+
 void Comm::wait(Request& req) {
   if (req.done_) return;
-  auto& box = world_->boxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  while (!progress_locked(req)) box.cv.wait(lock);
+  const double base = world_->timeout_ms.load(std::memory_order_relaxed);
+  if (base <= 0) {
+    auto& box = world_->boxes[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    while (!progress_locked(req)) {
+      world_->check_alive();
+      box.cv.wait(lock);
+    }
+    return;
+  }
+  double t = base;
+  const int maxr = world_->max_retries.load(std::memory_order_relaxed);
+  for (int attempt = 0;; ++attempt) {
+    if (wait_for(req, t)) return;
+    if (attempt >= maxr) {
+      std::ostringstream os;
+      os << "wait: request (tag " << req.tag_ << ") timed out after "
+         << (attempt + 1) << " attempt(s), base deadline " << base << " ms";
+      throw CommTimeoutError(os.str());
+    }
+    t *= 2;  // exponential backoff
+  }
 }
 
 void Comm::waitall(std::span<Request> reqs) {
@@ -393,13 +803,18 @@ void Comm::sendrecv(int dst, cspan send_data, int src, mspan recv_data,
 void Comm::barrier() {
   auto& w = *world_;
   std::unique_lock<std::mutex> lock(w.bar_mu);
+  w.check_alive();
   const std::uint64_t gen = w.bar_gen;
   if (++w.bar_waiting == w.nranks) {
     w.bar_waiting = 0;
     ++w.bar_gen;
     w.bar_cv.notify_all();
   } else {
-    w.bar_cv.wait(lock, [&w, gen] { return w.bar_gen != gen; });
+    w.bar_cv.wait(lock, [&w, gen] {
+      return w.bar_gen != gen ||
+             w.aborted.load(std::memory_order_acquire);
+    });
+    if (w.bar_gen == gen) w.check_alive();  // woken by abort, not release
   }
   if (rank_ == 0) {
     w.traffic.record({CommEvent::Kind::kBarrier, w.nranks, 0, 1});
@@ -478,6 +893,7 @@ void Comm::allgather(cspan send_data, mspan recv_data) {
 namespace {
 double reduce_rendezvous(detail::World& w, double value, bool is_sum) {
   std::unique_lock<std::mutex> lock(w.red_mu);
+  w.check_alive();
   const std::uint64_t gen = w.red_gen;
   if (w.red_count == 0) {
     w.red_acc = value;
@@ -493,8 +909,40 @@ double reduce_rendezvous(detail::World& w, double value, bool is_sum) {
                       static_cast<std::int64_t>(sizeof(double)), 1});
     return w.red_result;
   }
-  w.red_cv.wait(lock, [&w, gen] { return w.red_gen != gen; });
+  w.red_cv.wait(lock, [&w, gen] {
+    return w.red_gen != gen || w.aborted.load(std::memory_order_acquire);
+  });
+  if (w.red_gen == gen) w.check_alive();  // woken by abort, not completion
   return w.red_result;
+}
+
+void reduce_vec_rendezvous(detail::World& w, std::span<double> values) {
+  std::unique_lock<std::mutex> lock(w.red_mu);
+  w.check_alive();
+  const std::uint64_t gen = w.red_gen;
+  if (w.red_count == 0) {
+    w.red_vec_acc.assign(values.begin(), values.end());
+  } else {
+    SOI_CHECK(w.red_vec_acc.size() == values.size(),
+              "allreduce: vector length mismatch across ranks");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      w.red_vec_acc[i] += values[i];
+    }
+  }
+  if (++w.red_count == w.nranks) {
+    w.red_vec_result = w.red_vec_acc;
+    w.red_count = 0;
+    ++w.red_gen;
+    w.red_cv.notify_all();
+    w.traffic.record({CommEvent::Kind::kAllreduce, w.nranks,
+                      static_cast<std::int64_t>(values.size_bytes()), 1});
+  } else {
+    w.red_cv.wait(lock, [&w, gen] {
+      return w.red_gen != gen || w.aborted.load(std::memory_order_acquire);
+    });
+    if (w.red_gen == gen) w.check_alive();  // woken by abort, not completion
+  }
+  std::copy(w.red_vec_result.begin(), w.red_vec_result.end(), values.begin());
 }
 }  // namespace
 
@@ -504,6 +952,15 @@ double Comm::allreduce_sum(double value) {
 
 double Comm::allreduce_max(double value) {
   return reduce_rendezvous(*world_, value, /*is_sum=*/false);
+}
+
+void Comm::allreduce_sum(std::span<double> values) {
+  reduce_vec_rendezvous(*world_, values);
+}
+
+bool Comm::resilience_active() const {
+  return world_->injector.load(std::memory_order_acquire) != nullptr ||
+         world_->timeout_ms.load(std::memory_order_relaxed) > 0;
 }
 
 void Comm::alltoall(cspan send_data, mspan recv_data, std::int64_t count,
@@ -598,25 +1055,69 @@ void Comm::alltoallv(cspan send_data,
   }
 }
 
+namespace {
+/// Environment knobs fill any NetOptions field left at its default:
+/// SOI_FAULTS (spec string), SOI_TIMEOUT_MS, SOI_MAX_RETRIES,
+/// SOI_CHECKSUMS=0.
+NetOptions resolve_env_options(NetOptions opts) {
+  if (!opts.faults.any()) {
+    const std::string spec = env_str("SOI_FAULTS", "");
+    if (!spec.empty()) opts.faults = FaultSpec::parse(spec);
+  }
+  if (opts.timeout_ms <= 0) opts.timeout_ms = env_f64("SOI_TIMEOUT_MS", 0.0);
+  opts.max_retries =
+      static_cast<int>(env_i64("SOI_MAX_RETRIES", opts.max_retries));
+  if (env_i64("SOI_CHECKSUMS", opts.checksums ? 1 : 0) == 0) {
+    opts.checksums = false;
+  }
+  return opts;
+}
+}  // namespace
+
 std::vector<CommEvent> run_ranks(int nranks,
                                  const std::function<void(Comm&)>& body) {
+  return run_ranks(nranks, NetOptions{}, body);
+}
+
+std::vector<CommEvent> run_ranks(int nranks, const NetOptions& opts,
+                                 const std::function<void(Comm&)>& body) {
   SOI_CHECK(nranks >= 1, "run_ranks: need at least one rank");
+  const NetOptions resolved = resolve_env_options(opts);
   auto world = std::make_shared<detail::World>(nranks);
+  // Only a non-default configuration claims the configure slot; otherwise
+  // it stays open for DistOptions-level plumbing to install one later.
+  if (resolved.faults.any() || resolved.timeout_ms > 0 ||
+      !resolved.checksums) {
+    world->configure(resolved);
+  }
+  // Primary errors (a rank body failed on its own) are kept separate from
+  // induced WorldAbortedErrors (a rank unwound only because a peer already
+  // failed) so the root cause is what callers see. Any failure aborts the
+  // world: peers blocked on messages or rendezvous that can now never
+  // arrive wake up and unwind instead of deadlocking the join below.
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> aborts(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &body, &errors, r] {
+    threads.emplace_back([&world, &body, &errors, &aborts, r] {
       try {
         Comm comm(world, r);
         body(comm);
+      } catch (const WorldAbortedError&) {
+        aborts[static_cast<std::size_t>(r)] = std::current_exception();
+        world->abort_world();
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        world->abort_world();
       }
     });
   }
   for (auto& t : threads) t.join();
   for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const auto& e : aborts) {
     if (e) std::rethrow_exception(e);
   }
   return world->traffic.events();

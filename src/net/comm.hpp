@@ -12,8 +12,23 @@
 // Nonblocking model: Request handles are fully PASSIVE. Nothing runs in the
 // background — sends complete at post time (buffered), and all receive-side
 // progress happens on the waiting thread inside test()/wait(), which drain
-// the caller's own mailbox. A Request that is dropped without being waited
-// on has no lingering side effects beyond its already-posted sends.
+// the caller's own mailbox. Requests are move-only; a Request dropped
+// without being waited on has well-defined semantics: an unfinished
+// collective is CANCELLED on destruction (its in-flight blocks are purged
+// and future arrivals for its tag discarded), a pending receive simply
+// forgets its posting (the message stays in the mailbox for a later
+// blocking recv), and completed/send requests have nothing left to do.
+//
+// Resilience layer (NetOptions): every payload is CRC32-checksummed at
+// send and verified at match, so corruption and truncation are DETECTED.
+// With a FaultSpec installed (env SOI_FAULTS, run_ranks options, or
+// DistOptions::faults) messages additionally carry per-channel sequence
+// numbers and a clean retained copy: verification failures and
+// deadline-expired waits re-queue the retained copy (an idempotent,
+// receiver-driven retransmit), duplicates are absorbed by sequence-number
+// dedup, and waits become deadline-bounded with exponential backoff,
+// surfacing soi::CommTimeoutError / soi::PayloadCorruptionError after
+// max_retries.
 #pragma once
 
 #include <condition_variable>
@@ -28,12 +43,23 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "net/fault.hpp"
 #include "net/traffic.hpp"
 
 namespace soi::net {
 
 /// Wildcard source for recv_any-style matching.
 inline constexpr int kAnySource = -1;
+
+/// Secondary error delivered to ranks blocked on communication when a peer
+/// rank's body already failed: the world is marked aborted and every
+/// sleeping wait unwinds with this instead of deadlocking on a message or
+/// rendezvous that can never arrive. run_ranks() resurfaces the peer's
+/// primary error; this one is only rethrown when no primary exists.
+class WorldAbortedError : public CommTimeoutError {
+ public:
+  using CommTimeoutError::CommTimeoutError;
+};
 
 /// All-to-all algorithm selection (both give identical results; tests
 /// assert so — the choice models different message schedules).
@@ -42,17 +68,50 @@ enum class AlltoallAlgo {
   kDirect,    ///< post all sends, then drain all receives
 };
 
+/// Per-world resilience configuration. Defaults are the legacy semantics:
+/// no injected faults, unbounded waits, checksums stamped and verified.
+struct NetOptions {
+  /// Chaos scenario (empty = none). When set and timeout_ms == 0, a
+  /// default deadline is applied so injected drops/delays cannot hang.
+  FaultSpec faults;
+  /// Base deadline of one wait attempt in ms; 0 = wait forever.
+  double timeout_ms = 0.0;
+  /// Bounded-wait attempts (with doubling backoff) before a wait throws
+  /// soi::CommTimeoutError; 0 disables recovery entirely (corruption and
+  /// timeouts surface as typed errors on first detection).
+  int max_retries = 8;
+  /// Stamp CRC32C payload checksums on every send. Deliveries that
+  /// crossed the fault injector's simulated wire are always verified
+  /// against the stamp; plain in-process queue moves cannot corrupt, so
+  /// their stamp is carried but not re-hashed. Off only to measure the
+  /// stamping cost.
+  bool checksums = true;
+};
+
 namespace detail {
 struct World;
 }
 
-/// Handle for an in-flight nonblocking operation. Value-semantic and
-/// passive: no registry, no background progress. Completion is driven by
-/// the owning rank's thread through Comm::test/wait/waitall. Constructed
-/// inactive (done); obtain live ones from isend/irecv/ialltoall(v).
+/// Handle for an in-flight nonblocking operation. Move-only and passive:
+/// no registry, no background progress. Completion is driven by the owning
+/// rank's thread through Comm::test/wait/waitall. Constructed inactive
+/// (done); obtain live ones from isend/irecv/ialltoall(v). Destroying (or
+/// overwriting) a live collective request cancels it — see the header
+/// comment for the exact drop semantics per kind.
 class Request {
  public:
   Request() = default;
+  Request(Request&& other) noexcept { steal(other); }
+  Request& operator=(Request&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request() { release(); }
 
   /// True once the operation has completed (always true for inactive and
   /// send requests — sends are buffered and finish at post time).
@@ -74,6 +133,11 @@ class Request {
     kColl,  ///< alltoall(v): completes when all P-1 blocks have landed
   };
 
+  void steal(Request& other) noexcept;
+  /// Cancel a live collective (purge its blocks, discard future arrivals);
+  /// no-op for every other state. Defined out of line (needs World).
+  void release() noexcept;
+
   Kind kind_ = Kind::kNone;
   bool done_ = true;
   int peer_ = kAnySource;  ///< recv: source filter (or kAnySource)
@@ -91,6 +155,10 @@ class Request {
   std::int64_t count_ = -1;
   const std::int64_t* recv_counts_ = nullptr;
   const std::int64_t* recv_displs_ = nullptr;
+
+  // Cancellation route for live collectives dropped without a wait.
+  detail::World* world_ = nullptr;
+  int owner_ = -1;
 };
 
 /// Per-rank communicator handle. Obtained from run_ranks(); value-semantic
@@ -155,9 +223,20 @@ class Comm {
   /// request has completed. Never blocks.
   bool test(Request& req);
 
-  /// Block until the request completes, sleeping on the mailbox condition
-  /// variable between progress attempts.
+  /// Block until the request completes. Under the world's resilience
+  /// configuration (timeout_ms() > 0) this is a bounded wait: each expired
+  /// deadline promotes injector-delayed messages, re-queues retained clean
+  /// copies of the request's pending pieces, doubles the deadline, and
+  /// after max_retries() attempts throws soi::CommTimeoutError.
   void wait(Request& req);
+
+  /// One deadline-bounded completion attempt: progress, sleep until the
+  /// deadline, recover (promote delayed + re-queue retained) at expiry,
+  /// and report whether the request finished. timeout_ms <= 0 blocks
+  /// until completion. Throws soi::PayloadCorruptionError when a payload
+  /// fails verification and recovery is disabled or impossible; never
+  /// throws on timeout (callers own the retry policy).
+  bool wait_for(Request& req, double timeout_ms);
 
   /// wait() over a span, in order.
   void waitall(std::span<Request> reqs);
@@ -170,6 +249,16 @@ class Comm {
   void allgather(cspan send_data, mspan recv_data);
   double allreduce_sum(double value);
   double allreduce_max(double value);
+  /// Element-wise sum over all ranks, in place — one rendezvous for the
+  /// whole vector (callers with several scalars to reduce should batch
+  /// them here rather than pay one synchronization each).
+  void allreduce_sum(std::span<double> values);
+
+  /// True when this world can experience or recover from faults: a fault
+  /// injector is installed or a wait deadline is configured. World-global
+  /// (every rank sees the same answer), so callers may condition
+  /// collective call patterns on it.
+  [[nodiscard]] bool resilience_active() const;
 
   /// Exchange `count` complex values with every rank: block d of `send_data`
   /// goes to rank d; block s of `recv_data` arrives from rank s.
@@ -184,6 +273,21 @@ class Comm {
                  std::span<const std::int64_t> send_displs, mspan recv_data,
                  std::span<const std::int64_t> recv_counts,
                  std::span<const std::int64_t> recv_displs);
+
+  // -- resilience --
+
+  /// Install the world's resilience configuration (fault injector,
+  /// deadlines, retry budget). First caller wins; later calls are no-ops,
+  /// so every rank may call it with the same options (DistOptions plumbing
+  /// does). Worlds from run_ranks(n, opts, body) are pre-configured.
+  void configure_resilience(const NetOptions& opts);
+
+  /// Base deadline of one wait attempt in ms (0 = unbounded waits).
+  [[nodiscard]] double timeout_ms() const;
+  /// Bounded-wait retry budget (0 = recovery disabled).
+  [[nodiscard]] int max_retries() const;
+  /// Snapshot of the world-wide fault/recovery counters.
+  [[nodiscard]] FaultStats fault_stats() const;
 
   /// Shared traffic recorder for the whole world (same object on all ranks).
   [[nodiscard]] TrafficLog& traffic();
@@ -208,7 +312,14 @@ class Comm {
 /// finish. Exceptions thrown by rank bodies are captured; the first one (by
 /// rank order) is rethrown here after every thread has joined.
 /// Returns a snapshot of the world's traffic events (cost-model input).
+///
+/// The two-argument form reads the resilience environment knobs
+/// (SOI_FAULTS spec string, SOI_TIMEOUT_MS, SOI_MAX_RETRIES,
+/// SOI_CHECKSUMS=0); the NetOptions overload configures the world
+/// explicitly (environment fills only the fields left at their defaults).
 std::vector<CommEvent> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& body);
+std::vector<CommEvent> run_ranks(int nranks, const NetOptions& opts,
                                  const std::function<void(Comm&)>& body);
 
 }  // namespace soi::net

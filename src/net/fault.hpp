@@ -1,0 +1,140 @@
+// Deterministic fault injection for the SimMPI transport.
+//
+// A FaultSpec describes a reproducible chaos scenario: a seed plus a list
+// of (kind, rate) rules. The injector decides the fate of every message
+// from a counter-based hash of (seed, kind, src, dst, channel sequence
+// number) — NOT from a shared RNG stream — so decisions are identical
+// regardless of thread interleaving: the same seed and traffic pattern
+// always injects the same faults, which is what makes the chaos suite's
+// "retried run is bit-identical to the fault-free run" assertion testable.
+//
+// Spec string grammar (CLI --fault-spec, env SOI_FAULTS,
+// DistOptions::faults):
+//   seed:kind:rate[,kind:rate...][,stall:RANK:MS]
+// e.g. "42:drop:0.02,corrupt:0.01" or "7:delay:0.05,stall:1:20".
+// Kinds: drop, corrupt (single bit-flip), truncate (payload halved),
+// duplicate, delay (held until a waiter's deadline expires). stall pauses
+// the named rank MS milliseconds before each of its sends.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soi::net {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,       ///< message never enqueued (clean copy stays retained)
+  kCorrupt,    ///< one bit of the payload flipped after the CRC was taken
+  kTruncate,   ///< payload cut to half its length
+  kDuplicate,  ///< delivered twice (dedup by sequence number must absorb it)
+  kDelay,      ///< parked until a waiter's deadline promotes it
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  double rate = 0.0;  ///< per-message probability in [0, 1]
+};
+
+/// A reproducible chaos scenario. Empty (no rules, no stall) = faultless.
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+  int stall_rank = -1;      ///< rank whose sends are slowed; -1 = none
+  double stall_ms = 0.0;    ///< pause before each of that rank's sends
+
+  [[nodiscard]] bool any() const {
+    return !rules.empty() || stall_rank >= 0;
+  }
+  /// Parse the spec grammar above; throws soi::Error with a precise
+  /// message on malformed input (strict: unknown kinds, rates outside
+  /// [0,1], and trailing garbage are all rejected).
+  static FaultSpec parse(const std::string& text);
+  /// Round-trip back to the spec grammar ("" for an empty spec).
+  [[nodiscard]] std::string str() const;
+};
+
+/// Monotonic counters of everything the resilience layer saw and did.
+/// Shared by all ranks of one world; snapshot with Comm::fault_stats().
+struct FaultStats {
+  std::int64_t faults_injected = 0;  ///< total messages a rule fired on
+  std::int64_t drops = 0;
+  std::int64_t corruptions = 0;
+  std::int64_t truncations = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t delays = 0;
+  std::int64_t checksum_failures = 0;  ///< CRC/size verification rejections
+  std::int64_t retransmits = 0;  ///< retained clean copies re-queued
+  std::int64_t timeouts = 0;     ///< bounded waits that expired at least once
+};
+
+namespace detail {
+/// Atomic backing store for FaultStats (relaxed counters; the snapshot is
+/// only read after the traffic that bumped it has quiesced).
+struct FaultStatsAtomic {
+  std::atomic<std::int64_t> faults_injected{0};
+  std::atomic<std::int64_t> drops{0};
+  std::atomic<std::int64_t> corruptions{0};
+  std::atomic<std::int64_t> truncations{0};
+  std::atomic<std::int64_t> duplicates{0};
+  std::atomic<std::int64_t> delays{0};
+  std::atomic<std::int64_t> checksum_failures{0};
+  std::atomic<std::int64_t> retransmits{0};
+  std::atomic<std::int64_t> timeouts{0};
+
+  [[nodiscard]] FaultStats snapshot() const {
+    FaultStats s;
+    s.faults_injected = faults_injected.load(std::memory_order_relaxed);
+    s.drops = drops.load(std::memory_order_relaxed);
+    s.corruptions = corruptions.load(std::memory_order_relaxed);
+    s.truncations = truncations.load(std::memory_order_relaxed);
+    s.duplicates = duplicates.load(std::memory_order_relaxed);
+    s.delays = delays.load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
+    s.retransmits = retransmits.load(std::memory_order_relaxed);
+    s.timeouts = timeouts.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+}  // namespace detail
+
+/// Per-world injector: pure function of (spec, message coordinates).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {}
+
+  /// The injected fate of one message. corrupt_bit is the absolute bit
+  /// index to flip (-1 = none); independent rules may combine (e.g. a
+  /// delayed message can also be corrupted).
+  struct Action {
+    bool drop = false;
+    bool truncate = false;
+    bool duplicate = false;
+    bool delay = false;
+    std::int64_t corrupt_bit = -1;
+    [[nodiscard]] bool fired() const {
+      return drop || truncate || duplicate || delay || corrupt_bit >= 0;
+    }
+  };
+
+  /// Deterministic decision for message number `seq` on channel src->dst.
+  /// `payload_bytes` sizes the corrupt-bit draw.
+  [[nodiscard]] Action decide(int src, int dst, int tag, std::uint64_t seq,
+                              std::size_t payload_bytes) const;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+};
+
+/// CRC32C (Castagnoli polynomial) of a byte buffer — the integrity
+/// checksum stamped on every SimMPI payload. Uses the SSE4.2 CRC32
+/// instruction when the host supports it (runtime-dispatched) and a
+/// table-based software path computing the identical polynomial otherwise.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes);
+
+}  // namespace soi::net

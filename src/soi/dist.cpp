@@ -1,8 +1,17 @@
 #include "soi/dist.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
+
+namespace {
+// Residual-guard slack: the paper's Section-5 bound is an order estimate,
+// so the acceptance gate leaves generous headroom above
+// kappa*(eps_fft + eps_alias + eps_trunc) — injected corruption that slips
+// past the checksums perturbs the energy by orders of magnitude more.
+constexpr double kGuardSlack = 256.0;
+}  // namespace
 
 namespace soi::core {
 
@@ -55,6 +64,20 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
   append_chain_stages(pipeline_, env_);
   state_.arena.commit();
   pipeline_.init_trace(state_.trace);
+  SOI_CHECK(opts_.max_retries >= 0,
+            "SoiFftDist: max_retries must be >= 0");
+  SOI_CHECK(opts_.timeout_ms >= 0,
+            "SoiFftDist: timeout_ms must be >= 0");
+  // Install the plan's resilience configuration into the shared world.
+  // Every rank constructs the plan with identical options; the first
+  // configure wins and the rest are no-ops.
+  if (opts_.faults.any() || opts_.timeout_ms > 0) {
+    net::NetOptions nopts;
+    nopts.faults = opts_.faults;
+    nopts.timeout_ms = opts_.timeout_ms;
+    nopts.max_retries = opts_.max_retries;
+    comm_.configure_resilience(nopts);
+  }
 }
 
 void SoiFftDist::forward(cspan x_local, mspan y_local) {
@@ -73,15 +96,88 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
                                          << x_local.size());
   SOI_CHECK(y_local.size() >= static_cast<std::size_t>(m_rank),
             "SoiFftDist::forward: local output too small");
+  bool validate = opts_.validate_input > 0;
+#ifndef NDEBUG
+  if (opts_.validate_input < 0) validate = true;
+#endif
+  if (validate) {
+    const std::int64_t bad = first_nonfinite<double>(x_local);
+    if (bad >= 0) {
+      std::ostringstream os;
+      os << "SoiFftDist::forward: rank " << comm_.rank()
+         << " input contains a non-finite value (NaN/Inf) at local index "
+         << bad;
+      throw InvalidArgumentError(os.str());
+    }
+  }
   exec::ExecContextT<double> ctx;
   ctx.in = x_local;
   ctx.out = y_local;
   ctx.comm = &comm_;
-  ctx.overlap = overlap;
+  // Graceful degradation: once a run needed communication retries, give
+  // up the overlapped schedule and run in order (same nodes and edges, so
+  // results stay bit-identical).
+  ctx.overlap = overlap && !degraded_;
   ctx.arena = &state_.arena;
   ctx.trace = &state_.trace;
   pipeline_.run(ctx);
   breakdown_ = SoiDistBreakdown::from_trace(state_.trace);
+  last_retries_ = 0;
+  for (const auto& r : state_.trace.records()) last_retries_ += r.retries;
+  if (last_retries_ > 0) degraded_ = true;
+
+  if (opts_.residual_guard) {
+    // Output acceptance gate. Two tiers:
+    //
+    // Local (every run): scan the output segment for non-finite values —
+    // poisoned arithmetic shows up as NaN/Inf with no communication.
+    //
+    // Global (only when the world can actually experience faults, i.e.
+    // comm_.resilience_active()): the Parseval check sum|y|^2 ==
+    // N*sum|x|^2 up to the window-conditioned error model of Section 5,
+    // ||y_hat - y||/||y|| = O(kappa*(eps_fft + eps_alias + eps_trunc)) —
+    // an ABFT-style end-to-end gate that catches corruption which slipped
+    // past the transport checksums. The global tier needs one allreduce;
+    // on the oversubscribed SimMPI host an extra rendezvous costs
+    // O(ranks x scheduler latency), so the fault-free fast path must not
+    // pay it. resilience_active() is world-global, keeping the collective
+    // call pattern identical on every rank.
+    const std::int64_t bad = core::first_nonfinite<double>(
+        cspan{y_local.data(), static_cast<std::size_t>(m_rank)});
+    if (bad >= 0) {
+      std::ostringstream os;
+      os << "SoiFftDist: residual guard tripped: rank " << comm_.rank()
+         << " output contains a non-finite value at local index " << bad;
+      throw AccuracyFaultError(os.str());
+    }
+    if (comm_.resilience_active()) {
+      double energies[2] = {0.0, 0.0};
+      for (const auto& v : x_local) energies[0] += std::norm(v);
+      for (std::int64_t i = 0; i < m_rank; ++i) {
+        energies[1] += std::norm(y_local[static_cast<std::size_t>(i)]);
+      }
+      const double nd = static_cast<double>(geom_.n());
+      comm_.allreduce_sum(std::span<double>(energies, 2));  // one rendezvous
+      const double tout = energies[1];
+      const double expected = energies[0] * nd;
+      if (expected > 0.0) {
+        const double rel = std::abs(tout - expected) / expected;
+        const double eps_fft = 1e-15 * std::log2(nd);
+        const double eps =
+            profile_.eps_alias + profile_.eps_trunc + eps_fft;
+        const double tol =
+            kGuardSlack * std::max(profile_.kappa, 1.0) * eps;
+        if (!(rel <= tol)) {
+          std::ostringstream os;
+          os << "SoiFftDist: residual guard tripped: relative energy "
+                "residual "
+             << rel << " exceeds kappa-scaled bound " << tol
+             << " (kappa=" << profile_.kappa << ", eps=" << eps << ")";
+          throw AccuracyFaultError(os.str());
+        }
+      }
+    }
+  }
 }
 
 void SoiFftDist::inverse(cspan y_local, mspan x_local) {

@@ -59,6 +59,25 @@ struct DistOptions {
   /// from tune::PlanRegistry so all ranks share one table instead of each
   /// building an identical copy. When null the plan builds its own.
   std::shared_ptr<const ConvTable> table;
+  /// Chaos scenario installed into the communicator's world at plan
+  /// construction (first configurer wins; every rank passes the same
+  /// options). Empty = no injected faults.
+  net::FaultSpec faults;
+  /// Base deadline of one communication wait attempt in ms; 0 keeps waits
+  /// unbounded (a default deadline is applied when faults are active).
+  double timeout_ms = 0.0;
+  /// Chunk-granularity retry budget before a wait surfaces
+  /// soi::CommTimeoutError; 0 disables recovery (first detected fault is
+  /// fatal with its typed error).
+  int max_retries = 8;
+  /// Post-demodulation Parseval/energy check scaled by the window
+  /// condition number kappa (the paper's Section-5 error model as an
+  /// acceptance gate); throws soi::AccuracyFaultError on violation.
+  bool residual_guard = true;
+  /// NaN/Inf input pre-scan: -1 = automatic (on in Debug builds, off in
+  /// Release), 0 = off, 1 = on. Violations throw
+  /// soi::InvalidArgumentError before any communication happens.
+  int validate_input = -1;
 };
 
 /// Distributed SOI plan bound to a communicator.
@@ -117,6 +136,14 @@ class SoiFftDist {
     return state_.arena;
   }
 
+  /// True once a run needed communication retries: the plan has degraded
+  /// to the in-order (non-overlapped) schedule for subsequent runs —
+  /// results stay bit-identical, only the overlap is given up.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  /// Bounded-wait retries observed during the most recent run (summed
+  /// over all stage records).
+  [[nodiscard]] std::int64_t last_retries() const { return last_retries_; }
+
  private:
   void run_pipeline(cspan x_local, mspan y_local, bool overlap);
 
@@ -132,6 +159,8 @@ class SoiFftDist {
   exec::PipelineT<double> pipeline_;
   exec::ExecState state_;
   SoiDistBreakdown breakdown_;
+  bool degraded_ = false;
+  std::int64_t last_retries_ = 0;
   cvec conj_in_, conj_out_;  // conjugation scratch (inverse)
 };
 

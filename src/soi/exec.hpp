@@ -57,6 +57,7 @@ struct StageRecord {
   std::int64_t bytes_moved = 0;  ///< payload bytes (measured for comm)
   std::int64_t flops = 0;        ///< plan-time flop estimate
   std::int64_t chunks = 1;       ///< node executions folded into this record
+  std::int64_t retries = 0;      ///< bounded-wait retries this execution
   bool bytes_measured = false;   ///< bytes_moved measured vs plan estimate
 };
 
@@ -71,6 +72,7 @@ class TraceLog {
     for (auto& r : records_) {
       r.seconds = 0.0;
       r.wait_seconds = 0.0;
+      r.retries = 0;
       if (r.bytes_measured) r.bytes_moved = 0;
     }
   }

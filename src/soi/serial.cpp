@@ -40,6 +40,20 @@ void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
                                                  << n);
   SOI_CHECK(y.size() >= static_cast<std::size_t>(n),
             "SoiFftSerial::forward: output too small");
+  bool validate = validate_input_ > 0;
+#ifndef NDEBUG
+  if (validate_input_ < 0) validate = true;
+#endif
+  if (validate) {
+    const std::int64_t bad = first_nonfinite<Real>(x);
+    if (bad >= 0) {
+      std::ostringstream os;
+      os << "SoiFftSerial::forward: input contains a non-finite value "
+            "(NaN/Inf) at index "
+         << bad;
+      throw InvalidArgumentError(os.str());
+    }
+  }
   exec::ExecContextT<Real> ctx;
   ctx.in = x;
   ctx.out = y;

@@ -47,6 +47,12 @@ class SoiFftSerialT {
   /// Forward transform: y[k] ~= sum_j x[j] exp(-2 pi i jk / N), in order.
   void forward(cspan_t<Real> x, mspan_t<Real> y) const;
 
+  /// NaN/Inf input pre-scan before forward()/inverse(): on by default in
+  /// Debug builds, off in Release; this setter overrides either way.
+  /// Violations throw soi::InvalidArgumentError instead of producing
+  /// silent garbage.
+  void set_validate_input(bool on) { validate_input_ = on ? 1 : 0; }
+
   /// Forward with a per-phase timing breakdown.
   void forward_timed(cspan_t<Real> x, mspan_t<Real> y,
                      SoiPhaseTimes& times) const;
@@ -72,6 +78,7 @@ class SoiFftSerialT {
   ChainEnvT<Real> env_;
   exec::PipelineT<Real> pipeline_;
   mutable exec::ExecState state_;
+  int validate_input_ = -1;  ///< -1 auto (Debug on), 0 off, 1 on
   mutable cvec_t<Real> inv_in_, inv_out_;  // conjugation scratch (inverse)
 };
 

@@ -31,6 +31,34 @@ constexpr int kPhasePost = 0;  ///< stage input + nonblocking comm posts
 constexpr int kPhaseWait = 1;  ///< complete a posted operation
 constexpr int kPhaseWork = 2;  ///< compute kernel
 
+/// Deadline-bounded completion of one posted operation at chunk
+/// granularity: each expired attempt re-queues the retained clean copies
+/// of the pending pieces (idempotent retransmit), bumps the stage's retry
+/// counter, and doubles the deadline; soi::CommTimeoutError after the
+/// world's retry budget. Falls back to a plain blocking wait when the
+/// world has no deadline configured (the fault-free default).
+void wait_resilient(net::Comm& comm, net::Request& req,
+                    exec::StageRecord& rec, const char* what) {
+  const double base = comm.timeout_ms();
+  if (base <= 0) {
+    comm.wait(req);
+    return;
+  }
+  double t = base;
+  const int maxr = comm.max_retries();
+  for (int attempt = 0;; ++attempt) {
+    if (comm.wait_for(req, t)) return;
+    rec.retries += 1;
+    if (attempt >= maxr) {
+      std::ostringstream os;
+      os << "SOI pipeline: " << what << " wait timed out after "
+         << (attempt + 1) << " attempt(s), base deadline " << base << " ms";
+      throw CommTimeoutError(os.str());
+    }
+    t *= 2;  // exponential backoff
+  }
+}
+
 /// Stages 1+2 of the per-rank pipeline: halo materialisation and the
 /// convolution W x. Emits "halo" and "conv". Node-driven: a post node
 /// stages the input (and isend/irecvs the halo when remote), a wait node
@@ -138,8 +166,8 @@ class HaloConvStageT final : public exec::StageT<Real> {
   void wait_halo(exec::ExecContextT<Real>& ctx,
                  exec::StageRecord* rec) const {
     exec::WaitTimer wt(rec[0]);
-    ctx.comm->wait(hrecv_);
-    ctx.comm->wait(hsend_);
+    wait_resilient(*ctx.comm, hrecv_, rec[0], "halo");
+    wait_resilient(*ctx.comm, hsend_, rec[0], "halo");
   }
 
   void conv(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
@@ -276,7 +304,7 @@ class ExchangeStageT final : public exec::StageT<Real> {
       const auto g = static_cast<std::size_t>(node.chunk);
       if (node.phase == kPhaseWait) {
         exec::WaitTimer wt(*rec);
-        ctx.comm->wait(reqs_[g]);
+        wait_resilient(*ctx.comm, reqs_[g], *rec, "exchange");
         return;
       }
       const std::span<C> send = ctx.arena->template span<C>(env.send);

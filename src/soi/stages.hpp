@@ -25,6 +25,7 @@
 // same edges, so outputs are bit-identical.
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,19 @@
 #include "soi/params.hpp"
 
 namespace soi::core {
+
+/// Index of the first NaN/Inf sample in `x`, or -1 when every value is
+/// finite — the input-validation pre-scan of the forward entry points.
+template <class Real>
+[[nodiscard]] inline std::int64_t first_nonfinite(
+    std::span<const std::complex<Real>> x) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag())) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return -1;
+}
 
 /// Plan-time environment of one chain instance on one rank. The plan
 /// object owns this (and the pointed-to geometry/table/FFT plans) for the

@@ -1,0 +1,679 @@
+// Resilience tests: fault-spec parsing, deterministic injection, CRC32C,
+// transport recovery (retransmit/dedup/timeout), the chaos sweep asserting
+// faulty runs are bit-identical to fault-free ones, typed-error surfacing
+// when recovery is disabled, the kappa-scaled residual guard, input
+// validation, graceful degradation, and the SOI_CHECK error paths of
+// soi/params.cpp and soi/dist.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/comm.hpp"
+#include "net/fault.hpp"
+#include "soi/dist.hpp"
+#include "soi/serial.hpp"
+#include "window/design.hpp"
+
+namespace soi {
+namespace {
+
+using net::FaultKind;
+using net::FaultSpec;
+
+const win::SoiProfile& full_profile() {
+  static const win::SoiProfile p = win::make_profile(win::Accuracy::kFull);
+  return p;
+}
+
+cvec random_signal(std::int64_t n, std::uint64_t seed) {
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, seed);
+  return x;
+}
+
+/// Run the distributed SOI forward under `nopts`/`dopts` and reassemble
+/// the global result. Throws whatever a rank body throws.
+cvec run_dist(std::int64_t n, int p, const cvec& x,
+              const net::NetOptions& nopts, core::DistOptions dopts,
+              net::FaultStats* stats_out = nullptr,
+              bool* degraded_out = nullptr) {
+  const std::int64_t m = n / p;
+  cvec y(static_cast<std::size_t>(n));
+  std::mutex mu;
+  net::run_ranks(p, nopts, [&](net::Comm& comm) {
+    core::SoiFftDist plan(comm, n, full_profile(), dopts);
+    const std::int64_t base = comm.rank() * m;
+    cvec y_local(static_cast<std::size_t>(m));
+    plan.forward(cspan{x.data() + base, static_cast<std::size_t>(m)},
+                 y_local);
+    comm.barrier();  // all ranks done before anyone reads fault stats
+    std::lock_guard<std::mutex> lock(mu);
+    std::copy(y_local.begin(), y_local.end(), y.begin() + base);
+    if (comm.rank() == 0 && stats_out != nullptr) {
+      *stats_out = comm.fault_stats();
+    }
+    if (comm.rank() == 0 && degraded_out != nullptr) {
+      *degraded_out = plan.degraded();
+    }
+  });
+  return y;
+}
+
+// --- FaultSpec parsing -------------------------------------------------------
+
+TEST(FaultSpec, EmptyTextIsInactive) {
+  const FaultSpec spec = FaultSpec::parse("");
+  EXPECT_FALSE(spec.any());
+  EXPECT_TRUE(spec.rules.empty());
+}
+
+TEST(FaultSpec, ParsesSeedKindsAndStall) {
+  const FaultSpec spec =
+      FaultSpec::parse("42:drop:0.1,corrupt:0.05,stall:2:35");
+  EXPECT_TRUE(spec.any());
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.rules.size(), 2u);
+  EXPECT_EQ(spec.rules[0].kind, FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(spec.rules[0].rate, 0.1);
+  EXPECT_EQ(spec.rules[1].kind, FaultKind::kCorrupt);
+  EXPECT_DOUBLE_EQ(spec.rules[1].rate, 0.05);
+  EXPECT_EQ(spec.stall_rank, 2);
+  EXPECT_DOUBLE_EQ(spec.stall_ms, 35.0);
+}
+
+TEST(FaultSpec, StrRoundTrips) {
+  for (const char* text :
+       {"7:delay:0.25", "3:drop:0.01,duplicate:1",
+        "11:truncate:0.5,stall:0:12.5", "9:stall:1:20"}) {
+    const FaultSpec a = FaultSpec::parse(text);
+    const FaultSpec b = FaultSpec::parse(a.str());
+    EXPECT_EQ(a.str(), b.str()) << "spec '" << text << "'";
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.rules.size(), b.rules.size());
+    EXPECT_EQ(a.stall_rank, b.stall_rank);
+  }
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"drop:0.1",          // missing seed
+        "x:drop:0.1",        // non-numeric seed
+        "-1:drop:0.1",       // negative seed
+        "1:drop",            // missing rate
+        "1:drop:nope",       // non-numeric rate
+        "1:drop:1.5",        // rate out of [0, 1]
+        "1:drop:-0.1",       // rate out of [0, 1]
+        "1:frobnicate:0.5",  // unknown kind
+        "1:stall:0",         // stall needs rank and ms
+        "1:stall:0:-5",      // negative stall ms
+        "1:drop:0.1,"})  {   // trailing empty entry
+    EXPECT_THROW((void)FaultSpec::parse(bad), Error) << "spec '" << bad
+                                                     << "'";
+  }
+}
+
+// --- deterministic injection -------------------------------------------------
+
+TEST(FaultInjector, DecisionsAreDeterministicInSeedAndCoordinates) {
+  const FaultSpec spec = FaultSpec::parse("5:drop:0.3,corrupt:0.3");
+  const net::FaultInjector a(spec);
+  const net::FaultInjector b(spec);
+  for (std::uint64_t seq = 1; seq <= 200; ++seq) {
+    const auto x = a.decide(0, 1, 7, seq, 64);
+    const auto y = b.decide(0, 1, 7, seq, 64);
+    EXPECT_EQ(x.drop, y.drop);
+    EXPECT_EQ(x.corrupt_bit, y.corrupt_bit);
+    EXPECT_EQ(x.truncate, y.truncate);
+    EXPECT_EQ(x.duplicate, y.duplicate);
+    EXPECT_EQ(x.delay, y.delay);
+  }
+}
+
+TEST(FaultInjector, RateZeroNeverFiresRateOneAlwaysFires) {
+  const net::FaultInjector never(FaultSpec::parse("9:drop:0"));
+  const net::FaultInjector always(FaultSpec::parse("9:drop:1"));
+  for (std::uint64_t seq = 1; seq <= 100; ++seq) {
+    EXPECT_FALSE(never.decide(1, 0, 3, seq, 16).fired());
+    EXPECT_TRUE(always.decide(1, 0, 3, seq, 16).drop);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentDecisions) {
+  const net::FaultInjector a(FaultSpec::parse("1:drop:0.5"));
+  const net::FaultInjector b(FaultSpec::parse("2:drop:0.5"));
+  int differing = 0;
+  for (std::uint64_t seq = 1; seq <= 200; ++seq) {
+    if (a.decide(0, 1, 7, seq, 64).drop != b.decide(0, 1, 7, seq, 64).drop) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 20);
+}
+
+// --- CRC32C ------------------------------------------------------------------
+
+TEST(Crc32, MatchesCastagnoliCheckValue) {
+  // The standard CRC32C check value for the ASCII string "123456789".
+  EXPECT_EQ(net::crc32("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(net::crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, DetectsEverySingleBitFlipInASmallBuffer) {
+  unsigned char buf[24];
+  for (std::size_t i = 0; i < sizeof(buf); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 37 + 1);
+  }
+  const std::uint32_t clean = net::crc32(buf, sizeof(buf));
+  for (std::size_t bit = 0; bit < sizeof(buf) * 8; ++bit) {
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(net::crc32(buf, sizeof(buf)), clean) << "bit " << bit;
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+}
+
+// --- transport recovery ------------------------------------------------------
+
+TEST(Transport, CorruptionIsDetectedAndRetransmitted) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("21:corrupt:1");  // every message
+  net::run_ranks(2, nopts, [](net::Comm& c) {
+    if (c.rank() == 0) {
+      cvec d = {cplx{1.5, -2.5}, cplx{3.0, 4.0}};
+      c.send(1, 5, d);
+    } else {
+      cvec got(2);
+      c.recv(0, 5, got);
+      EXPECT_EQ(got[0], (cplx{1.5, -2.5}));
+      EXPECT_EQ(got[1], (cplx{3.0, 4.0}));
+      const net::FaultStats st = c.fault_stats();
+      EXPECT_GE(st.corruptions, 1);
+      EXPECT_GE(st.checksum_failures, 1);
+      EXPECT_GE(st.retransmits, 1);
+    }
+  });
+}
+
+TEST(Transport, DropIsRecoveredFromRetainedCopy) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("4:drop:1");
+  nopts.timeout_ms = 10;  // short deadline: the test waits it out
+  net::run_ranks(2, nopts, [](net::Comm& c) {
+    if (c.rank() == 0) {
+      cvec d = {cplx{7.0, 8.0}};
+      c.send(1, 3, d);
+    } else {
+      cvec got(1);
+      c.recv(0, 3, got);
+      EXPECT_EQ(got[0], (cplx{7.0, 8.0}));
+      const net::FaultStats st = c.fault_stats();
+      EXPECT_GE(st.drops, 1);
+      EXPECT_GE(st.retransmits, 1);
+      EXPECT_GE(st.timeouts, 1);
+    }
+  });
+}
+
+TEST(Transport, DuplicatesAreDeliveredExactlyOnce) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("6:duplicate:1");
+  net::run_ranks(2, nopts, [](net::Comm& c) {
+    const int kCount = 20;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        cvec d = {cplx{static_cast<double>(i), 0.0}};
+        c.send(1, 2, d);
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        cvec got(1);
+        c.recv(0, 2, got);
+        // FIFO and exactly-once: duplicates must not shift the stream.
+        EXPECT_EQ(got[0], (cplx{static_cast<double>(i), 0.0})) << i;
+      }
+      EXPECT_GE(c.fault_stats().duplicates, kCount);
+    }
+  });
+}
+
+TEST(Transport, CorruptionThrowsTypedErrorWhenRecoveryDisabled) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("21:corrupt:1");
+  nopts.max_retries = 0;
+  EXPECT_THROW(net::run_ranks(2, nopts,
+                              [](net::Comm& c) {
+                                if (c.rank() == 0) {
+                                  cvec d = {cplx{1.0, 2.0}};
+                                  c.send(1, 5, d);
+                                } else {
+                                  cvec got(1);
+                                  c.recv(0, 5, got);
+                                }
+                              }),
+               PayloadCorruptionError);
+}
+
+TEST(Transport, TruncationThrowsTypedErrorWhenRecoveryDisabled) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("8:truncate:1");
+  nopts.max_retries = 0;
+  EXPECT_THROW(net::run_ranks(2, nopts,
+                              [](net::Comm& c) {
+                                if (c.rank() == 0) {
+                                  cvec d = {cplx{1.0, 2.0}, cplx{3.0, 4.0}};
+                                  c.send(1, 5, d);
+                                } else {
+                                  cvec got(2);
+                                  c.recv(0, 5, got);
+                                }
+                              }),
+               PayloadCorruptionError);
+}
+
+TEST(Transport, SilentPeerTimesOutWithTypedError) {
+  net::NetOptions nopts;
+  nopts.timeout_ms = 5;
+  nopts.max_retries = 2;
+  EXPECT_THROW(net::run_ranks(2, nopts,
+                              [](net::Comm& c) {
+                                if (c.rank() == 1) {
+                                  cvec got(1);
+                                  c.recv(0, 4, got);  // rank 0 never sends
+                                }
+                              }),
+               CommTimeoutError);
+}
+
+TEST(Transport, StalledRankDelaysButCompletes) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("1:stall:0:30");
+  net::run_ranks(2, nopts, [](net::Comm& c) {
+    if (c.rank() == 0) {
+      cvec d = {cplx{9.0, 9.0}};
+      c.send(1, 1, d);  // sleeps ~30 ms before delivering
+    } else {
+      cvec got(1);
+      c.recv(0, 1, got);
+      EXPECT_EQ(got[0], (cplx{9.0, 9.0}));
+    }
+  });
+}
+
+TEST(Transport, ErrorTaxonomyCarriesStatusCodes) {
+  EXPECT_EQ(CommTimeoutError("t").status(), Status::kCommTimeout);
+  EXPECT_EQ(PayloadCorruptionError("p").status(),
+            Status::kPayloadCorruption);
+  EXPECT_EQ(AccuracyFaultError("a").status(), Status::kAccuracyFault);
+  EXPECT_EQ(InvalidArgumentError("i").status(), Status::kInvalidArgument);
+  EXPECT_EQ(Error("e").status(), Status::kInvalidArgument);
+  EXPECT_STREQ(status_name(Status::kOk), "Ok");
+  EXPECT_STREQ(status_name(Status::kCommTimeout), "CommTimeout");
+  EXPECT_STREQ(status_name(Status::kPayloadCorruption),
+               "PayloadCorruption");
+  EXPECT_STREQ(status_name(Status::kAccuracyFault), "AccuracyFault");
+  EXPECT_STREQ(status_name(Status::kInvalidArgument), "InvalidArgument");
+}
+
+// --- chaos sweep -------------------------------------------------------------
+//
+// The acceptance gate: with the injector active and retries enabled, the
+// distributed forward output is BIT-identical to the fault-free run for
+// every tested seed and fault kind; recovery must reconstruct the exact
+// payload bytes, not merely something numerically close.
+
+class ChaosSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosSweep, EveryKindBitIdenticalToFaultFreeRun) {
+  const int seed = GetParam();
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 900 + static_cast<std::uint64_t>(seed));
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  for (const char* kind : {"drop", "corrupt", "delay", "duplicate"}) {
+    net::NetOptions nopts;
+    nopts.faults = FaultSpec::parse(std::to_string(seed) + ":" +
+                                    std::string(kind) + ":0.05");
+    nopts.timeout_ms = 20;
+    net::FaultStats stats{};
+    const cvec got = run_dist(n, p, x, nopts, {}, &stats);
+    ASSERT_EQ(got.size(), clean.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
+          << "seed " << seed << " kind " << kind << " bin " << i;
+    }
+  }
+}
+
+TEST_P(ChaosSweep, MixedFaultsLargerShapeBitIdentical) {
+  const int seed = GetParam();
+  const std::int64_t n = 16384;
+  const int p = 8;
+  const cvec x = random_signal(n, 1700 + static_cast<std::uint64_t>(seed));
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse(
+      std::to_string(seed) +
+      ":drop:0.02,corrupt:0.02,delay:0.02,duplicate:0.02");
+  nopts.timeout_ms = 20;
+  net::FaultStats stats{};
+  const cvec got = run_dist(n, p, x, nopts, {}, &stats);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
+        << "seed " << seed << " bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Chaos, ChecksumFlagsEveryInjectedCorruption) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 33);
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("13:corrupt:1");  // corrupt every message
+  nopts.timeout_ms = 20;
+  net::FaultStats stats{};
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  const cvec got = run_dist(n, p, x, nopts, {}, &stats);
+  EXPECT_GT(stats.corruptions, 0);
+  // 100% detection: every injected corruption tripped the checksum.
+  EXPECT_EQ(stats.checksum_failures, stats.corruptions);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+TEST(Chaos, RetriesDisabledSurfacesTypedErrorNotHang) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 34);
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("2:corrupt:1");
+  nopts.timeout_ms = 20;
+  nopts.max_retries = 0;
+  try {
+    (void)run_dist(n, p, x, nopts, {});
+    FAIL() << "expected a typed resilience error";
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.status() == Status::kPayloadCorruption ||
+                e.status() == Status::kCommTimeout)
+        << "status " << status_name(e.status());
+  }
+}
+
+// --- residual guard ----------------------------------------------------------
+
+TEST(ResidualGuard, FlagsSilentCorruptionWhenChecksumsAreOff) {
+  // Disable checksums so a bit-flip sails through the transport; the
+  // kappa-scaled Parseval gate (active because an injector is installed)
+  // must reject the poisoned output instead of returning garbage.
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 35);
+  bool caught_any = false;
+  for (int seed = 1; seed <= 6 && !caught_any; ++seed) {
+    net::NetOptions nopts;
+    nopts.faults =
+        FaultSpec::parse(std::to_string(seed) + ":corrupt:1");
+    nopts.checksums = false;
+    try {
+      (void)run_dist(n, p, x, nopts, {});
+    } catch (const AccuracyFaultError&) {
+      caught_any = true;
+    }
+  }
+  EXPECT_TRUE(caught_any)
+      << "no corrupted run tripped the residual guard";
+}
+
+TEST(ResidualGuard, CleanRunPassesWithInjectorInstalled) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 36);
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("3:drop:0");  // installed but inert
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  const cvec got = run_dist(n, p, x, nopts, {});  // guard's global tier on
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+// --- input validation --------------------------------------------------------
+
+TEST(ValidateInput, SerialRejectsNaN) {
+  core::SoiFftSerial plan(4096, 4, full_profile());
+  plan.set_validate_input(true);
+  cvec x = random_signal(4096, 40);
+  x[123] = cplx{std::numeric_limits<double>::quiet_NaN(), 0.0};
+  cvec y(x.size());
+  EXPECT_THROW(plan.forward(x, y), InvalidArgumentError);
+}
+
+TEST(ValidateInput, SerialRejectsInf) {
+  core::SoiFftSerial plan(4096, 4, full_profile());
+  plan.set_validate_input(true);
+  cvec x = random_signal(4096, 41);
+  x[7] = cplx{0.0, std::numeric_limits<double>::infinity()};
+  cvec y(x.size());
+  EXPECT_THROW(plan.forward(x, y), InvalidArgumentError);
+}
+
+TEST(ValidateInput, SerialAcceptsFiniteWhenForcedOn) {
+  core::SoiFftSerial plan(4096, 4, full_profile());
+  plan.set_validate_input(true);
+  const cvec x = random_signal(4096, 42);
+  cvec y(x.size());
+  EXPECT_NO_THROW(plan.forward(x, y));
+}
+
+TEST(ValidateInput, DistRejectsNaN) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  cvec x = random_signal(n, 43);
+  // Poison every rank's block: the pre-scan throws before any
+  // communication, so all ranks must fail together (a single poisoned
+  // rank would leave its neighbours waiting on a halo that never comes —
+  // exactly the failure mode the pre-scan exists to prevent).
+  for (int r = 0; r < p; ++r) {
+    x[static_cast<std::size_t>(r) * static_cast<std::size_t>(n / p) + 17] =
+        cplx{std::numeric_limits<double>::quiet_NaN(), 0.0};
+  }
+  core::DistOptions dopts;
+  dopts.validate_input = 1;
+  EXPECT_THROW((void)run_dist(n, p, x, net::NetOptions{}, dopts),
+               InvalidArgumentError);
+}
+
+TEST(ValidateInput, FirstNonfiniteFindsIndexOrMinusOne) {
+  cvec x = random_signal(64, 44);
+  EXPECT_EQ(core::first_nonfinite<double>(cspan{x.data(), x.size()}), -1);
+  x[13] = cplx{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_EQ(core::first_nonfinite<double>(cspan{x.data(), x.size()}), 13);
+}
+
+// --- graceful degradation ----------------------------------------------------
+
+TEST(Degradation, RetriesMarkThePlanDegradedAndOutputStaysCorrect) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 50);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  const std::int64_t m = n / p;
+  // Stall rank 1 for 40 ms before each of its sends while every bounded
+  // wait has a 5 ms deadline: waits on rank 1's traffic deterministically
+  // expire at least once, the retries mark those plans degraded, and the
+  // next forward (fallen back to the in-order schedule) must still be
+  // bit-identical.
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("1:stall:1:40");
+  nopts.timeout_ms = 5;
+  cvec y(static_cast<std::size_t>(n));
+  bool any_degraded = false;
+  std::mutex mu;
+  net::run_ranks(p, nopts, [&](net::Comm& comm) {
+    core::DistOptions dopts;
+    dopts.overlap = true;
+    core::SoiFftDist plan(comm, n, full_profile(), dopts);
+    const std::int64_t base = comm.rank() * m;
+    const cspan xin{x.data() + base, static_cast<std::size_t>(m)};
+    cvec y_local(static_cast<std::size_t>(m));
+    plan.forward(xin, y_local);
+    const bool first_degraded = plan.degraded();
+    plan.forward(xin, y_local);  // degraded plans fall back to in-order
+    comm.barrier();
+    std::lock_guard<std::mutex> lock(mu);
+    std::copy(y_local.begin(), y_local.end(), y.begin() + base);
+    if (first_degraded) any_degraded = true;
+  });
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&y[i], &clean[i], sizeof(cplx)), 0) << "bin " << i;
+  }
+  EXPECT_TRUE(any_degraded) << "no stalled run ever recorded a retry";
+}
+
+// --- SOI_CHECK error paths (soi/params.cpp) ----------------------------------
+
+void expect_throw_containing(const std::function<void()>& f,
+                             const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected soi::Error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(ErrorPathsParams, GeometryChecks) {
+  const win::SoiProfile& prof = full_profile();
+
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(0, 4, prof); (void)g; },
+      "need n >= 1, p >= 1");
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(4096, 0, prof); (void)g; },
+      "need n >= 1, p >= 1");
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(4097, 4, prof); (void)g; },
+      "must divide N=");
+
+  win::SoiProfile bad = prof;
+  bad.mu = 3;
+  bad.nu = 4;  // mu <= nu
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(4096, 4, bad); (void)g; },
+      "oversampling mu/nu must be > 1");
+
+  bad = prof;
+  bad.mu = 6;
+  bad.nu = 4;  // reducible
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(4096, 4, bad); (void)g; },
+      "must be irreducible");
+
+  bad = prof;
+  bad.nu = 3;  // with mu=5: M=1024 not divisible by 3
+  ASSERT_EQ(bad.mu, 5);
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(4096, 4, bad); (void)g; },
+      "must divide M=");
+
+  // P=24, M=1020, nu=4 -> M'=1275, not divisible by P.
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(24480, 24, prof); (void)g; },
+      "must divide M'=");
+
+  // P=5, M=12, M'=15, M'/P=3: mu=5 does not divide 3.
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(60, 5, prof); (void)g; },
+      "row groups must not straddle ranks");
+
+  bad = prof;
+  bad.taps = 0;
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(4096, 4, bad); (void)g; },
+      "profile has no taps");
+
+  // Tiny N at full accuracy: M=16 passes every divisibility check but the
+  // halo (B-nu)*P at B in the ~70s vastly exceeds it.
+  expect_throw_containing(
+      [&] { core::SoiGeometry g(64, 4, prof); (void)g; },
+      "N too small for this window");
+}
+
+// --- SOI_CHECK error paths (soi/dist.cpp) ------------------------------------
+
+TEST(ErrorPathsDist, ConstructorAndForwardChecks) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  net::run_ranks(p, [n](net::Comm& comm) {
+    core::DistOptions dopts;
+    dopts.segments_per_rank = 0;
+    // The geometry is built in the member-init list, so P = 0 trips its
+    // own precondition before the plan's segments_per_rank check runs.
+    expect_throw_containing(
+        [&] {
+          core::SoiFftDist plan(comm, n, full_profile(), dopts);
+        },
+        "p >= 1");
+
+    dopts = {};
+    dopts.chunk_depth = 0;
+    expect_throw_containing(
+        [&] {
+          core::SoiFftDist plan(comm, n, full_profile(), dopts);
+        },
+        "chunk_depth must be >= 1");
+
+    dopts = {};
+    dopts.max_retries = -1;
+    expect_throw_containing(
+        [&] {
+          core::SoiFftDist plan(comm, n, full_profile(), dopts);
+        },
+        "max_retries must be >= 0");
+
+    dopts = {};
+    dopts.timeout_ms = -2.0;
+    expect_throw_containing(
+        [&] {
+          core::SoiFftDist plan(comm, n, full_profile(), dopts);
+        },
+        "timeout_ms must be >= 0");
+
+    // Oversized segmentation: P=32 shrinks the segment to 256 points
+    // while growing the halo to (B-4)*32 — the geometry rejects it.
+    dopts = {};
+    dopts.segments_per_rank = 8;
+    expect_throw_containing(
+        [&] {
+          core::SoiFftDist plan(comm, n, full_profile(), dopts);
+        },
+        "halo");
+
+    core::SoiFftDist plan(comm, n, full_profile(), core::DistOptions{});
+    const std::int64_t m = plan.local_size();
+    cvec right(static_cast<std::size_t>(m));
+    cvec wrong(static_cast<std::size_t>(m - 1));
+    expect_throw_containing([&] { plan.forward(wrong, right); },
+                            "local points");
+    expect_throw_containing([&] { plan.forward(right, wrong); },
+                            "local output too small");
+    expect_throw_containing([&] { plan.inverse(wrong, right); },
+                            "local input size mismatch");
+    expect_throw_containing([&] { plan.inverse(right, wrong); },
+                            "local output too small");
+  });
+}
+
+}  // namespace
+}  // namespace soi

@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "net/comm.hpp"
 #include "net/costmodel.hpp"
+#include "net/fault.hpp"
 
 namespace soi::net {
 namespace {
@@ -544,6 +545,72 @@ TEST(Nonblocking, IalltoallvMatchesBlocking) {
     c.wait(r);
     for (std::size_t i = 0; i < nb.size(); ++i) {
       ASSERT_EQ(nb[i], blocking[i]) << "element " << i;
+    }
+  });
+}
+
+// --- resilience regressions -------------------------------------------------
+
+TEST(Fault, DroppedLiveIalltoallDoesNotPoisonLaterTraffic) {
+  // Regression for the dropped-without-wait footgun: a Request abandoned
+  // while its collective is still in flight must cancel that collective's
+  // deliveries instead of leaving stale blocks to be matched by the next
+  // exchange. Every rank shares the collective sequence counter, so all
+  // ranks cancel the same tag.
+  const int p = 4;
+  const std::int64_t count = 3;
+  run_ranks(p, [=](Comm& c) {
+    cvec s1(static_cast<std::size_t>(p * count));
+    fill_gaussian(s1, static_cast<std::uint64_t>(c.rank()) + 300);
+    cvec r1(s1.size());
+    {
+      [[maybe_unused]] Request dropped = c.ialltoall(s1, r1, count);
+      // goes out of scope unwaited
+    }
+    c.barrier();
+    cvec s2(s1.size());
+    fill_gaussian(s2, static_cast<std::uint64_t>(c.rank()) + 400);
+    cvec r2(s2.size()), expect(s2.size());
+    c.alltoall(s2, r2, count);
+    c.alltoall(s2, expect, count);
+    for (std::size_t i = 0; i < r2.size(); ++i) {
+      ASSERT_EQ(r2[i], expect[i]) << "element " << i;
+    }
+  });
+}
+
+TEST(Fault, WaitForTimesOutThenCompletes) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();  // released only after rank 1's first wait expired
+      cvec d = {val(4, 2)};
+      c.send(1, 9, d);
+    } else {
+      cvec in(1);
+      Request r = c.irecv(0, 9, in);
+      EXPECT_FALSE(c.wait_for(r, 30.0));  // peer is silent: must time out
+      c.barrier();
+      EXPECT_TRUE(c.wait_for(r, 5000.0));
+      EXPECT_EQ(in[0], val(4, 2));
+    }
+  });
+}
+
+TEST(Fault, DuplicateInjectionIsCountedAndAbsorbed) {
+  NetOptions opts;
+  opts.faults = FaultSpec::parse("17:duplicate:1");
+  run_ranks(2, opts, [](Comm& c) {
+    cvec send = {val(c.rank(), 1), val(c.rank(), 2)};  // send[d] = val(r, d+1)
+    cvec got(send.size());
+    c.alltoall(send, got, 1);
+    for (int s = 0; s < 2; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(s)], val(s, c.rank() + 1));
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      const FaultStats st = c.fault_stats();
+      EXPECT_GT(st.duplicates, 0);
+      EXPECT_EQ(st.faults_injected, st.duplicates);
     }
   });
 }

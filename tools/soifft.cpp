@@ -82,7 +82,8 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
        {"n", "p", "accuracy", "wisdom", "mode", "reps", "seed", "gflops",
         "max-spr", "help"}},
       {"dist",
-       {"n", "p", "accuracy", "wisdom", "check", "seed", "trace", "help"}},
+       {"n", "p", "accuracy", "wisdom", "check", "seed", "trace",
+        "fault-spec", "timeout-ms", "retries", "help"}},
   };
   return kFlags;
 }
@@ -99,10 +100,19 @@ int usage(std::FILE* out) {
       "            [--mode modeled|measured] [--reps R] [--seed S]\n"
       "            [--gflops G] [--max-spr G]\n"
       "  dist      --n N --p P [--accuracy A] [--wisdom F] [--check]\n"
-      "            [--trace]\n"
+      "            [--trace] [--fault-spec SEED:KIND:RATE[,...]]\n"
+      "            [--timeout-ms T] [--retries R]\n"
       "  --help    print this message (exit 0)\n"
-      "  --trace   per-stage table (name, seconds, bytes, flops) of the\n"
-      "            last pipeline execution (rank 0 for dist)\n"
+      "  --trace   per-stage table (name, seconds, bytes, flops, retries)\n"
+      "            of the last pipeline execution (rank 0 for dist)\n"
+      "  --fault-spec  deterministic chaos scenario for dist: seed plus\n"
+      "            kind:rate rules (drop, corrupt, truncate, duplicate,\n"
+      "            delay) and optional stall:RANK:MS, e.g.\n"
+      "            42:drop:0.02,corrupt:0.01 — strictly validated\n"
+      "  --timeout-ms  base deadline of one comm wait attempt (dist);\n"
+      "            exponential backoff, typed CommTimeout after --retries\n"
+      "  --retries chunk-granularity retry budget (dist, default 8;\n"
+      "            0 = first detected fault is fatal)\n"
       "\n"
       "wisdom: `tune` persists the fastest (profile tier, segments/rank,\n"
       "all-to-all schedule, overlap) per shape; other subcommands reuse it\n"
@@ -189,13 +199,14 @@ std::optional<tune::TunedConfig> wisdom_lookup(const Args& a,
 /// overlap line is exec::overlap_efficiency over the same records.
 void print_trace(const exec::TraceLog& trace) {
   const auto records = trace.records();
-  std::printf("%-14s %6s %12s %10s %19s %14s\n", "stage", "chunks", "ms",
-              "wait_ms", "bytes", "flops");
+  std::printf("%-14s %6s %12s %10s %8s %19s %14s\n", "stage", "chunks", "ms",
+              "wait_ms", "retries", "bytes", "flops");
   double total = 0.0;
   for (const auto& r : records) {
-    std::printf("%-14s %6lld %12.4f %10.4f %14lld %-4s %14lld\n",
+    std::printf("%-14s %6lld %12.4f %10.4f %8lld %14lld %-4s %14lld\n",
                 r.name.c_str(), static_cast<long long>(r.chunks),
                 r.seconds * 1e3, r.wait_seconds * 1e3,
+                static_cast<long long>(r.retries),
                 static_cast<long long>(r.bytes_moved),
                 r.bytes_measured ? "meas" : "est",
                 static_cast<long long>(r.flops));
@@ -417,20 +428,33 @@ int cmd_dist(const Args& a) {
     prof = profile_from(a);
   }
 
+  // Resilience knobs: --fault-spec is strictly validated (a malformed
+  // spec is rejected with a precise message before any ranks launch).
+  net::NetOptions nopts;
+  nopts.faults = net::FaultSpec::parse(a.get("fault-spec", ""));
+  nopts.timeout_ms = a.getf("timeout-ms", 0.0);
+  nopts.max_retries = static_cast<int>(a.geti("retries", 8));
+  SOI_CHECK(nopts.timeout_ms >= 0, "--timeout-ms must be >= 0");
+  SOI_CHECK(nopts.max_retries >= 0, "--retries must be >= 0");
+
   cvec x = load_or_generate(a, n);
   cvec y(x.size());
   std::mutex mu;
   core::SoiDistBreakdown bd0{};
   exec::TraceLog trace0;
+  net::FaultStats fstats{};
   auto& registry = tune::PlanRegistry::global();
   Timer t;
-  net::run_ranks(ranks, [&](net::Comm& comm) {
+  net::run_ranks(ranks, nopts, [&](net::Comm& comm) {
     core::DistOptions dopts;
     dopts.segments_per_rank = cand.segments_per_rank;
     dopts.alltoall_algo = cand.alltoall_algo;
     dopts.overlap = cand.overlap;
     dopts.batch_width = cand.batch_width;
     dopts.chunk_depth = cand.chunk_depth;
+    dopts.faults = nopts.faults;
+    dopts.timeout_ms = nopts.timeout_ms;
+    dopts.max_retries = nopts.max_retries;
     // One conv table for the whole world, built by whichever rank gets
     // there first.
     dopts.table =
@@ -441,6 +465,9 @@ int cmd_dist(const Args& a) {
     plan.forward(cspan{x.data() + comm.rank() * m_rank,
                        static_cast<std::size_t>(m_rank)},
                  y_local);
+    // All traffic (and fault recovery) has quiesced once every rank
+    // reaches this barrier, so rank 0's stats snapshot is complete.
+    comm.barrier();
     std::lock_guard<std::mutex> lock(mu);
     std::copy(y_local.begin(), y_local.end(),
               y.begin() + comm.rank() * m_rank);
@@ -448,6 +475,7 @@ int cmd_dist(const Args& a) {
       bd0 = plan.last_breakdown();
       const auto recs = plan.last_trace().records();
       trace0.plan(std::vector<exec::StageRecord>(recs.begin(), recs.end()));
+      fstats = comm.fault_stats();
     }
   });
   const double sec = t.seconds();
@@ -463,6 +491,21 @@ int cmd_dist(const Args& a) {
               "a2a %.2e F_M' %.2e demod %.2e s\n",
               bd0.halo, bd0.conv, bd0.fp, bd0.pack, bd0.alltoall, bd0.fm,
               bd0.demod);
+  if (nopts.faults.any()) {
+    std::printf("faults [%s]: injected %lld (drop %lld corrupt %lld "
+                "truncate %lld duplicate %lld delay %lld), checksum "
+                "failures %lld, retransmits %lld, timeouts %lld\n",
+                nopts.faults.str().c_str(),
+                static_cast<long long>(fstats.faults_injected),
+                static_cast<long long>(fstats.drops),
+                static_cast<long long>(fstats.corruptions),
+                static_cast<long long>(fstats.truncations),
+                static_cast<long long>(fstats.duplicates),
+                static_cast<long long>(fstats.delays),
+                static_cast<long long>(fstats.checksum_failures),
+                static_cast<long long>(fstats.retransmits),
+                static_cast<long long>(fstats.timeouts));
+  }
   if (a.flag("trace")) print_trace(trace0);
   if (a.flag("check")) {
     fft::FftPlan exact(n);
