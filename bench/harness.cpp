@@ -109,6 +109,13 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     if (r.resilience_overhead >= -0.5) {
       os << ", \"resilience_overhead\": " << r.resilience_overhead;
     }
+    if (r.transforms_per_sec >= 0.0) {
+      os << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << ", \"transforms_per_sec\": " << r.transforms_per_sec
+         << ", \"admitted\": " << r.admitted
+         << ", \"rejected\": " << r.rejected
+         << ", \"queue_peak\": " << r.queue_peak;
+    }
     if (!r.stages.empty()) {
       os << ", \"stages\": [";
       for (std::size_t s = 0; s < r.stages.size(); ++s) {

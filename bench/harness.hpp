@@ -31,7 +31,8 @@ namespace soi::bench {
 ///   {"bench","case","n","batch","seconds","gflops","ns_per_point",
 ///    "peak_rss_bytes","steady_state_allocs","overlap_efficiency"?,
 ///    "faults_injected"?,"retries"?,"checksum_failures"?,
-///    "resilience_overhead"?,"stages"?}
+///    "resilience_overhead"?,"p50_ms"?,"p99_ms"?,"transforms_per_sec"?,
+///    "admitted"?,"rejected"?,"queue_peak"?,"stages"?}
 /// `overlap_efficiency` (present when the bench captured a pipeline trace)
 /// is exec::overlap_efficiency() of that trace: 1 - wait/total, clamped to
 /// [0, 1]. The resilience triple (present when the bench sampled its
@@ -67,6 +68,15 @@ struct BenchRecord {
   /// residual guard) relative to running with both disabled:
   /// seconds_on / seconds_off - 1. Negative sentinel = not measured.
   double resilience_overhead = -1.0;
+  /// Queueing fields (bench_serve): request latency quantiles, sustained
+  /// completion rate, and admission counters of the serving epoch.
+  /// Negative sentinels = the bench did not serve requests.
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double transforms_per_sec = -1.0;
+  std::int64_t admitted = -1;
+  std::int64_t rejected = -1;
+  std::int64_t queue_peak = -1;
   /// Per-stage trace of the timed pipeline execution (empty = no trace).
   std::vector<exec::StageRecord> stages;
 };

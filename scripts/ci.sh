@@ -51,16 +51,22 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
   cmake --build build-ci/tsan -j "${jobs}" --target \
-    test_net test_dist test_pipeline
+    test_net test_dist test_pipeline test_serve
   (cd build-ci/tsan &&
-    ./tests/test_net && ./tests/test_dist && ./tests/test_pipeline)
-  # The nonblocking-comm and dataflow suites are the prime TSan targets of
-  # this PR; assert they actually ran (a filter typo or a suite rename must
-  # fail the stage, not silently skip the coverage).
+    ./tests/test_net && ./tests/test_dist && ./tests/test_pipeline &&
+    ./tests/test_serve)
+  # The nonblocking-comm, dataflow and serving suites are the prime TSan
+  # targets; assert they actually ran (a filter typo or a suite rename must
+  # fail the stage, not silently skip the coverage). test_serve is the
+  # richest cross-thread surface in the tree: admission from the caller
+  # thread, a scheduler thread, worker pools and a full SimMPI rank team
+  # all sharing one service mutex and the lock-free metrics block.
   (cd build-ci/tsan &&
     ./tests/test_net --gtest_filter='Nonblocking.*:TryRecv.*' \
       | grep -q "PASSED" &&
     ./tests/test_pipeline --gtest_filter='Pipeline.Chunked*:Pipeline.Reentrant*' \
+      | grep -q "PASSED" &&
+    ./tests/test_serve --gtest_filter='ServeDist.*:ServeSerial.*' \
       | grep -q "PASSED")
 }
 
@@ -113,10 +119,11 @@ run_smoke() {
 run_bench_smoke() {
   echo "=== bench-smoke: JSON benches on tiny sizes ==="
   if [ ! -x build-ci/tier1/bench/bench_batch_fft ] ||
-     [ ! -x build-ci/tier1/bench/bench_tuned ]; then
+     [ ! -x build-ci/tier1/bench/bench_tuned ] ||
+     [ ! -x build-ci/tier1/bench/bench_serve ]; then
     cmake -B build-ci/tier1 -S . >/dev/null
     cmake --build build-ci/tier1 -j "${jobs}" --target \
-      bench_batch_fft bench_tuned
+      bench_batch_fft bench_tuned bench_serve
   fi
   # Tiny shapes so the stage takes seconds; the point is that every bench
   # runs end-to-end and emits a well-formed, non-empty record array.
@@ -127,6 +134,36 @@ run_bench_smoke() {
     > "${out}/batch_fft.json"
   SOI_BENCH_REPS=2 build-ci/tier1/bench/bench_tuned --json \
     > "${out}/tuned.json"
+  # Tiny serving trace: few requests, small shapes, a short emulated wire
+  # so the queueing fields are exercised without a multi-second run.
+  SOI_BENCH_SERVE_LOG2=11 SOI_BENCH_SERVE_REQUESTS=24 \
+    SOI_BENCH_SERVE_RANKS=2 SOI_BENCH_SERVE_LAT_US=50 \
+    build-ci/tier1/bench/bench_serve --json > "${out}/serve.json"
+  python3 - "${out}/serve.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    records = json.load(f)
+assert isinstance(records, list) and records, f"{path}: empty or not a list"
+# Every serving record must carry the queueing schema extension.
+cases = {r["case"] for r in records}
+for want in ("serial_baseline", "serve_dist", "serve_serial"):
+    assert any(want in c for c in cases), f"{path}: missing case {want}"
+for r in records:
+    for key in ("p50_ms", "p99_ms", "transforms_per_sec", "admitted",
+                "rejected", "queue_peak"):
+        assert key in r, f"{path}: record missing {key}: {r}"
+    assert r["transforms_per_sec"] > 0, f"{path}: no throughput: {r}"
+    assert r["p99_ms"] >= r["p50_ms"] > 0, f"{path}: bad latency order: {r}"
+    assert r["admitted"] > 0 and r["rejected"] >= 0, f"{path}: counters: {r}"
+    if r["case"].startswith("serve"):
+        # The service's acceptance criterion: nothing allocates on the
+        # request path after warmup. (The one-at-a-time baseline does not
+        # instrument allocations; it reports -1.)
+        assert r["steady_state_allocs"] == 0, \
+            f"{path}: serving steady state allocated: {r}"
+print(f"{path}: {len(records)} serving records OK")
+EOF
   python3 - "${out}/batch_fft.json" "${out}/tuned.json" <<'EOF'
 import json, sys
 for path in sys.argv[1:]:

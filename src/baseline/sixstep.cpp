@@ -1,6 +1,9 @@
 #include "baseline/sixstep.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -8,7 +11,12 @@
 namespace soi::baseline {
 
 SixStepFftDist::SixStepFftDist(net::Comm& comm, std::int64_t n)
+    : SixStepFftDist(comm, n, SixStepOptions{}) {}
+
+SixStepFftDist::SixStepFftDist(net::Comm& comm, std::int64_t n,
+                               SixStepOptions options)
     : comm_(comm),
+      opts_(std::move(options)),
       n_(n),
       m_(n / comm.size()),
       rows_(m_ / comm.size()),
@@ -32,6 +40,30 @@ SixStepFftDist::SixStepFftDist(net::Comm& comm, std::int64_t n)
   b_.resize(static_cast<std::size_t>(m_));
   c_.resize(static_cast<std::size_t>(m_));
   d_.resize(static_cast<std::size_t>(m_));
+  SOI_CHECK(opts_.max_retries >= 0, "SixStepFftDist: max_retries must be >= 0");
+  SOI_CHECK(opts_.timeout_ms >= 0, "SixStepFftDist: timeout_ms must be >= 0");
+  // Install the plan's resilience configuration into the shared world,
+  // exactly as SoiFftDist does: every rank constructs with identical
+  // options, the first configure wins and the rest are no-ops.
+  if (opts_.faults.any() || opts_.timeout_ms > 0) {
+    net::NetOptions nopts;
+    nopts.faults = opts_.faults;
+    nopts.timeout_ms = opts_.timeout_ms;
+    nopts.max_retries = opts_.max_retries;
+    comm_.configure_resilience(nopts);
+  }
+}
+
+void SixStepFftDist::guard_output(cspan y_local) const {
+  if (!opts_.output_guard) return;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m_); ++i) {
+    const cplx v = y_local[i];
+    if (std::isfinite(v.real()) && std::isfinite(v.imag())) continue;
+    std::ostringstream os;
+    os << "SixStepFftDist: rank " << comm_.rank()
+       << " output contains a non-finite value at local index " << i;
+    throw AccuracyFaultError(os.str());
+  }
 }
 
 void SixStepFftDist::forward(cspan x_local, mspan y_local) {
@@ -109,6 +141,7 @@ void SixStepFftDist::forward(cspan x_local, mspan y_local) {
     }
   }
   breakdown_.pack += t.seconds();
+  guard_output(cspan(y_local.data(), static_cast<std::size_t>(m_)));
 }
 
 void SixStepFftDist::inverse(cspan y_local, mspan x_local) {

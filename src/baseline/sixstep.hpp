@@ -33,10 +33,33 @@ struct SixStepBreakdown {
   [[nodiscard]] double compute_total() const { return fp + twiddle + fm + pack; }
 };
 
+/// Resilience knobs for the baseline comparator — the same chaos plumbing
+/// SoiFftDist exposes, so fault-injection experiments can compare the
+/// six-step path against the SOI path under identical scenarios.
+struct SixStepOptions {
+  /// Chaos scenario installed into the communicator's world at plan
+  /// construction (first configurer wins; every rank passes the same
+  /// options). Empty = no injected faults.
+  net::FaultSpec faults;
+  /// Base deadline of one communication wait attempt in ms; 0 keeps waits
+  /// unbounded (a default deadline is applied when faults are active).
+  double timeout_ms = 0.0;
+  /// Retry budget before a wait surfaces soi::CommTimeoutError; 0 disables
+  /// recovery (first detected fault is fatal with its typed error).
+  int max_retries = 8;
+  /// Scan the output for NaN/Inf after every forward(); violations throw
+  /// soi::AccuracyFaultError (a corrupted exchange that slipped past the
+  /// checksum layer must not return silently wrong spectra).
+  bool output_guard = true;
+};
+
 /// Triple-all-to-all in-order distributed FFT plan (P = comm.size()).
 class SixStepFftDist {
  public:
   SixStepFftDist(net::Comm& comm, std::int64_t n);
+  SixStepFftDist(net::Comm& comm, std::int64_t n, SixStepOptions options);
+
+  [[nodiscard]] const SixStepOptions& options() const { return opts_; }
 
   [[nodiscard]] std::int64_t size() const { return n_; }
   [[nodiscard]] std::int64_t local_size() const { return m_; }
@@ -53,7 +76,10 @@ class SixStepFftDist {
   }
 
  private:
+  void guard_output(cspan y_local) const;
+
   net::Comm& comm_;
+  SixStepOptions opts_;
   std::int64_t n_;
   std::int64_t m_;       // N / P
   std::int64_t rows_;    // M / P (local j2 rows after the first transpose)

@@ -103,6 +103,25 @@ void WorkspaceArena::commit() {
   committed_ = true;
 }
 
+void WorkspaceArena::adopt_layout(const WorkspaceArena& src) {
+  SOI_CHECK(src.committed_,
+            "WorkspaceArena::adopt_layout: source not committed");
+  SOI_CHECK(this != &src, "WorkspaceArena::adopt_layout: self-adoption");
+  bufs_ = src.bufs_;
+  committed_bytes_ = src.committed_bytes_;
+  if (committed_bytes_ > capacity_) {
+    if (block_ != nullptr) {
+      aligned_free(block_);
+      block_ = nullptr;
+      ++growths_;
+    }
+    block_ = static_cast<std::byte*>(
+        aligned_alloc_bytes(committed_bytes_, kAlign));
+    capacity_ = committed_bytes_;
+  }
+  committed_ = true;
+}
+
 void* WorkspaceArena::data(BufferId id) const {
   SOI_CHECK(committed_, "WorkspaceArena::data: commit() not called");
   SOI_CHECK(id.valid() && static_cast<std::size_t>(id.index) < bufs_.size(),

@@ -63,6 +63,14 @@ class WorkspaceArena {
   /// further reserve() calls is allowed; a larger block counts one growth.
   void commit();
 
+  /// Become an independent committed clone of `src`'s layout: same
+  /// BufferId -> (offset, size) mapping over a freshly allocated block.
+  /// This is how K concurrent executions of one shared plan each get
+  /// their own workspace without re-running placement — every slot arena
+  /// resolves the plan's ids identically. `src` must be committed;
+  /// any previous declarations here are discarded.
+  void adopt_layout(const WorkspaceArena& src);
+
   [[nodiscard]] void* data(BufferId id) const;
   [[nodiscard]] std::size_t size_bytes(BufferId id) const;
 

@@ -21,6 +21,7 @@ enum class Status {
   kCommTimeout,         ///< a bounded wait exhausted its retries
   kPayloadCorruption,   ///< checksum/size mismatch that recovery couldn't fix
   kAccuracyFault,       ///< residual guard: output outside the error bound
+  kResourceExhausted,   ///< admission rejected: queue/capacity full
 };
 
 /// Stable name for a status code ("CommTimeout", ...).
@@ -31,6 +32,7 @@ enum class Status {
     case Status::kCommTimeout: return "CommTimeout";
     case Status::kPayloadCorruption: return "PayloadCorruption";
     case Status::kAccuracyFault: return "AccuracyFault";
+    case Status::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -72,6 +74,14 @@ class AccuracyFaultError : public Error {
  public:
   explicit AccuracyFaultError(const std::string& what)
       : Error(what, Status::kAccuracyFault) {}
+};
+
+/// The serving layer's bounded admission queue (or slot pool) is full and
+/// the request was rejected — backpressure, not failure; retry later.
+class AdmissionRejectedError : public Error {
+ public:
+  explicit AdmissionRejectedError(const std::string& what)
+      : Error(what, Status::kResourceExhausted) {}
 };
 
 /// Explicit alias for the default taxonomy entry (NaN/Inf input pre-scan).

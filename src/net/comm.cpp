@@ -21,10 +21,13 @@ constexpr int kTagGather = -3;
 constexpr int kTagAllgather = -4;
 constexpr int kTagAlltoall = -5;
 constexpr int kTagAlltoallv = -6;
-// Nonblocking collectives get a unique tag per posting: kTagICollBase minus
-// the rank's collective sequence number. All ranks post their nonblocking
-// collectives in the same program order, so the per-rank counters agree
-// world-wide and concurrent in-flight collectives cannot cross-match.
+// Nonblocking collectives get a unique tag per posting: kTagICollBase
+// minus (sequence * kMaxCollChannels + channel), where the sequence number
+// is per (rank, channel). All ranks post the collectives of one channel in
+// the same program order, so the counters agree world-wide and concurrent
+// in-flight collectives of one channel cannot cross-match; different
+// channels occupy disjoint tag residues, so their postings may interleave
+// in any per-rank order (the multi-tenant co-scheduling contract).
 constexpr int kTagICollBase = -16;
 
 // When faults are active but no deadline was configured, waits must still
@@ -41,6 +44,11 @@ struct Message {
   int src = 0;
   int tag = 0;
   std::vector<std::byte> payload;
+  /// Emulated wire latency: the message exists in the mailbox from push
+  /// time (so ordering and recovery metadata behave normally) but only
+  /// becomes matchable once the clock passes this stamp. Default-epoch
+  /// means immediately visible (latency emulation off).
+  std::chrono::steady_clock::time_point visible_at{};
   // Integrity + recovery metadata. `crc` covers the payload as sent;
   // `seq` numbers the src->dst channel; `reliable` marks messages sent
   // while the injector was engaged (only those carry a retained clean
@@ -69,7 +77,9 @@ struct World {
       : nranks(n),
         boxes(static_cast<std::size_t>(n)),
         sent_bytes(static_cast<std::size_t>(n), 0),
-        coll_seq(static_cast<std::size_t>(n), 0),
+        coll_seq(static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(kMaxCollChannels),
+                 0),
         chan_seq(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
                  0) {}
 
@@ -78,8 +88,17 @@ struct World {
   // Per-rank sent-payload counters; each slot is only ever written by its
   // own rank's thread (senders update their own entry).
   std::vector<std::int64_t> sent_bytes;
-  // Per-rank nonblocking-collective sequence numbers (same ownership rule).
+  // Per-rank, per-channel nonblocking-collective sequence numbers (slot
+  // rank * kMaxCollChannels + channel; same ownership rule).
   std::vector<int> coll_seq;
+
+  /// Tag of this rank's next collective posting on `channel`.
+  int next_coll_tag(int rank, int channel) {
+    const int seq = coll_seq[static_cast<std::size_t>(rank) *
+                                 static_cast<std::size_t>(kMaxCollChannels) +
+                             static_cast<std::size_t>(channel)]++;
+    return kTagICollBase - (seq * kMaxCollChannels + channel);
+  }
   // Per-channel (src*nranks+dst) message sequence numbers; slot src*n+dst
   // is only ever touched by rank src's thread.
   std::vector<std::uint64_t> chan_seq;
@@ -94,6 +113,10 @@ struct World {
   std::atomic<double> timeout_ms{0.0};
   std::atomic<int> max_retries{8};
   std::atomic<bool> checksums{true};
+  /// Emulated per-message wire latency in seconds (0 = off). Read on the
+  /// send and match hot paths; the zero value keeps both byte-identical
+  /// to the latency-free transport.
+  std::atomic<double> wire_latency_s{0.0};
   FaultStatsAtomic stats;
 
   // Generation-counted barrier.
@@ -157,19 +180,6 @@ struct World {
     box.cv.notify_all();
   }
 
-  /// Remove and return the oldest queued message matching (src, tag).
-  /// Caller must hold the mailbox mutex.
-  static std::optional<Message> match_locked(Mailbox& box, int src, int tag) {
-    for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
-      if ((src == kAnySource || it->src == src) && it->tag == tag) {
-        Message m = std::move(*it);
-        box.msgs.erase(it);
-        return m;
-      }
-    }
-    return std::nullopt;
-  }
-
   Message pop(int me, int src, int tag, std::size_t expected_bytes);
 };
 
@@ -182,6 +192,8 @@ void World::configure(const NetOptions& opts) {
   checksums.store(opts.checksums, std::memory_order_relaxed);
   max_retries.store(opts.max_retries, std::memory_order_relaxed);
   timeout_ms.store(t, std::memory_order_relaxed);
+  wire_latency_s.store(std::max(opts.wire_latency_us, 0.0) * 1e-6,
+                       std::memory_order_relaxed);
   if (opts.faults.any()) {
     injector_owned = std::make_unique<FaultInjector>(opts.faults);
     injector.store(injector_owned.get(), std::memory_order_release);
@@ -241,6 +253,55 @@ int requeue_retained_locked(World& w, Mailbox& box, int src, int tag) {
   return moved;
 }
 
+/// Ordered match for reliable traffic. An engaged injector can scramble
+/// the queue order of one (src, tag) channel — a dropped or delayed
+/// message leaves the queue while a LATER same-tag send (e.g. the next
+/// blocking alltoall's block, which reuses the collective tag) arrives
+/// first, and positional matching would deliver it into the earlier
+/// receive. Restore the FIFO contract by sequence number: deliver the
+/// lowest undelivered seq, and refuse to deliver while an earlier
+/// undelivered copy of the channel is still parked in the delayed or
+/// retained queues (the bounded wait + retransmit recovery surfaces it).
+/// Unreliable messages (sent before the injector engaged) cannot be
+/// reordered and keep plain queue-position matching.
+/// Caller holds the mailbox mutex.
+std::optional<Message> match_ordered_locked(
+    Mailbox& box, int src, int tag,
+    std::chrono::steady_clock::time_point now) {
+  auto chosen = box.msgs.end();
+  for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
+    if ((src != kAnySource && it->src != src) || it->tag != tag ||
+        it->visible_at > now) {
+      continue;
+    }
+    if (!it->reliable) {  // pre-injector traffic precedes all reliable sends
+      chosen = it;
+      break;
+    }
+    if (chosen == box.msgs.end() || it->seq < chosen->seq) chosen = it;
+  }
+  if (chosen == box.msgs.end()) return std::nullopt;
+  if (chosen->reliable) {
+    const int csrc = chosen->src;
+    const std::uint64_t cseq = chosen->seq;
+    const auto earlier_parked = [&](const std::deque<Message>& q) {
+      for (const auto& p : q) {
+        if (p.src == csrc && p.tag == tag && p.reliable && p.seq < cseq &&
+            box.delivered.count(dedup_key(p.src, p.seq)) == 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (earlier_parked(box.delayed) || earlier_parked(box.retained)) {
+      return std::nullopt;
+    }
+  }
+  Message m = std::move(*chosen);
+  box.msgs.erase(chosen);
+  return m;
+}
+
 /// Match + verify loop: dedup stale duplicates/retransmits, check size and
 /// CRC, and on a verification failure either recover (re-queue the retained
 /// clean copy and match again) or throw soi::PayloadCorruptionError.
@@ -248,8 +309,11 @@ int requeue_retained_locked(World& w, Mailbox& box, int src, int tag) {
 std::optional<Message> take_verified_locked(World& w, Mailbox& box, int src,
                                             int tag,
                                             std::size_t expected_bytes) {
+  const auto now = w.wire_latency_s.load(std::memory_order_relaxed) > 0
+                       ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point::max();
   for (;;) {
-    auto m = World::match_locked(box, src, tag);
+    auto m = match_ordered_locked(box, src, tag, now);
     if (!m.has_value()) return std::nullopt;
     std::uint64_t key = 0;
     if (m->reliable) {
@@ -294,6 +358,23 @@ std::optional<Message> take_verified_locked(World& w, Mailbox& box, int src,
   }
 }
 
+/// Earliest visibility stamp among queued (src, tag) matches, if any.
+/// After a failed take_verified_locked, every remaining match is still in
+/// wire flight — a blocking wait must wake at this stamp (no further
+/// notify is coming for an already-pushed message). Caller holds the
+/// mailbox mutex.
+std::optional<std::chrono::steady_clock::time_point> earliest_match_locked(
+    const Mailbox& box, int src, int tag) {
+  std::optional<std::chrono::steady_clock::time_point> best;
+  for (const auto& m : box.msgs) {
+    if ((src == kAnySource || m.src == src) && m.tag == tag &&
+        (!best.has_value() || m.visible_at < *best)) {
+      best = m.visible_at;
+    }
+  }
+  return best;
+}
+
 /// Discard a collective a receiver gave up on: purge its queued blocks and
 /// make push() drop future arrivals for its (never reused) tag.
 void cancel_collective(World& w, int owner, int tag) {
@@ -312,11 +393,21 @@ Message World::pop(int me, int src, int tag, std::size_t expected_bytes) {
   auto& box = boxes[static_cast<std::size_t>(me)];
   std::unique_lock<std::mutex> lock(box.mu);
   const double base = timeout_ms.load(std::memory_order_relaxed);
+  const bool emulate_wire =
+      wire_latency_s.load(std::memory_order_relaxed) > 0;
   if (base <= 0) {
     for (;;) {
       check_alive();
       if (auto m = take_verified_locked(*this, box, src, tag, expected_bytes))
         return std::move(*m);
+      // A match still in emulated wire flight will not be re-announced;
+      // wake exactly when it lands. Otherwise sleep until a push.
+      if (emulate_wire) {
+        if (auto at = earliest_match_locked(box, src, tag)) {
+          box.cv.wait_until(lock, *at);
+          continue;
+        }
+      }
       box.cv.wait(lock);
     }
   }
@@ -327,7 +418,14 @@ Message World::pop(int me, int src, int tag, std::size_t expected_bytes) {
     check_alive();
     if (auto m = take_verified_locked(*this, box, src, tag, expected_bytes))
       return std::move(*m);
-    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    auto wake = deadline;
+    if (emulate_wire) {
+      if (auto at = earliest_match_locked(box, src, tag)) {
+        wake = std::min(wake, *at);
+      }
+    }
+    if (box.cv.wait_until(lock, wake) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
       // The bounded wait expired: count it whether or not the recovery
       // attempt below succeeds (FaultStats::timeouts documents "expired
       // at least once", not "expired unrecoverably").
@@ -423,6 +521,13 @@ void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
   detail::Message m;
   m.src = src;
   m.tag = tag;
+  const double wire_s = w.wire_latency_s.load(std::memory_order_relaxed);
+  if (wire_s > 0) {
+    m.visible_at = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(wire_s));
+  }
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
   if (w.checksums.load(std::memory_order_relaxed)) {
@@ -554,17 +659,19 @@ Request Comm::irecv(int src, int tag, mspan data) {
 }
 
 Request Comm::ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
-                        AlltoallAlgo algo) {
+                        AlltoallAlgo algo, int channel) {
   auto& w = *world_;
   const int p = w.nranks;
   const auto block = static_cast<std::size_t>(count);
   SOI_CHECK(count >= 0, "ialltoall: negative count");
+  SOI_CHECK(channel >= 0 && channel < kMaxCollChannels,
+            "ialltoall: channel " << channel << " out of range [0, "
+                                  << kMaxCollChannels << ")");
   SOI_CHECK(send_data.size() >= block * static_cast<std::size_t>(p),
             "ialltoall: send buffer too small");
   SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(p),
             "ialltoall: recv buffer too small");
-  const int tag =
-      detail::kTagICollBase - w.coll_seq[static_cast<std::size_t>(rank_)]++;
+  const int tag = w.next_coll_tag(rank_, channel);
 
   // Own block: straight copy at post time.
   std::copy(send_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_,
@@ -612,7 +719,8 @@ Request Comm::ialltoallv(cspan send_data,
                          std::span<const std::int64_t> send_displs,
                          mspan recv_data,
                          std::span<const std::int64_t> recv_counts,
-                         std::span<const std::int64_t> recv_displs) {
+                         std::span<const std::int64_t> recv_displs,
+                         int channel) {
   auto& w = *world_;
   const int p = w.nranks;
   SOI_CHECK(send_counts.size() == static_cast<std::size_t>(p) &&
@@ -620,8 +728,10 @@ Request Comm::ialltoallv(cspan send_data,
                 recv_counts.size() == static_cast<std::size_t>(p) &&
                 recv_displs.size() == static_cast<std::size_t>(p),
             "ialltoallv: counts/displs must have one entry per rank");
-  const int tag =
-      detail::kTagICollBase - w.coll_seq[static_cast<std::size_t>(rank_)]++;
+  SOI_CHECK(channel >= 0 && channel < kMaxCollChannels,
+            "ialltoallv: channel " << channel << " out of range [0, "
+                                   << kMaxCollChannels << ")");
+  const int tag = w.next_coll_tag(rank_, channel);
 
   // Own block.
   {
@@ -724,12 +834,34 @@ bool Comm::wait_for(Request& req, double timeout_ms) {
   if (req.done_) return true;
   auto& w = *world_;
   auto& box = w.boxes[static_cast<std::size_t>(rank_)];
+  // The (src, tag) piece this request blocks on next: the posted source
+  // for a recv, the current ring step for a collective. Used to wake a
+  // blocked wait exactly when an emulated-wire match becomes visible.
+  const auto pending_earliest =
+      [&]() -> std::optional<std::chrono::steady_clock::time_point> {
+    if (w.wire_latency_s.load(std::memory_order_relaxed) <= 0) {
+      return std::nullopt;
+    }
+    if (req.kind_ == Request::Kind::kRecv) {
+      return detail::earliest_match_locked(box, req.peer_, req.tag_);
+    }
+    if (req.kind_ == Request::Kind::kColl) {
+      const int p = w.nranks;
+      const int from = (rank_ - req.next_step_ + p) % p;
+      return detail::earliest_match_locked(box, from, req.tag_);
+    }
+    return std::nullopt;
+  };
   std::unique_lock<std::mutex> lock(box.mu);
   if (progress_locked(req)) return true;
   if (timeout_ms <= 0) {
     while (!progress_locked(req)) {
       w.check_alive();
-      box.cv.wait(lock);
+      if (auto at = pending_earliest()) {
+        box.cv.wait_until(lock, *at);
+      } else {
+        box.cv.wait(lock);
+      }
     }
     return true;
   }
@@ -738,7 +870,10 @@ bool Comm::wait_for(Request& req, double timeout_ms) {
   for (;;) {
     w.check_alive();
     if (progress_locked(req)) return true;
-    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    auto wake = deadline;
+    if (auto at = pending_earliest()) wake = std::min(wake, *at);
+    if (box.cv.wait_until(lock, wake) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
       // Deadline expired: promote injector-parked messages, re-queue the
       // retained clean copies of this request's pending pieces, and give
       // progress one final attempt before reporting back.
@@ -766,12 +901,7 @@ void Comm::wait(Request& req) {
   if (req.done_) return;
   const double base = world_->timeout_ms.load(std::memory_order_relaxed);
   if (base <= 0) {
-    auto& box = world_->boxes[static_cast<std::size_t>(rank_)];
-    std::unique_lock<std::mutex> lock(box.mu);
-    while (!progress_locked(req)) {
-      world_->check_alive();
-      box.cv.wait(lock);
-    }
+    wait_for(req, 0);  // blocks forever, wire-latency aware
     return;
   }
   double t = base;
@@ -1087,7 +1217,7 @@ std::vector<CommEvent> run_ranks(int nranks, const NetOptions& opts,
   // Only a non-default configuration claims the configure slot; otherwise
   // it stays open for DistOptions-level plumbing to install one later.
   if (resolved.faults.any() || resolved.timeout_ms > 0 ||
-      !resolved.checksums) {
+      !resolved.checksums || resolved.wire_latency_us > 0) {
     world->configure(resolved);
   }
   // Primary errors (a rank body failed on its own) are kept separate from

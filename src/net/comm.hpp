@@ -51,6 +51,14 @@ namespace soi::net {
 /// Wildcard source for recv_any-style matching.
 inline constexpr int kAnySource = -1;
 
+/// Number of independent collective channels (ialltoall/ialltoallv's
+/// `channel` parameter). Channels exist for multi-tenant co-scheduling:
+/// all ranks must post the collectives of ONE channel in the same program
+/// order, but the relative order of postings on DIFFERENT channels is free
+/// to differ per rank — each channel keeps its own per-rank sequence
+/// numbers, so concurrent tenants' pieces can never cross-match.
+inline constexpr int kMaxCollChannels = 16;
+
 /// Secondary error delivered to ranks blocked on communication when a peer
 /// rank's body already failed: the world is marked aborted and every
 /// sleeping wait unwinds with this instead of deadlocking on a message or
@@ -86,6 +94,15 @@ struct NetOptions {
   /// their stamp is carried but not re-hashed. Off only to measure the
   /// stamping cost.
   bool checksums = true;
+  /// Emulated per-message wire latency in microseconds (0 = off). A sent
+  /// message only becomes matchable this long after the send posts; the
+  /// sender never blocks (buffered), and a receiver that reaches the wait
+  /// early sleeps out the residual flight time. Models the expensive
+  /// interconnect the SOI decomposition targets, so communication/compute
+  /// overlap strategies are measurable on the in-process transport.
+  /// Applies to point-to-point and alltoall traffic; barrier/allreduce
+  /// rendezvous are not delayed.
+  double wire_latency_us = 0.0;
 };
 
 namespace detail {
@@ -204,20 +221,25 @@ class Comm {
 
   /// Nonblocking alltoall: the own-block copy and every send happen at
   /// post time; the P-1 receive blocks land during test()/wait(). All
-  /// ranks must post their nonblocking collectives in the same program
-  /// order (an internal per-rank sequence number disambiguates concurrent
-  /// in-flight collectives).
+  /// ranks must post the nonblocking collectives of one `channel` in the
+  /// same program order (a per-rank, per-channel sequence number
+  /// disambiguates concurrent in-flight collectives); postings on
+  /// different channels may interleave differently per rank — that is
+  /// what channels are for (one per co-scheduled tenant).
   Request ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
-                    AlltoallAlgo algo = AlltoallAlgo::kPairwise);
+                    AlltoallAlgo algo = AlltoallAlgo::kPairwise,
+                    int channel = 0);
 
   /// Nonblocking alltoallv. `recv_counts`/`recv_displs` are captured by
-  /// pointer and must outlive the request.
+  /// pointer and must outlive the request. Same per-channel ordering
+  /// contract as ialltoall.
   Request ialltoallv(cspan send_data,
                      std::span<const std::int64_t> send_counts,
                      std::span<const std::int64_t> send_displs,
                      mspan recv_data,
                      std::span<const std::int64_t> recv_counts,
-                     std::span<const std::int64_t> recv_displs);
+                     std::span<const std::int64_t> recv_displs,
+                     int channel = 0);
 
   /// One progress attempt on the calling rank's mailbox; true when the
   /// request has completed. Never blocks.

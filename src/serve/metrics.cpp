@@ -1,0 +1,91 @@
+#include "serve/metrics.hpp"
+
+namespace soi::serve {
+
+double LatencyHistogram::quantile(double q) const {
+  std::int64_t total = 0;
+  std::array<std::int64_t, kBuckets> counts{};
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    total += counts[static_cast<std::size_t>(b)];
+  }
+  if (total == 0) return -1.0;
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[static_cast<std::size_t>(b)];
+    if (static_cast<double>(seen) >= target) {
+      // Bucket midpoint on the log scale.
+      return 1e-6 * std::exp2((static_cast<double>(b) + 0.5) / 4.0);
+    }
+  }
+  return 1e-6 * std::exp2(static_cast<double>(kBuckets) / 4.0);
+}
+
+std::int64_t LatencyHistogram::count() const {
+  std::int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServeMetrics::snapshot(double elapsed_seconds,
+                                       int slots) const {
+  MetricsSnapshot s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.queued = queued_.load(std::memory_order_relaxed);
+  s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  const double p50 = latency_.quantile(0.50);
+  const double p99 = latency_.quantile(0.99);
+  s.p50_ms = p50 < 0 ? -1.0 : p50 * 1e3;
+  s.p99_ms = p99 < 0 ? -1.0 : p99 * 1e3;
+  s.elapsed_seconds = elapsed_seconds;
+  s.transforms_per_sec =
+      elapsed_seconds > 0 ? static_cast<double>(s.completed) / elapsed_seconds
+                          : 0.0;
+  const double denom = elapsed_seconds * static_cast<double>(slots);
+  s.arena_occupancy =
+      denom > 0 ? std::clamp(busy_slot_seconds_.load(
+                                 std::memory_order_relaxed) / denom,
+                             0.0, 1.0)
+                : 0.0;
+  for (int t = 0; t < kMaxTenants; ++t) {
+    const auto& c = tenants_[static_cast<std::size_t>(t)];
+    const std::int64_t done = c.completed.load(std::memory_order_relaxed);
+    if (done == 0) continue;
+    MetricsSnapshot::Tenant out;
+    out.tenant = t;
+    out.completed = done;
+    const double secs = c.seconds.load(std::memory_order_relaxed);
+    const double wait = c.wait_seconds.load(std::memory_order_relaxed);
+    out.overlap_efficiency =
+        secs > 0 ? std::clamp(1.0 - wait / secs, 0.0, 1.0) : 1.0;
+    s.tenants.push_back(out);
+  }
+  return s;
+}
+
+void ServeMetrics::reset() {
+  admitted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
+  queued_.store(0, std::memory_order_relaxed);
+  queue_peak_.store(0, std::memory_order_relaxed);
+  busy_slot_seconds_.store(0.0, std::memory_order_relaxed);
+  latency_.reset();
+  for (auto& t : tenants_) {
+    t.completed.store(0, std::memory_order_relaxed);
+    t.seconds.store(0.0, std::memory_order_relaxed);
+    t.wait_seconds.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace soi::serve

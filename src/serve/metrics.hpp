@@ -1,0 +1,151 @@
+// Queueing and occupancy metrics of the serving layer.
+//
+// Everything on the request hot path is a relaxed atomic update — no
+// locks, no allocation — so recording a completion costs a handful of
+// fetch_adds. snapshot() folds the counters into plain values for the
+// bench JSON schema: admitted/rejected/queued counts, p50/p99 latency
+// from a fixed-bucket log-scale histogram, sustained transforms/sec, the
+// time-integrated execution-slot occupancy, and per-tenant overlap
+// efficiency (1 - wait/total over the tenant's stage traces).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace soi::serve {
+
+/// Tenants the per-tenant counters distinguish; ids >= kMaxTenants fold
+/// into the last bucket.
+inline constexpr int kMaxTenants = 32;
+
+/// Lock-free fixed-bucket latency histogram: 128 quarter-octave buckets
+/// starting at 1 us (bucket b covers [2^(b/4), 2^((b+1)/4)) us), so the
+/// range spans 1 us .. ~4.3 ks with <= 19% bucket-width error — plenty
+/// for p50/p99 reporting without per-request allocation.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 128;
+
+  void record(double seconds) {
+    int b = 0;
+    if (seconds > 1e-6) {
+      b = std::clamp(
+          static_cast<int>(std::floor(std::log2(seconds / 1e-6) * 4.0)), 0,
+          kBuckets - 1);
+    }
+    buckets_[static_cast<std::size_t>(b)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Latency quantile q in [0, 1], in seconds (bucket midpoint); -1 when
+  /// nothing was recorded.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::int64_t count() const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+/// Plain-value snapshot for reporting (bench JSON, `soifft serve`).
+struct MetricsSnapshot {
+  std::int64_t admitted = 0;   ///< requests accepted onto the queue
+  std::int64_t rejected = 0;   ///< typed-rejected at admission (queue full)
+  std::int64_t completed = 0;  ///< requests finished successfully
+  std::int64_t failed = 0;     ///< requests finished with an error
+  std::int64_t queued = 0;     ///< waiting in the admission queue right now
+  std::int64_t queue_peak = 0; ///< high-water mark of the admission queue
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double elapsed_seconds = 0.0;
+  double transforms_per_sec = 0.0;  ///< completed / elapsed
+  /// Time-integrated busy fraction of the execution slots (worker lanes
+  /// or co-scheduled instances): busy-slot-seconds / (elapsed * slots).
+  double arena_occupancy = 0.0;
+
+  struct Tenant {
+    int tenant = 0;
+    std::int64_t completed = 0;
+    /// 1 - wait/total over the tenant's per-execution stage traces
+    /// (1.0 when nothing ever blocked — e.g. the serial backend).
+    double overlap_efficiency = 1.0;
+  };
+  std::vector<Tenant> tenants;
+};
+
+/// Shared counter block of one TransformService. Writers are the
+/// admission path and the execution backends; reads (snapshot) may race
+/// with writes and see a slightly torn but individually-consistent view.
+class ServeMetrics {
+ public:
+  void note_admitted(std::int64_t queue_depth) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    std::int64_t peak = queue_peak_.load(std::memory_order_relaxed);
+    while (queue_depth > peak &&
+           !queue_peak_.compare_exchange_weak(peak, queue_depth,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  void note_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void note_dequeued() { queued_.fetch_sub(1, std::memory_order_relaxed); }
+  void note_completed(double latency_seconds) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    latency_.record(latency_seconds);
+  }
+  void note_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_busy(double slot_seconds) {
+    busy_slot_seconds_.fetch_add(slot_seconds, std::memory_order_relaxed);
+  }
+  /// Fold one execution trace into the tenant's overlap accounting.
+  void note_tenant(int tenant, double seconds, double wait_seconds) {
+    auto& t = tenants_[static_cast<std::size_t>(
+        std::clamp(tenant, 0, kMaxTenants - 1))];
+    t.completed.fetch_add(1, std::memory_order_relaxed);
+    t.seconds.fetch_add(seconds, std::memory_order_relaxed);
+    t.wait_seconds.fetch_add(wait_seconds, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Fold everything into plain values. `slots` is the number of
+  /// execution slots occupancy is normalised by.
+  [[nodiscard]] MetricsSnapshot snapshot(double elapsed_seconds,
+                                         int slots) const;
+
+  /// Zero every counter (new measurement epoch, e.g. after warmup).
+  void reset();
+
+ private:
+  struct TenantCounters {
+    std::atomic<std::int64_t> completed{0};
+    std::atomic<double> seconds{0.0};
+    std::atomic<double> wait_seconds{0.0};
+  };
+
+  std::atomic<std::int64_t> admitted_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> queued_{0};
+  std::atomic<std::int64_t> queue_peak_{0};
+  std::atomic<double> busy_slot_seconds_{0.0};
+  LatencyHistogram latency_;
+  std::array<TenantCounters, kMaxTenants> tenants_{};
+};
+
+}  // namespace soi::serve

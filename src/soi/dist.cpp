@@ -60,10 +60,32 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
   std::int64_t depth = std::min(opts_.chunk_depth, spr_);
   while (spr_ % depth != 0) --depth;
   env_.chunk_depth = depth;
+  SOI_CHECK(opts_.max_concurrency >= 1 &&
+                opts_.max_concurrency <= net::kMaxCollChannels,
+            "SoiFftDist: max_concurrency " << opts_.max_concurrency
+                                           << " not in [1, "
+                                           << net::kMaxCollChannels << "]");
+  env_.max_instances = opts_.max_concurrency;
   reserve_chain_buffers(state_.arena, env_, 0);
   append_chain_stages(pipeline_, env_);
   state_.arena.commit();
   pipeline_.init_trace(state_.trace);
+  pipeline_.bind_scratch(state_.scratch);
+  // Per-instance execution states for co-scheduling: instance i > 0 gets
+  // its own cloned-layout arena and trace; one merged-queue scratch sized
+  // for all instances. Everything forward_many touches exists now.
+  const int kmax = opts_.max_concurrency;
+  pipeline_.bind_scratch(multi_scratch_, kmax);
+  slots_.reserve(static_cast<std::size_t>(kmax - 1));
+  for (int i = 1; i < kmax; ++i) {
+    auto st = std::make_unique<exec::ExecState>();
+    st->arena.adopt_layout(state_.arena);
+    st->trace = state_.trace;
+    slots_.push_back(std::move(st));
+  }
+  many_ctx_.resize(static_cast<std::size_t>(kmax));
+  many_ptrs_.resize(static_cast<std::size_t>(kmax));
+  guard_energies_.resize(2 * static_cast<std::size_t>(kmax));
   SOI_CHECK(opts_.max_retries >= 0,
             "SoiFftDist: max_retries must be >= 0");
   SOI_CHECK(opts_.timeout_ms >= 0,
@@ -120,62 +142,147 @@ void SoiFftDist::run_pipeline(cspan x_local, mspan y_local, bool overlap) {
   ctx.overlap = overlap && !degraded_;
   ctx.arena = &state_.arena;
   ctx.trace = &state_.trace;
+  ctx.scratch = &state_.scratch;
   pipeline_.run(ctx);
   breakdown_ = SoiDistBreakdown::from_trace(state_.trace);
   last_retries_ = 0;
   for (const auto& r : state_.trace.records()) last_retries_ += r.retries;
   if (last_retries_ > 0) degraded_ = true;
 
-  if (opts_.residual_guard) {
-    // Output acceptance gate. Two tiers:
-    //
-    // Local (every run): scan the output segment for non-finite values —
-    // poisoned arithmetic shows up as NaN/Inf with no communication.
-    //
-    // Global (only when the world can actually experience faults, i.e.
-    // comm_.resilience_active()): the Parseval check sum|y|^2 ==
-    // N*sum|x|^2 up to the window-conditioned error model of Section 5,
-    // ||y_hat - y||/||y|| = O(kappa*(eps_fft + eps_alias + eps_trunc)) —
-    // an ABFT-style end-to-end gate that catches corruption which slipped
-    // past the transport checksums. The global tier needs one allreduce;
-    // on the oversubscribed SimMPI host an extra rendezvous costs
-    // O(ranks x scheduler latency), so the fault-free fast path must not
-    // pay it. resilience_active() is world-global, keeping the collective
-    // call pattern identical on every rank.
+  const cspan xs1[1] = {x_local};
+  const mspan ys1[1] = {y_local};
+  guard_outputs(std::span<const cspan>(xs1, 1),
+                std::span<const mspan>(ys1, 1));
+}
+
+void SoiFftDist::forward_many(std::span<const cspan> xs_local,
+                              std::span<const mspan> ys_local) {
+  const auto k = xs_local.size();
+  const std::int64_t m_rank = local_size();
+  SOI_CHECK(k >= 1 && k == ys_local.size(),
+            "SoiFftDist::forward_many: " << k << " inputs, "
+                                         << ys_local.size() << " outputs");
+  SOI_CHECK(k <= static_cast<std::size_t>(opts_.max_concurrency),
+            "SoiFftDist::forward_many: " << k
+                                         << " transforms exceed "
+                                            "max_concurrency "
+                                         << opts_.max_concurrency);
+  bool validate = opts_.validate_input > 0;
+#ifndef NDEBUG
+  if (opts_.validate_input < 0) validate = true;
+#endif
+  for (std::size_t i = 0; i < k; ++i) {
+    SOI_CHECK(xs_local[i].size() == static_cast<std::size_t>(m_rank),
+              "SoiFftDist::forward_many: transform "
+                  << i << " expects " << m_rank << " local points, got "
+                  << xs_local[i].size());
+    SOI_CHECK(ys_local[i].size() >= static_cast<std::size_t>(m_rank),
+              "SoiFftDist::forward_many: transform " << i
+                                                     << " output too small");
+    if (validate) {
+      const std::int64_t bad = first_nonfinite<double>(xs_local[i]);
+      if (bad >= 0) {
+        std::ostringstream os;
+        os << "SoiFftDist::forward_many: rank " << comm_.rank()
+           << " transform " << i
+           << " input contains a non-finite value (NaN/Inf) at local index "
+           << bad;
+        throw InvalidArgumentError(os.str());
+      }
+    }
+  }
+
+  // Degradation is plan-global: one retry-afflicted run drops EVERY
+  // instance to the in-order schedule (same graph, bit-identical output).
+  const bool overlap = opts_.overlap && !degraded_;
+  for (std::size_t i = 0; i < k; ++i) {
+    exec::ExecContextT<double>& ctx = many_ctx_[i];
+    ctx = exec::ExecContextT<double>{};
+    ctx.in = xs_local[i];
+    ctx.out = ys_local[i];
+    ctx.comm = &comm_;
+    ctx.overlap = overlap;
+    ctx.arena = i == 0 ? &state_.arena : &slots_[i - 1]->arena;
+    ctx.trace = i == 0 ? &state_.trace : &slots_[i - 1]->trace;
+    ctx.instance = static_cast<int>(i);
+    ctx.channel = static_cast<int>(i);
+    many_ptrs_[i] = &ctx;
+  }
+  pipeline_.run_many(
+      std::span<exec::ExecContextT<double>* const>(many_ptrs_.data(), k),
+      multi_scratch_);
+  breakdown_ = SoiDistBreakdown::from_trace(state_.trace);
+  last_retries_ = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const auto& r : many_ctx_[i].trace->records()) {
+      last_retries_ += r.retries;
+    }
+  }
+  if (last_retries_ > 0) degraded_ = true;
+
+  guard_outputs(xs_local, ys_local);
+}
+
+void SoiFftDist::guard_outputs(std::span<const cspan> xs,
+                               std::span<const mspan> ys) {
+  if (!opts_.residual_guard) return;
+  // Output acceptance gate. Two tiers:
+  //
+  // Local (every run): scan each output segment for non-finite values —
+  // poisoned arithmetic shows up as NaN/Inf with no communication.
+  //
+  // Global (only when the world can actually experience faults, i.e.
+  // comm_.resilience_active()): the Parseval check sum|y|^2 ==
+  // N*sum|x|^2 up to the window-conditioned error model of Section 5,
+  // ||y_hat - y||/||y|| = O(kappa*(eps_fft + eps_alias + eps_trunc)) —
+  // an ABFT-style end-to-end gate that catches corruption which slipped
+  // past the transport checksums. The global tier needs one allreduce;
+  // on the oversubscribed SimMPI host an extra rendezvous costs
+  // O(ranks x scheduler latency), so the fault-free fast path must not
+  // pay it — and a co-scheduled batch shares ONE allreduce carrying all
+  // instances' energies. resilience_active() is world-global, keeping the
+  // collective call pattern identical on every rank.
+  const std::int64_t m_rank = local_size();
+  for (std::size_t i = 0; i < ys.size(); ++i) {
     const std::int64_t bad = core::first_nonfinite<double>(
-        cspan{y_local.data(), static_cast<std::size_t>(m_rank)});
+        cspan{ys[i].data(), static_cast<std::size_t>(m_rank)});
     if (bad >= 0) {
       std::ostringstream os;
       os << "SoiFftDist: residual guard tripped: rank " << comm_.rank()
+         << " transform " << i
          << " output contains a non-finite value at local index " << bad;
       throw AccuracyFaultError(os.str());
     }
-    if (comm_.resilience_active()) {
-      double energies[2] = {0.0, 0.0};
-      for (const auto& v : x_local) energies[0] += std::norm(v);
-      for (std::int64_t i = 0; i < m_rank; ++i) {
-        energies[1] += std::norm(y_local[static_cast<std::size_t>(i)]);
-      }
-      const double nd = static_cast<double>(geom_.n());
-      comm_.allreduce_sum(std::span<double>(energies, 2));  // one rendezvous
-      const double tout = energies[1];
-      const double expected = energies[0] * nd;
-      if (expected > 0.0) {
-        const double rel = std::abs(tout - expected) / expected;
-        const double eps_fft = 1e-15 * std::log2(nd);
-        const double eps =
-            profile_.eps_alias + profile_.eps_trunc + eps_fft;
-        const double tol =
-            kGuardSlack * std::max(profile_.kappa, 1.0) * eps;
-        if (!(rel <= tol)) {
-          std::ostringstream os;
-          os << "SoiFftDist: residual guard tripped: relative energy "
-                "residual "
-             << rel << " exceeds kappa-scaled bound " << tol
-             << " (kappa=" << profile_.kappa << ", eps=" << eps << ")";
-          throw AccuracyFaultError(os.str());
-        }
-      }
+  }
+  if (!comm_.resilience_active()) return;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double ein = 0.0;
+    double eout = 0.0;
+    for (const auto& v : xs[i]) ein += std::norm(v);
+    for (std::int64_t j = 0; j < m_rank; ++j) {
+      eout += std::norm(ys[i][static_cast<std::size_t>(j)]);
+    }
+    guard_energies_[2 * i] = ein;
+    guard_energies_[2 * i + 1] = eout;
+  }
+  const double nd = static_cast<double>(geom_.n());
+  comm_.allreduce_sum(
+      std::span<double>(guard_energies_.data(), 2 * xs.size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double expected = guard_energies_[2 * i] * nd;
+    if (expected <= 0.0) continue;
+    const double rel =
+        std::abs(guard_energies_[2 * i + 1] - expected) / expected;
+    const double eps_fft = 1e-15 * std::log2(nd);
+    const double eps = profile_.eps_alias + profile_.eps_trunc + eps_fft;
+    const double tol = kGuardSlack * std::max(profile_.kappa, 1.0) * eps;
+    if (!(rel <= tol)) {
+      std::ostringstream os;
+      os << "SoiFftDist: residual guard tripped: transform " << i
+         << " relative energy residual " << rel
+         << " exceeds kappa-scaled bound " << tol
+         << " (kappa=" << profile_.kappa << ", eps=" << eps << ")";
+      throw AccuracyFaultError(os.str());
     }
   }
 }

@@ -78,6 +78,11 @@ struct DistOptions {
   /// Release), 0 = off, 1 = on. Violations throw
   /// soi::InvalidArgumentError before any communication happens.
   int validate_input = -1;
+  /// Independent transforms forward_many() may co-schedule per call (the
+  /// serving layer's batch width). Sizes the per-instance execution
+  /// states, request slots and SimMPI collective channels at plan time;
+  /// must not exceed net::kMaxCollChannels. 1 = solo execution only.
+  int max_concurrency = 1;
 };
 
 /// Distributed SOI plan bound to a communicator.
@@ -117,6 +122,19 @@ class SoiFftDist {
   /// segments_per_rank.
   [[nodiscard]] std::int64_t chunk_depth() const { return env_.chunk_depth; }
 
+  /// Co-scheduled forward of K <= options().max_concurrency independent
+  /// block-distributed transforms in ONE deterministic interleaved
+  /// schedule: every instance's exchange pieces post before any instance
+  /// blocks, so waits mostly find their data already delivered — the
+  /// multi-tenant throughput path. Collective: every rank must call with
+  /// the same K, instance i's buffers on every rank belonging to the same
+  /// logical transform (instance i travels on SimMPI channel i). Each
+  /// instance's output is bit-identical to a solo forward() of the same
+  /// input; zero steady-state allocations on the SOI side (the simulated
+  /// transport's per-message buffering is outside that guarantee).
+  void forward_many(std::span<const cspan> xs_local,
+                    std::span<const mspan> ys_local);
+
   /// Inverse transform (scaled by 1/N) via the conjugation identity —
   /// same block layout, same single all-to-all.
   void inverse(cspan y_local, mspan x_local);
@@ -130,6 +148,13 @@ class SoiFftDist {
   /// Structured per-stage trace of the most recent execution.
   [[nodiscard]] const exec::TraceLog& last_trace() const {
     return state_.trace;
+  }
+  /// Trace of co-scheduled instance `i` from the most recent
+  /// forward_many() (instance 0 is last_trace()). The serving layer reads
+  /// per-tenant overlap efficiency from these.
+  [[nodiscard]] const exec::TraceLog& instance_trace(int i) const {
+    return i == 0 ? state_.trace
+                  : slots_[static_cast<std::size_t>(i - 1)]->trace;
   }
   /// The preplanned workspace (peak bytes, growth count — test surface).
   [[nodiscard]] const WorkspaceArena& workspace() const {
@@ -146,6 +171,7 @@ class SoiFftDist {
 
  private:
   void run_pipeline(cspan x_local, mspan y_local, bool overlap);
+  void guard_outputs(std::span<const cspan> xs, std::span<const mspan> ys);
 
   net::Comm& comm_;
   win::SoiProfile profile_;
@@ -159,6 +185,14 @@ class SoiFftDist {
   exec::PipelineT<double> pipeline_;
   exec::ExecState state_;
   SoiDistBreakdown breakdown_;
+  // Co-scheduling state (max_concurrency > 1): instance i > 0 executes on
+  // slots_[i-1] (cloned arena layout + trace); instance 0 reuses state_.
+  // All preallocated at construction so forward_many allocates nothing.
+  std::vector<std::unique_ptr<exec::ExecState>> slots_;
+  exec::RunScratch multi_scratch_;
+  std::vector<exec::ExecContextT<double>> many_ctx_;
+  std::vector<exec::ExecContextT<double>*> many_ptrs_;
+  std::vector<double> guard_energies_;  // 2 per instance (in, out)
   bool degraded_ = false;
   std::int64_t last_retries_ = 0;
   cvec conj_in_, conj_out_;  // conjugation scratch (inverse)

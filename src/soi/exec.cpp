@@ -139,10 +139,20 @@ void PipelineT<Real>::finalize_graph() {
                   << " nodes schedulable)");
   }
 
-  indegree_.assign(nnodes, 0);
-  heap_.clear();
-  heap_.reserve(nnodes);
   finalized_ = true;
+  bind_scratch(scratch_, 1);
+}
+
+template <class Real>
+void PipelineT<Real>::bind_scratch(RunScratch& s, int instances) const {
+  SOI_CHECK(finalized_, "Pipeline::bind_scratch: init_trace() not called");
+  SOI_CHECK(instances >= 1, "Pipeline::bind_scratch: need >= 1 instance");
+  const std::size_t total =
+      static_cast<std::size_t>(instances) * nodes_.size();
+  s.indegree.assign(total, 0);
+  s.heap.clear();
+  s.heap.reserve(total);
+  s.capacity = total;
 }
 
 template <class Real>
@@ -160,53 +170,104 @@ void PipelineT<Real>::init_trace(TraceLog& trace) {
 
 template <class Real>
 void PipelineT<Real>::run(ExecContextT<Real>& ctx) const {
-  SOI_CHECK(ctx.arena != nullptr && ctx.trace != nullptr,
-            "Pipeline::run: context missing arena/trace");
+  ExecContextT<Real>* one[1] = {&ctx};
+  execute(std::span<ExecContextT<Real>* const>(one, 1),
+          ctx.scratch != nullptr ? *ctx.scratch : scratch_);
+}
+
+template <class Real>
+void PipelineT<Real>::run_many(std::span<ExecContextT<Real>* const> ctxs,
+                               RunScratch& scratch) const {
+  execute(ctxs, scratch);
+}
+
+template <class Real>
+void PipelineT<Real>::execute(std::span<ExecContextT<Real>* const> ctxs,
+                              RunScratch& scratch) const {
+  SOI_CHECK(!ctxs.empty(), "Pipeline::run: no execution contexts");
   SOI_CHECK(rec_offset_.size() == stages_.size() && finalized_,
             "Pipeline::run: init_trace() not called after the last "
             "add()/add_node()/add_edge()");
+  for (const auto* ctx : ctxs) {
+    SOI_CHECK(ctx != nullptr && ctx->arena != nullptr &&
+                  ctx->trace != nullptr,
+              "Pipeline::run: context missing arena/trace");
+  }
+  const int k = static_cast<int>(ctxs.size());
+  const int nn = static_cast<int>(nodes_.size());
+  const std::size_t total = static_cast<std::size_t>(k) * nodes_.size();
+  SOI_CHECK(scratch.capacity >= total,
+            "Pipeline::run: scratch bound for "
+                << scratch.capacity << " node slots, need " << total
+                << " (bind_scratch with enough instances)");
 
-  // Reentrancy guard: plan objects keep ExecState mutable so const
-  // forward() stays allocation-free, which makes concurrent forward() on
-  // ONE plan object corruption, not parallelism. Fail loudly instead.
+  // Reentrancy guard: an execution owns its scratch (and the contexts'
+  // arenas/traces) exclusively. Racing on one scratch is corruption, not
+  // parallelism — concurrent executions bind their own (ExecState).
   bool expected = false;
-  SOI_CHECK(running_.compare_exchange_strong(expected, true),
-            "Pipeline::run: concurrent execution of one plan object "
-            "(share the plan, not the execution)");
+  SOI_CHECK(scratch.running.compare_exchange_strong(expected, true),
+            "Pipeline::run: concurrent execution on one scratch/state "
+            "(share the plan, not the execution state)");
   struct Release {
-    const std::atomic<bool>& flag;
-    ~Release() { const_cast<std::atomic<bool>&>(flag).store(false); }
-  } release{running_};
+    std::atomic<bool>& flag;
+    ~Release() { flag.store(false); }
+  } release{scratch.running};
 
-  ctx.trace->zero_seconds();
+  for (auto* ctx : ctxs) ctx->trace->zero_seconds();
 
-  const bool pipelined = ctx.overlap;
-  auto key = [&](int v) {
-    const auto& n = nodes_[static_cast<std::size_t>(v)];
-    return pipelined ? n.ovl_key : n.seq_key;
+  // Merged ready-queue over k instances of the graph: global node id
+  // gv = instance * nn + v. Each instance's schedule key set follows its
+  // own context's overlap flag. Single-instance runs order READY nodes by
+  // smallest key (ties by node id). Co-scheduled runs order by the
+  // many_phase class first: phase-0 nodes (communication posts) run as
+  // soon as they are ready so every instance's traffic is on the wire
+  // before any instance blocks, and phase-1/2 nodes run depth-first per
+  // instance — (phase, instance, key) — so each instance's working set
+  // streams through the cache instead of k instances interleaving
+  // stage-major. All orders are pure functions of the node table, so
+  // every rank co-scheduling the same instances posts identically.
+  auto key = [&](int gv) {
+    const auto& n = nodes_[static_cast<std::size_t>(gv % nn)];
+    return ctxs[static_cast<std::size_t>(gv / nn)]->overlap ? n.ovl_key
+                                                            : n.seq_key;
   };
-  // Min-heap over (key, node id): among READY nodes the smallest key runs
-  // first. Ties broken by id for determinism.
+  auto priority = [&](int gv) -> std::int64_t {
+    if (k == 1) return key(gv);
+    const auto& n = nodes_[static_cast<std::size_t>(gv % nn)];
+    const std::int64_t inst = gv / nn;
+    const std::int64_t within =
+        n.many_phase == 0
+            ? static_cast<std::int64_t>(key(gv)) * k + inst
+            : inst * 1000000 + key(gv);
+    return (static_cast<std::int64_t>(n.many_phase) << 40) + within;
+  };
   auto later = [&](int a, int b) {
-    const int ka = key(a);
-    const int kb = key(b);
-    return ka != kb ? ka > kb : a > b;
+    const std::int64_t ra = priority(a);
+    const std::int64_t rb = priority(b);
+    return ra != rb ? ra > rb : a > b;
   };
 
-  std::copy(indegree0_.begin(), indegree0_.end(), indegree_.begin());
-  heap_.clear();
-  for (std::size_t v = 0; v < nodes_.size(); ++v) {
-    if (indegree_[v] == 0) {
-      heap_.push_back(static_cast<int>(v));
-      std::push_heap(heap_.begin(), heap_.end(), later);
+  auto& indegree = scratch.indegree;
+  auto& heap = scratch.heap;
+  for (int i = 0; i < k; ++i) {
+    std::copy(indegree0_.begin(), indegree0_.end(),
+              indegree.begin() + static_cast<std::ptrdiff_t>(i) * nn);
+  }
+  heap.clear();
+  for (std::size_t gv = 0; gv < total; ++gv) {
+    if (indegree[gv] == 0) {
+      heap.push_back(static_cast<int>(gv));
+      std::push_heap(heap.begin(), heap.end(), later);
     }
   }
 
   std::size_t executed = 0;
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    const int v = heap_.back();
-    heap_.pop_back();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const int gv = heap.back();
+    heap.pop_back();
+    const int v = gv % nn;
+    ExecContextT<Real>& ctx = *ctxs[static_cast<std::size_t>(gv / nn)];
     const auto& node = nodes_[static_cast<std::size_t>(v)];
     StageRecord* rec =
         ctx.trace->at(rec_offset_[static_cast<std::size_t>(node.stage)] +
@@ -218,18 +279,19 @@ void PipelineT<Real>::run(ExecContextT<Real>& ctx) const {
       stage.run_node(ctx, rec, node);
     }
     ++executed;
+    const int base = gv - v;  // this instance's node-id offset
     for (int e = succ_off_[static_cast<std::size_t>(v)];
          e < succ_off_[static_cast<std::size_t>(v) + 1]; ++e) {
-      const int u = succ_[static_cast<std::size_t>(e)];
-      if (--indegree_[static_cast<std::size_t>(u)] == 0) {
-        heap_.push_back(u);
-        std::push_heap(heap_.begin(), heap_.end(), later);
+      const int gu = base + succ_[static_cast<std::size_t>(e)];
+      if (--indegree[static_cast<std::size_t>(gu)] == 0) {
+        heap.push_back(gu);
+        std::push_heap(heap.begin(), heap.end(), later);
       }
     }
   }
-  SOI_CHECK(executed == nodes_.size(),
-            "Pipeline::run: scheduled " << executed << " of "
-                                        << nodes_.size() << " nodes");
+  SOI_CHECK(executed == total,
+            "Pipeline::run: scheduled " << executed << " of " << total
+                                        << " nodes");
 }
 
 template class PipelineT<double>;

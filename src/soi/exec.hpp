@@ -115,14 +115,45 @@ struct NodeSpec {
   StageClass cls = StageClass::kCompute;
   int seq_key = 0;  ///< priority under the in-order (chunk-major) schedule
   int ovl_key = 0;  ///< priority under the pipelined schedule
+  /// Co-scheduled (run_many) priority class. 0 = run as soon as ready,
+  /// ordered across instances by key (communication posts: every
+  /// instance's traffic goes on the wire before anyone blocks). 1 = the
+  /// pre-exchange front, 2 = the wait..demod tail; both run depth-first
+  /// per instance ((instance, key) order, all fronts before any tail) so
+  /// one instance's working set streams through the cache instead of K
+  /// interleaving stage-major. Ignored by single-instance runs.
+  int many_phase = 1;
   /// Set by finalize_graph() on generated barrier nodes: the executor
   /// calls the stage's atomic run() instead of run_node().
   bool is_auto = false;
 };
 
+/// Per-execution scheduler scratch: the ready-queue arrays one pipeline
+/// run drives its graph with, plus the reentrancy flag guarding them.
+/// Plans own one (inside ExecState) for their built-in execution; callers
+/// that execute ONE shared pipeline from several threads (the serving
+/// layer) bind one RunScratch per concurrent execution instead — the
+/// pipeline graph itself is immutable after init_trace(), so K executions
+/// with distinct (scratch, arena, trace) triples never share mutable
+/// state. Sized by Pipeline::bind_scratch(); run() never allocates.
+struct RunScratch {
+  std::vector<int> indegree;
+  std::vector<int> heap;
+  std::atomic<bool> running{false};
+  /// Node slots this scratch was bound for (instances * node count).
+  std::size_t capacity = 0;
+};
+
 /// Everything a stage needs at run time. in/out are the caller's spans;
 /// stages bound to arena buffers ignore them. comm == nullptr means
 /// single-process execution (the serial plan's "null comm").
+///
+/// The last three fields exist for co-scheduled execution (run_many):
+/// `instance` selects the per-execution slot of stage-held communication
+/// requests, `channel` is the SimMPI collective channel (and halo tag
+/// offset) keeping concurrent executions' messages from cross-matching,
+/// and `scratch` overrides the pipeline's built-in ready-queue arrays so
+/// independent executions of one shared plan never contend.
 template <class Real>
 struct ExecContextT {
   cspan_t<Real> in;
@@ -132,6 +163,9 @@ struct ExecContextT {
   bool overlap = false;
   WorkspaceArena* arena = nullptr;
   TraceLog* trace = nullptr;
+  int instance = 0;   ///< execution slot (indexes stage request storage)
+  int channel = 0;    ///< SimMPI collective channel / halo tag offset
+  RunScratch* scratch = nullptr;  ///< null = the pipeline's built-in scratch
 };
 
 /// Stage interface. plan_records() declares the trace events the stage
@@ -177,8 +211,33 @@ class PipelineT {
   void init_trace(TraceLog& trace);
   void run(ExecContextT<Real>& ctx) const;
 
+  /// Size `s` for `instances` concurrent executions of this pipeline
+  /// (init_trace() must have run). A bound scratch serves run() via
+  /// ExecContext::scratch (instances == 1) or run_many() (instances == K).
+  void bind_scratch(RunScratch& s, int instances = 1) const;
+
+  /// Co-scheduled execution of K independent instances of THIS graph in
+  /// one deterministic interleaved schedule: the merged ready-queue orders
+  /// nodes by their per-instance schedule key (each context's overlap flag
+  /// picks its key set), ties broken instance-major — so every rank that
+  /// executes the same K instances posts communication in the same order,
+  /// and instance i's exchange pieces are in flight while instance j
+  /// computes. Contexts must carry distinct (arena, trace) pairs, distinct
+  /// `instance` numbers (the stage request slots) and distinct `channel`s
+  /// when a communicator is attached; `scratch` must have been bound for
+  /// at least K instances. Per-instance node order is a topological order
+  /// of the instance's own edges, so each instance's output is
+  /// bit-identical to a solo run().
+  void run_many(std::span<ExecContextT<Real>* const> ctxs,
+                RunScratch& scratch) const;
+
+  /// Nodes in the finalised graph (init_trace() must have run).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
  private:
   void finalize_graph();
+  void execute(std::span<ExecContextT<Real>* const> ctxs,
+               RunScratch& scratch) const;
 
   std::vector<std::unique_ptr<StageT<Real>>> stages_;
   std::vector<std::size_t> rec_offset_;  // stage -> first record index
@@ -194,12 +253,12 @@ class PipelineT {
   std::vector<int> succ_;
   std::vector<int> indegree0_;
   bool finalized_ = false;
-  // Run-time scratch, preallocated by finalize_graph(). Guarded by the
-  // reentrancy check below — Pipeline::run is not concurrency-safe on one
-  // plan object (share the plan, not the execution).
-  mutable std::vector<int> indegree_;
-  mutable std::vector<int> heap_;
-  mutable std::atomic<bool> running_{false};
+  // Built-in run-time scratch, preallocated by finalize_graph() for one
+  // execution. Guarded by its reentrancy flag — concurrent executions of
+  // one plan must bind their own RunScratch (ExecContext::scratch) and
+  // their own arena/trace; racing on the BUILT-IN state is corruption,
+  // not parallelism, and fails loudly.
+  mutable RunScratch scratch_;
 };
 
 /// Adds its lifetime to `rec.seconds` on destruction; scoped sections of
@@ -234,13 +293,17 @@ class WaitTimer {
   Timer t_;
 };
 
-/// Mutable per-plan execution state (the plan objects keep this `mutable`
-/// so const forward() stays allocation-free; concurrent forward() calls on
-/// ONE plan object are therefore not supported — share the plan, not the
-/// execution; Pipeline::run enforces this with a loud reentrancy check).
+/// Mutable per-execution state: one workspace arena, one trace, one set
+/// of scheduler scratch arrays. Plan objects keep one `mutable` so const
+/// forward() stays allocation-free; callers that need parallel execution
+/// of one shared plan initialise EXTRA states from the plan (the serial
+/// plan's init_state()) and run each execution against its own — racing
+/// concurrent forward() calls on ONE state is corruption, not
+/// parallelism, and Pipeline::run fails loudly on it.
 struct ExecState {
   WorkspaceArena arena;
   TraceLog trace;
+  RunScratch scratch;
 };
 
 extern template class PipelineT<double>;

@@ -30,10 +30,25 @@ SoiFftSerialT<Real>::SoiFftSerialT(std::int64_t n, std::int64_t p,
   append_chain_stages(pipeline_, env_);
   state_.arena.commit();
   pipeline_.init_trace(state_.trace);
+  pipeline_.bind_scratch(state_.scratch);
+}
+
+template <class Real>
+void SoiFftSerialT<Real>::init_state(exec::ExecState& st) const {
+  SOI_CHECK(&st != &state_, "SoiFftSerial::init_state: plan's own state");
+  st.arena.adopt_layout(state_.arena);
+  st.trace = state_.trace;  // planned records; timings zeroed per run
+  pipeline_.bind_scratch(st.scratch);
 }
 
 template <class Real>
 void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
+  forward_on(state_, x, y);
+}
+
+template <class Real>
+void SoiFftSerialT<Real>::forward_on(exec::ExecState& st, cspan_t<Real> x,
+                                     mspan_t<Real> y) const {
   const std::int64_t n = geom_.n();
   SOI_CHECK(x.size() == static_cast<std::size_t>(n),
             "SoiFftSerial::forward: input size " << x.size() << " != N "
@@ -57,8 +72,9 @@ void SoiFftSerialT<Real>::forward(cspan_t<Real> x, mspan_t<Real> y) const {
   exec::ExecContextT<Real> ctx;
   ctx.in = x;
   ctx.out = y;
-  ctx.arena = &state_.arena;
-  ctx.trace = &state_.trace;
+  ctx.arena = &st.arena;
+  ctx.trace = &st.trace;
+  ctx.scratch = &st.scratch;
   pipeline_.run(ctx);
 }
 

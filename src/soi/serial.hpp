@@ -32,9 +32,13 @@ namespace soi::core {
 /// SoiFftSerialF (float — the "6-digit" single-precision regime Section
 /// 7.3 alludes to; window tables are designed in double, stored at float).
 ///
-/// Plans may be shared across threads, but forward()/inverse() reuse the
-/// plan's preplanned workspace: concurrent executions of ONE plan object
-/// are not supported.
+/// Plans may be shared across threads. forward()/inverse() reuse the
+/// plan's own preplanned workspace, so concurrent calls to THOSE on one
+/// plan object are not supported — but the stage chain itself is
+/// stateless under a null comm, so K threads may run one shared plan
+/// concurrently by giving each its own exec::ExecState (init_state once,
+/// then forward_on per call; both allocation-free after init_state).
+/// This is the serving layer's execution primitive.
 template <class Real>
 class SoiFftSerialT {
  public:
@@ -56,6 +60,17 @@ class SoiFftSerialT {
   /// Forward with a per-phase timing breakdown.
   void forward_timed(cspan_t<Real> x, mspan_t<Real> y,
                      SoiPhaseTimes& times) const;
+
+  /// Prepare `st` as an independent execution state of this plan: its own
+  /// committed workspace (cloned layout), trace and scheduler scratch.
+  /// Allocates; call once per concurrent lane, then forward_on() freely.
+  void init_state(exec::ExecState& st) const;
+
+  /// forward() on a caller-owned state — thread-safe w.r.t. other
+  /// forward_on() calls on DIFFERENT states of the same plan, and
+  /// allocation-free in steady state. `st` must come from init_state().
+  void forward_on(exec::ExecState& st, cspan_t<Real> x,
+                  mspan_t<Real> y) const;
 
   /// Inverse transform (scaled by 1/N) via the conjugation identity.
   void inverse(cspan_t<Real> y, mspan_t<Real> x) const;

@@ -69,7 +69,10 @@ void wait_resilient(net::Comm& comm, net::Request& req,
 template <class Real>
 class HaloConvStageT final : public exec::StageT<Real> {
  public:
-  explicit HaloConvStageT(const ChainEnvT<Real>* env) : env_(env) {}
+  explicit HaloConvStageT(const ChainEnvT<Real>* env)
+      : env_(env),
+        hsend_(static_cast<std::size_t>(env->max_instances)),
+        hrecv_(static_cast<std::size_t>(env->max_instances)) {}
 
   void plan_records(std::vector<exec::StageRecord>& out) const override {
     const SoiGeometry& g = *env_->geom;
@@ -153,10 +156,14 @@ class HaloConvStageT final : public exec::StageT<Real> {
       const cspan halo_out{x.data(), static_cast<std::size_t>(halo)};
       const mspan halo_in{ext.data() + m_rank,
                           static_cast<std::size_t>(halo)};
+      const auto inst = static_cast<std::size_t>(ctx.instance);
+      // Each concurrent execution's halo travels on its own tag so two
+      // co-scheduled transforms' halos never cross-match.
+      const int tag = kTagHalo + ctx.channel;
       exec::StageTimer st(rhalo);
       const std::int64_t before = ctx.comm->bytes_sent();
-      hsend_ = ctx.comm->isend(left, kTagHalo, halo_out);
-      hrecv_ = ctx.comm->irecv(right, kTagHalo, halo_in);
+      hsend_[inst] = ctx.comm->isend(left, tag, halo_out);
+      hrecv_[inst] = ctx.comm->irecv(right, tag, halo_in);
       rhalo.bytes_moved += ctx.comm->bytes_sent() - before;
     } else {
       SOI_CHECK(false, "SOI pipeline: communicator paths are double-only");
@@ -165,9 +172,10 @@ class HaloConvStageT final : public exec::StageT<Real> {
 
   void wait_halo(exec::ExecContextT<Real>& ctx,
                  exec::StageRecord* rec) const {
+    const auto inst = static_cast<std::size_t>(ctx.instance);
     exec::WaitTimer wt(rec[0]);
-    wait_resilient(*ctx.comm, hrecv_, rec[0], "halo");
-    wait_resilient(*ctx.comm, hsend_, rec[0], "halo");
+    wait_resilient(*ctx.comm, hrecv_[inst], rec[0], "halo");
+    wait_resilient(*ctx.comm, hsend_[inst], rec[0], "halo");
   }
 
   void conv(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
@@ -222,7 +230,9 @@ class HaloConvStageT final : public exec::StageT<Real> {
   }
 
   const ChainEnvT<Real>* env_;
-  mutable net::Request hsend_, hrecv_;
+  // In-flight halo requests, one pair per concurrent execution
+  // (ExecContext::instance); sized from env->max_instances.
+  mutable std::vector<net::Request> hsend_, hrecv_;
 };
 
 /// Stage "f_p": I (x) F_P over the local chunks, with the Fig. 3
@@ -273,7 +283,8 @@ class ExchangeStageT final : public exec::StageT<Real> {
  public:
   explicit ExchangeStageT(const ChainEnvT<Real>* env)
       : env_(env),
-        reqs_(static_cast<std::size_t>(env->chunk_depth)) {}
+        reqs_(static_cast<std::size_t>(env->max_instances) *
+              static_cast<std::size_t>(env->chunk_depth)) {}
 
   void plan_records(std::vector<exec::StageRecord>& out) const override {
     exec::StageRecord r;
@@ -302,9 +313,11 @@ class ExchangeStageT final : public exec::StageT<Real> {
               "SOI pipeline: distributed chain run without a communicator");
     if constexpr (std::is_same_v<Real, double>) {
       const auto g = static_cast<std::size_t>(node.chunk);
+      const auto slot0 = static_cast<std::size_t>(ctx.instance) *
+                         static_cast<std::size_t>(env.chunk_depth);
       if (node.phase == kPhaseWait) {
         exec::WaitTimer wt(*rec);
-        wait_resilient(*ctx.comm, reqs_[g], *rec, "exchange");
+        wait_resilient(*ctx.comm, reqs_[slot0 + g], *rec, "exchange");
         return;
       }
       const std::span<C> send = ctx.arena->template span<C>(env.send);
@@ -313,8 +326,9 @@ class ExchangeStageT final : public exec::StageT<Real> {
         exec::StageTimer st(*rec);
         if (env.chunk_depth == 1) {
           const std::span<C> recv = ctx.arena->template span<C>(env.recv);
-          reqs_[0] = ctx.comm->ialltoall(send, recv,
-                                         env.spr * env.chunks(), env.algo);
+          reqs_[slot0] = ctx.comm->ialltoall(send, recv,
+                                             env.spr * env.chunks(),
+                                             env.algo, ctx.channel);
         } else {
           const std::span<C> recv = ctx.arena->template span<C>(
               WorkspaceArena::slot(env.recv,
@@ -326,8 +340,9 @@ class ExchangeStageT final : public exec::StageT<Real> {
               env.a2a_send_displs.data() + g * ranks, ranks};
           const std::span<const std::int64_t> rdispls{
               env.a2a_recv_displs.data(), ranks};
-          reqs_[g] = ctx.comm->ialltoallv(send, counts, sdispls, recv,
-                                          counts, rdispls);
+          reqs_[slot0 + g] = ctx.comm->ialltoallv(send, counts, sdispls,
+                                                  recv, counts, rdispls,
+                                                  ctx.channel);
         }
       }
       rec->bytes_moved += ctx.comm->bytes_sent() - before;
@@ -342,8 +357,9 @@ class ExchangeStageT final : public exec::StageT<Real> {
   }
 
   const ChainEnvT<Real>* env_;
-  // One in-flight request per chunk group; reassigned every run (requests
-  // are passive value types, so steady-state reuse allocates nothing).
+  // One in-flight request per (execution instance, chunk group), laid out
+  // instance-major; reassigned every run (requests are passive value
+  // types, so steady-state reuse allocates nothing).
   mutable std::vector<net::Request> reqs_;
 };
 
@@ -663,7 +679,7 @@ void append_chain_stages(exec::PipelineT<Real>& pl,
   pl.add(std::make_unique<DemodStageT<Real>>(&env));
 
   const auto node = [&pl](int stage, int chunk, int phase, StageClass cls,
-                          int seq_key, int ovl_key) {
+                          int seq_key, int ovl_key, int many_phase = 1) {
     NodeSpec n;
     n.stage = stage;
     n.chunk = chunk;
@@ -671,6 +687,7 @@ void append_chain_stages(exec::PipelineT<Real>& pl,
     n.cls = cls;
     n.seq_key = seq_key;
     n.ovl_key = ovl_key;
+    n.many_phase = many_phase;
     return pl.add_node(n);
   };
 
@@ -687,7 +704,8 @@ void append_chain_stages(exec::PipelineT<Real>& pl,
   // Halo + split convolution. In-order keys run wait before the safe
   // groups (the classic blocking order); pipelined keys convolve the safe
   // groups while the halo travels.
-  const int hpost = node(s_halo, 0, kPhasePost, StageClass::kCommPost, 0, 0);
+  const int hpost =
+      node(s_halo, 0, kPhasePost, StageClass::kCommPost, 0, 0, 0);
   const int hwait = node(s_halo, 0, kPhaseWait, StageClass::kCommWait, 1, 2);
   const int csafe = node(s_halo, 0, kPhaseWork, StageClass::kCompute, 2, 1);
   const int ctail = node(s_halo, 1, kPhaseWork, StageClass::kCompute, 3, 3);
@@ -718,15 +736,15 @@ void append_chain_stages(exec::PipelineT<Real>& pl,
     const auto gi = static_cast<std::size_t>(g);
     const int ks = 100 + 5 * g;
     post[gi] = node(s_exch, g, kPhasePost, StageClass::kCommPost, ks,
-                    post_ovl[gi]);
+                    post_ovl[gi], 0);
     wait[gi] = node(s_exch, g, kPhaseWait, StageClass::kCommWait, ks + 1,
-                    rest_ovl[gi][0]);
+                    rest_ovl[gi][0], 2);
     unp[gi] = node(s_exch + 1, g, kPhaseWork, StageClass::kCompute, ks + 2,
-                   rest_ovl[gi][1]);
+                   rest_ovl[gi][1], 2);
     fm[gi] = node(s_exch + 2, g, kPhaseWork, StageClass::kCompute, ks + 3,
-                  rest_ovl[gi][2]);
+                  rest_ovl[gi][2], 2);
     dem[gi] = node(s_exch + 3, g, kPhaseWork, StageClass::kCompute, ks + 4,
-                   rest_ovl[gi][3]);
+                   rest_ovl[gi][3], 2);
     pl.add_edge(post[gi], wait[gi]);
     pl.add_edge(wait[gi], unp[gi]);
     pl.add_edge(unp[gi], fm[gi]);

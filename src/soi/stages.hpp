@@ -67,6 +67,12 @@ struct ChainEnvT {
   /// Chunk groups the exchange..demod stages are cut into; must divide
   /// spr. 1 = whole-rank exchange (the classic single all-to-all call).
   std::int64_t chunk_depth = 1;
+  /// Executions of this chain that may be in flight at once (co-scheduled
+  /// via Pipeline::run_many or racing from worker threads). The stages
+  /// size their per-execution mutable state (in-flight requests) from
+  /// this at construction, indexed by ExecContext::instance — so it must
+  /// be set BEFORE append_chain_stages().
+  int max_instances = 1;
 
   // Arena buffers, filled by reserve_chain_buffers(). With chunk_depth > 1
   // recv/xt/uf are the FIRST of two group-sized slots (slot g mod 2 serves

@@ -15,12 +15,16 @@
 //   * whole serial plans              (construction — window design,
 //                                      tables, FFT planning — is the
 //                                      expensive part; sharing amortises
-//                                      it. Executions run through the
-//                                      plan's preplanned workspace, so
+//                                      it. forward() runs through the
+//                                      plan's own preplanned workspace, so
 //                                      concurrent forward() calls on ONE
 //                                      shared instance are not supported —
+//                                      but the stage chain is stateless:
 //                                      callers that need parallel
-//                                      execution hold distinct plans).
+//                                      execution of one shared plan give
+//                                      each thread its own exec::ExecState
+//                                      via init_state()/forward_on(), the
+//                                      serving layer's pattern).
 //
 // Concurrency contract: lookups of the same key from any number of
 // threads construct the value exactly once; the non-constructing threads

@@ -1,5 +1,6 @@
 #include "tune/wisdom.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -118,10 +119,21 @@ WisdomStore WisdomStore::parse(const std::string& text) {
 }
 
 void WisdomStore::save(const std::string& path) const {
-  std::ofstream f(path);
-  SOI_CHECK(f.good(), "wisdom: cannot open '" << path << "' for writing");
-  f << serialize();
-  SOI_CHECK(f.good(), "wisdom: write to '" << path << "' failed");
+  // Write-then-rename so readers (and concurrent servers sharing a
+  // wisdom file) never observe a truncated store; rename(2) on the same
+  // filesystem replaces the destination atomically.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    SOI_CHECK(f.good(), "wisdom: cannot open '" << tmp << "' for writing");
+    f << serialize();
+    f.flush();
+    SOI_CHECK(f.good(), "wisdom: write to '" << tmp << "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SOI_CHECK(false, "wisdom: atomic rename to '" << path << "' failed");
+  }
 }
 
 WisdomStore WisdomStore::load(const std::string& path) {

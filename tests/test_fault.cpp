@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 
+#include "baseline/sixstep.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -672,6 +673,99 @@ TEST(ErrorPathsDist, ConstructorAndForwardChecks) {
                             "local input size mismatch");
     expect_throw_containing([&] { plan.inverse(right, wrong); },
                             "local output too small");
+  });
+}
+
+// --- baseline six-step comparator under faults -------------------------------
+
+/// Run the triple-all-to-all baseline under `sopts` and reassemble the
+/// global spectrum. The plan itself installs the resilience options
+/// (SixStepOptions -> configure_resilience), mirroring SoiFftDist.
+cvec run_sixstep(std::int64_t n, int p, const cvec& x,
+                 const baseline::SixStepOptions& sopts) {
+  const std::int64_t m = n / p;
+  cvec y(static_cast<std::size_t>(n));
+  std::mutex mu;
+  net::run_ranks(p, [&](net::Comm& comm) {
+    baseline::SixStepFftDist plan(comm, n, sopts);
+    const std::int64_t base = comm.rank() * m;
+    cvec y_local(static_cast<std::size_t>(m));
+    plan.forward(cspan{x.data() + base, static_cast<std::size_t>(m)}, y_local);
+    comm.barrier();
+    std::lock_guard<std::mutex> lock(mu);
+    std::copy(y_local.begin(), y_local.end(), y.begin() + base);
+  });
+  return y;
+}
+
+TEST(SixStepChaos, FaultyRunsBitIdenticalToCleanRun) {
+  // The comparator must survive the same chaos scenarios as the SOI
+  // path: its three all-to-alls recover through the identical
+  // checksum/retransmit machinery, so a faulty run is bit-identical.
+  const std::int64_t n = 4096;
+  const int p = 4;
+  const cvec x = random_signal(n, 71);
+  const cvec clean = run_sixstep(n, p, x, baseline::SixStepOptions{});
+  for (int seed = 1; seed <= 4; ++seed) {
+    baseline::SixStepOptions sopts;
+    sopts.faults = FaultSpec::parse(std::to_string(seed) +
+                                    ":drop:0.05,corrupt:0.05,duplicate:0.05");
+    sopts.timeout_ms = 20;
+    const cvec got = run_sixstep(n, p, x, sopts);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
+          << "seed " << seed << " bin " << i;
+    }
+  }
+}
+
+TEST(SixStepChaos, RetriesDisabledSurfacesTypedError) {
+  const std::int64_t n = 4096;
+  const int p = 4;
+  const cvec x = random_signal(n, 72);
+  baseline::SixStepOptions sopts;
+  sopts.faults = FaultSpec::parse("3:corrupt:1");
+  sopts.timeout_ms = 20;
+  sopts.max_retries = 0;
+  try {
+    (void)run_sixstep(n, p, x, sopts);
+    FAIL() << "expected a typed resilience error";
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.status() == Status::kPayloadCorruption ||
+                e.status() == Status::kCommTimeout)
+        << "status " << status_name(e.status());
+  }
+}
+
+TEST(SixStepChaos, OutputGuardFlagsNonFiniteSpectra) {
+  // Deterministic guard check: a non-finite input value poisons the
+  // whole spectrum; the output guard must refuse to return it.
+  const std::int64_t n = 4096;
+  const int p = 4;
+  cvec x = random_signal(n, 73);
+  x[17] = cplx(std::numeric_limits<double>::infinity(), 0.0);
+  EXPECT_THROW((void)run_sixstep(n, p, x, baseline::SixStepOptions{}),
+               AccuracyFaultError);
+  // Guard off: the legacy behaviour — non-finite values propagate to the
+  // caller unchecked.
+  baseline::SixStepOptions off;
+  off.output_guard = false;
+  const cvec got = run_sixstep(n, p, x, off);
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(n));
+}
+
+TEST(SixStepChaos, RejectsNegativeResilienceKnobs) {
+  net::run_ranks(2, [&](net::Comm& comm) {
+    baseline::SixStepOptions sopts;
+    sopts.max_retries = -1;
+    expect_throw_containing(
+        [&] { baseline::SixStepFftDist plan(comm, 4096, sopts); },
+        "max_retries must be >= 0");
+    sopts = {};
+    sopts.timeout_ms = -1.0;
+    expect_throw_containing(
+        [&] { baseline::SixStepFftDist plan(comm, 4096, sopts); },
+        "timeout_ms must be >= 0");
   });
 }
 

@@ -3,12 +3,16 @@
 // fabric cost models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <mutex>
 #include <numeric>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "net/comm.hpp"
 #include "net/costmodel.hpp"
@@ -18,6 +22,79 @@ namespace soi::net {
 namespace {
 
 cplx val(int a, int b) { return {static_cast<double>(a), static_cast<double>(b)}; }
+
+// --- wire-latency emulation ---------------------------------------------------
+
+TEST(WireLatency, DelaysVisibilityButNotPayloads) {
+  // A 2 ms emulated wire: the receiver must sleep out the flight time
+  // (elapsed >= latency) yet see exactly the bytes that were sent.
+  NetOptions opts;
+  opts.wire_latency_us = 2000;
+  run_ranks(2, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec data = {val(5, 6)};
+      Timer t;
+      c.send(1, 3, data);
+      // The sender never blocks on the wire (buffered semantics).
+      EXPECT_LT(t.seconds(), 1e-3);
+    } else {
+      cvec got(1);
+      Timer t;
+      c.recv(0, 3, got);
+      EXPECT_GE(t.seconds(), 1.5e-3);
+      EXPECT_EQ(got[0], val(5, 6));
+    }
+  });
+}
+
+TEST(WireLatency, NonblockingTestReportsNotReadyInFlight) {
+  NetOptions opts;
+  opts.wire_latency_us = 5000;
+  run_ranks(2, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      cvec data = {val(7, 8)};
+      c.send(1, 4, data);
+    } else {
+      cvec got(1);
+      auto req = c.irecv(0, 4, got);
+      // Immediately after the (ordered) send, the message is still in
+      // flight; a poll loop must eventually complete without blocking
+      // longer than the flight time per call.
+      while (!c.test(req)) {
+      }
+      c.wait(req);
+      EXPECT_EQ(got[0], val(7, 8));
+    }
+  });
+}
+
+TEST(WireLatency, AlltoallBitIdenticalToZeroLatency) {
+  const int p = 4;
+  const std::int64_t block = 16;
+  cvec clean, delayed;
+  for (const double lat : {0.0, 500.0}) {
+    NetOptions opts;
+    opts.wire_latency_us = lat;
+    cvec out(static_cast<std::size_t>(p) * static_cast<std::size_t>(p) *
+             static_cast<std::size_t>(block));
+    std::mutex mu;
+    run_ranks(p, opts, [&](Comm& c) {
+      cvec in(static_cast<std::size_t>(p * block));
+      fill_gaussian(in, 90 + static_cast<std::uint64_t>(c.rank()));
+      cvec got(static_cast<std::size_t>(p * block));
+      c.alltoall(in, got, block);
+      std::lock_guard<std::mutex> lock(mu);
+      std::copy(got.begin(), got.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(
+                                  c.rank() * p * block));
+    });
+    (lat > 0 ? delayed : clean) = out;
+  }
+  ASSERT_EQ(clean.size(), delayed.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&clean[i], &delayed[i], sizeof(cplx)), 0) << i;
+  }
+}
 
 // --- point to point -----------------------------------------------------------
 

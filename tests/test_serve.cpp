@@ -1,0 +1,295 @@
+// Serving-layer tests: deterministic admission control (workers=0), typed
+// rejection when the bounded queue fills, serial and distributed round
+// trips, bit-identity of co-scheduled batches vs one-at-a-time submission,
+// wire-latency execution, and queueing metrics accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "serve/service.hpp"
+#include "soi/exec.hpp"
+#include "soi/serial.hpp"
+#include "tune/registry.hpp"
+#include "window/design.hpp"
+
+namespace soi::serve {
+namespace {
+
+cvec random_signal(std::int64_t n, std::uint64_t seed) {
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, seed);
+  return x;
+}
+
+LaneSpec low_lane(std::int64_t n, std::int64_t spr = 4) {
+  LaneSpec spec;
+  spec.n = n;
+  spec.accuracy = win::Accuracy::kLow;
+  spec.segments_per_rank = spr;
+  return spec;
+}
+
+void expect_bitwise_equal(const cvec& a, const cvec& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(cplx)), 0)
+        << what << " bin " << i;
+  }
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST(ServeAdmission, WorkersZeroIsFullyDeterministic) {
+  // workers = 0: nothing drains the queue, so admission outcomes depend
+  // only on the submission sequence — exactly queue_capacity admits, then
+  // typed rejection, with no scheduling race anywhere.
+  ServeOptions so;
+  so.ranks = 0;
+  so.workers = 0;
+  so.queue_capacity = 4;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(1024));
+
+  const cvec x = random_signal(1024, 7);
+  std::vector<cvec> y(6, cvec(1024));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(
+        svc.submit(lane, /*tenant=*/i % 2, x, y[static_cast<std::size_t>(i)]));
+    EXPECT_TRUE(tickets.back().valid());
+  }
+  // Queue full: the non-throwing probe reports nullopt, the throwing
+  // entry point surfaces the typed error; both count as rejections.
+  EXPECT_FALSE(svc.try_submit(lane, 0, x, y[4]).has_value());
+  EXPECT_THROW(svc.submit(lane, 0, x, y[5]), AdmissionRejectedError);
+  try {
+    svc.submit(lane, 0, x, y[5]);
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kResourceExhausted);
+  }
+
+  auto m = svc.metrics();
+  EXPECT_EQ(m.admitted, 4);
+  EXPECT_EQ(m.rejected, 3);
+  EXPECT_EQ(m.queued, 4);
+  EXPECT_EQ(m.queue_peak, 4);
+  EXPECT_EQ(m.completed, 0);
+
+  // stop() fails everything still queued; waiters see the typed
+  // resource-exhausted error rather than hanging.
+  svc.stop();
+  for (const auto& t : tickets) {
+    try {
+      svc.wait(t);
+      FAIL() << "expected the queued request to fail on stop()";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::kResourceExhausted);
+    }
+  }
+}
+
+TEST(ServeAdmission, RejectsUnknownLaneAndBadBuffers) {
+  ServeOptions so;
+  so.ranks = 0;
+  so.workers = 0;
+  so.queue_capacity = 2;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(1024));
+  const cvec x = random_signal(1024, 8);
+  cvec y(1024);
+  cvec y_short(512);
+  EXPECT_THROW((void)svc.submit(lane + 1, 0, x, y), Error);
+  EXPECT_THROW((void)svc.submit(lane, 0, x, y_short), Error);
+  EXPECT_EQ(svc.metrics().admitted, 0);
+}
+
+// --- serial backend ----------------------------------------------------------
+
+TEST(ServeSerial, RoundTripBitIdenticalToSharedPlan) {
+  const std::int64_t n = 4096;
+  ServeOptions so;
+  so.ranks = 0;
+  so.workers = 2;
+  so.queue_capacity = 16;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(n));
+  svc.warmup();
+  svc.reset_metrics();
+
+  // Reference: the same shared plan the lane uses, executed solo through
+  // a private ExecState (the registry memoises, so this IS the same plan
+  // object the service holds).
+  const auto prof = tune::PlanRegistry::global().profile(win::Accuracy::kLow);
+  const auto plan = tune::PlanRegistry::global().serial_plan(n, 4, *prof);
+
+  const int kReqs = 8;
+  std::vector<cvec> xs, ys;
+  for (int i = 0; i < kReqs; ++i) {
+    xs.push_back(random_signal(n, 100 + static_cast<std::uint64_t>(i)));
+    ys.emplace_back(static_cast<std::size_t>(n));
+  }
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kReqs; ++i) {
+    tickets.push_back(svc.submit(lane, i % 4, xs[static_cast<std::size_t>(i)],
+                                 ys[static_cast<std::size_t>(i)]));
+  }
+  for (const auto& t : tickets) svc.wait(t);
+
+  exec::ExecState st;
+  plan->init_state(st);
+  cvec ref(static_cast<std::size_t>(n));
+  for (int i = 0; i < kReqs; ++i) {
+    plan->forward_on(st, xs[static_cast<std::size_t>(i)], ref);
+    expect_bitwise_equal(ys[static_cast<std::size_t>(i)], ref, "serial");
+  }
+
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.admitted, kReqs);
+  EXPECT_EQ(m.completed, kReqs);
+  EXPECT_EQ(m.failed, 0);
+  EXPECT_GT(m.transforms_per_sec, 0.0);
+  EXPECT_GE(m.p99_ms, m.p50_ms);
+}
+
+TEST(ServeSerial, MixedLanesExecuteConcurrently) {
+  ServeOptions so;
+  so.ranks = 0;
+  so.workers = 2;
+  so.queue_capacity = 16;
+  TransformService svc(so);
+  const int lane_a = svc.create_lane(low_lane(2048));
+  const int lane_b = svc.create_lane(low_lane(4096));
+  svc.warmup();
+
+  const cvec xa = random_signal(2048, 21);
+  const cvec xb = random_signal(4096, 22);
+  std::vector<cvec> ya(4, cvec(2048)), yb(4, cvec(4096));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(svc.submit(lane_a, 0, xa, ya[static_cast<std::size_t>(i)]));
+    tickets.push_back(svc.submit(lane_b, 1, xb, yb[static_cast<std::size_t>(i)]));
+  }
+  for (const auto& t : tickets) svc.wait(t);
+  for (int i = 1; i < 4; ++i) {
+    expect_bitwise_equal(ya[static_cast<std::size_t>(i)], ya[0], "lane a");
+    expect_bitwise_equal(yb[static_cast<std::size_t>(i)], yb[0], "lane b");
+  }
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.completed, 8);
+  ASSERT_EQ(m.tenants.size(), 2u);
+}
+
+// --- distributed backend -----------------------------------------------------
+
+TEST(ServeDist, CoScheduledBatchesBitIdenticalToSoloSubmission) {
+  // The acceptance property: outputs must not depend on WHICH requests a
+  // batch happened to group. Submit the same mixed-shape trace twice —
+  // once all-at-once (forms co-scheduled batches of up to
+  // max_concurrency) and once strictly one-at-a-time (every batch is
+  // solo) — and require bitwise identical spectra.
+  ServeOptions so;
+  so.ranks = 2;
+  so.max_concurrency = 4;
+  so.queue_capacity = 16;
+  TransformService svc(so);
+  const int lane_a = svc.create_lane(low_lane(4096, 2));
+  const int lane_b = svc.create_lane(low_lane(8192, 2));
+  svc.warmup();
+  svc.reset_metrics();
+
+  const int kReqs = 8;
+  std::vector<cvec> xs, batched, solo;
+  std::vector<int> lanes;
+  for (int i = 0; i < kReqs; ++i) {
+    const bool big = (i % 2) == 1;
+    const std::int64_t n = big ? 8192 : 4096;
+    lanes.push_back(big ? lane_b : lane_a);
+    xs.push_back(random_signal(n, 500 + static_cast<std::uint64_t>(i)));
+    batched.emplace_back(static_cast<std::size_t>(n));
+    solo.emplace_back(static_cast<std::size_t>(n));
+  }
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kReqs; ++i) {
+    tickets.push_back(svc.submit(lanes[static_cast<std::size_t>(i)], i % 4,
+                                 xs[static_cast<std::size_t>(i)],
+                                 batched[static_cast<std::size_t>(i)]));
+  }
+  for (const auto& t : tickets) svc.wait(t);
+
+  for (int i = 0; i < kReqs; ++i) {
+    const Ticket t = svc.submit(lanes[static_cast<std::size_t>(i)], i % 4,
+                                xs[static_cast<std::size_t>(i)],
+                                solo[static_cast<std::size_t>(i)]);
+    svc.wait(t);  // wait immediately: the batch can only contain this one
+  }
+
+  for (int i = 0; i < kReqs; ++i) {
+    expect_bitwise_equal(batched[static_cast<std::size_t>(i)],
+                         solo[static_cast<std::size_t>(i)], "batch vs solo");
+  }
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.admitted, 2 * kReqs);
+  EXPECT_EQ(m.completed, 2 * kReqs);
+  EXPECT_EQ(m.failed, 0);
+}
+
+TEST(ServeDist, WireLatencyWorldRoundTrips) {
+  // Same service, emulated 200us interconnect: results must be bitwise
+  // identical to the zero-latency world (latency delays visibility, never
+  // alters payloads or match order).
+  const std::int64_t n = 4096;
+  const cvec x = random_signal(n, 61);
+  cvec fast(static_cast<std::size_t>(n)), slow(static_cast<std::size_t>(n));
+
+  for (const double lat : {0.0, 200.0}) {
+    ServeOptions so;
+    so.ranks = 2;
+    so.max_concurrency = 2;
+    so.wire_latency_us = lat;
+    so.batch_linger_us = lat > 0 ? 100.0 : 0.0;
+    TransformService svc(so);
+    const int lane = svc.create_lane(low_lane(n, 2));
+    svc.warmup();
+    cvec& y = lat > 0 ? slow : fast;
+    const Ticket t = svc.submit(lane, 0, x, y);
+    svc.wait(t);
+  }
+  expect_bitwise_equal(slow, fast, "wire latency");
+}
+
+TEST(ServeDist, MetricsAccumulateAndReset) {
+  ServeOptions so;
+  so.ranks = 2;
+  so.max_concurrency = 2;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(4096, 2));
+  svc.warmup();
+  svc.reset_metrics();
+
+  const cvec x = random_signal(4096, 77);
+  cvec y(4096);
+  for (int i = 0; i < 3; ++i) {
+    const Ticket t = svc.submit(lane, i, x, y);
+    svc.wait(t);
+  }
+  auto m = svc.metrics();
+  EXPECT_EQ(m.admitted, 3);
+  EXPECT_EQ(m.completed, 3);
+  EXPECT_GT(m.p50_ms, 0.0);
+  EXPECT_GT(m.transforms_per_sec, 0.0);
+  EXPECT_EQ(m.tenants.size(), 3u);
+
+  svc.reset_metrics();
+  m = svc.metrics();
+  EXPECT_EQ(m.admitted, 0);
+  EXPECT_EQ(m.completed, 0);
+  EXPECT_TRUE(m.tenants.empty());
+}
+
+}  // namespace
+}  // namespace soi::serve

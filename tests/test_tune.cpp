@@ -174,6 +174,40 @@ TEST(Registry, ConcurrentLookupsConstructExactlyOnce) {
   EXPECT_EQ(stats.hits, kThreads - 1);
 }
 
+TEST(Registry, ConcurrentMixedShapeLookupsUnderEviction) {
+  // The serving layer's access pattern: many threads interleaving
+  // lookups/inserts of DIFFERENT shapes against a registry too small to
+  // hold them all. Every lookup must return a valid value for its own
+  // key (no cross-key mixups under eviction churn) and handed-out
+  // pointers must outlive eviction.
+  PlanRegistry reg(3);
+  const int kThreads = 8;
+  const int kKeys = 6;
+  const int kIters = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (t + i) % kKeys;
+        const auto key = "shape-" + std::to_string(k);
+        const auto v = reg.get_or_build<int>(
+            key, [k]() -> std::shared_ptr<const int> {
+              return std::make_shared<const int>(k);
+            });
+        if (v == nullptr || *v != k) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = reg.stats();
+  EXPECT_LE(stats.size, 3u);
+  EXPECT_GT(stats.evictions, 0);  // capacity 3 < 6 live keys: churn happened
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+}
+
 TEST(Registry, SerialPlanSharedAndReused) {
   PlanRegistry reg(8);
   const auto prof = reg.profile(win::Accuracy::kLow);

@@ -22,13 +22,16 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <random>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <thread>
 #include <string>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "serve/service.hpp"
 #include "soi/soi.hpp"
 
 namespace {
@@ -84,13 +87,17 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
       {"dist",
        {"n", "p", "accuracy", "wisdom", "check", "seed", "trace",
         "fault-spec", "timeout-ms", "retries", "help"}},
+      {"serve",
+       {"n", "p", "accuracy", "lanes", "requests", "concurrency", "queue",
+        "rate", "workers", "wire-latency-us", "linger-us", "seed", "help"}},
   };
   return kFlags;
 }
 
 int usage(std::FILE* out) {
   std::fputs(
-      "usage: soifft <design|transform|segment|bench|tune|dist> [--options]\n"
+      "usage: soifft <design|transform|segment|bench|tune|dist|serve> "
+      "[--options]\n"
       "  design    --accuracy full|high|medium|low | --mu --nu --eps --kappa\n"
       "  transform --n N --p P [--accuracy A] [--inverse] [--check]\n"
       "            [--input F] [--output F] [--seed S] [--wisdom F] [--trace]\n"
@@ -102,6 +109,13 @@ int usage(std::FILE* out) {
       "  dist      --n N --p P [--accuracy A] [--wisdom F] [--check]\n"
       "            [--trace] [--fault-spec SEED:KIND:RATE[,...]]\n"
       "            [--timeout-ms T] [--retries R]\n"
+      "  serve     --n N [--p P] [--accuracy A] [--lanes L] [--requests R]\n"
+      "            [--concurrency K] [--queue Q] [--rate RPS] [--workers W]\n"
+      "            [--wire-latency-us U] [--linger-us U] [--seed S]\n"
+      "            multi-tenant serving demo: L lanes (N, 2N, ...) behind\n"
+      "            one TransformService (--p 0 = serial worker backend,\n"
+      "            default co-scheduled rank team), open-loop Poisson\n"
+      "            arrivals at RPS (0 = burst), queueing metrics summary\n"
       "  --help    print this message (exit 0)\n"
       "  --trace   per-stage table (name, seconds, bytes, flops, retries)\n"
       "            of the last pipeline execution (rank 0 for dist)\n"
@@ -518,6 +532,129 @@ int cmd_dist(const Args& a) {
   return 0;
 }
 
+int cmd_serve(const Args& a) {
+  const std::int64_t n = a.geti("n", 1 << 13);
+  const int ranks = static_cast<int>(a.geti("p", 4));
+  const int lanes = static_cast<int>(a.geti("lanes", 2));
+  const int requests = static_cast<int>(a.geti("requests", 64));
+  SOI_CHECK(lanes >= 1 && lanes <= serve::kMaxLanes,
+            "--lanes must be in [1, " << serve::kMaxLanes << "]");
+  SOI_CHECK(requests >= 1, "--requests must be >= 1");
+
+  serve::ServeOptions so;
+  so.ranks = ranks;
+  so.workers = static_cast<int>(a.geti("workers", 1));
+  so.max_concurrency = static_cast<int>(a.geti("concurrency", 4));
+  so.queue_capacity = static_cast<int>(a.geti("queue", 64));
+  so.wire_latency_us = a.getf("wire-latency-us", 0.0);
+  so.batch_linger_us = a.getf("linger-us", 0.0);
+  serve::TransformService svc(so);
+
+  const auto accuracy =
+      tune::accuracy_from_name(a.get("accuracy", "high"));
+  std::vector<int> lane_ids;
+  std::vector<cvec> inputs;
+  for (int l = 0; l < lanes; ++l) {
+    serve::LaneSpec spec;
+    spec.n = n << l;
+    spec.accuracy = accuracy;
+    spec.segments_per_rank = 2;
+    lane_ids.push_back(svc.create_lane(spec));
+    cvec x(static_cast<std::size_t>(spec.n));
+    fill_gaussian(x, static_cast<std::uint64_t>(a.geti("seed", 1) + l));
+    inputs.push_back(std::move(x));
+  }
+  svc.warmup();
+  svc.reset_metrics();
+
+  // One tenant per (lane, parity) pair, round-robin over the trace; each
+  // request reuses its tenant's input and a preallocated output.
+  const int tenants = 2 * lanes;
+  std::vector<cvec> youts;
+  for (int i = 0; i < requests; ++i) {
+    youts.emplace_back(
+        static_cast<std::size_t>(n << ((i % tenants) % lanes)));
+  }
+  const double rate = a.getf("rate", 0.0);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(a.geti("seed", 1)));
+  std::exponential_distribution<double> gap(rate > 0 ? rate : 1.0);
+  std::vector<serve::Ticket> tickets(static_cast<std::size_t>(requests));
+  std::vector<signed char> ok(static_cast<std::size_t>(requests), 0);
+  Timer wall;
+  double due = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    if (rate > 0) {
+      due += gap(rng);
+      const double now = wall.seconds();
+      if (due > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due - now));
+      }
+    }
+    const int tenant = i % tenants;
+    const auto t = svc.try_submit(lane_ids[static_cast<std::size_t>(
+                                      tenant % lanes)],
+                                  tenant,
+                                  inputs[static_cast<std::size_t>(
+                                      tenant % lanes)],
+                                  youts[static_cast<std::size_t>(i)]);
+    if (t) {
+      tickets[static_cast<std::size_t>(i)] = *t;
+      ok[static_cast<std::size_t>(i)] = 1;
+    }
+    // Burst mode keeps the queue saturated: harvest the oldest ticket
+    // whenever admission rejects, then retry once.
+    if (!t && rate <= 0) {
+      for (int j = 0; j < i; ++j) {
+        if (ok[static_cast<std::size_t>(j)] == 1) {
+          svc.wait(tickets[static_cast<std::size_t>(j)]);
+          ok[static_cast<std::size_t>(j)] = 2;
+          break;
+        }
+      }
+      if (const auto t2 = svc.try_submit(
+              lane_ids[static_cast<std::size_t>(tenant % lanes)], tenant,
+              inputs[static_cast<std::size_t>(tenant % lanes)],
+              youts[static_cast<std::size_t>(i)])) {
+        tickets[static_cast<std::size_t>(i)] = *t2;
+        ok[static_cast<std::size_t>(i)] = 1;
+      }
+    }
+  }
+  int failed = 0;
+  for (int i = 0; i < requests; ++i) {
+    if (ok[static_cast<std::size_t>(i)] != 1) continue;
+    try {
+      svc.wait(tickets[static_cast<std::size_t>(i)]);
+    } catch (const std::exception& e) {
+      ++failed;
+      std::fprintf(stderr, "request %d failed: %s\n", i, e.what());
+    }
+  }
+  const auto m = svc.metrics();
+  svc.stop();
+
+  std::printf("serving %d lanes (N=%lld..%lld) on %s, %d tenants\n", lanes,
+              static_cast<long long>(n),
+              static_cast<long long>(n << (lanes - 1)),
+              ranks > 0 ? "rank team" : "worker pool", tenants);
+  std::printf("admitted %lld  rejected %lld  completed %lld  failed %lld\n",
+              static_cast<long long>(m.admitted),
+              static_cast<long long>(m.rejected),
+              static_cast<long long>(m.completed),
+              static_cast<long long>(m.failed));
+  std::printf("throughput %.1f transforms/s  p50 %.3f ms  p99 %.3f ms  "
+              "queue peak %lld  occupancy %.2f\n",
+              m.transforms_per_sec, m.p50_ms, m.p99_ms,
+              static_cast<long long>(m.queue_peak), m.arena_occupancy);
+  for (const auto& t : m.tenants) {
+    std::printf("tenant %d: completed %lld  overlap efficiency %.3f\n",
+                t.tenant, static_cast<long long>(t.completed),
+                t.overlap_efficiency);
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -535,6 +672,7 @@ int main(int argc, char** argv) {
     if (a.command == "bench") return cmd_bench(a);
     if (a.command == "tune") return cmd_tune(a);
     if (a.command == "dist") return cmd_dist(a);
+    if (a.command == "serve") return cmd_serve(a);
     return usage(stderr);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "soifft: %s\n", e.what());
