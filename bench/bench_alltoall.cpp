@@ -1,31 +1,67 @@
 // Ablation (DESIGN.md Section 7): the realisation of the single global
-// exchange. SimMPI implements two schedules — the ring ("pairwise",
-// Fig. 3's technique of gathering per-destination blocks then exchanging
-// round by round) and the direct post-all-then-drain schedule. Both move
-// identical bytes; they differ in message pacing, which matters on real
-// fabrics with limited injection concurrency. This bench reports the
-// in-process wall time (functional cost) and the modeled per-message
-// latency contribution on each fabric.
+// exchange, now across topology schedules. SimMPI implements the flat
+// ring ("pairwise") and direct schedules plus the staged topology-aware
+// ones (net/topology.hpp): two-level node groups fuse each group's
+// blocks into one intra-group gather followed by fewer, larger
+// inter-group messages; a torus forwards blocks dimension by dimension.
+// All schedules deliver bit-identical data; they differ in message count
+// and in which latency tier each message pays.
+//
+// The sweep runs under SimMPI's emulated wire latency with a 10x-cheaper
+// intra-group tier (NetOptions::intra_latency_us), the regime the staged
+// schedules are built for. Acceptance (ISSUE 7): the two-level staged
+// exchange must beat the flat pairwise schedule on wall-clock here. The
+// second half drives the full distributed pipeline across topologies and
+// reports each schedule's overlap efficiency and bisection traffic;
+// --json emits machine-readable records carrying `bisection_bytes` and
+// `overlap_efficiency` for the perf-trajectory files.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "harness.hpp"
 #include "net/comm.hpp"
 #include "net/costmodel.hpp"
+#include "net/topology.hpp"
+#include "soi/dist.hpp"
+#include "window/design.hpp"
 
 using namespace soi;
 
 namespace {
 
-double run_schedule(int ranks, std::int64_t count, net::AlltoallAlgo algo,
-                    int reps) {
-  double best = 1e300;
+// Inter-group wire latency and the cheap intra-group tier (>= 10x ratio,
+// the bench acceptance regime).
+constexpr double kInterLatencyUs = 200.0;
+constexpr double kIntraLatencyUs = 20.0;
+
+net::NetOptions latency_options(int group_size) {
+  net::NetOptions opts;
+  opts.wire_latency_us = kInterLatencyUs;
+  opts.intra_latency_us = kIntraLatencyUs;
+  opts.topo_group_size = group_size;
+  return opts;
+}
+
+struct RawResult {
+  double seconds = 1e300;        ///< best-of-reps wall time of one exchange
+  std::int64_t messages = 0;     ///< total messages, all ranks
+  std::int64_t bisection_bytes = 0;
+};
+
+/// Flat exchange (pairwise or direct) under the emulated latency tiers.
+RawResult run_flat(int ranks, std::int64_t count, net::AlltoallAlgo algo,
+                   int reps, int group_size) {
+  RawResult res;
   std::mutex mu;
-  net::run_ranks(ranks, [&](net::Comm& c) {
+  net::run_ranks(ranks, latency_options(group_size), [&](net::Comm& c) {
     cvec send(static_cast<std::size_t>(ranks) * count);
     cvec recv(send.size());
     fill_gaussian(send, static_cast<std::uint64_t>(c.rank()));
@@ -36,39 +72,230 @@ double run_schedule(int ranks, std::int64_t count, net::AlltoallAlgo algo,
       c.barrier();
       const double sec = t.seconds();
       std::lock_guard<std::mutex> lock(mu);
-      best = std::min(best, sec);
+      res.seconds = std::min(res.seconds, sec);
     }
   });
-  return best;
+  res.messages = static_cast<std::int64_t>(ranks) * (ranks - 1);
+  res.bisection_bytes = net::flat_bisection_blocks(ranks) * count * 16;
+  return res;
+}
+
+/// Staged exchange following `topo`, verified bit-identical to the flat
+/// all-to-all on the first rep.
+RawResult run_staged(const net::Topology& topo, std::int64_t count, int reps,
+                     int group_size) {
+  const int ranks = topo.ranks();
+  RawResult res;
+  std::mutex mu;
+  net::run_ranks(ranks, latency_options(group_size), [&](net::Comm& c) {
+    const net::StagedPlan plan = net::build_staged_plan(topo, c.rank());
+    cvec send(static_cast<std::size_t>(ranks) * count);
+    cvec recv(send.size());
+    cvec ref(send.size());
+    cvec scratch(static_cast<std::size_t>(3) * ranks * count);
+    fill_gaussian(send, static_cast<std::uint64_t>(c.rank()));
+    c.alltoall(send, ref, count, net::AlltoallAlgo::kPairwise);
+    for (int r = 0; r < reps; ++r) {
+      c.barrier();
+      Timer t;
+      net::staged_alltoall(c, plan, send.data(), recv.data(), count * 16,
+                           scratch.data(), /*tag_base=*/500);
+      c.barrier();
+      const double sec = t.seconds();
+      if (r == 0) {
+        SOI_CHECK(std::memcmp(recv.data(), ref.data(),
+                              ref.size() * sizeof(cplx)) == 0,
+                  "staged " << topo.str()
+                            << " exchange diverged from the flat all-to-all");
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      res.seconds = std::min(res.seconds, sec);
+    }
+    if (c.rank() == 0) {
+      res.messages = plan.total_messages;
+      res.bisection_bytes = plan.bisection_blocks * count * 16;
+    }
+  });
+  return res;
+}
+
+/// One full distributed pipeline execution under a topology schedule:
+/// wall seconds, rank-0 overlap efficiency, and bitwise parity with the
+/// flat reference output.
+struct DistResult {
+  double seconds = 0.0;
+  double overlap_efficiency = -1.0;
+  cvec output;
+};
+
+DistResult run_dist(std::int64_t n, int ranks, std::int64_t spr,
+                    std::int64_t cd, const std::string& topo,
+                    const win::SoiProfile& prof, const cvec& x,
+                    int group_size) {
+  DistResult res;
+  res.output.resize(x.size());
+  std::mutex mu;
+  double t0 = 0.0;
+  Timer timer;
+  net::run_ranks(ranks, latency_options(group_size), [&](net::Comm& comm) {
+    core::DistOptions dopts;
+    dopts.segments_per_rank = spr;
+    dopts.overlap = true;
+    dopts.chunk_depth = cd;
+    dopts.topology = topo;
+    core::SoiFftDist plan(comm, n, prof, dopts);
+    const std::int64_t m = plan.local_size();
+    cvec y(static_cast<std::size_t>(m));
+    const cspan x_local{x.data() + comm.rank() * m,
+                        static_cast<std::size_t>(m)};
+    plan.forward(x_local, y);  // warmup: tables, first-touch, lazy pools
+    comm.barrier();
+    if (comm.rank() == 0) t0 = timer.seconds();
+    plan.forward(x_local, y);
+    comm.barrier();
+    std::lock_guard<std::mutex> lock(mu);
+    if (comm.rank() == 0) {
+      res.seconds = timer.seconds() - t0;
+      res.overlap_efficiency = exec::overlap_efficiency(plan.last_trace());
+    }
+    std::copy(y.begin(), y.end(), res.output.begin() + comm.rank() * m);
+  });
+  return res;
 }
 
 }  // namespace
 
-int main() {
-  const int reps = 5;
-  Table table("Ablation | all-to-all schedule (in-process SimMPI)");
-  table.header({"ranks", "count/pair", "pairwise ms", "direct ms",
-                "messages/rank", "latency share (fat tree)"});
-  const auto fabric = net::make_endeavor_fat_tree();
-  for (int ranks : {4, 8, 16}) {
-    for (std::int64_t count : {1024, 16384}) {
-      const double tp = run_schedule(ranks, count, net::AlltoallAlgo::kPairwise, reps);
-      const double td = run_schedule(ranks, count, net::AlltoallAlgo::kDirect, reps);
-      const std::int64_t bytes = count * 16 * (ranks - 1);
-      const double modeled = fabric->alltoall_seconds(ranks, bytes);
-      const double lat_share =
-          1.5e-6 * (ranks - 1) / modeled * 100.0;
-      table.row({std::to_string(ranks), std::to_string(count),
-                 Table::num(tp * 1e3, 3), Table::num(td * 1e3, 3),
-                 std::to_string(ranks - 1),
-                 Table::num(lat_share, 1) + "%"});
+int main(int argc, char** argv) {
+  const bool json = bench::json_mode(argc, argv);
+  std::vector<bench::BenchRecord> records;
+
+  // --- raw exchange: one schedule per row, same bytes every time -------
+  const int ranks = 8;
+  const int reps = 3;
+  const net::Topology two_level = net::Topology::two_level(ranks);
+  const net::Topology torus = net::Topology::torus(ranks);
+  const int group = two_level.group_size();
+
+  Table raw("Exchange schedule sweep | " + std::to_string(ranks) +
+            " ranks, emulated latency " + Table::num(kInterLatencyUs, 0) +
+            "us inter / " + Table::num(kIntraLatencyUs, 0) + "us intra");
+  raw.header({"schedule", "count/pair", "wall ms", "messages",
+              "bisection KiB"});
+  double flat_pairwise_ms = 0.0, two_level_ms = 0.0;
+  for (const std::int64_t count : {std::int64_t{1024}, std::int64_t{16384}}) {
+    struct Row {
+      std::string label;
+      RawResult r;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"flat pairwise",
+                    run_flat(ranks, count, net::AlltoallAlgo::kPairwise, reps,
+                             group)});
+    rows.push_back({"flat direct",
+                    run_flat(ranks, count, net::AlltoallAlgo::kDirect, reps,
+                             group)});
+    rows.push_back({two_level.str(), run_staged(two_level, count, reps, group)});
+    rows.push_back({torus.str(), run_staged(torus, count, reps, group)});
+    for (const Row& row : rows) {
+      raw.row({row.label, std::to_string(count),
+               Table::num(row.r.seconds * 1e3, 3),
+               std::to_string(row.r.messages),
+               Table::num(static_cast<double>(row.r.bisection_bytes) / 1024.0,
+                          1)});
+      bench::BenchRecord rec = bench::make_record(
+          "bench_alltoall", row.label + " count=" + std::to_string(count),
+          static_cast<std::int64_t>(ranks) * count, 1, row.r.seconds);
+      rec.bisection_bytes = row.r.bisection_bytes;
+      records.push_back(rec);
+    }
+    // The gate reads the small-count case: that is the latency-dominated
+    // regime the staged schedules target. At large counts the exchange is
+    // bandwidth-bound and the two-level store-and-forward copies cost
+    // more than the saved message rounds (visible in the table).
+    if (count == 1024) {
+      flat_pairwise_ms = rows[0].r.seconds * 1e3;
+      two_level_ms = rows[2].r.seconds * 1e3;
     }
   }
-  table.print();
+  if (!json) raw.print();
+
+  // Acceptance gate (ISSUE 7): under a >= 10x inter/intra latency ratio
+  // the fused two-level schedule must beat the flat pairwise one.
+  SOI_CHECK(two_level_ms < flat_pairwise_ms,
+            "two-level staged exchange (" << two_level_ms
+                << " ms) did not beat flat pairwise (" << flat_pairwise_ms
+                << " ms) under emulated wire latency");
+
+  // --- full pipeline: topology x chunk depth, bit-identical outputs ----
+  const std::int64_t n = 36864;
+  const int dist_ranks = 4;
+  const std::int64_t spr = 6;
+  const win::SoiProfile prof = win::make_profile(win::Accuracy::kMedium);
+  cvec x(static_cast<std::size_t>(n));
+  fill_gaussian(x, 4242);
+  const net::Topology dist_tl = net::Topology::two_level(dist_ranks);
+
+  Table pipe("Pipeline | N=" + std::to_string(n) + ", " +
+             std::to_string(dist_ranks) + " ranks, spr=" +
+             std::to_string(spr) + ", pipelined schedule");
+  pipe.header({"topology", "cd", "wall ms", "overlap eff", "bisection KiB",
+               "matches flat"});
+  // Per-(src,dst) exchange payload of this geometry: spr^2 chunk segments
+  // of the gathered spectrum per destination rank.
+  const core::SoiGeometry geom(n, dist_ranks * spr, prof);
+  const std::int64_t block_bytes =
+      static_cast<std::int64_t>(sizeof(cplx)) * spr * spr *
+      geom.chunks_per_rank();
+  cvec flat_out;
+  for (const std::int64_t cd : {std::int64_t{2}, std::int64_t{3}}) {
+    for (const std::string& topo :
+         {std::string{"flat"}, dist_tl.str(),
+          net::Topology::torus(dist_ranks).str()}) {
+      const net::Topology t = net::Topology::parse(topo, dist_ranks);
+      const DistResult r =
+          run_dist(n, dist_ranks, spr, cd, topo, prof, x,
+                   t.kind() == net::TopologyKind::kTwoLevel ? t.group_size()
+                                                            : 0);
+      const std::int64_t bisection =
+          t.kind() == net::TopologyKind::kFlat
+              ? net::flat_bisection_blocks(dist_ranks) * block_bytes
+              : net::build_staged_plan(t, 0).bisection_blocks * block_bytes;
+      bool matches = true;
+      if (flat_out.empty()) {
+        flat_out = r.output;
+      } else {
+        matches = std::memcmp(flat_out.data(), r.output.data(),
+                              flat_out.size() * sizeof(cplx)) == 0;
+        SOI_CHECK(matches, "topology " << topo << " cd=" << cd
+                                       << " output diverged from flat");
+      }
+      pipe.row({topo, std::to_string(cd), Table::num(r.seconds * 1e3, 3),
+                Table::num(r.overlap_efficiency, 3),
+                Table::num(static_cast<double>(bisection) / 1024.0, 1),
+                matches ? "yes" : "NO"});
+      bench::BenchRecord rec = bench::make_record(
+          "bench_alltoall", "dist " + topo + " cd=" + std::to_string(cd), n,
+          1, r.seconds);
+      rec.overlap_efficiency = r.overlap_efficiency;
+      rec.bisection_bytes = bisection;
+      records.push_back(rec);
+    }
+    // cd=3 runs compare against the flat output of the same depth.
+    flat_out.clear();
+  }
+
+  if (json) {
+    std::fputs(bench::to_json(records).c_str(), stdout);
+    return 0;
+  }
+  pipe.print();
   std::printf(
-      "\nBoth schedules deliver identical data (asserted by tests); the\n"
-      "paper's Fig. 3 point is that gathering per-destination blocks first\n"
-      "keeps the message count at P-1 per rank regardless of segment\n"
-      "granularity — visible above as the fixed messages/rank column.\n");
+      "\nAll schedules deliver bit-identical data (asserted above). The\n"
+      "two-level schedule fuses each node group's blocks so only %d\n"
+      "inter-group messages per rank cross the expensive tier (vs %d\n"
+      "flat); the torus trades extra store-and-forward volume for\n"
+      "neighbour-only messages. The acceptance gate two-level < flat\n"
+      "pairwise held at %.3f ms vs %.3f ms.\n",
+      two_level.groups() - 1, ranks - 1, two_level_ms, flat_pairwise_ms);
   return 0;
 }

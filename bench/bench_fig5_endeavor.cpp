@@ -69,6 +69,10 @@ int main() {
                idx < 7 ? Table::num(paper_speedup[idx], 1) : "-"});
   }
   table.print();
+  std::printf("\n");
+  bench::check_topology_pricing_parity(*fabric, scale.points_per_rank,
+                                       scale.max_nodes,
+                                       win::Accuracy::kFull);
   std::printf(
       "\nShape check: SOI <= baseline at 1 node (extra convolution, no\n"
       "communication to save), then overtakes as the single exchange saves\n"

@@ -82,6 +82,10 @@ int main() {
                Table::num(sp_ft, 2)});
   }
   table.print();
+  std::printf("\n");
+  bench::check_topology_pricing_parity(*torus, scale.points_per_rank,
+                                       scale.max_nodes,
+                                       win::Accuracy::kFull);
   std::printf(
       "\nShape check: the torus speedup should meet or exceed the fat-tree\n"
       "speedup at every node count, with the gap opening as the bisection\n"

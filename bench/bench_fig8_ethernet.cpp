@@ -46,6 +46,10 @@ int main() {
                Table::num(tb.total() / ts.total(), 2), "2.3 - 2.4"});
   }
   table.print();
+  std::printf("\n");
+  bench::check_topology_pricing_parity(*eth, scale.points_per_rank,
+                                       scale.max_nodes,
+                                       win::Accuracy::kFull);
   std::printf(
       "\nShape check: with communication >> compute the speedup should sit\n"
       "just below the 2.40 bound, matching the paper's [2.3, 2.4] window\n"

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <sstream>
@@ -14,9 +15,11 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "fft/plan.hpp"
+#include "net/topology.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/convolve.hpp"
 #include "soi/params.hpp"
+#include "tune/autotuner.hpp"
 
 namespace soi::bench {
 
@@ -100,6 +103,9 @@ std::string to_json(const std::vector<BenchRecord>& records) {
        << ", \"steady_state_allocs\": " << r.steady_state_allocs;
     if (r.overlap_efficiency >= 0.0) {
       os << ", \"overlap_efficiency\": " << r.overlap_efficiency;
+    }
+    if (r.bisection_bytes >= 0) {
+      os << ", \"bisection_bytes\": " << r.bisection_bytes;
     }
     if (r.faults_injected >= 0) {
       os << ", \"faults_injected\": " << r.faults_injected
@@ -313,6 +319,59 @@ std::unique_ptr<net::NetworkModel> scaled_torus(double scale) {
 std::unique_ptr<net::NetworkModel> scaled_ethernet(double scale) {
   return std::make_unique<net::EthernetModel>(
       net::LinkSpec{10.0 * scale, 10e-6 / scale}, 0.30);
+}
+
+void check_topology_pricing_parity(const net::NetworkModel& fabric,
+                                   std::int64_t points_per_rank, int nodes,
+                                   win::Accuracy accuracy) {
+  if (nodes < 4) return;  // no non-degenerate staged shape to price
+  const tune::TuneKey key{points_per_rank * nodes, nodes, accuracy};
+  tune::TuneOptions opts;
+  opts.fabric = &fabric;
+  // Finest feasible segmentation at this shape (the tuner's own sweep
+  // starts the same way); the comparison only needs one valid geometry.
+  tune::CandidateScore flat{};
+  tune::Candidate cand;
+  cand.accuracy = accuracy;
+  bool found = false;
+  for (std::int64_t spr = 8; spr >= 1 && !found; spr /= 2) {
+    cand.segments_per_rank = spr;
+    try {
+      flat = tune::score_candidate(key, cand, opts);
+      found = true;
+    } catch (const Error&) {
+      continue;  // halo/divisibility infeasible; coarsen
+    }
+  }
+  SOI_CHECK(found, "topology parity: no feasible segmentation for "
+                       << key.str());
+
+  tune::Candidate explicit_flat = cand;
+  explicit_flat.topology = "flat";
+  const double flat_named =
+      tune::score_candidate(key, explicit_flat, opts).total_seconds();
+  SOI_CHECK(flat_named == flat.total_seconds(),
+            "topology parity: '' and 'flat' priced differently ("
+                << flat_named << " vs " << flat.total_seconds() << ")");
+
+  tune::Candidate two_level = cand;
+  two_level.topology = net::Topology::two_level(nodes).str();
+  tune::Candidate torus = cand;
+  torus.topology = net::Topology::torus(nodes).str();
+  const double tl = tune::score_candidate(key, two_level, opts).total_seconds();
+  const double tr = tune::score_candidate(key, torus, opts).total_seconds();
+  const double fl = flat.total_seconds();
+  SOI_CHECK(tl <= fl * (1.0 + 1e-12),
+            "topology parity: two-level priced above flat pairwise ("
+                << tl << " vs " << fl << ") on " << fabric.name());
+  SOI_CHECK(tr > 0.2 * fl && tr < 3.0 * fl,
+            "topology parity: torus estimate " << tr
+                << " outside the [0.2, 3.0]x sanity band of flat " << fl
+                << " on " << fabric.name());
+  std::printf(
+      "topology pricing parity (%s, %d nodes): two-level/flat = %.3f, "
+      "torus/flat = %.3f — flat remains the figure reference\n",
+      fabric.name().c_str(), nodes, tl / fl, tr / fl);
 }
 
 BenchScale bench_scale() {

@@ -30,6 +30,7 @@ namespace soi::bench {
 /// record (docs/ALGORITHM.md Section 10.4):
 ///   {"bench","case","n","batch","seconds","gflops","ns_per_point",
 ///    "peak_rss_bytes","steady_state_allocs","overlap_efficiency"?,
+///    "bisection_bytes"?,
 ///    "faults_injected"?,"retries"?,"checksum_failures"?,
 ///    "resilience_overhead"?,"p50_ms"?,"p99_ms"?,"transforms_per_sec"?,
 ///    "admitted"?,"rejected"?,"queue_peak"?,"stages"?}
@@ -58,6 +59,12 @@ struct BenchRecord {
   std::int64_t steady_state_allocs = -1;
   /// exec::overlap_efficiency() of the captured trace; -1 = no trace.
   double overlap_efficiency = -1.0;
+  /// Bytes the exchange pushes across the ranks/2 bisection cut under the
+  /// record's topology schedule (net::StagedPlan::bisection_blocks x block
+  /// bytes; flat via net::flat_bisection_blocks). -1 = not an exchange
+  /// bench. The same cut is used for every schedule, so flat / two-level /
+  /// torus records are directly comparable.
+  std::int64_t bisection_bytes = -1;
   /// Resilience counters of the record's world (-1 = not measured):
   /// injected faults, bounded-wait retries summed over the trace, and
   /// CRC/size verification rejections.
@@ -179,6 +186,22 @@ double fabric_balance_scale(std::int64_t points_per_rank, int reps);
 std::unique_ptr<net::NetworkModel> scaled_fat_tree(double scale);
 std::unique_ptr<net::NetworkModel> scaled_torus(double scale);
 std::unique_ptr<net::NetworkModel> scaled_ethernet(double scale);
+
+/// --- topology-pricing parity (figure benches) ----------------------------
+///
+/// The figure reproductions above price the FLAT exchange; the autotuner
+/// additionally prices staged topology schedules (two-level, torus) on the
+/// same fabric models. This check pins the two layers together at the
+/// figure's shape: a "" and an explicit "flat" topology candidate must
+/// price bit-identically, the two-level schedule must never price above
+/// flat pairwise (it strictly reduces both rounds and expensive-tier
+/// volume in the model), and the torus estimate must stay within a broad
+/// sanity band of flat — so the topology knob cannot silently invalidate
+/// the flat-priced figures. Prints one summary line with the ratios;
+/// throws soi::Error on violation.
+void check_topology_pricing_parity(const net::NetworkModel& fabric,
+                                   std::int64_t points_per_rank, int nodes,
+                                   win::Accuracy accuracy);
 
 /// Derating factors for the baseline "library classes" in Fig. 5: the
 /// paper compares against Intel MKL, FFTW and FFTE, which differ mainly in

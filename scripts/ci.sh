@@ -7,6 +7,7 @@
 #   scripts/ci.sh asan        # just the ASan build + core suites
 #   scripts/ci.sh tsan        # ThreadSanitizer build + SimMPI dist/pipeline
 #   scripts/ci.sh chaos       # fault-injection suites under ASan + TSan
+#   scripts/ci.sh topology    # staged-exchange suites (two-level + torus)
 #   scripts/ci.sh smoke       # just the tune -> wisdom -> reuse smoke
 #   scripts/ci.sh bench-smoke # JSON benches on tiny sizes, validated
 #
@@ -99,6 +100,45 @@ run_chaos() {
   echo "chaos OK"
 }
 
+run_topology() {
+  echo "=== topology: staged-exchange suites over two-level + torus ==="
+  # Standard build: the topology plan/routing invariants, the staged
+  # all-to-all bit-identity and chaos gates, the full-pipeline
+  # bit-identity/zero-allocation suites at chunk depths 2-4, the wisdom
+  # v4 topo round-trips, and both staged schedules end-to-end through
+  # the CLI with the accuracy check on.
+  cmake -B build-ci/tier1 -S . >/dev/null
+  cmake --build build-ci/tier1 -j "${jobs}" --target \
+    test_net test_pipeline test_fault test_tune soifft
+  (cd build-ci/tier1 &&
+    ./tests/test_net --gtest_filter='Topology.*:StagedAlltoall.*:WireLatency.IntraGroup*' \
+      | grep -q "PASSED" &&
+    ./tests/test_pipeline --gtest_filter='Pipeline.Topology*:Pipeline.StagedTopology*' \
+      | grep -q "PASSED" &&
+    ./tests/test_fault --gtest_filter='Chaos.Staged*:Chaos.PipelinedDeepChunk*' \
+      | grep -q "PASSED" &&
+    ./tests/test_tune --gtest_filter='*Topology*:Wisdom.V4*' \
+      | grep -q "PASSED")
+  build-ci/tier1/tools/soifft dist --n 36864 --p 4 --accuracy medium \
+    --check --topology two-level:2 >/dev/null
+  build-ci/tier1/tools/soifft dist --n 36864 --p 4 --accuracy medium \
+    --check --topology torus:2x2x1 >/dev/null
+  # TSan: the staged store-and-forward path has every rank juggling
+  # per-phase irecv/isend request slots while neighbours retransmit —
+  # the mailbox and request-slot locking must hold up across hops.
+  # OpenMP off for the same reason as run_tsan.
+  cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
+  cmake --build build-ci/tsan -j "${jobs}" --target test_net test_pipeline
+  (cd build-ci/tsan &&
+    ./tests/test_net --gtest_filter='Topology.*:StagedAlltoall.*' \
+      | grep -q "PASSED" &&
+    ./tests/test_pipeline --gtest_filter='Pipeline.Topology*:Pipeline.StagedTopology*' \
+      | grep -q "PASSED")
+  echo "topology OK"
+}
+
 run_smoke() {
   echo "=== smoke: tune -> wisdom -> reuse pipeline ==="
   local bin=build-ci/tier1/tools/soifft
@@ -120,10 +160,11 @@ run_bench_smoke() {
   echo "=== bench-smoke: JSON benches on tiny sizes ==="
   if [ ! -x build-ci/tier1/bench/bench_batch_fft ] ||
      [ ! -x build-ci/tier1/bench/bench_tuned ] ||
-     [ ! -x build-ci/tier1/bench/bench_serve ]; then
+     [ ! -x build-ci/tier1/bench/bench_serve ] ||
+     [ ! -x build-ci/tier1/bench/bench_alltoall ]; then
     cmake -B build-ci/tier1 -S . >/dev/null
     cmake --build build-ci/tier1 -j "${jobs}" --target \
-      bench_batch_fft bench_tuned bench_serve
+      bench_batch_fft bench_tuned bench_serve bench_alltoall
   fi
   # Tiny shapes so the stage takes seconds; the point is that every bench
   # runs end-to-end and emits a well-formed, non-empty record array.
@@ -227,6 +268,32 @@ for path in sys.argv[1:]:
     print(f"{path}: {len(records)} records OK"
           f" ({len(traced)} with stage traces)")
 EOF
+  # Topology sweep: the raw exchange grid must carry bisection traffic for
+  # every schedule, and the end-to-end dist sweep must carry overlap
+  # efficiency — the fields the two-level-vs-flat acceptance gate reads.
+  build-ci/tier1/bench/bench_alltoall --json > "${out}/alltoall.json"
+  python3 - "${out}/alltoall.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    records = json.load(f)
+assert isinstance(records, list) and records, f"{path}: empty or not a list"
+raw = [r for r in records if not r["case"].startswith("dist ")]
+dist = [r for r in records if r["case"].startswith("dist ")]
+assert raw and dist, f"{path}: need both raw-exchange and dist records"
+topos = {"flat", "two-level", "torus"}
+for want in topos:
+    assert any(want in r["case"] for r in raw), f"{path}: no raw {want} case"
+    assert any(want in r["case"] for r in dist), f"{path}: no dist {want} case"
+for r in records:
+    assert r["bisection_bytes"] > 0, f"{path}: missing bisection traffic: {r}"
+    assert r["seconds"] > 0, f"{path}: non-positive seconds: {r}"
+for r in dist:
+    eff = r.get("overlap_efficiency")
+    assert eff is not None and 0.0 <= eff <= 1.0, \
+        f"{path}: bad overlap_efficiency {eff}: {r}"
+print(f"{path}: {len(raw)} exchange + {len(dist)} dist records OK")
+EOF
   echo "bench-smoke OK"
 }
 
@@ -235,9 +302,12 @@ case "${stage}" in
   asan)  run_asan ;;
   tsan)  run_tsan ;;
   chaos) run_chaos ;;
+  topology) run_topology ;;
   smoke) run_smoke ;;
   bench-smoke) run_bench_smoke ;;
-  all)   run_tier1; run_asan; run_tsan; run_chaos; run_smoke; run_bench_smoke ;;
-  *) echo "usage: $0 [tier1|asan|tsan|chaos|smoke|bench-smoke|all]" >&2; exit 2 ;;
+  all)   run_tier1; run_asan; run_tsan; run_chaos; run_topology; run_smoke
+         run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|tsan|chaos|topology|smoke|bench-smoke|all]" >&2
+     exit 2 ;;
 esac
 echo "ci: ${stage} passed"

@@ -117,7 +117,29 @@ struct World {
   /// send and match hot paths; the zero value keeps both byte-identical
   /// to the latency-free transport.
   std::atomic<double> wire_latency_s{0.0};
+  /// Cheap intra-group latency tier (seconds) and the node-group size
+  /// that selects it: a message whose source and destination share
+  /// rank / latency_group pays intra_latency_s instead of
+  /// wire_latency_s. latency_group == 0 disables the split.
+  std::atomic<double> intra_latency_s{0.0};
+  std::atomic<int> latency_group{0};
   FaultStatsAtomic stats;
+
+  /// True when any latency tier is emulated — matching must then honor
+  /// Message::visible_at stamps (even intra-only configurations stamp).
+  bool latency_emulated() const {
+    return wire_latency_s.load(std::memory_order_relaxed) > 0 ||
+           intra_latency_s.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Emulated latency of one src -> dst message, in seconds.
+  double message_latency_s(int src, int dst) const {
+    const int g = latency_group.load(std::memory_order_relaxed);
+    if (g > 0 && src / g == dst / g) {
+      return intra_latency_s.load(std::memory_order_relaxed);
+    }
+    return wire_latency_s.load(std::memory_order_relaxed);
+  }
 
   // Generation-counted barrier.
   std::mutex bar_mu;
@@ -194,6 +216,10 @@ void World::configure(const NetOptions& opts) {
   timeout_ms.store(t, std::memory_order_relaxed);
   wire_latency_s.store(std::max(opts.wire_latency_us, 0.0) * 1e-6,
                        std::memory_order_relaxed);
+  intra_latency_s.store(std::max(opts.intra_latency_us, 0.0) * 1e-6,
+                        std::memory_order_relaxed);
+  latency_group.store(std::max(opts.topo_group_size, 0),
+                      std::memory_order_relaxed);
   if (opts.faults.any()) {
     injector_owned = std::make_unique<FaultInjector>(opts.faults);
     injector.store(injector_owned.get(), std::memory_order_release);
@@ -309,7 +335,7 @@ std::optional<Message> match_ordered_locked(
 std::optional<Message> take_verified_locked(World& w, Mailbox& box, int src,
                                             int tag,
                                             std::size_t expected_bytes) {
-  const auto now = w.wire_latency_s.load(std::memory_order_relaxed) > 0
+  const auto now = w.latency_emulated()
                        ? std::chrono::steady_clock::now()
                        : std::chrono::steady_clock::time_point::max();
   for (;;) {
@@ -393,8 +419,7 @@ Message World::pop(int me, int src, int tag, std::size_t expected_bytes) {
   auto& box = boxes[static_cast<std::size_t>(me)];
   std::unique_lock<std::mutex> lock(box.mu);
   const double base = timeout_ms.load(std::memory_order_relaxed);
-  const bool emulate_wire =
-      wire_latency_s.load(std::memory_order_relaxed) > 0;
+  const bool emulate_wire = latency_emulated();
   if (base <= 0) {
     for (;;) {
       check_alive();
@@ -521,12 +546,12 @@ void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
   detail::Message m;
   m.src = src;
   m.tag = tag;
-  const double wire_s = w.wire_latency_s.load(std::memory_order_relaxed);
-  if (wire_s > 0) {
+  const double lat_s = w.message_latency_s(src, dst);
+  if (lat_s > 0) {
     m.visible_at = std::chrono::steady_clock::now() +
                    std::chrono::duration_cast<
                        std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(wire_s));
+                       std::chrono::duration<double>(lat_s));
   }
   m.payload.resize(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
@@ -839,7 +864,7 @@ bool Comm::wait_for(Request& req, double timeout_ms) {
   // blocked wait exactly when an emulated-wire match becomes visible.
   const auto pending_earliest =
       [&]() -> std::optional<std::chrono::steady_clock::time_point> {
-    if (w.wire_latency_s.load(std::memory_order_relaxed) <= 0) {
+    if (!w.latency_emulated()) {
       return std::nullopt;
     }
     if (req.kind_ == Request::Kind::kRecv) {
@@ -1217,7 +1242,8 @@ std::vector<CommEvent> run_ranks(int nranks, const NetOptions& opts,
   // Only a non-default configuration claims the configure slot; otherwise
   // it stays open for DistOptions-level plumbing to install one later.
   if (resolved.faults.any() || resolved.timeout_ms > 0 ||
-      !resolved.checksums || resolved.wire_latency_us > 0) {
+      !resolved.checksums || resolved.wire_latency_us > 0 ||
+      resolved.intra_latency_us > 0) {
     world->configure(resolved);
   }
   // Primary errors (a rank body failed on its own) are kept separate from

@@ -103,6 +103,15 @@ struct NetOptions {
   /// Applies to point-to-point and alltoall traffic; barrier/allreduce
   /// rendezvous are not delayed.
   double wire_latency_us = 0.0;
+  /// Second, cheaper latency tier for hierarchical fabrics: messages
+  /// between ranks of the same node group (rank / topo_group_size) take
+  /// this latency instead of wire_latency_us. Only meaningful with
+  /// topo_group_size > 0; models the intra-node links a two-level
+  /// topology schedule stages its traffic through.
+  double intra_latency_us = 0.0;
+  /// Ranks per node group for the intra/inter latency split (0 = no
+  /// grouping, every message pays wire_latency_us).
+  int topo_group_size = 0;
 };
 
 namespace detail {

@@ -1,0 +1,162 @@
+// Network topology abstraction for topology-aware exchange schedules.
+//
+// The flat SOI exchange sends one message per (source, destination) pair.
+// On hierarchical fabrics that is the wrong shape: a two-level node-group
+// machine offers cheap intra-group links and expensive inter-group links,
+// and a k-ary 3-D torus rewards dimension-ordered neighbor staging. A
+// `Topology` describes the fabric shape; `build_staged_plan` turns it into
+// a deterministic multi-phase store-and-forward schedule whose *final block
+// placement is bit-identical to the flat all-to-all* — only the routing of
+// blocks through intermediate ranks changes:
+//
+//   * two-level (Q groups of G ranks, rank = q*G + l): phase 0 exchanges
+//     fused messages inside each group so that rank (q, l) ends up holding
+//     every block destined for local index l of *any* group; phase 1
+//     exchanges between same-local-index ranks of different groups. Each
+//     rank sends G-1 intra-group messages then Q-1 inter-group messages
+//     instead of R-1 flat ones — fewer, larger transfers on the slow tier.
+//   * torus (k0 x k1 x k2): phase d forwards every held block to the rank
+//     whose dimension-d coordinate matches the block's destination. At
+//     most sum(kd - 1) messages per rank, all between torus neighbors in
+//     one dimension.
+//
+// Plans are built once per (topology, rank) by simulating every rank's
+// block holdings phase by phase, so sender pack order and receiver slot
+// assignment agree globally without any runtime negotiation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soi::net {
+
+enum class TopologyKind { kFlat, kTwoLevel, kTorus };
+
+/// Shape of the fabric the exchange schedule is built for. Immutable;
+/// ranks() is fixed at construction and validated against the comm size
+/// at use. The canonical text forms are "flat", "two-level:G" and
+/// "torus:k0xk1xk2" (see parse / str).
+class Topology {
+ public:
+  Topology() = default;  ///< flat over 0 ranks; assign before use
+
+  static Topology flat(int ranks);
+  /// Two-level node groups. group_size = 0 picks the divisor of `ranks`
+  /// nearest sqrt(ranks) (ties toward the larger divisor).
+  static Topology two_level(int ranks, int group_size = 0);
+  /// k-ary 3-D torus. Zero dims pick the near-cube factorization of
+  /// `ranks` (k0 >= k1 >= k2). k0*k1*k2 must equal ranks.
+  static Topology torus(int ranks, int k0 = 0, int k1 = 0, int k2 = 0);
+  /// Accepts "" / "flat", "two-level[:G]", "torus[:k0xk1xk2]". Throws
+  /// soi::Error with the offending text otherwise.
+  static Topology parse(const std::string& text, int ranks);
+
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] int ranks() const { return ranks_; }
+  /// Canonical text form (round-trips through parse).
+  [[nodiscard]] std::string str() const;
+
+  /// Two-level accessors (group_size() == ranks() for flat/torus: one
+  /// big group, so same_group is then always true).
+  [[nodiscard]] int group_size() const { return group_size_; }
+  [[nodiscard]] int groups() const {
+    return group_size_ > 0 ? ranks_ / group_size_ : 1;
+  }
+  [[nodiscard]] int group_of(int rank) const { return rank / group_size_; }
+  [[nodiscard]] int local_of(int rank) const { return rank % group_size_; }
+  [[nodiscard]] bool same_group(int a, int b) const {
+    return group_of(a) == group_of(b);
+  }
+
+  /// Torus accessors. dims() is {ranks, 1, 1} for non-torus kinds.
+  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+  [[nodiscard]] std::array<int, 3> coords(int rank) const;
+  [[nodiscard]] int rank_of(const std::array<int, 3>& c) const;
+
+  /// Number of exchange phases: 1 (flat), 2 (two-level), or the number
+  /// of torus dimensions larger than 1.
+  [[nodiscard]] int phases() const;
+
+  /// Where rank `holder` forwards a block whose final destination is
+  /// `dst` during `phase`. route(phases()-1, ...) always returns dst.
+  [[nodiscard]] int route(int phase, int holder, int dst) const;
+
+ private:
+  TopologyKind kind_ = TopologyKind::kFlat;
+  int ranks_ = 0;
+  int group_size_ = 0;                 // two-level; ranks_ otherwise
+  std::array<int, 3> dims_{0, 1, 1};   // torus; {ranks,1,1} otherwise
+  std::vector<int> phase_dims_;        // torus dims > 1, in routing order
+};
+
+/// Deterministic multi-phase exchange schedule for one rank, plus global
+/// traffic statistics over all ranks. Block = the unit payload one rank
+/// sends one destination in the flat all-to-all; every rank holds exactly
+/// ranks() blocks before, between and after phases.
+///
+/// Executor contract per phase: gather `sends[i].gather` blocks (slot
+/// indices into the previous holdings; phase 0 slots double as destination
+/// ranks, so the caller maps them through its send displacements) into a
+/// pack buffer, isend per peer; irecv `recvs[i].nblocks` blocks from each
+/// peer into the new holdings at `recvs[i].first_slot`; copy `keeps` from
+/// old to new holdings. After the last phase, the block in slot s
+/// originated at rank `final_src[s]` and belongs at the flat all-to-all
+/// receive offset of that source.
+struct StagedPlan {
+  struct Send {
+    int peer = -1;
+    std::vector<int> gather;  ///< prev-holdings slots (phase 0: dst ranks)
+  };
+  struct Recv {
+    int peer = -1;
+    int nblocks = 0;
+    int first_slot = 0;  ///< into the new holdings, blocks are contiguous
+  };
+  struct Keep {
+    int from = 0;  ///< prev-holdings slot (phase 0: dst rank)
+    int to = 0;    ///< new-holdings slot
+  };
+  struct Phase {
+    std::vector<Send> sends;  ///< ring order (rank+1, rank+2, ...)
+    std::vector<Recv> recvs;  ///< ring order, empty peers omitted
+    std::vector<Keep> keeps;
+  };
+
+  std::vector<Phase> phases;   ///< no-op phases are dropped
+  std::vector<int> final_src;  ///< origin rank of each final holdings slot
+  int ranks = 0;
+  int max_peers = 0;  ///< max sends (== max recvs) in any one phase
+
+  // Global traffic over all ranks and phases, in block units. The caller
+  // multiplies by its block byte size. bisection counts blocks crossing
+  // the rank_id < ranks/2 cut, the same cut for every schedule, so flat,
+  // two-level and torus numbers are directly comparable.
+  std::int64_t total_messages = 0;
+  std::int64_t total_blocks_sent = 0;
+  std::int64_t bisection_blocks = 0;
+};
+
+/// Builds the staged schedule of `topo` from rank `my_rank`'s point of
+/// view by simulating all ranks' holdings. For flat topologies the plan
+/// has one phase that is exactly the flat all-to-all (useful for the
+/// traffic statistics; the executors keep their native flat paths).
+[[nodiscard]] StagedPlan build_staged_plan(const Topology& topo, int my_rank);
+
+/// Blocks a flat all-to-all would push across the ranks/2 bisection:
+/// one block per (src, dst) pair on opposite sides.
+[[nodiscard]] std::int64_t flat_bisection_blocks(int ranks);
+
+class Comm;  // comm.hpp
+
+/// Blocking staged all-to-all over `comm` following `plan`: block d of
+/// `send` (at d*block_bytes) lands at s*block_bytes of `recv` on the rank
+/// it addresses, bit-identically to Comm::alltoall. `scratch` must hold
+/// 3 * ranks * block_bytes (pack + ping-pong holdings) and may be null
+/// only when block_bytes == 0. Tags used: [tag_base, tag_base + phases).
+void staged_alltoall(Comm& comm, const StagedPlan& plan, const void* send,
+                     void* recv, std::int64_t block_bytes, void* scratch,
+                     int tag_base);
+
+}  // namespace soi::net

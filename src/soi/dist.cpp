@@ -60,6 +60,13 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
   std::int64_t depth = std::min(opts_.chunk_depth, spr_);
   while (spr_ % depth != 0) --depth;
   env_.chunk_depth = depth;
+  // Topology-aware exchange: parse the fabric shape (throws
+  // InvalidArgumentError on bad syntax / non-factorable shapes) and build
+  // this rank's staged store-and-forward plan once, at plan time.
+  env_.topo = net::Topology::parse(opts_.topology, comm.size());
+  if (env_.staged_exchange()) {
+    env_.staged = net::build_staged_plan(env_.topo, comm.rank());
+  }
   SOI_CHECK(opts_.max_concurrency >= 1 &&
                 opts_.max_concurrency <= net::kMaxCollChannels,
             "SoiFftDist: max_concurrency " << opts_.max_concurrency

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "common/types.hpp"
 #include "fft/batch.hpp"
@@ -55,6 +56,13 @@ struct DistOptions {
   /// exceeding it; 1 = the classic whole-rank exchange. Autotuner knob
   /// (cd=).
   std::int64_t chunk_depth = 1;
+  /// Fabric shape the exchange schedule targets (net::Topology::parse
+  /// syntax): "" / "flat" keeps the native all-to-all; "two-level[:G]"
+  /// fuses each chunk group's blocks into an intra-group gather followed
+  /// by fewer, larger inter-group messages; "torus[:k0xk1xk2]" forwards
+  /// them dimension-by-dimension. All schedules place blocks
+  /// bit-identically. Autotuner knob (topo=).
+  std::string topology;
   /// Pre-built convolution table for this (N, P, profile) geometry, e.g.
   /// from tune::PlanRegistry so all ranks share one table instead of each
   /// building an identical copy. When null the plan builds its own.

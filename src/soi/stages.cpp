@@ -14,6 +14,11 @@ namespace soi::core {
 namespace {
 
 constexpr int kTagHalo = 101;
+// Staged topology exchange: each store-and-forward phase travels on its
+// own tag, offset by the execution channel so co-scheduled instances
+// never cross-match (phases <= 3, channels < kMaxCollChannels, so the
+// range [160, 160 + 3*16) stays clear of every other user tag).
+constexpr int kTagStaged = 160;
 
 template <class Real>
 std::int64_t cbytes(std::int64_t count) {
@@ -284,7 +289,16 @@ class ExchangeStageT final : public exec::StageT<Real> {
   explicit ExchangeStageT(const ChainEnvT<Real>* env)
       : env_(env),
         reqs_(static_cast<std::size_t>(env->max_instances) *
-              static_cast<std::size_t>(env->chunk_depth)) {}
+              static_cast<std::size_t>(env->chunk_depth)),
+        sreqs_(env->staged_exchange()
+                   ? static_cast<std::size_t>(env->max_instances) *
+                         static_cast<std::size_t>(env->chunk_depth) *
+                         static_cast<std::size_t>(env->staged.max_peers)
+                   : 0),
+        wreqs_(env->staged_exchange()
+                   ? static_cast<std::size_t>(env->max_instances) *
+                         static_cast<std::size_t>(env->staged.max_peers)
+                   : 0) {}
 
   void plan_records(std::vector<exec::StageRecord>& out) const override {
     exec::StageRecord r;
@@ -312,6 +326,14 @@ class ExchangeStageT final : public exec::StageT<Real> {
     SOI_CHECK(ctx.comm != nullptr,
               "SOI pipeline: distributed chain run without a communicator");
     if constexpr (std::is_same_v<Real, double>) {
+      if (env.staged_exchange()) {
+        if (node.phase == kPhaseWait) {
+          wait_staged(ctx, rec, node);
+        } else {
+          post_staged(ctx, rec, node);
+        }
+        return;
+      }
       const auto g = static_cast<std::size_t>(node.chunk);
       const auto slot0 = static_cast<std::size_t>(ctx.instance) *
                          static_cast<std::size_t>(env.chunk_depth);
@@ -356,11 +378,171 @@ class ExchangeStageT final : public exec::StageT<Real> {
     return env_->has_comm && env_->ranks > 1;
   }
 
+  /// Element count of one (source, destination) block of a chunk group.
+  [[nodiscard]] std::int64_t block_elems() const {
+    return env_->gseg() * env_->chunks();
+  }
+
+  [[nodiscard]] int staged_tag(int phase, int channel) const {
+    return kTagStaged + phase * net::kMaxCollChannels + channel;
+  }
+
+  /// Staged post node: pack + fire phase 0 of the store-and-forward
+  /// schedule. Fuses this group's blocks for each first-hop peer out of
+  /// the send buffer (phase-0 gather indices ARE destination ranks, so
+  /// they map through the group's send displacements), posts the phase-0
+  /// receives into the slot's first holdings half, and copies the kept
+  /// blocks across. SimMPI sends are buffered-complete at post, so the
+  /// pack region is reusable as soon as isend_bytes returns.
+  void post_staged(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                   const exec::NodeSpec& node) const {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const net::StagedPlan& plan = env.staged;
+    const auto g = static_cast<std::size_t>(node.chunk);
+    const std::int64_t B = block_elems();
+    const std::int64_t RB = static_cast<std::int64_t>(plan.ranks) * B;
+    const std::span<C> send = ctx.arena->template span<C>(env.send);
+    const std::span<C> stg = ctx.arena->template span<C>(
+        WorkspaceArena::slot(env.stg, node.chunk % env.nslots()));
+    C* pack = stg.data();
+    C* hold = stg.data() + RB;  // first ping-pong half: phase-0 holdings
+    const auto ranks = static_cast<std::size_t>(env.ranks);
+    const std::int64_t* displs = env.a2a_send_displs.data() + g * ranks;
+    const net::StagedPlan::Phase& ph0 = plan.phases.front();
+    const int tag = staged_tag(0, ctx.channel);
+    net::Request* rq =
+        sreqs_.data() +
+        (static_cast<std::size_t>(ctx.instance) *
+             static_cast<std::size_t>(env.chunk_depth) +
+         g) *
+            static_cast<std::size_t>(plan.max_peers);
+    const std::int64_t before = ctx.comm->bytes_sent();
+    {
+      exec::StageTimer st(*rec);
+      std::size_t ri = 0;
+      for (const net::StagedPlan::Recv& rv : ph0.recvs) {
+        rq[ri++] = ctx.comm->irecv_bytes(
+            rv.peer, tag, hold + static_cast<std::int64_t>(rv.first_slot) * B,
+            static_cast<std::size_t>(rv.nblocks) *
+                static_cast<std::size_t>(B) * sizeof(C));
+      }
+      std::int64_t off = 0;
+      for (const net::StagedPlan::Send& sd : ph0.sends) {
+        C* msg = pack + off;
+        for (const int d : sd.gather) {
+          std::copy_n(send.data() + displs[d], B, pack + off);
+          off += B;
+        }
+        ctx.comm->isend_bytes(sd.peer, tag, msg,
+                              sd.gather.size() *
+                                  static_cast<std::size_t>(B) * sizeof(C));
+      }
+      for (const net::StagedPlan::Keep& kp : ph0.keeps) {
+        std::copy_n(send.data() + displs[kp.from], B,
+                    hold + static_cast<std::int64_t>(kp.to) * B);
+      }
+    }
+    rec->bytes_moved += ctx.comm->bytes_sent() - before;
+  }
+
+  /// Staged wait node: complete phase 0, run the remaining forwarding
+  /// phases inline (gather from the previous holdings, isend, irecv into
+  /// the other ping-pong half, copy keeps, wait), then scatter the final
+  /// holdings into source-rank order in the recv slot — the exact layout
+  /// the flat ialltoallv produces, so unpack and everything downstream is
+  /// schedule-oblivious and the output stays bit-identical.
+  void wait_staged(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                   const exec::NodeSpec& node) const {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const net::StagedPlan& plan = env.staged;
+    const auto g = static_cast<std::size_t>(node.chunk);
+    const std::int64_t B = block_elems();
+    const std::int64_t RB = static_cast<std::int64_t>(plan.ranks) * B;
+    const int slot = node.chunk % env.nslots();
+    const std::span<C> stg =
+        ctx.arena->template span<C>(WorkspaceArena::slot(env.stg, slot));
+    C* pack = stg.data();
+    C* prev = stg.data() + RB;      // phase-0 receives landed here
+    C* cur = stg.data() + 2 * RB;   // next phase's holdings
+    net::Request* rq =
+        sreqs_.data() +
+        (static_cast<std::size_t>(ctx.instance) *
+             static_cast<std::size_t>(env.chunk_depth) +
+         g) *
+            static_cast<std::size_t>(plan.max_peers);
+    {
+      exec::WaitTimer wt(*rec);
+      for (std::size_t i = 0; i < plan.phases.front().recvs.size(); ++i) {
+        wait_resilient(*ctx.comm, rq[i], *rec, "exchange");
+      }
+    }
+    const std::int64_t before = ctx.comm->bytes_sent();
+    net::Request* wq = wreqs_.data() +
+                       static_cast<std::size_t>(ctx.instance) *
+                           static_cast<std::size_t>(plan.max_peers);
+    for (std::size_t p = 1; p < plan.phases.size(); ++p) {
+      const net::StagedPlan::Phase& ph = plan.phases[p];
+      const int tag = staged_tag(static_cast<int>(p), ctx.channel);
+      std::size_t nr = 0;
+      {
+        exec::StageTimer st(*rec);
+        for (const net::StagedPlan::Recv& rv : ph.recvs) {
+          wq[nr++] = ctx.comm->irecv_bytes(
+              rv.peer, tag,
+              cur + static_cast<std::int64_t>(rv.first_slot) * B,
+              static_cast<std::size_t>(rv.nblocks) *
+                  static_cast<std::size_t>(B) * sizeof(C));
+        }
+        std::int64_t off = 0;
+        for (const net::StagedPlan::Send& sd : ph.sends) {
+          C* msg = pack + off;
+          for (const int from : sd.gather) {
+            std::copy_n(prev + static_cast<std::int64_t>(from) * B, B,
+                        pack + off);
+            off += B;
+          }
+          ctx.comm->isend_bytes(sd.peer, tag, msg,
+                                sd.gather.size() *
+                                    static_cast<std::size_t>(B) * sizeof(C));
+        }
+        for (const net::StagedPlan::Keep& kp : ph.keeps) {
+          std::copy_n(prev + static_cast<std::int64_t>(kp.from) * B, B,
+                      cur + static_cast<std::int64_t>(kp.to) * B);
+        }
+      }
+      {
+        exec::WaitTimer wt(*rec);
+        for (std::size_t i = 0; i < nr; ++i) {
+          wait_resilient(*ctx.comm, wq[i], *rec, "exchange");
+        }
+      }
+      std::swap(prev, cur);
+    }
+    rec->bytes_moved += ctx.comm->bytes_sent() - before;
+    const std::span<C> recv = ctx.arena->template span<C>(
+        WorkspaceArena::slot(env.recv, slot));
+    exec::StageTimer st(*rec);
+    for (int s = 0; s < plan.ranks; ++s) {
+      std::copy_n(prev + static_cast<std::int64_t>(s) * B, B,
+                  recv.data() +
+                      static_cast<std::int64_t>(plan.final_src[
+                          static_cast<std::size_t>(s)]) *
+                          B);
+    }
+  }
+
   const ChainEnvT<Real>* env_;
   // One in-flight request per (execution instance, chunk group), laid out
   // instance-major; reassigned every run (requests are passive value
   // types, so steady-state reuse allocates nothing).
   mutable std::vector<net::Request> reqs_;
+  // Staged schedules only: phase-0 receive requests, laid out
+  // [instance][chunk group][peer], plus the in-wait forwarding-phase
+  // requests [instance][peer] (later phases run inline inside the wait
+  // node, so one group per instance uses them at a time).
+  mutable std::vector<net::Request> sreqs_, wreqs_;
 };
 
 /// Stage "unpack": assemble the received per-source blocks into segment
@@ -621,16 +803,27 @@ void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
   const std::int64_t seg_total = env.spr * g.mprime();  // == chunks * P
   env.ext = arena.reserve("ext", cb(env.m_rank() + g.halo()), base, base);
   env.v = arena.reserve("v", cb(chunks * g.p()), base, base + 1);
-  if (env.has_comm && env.chunk_depth > 1) {
+  if (env.has_comm && (env.chunk_depth > 1 || env.staged_exchange())) {
     // Chunked exchange: the pipelined schedule interleaves positions
     // base+2..base+5, so every buffer those nodes touch must be live over
     // the whole span (no aliasing between the chain's own stages), and
-    // recv/x-tilde/uf become two group-sized slots each.
+    // recv/x-tilde/uf become nslots() group-sized slots each. A staged
+    // topology schedule additionally gets a per-slot scratch holding the
+    // fused-message pack region plus the ping-pong holdings halves.
     const std::int64_t gtotal = env.gseg() * g.mprime();
+    const int ns = env.nslots();
     env.send = arena.reserve("send", cb(chunks * g.p()), base + 1, base + 5);
-    env.recv = arena.reserve_slots("recv", cb(gtotal), 2, base + 2, base + 5);
-    env.xt = arena.reserve_slots("xt", cb(gtotal), 2, base + 2, base + 5);
-    env.uf = arena.reserve_slots("uf", cb(gtotal), 2, base + 2, base + 5);
+    env.recv = arena.reserve_slots("recv", cb(gtotal), ns, base + 2, base + 5);
+    env.xt = arena.reserve_slots("xt", cb(gtotal), ns, base + 2, base + 5);
+    env.uf = arena.reserve_slots("uf", cb(gtotal), ns, base + 2, base + 5);
+    if (env.staged_exchange()) {
+      SOI_CHECK(env.topo.ranks() == env.ranks,
+                "SOI pipeline: topology built for " << env.topo.ranks()
+                                                    << " ranks, communicator has "
+                                                    << env.ranks);
+      env.stg =
+          arena.reserve_slots("stg", cb(3 * gtotal), ns, base + 2, base + 5);
+    }
 
     // ialltoallv layout: destination d's block for group g starts at
     // segment d*spr + g*gseg of the [sigma][chunk] send buffer; source s's
@@ -719,18 +912,25 @@ void append_chain_stages(exec::PipelineT<Real>& pl,
   //   post(0), post(1), wait(0), unpack(0), fm(0), demod(0), post(2), ...
   // f_p (no declared nodes) is an auto barrier between conv and the posts.
   const int depth = static_cast<int>(env.chunk_depth);
+  const int ns = env.nslots();
   std::vector<int> post(static_cast<std::size_t>(depth));
   std::vector<int> wait(static_cast<std::size_t>(depth));
   std::vector<int> unp(static_cast<std::size_t>(depth));
   std::vector<int> fm(static_cast<std::size_t>(depth));
   std::vector<int> dem(static_cast<std::size_t>(depth));
   std::vector<int> post_ovl(static_cast<std::size_t>(depth));
+  // Pipelined key layout: a prologue posts the first nslots() groups (the
+  // pipeline keeps up to nslots() exchanges in flight), then each group's
+  // wait..demod runs with group g+ns's post interleaved after it — at
+  // ns == 2 this reduces to post(0), post(1), wait(0), ..., post(2), ...
   int ko = 200;
-  post_ovl[0] = ko++;
+  for (int g = 0; g < std::min(ns, depth); ++g) {
+    post_ovl[static_cast<std::size_t>(g)] = ko++;
+  }
   std::vector<std::array<int, 4>> rest_ovl(static_cast<std::size_t>(depth));
   for (int g = 0; g < depth; ++g) {
-    if (g + 1 < depth) post_ovl[static_cast<std::size_t>(g + 1)] = ko++;
     for (int i = 0; i < 4; ++i) rest_ovl[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] = ko++;
+    if (g + ns < depth) post_ovl[static_cast<std::size_t>(g + ns)] = ko++;
   }
   for (int g = 0; g < depth; ++g) {
     const auto gi = static_cast<std::size_t>(g);
@@ -749,12 +949,15 @@ void append_chain_stages(exec::PipelineT<Real>& pl,
     pl.add_edge(wait[gi], unp[gi]);
     pl.add_edge(unp[gi], fm[gi]);
     pl.add_edge(fm[gi], dem[gi]);
-    // Double-buffer write-after-read edges: group g+2 reuses group g's
-    // slots, so its writers wait for g's readers.
-    if (g >= 2) {
-      pl.add_edge(unp[gi - 2], post[gi]);  // recv slot
-      pl.add_edge(fm[gi - 2], unp[gi]);    // xt slot
-      pl.add_edge(dem[gi - 2], fm[gi]);    // uf slot
+    // Slot-cycle write-after-read edges: group g+ns reuses group g's
+    // slots, so its writers wait for g's readers. (The unp[g-ns] ->
+    // post[g] edge also orders post[g] after wait[g-ns] transitively,
+    // which guards the staged schedule's stg scratch reuse.)
+    if (g >= ns) {
+      const auto gp = static_cast<std::size_t>(g - ns);
+      pl.add_edge(unp[gp], post[gi]);  // recv + stg slots
+      pl.add_edge(fm[gp], unp[gi]);    // xt slot
+      pl.add_edge(dem[gp], fm[gi]);    // uf slot
     }
   }
 }

@@ -25,6 +25,7 @@
 // same edges, so outputs are bit-identical.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "common/arena.hpp"
 #include "fft/batch.hpp"
 #include "net/comm.hpp"
+#include "net/topology.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/exec.hpp"
 #include "soi/params.hpp"
@@ -67,6 +69,13 @@ struct ChainEnvT {
   /// Chunk groups the exchange..demod stages are cut into; must divide
   /// spr. 1 = whole-rank exchange (the classic single all-to-all call).
   std::int64_t chunk_depth = 1;
+  /// Fabric shape the exchange schedule targets. Flat keeps the native
+  /// ialltoall(v) path; two-level / torus route each chunk group through
+  /// the staged store-and-forward schedule of `staged` (set alongside this
+  /// by the plan owner, before append_chain_stages). All schedules place
+  /// blocks bit-identically.
+  net::Topology topo;
+  net::StagedPlan staged;
   /// Executions of this chain that may be in flight at once (co-scheduled
   /// via Pipeline::run_many or racing from worker threads). The stages
   /// size their per-execution mutable state (in-flight requests) from
@@ -75,9 +84,11 @@ struct ChainEnvT {
   int max_instances = 1;
 
   // Arena buffers, filled by reserve_chain_buffers(). With chunk_depth > 1
-  // recv/xt/uf are the FIRST of two group-sized slots (slot g mod 2 serves
-  // chunk group g; WorkspaceArena::slot() addresses the second).
-  WorkspaceArena::BufferId ext, v, send, recv, xt, uf;
+  // recv/xt/uf are the FIRST of nslots() group-sized slots (slot g mod
+  // nslots serves chunk group g; WorkspaceArena::slot() addresses the
+  // rest). stg (staged topology schedules only) holds the per-slot
+  // pack + ping-pong holdings scratch of the store-and-forward exchange.
+  WorkspaceArena::BufferId ext, v, send, recv, xt, uf, stg;
   /// Optional chain endpoints: invalid = use ctx.in / ctx.out (the real
   /// wrapper brackets the chain with arena-resident z / zf instead).
   WorkspaceArena::BufferId src, dst;
@@ -95,8 +106,20 @@ struct ChainEnvT {
   [[nodiscard]] std::int64_t m_rank() const { return spr * geom->m(); }
   /// Segments per chunk group.
   [[nodiscard]] std::int64_t gseg() const { return spr / chunk_depth; }
-  /// Buffer slots backing the chunked stages (double-buffer when chunked).
-  [[nodiscard]] int nslots() const { return chunk_depth > 1 ? 2 : 1; }
+  /// Buffer slots backing the chunked stages: one per chunk group up to
+  /// four, so the pipelined schedule can keep up to nslots() exchanges in
+  /// flight (slot g mod nslots serves chunk group g).
+  [[nodiscard]] int nslots() const {
+    return chunk_depth > 1
+               ? static_cast<int>(std::min<std::int64_t>(chunk_depth, 4))
+               : 1;
+  }
+  /// True when the exchange runs the staged topology schedule instead of
+  /// the native flat all-to-all.
+  [[nodiscard]] bool staged_exchange() const {
+    return has_comm && ranks > 1 &&
+           topo.kind() != net::TopologyKind::kFlat;
+  }
 };
 
 /// Declare the chain's intermediate buffers in `arena` with live intervals

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/comm.hpp"
+#include "net/topology.hpp"
 #include "soi/dist.hpp"
 #include "soi/params.hpp"
 
@@ -49,14 +50,25 @@ double modeled_compute_flops(const core::SoiGeometry& g, std::int64_t spr) {
 
 /// Modeled communication seconds: the halo point-to-point (hidden behind
 /// the convolution when the candidate overlaps) plus the single all-to-all
-/// with a schedule-dependent injection term — kPairwise serialises R-1
-/// latency-bound rounds, kDirect posts everything and pays ~2 latencies.
+/// with a schedule-dependent injection term.
+///
+/// Flat schedules: kPairwise serialises R-1 latency-bound rounds, kDirect
+/// posts everything and pays ~2 latencies. Staged topology schedules
+/// replace that term with their per-phase message counts — two-level pays
+/// (G-1) intra-group rounds at a 10x-cheaper latency tier plus (Q-1)
+/// inter-group rounds of fused messages, and scales the volume by the
+/// fraction that actually crosses the expensive tier; a torus pays
+/// sum(k_d - 1) neighbour rounds with store-and-forward volume (each
+/// block travels once per dimension whose coordinate differs).
+///
 /// A chunked pipelined exchange (overlap, chunk_depth D > 1) hides all
 /// but one of its D pieces behind the downstream unpack/F_M'/demod
-/// compute: the exposed time is max(exchange/D, exchange -
-/// downstream*(D-1)/D) — never more than the unchunked exchange, so under
-/// this model the pipelined schedule is never priced slower than the
-/// in-order one.
+/// compute, but every extra in-flight group re-pays the schedule's
+/// latency term — the exposed time is min(exchange,
+/// max(exchange/D, exchange - downstream*(D-1)/D) + (D-1)*schedule).
+/// Never more than the unchunked exchange, so the pipelined schedule is
+/// never priced slower than the in-order one, while the latency surcharge
+/// gives the depth knob an interior optimum per fabric.
 double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
                             std::int64_t halo_bytes,
                             std::int64_t alltoall_bytes_per_rank,
@@ -67,16 +79,55 @@ double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
   if (cand.overlap) halo = std::max(0.0, halo - conv_seconds);
   double exchange =
       fabric.alltoall_seconds(ranks, alltoall_bytes_per_rank);
+  const double lat = fabric.p2p_seconds(0);
+  // Every NetworkModel folds a flat (R-1)-message injection-latency term
+  // into alltoall_seconds(); strip it so `exchange` is the pure volume
+  // time and the schedule term below prices latency for the candidate's
+  // actual message pattern (direct / two-level / torus) without double
+  // counting. Clamped for models that charge less than the flat term.
+  exchange = std::max(0.0, exchange - static_cast<double>(ranks - 1) * lat);
+  double schedule;
+  if (!cand.topology.empty() && cand.topology != "flat") {
+    const net::Topology topo = net::Topology::parse(cand.topology, ranks);
+    const double r = static_cast<double>(ranks);
+    if (topo.kind() == net::TopologyKind::kTwoLevel) {
+      // Intra-group links priced 10x cheaper than the inter-group tier —
+      // the same ratio SimMPI's intra_latency_us emulation and the bench
+      // acceptance gate assume for node-local fabric.
+      constexpr double kIntraDiscount = 0.1;
+      const double G = static_cast<double>(topo.group_size());
+      const double Q = static_cast<double>(topo.groups());
+      schedule = (G - 1.0) * lat * kIntraDiscount + (Q - 1.0) * lat;
+      // Of the R-1 blocks each rank emits, R-G cross groups at full cost;
+      // (G-1)*Q travel the cheap intra tier (phase-0 fan-out).
+      exchange *= ((r - G) + (G - 1.0) * Q * kIntraDiscount) / (r - 1.0);
+    } else {
+      // Torus: one neighbour-staged phase per dimension > 1. Phase d
+      // forwards every block whose destination coordinate differs —
+      // R*(k_d - 1)/k_d blocks — so volume grows store-and-forward.
+      double rounds = 0.0;
+      double volume_blocks = 0.0;
+      for (const int k : topo.dims()) {
+        if (k <= 1) continue;
+        const double kd = static_cast<double>(k);
+        rounds += kd - 1.0;
+        volume_blocks += r * (kd - 1.0) / kd;
+      }
+      schedule = rounds * lat;
+      exchange *= volume_blocks / (r - 1.0);
+    }
+  } else {
+    schedule = cand.alltoall_algo == net::AlltoallAlgo::kPairwise
+                   ? static_cast<double>(ranks - 1) * lat
+                   : 2.0 * lat;
+  }
   if (cand.overlap && cand.chunk_depth > 1) {
     const double d = static_cast<double>(cand.chunk_depth);
-    exchange = std::max(exchange / d,
-                        exchange - downstream_seconds * (d - 1.0) / d);
+    const double overlapped = std::max(
+        exchange / d, exchange - downstream_seconds * (d - 1.0) / d);
+    exchange =
+        std::min(exchange, overlapped + (d - 1.0) * schedule);
   }
-  const double lat = fabric.p2p_seconds(0);
-  const double schedule =
-      cand.alltoall_algo == net::AlltoallAlgo::kPairwise
-          ? static_cast<double>(ranks - 1) * lat
-          : 2.0 * lat;
   return halo + exchange + schedule;
 }
 
@@ -135,6 +186,7 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
     dopts.overlap = cand.overlap;
     dopts.batch_width = cand.batch_width;
     dopts.chunk_depth = cand.chunk_depth;
+    dopts.topology = cand.topology;
     // All ranks share one registry-built table.
     dopts.table =
         reg.conv_table(key.n, key.ranks * cand.segments_per_rank, prof);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "net/topology.hpp"
 #include "soi/params.hpp"
 #include "tune/registry.hpp"
 
@@ -93,6 +94,10 @@ std::string Candidate::describe() const {
      << (alltoall_algo == net::AlltoallAlgo::kPairwise ? "pairwise" : "direct")
      << " overlap=" << (overlap ? 1 : 0) << " bw=" << batch_width
      << " cd=" << chunk_depth;
+  // The topo token is emitted only for non-flat schedules, so flat
+  // candidates keep the exact pre-v4 text (older readers and tests see
+  // unchanged lines).
+  if (!topology.empty() && topology != "flat") os << " topo=" << topology;
   return os.str();
 }
 
@@ -125,6 +130,15 @@ Candidate parse_candidate(const std::string& text) {
     } else if (k == "cd") {
       // Optional (absent before v3 wisdom; defaults to 1 = unchunked).
       c.chunk_depth = std::stoll(v);
+    } else if (k == "topo") {
+      // Optional (absent before v4 wisdom and for flat candidates).
+      // Syntactic validation only — the rank count is not known here; a
+      // shape that cannot factor the communicator fails at plan time.
+      SOI_CHECK(v == "flat" || v.rfind("two-level", 0) == 0 ||
+                    v.rfind("torus", 0) == 0,
+                "parse_candidate: unknown topology '" << v << "' in '"
+                                                      << text << "'");
+      c.topology = v == "flat" ? std::string{} : v;
     } else {
       throw Error("parse_candidate: unknown field '" + k + "'");
     }
@@ -148,6 +162,20 @@ std::vector<Candidate> candidate_space(const TuneKey& key,
   SOI_CHECK(max_segments_per_rank >= 1,
             "candidate_space: max_segments_per_rank must be >= 1");
   std::vector<Candidate> out;
+  // Staged topology schedules worth enumerating on this rank count, flat
+  // ("") always first so the default configuration keeps the lead. Shapes
+  // are canonicalised (explicit group size / dims) and only emitted when
+  // non-degenerate: a two-level split needs a proper divisor strictly
+  // between 1 and ranks, a torus at least two dimensions > 1.
+  std::vector<std::string> topos{std::string{}};
+  if (key.ranks >= 4) {
+    const net::Topology tl = net::Topology::two_level(key.ranks);
+    if (tl.group_size() > 1 && tl.groups() > 1) topos.push_back(tl.str());
+    const net::Topology tr = net::Topology::torus(key.ranks);
+    int fat_dims = 0;
+    for (const int k : tr.dims()) fat_dims += k > 1 ? 1 : 0;
+    if (fat_dims >= 2) topos.push_back(tr.str());
+  }
   // Requested tier first so the seed's hard-coded configuration leads the
   // enumeration (the tuner's tie-break is "first wins").
   auto tiers = tiers_at_or_above(key.accuracy);
@@ -179,7 +207,17 @@ std::vector<Candidate> candidate_space(const TuneKey& key,
             const std::int64_t max_cd =
                 overlap ? std::min<std::int64_t>(spr, 4) : 1;
             for (std::int64_t cd = 1; cd <= max_cd; cd *= 2) {
-              out.push_back(Candidate{tier, spr, algo, overlap, bw, cd});
+              // Topology variants ride only the pairwise/auto-width axis:
+              // the staged schedules are latency plays, and crossing them
+              // with every algo x bw combination would inflate the space
+              // without adding signal (the exchange volume is identical).
+              const bool topo_axis =
+                  algo == net::AlltoallAlgo::kPairwise && bw == 0;
+              for (const std::string& topo : topos) {
+                if (!topo.empty() && !topo_axis) continue;
+                out.push_back(
+                    Candidate{tier, spr, algo, overlap, bw, cd, topo});
+              }
             }
           }
         }

@@ -58,17 +58,23 @@ struct Candidate {
   /// Chunk groups of the pipelined exchange (DistOptions::chunk_depth);
   /// 1 = the classic whole-rank all-to-all.
   std::int64_t chunk_depth = 1;
+  /// Exchange topology schedule (DistOptions::topology / net::Topology
+  /// syntax): "" = the native flat all-to-all; "two-level[:G]" /
+  /// "torus[:k0xk1xk2]" select the staged store-and-forward schedules.
+  std::string topology;
 
   /// Canonical text form, e.g.
-  /// "tier=full spr=2 algo=direct overlap=1 bw=0 cd=1"; round-trips
-  /// through parse_candidate().
+  /// "tier=full spr=2 algo=direct overlap=1 bw=0 cd=1"; a non-flat
+  /// topology appends " topo=<shape>". Round-trips through
+  /// parse_candidate().
   [[nodiscard]] std::string describe() const;
 
   bool operator==(const Candidate& o) const {
     return accuracy == o.accuracy &&
            segments_per_rank == o.segments_per_rank &&
            alltoall_algo == o.alltoall_algo && overlap == o.overlap &&
-           batch_width == o.batch_width && chunk_depth == o.chunk_depth;
+           batch_width == o.batch_width && chunk_depth == o.chunk_depth &&
+           topology == o.topology;
   }
 };
 
@@ -90,9 +96,12 @@ std::vector<win::Accuracy> tiers_at_or_above(win::Accuracy floor);
 /// (tier-major, then segments_per_rank in {1,2,4,...,max_segments_per_rank},
 /// then schedule, then overlap, then batch width in {0, 8, 32}, then — for
 /// overlapping candidates only — chunk depth in {1, 2, 4} capped by
-/// segments_per_rank). The seed's hard-coded configuration — requested
-/// tier, one segment per rank, pairwise, no overlap, auto width, depth 1 —
-/// is always the first entry when feasible. Throws soi::Error if no
+/// segments_per_rank, then topology). Topology variants (two-level, torus)
+/// are enumerated only for pairwise/auto-width candidates on rank counts
+/// where the shape is non-degenerate, flat always first, so the candidate
+/// count stays bounded. The seed's hard-coded configuration — requested
+/// tier, one segment per rank, pairwise, no overlap, auto width, depth 1,
+/// flat — is always the first entry when feasible. Throws soi::Error if no
 /// candidate is feasible at all.
 std::vector<Candidate> candidate_space(const TuneKey& key,
                                        std::int64_t max_segments_per_rank = 8);

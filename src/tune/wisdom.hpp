@@ -1,7 +1,7 @@
 // Wisdom: tuned plan decisions persisted across runs (FFTW's term for the
 // same idea). A wisdom file is versioned, line-oriented text:
 //
-//   soiwisdom v3
+//   soiwisdom v4
 //   # optional comments
 //   <key> | <candidate> | <score> | <profile> [| <stages>]
 //
@@ -15,10 +15,12 @@
 // these back as PRIORS that reorder candidate evaluation (comm-bound
 // shapes try overlapping/chunked candidates first); they never prune.
 //
-// v3 added the candidate's cd (chunk depth) field and the optional stages
-// field. v2 added bw (SoA batch width). v1/v2 files are still READ (their
-// candidates default to bw=0 / cd=1 and carry no stage priors); files are
-// always WRITTEN at the current version.
+// v4 added the candidate's optional topo (exchange topology) field —
+// emitted only for non-flat schedules, so flat lines are byte-identical to
+// v3's. v3 added the candidate's cd (chunk depth) field and the optional
+// stages field. v2 added bw (SoA batch width). v1/v2/v3 files are still
+// READ (their candidates default to bw=0 / cd=1 / flat topology); files
+// are always WRITTEN at the current version.
 //
 // This subsumes the old single-line `--profile` files of tools/soifft:
 // those stored only a window profile; wisdom stores the full tuned
@@ -56,8 +58,9 @@ struct TunedConfig {
 /// PlanRegistry — guard shared WisdomStore access externally.
 class WisdomStore {
  public:
-  static constexpr const char* kHeader = "soiwisdom v3";
+  static constexpr const char* kHeader = "soiwisdom v4";
   /// Older headers still accepted by parse() (read-compat).
+  static constexpr const char* kHeaderV3 = "soiwisdom v3";
   static constexpr const char* kHeaderV2 = "soiwisdom v2";
   static constexpr const char* kHeaderV1 = "soiwisdom v1";
 

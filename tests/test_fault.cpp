@@ -410,6 +410,65 @@ TEST(Chaos, RetriesDisabledSurfacesTypedErrorNotHang) {
   }
 }
 
+TEST(Chaos, StagedTopologiesBitIdenticalToFaultFreeFlat) {
+  // The staged two-level and torus exchanges route every block across two
+  // (or more) hops; each hop runs the same CRC32C-verified retransmit
+  // transport, so a chaos run under either schedule must still reproduce
+  // the fault-free FLAT pipeline bit for bit.
+  const std::int64_t n = 16384;
+  const int p = 4;
+  const cvec x = random_signal(n, 3100);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  for (const char* topo : {"two-level:2", "torus:2x2x1"}) {
+    for (const int seed : {11, 29}) {
+      core::DistOptions dopts;
+      dopts.topology = topo;
+      net::NetOptions nopts;
+      nopts.faults = FaultSpec::parse(
+          std::to_string(seed) +
+          ":drop:0.03,corrupt:0.03,duplicate:0.02,delay:0.02");
+      nopts.timeout_ms = 20;
+      net::FaultStats stats{};
+      const cvec got = run_dist(n, p, x, nopts, dopts, &stats);
+      EXPECT_GT(stats.faults_injected, 0) << topo << " seed " << seed;
+      ASSERT_EQ(got.size(), clean.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
+            << "topo " << topo << " seed " << seed << " bin " << i;
+      }
+    }
+  }
+}
+
+TEST(Chaos, PipelinedDeepChunkStagedExchangeRecovers) {
+  // Chunked pipelined schedule on top of a staged topology: each chunk
+  // group runs its own multi-hop exchange concurrently with downstream
+  // compute, and every hop of every group must recover independently.
+  const std::int64_t n = 16384;
+  const int p = 4;
+  const cvec x = random_signal(n, 3200);
+  core::DistOptions base;
+  base.segments_per_rank = 2;
+  base.overlap = true;
+  base.chunk_depth = 2;
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, base);
+  for (const char* topo : {"two-level:2", "torus:2x2x1"}) {
+    core::DistOptions dopts = base;
+    dopts.topology = topo;
+    net::NetOptions nopts;
+    nopts.faults =
+        FaultSpec::parse("41:drop:0.03,corrupt:0.03,duplicate:0.02");
+    nopts.timeout_ms = 20;
+    net::FaultStats stats{};
+    const cvec got = run_dist(n, p, x, nopts, dopts, &stats);
+    EXPECT_GT(stats.faults_injected, 0) << topo;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
+          << "topo " << topo << " bin " << i;
+    }
+  }
+}
+
 // --- residual guard ----------------------------------------------------------
 
 TEST(ResidualGuard, FlagsSilentCorruptionWhenChecksumsAreOff) {

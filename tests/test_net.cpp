@@ -17,6 +17,7 @@
 #include "net/comm.hpp"
 #include "net/costmodel.hpp"
 #include "net/fault.hpp"
+#include "net/topology.hpp"
 
 namespace soi::net {
 namespace {
@@ -998,6 +999,176 @@ TEST(CostModel, InvalidInputsThrow) {
   FatTreeModel ft;
   EXPECT_THROW((void)ft.alltoall_seconds(0, 100), Error);
   EXPECT_THROW(Torus3DModel(LinkSpec{}, -1.0, 16), Error);
+}
+
+// --- topology-aware staged exchange ------------------------------------------
+
+TEST(Topology, ParseAndStrRoundTrip) {
+  EXPECT_EQ(Topology::parse("", 8).kind(), TopologyKind::kFlat);
+  EXPECT_EQ(Topology::parse("flat", 8).kind(), TopologyKind::kFlat);
+  // Auto shapes canonicalise: group size nearest sqrt(ranks), near-cube
+  // torus dims in decreasing order.
+  EXPECT_EQ(Topology::parse("two-level", 8).str(), "two-level:2");
+  EXPECT_EQ(Topology::parse("two-level:4", 8).str(), "two-level:4");
+  EXPECT_EQ(Topology::parse("torus", 8).str(), "torus:2x2x2");
+  EXPECT_EQ(Topology::parse("torus:4x2x1", 8).str(), "torus:4x2x1");
+  for (const char* text : {"two-level:4", "torus:4x2x1"}) {
+    EXPECT_EQ(Topology::parse(Topology::parse(text, 8).str(), 8).str(),
+              Topology::parse(text, 8).str());
+  }
+  EXPECT_THROW(Topology::parse("ring", 8), Error);
+  EXPECT_THROW(Topology::parse("two-level:3", 8), Error);  // not a divisor
+  EXPECT_THROW(Topology::parse("torus:3x3x1", 8), Error);  // product != 8
+}
+
+TEST(Topology, RoutingConvergesToDestinationEveryPair) {
+  for (const Topology& topo :
+       {Topology::two_level(12), Topology::two_level(12, 6),
+        Topology::torus(12), Topology::torus(8, 2, 2, 2)}) {
+    for (int src = 0; src < topo.ranks(); ++src) {
+      for (int dst = 0; dst < topo.ranks(); ++dst) {
+        int holder = src;
+        for (int ph = 0; ph < topo.phases(); ++ph) {
+          holder = topo.route(ph, holder, dst);
+        }
+        EXPECT_EQ(holder, dst) << topo.str() << " src=" << src;
+      }
+    }
+  }
+}
+
+TEST(Topology, StagedPlanConservesBlocksAndCutsMessageCount) {
+  for (const Topology& topo : {Topology::two_level(8), Topology::torus(8)}) {
+    const StagedPlan plan0 = build_staged_plan(topo, 0);
+    // Fewer total messages than the flat all-to-all's R*(R-1)...
+    EXPECT_LT(plan0.total_messages,
+              static_cast<std::int64_t>(topo.ranks()) * (topo.ranks() - 1))
+        << topo.str();
+    // ...while every rank still ends up holding one block per source.
+    for (int r = 0; r < topo.ranks(); ++r) {
+      const StagedPlan plan = build_staged_plan(topo, r);
+      std::vector<int> seen(static_cast<std::size_t>(topo.ranks()), 0);
+      ASSERT_EQ(plan.final_src.size(),
+                static_cast<std::size_t>(topo.ranks()));
+      for (const int src : plan.final_src) {
+        ASSERT_GE(src, 0);
+        ASSERT_LT(src, topo.ranks());
+        ++seen[static_cast<std::size_t>(src)];
+      }
+      for (const int count : seen) EXPECT_EQ(count, 1) << topo.str();
+    }
+  }
+  // The aligned two-level cut moves the same bisection bytes as flat; the
+  // torus store-and-forward moves at least as many.
+  EXPECT_EQ(build_staged_plan(Topology::two_level(8, 4), 0).bisection_blocks,
+            flat_bisection_blocks(8));
+  EXPECT_GE(build_staged_plan(Topology::torus(8), 0).bisection_blocks,
+            flat_bisection_blocks(8));
+}
+
+TEST(StagedAlltoall, BitIdenticalToBlockingAlltoall) {
+  for (const int ranks : {4, 8}) {
+    for (const Topology& topo :
+         {Topology::two_level(ranks), Topology::torus(ranks)}) {
+      const std::int64_t count = 37;  // odd block size: no alignment luck
+      run_ranks(ranks, [&](Comm& c) {
+        const StagedPlan plan = build_staged_plan(topo, c.rank());
+        cvec send(static_cast<std::size_t>(ranks) * count);
+        fill_gaussian(send, static_cast<std::uint64_t>(c.rank()) + 77);
+        cvec ref(send.size()), got(send.size());
+        cvec scratch(static_cast<std::size_t>(3 * ranks) * count);
+        c.alltoall(send, ref, count, AlltoallAlgo::kPairwise);
+        staged_alltoall(c, plan, send.data(), got.data(),
+                        count * static_cast<std::int64_t>(sizeof(cplx)),
+                        scratch.data(), /*tag_base=*/700);
+        ASSERT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(cplx)),
+                  0)
+            << topo.str() << " ranks=" << ranks;
+      });
+    }
+  }
+}
+
+TEST(StagedAlltoall, ChaosOnBothHopsStaysBitIdentical) {
+  // Faults hit intra-group and inter-group (or per-dimension) hops alike;
+  // the CRC32C-verified retransmit path must recover every stage, so the
+  // staged result still matches a fault-free flat exchange bit for bit.
+  const int ranks = 8;
+  const std::int64_t count = 19;
+  for (const Topology& topo :
+       {Topology::two_level(ranks), Topology::torus(ranks)}) {
+    cvec clean;
+    for (const bool faulty : {false, true}) {
+      NetOptions opts;
+      if (faulty) {
+        opts.faults =
+            FaultSpec::parse("23:drop:0.05,corrupt:0.05,duplicate:0.05");
+        opts.timeout_ms = 20;
+      }
+      cvec out(static_cast<std::size_t>(ranks) * ranks * count);
+      std::mutex mu;
+      std::int64_t injected = 0;
+      run_ranks(ranks, opts, [&](Comm& c) {
+        const StagedPlan plan = build_staged_plan(topo, c.rank());
+        cvec send(static_cast<std::size_t>(ranks) * count);
+        fill_gaussian(send, static_cast<std::uint64_t>(c.rank()) + 131);
+        cvec got(send.size());
+        cvec scratch(static_cast<std::size_t>(3 * ranks) * count);
+        staged_alltoall(c, plan, send.data(), got.data(),
+                        count * static_cast<std::int64_t>(sizeof(cplx)),
+                        scratch.data(), /*tag_base=*/700);
+        c.barrier();
+        std::lock_guard<std::mutex> lock(mu);
+        std::copy(got.begin(), got.end(),
+                  out.begin() + static_cast<std::int64_t>(c.rank()) *
+                                    ranks * count);
+        if (c.rank() == 0 && faulty) {
+          injected = c.fault_stats().faults_injected;
+        }
+      });
+      if (!faulty) {
+        clean = std::move(out);
+        continue;
+      }
+      EXPECT_GT(injected, 0) << topo.str();
+      ASSERT_EQ(std::memcmp(out.data(), clean.data(),
+                            clean.size() * sizeof(cplx)),
+                0)
+          << topo.str();
+    }
+  }
+}
+
+TEST(WireLatency, IntraGroupTierIsCheaperThanInterGroup) {
+  // Two latency tiers: ranks 0/1 share a node group, rank 2 does not.
+  // The margins are wide (250x) so scheduler noise cannot flip the
+  // comparison: the cross-group recv must sleep out >= the wire latency,
+  // the intra-group recv must come back well before it.
+  NetOptions opts;
+  opts.wire_latency_us = 250e3;  // 250 ms
+  opts.intra_latency_us = 1e3;   // 1 ms
+  opts.topo_group_size = 2;
+  run_ranks(4, opts, [](Comm& c) {
+    cvec buf(8);
+    if (c.rank() == 1) c.send(0, 5, cspan(buf));
+    if (c.rank() == 2) c.send(0, 6, cspan(buf));
+    if (c.rank() == 0) {
+      cvec intra(8), inter(8);
+      Timer t_intra;
+      c.recv(1, 5, mspan(intra));
+      const double intra_s = t_intra.seconds();
+      Timer t_inter;
+      c.recv(2, 6, mspan(inter));
+      const double inter_s = t_inter.seconds();
+      EXPECT_LT(intra_s, 0.125);  // never slept the wire tier
+      // Both messages were posted before the intra recv returned, so the
+      // second wait overlaps most of the inter flight; it still cannot
+      // finish before the full wire latency has elapsed since the send.
+      EXPECT_GE(intra_s + inter_s, 0.9 * 0.250);
+    }
+    c.barrier();
+  });
 }
 
 }  // namespace

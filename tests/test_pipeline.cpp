@@ -378,6 +378,102 @@ TEST(Pipeline, ChunkedOverlapMatchesInOrderBitExactly) {
   }
 }
 
+TEST(Pipeline, TopologySchedulesMatchFlatBitExactly) {
+  // The staged two-level and torus exchanges route the same blocks through
+  // different message schedules and scatter them into the exact layout the
+  // flat ialltoallv produces — so at every chunk depth, for both executor
+  // schedules, the output must be bit-identical to the flat topology's.
+  // n = 36864 with P = 24 gives spr = 6 on 4 ranks, so chunk depths 1, 2
+  // and 3 all tile the rank's segments exactly.
+  const std::int64_t n = 36864;
+  const int ranks = 4;
+  const std::int64_t spr = 6;
+  const cvec x = random_signal(n, 71);
+  for (const std::int64_t cd :
+       {std::int64_t{1}, std::int64_t{2}, std::int64_t{3}}) {
+    cvec flat;
+    for (const std::string& topo :
+         {std::string{}, std::string{"two-level:2"}, std::string{"torus:2x2x1"}}) {
+      for (const bool overlap : {false, true}) {
+        cvec got(x.size());
+        std::mutex mu;
+        net::run_ranks(ranks, [&](net::Comm& comm) {
+          core::DistOptions opts;
+          opts.segments_per_rank = spr;
+          opts.overlap = overlap;
+          opts.chunk_depth = cd;
+          opts.topology = topo;
+          core::SoiFftDist plan(comm, n, medium_profile(), opts);
+          EXPECT_EQ(plan.chunk_depth(), cd);
+          const std::int64_t m = plan.local_size();
+          cvec y(static_cast<std::size_t>(m));
+          plan.forward(cspan{x.data() + comm.rank() * m,
+                             static_cast<std::size_t>(m)},
+                       y);
+          std::lock_guard<std::mutex> lock(mu);
+          std::copy(y.begin(), y.end(), got.begin() + comm.rank() * m);
+        });
+        if (flat.empty()) {
+          flat = std::move(got);
+          continue;
+        }
+        std::int64_t mismatches = 0;
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+          if (flat[i].real() != got[i].real() ||
+              flat[i].imag() != got[i].imag()) {
+            ++mismatches;
+          }
+        }
+        EXPECT_EQ(mismatches, 0) << "cd=" << cd << " topo=" << topo
+                                 << " overlap=" << overlap;
+      }
+    }
+  }
+}
+
+TEST(Pipeline, StagedTopologyDeepChunksAllocateNothing) {
+  // Acceptance gate: the staged schedules' pack/ping-pong scratch and
+  // request slots are all preplanned, so a pipelined forward() stays
+  // heap-silent at every supported slot count — chunk_depth 2 and 3 on
+  // the P = 24 geometry, 4 on the power-of-two one.
+  struct Case {
+    std::int64_t n, spr, cd;
+    const char* topo;
+  };
+  for (const Case& c : {Case{36864, 6, 2, "two-level:2"},
+                        Case{36864, 6, 3, "torus:2x2x1"},
+                        Case{1 << 15, 4, 4, "two-level"}}) {
+    const cvec x = random_signal(c.n, 19);
+    std::int64_t delta = -1;
+    std::mutex mu;
+    net::run_ranks(4, [&](net::Comm& comm) {
+      core::DistOptions opts;
+      opts.segments_per_rank = c.spr;
+      opts.overlap = true;
+      opts.chunk_depth = c.cd;
+      opts.topology = c.topo;
+      core::SoiFftDist plan(comm, c.n, medium_profile(), opts);
+      ASSERT_EQ(plan.chunk_depth(), c.cd);
+      const std::int64_t m = plan.local_size();
+      cvec y(static_cast<std::size_t>(m));
+      const cspan xin{x.data() + comm.rank() * m,
+                      static_cast<std::size_t>(m)};
+      plan.forward(xin, y);
+      plan.forward(xin, y);
+      comm.barrier();
+      const std::int64_t before = alloc_stats().count;
+      plan.forward(xin, y);
+      comm.barrier();
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        delta = alloc_stats().count - before;
+      }
+      EXPECT_EQ(plan.workspace().growths(), 0);
+    });
+    EXPECT_EQ(delta, 0) << "cd=" << c.cd << " topo=" << c.topo;
+  }
+}
+
 TEST(Pipeline, ChunkedDistSteadyStateAllocatesNothing) {
   // The double-buffered slots and per-group requests are all part of the
   // plan: a chunked pipelined forward() must stay heap-silent too.

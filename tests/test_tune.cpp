@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "net/costmodel.hpp"
 #include "soi/params.hpp"
 #include "tune/autotuner.hpp"
 #include "tune/candidates.hpp"
@@ -130,6 +131,49 @@ TEST(Candidates, ChunkDepthOnlyForOverlapAndDividesSpr) {
     }
   }
   EXPECT_TRUE(saw_chunked);  // the new knob actually enumerates
+}
+
+TEST(Candidates, TopologyRoundTripsAndFlatTextUnchanged) {
+  // Flat candidates must keep the exact pre-v4 describe() text (no topo
+  // token); non-flat candidates append one and round-trip through
+  // parse_candidate.
+  Candidate cand{win::Accuracy::kLow, 6, net::AlltoallAlgo::kPairwise,
+                 true, 0, 3, "two-level:4"};
+  EXPECT_EQ(cand.describe(),
+            "tier=low spr=6 algo=pairwise overlap=1 bw=0 cd=3 topo=two-level:4");
+  EXPECT_EQ(parse_candidate(cand.describe()), cand);
+  cand.topology = "torus:4x2x1";
+  EXPECT_EQ(parse_candidate(cand.describe()), cand);
+  // "flat" normalises to the empty (default) topology.
+  const auto flat = parse_candidate(
+      "tier=low spr=6 algo=pairwise overlap=1 bw=0 cd=3 topo=flat");
+  EXPECT_TRUE(flat.topology.empty());
+  EXPECT_EQ(flat.describe(),
+            "tier=low spr=6 algo=pairwise overlap=1 bw=0 cd=3");
+  EXPECT_THROW(
+      parse_candidate("tier=low spr=2 algo=pairwise overlap=0 topo=ring"),
+      Error);
+}
+
+TEST(Candidates, TopologyVariantsEnumeratedOnPairwiseAutoWidthOnly) {
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  bool saw_two_level = false, saw_torus = false;
+  for (const auto& cand : candidate_space(key)) {
+    if (cand.topology.empty()) continue;
+    // Staged schedules ride only the pairwise/auto-width axis.
+    EXPECT_EQ(cand.alltoall_algo, net::AlltoallAlgo::kPairwise)
+        << cand.describe();
+    EXPECT_EQ(cand.batch_width, 0) << cand.describe();
+    saw_two_level |= cand.topology.rfind("two-level", 0) == 0;
+    saw_torus |= cand.topology.rfind("torus", 0) == 0;
+  }
+  EXPECT_TRUE(saw_two_level);
+  EXPECT_TRUE(saw_torus);
+  // Two ranks: no non-degenerate staged shape exists.
+  for (const auto& cand : candidate_space(TuneKey{1 << 14, 2,
+                                                  win::Accuracy::kLow})) {
+    EXPECT_TRUE(cand.topology.empty()) << cand.describe();
+  }
 }
 
 TEST(Candidates, InfeasibleSegmentCountsArePruned) {
@@ -400,6 +444,46 @@ TEST(Wisdom, V2FilesStillReadable) {
   EXPECT_TRUE(got->stage_seconds.empty());
 }
 
+TEST(Wisdom, V3FilesStillReadable) {
+  // A v3 file: v3 header, bw and cd present, no topo field. It must parse
+  // with the flat default topology and re-serialise at the current
+  // version. Flat entries' candidate text is byte-identical across v3/v4,
+  // so swapping the header alone yields a valid v3 file.
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  std::string text = store.serialize();
+  const std::string header(WisdomStore::kHeader);
+  text.replace(0, header.size(), WisdomStore::kHeaderV3);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, demo_config().candidate);
+  EXPECT_TRUE(got->candidate.topology.empty());
+  EXPECT_EQ(reparsed.serialize().rfind(WisdomStore::kHeader, 0), 0u);
+}
+
+TEST(Wisdom, V4TopologyAndDeepChunksRoundTrip) {
+  // The v4 additions together: a tuned decision carrying a non-flat
+  // topology and a non-power-of-two chunk depth survives a full
+  // serialize/parse cycle.
+  WisdomStore store;
+  const TuneKey key{36864, 4, win::Accuracy::kMedium};
+  TunedConfig cfg;
+  cfg.candidate = Candidate{win::Accuracy::kMedium, 6,
+                            net::AlltoallAlgo::kPairwise, true, 0, 3,
+                            "torus:2x2x1"};
+  cfg.profile = win::make_profile(win::Accuracy::kMedium);
+  cfg.score_seconds = 4.5e-4;
+  store.put(key, cfg);
+  const auto reparsed = WisdomStore::parse(store.serialize());
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, cfg.candidate);
+  EXPECT_EQ(got->candidate.topology, "torus:2x2x1");
+  EXPECT_EQ(got->candidate.chunk_depth, 3);
+}
+
 TEST(Wisdom, StageSecondsRoundTrip) {
   WisdomStore store;
   const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
@@ -558,6 +642,38 @@ TEST(Autotune, ChunkedOverlapNeverPricedSlowerThanUnchunked) {
     EXPECT_LE(score_candidate(key, cand).total_seconds(), base)
         << "cd=" << cd;
   }
+}
+
+TEST(Autotune, TwoLevelSchedulePricedFasterThanFlatPairwise) {
+  // The modeled scorer prices the hierarchical schedule's fewer expensive
+  // rounds — (G-1) cheap intra + (Q-1) inter vs the flat pairwise R-1 —
+  // plus the intra-tier volume discount, so on any latency-bearing fabric
+  // the two-level candidate must come out strictly cheaper than the same
+  // candidate on the flat schedule.
+  const TuneKey key{1 << 18, 8, win::Accuracy::kLow};
+  Candidate flat{key.accuracy, 4, net::AlltoallAlgo::kPairwise, true, 0, 2};
+  Candidate staged = flat;
+  staged.topology = "two-level:2";
+  EXPECT_LT(score_candidate(key, staged).total_seconds(),
+            score_candidate(key, flat).total_seconds());
+  // The torus schedule pays store-and-forward volume, so it only wins
+  // where latency dominates: on a high-latency fabric its sum(k_d - 1)
+  // neighbour rounds beat the flat pairwise R-1; on the default
+  // bandwidth-rich fat tree it must NOT be picked over flat.
+  Candidate torus = flat;
+  torus.topology = "torus:2x2x2";
+  EXPECT_GE(score_candidate(key, torus).total_seconds(),
+            score_candidate(key, staged).total_seconds());
+  const net::FatTreeModel slow_fabric({40.0, 200e-6});
+  TuneOptions opts;
+  opts.fabric = &slow_fabric;
+  const TuneKey small{1 << 14, 8, win::Accuracy::kLow};
+  Candidate small_flat{small.accuracy, 1, net::AlltoallAlgo::kPairwise,
+                       false};
+  Candidate small_torus = small_flat;
+  small_torus.topology = "torus:2x2x2";
+  EXPECT_LT(score_candidate(small, small_torus, opts).total_seconds(),
+            score_candidate(small, small_flat, opts).total_seconds());
 }
 
 TEST(Autotune, TunedConfigCachesInWisdom) {

@@ -86,7 +86,7 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
         "max-spr", "help"}},
       {"dist",
        {"n", "p", "accuracy", "wisdom", "check", "seed", "trace",
-        "fault-spec", "timeout-ms", "retries", "help"}},
+        "fault-spec", "timeout-ms", "retries", "topology", "help"}},
       {"serve",
        {"n", "p", "accuracy", "lanes", "requests", "concurrency", "queue",
         "rate", "workers", "wire-latency-us", "linger-us", "seed", "help"}},
@@ -108,7 +108,7 @@ int usage(std::FILE* out) {
       "            [--gflops G] [--max-spr G]\n"
       "  dist      --n N --p P [--accuracy A] [--wisdom F] [--check]\n"
       "            [--trace] [--fault-spec SEED:KIND:RATE[,...]]\n"
-      "            [--timeout-ms T] [--retries R]\n"
+      "            [--timeout-ms T] [--retries R] [--topology T]\n"
       "  serve     --n N [--p P] [--accuracy A] [--lanes L] [--requests R]\n"
       "            [--concurrency K] [--queue Q] [--rate RPS] [--workers W]\n"
       "            [--wire-latency-us U] [--linger-us U] [--seed S]\n"
@@ -127,6 +127,12 @@ int usage(std::FILE* out) {
       "            exponential backoff, typed CommTimeout after --retries\n"
       "  --retries chunk-granularity retry budget (dist, default 8;\n"
       "            0 = first detected fault is fatal)\n"
+      "  --topology  exchange schedule for dist: flat (default, direct\n"
+      "            all-to-all), two-level[:G] (intra-group gather then\n"
+      "            inter-group fused exchange), torus[:AxBxC] (dimension-\n"
+      "            staged neighbour forwarding); overrides the tuned\n"
+      "            topo= knob from --wisdom; results are bit-identical\n"
+      "            across schedules\n"
       "\n"
       "wisdom: `tune` persists the fastest (profile tier, segments/rank,\n"
       "all-to-all schedule, overlap) per shape; other subcommands reuse it\n"
@@ -466,6 +472,9 @@ int cmd_dist(const Args& a) {
     dopts.overlap = cand.overlap;
     dopts.batch_width = cand.batch_width;
     dopts.chunk_depth = cand.chunk_depth;
+    // --topology overrides the wisdom candidate's topo= knob (explicit
+    // flag wins over tuned default; "flat" forces the flat schedule).
+    dopts.topology = a.get("topology", cand.topology);
     dopts.faults = nopts.faults;
     dopts.timeout_ms = nopts.timeout_ms;
     dopts.max_retries = nopts.max_retries;
