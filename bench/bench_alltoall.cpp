@@ -14,7 +14,8 @@
 // second half drives the full distributed pipeline across topologies and
 // reports each schedule's overlap efficiency and bisection traffic;
 // --json emits machine-readable records carrying `bisection_bytes` and
-// `overlap_efficiency` for the perf-trajectory files.
+// `overlap_efficiency` plus the `transport`/`engine` backend stamps for
+// the perf-trajectory files.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -26,9 +27,10 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "fft/engine.hpp"
 #include "harness.hpp"
-#include "net/comm.hpp"
 #include "net/costmodel.hpp"
+#include "net/registry.hpp"
 #include "net/topology.hpp"
 #include "soi/dist.hpp"
 #include "window/design.hpp"
@@ -36,6 +38,12 @@
 using namespace soi;
 
 namespace {
+
+// The whole sweep is pinned to the "sim" transport: emulated wire-latency
+// tiers (NetOptions::wire_latency_us / intra_latency_us) are a SimMPI
+// capability (caps.latency_emulation) — the regime the staged schedules
+// exist for cannot be reproduced on a transport without it.
+constexpr const char* kTransport = "sim";
 
 // Inter-group wire latency and the cheap intra-group tier (>= 10x ratio,
 // the bench acceptance regime).
@@ -61,7 +69,8 @@ RawResult run_flat(int ranks, std::int64_t count, net::AlltoallAlgo algo,
                    int reps, int group_size) {
   RawResult res;
   std::mutex mu;
-  net::run_ranks(ranks, latency_options(group_size), [&](net::Comm& c) {
+  net::run_world(kTransport, ranks, latency_options(group_size),
+                 [&](net::Transport& c) {
     cvec send(static_cast<std::size_t>(ranks) * count);
     cvec recv(send.size());
     fill_gaussian(send, static_cast<std::uint64_t>(c.rank()));
@@ -87,7 +96,8 @@ RawResult run_staged(const net::Topology& topo, std::int64_t count, int reps,
   const int ranks = topo.ranks();
   RawResult res;
   std::mutex mu;
-  net::run_ranks(ranks, latency_options(group_size), [&](net::Comm& c) {
+  net::run_world(kTransport, ranks, latency_options(group_size),
+                 [&](net::Transport& c) {
     const net::StagedPlan plan = net::build_staged_plan(topo, c.rank());
     cvec send(static_cast<std::size_t>(ranks) * count);
     cvec recv(send.size());
@@ -137,7 +147,8 @@ DistResult run_dist(std::int64_t n, int ranks, std::int64_t spr,
   std::mutex mu;
   double t0 = 0.0;
   Timer timer;
-  net::run_ranks(ranks, latency_options(group_size), [&](net::Comm& comm) {
+  net::run_world(kTransport, ranks, latency_options(group_size),
+                 [&](net::Transport& comm) {
     core::DistOptions dopts;
     dopts.segments_per_rank = spr;
     dopts.overlap = true;
@@ -285,6 +296,13 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
+    // The raw-exchange records move bytes only; the dist pipeline records
+    // additionally ran local FFT stages on the default engine.
+    const std::string engine = fft::default_engine();
+    for (auto& rec : records) {
+      rec.transport = kTransport;
+      if (rec.label.rfind("dist ", 0) == 0) rec.engine = engine;
+    }
     std::fputs(bench::to_json(records).c_str(), stdout);
     return 0;
   }

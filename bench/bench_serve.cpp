@@ -7,7 +7,7 @@
 // cases:
 //
 //   serial_baseline — the SAME request trace executed one-at-a-time
-//     through SoiFftDist::forward() inside a run_ranks world: the
+//     through SoiFftDist::forward() inside a sim rank-team world: the
 //     no-serving-layer reference the co-scheduled throughput must beat.
 //   serve_dist — the service's distributed backend co-schedules batches
 //     of up to K same-shape requests through forward_many(), every
@@ -47,7 +47,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "harness.hpp"
-#include "net/comm.hpp"
+#include "net/registry.hpp"
 #include "serve/service.hpp"
 #include "soi/dist.hpp"
 #include "soi/serial.hpp"
@@ -213,7 +213,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(ts.n_of[static_cast<std::size_t>(t % 2)]));
   }
   double serial_seconds = 0.0;
-  net::run_ranks(ranks, nopts, [&](net::Comm& comm) {
+  // Pinned to "sim": the emulated wire latency above is a SimMPI
+  // capability, and both measured cases must run the same interconnect.
+  net::run_world("sim", ranks, nopts, [&](net::Transport& comm) {
     std::vector<std::unique_ptr<core::SoiFftDist>> plans;
     for (int l = 0; l < 2; ++l) {
       core::DistOptions dopts;
@@ -272,6 +274,7 @@ int main(int argc, char** argv) {
   int dist_bad = 0;
   {
     serve::ServeOptions so;
+    so.transport = "sim";  // same emulated interconnect as the baseline
     so.ranks = ranks;
     so.max_concurrency = kconc;
     so.queue_capacity = 48;

@@ -55,9 +55,27 @@ int main(int argc, char** argv) {
   const char* reps_env = std::getenv("SOI_BENCH_REPS");
   const int reps = reps_env ? std::atoi(reps_env) : 3;
 
+  // Backend selection follows the session defaults (SOI_TRANSPORT /
+  // SOI_FFT_ENGINE). The steady-state capture below aggregates per-rank
+  // counters through captured host memory + a mutex, which only works when
+  // every rank runs in this process — cross-process defaults (e.g. shm)
+  // fall back to sim for the execution part, with a note.
+  std::string transport = net::default_transport();
+  const auto& tcaps = net::TransportRegistry::instance().caps(transport);
+  if (!tcaps.threaded_world) {
+    std::fprintf(stderr,
+                 "bench_tuned: transport '%s' is cross-process; executing "
+                 "winners on 'sim' (in-process capture methodology)\n",
+                 transport.c_str());
+    transport = "sim";
+  }
+  const std::string engine = fft::default_engine();
+
   tune::TuneOptions opts;
   opts.mode = measured ? tune::TuneMode::kMeasured : tune::TuneMode::kModeled;
   opts.reps = reps;
+  opts.transport = transport;
+  opts.engine = engine;
 
   const Shape shapes[] = {
       {1 << 16, 4, win::Accuracy::kFull},
@@ -79,7 +97,12 @@ int main(int argc, char** argv) {
   std::vector<bench::BenchRecord> records;
   for (const auto& s : shapes) {
     tune::TuneKey key{s.n, s.ranks, s.acc};
-    const tune::Candidate dflt{s.acc, 1, net::AlltoallAlgo::kPairwise, false};
+    tune::Candidate dflt{s.acc, 1, net::AlltoallAlgo::kPairwise, false};
+    // Stamp the default with the same backends autotune() stamps on its
+    // candidates: tuned <= default only holds when both sides are priced
+    // on one (transport, engine) pair.
+    dflt.transport = opts.transport;
+    dflt.engine = opts.engine;
     const auto dflt_score = tune::score_candidate(key, dflt, opts);
     const auto result = tune::autotune(key, opts);
     const double ratio =
@@ -117,13 +140,14 @@ int main(int argc, char** argv) {
       double overlap_eff = -1.0;
       net::FaultStats fstats{};
       std::mutex mu;
-      net::run_ranks(s.ranks, [&](net::Comm& comm) {
+      net::run_world(transport, s.ranks, [&](net::Transport& comm) {
         core::DistOptions dopts;
         dopts.segments_per_rank = win.segments_per_rank;
         dopts.alltoall_algo = win.alltoall_algo;
         dopts.overlap = win.overlap;
         dopts.batch_width = win.batch_width;
         dopts.chunk_depth = win.chunk_depth;
+        dopts.engine = win.engine;
         dopts.table = table;
         core::SoiFftDist plan(comm, s.n, result.profile, dopts);
         const std::int64_t m_rank = plan.local_size();
@@ -169,13 +193,14 @@ int main(int argc, char** argv) {
       const auto time_config = [&](bool integrity, double& best) {
         net::NetOptions nopts;
         nopts.checksums = integrity;
-        net::run_ranks(s.ranks, nopts, [&](net::Comm& comm) {
+        net::run_world(transport, s.ranks, nopts, [&](net::Transport& comm) {
           core::DistOptions dopts;
           dopts.segments_per_rank = win.segments_per_rank;
           dopts.alltoall_algo = win.alltoall_algo;
           dopts.overlap = win.overlap;
           dopts.batch_width = win.batch_width;
           dopts.chunk_depth = win.chunk_depth;
+          dopts.engine = win.engine;
           dopts.residual_guard = integrity;
           dopts.table = table;
           core::SoiFftDist plan(comm, s.n, result.profile, dopts);
@@ -288,6 +313,10 @@ int main(int argc, char** argv) {
     }
   }
   if (json) {
+    for (auto& r : records) {
+      r.transport = transport;
+      r.engine = engine;
+    }
     std::fputs(bench::to_json(records).c_str(), stdout);
     return ok ? 0 : 1;
   }

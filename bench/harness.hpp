@@ -33,7 +33,8 @@ namespace soi::bench {
 ///    "bisection_bytes"?,
 ///    "faults_injected"?,"retries"?,"checksum_failures"?,
 ///    "resilience_overhead"?,"p50_ms"?,"p99_ms"?,"transforms_per_sec"?,
-///    "admitted"?,"rejected"?,"queue_peak"?,"stages"?}
+///    "admitted"?,"rejected"?,"queue_peak"?,"transport"?,"engine"?,
+///    "stages"?}
 /// `overlap_efficiency` (present when the bench captured a pipeline trace)
 /// is exec::overlap_efficiency() of that trace: 1 - wait/total, clamped to
 /// [0, 1]. The resilience triple (present when the bench sampled its
@@ -84,6 +85,12 @@ struct BenchRecord {
   std::int64_t admitted = -1;
   std::int64_t rejected = -1;
   std::int64_t queue_peak = -1;
+  /// Backend the record's runs executed on (empty = the record is not
+  /// backend-specific; the fields are omitted from the JSON). Benches that
+  /// launch rank teams or build FFT plans stamp the RESOLVED names here, so
+  /// perf-trajectory files distinguish e.g. sim- from shm-transport runs.
+  std::string transport;
+  std::string engine;
   /// Per-stage trace of the timed pipeline execution (empty = no trace).
   std::vector<exec::StageRecord> stages;
 };

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 
 #include "soi/soi.hpp"
 
@@ -21,23 +22,24 @@ using namespace soi;
 
 namespace {
 
-// Runs the distributed transform with the given options; returns SNR vs
-// the exact serial engine.
-double run_dist(std::int64_t n, int p, const win::SoiProfile& profile,
-                const core::DistOptions& opts, const cvec& x,
-                const cvec& want) {
+// Runs the distributed transform with the given options on `transport`;
+// returns SNR vs the exact serial engine. The SNR flows back through
+// captured host memory, so the caller must pick a threaded_world backend.
+double run_dist(const std::string& transport, std::int64_t n, int p,
+                const win::SoiProfile& profile, const core::DistOptions& opts,
+                const cvec& x, const cvec& want) {
   const std::int64_t m = n / p;
   cvec y(x.size());
-  std::mutex mu;
-  net::run_ranks(p, [&](net::Comm& comm) {
+  double snr = 0.0;
+  net::run_world(transport, p, [&](net::Transport& comm) {
     core::SoiFftDist plan(comm, n, profile, opts);
     cvec y_local(static_cast<std::size_t>(m));
     plan.forward(cspan{x.data() + comm.rank() * m, static_cast<std::size_t>(m)},
                  y_local);
-    std::lock_guard<std::mutex> lock(mu);
-    std::copy(y_local.begin(), y_local.end(), y.begin() + comm.rank() * m);
+    comm.gather(y_local, y, 0);
+    if (comm.rank() == 0) snr = snr_db(y, want);
   });
-  return snr_db(y, want);
+  return snr;
 }
 
 }  // namespace
@@ -46,6 +48,14 @@ int main(int argc, char** argv) {
   const int p = argc > 1 ? std::atoi(argv[1]) : 8;
   const int lg = argc > 2 ? std::atoi(argv[2]) : 14;
   const std::int64_t n = (std::int64_t{1} << lg) * p;
+  std::string transport = net::default_transport();
+  if (!net::TransportRegistry::instance().caps(transport).threaded_world) {
+    std::fprintf(stderr,
+                 "autotune example: transport '%s' is cross-process; the "
+                 "example reads results from captured memory — using 'sim'\n",
+                 transport.c_str());
+    transport = "sim";
+  }
 
   const tune::TuneKey key{n, p, win::Accuracy::kHigh};
   std::printf("autotuning [%s]\n", key.str().c_str());
@@ -85,16 +95,19 @@ int main(int argc, char** argv) {
   const auto profile = registry.profile(key.accuracy);
 
   const core::DistOptions default_opts;  // spr=1, pairwise, no overlap
-  const double snr_default = run_dist(n, p, *profile, default_opts, x, want);
+  const double snr_default =
+      run_dist(transport, n, p, *profile, default_opts, x, want);
 
   core::DistOptions tuned_opts;
   tuned_opts.segments_per_rank = tuned->candidate.segments_per_rank;
   tuned_opts.alltoall_algo = tuned->candidate.alltoall_algo;
   tuned_opts.overlap = tuned->candidate.overlap;
+  tuned_opts.engine = tuned->candidate.engine;
   // One table for all ranks: the registry constructs it exactly once.
   tuned_opts.table = registry.conv_table(n, p * tuned_opts.segments_per_rank,
                                          tuned->profile);
-  const double snr_tuned = run_dist(n, p, tuned->profile, tuned_opts, x, want);
+  const double snr_tuned =
+      run_dist(transport, n, p, tuned->profile, tuned_opts, x, want);
 
   const auto stats = registry.stats();
   std::printf("accuracy: default %.1f dB | tuned %.1f dB\n", snr_default,

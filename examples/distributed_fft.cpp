@@ -1,4 +1,4 @@
-// Distributed example: the paper's headline algorithm end to end on SimMPI.
+// Distributed example: the paper's headline algorithm end to end.
 //
 //   build/examples/distributed_fft [ranks] [log2_points_per_rank]
 //
@@ -6,9 +6,16 @@
 // baseline across P ranks (threads), verifies both against the exact
 // serial engine, then prints the communication ledger and what each
 // recorded exchange would cost on the paper's two cluster fabrics.
+//
+// The rank team runs on the default transport (SOI_TRANSPORT, else sim)
+// when it can: the example gathers per-rank results through captured host
+// memory and reads the world's traffic ledger, so it needs a backend whose
+// caps report threaded_world + traffic_events — otherwise it says so and
+// uses sim.
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 
 #include "soi/soi.hpp"
 
@@ -17,6 +24,17 @@ using namespace soi;
 int main(int argc, char** argv) {
   const int p = argc > 1 ? std::atoi(argv[1]) : 8;
   const int lg = argc > 2 ? std::atoi(argv[2]) : 14;
+  std::string transport = net::default_transport();
+  {
+    const auto& caps = net::TransportRegistry::instance().caps(transport);
+    if (!caps.threaded_world || !caps.traffic_events) {
+      std::fprintf(stderr,
+                   "distributed_fft: transport '%s' lacks the in-process "
+                   "world / traffic ledger this example needs; using 'sim'\n",
+                   transport.c_str());
+      transport = "sim";
+    }
+  }
   const std::int64_t m = std::int64_t{1} << lg;
   const std::int64_t n = m * p;
   std::printf("N = %lld points on %d ranks (%lld points each)\n\n",
@@ -34,7 +52,7 @@ int main(int argc, char** argv) {
   cvec y_soi(x.size());
   std::mutex mu;
   core::SoiDistBreakdown soi_bd{};
-  auto soi_events = net::run_ranks(p, [&](net::Comm& comm) {
+  auto soi_events = net::run_world(transport, p, [&](net::Transport& comm) {
     core::SoiFftDist plan(comm, n, profile);
     cvec y_local(static_cast<std::size_t>(m));
     plan.forward(cspan{x.data() + comm.rank() * m, static_cast<std::size_t>(m)},
@@ -47,7 +65,7 @@ int main(int argc, char** argv) {
 
   // --- baseline: three all-to-alls --------------------------------------------
   cvec y_base(x.size());
-  auto base_events = net::run_ranks(p, [&](net::Comm& comm) {
+  auto base_events = net::run_world(transport, p, [&](net::Transport& comm) {
     baseline::SixStepFftDist plan(comm, n);
     cvec y_local(static_cast<std::size_t>(m));
     plan.forward(cspan{x.data() + comm.rank() * m, static_cast<std::size_t>(m)},

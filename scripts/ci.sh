@@ -8,6 +8,7 @@
 #   scripts/ci.sh tsan        # ThreadSanitizer build + SimMPI dist/pipeline
 #   scripts/ci.sh chaos       # fault-injection suites under ASan + TSan
 #   scripts/ci.sh topology    # staged-exchange suites (two-level + torus)
+#   scripts/ci.sh backends    # transport/engine registries, shm conformance
 #   scripts/ci.sh smoke       # just the tune -> wisdom -> reuse smoke
 #   scripts/ci.sh bench-smoke # JSON benches on tiny sizes, validated
 #
@@ -139,6 +140,57 @@ run_topology() {
   echo "topology OK"
 }
 
+run_backends() {
+  echo "=== backends: transport/engine registries + shm suites under sanitizers ==="
+  # Layering lint: after the plan-ABI refactor, the SOI executor and the
+  # serving layer see rank communication only through net/transport.hpp —
+  # a concrete SimMPI include would re-couple them to one backend. Any
+  # match is a violation and fails the stage.
+  if grep -rn '#include "net/comm.hpp"' src/soi src/serve; then
+    echo "layering violation: src/soi and src/serve must not include" \
+      "net/comm.hpp (use the Transport ABI)" >&2
+    exit 1
+  fi
+  # ASan: registry lifecycle, the conformance suite over every launchable
+  # backend, and the sim/shm bit-identity parity checks. The shm rings'
+  # pack/unpack copies and the fork+mmap teardown paths only run here, so
+  # this is where ASan watches both sides of the cross-process data path.
+  cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ci/asan -j "${jobs}" --target test_backends
+  (cd build-ci/asan && ./tests/test_backends)
+  # TSan: the concurrent-lookup registry tests plus the same conformance
+  # suite. The shm backend's children are single-threaded (fork happens
+  # before any thread spawns), so TSan's fork caveats don't apply; the sim
+  # backend runs its full threaded rank team under the race detector.
+  # OpenMP off for the same reason as run_tsan.
+  cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
+  cmake --build build-ci/tsan -j "${jobs}" --target test_backends
+  (cd build-ci/tsan && ./tests/test_backends | grep -q "PASSED")
+  # End-to-end: the same distributed transform through the CLI over both
+  # transports and both engines, with the accuracy check on. An unknown
+  # backend name must fail fast with the registry's listing error.
+  cmake -B build-ci/tier1 -S . >/dev/null
+  cmake --build build-ci/tier1 -j "${jobs}" --target soifft
+  build-ci/tier1/tools/soifft dist --n 4096 --p 4 --check \
+    --transport sim >/dev/null
+  build-ci/tier1/tools/soifft dist --n 4096 --p 4 --check \
+    --transport shm >/dev/null
+  build-ci/tier1/tools/soifft dist --n 4096 --p 4 --check \
+    --transport shm --engine scalar >/dev/null
+  SOI_TRANSPORT=shm SOI_FFT_ENGINE=scalar \
+    build-ci/tier1/tools/soifft dist --n 4096 --p 4 --check >/dev/null
+  if build-ci/tier1/tools/soifft dist --n 4096 --p 4 \
+      --transport no-such-backend >/dev/null 2>build-ci/backends_err.txt; then
+    echo "unknown transport name must be rejected" >&2
+    exit 1
+  fi
+  grep -q "registered backends" build-ci/backends_err.txt
+  echo "backends OK"
+}
+
 run_smoke() {
   echo "=== smoke: tune -> wisdom -> reuse pipeline ==="
   local bin=build-ci/tier1/tools/soifft
@@ -222,6 +274,12 @@ for path in sys.argv[1:]:
         # self-consistent with the record total, and a zero-allocation
         # steady state on every traced shape.
         assert traced, f"{path}: no record carries a stages array"
+        # Every tuned record names the (transport, engine) pair the run was
+        # priced and executed on — the fields downstream gain analysis keys
+        # results by.
+        for r in records:
+            for key in ("transport", "engine"):
+                assert r.get(key), f"{path}: record missing {key}: {r}"
         for r in traced:
             assert r["steady_state_allocs"] == 0, \
                 f"{path}: steady-state forward allocated: {r}"
@@ -288,10 +346,14 @@ for want in topos:
 for r in records:
     assert r["bisection_bytes"] > 0, f"{path}: missing bisection traffic: {r}"
     assert r["seconds"] > 0, f"{path}: non-positive seconds: {r}"
+    # Every exchange record names the transport it was timed on; the
+    # end-to-end dist records also name the FFT engine.
+    assert r.get("transport"), f"{path}: record missing transport: {r}"
 for r in dist:
     eff = r.get("overlap_efficiency")
     assert eff is not None and 0.0 <= eff <= 1.0, \
         f"{path}: bad overlap_efficiency {eff}: {r}"
+    assert r.get("engine"), f"{path}: dist record missing engine: {r}"
 print(f"{path}: {len(raw)} exchange + {len(dist)} dist records OK")
 EOF
   echo "bench-smoke OK"
@@ -303,11 +365,12 @@ case "${stage}" in
   tsan)  run_tsan ;;
   chaos) run_chaos ;;
   topology) run_topology ;;
+  backends) run_backends ;;
   smoke) run_smoke ;;
   bench-smoke) run_bench_smoke ;;
-  all)   run_tier1; run_asan; run_tsan; run_chaos; run_topology; run_smoke
-         run_bench_smoke ;;
-  *) echo "usage: $0 [tier1|asan|tsan|chaos|topology|smoke|bench-smoke|all]" >&2
+  all)   run_tier1; run_asan; run_tsan; run_chaos; run_topology; run_backends
+         run_smoke; run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|tsan|chaos|topology|backends|smoke|bench-smoke|all]" >&2
      exit 2 ;;
 esac
 echo "ci: ${stage} passed"

@@ -1,10 +1,12 @@
 #include "baseline/fft2d_dist.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace soi::baseline {
 
-Fft2DDist::Fft2DDist(net::Comm& comm, std::int64_t rows, std::int64_t cols,
+Fft2DDist::Fft2DDist(net::Transport& comm, std::int64_t rows, std::int64_t cols,
                      Ordering2D ordering)
     : comm_(comm),
       r0_(rows),

@@ -17,7 +17,7 @@
 
 #include "common/types.hpp"
 #include "fft/plan.hpp"
-#include "net/comm.hpp"
+#include "net/transport.hpp"
 
 namespace soi::baseline {
 
@@ -29,7 +29,7 @@ enum class Ordering2D {
 /// Distributed 2-D complex FFT plan (P = comm.size()).
 class Fft2DDist {
  public:
-  Fft2DDist(net::Comm& comm, std::int64_t rows, std::int64_t cols,
+  Fft2DDist(net::Transport& comm, std::int64_t rows, std::int64_t cols,
             Ordering2D ordering);
 
   [[nodiscard]] std::int64_t rows() const { return r0_; }
@@ -51,7 +51,7 @@ class Fft2DDist {
   /// (a/P rows each) becomes local slab of the (b x a) transpose.
   void global_transpose(cspan in, mspan out, std::int64_t a, std::int64_t b);
 
-  net::Comm& comm_;
+  net::Transport& comm_;
   std::int64_t r0_;
   std::int64_t r1_;
   Ordering2D ordering_;

@@ -10,10 +10,10 @@
 
 namespace soi::baseline {
 
-SixStepFftDist::SixStepFftDist(net::Comm& comm, std::int64_t n)
+SixStepFftDist::SixStepFftDist(net::Transport& comm, std::int64_t n)
     : SixStepFftDist(comm, n, SixStepOptions{}) {}
 
-SixStepFftDist::SixStepFftDist(net::Comm& comm, std::int64_t n,
+SixStepFftDist::SixStepFftDist(net::Transport& comm, std::int64_t n,
                                SixStepOptions options)
     : comm_(comm),
       opts_(std::move(options)),

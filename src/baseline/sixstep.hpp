@@ -17,7 +17,7 @@
 
 #include "common/types.hpp"
 #include "fft/plan.hpp"
-#include "net/comm.hpp"
+#include "net/transport.hpp"
 
 namespace soi::baseline {
 
@@ -56,8 +56,8 @@ struct SixStepOptions {
 /// Triple-all-to-all in-order distributed FFT plan (P = comm.size()).
 class SixStepFftDist {
  public:
-  SixStepFftDist(net::Comm& comm, std::int64_t n);
-  SixStepFftDist(net::Comm& comm, std::int64_t n, SixStepOptions options);
+  SixStepFftDist(net::Transport& comm, std::int64_t n);
+  SixStepFftDist(net::Transport& comm, std::int64_t n, SixStepOptions options);
 
   [[nodiscard]] const SixStepOptions& options() const { return opts_; }
 
@@ -78,7 +78,7 @@ class SixStepFftDist {
  private:
   void guard_output(cspan y_local) const;
 
-  net::Comm& comm_;
+  net::Transport& comm_;
   SixStepOptions opts_;
   std::int64_t n_;
   std::int64_t m_;       // N / P

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "common/env.hpp"
+#include "net/registry.hpp"
 
 namespace soi::net {
 
@@ -477,27 +478,7 @@ Message World::pop(int me, int src, int tag, std::size_t expected_bytes) {
 
 }  // namespace detail
 
-void Request::steal(Request& other) noexcept {
-  kind_ = other.kind_;
-  done_ = other.done_;
-  peer_ = other.peer_;
-  tag_ = other.tag_;
-  src_matched_ = other.src_matched_;
-  data_ = other.data_;
-  bytes_ = other.bytes_;
-  next_step_ = other.next_step_;
-  recv_base_ = other.recv_base_;
-  count_ = other.count_;
-  recv_counts_ = other.recv_counts_;
-  recv_displs_ = other.recv_displs_;
-  world_ = other.world_;
-  owner_ = other.owner_;
-  other.kind_ = Kind::kNone;
-  other.done_ = true;
-  other.world_ = nullptr;
-}
-
-void Request::release() noexcept {
+void SimRequest::release() noexcept {
   if (kind_ == Kind::kColl && !done_ && world_ != nullptr) {
     detail::cancel_collective(*world_, owner_, tag_);
   }
@@ -510,6 +491,22 @@ Comm::Comm(std::shared_ptr<detail::World> world, int rank)
     : world_(std::move(world)), rank_(rank) {}
 
 int Comm::size() const { return world_->nranks; }
+
+namespace {
+constexpr TransportCaps kSimCaps{
+    /*name=*/"sim",
+    /*max_coll_channels=*/kMaxCollChannels,
+    /*alltoall_algo_choice=*/true,
+    /*checksums=*/true,
+    /*fault_injection=*/true,
+    /*latency_emulation=*/true,
+    /*traffic_events=*/true,
+    /*threaded_world=*/true,
+    /*cross_process=*/false,
+};
+}  // namespace
+
+const TransportCaps& Comm::caps() const { return kSimCaps; }
 
 TrafficLog& Comm::traffic() { return world_->traffic; }
 
@@ -635,14 +632,6 @@ void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
   recv_impl(*world_, rank_, src, tag, data, bytes);
 }
 
-void Comm::send(int dst, int tag, cspan data) {
-  send_bytes(dst, tag, data.data(), data.size_bytes());
-}
-
-void Comm::recv(int src, int tag, mspan data) {
-  recv_bytes(src, tag, data.data(), data.size_bytes());
-}
-
 bool Comm::try_recv(int src, int tag, mspan data) {
   Request req = irecv(src, tag, data);
   return test(req);
@@ -652,13 +641,13 @@ Request Comm::isend_bytes(int dst, int tag, const void* data,
                           std::size_t bytes) {
   SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
   send_impl(*world_, rank_, dst, tag, data, bytes, /*record=*/true);
-  Request req;
-  req.kind_ = Request::Kind::kSend;
-  req.done_ = true;  // buffered: complete at post time
-  req.peer_ = dst;
-  req.tag_ = tag;
-  req.bytes_ = bytes;
-  return req;
+  auto req = std::make_unique<SimRequest>();
+  req->kind_ = SimRequest::Kind::kSend;
+  req->done_ = true;  // buffered: complete at post time
+  req->peer_ = dst;
+  req->tag_ = tag;
+  req->bytes_ = bytes;
+  return Request(std::move(req));
 }
 
 Request Comm::isend(int dst, int tag, cspan data) {
@@ -669,14 +658,14 @@ Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t bytes) {
   SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
   SOI_CHECK(src == kAnySource || (src >= 0 && src < world_->nranks),
             "irecv: source rank " << src << " out of range");
-  Request req;
-  req.kind_ = Request::Kind::kRecv;
-  req.done_ = false;
-  req.peer_ = src;
-  req.tag_ = tag;
-  req.data_ = data;
-  req.bytes_ = bytes;
-  return req;
+  auto req = std::make_unique<SimRequest>();
+  req->kind_ = SimRequest::Kind::kRecv;
+  req->done_ = false;
+  req->peer_ = src;
+  req->tag_ = tag;
+  req->data_ = data;
+  req->bytes_ = bytes;
+  return Request(std::move(req));
 }
 
 Request Comm::irecv(int src, int tag, mspan data) {
@@ -727,16 +716,16 @@ Request Comm::ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
          static_cast<std::int64_t>(block * sizeof(cplx)) * (p - 1), p - 1});
   }
 
-  Request req;
-  req.kind_ = Request::Kind::kColl;
-  req.done_ = (p == 1);
-  req.tag_ = tag;
-  req.recv_base_ = recv_data.data();
-  req.count_ = count;
-  req.next_step_ = 1;
-  req.world_ = world_.get();
-  req.owner_ = rank_;
-  return req;
+  auto req = std::make_unique<SimRequest>();
+  req->kind_ = SimRequest::Kind::kColl;
+  req->done_ = (p == 1);
+  req->tag_ = tag;
+  req->recv_base_ = recv_data.data();
+  req->count_ = count;
+  req->next_step_ = 1;
+  req->world_ = world_.get();
+  req->owner_ = rank_;
+  return Request(std::move(req));
 }
 
 Request Comm::ialltoallv(cspan send_data,
@@ -785,28 +774,28 @@ Request Comm::ialltoallv(cspan send_data,
     w.traffic.record({CommEvent::Kind::kAlltoall, p, bytes_out, p - 1});
   }
 
-  Request req;
-  req.kind_ = Request::Kind::kColl;
-  req.done_ = (p == 1);
-  req.tag_ = tag;
-  req.recv_base_ = recv_data.data();
-  req.count_ = -1;  // v-variant: per-source counts/displs below
-  req.recv_counts_ = recv_counts.data();
-  req.recv_displs_ = recv_displs.data();
-  req.next_step_ = 1;
-  req.world_ = world_.get();
-  req.owner_ = rank_;
-  return req;
+  auto req = std::make_unique<SimRequest>();
+  req->kind_ = SimRequest::Kind::kColl;
+  req->done_ = (p == 1);
+  req->tag_ = tag;
+  req->recv_base_ = recv_data.data();
+  req->count_ = -1;  // v-variant: per-source counts/displs below
+  req->recv_counts_ = recv_counts.data();
+  req->recv_displs_ = recv_displs.data();
+  req->next_step_ = 1;
+  req->world_ = world_.get();
+  req->owner_ = rank_;
+  return Request(std::move(req));
 }
 
-bool Comm::progress_locked(Request& req) {
+bool Comm::progress_locked(SimRequest& req) {
   auto& w = *world_;
   auto& box = w.boxes[static_cast<std::size_t>(rank_)];
   switch (req.kind_) {
-    case Request::Kind::kNone:
-    case Request::Kind::kSend:
+    case SimRequest::Kind::kNone:
+    case SimRequest::Kind::kSend:
       return true;
-    case Request::Kind::kRecv: {
+    case SimRequest::Kind::kRecv: {
       auto m = detail::take_verified_locked(w, box, req.peer_, req.tag_,
                                             req.bytes_);
       if (!m.has_value()) return false;
@@ -817,7 +806,7 @@ bool Comm::progress_locked(Request& req) {
       req.done_ = true;
       return true;
     }
-    case Request::Kind::kColl: {
+    case SimRequest::Kind::kColl: {
       // Drain the remaining blocks in ring order: step k reads from
       // (rank - k) mod P. Ring order keeps the scan deterministic and
       // bounded; every block lands eventually because all sends were
@@ -849,14 +838,17 @@ bool Comm::progress_locked(Request& req) {
 }
 
 bool Comm::test(Request& req) {
-  if (req.done_) return true;
+  auto* st = static_cast<SimRequest*>(req.state());
+  if (st == nullptr || st->done_) return true;
   auto& box = world_->boxes[static_cast<std::size_t>(rank_)];
   std::lock_guard<std::mutex> lock(box.mu);
-  return progress_locked(req);
+  return progress_locked(*st);
 }
 
-bool Comm::wait_for(Request& req, double timeout_ms) {
-  if (req.done_) return true;
+bool Comm::wait_for(Request& handle, double timeout_ms) {
+  auto* st = static_cast<SimRequest*>(handle.state());
+  if (st == nullptr || st->done_) return true;
+  SimRequest& req = *st;
   auto& w = *world_;
   auto& box = w.boxes[static_cast<std::size_t>(rank_)];
   // The (src, tag) piece this request blocks on next: the posted source
@@ -867,10 +859,10 @@ bool Comm::wait_for(Request& req, double timeout_ms) {
     if (!w.latency_emulated()) {
       return std::nullopt;
     }
-    if (req.kind_ == Request::Kind::kRecv) {
+    if (req.kind_ == SimRequest::Kind::kRecv) {
       return detail::earliest_match_locked(box, req.peer_, req.tag_);
     }
-    if (req.kind_ == Request::Kind::kColl) {
+    if (req.kind_ == SimRequest::Kind::kColl) {
       const int p = w.nranks;
       const int from = (rank_ - req.next_step_ + p) % p;
       return detail::earliest_match_locked(box, from, req.tag_);
@@ -905,9 +897,9 @@ bool Comm::wait_for(Request& req, double timeout_ms) {
       detail::promote_delayed_locked(box);
       if (w.injector.load(std::memory_order_acquire) != nullptr &&
           w.max_retries.load(std::memory_order_relaxed) > 0) {
-        if (req.kind_ == Request::Kind::kRecv) {
+        if (req.kind_ == SimRequest::Kind::kRecv) {
           detail::requeue_retained_locked(w, box, req.peer_, req.tag_);
-        } else if (req.kind_ == Request::Kind::kColl) {
+        } else if (req.kind_ == SimRequest::Kind::kColl) {
           const int p = w.nranks;
           for (int k = req.next_step_; k < p; ++k) {
             detail::requeue_retained_locked(w, box, (rank_ - k + p) % p,
@@ -923,7 +915,8 @@ bool Comm::wait_for(Request& req, double timeout_ms) {
 }
 
 void Comm::wait(Request& req) {
-  if (req.done_) return;
+  auto* st = static_cast<SimRequest*>(req.state());
+  if (st == nullptr || st->done_) return;
   const double base = world_->timeout_ms.load(std::memory_order_relaxed);
   if (base <= 0) {
     wait_for(req, 0);  // blocks forever, wire-latency aware
@@ -935,7 +928,7 @@ void Comm::wait(Request& req) {
     if (wait_for(req, t)) return;
     if (attempt >= maxr) {
       std::ostringstream os;
-      os << "wait: request (tag " << req.tag_ << ") timed out after "
+      os << "wait: request (tag " << st->tag_ << ") timed out after "
          << (attempt + 1) << " attempt(s), base deadline " << base << " ms";
       throw CommTimeoutError(os.str());
     }
@@ -1277,6 +1270,17 @@ std::vector<CommEvent> run_ranks(int nranks, const NetOptions& opts,
     if (e) std::rethrow_exception(e);
   }
   return world->traffic.events();
+}
+
+void register_sim_transport() {
+  TransportRegistry::instance().register_backend(
+      "sim",
+      TransportBackend{
+          kSimCaps,
+          [](int nranks, const NetOptions& opts, const WorldBody& body) {
+            return run_ranks(nranks, opts, [&body](Comm& comm) { body(comm); });
+          },
+      });
 }
 
 }  // namespace soi::net

@@ -1,8 +1,10 @@
 // SimMPI: an MPI-like message-passing layer whose ranks are threads inside
-// one process. This is the build's substitute for MPI on a real cluster
-// (none is available here): the data movement, matching semantics and
-// collective algorithms are executed for real, while communication *time*
-// on cluster fabrics is produced by the cost models in costmodel.hpp.
+// one process — the "sim" backend of the net::Transport ABI
+// (net/transport.hpp). This is the build's substitute for MPI on a real
+// cluster (none is available here): the data movement, matching semantics
+// and collective algorithms are executed for real, while communication
+// *time* on cluster fabrics is produced by the cost models in
+// costmodel.hpp.
 //
 // Supported surface (mirrors the MPI subset the paper's implementation
 // needs, Fig. 2/3): blocking tagged send/recv, sendrecv, barrier, bcast,
@@ -45,110 +47,31 @@
 #include "common/types.hpp"
 #include "net/fault.hpp"
 #include "net/traffic.hpp"
+#include "net/transport.hpp"
 
 namespace soi::net {
 
-/// Wildcard source for recv_any-style matching.
-inline constexpr int kAnySource = -1;
-
-/// Number of independent collective channels (ialltoall/ialltoallv's
-/// `channel` parameter). Channels exist for multi-tenant co-scheduling:
-/// all ranks must post the collectives of ONE channel in the same program
-/// order, but the relative order of postings on DIFFERENT channels is free
-/// to differ per rank — each channel keeps its own per-rank sequence
-/// numbers, so concurrent tenants' pieces can never cross-match.
-inline constexpr int kMaxCollChannels = 16;
-
-/// Secondary error delivered to ranks blocked on communication when a peer
-/// rank's body already failed: the world is marked aborted and every
-/// sleeping wait unwinds with this instead of deadlocking on a message or
-/// rendezvous that can never arrive. run_ranks() resurfaces the peer's
-/// primary error; this one is only rethrown when no primary exists.
-class WorldAbortedError : public CommTimeoutError {
- public:
-  using CommTimeoutError::CommTimeoutError;
-};
-
-/// All-to-all algorithm selection (both give identical results; tests
-/// assert so — the choice models different message schedules).
-enum class AlltoallAlgo {
-  kPairwise,  ///< P-1 rounds of sendrecv with partner (rank + step) mod P
-  kDirect,    ///< post all sends, then drain all receives
-};
-
-/// Per-world resilience configuration. Defaults are the legacy semantics:
-/// no injected faults, unbounded waits, checksums stamped and verified.
-struct NetOptions {
-  /// Chaos scenario (empty = none). When set and timeout_ms == 0, a
-  /// default deadline is applied so injected drops/delays cannot hang.
-  FaultSpec faults;
-  /// Base deadline of one wait attempt in ms; 0 = wait forever.
-  double timeout_ms = 0.0;
-  /// Bounded-wait attempts (with doubling backoff) before a wait throws
-  /// soi::CommTimeoutError; 0 disables recovery entirely (corruption and
-  /// timeouts surface as typed errors on first detection).
-  int max_retries = 8;
-  /// Stamp CRC32C payload checksums on every send. Deliveries that
-  /// crossed the fault injector's simulated wire are always verified
-  /// against the stamp; plain in-process queue moves cannot corrupt, so
-  /// their stamp is carried but not re-hashed. Off only to measure the
-  /// stamping cost.
-  bool checksums = true;
-  /// Emulated per-message wire latency in microseconds (0 = off). A sent
-  /// message only becomes matchable this long after the send posts; the
-  /// sender never blocks (buffered), and a receiver that reaches the wait
-  /// early sleeps out the residual flight time. Models the expensive
-  /// interconnect the SOI decomposition targets, so communication/compute
-  /// overlap strategies are measurable on the in-process transport.
-  /// Applies to point-to-point and alltoall traffic; barrier/allreduce
-  /// rendezvous are not delayed.
-  double wire_latency_us = 0.0;
-  /// Second, cheaper latency tier for hierarchical fabrics: messages
-  /// between ranks of the same node group (rank / topo_group_size) take
-  /// this latency instead of wire_latency_us. Only meaningful with
-  /// topo_group_size > 0; models the intra-node links a two-level
-  /// topology schedule stages its traffic through.
-  double intra_latency_us = 0.0;
-  /// Ranks per node group for the intra/inter latency split (0 = no
-  /// grouping, every message pays wire_latency_us).
-  int topo_group_size = 0;
-};
+/// Back-compat alias for the ABI-wide channel ceiling — SimMPI supports
+/// the full complement (see net/transport.hpp).
+inline constexpr int kMaxCollChannels = kMaxChannels;
 
 namespace detail {
 struct World;
 }
 
-/// Handle for an in-flight nonblocking operation. Move-only and passive:
-/// no registry, no background progress. Completion is driven by the owning
-/// rank's thread through Comm::test/wait/waitall. Constructed inactive
-/// (done); obtain live ones from isend/irecv/ialltoall(v). Destroying (or
-/// overwriting) a live collective request cancels it — see the header
-/// comment for the exact drop semantics per kind.
-class Request {
+/// SimMPI's concrete request state behind the type-erased net::Request.
+/// Fully passive: no registry, no background progress — completion is
+/// driven by the owning rank's thread through Comm::test/wait/waitall.
+/// Destruction cancels a live collective (see header comment).
+class SimRequest final : public RequestState {
  public:
-  Request() = default;
-  Request(Request&& other) noexcept { steal(other); }
-  Request& operator=(Request&& other) noexcept {
-    if (this != &other) {
-      release();
-      steal(other);
-    }
-    return *this;
-  }
-  Request(const Request&) = delete;
-  Request& operator=(const Request&) = delete;
-  ~Request() { release(); }
+  SimRequest() = default;
+  SimRequest(const SimRequest&) = delete;
+  SimRequest& operator=(const SimRequest&) = delete;
+  ~SimRequest() override { release(); }
 
-  /// True once the operation has completed (always true for inactive and
-  /// send requests — sends are buffered and finish at post time).
-  [[nodiscard]] bool done() const { return done_; }
-
-  /// True if this handle refers to a posted operation (even a finished one).
-  [[nodiscard]] bool active() const { return kind_ != Kind::kNone; }
-
-  /// For completed receives: the matched source rank (useful with
-  /// kAnySource). -1 until completion.
-  [[nodiscard]] int source() const { return src_matched_; }
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] int source() const override { return src_matched_; }
 
  private:
   friend class Comm;
@@ -159,7 +82,6 @@ class Request {
     kColl,  ///< alltoall(v): completes when all P-1 blocks have landed
   };
 
-  void steal(Request& other) noexcept;
   /// Cancel a live collective (purge its blocks, discard future arrivals);
   /// no-op for every other state. Defined out of line (needs World).
   void release() noexcept;
@@ -187,123 +109,95 @@ class Request {
   int owner_ = -1;
 };
 
-/// Per-rank communicator handle. Obtained from run_ranks(); value-semantic
-/// view onto the shared world. All operations are blocking.
-class Comm {
+/// Per-rank communicator handle of the "sim" backend. Obtained from
+/// run_ranks() (or net::run_world("sim", ...)); value-semantic view onto
+/// the shared world. All operations are blocking.
+class Comm final : public Transport {
  public:
   Comm(std::shared_ptr<detail::World> world, int rank);
 
-  [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const;
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override;
+  [[nodiscard]] const TransportCaps& caps() const override;
 
   // -- point to point (byte payloads) --
-  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
-  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
-
-  // -- typed convenience (complex doubles, the library's working type) --
-  void send(int dst, int tag, cspan data);
-  void recv(int src, int tag, mspan data);
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override;
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override;
 
   /// Simultaneous exchange (deadlock-free even for self/neighbour cycles).
-  void sendrecv(int dst, cspan send_data, int src, mspan recv_data, int tag);
+  void sendrecv(int dst, cspan send_data, int src, mspan recv_data,
+                int tag) override;
 
   /// Non-blocking receive attempt: if a matching message is already
   /// queued, consume it into `data` and return true; otherwise return
   /// false immediately. Implemented as irecv + a single test; the
   /// incomplete request is simply dropped (requests are passive).
-  bool try_recv(int src, int tag, mspan data);
+  bool try_recv(int src, int tag, mspan data) override;
 
   // -- nonblocking point to point --
-
-  /// Post a buffered send. Completes immediately (the returned request is
-  /// already done); it exists so send/recv pairs read symmetrically and so
-  /// waitall can cover both directions.
-  Request isend(int dst, int tag, cspan data);
-  Request isend_bytes(int dst, int tag, const void* data, std::size_t bytes);
-
-  /// Post a receive. No data moves until test()/wait() matches a message;
-  /// `data` must stay valid until then.
-  Request irecv(int src, int tag, mspan data);
-  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes);
+  Request isend(int dst, int tag, cspan data) override;
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override;
+  Request irecv(int src, int tag, mspan data) override;
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes) override;
 
   // -- nonblocking collectives --
 
   /// Nonblocking alltoall: the own-block copy and every send happen at
-  /// post time; the P-1 receive blocks land during test()/wait(). All
-  /// ranks must post the nonblocking collectives of one `channel` in the
-  /// same program order (a per-rank, per-channel sequence number
-  /// disambiguates concurrent in-flight collectives); postings on
-  /// different channels may interleave differently per rank — that is
-  /// what channels are for (one per co-scheduled tenant).
+  /// post time; the P-1 receive blocks land during test()/wait().
   Request ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
                     AlltoallAlgo algo = AlltoallAlgo::kPairwise,
-                    int channel = 0);
+                    int channel = 0) override;
 
   /// Nonblocking alltoallv. `recv_counts`/`recv_displs` are captured by
-  /// pointer and must outlive the request. Same per-channel ordering
-  /// contract as ialltoall.
+  /// pointer and must outlive the request.
   Request ialltoallv(cspan send_data,
                      std::span<const std::int64_t> send_counts,
                      std::span<const std::int64_t> send_displs,
                      mspan recv_data,
                      std::span<const std::int64_t> recv_counts,
                      std::span<const std::int64_t> recv_displs,
-                     int channel = 0);
+                     int channel = 0) override;
 
   /// One progress attempt on the calling rank's mailbox; true when the
   /// request has completed. Never blocks.
-  bool test(Request& req);
+  bool test(Request& req) override;
 
   /// Block until the request completes. Under the world's resilience
   /// configuration (timeout_ms() > 0) this is a bounded wait: each expired
   /// deadline promotes injector-delayed messages, re-queues retained clean
   /// copies of the request's pending pieces, doubles the deadline, and
   /// after max_retries() attempts throws soi::CommTimeoutError.
-  void wait(Request& req);
+  void wait(Request& req) override;
 
   /// One deadline-bounded completion attempt: progress, sleep until the
   /// deadline, recover (promote delayed + re-queue retained) at expiry,
   /// and report whether the request finished. timeout_ms <= 0 blocks
-  /// until completion. Throws soi::PayloadCorruptionError when a payload
-  /// fails verification and recovery is disabled or impossible; never
-  /// throws on timeout (callers own the retry policy).
-  bool wait_for(Request& req, double timeout_ms);
+  /// until completion.
+  bool wait_for(Request& req, double timeout_ms) override;
 
   /// wait() over a span, in order.
-  void waitall(std::span<Request> reqs);
+  void waitall(std::span<Request> reqs) override;
 
   // -- collectives --
-  void barrier();
-  void bcast(mspan data, int root);
-  /// Root gathers size-per-rank blocks in rank order.
-  void gather(cspan send_data, mspan recv_data, int root);
-  void allgather(cspan send_data, mspan recv_data);
-  double allreduce_sum(double value);
-  double allreduce_max(double value);
-  /// Element-wise sum over all ranks, in place — one rendezvous for the
-  /// whole vector (callers with several scalars to reduce should batch
-  /// them here rather than pay one synchronization each).
-  void allreduce_sum(std::span<double> values);
+  void barrier() override;
+  void bcast(mspan data, int root) override;
+  void gather(cspan send_data, mspan recv_data, int root) override;
+  void allgather(cspan send_data, mspan recv_data) override;
+  double allreduce_sum(double value) override;
+  double allreduce_max(double value) override;
+  void allreduce_sum(std::span<double> values) override;
 
-  /// True when this world can experience or recover from faults: a fault
-  /// injector is installed or a wait deadline is configured. World-global
-  /// (every rank sees the same answer), so callers may condition
-  /// collective call patterns on it.
-  [[nodiscard]] bool resilience_active() const;
+  [[nodiscard]] bool resilience_active() const override;
 
-  /// Exchange `count` complex values with every rank: block d of `send_data`
-  /// goes to rank d; block s of `recv_data` arrives from rank s.
-  /// This is the single global transpose of the SOI algorithm (and each of
-  /// the three in the baseline).
   void alltoall(cspan send_data, mspan recv_data, std::int64_t count,
-                AlltoallAlgo algo = AlltoallAlgo::kPairwise);
+                AlltoallAlgo algo = AlltoallAlgo::kPairwise) override;
 
-  /// Variable-size all-to-all: counts/displacements per destination/source,
-  /// in complex elements.
   void alltoallv(cspan send_data, std::span<const std::int64_t> send_counts,
                  std::span<const std::int64_t> send_displs, mspan recv_data,
                  std::span<const std::int64_t> recv_counts,
-                 std::span<const std::int64_t> recv_displs);
+                 std::span<const std::int64_t> recv_displs) override;
 
   // -- resilience --
 
@@ -311,29 +205,24 @@ class Comm {
   /// deadlines, retry budget). First caller wins; later calls are no-ops,
   /// so every rank may call it with the same options (DistOptions plumbing
   /// does). Worlds from run_ranks(n, opts, body) are pre-configured.
-  void configure_resilience(const NetOptions& opts);
+  void configure_resilience(const NetOptions& opts) override;
 
-  /// Base deadline of one wait attempt in ms (0 = unbounded waits).
-  [[nodiscard]] double timeout_ms() const;
-  /// Bounded-wait retry budget (0 = recovery disabled).
-  [[nodiscard]] int max_retries() const;
-  /// Snapshot of the world-wide fault/recovery counters.
-  [[nodiscard]] FaultStats fault_stats() const;
+  [[nodiscard]] double timeout_ms() const override;
+  [[nodiscard]] int max_retries() const override;
+  [[nodiscard]] FaultStats fault_stats() const override;
 
   /// Shared traffic recorder for the whole world (same object on all ranks).
-  [[nodiscard]] TrafficLog& traffic();
+  [[nodiscard]] TrafficLog& traffic() override;
 
   /// Monotonic payload bytes THIS rank has sent (p2p and collectives; own-
-  /// block copies inside collectives are not sends). Pipeline stages read
-  /// the delta around a communication call to trace measured, per-stage
-  /// byte volumes instead of estimates.
-  [[nodiscard]] std::int64_t bytes_sent() const;
+  /// block copies inside collectives are not sends).
+  [[nodiscard]] std::int64_t bytes_sent() const override;
 
  private:
   /// One completion attempt for `req`. Caller holds this rank's mailbox
   /// mutex; all receive-side data movement happens here, on the waiter's
   /// thread.
-  bool progress_locked(Request& req);
+  bool progress_locked(SimRequest& req);
 
   std::shared_ptr<detail::World> world_;
   int rank_;
@@ -348,9 +237,17 @@ class Comm {
 /// (SOI_FAULTS spec string, SOI_TIMEOUT_MS, SOI_MAX_RETRIES,
 /// SOI_CHECKSUMS=0); the NetOptions overload configures the world
 /// explicitly (environment fills only the fields left at their defaults).
+///
+/// This is the sim-pinned entry point (the body receives the concrete
+/// Comm); transport-generic callers go through net::run_world()
+/// (net/registry.hpp), which dispatches here for the "sim" backend.
 std::vector<CommEvent> run_ranks(int nranks,
                                  const std::function<void(Comm&)>& body);
 std::vector<CommEvent> run_ranks(int nranks, const NetOptions& opts,
                                  const std::function<void(Comm&)>& body);
+
+/// Registers the "sim" backend in the TransportRegistry. Called exactly
+/// once by the registry's lazy initialiser — not by user code.
+void register_sim_transport();
 
 }  // namespace soi::net

@@ -1,0 +1,320 @@
+#ifdef SOI_WITH_MPI
+
+#include "net/mpi_transport.hpp"
+
+#include <mpi.h>
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "net/registry.hpp"
+
+namespace soi::net {
+
+namespace {
+
+constexpr TransportCaps kMpiCaps{
+    /*name=*/"mpi",
+    /*max_coll_channels=*/kMaxChannels,
+    /*alltoall_algo_choice=*/false,
+    /*checksums=*/false,
+    /*fault_injection=*/false,
+    /*latency_emulation=*/false,
+    /*traffic_events=*/false,
+    /*threaded_world=*/false,
+    /*cross_process=*/true,
+};
+
+/// A real MPI_Request behind the ABI's type-erased handle.
+class MpiRequest final : public RequestState {
+ public:
+  explicit MpiRequest(MPI_Request req) : req_(req) {}
+  ~MpiRequest() override {
+    if (!done_ && req_ != MPI_REQUEST_NULL) {
+      MPI_Cancel(&req_);
+      MPI_Request_free(&req_);
+    }
+  }
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] int source() const override { return src_matched_; }
+
+ private:
+  friend class MpiComm;
+  MPI_Request req_;
+  bool done_ = false;
+  int src_matched_ = -1;
+};
+
+class MpiComm final : public Transport {
+ public:
+  explicit MpiComm(MPI_Comm comm) : comm_(comm) {
+    MPI_Comm_rank(comm_, &rank_);
+    MPI_Comm_size(comm_, &size_);
+    // One duplicated communicator per collective channel: the ABI's
+    // "same program order per channel" contract becomes plain MPI
+    // nonblocking-collective ordering on that comm.
+    for (int c = 0; c < kMaxChannels; ++c) {
+      MPI_Comm_dup(comm_, &chan_[c]);
+    }
+  }
+  ~MpiComm() override {
+    for (int c = 0; c < kMaxChannels; ++c) MPI_Comm_free(&chan_[c]);
+  }
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return size_; }
+  [[nodiscard]] const TransportCaps& caps() const override { return kMpiCaps; }
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override {
+    bytes_sent_ += static_cast<std::int64_t>(bytes);
+    MPI_Send(data, static_cast<int>(bytes), MPI_BYTE, dst, tag, comm_);
+  }
+
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override {
+    MPI_Recv(data, static_cast<int>(bytes), MPI_BYTE,
+             src == kAnySource ? MPI_ANY_SOURCE : src, tag, comm_,
+             MPI_STATUS_IGNORE);
+  }
+
+  void sendrecv(int dst, cspan send_data, int src, mspan recv_data,
+                int tag) override {
+    bytes_sent_ += static_cast<std::int64_t>(send_data.size_bytes());
+    MPI_Sendrecv(send_data.data(), static_cast<int>(send_data.size_bytes()),
+                 MPI_BYTE, dst, tag, recv_data.data(),
+                 static_cast<int>(recv_data.size_bytes()), MPI_BYTE, src, tag,
+                 comm_, MPI_STATUS_IGNORE);
+  }
+
+  bool try_recv(int src, int tag, mspan data) override {
+    int flag = 0;
+    MPI_Status st;
+    MPI_Iprobe(src == kAnySource ? MPI_ANY_SOURCE : src, tag, comm_, &flag,
+               &st);
+    if (flag == 0) return false;
+    MPI_Recv(data.data(), static_cast<int>(data.size_bytes()), MPI_BYTE,
+             st.MPI_SOURCE, tag, comm_, MPI_STATUS_IGNORE);
+    return true;
+  }
+
+  Request isend(int dst, int tag, cspan data) override {
+    return isend_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override {
+    bytes_sent_ += static_cast<std::int64_t>(bytes);
+    MPI_Request r;
+    MPI_Isend(data, static_cast<int>(bytes), MPI_BYTE, dst, tag, comm_, &r);
+    return Request(std::make_unique<MpiRequest>(r));
+  }
+
+  Request irecv(int src, int tag, mspan data) override {
+    return irecv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+
+  Request irecv_bytes(int src, int tag, void* data,
+                      std::size_t bytes) override {
+    MPI_Request r;
+    MPI_Irecv(data, static_cast<int>(bytes), MPI_BYTE,
+              src == kAnySource ? MPI_ANY_SOURCE : src, tag, comm_, &r);
+    return Request(std::make_unique<MpiRequest>(r));
+  }
+
+  Request ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                    AlltoallAlgo algo, int channel) override {
+    (void)algo;
+    SOI_CHECK(channel >= 0 && channel < kMaxChannels,
+              "ialltoall: channel " << channel << " out of range");
+    MPI_Request r;
+    MPI_Ialltoall(send_data.data(), static_cast<int>(count),
+                  MPI_C_DOUBLE_COMPLEX, recv_data.data(),
+                  static_cast<int>(count), MPI_C_DOUBLE_COMPLEX,
+                  chan_[channel], &r);
+    return Request(std::make_unique<MpiRequest>(r));
+  }
+
+  Request ialltoallv(cspan send_data,
+                     std::span<const std::int64_t> send_counts,
+                     std::span<const std::int64_t> send_displs, mspan recv_data,
+                     std::span<const std::int64_t> recv_counts,
+                     std::span<const std::int64_t> recv_displs,
+                     int channel) override {
+    SOI_CHECK(channel >= 0 && channel < kMaxChannels,
+              "ialltoallv: channel " << channel << " out of range");
+    // MPI takes int arrays; the ABI carries int64 — narrow with a copy.
+    std::vector<int> sc(send_counts.begin(), send_counts.end());
+    std::vector<int> sd(send_displs.begin(), send_displs.end());
+    std::vector<int> rc(recv_counts.begin(), recv_counts.end());
+    std::vector<int> rd(recv_displs.begin(), recv_displs.end());
+    MPI_Request r;
+    MPI_Ialltoallv(send_data.data(), sc.data(), sd.data(),
+                   MPI_C_DOUBLE_COMPLEX, recv_data.data(), rc.data(),
+                   rd.data(), MPI_C_DOUBLE_COMPLEX, chan_[channel], &r);
+    return Request(std::make_unique<MpiRequest>(r));
+  }
+
+  bool test(Request& req) override {
+    auto* st = static_cast<MpiRequest*>(req.state());
+    if (st == nullptr || st->done_) return true;
+    int flag = 0;
+    MPI_Status status;
+    MPI_Test(&st->req_, &flag, &status);
+    if (flag != 0) {
+      st->done_ = true;
+      st->src_matched_ = status.MPI_SOURCE;
+    }
+    return flag != 0;
+  }
+
+  void wait(Request& req) override {
+    auto* st = static_cast<MpiRequest*>(req.state());
+    if (st == nullptr || st->done_) return;
+    MPI_Status status;
+    MPI_Wait(&st->req_, &status);
+    st->done_ = true;
+    st->src_matched_ = status.MPI_SOURCE;
+  }
+
+  bool wait_for(Request& req, double timeout_ms) override {
+    // MPI has no native deadline wait; poll MPI_Test until the deadline.
+    if (timeout_ms <= 0) {
+      wait(req);
+      return true;
+    }
+    const double t0 = MPI_Wtime();
+    while (!test(req)) {
+      if ((MPI_Wtime() - t0) * 1e3 >= timeout_ms) return test(req);
+    }
+    return true;
+  }
+
+  void barrier() override { MPI_Barrier(comm_); }
+
+  void bcast(mspan data, int root) override {
+    MPI_Bcast(data.data(), static_cast<int>(data.size()),
+              MPI_C_DOUBLE_COMPLEX, root, comm_);
+  }
+
+  void gather(cspan send_data, mspan recv_data, int root) override {
+    MPI_Gather(send_data.data(), static_cast<int>(send_data.size()),
+               MPI_C_DOUBLE_COMPLEX, recv_data.data(),
+               static_cast<int>(send_data.size()), MPI_C_DOUBLE_COMPLEX, root,
+               comm_);
+  }
+
+  void allgather(cspan send_data, mspan recv_data) override {
+    MPI_Allgather(send_data.data(), static_cast<int>(send_data.size()),
+                  MPI_C_DOUBLE_COMPLEX, recv_data.data(),
+                  static_cast<int>(send_data.size()), MPI_C_DOUBLE_COMPLEX,
+                  comm_);
+  }
+
+  double allreduce_sum(double value) override {
+    double out = 0;
+    MPI_Allreduce(&value, &out, 1, MPI_DOUBLE, MPI_SUM, comm_);
+    return out;
+  }
+
+  double allreduce_max(double value) override {
+    double out = 0;
+    MPI_Allreduce(&value, &out, 1, MPI_DOUBLE, MPI_MAX, comm_);
+    return out;
+  }
+
+  void allreduce_sum(std::span<double> values) override {
+    MPI_Allreduce(MPI_IN_PLACE, values.data(), static_cast<int>(values.size()),
+                  MPI_DOUBLE, MPI_SUM, comm_);
+  }
+
+  void alltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                AlltoallAlgo algo) override {
+    (void)algo;
+    MPI_Alltoall(send_data.data(), static_cast<int>(count),
+                 MPI_C_DOUBLE_COMPLEX, recv_data.data(),
+                 static_cast<int>(count), MPI_C_DOUBLE_COMPLEX, comm_);
+  }
+
+  void alltoallv(cspan send_data, std::span<const std::int64_t> send_counts,
+                 std::span<const std::int64_t> send_displs, mspan recv_data,
+                 std::span<const std::int64_t> recv_counts,
+                 std::span<const std::int64_t> recv_displs) override {
+    std::vector<int> sc(send_counts.begin(), send_counts.end());
+    std::vector<int> sd(send_displs.begin(), send_displs.end());
+    std::vector<int> rc(recv_counts.begin(), recv_counts.end());
+    std::vector<int> rd(recv_displs.begin(), recv_displs.end());
+    MPI_Alltoallv(send_data.data(), sc.data(), sd.data(), MPI_C_DOUBLE_COMPLEX,
+                  recv_data.data(), rc.data(), rd.data(), MPI_C_DOUBLE_COMPLEX,
+                  comm_);
+  }
+
+  void configure_resilience(const NetOptions& opts) override {
+    if (!configured_) {
+      configured_ = true;
+      timeout_ms_ = opts.timeout_ms;
+      max_retries_ = opts.max_retries;
+      for (const auto& w : unsupported_options(opts)) {
+        if (rank_ == 0) std::cerr << "soifft: warning: " << w << "\n";
+      }
+    }
+  }
+
+  [[nodiscard]] bool resilience_active() const override {
+    return timeout_ms_ > 0;
+  }
+  [[nodiscard]] double timeout_ms() const override { return timeout_ms_; }
+  [[nodiscard]] int max_retries() const override { return max_retries_; }
+  [[nodiscard]] FaultStats fault_stats() const override { return {}; }
+  [[nodiscard]] TrafficLog& traffic() override { return traffic_; }
+  [[nodiscard]] std::int64_t bytes_sent() const override {
+    return bytes_sent_;
+  }
+
+ private:
+  MPI_Comm comm_;
+  MPI_Comm chan_[kMaxChannels];
+  int rank_ = 0;
+  int size_ = 0;
+  bool configured_ = false;
+  double timeout_ms_ = 0;
+  int max_retries_ = 8;
+  std::int64_t bytes_sent_ = 0;
+  TrafficLog traffic_;  ///< inert
+};
+
+}  // namespace
+
+std::vector<CommEvent> run_mpi_world(
+    int nranks, const NetOptions& opts,
+    const std::function<void(Transport&)>& body) {
+  int initialized = 0;
+  MPI_Initialized(&initialized);
+  if (initialized == 0) {
+    MPI_Init(nullptr, nullptr);
+  }
+  int world_size = 0;
+  MPI_Comm_size(MPI_COMM_WORLD, &world_size);
+  if (world_size != nranks) {
+    std::ostringstream os;
+    os << "run_mpi_world: requested " << nranks
+       << " ranks but this mpirun world has " << world_size
+       << " — launch with `mpirun -n " << nranks << "`";
+    throw InvalidArgumentError(os.str());
+  }
+  MpiComm comm(MPI_COMM_WORLD);
+  comm.configure_resilience(opts);
+  body(comm);
+  comm.barrier();
+  return {};
+}
+
+void register_mpi_transport() {
+  TransportRegistry::instance().register_backend(
+      "mpi", TransportBackend{kMpiCaps, run_mpi_world});
+}
+
+}  // namespace soi::net
+
+#endif  // SOI_WITH_MPI

@@ -1,0 +1,54 @@
+// Compile-time-gated MPI backend skeleton: maps the net::Transport ABI
+// onto an MPI_Comm. Built ONLY with -DSOI_WITH_MPI=ON (which requires a
+// real MPI toolchain via find_package(MPI)); in default builds this header
+// is never included and the "mpi" backend simply does not appear in the
+// registry — asking for it yields the registry's unknown-backend error
+// naming the backends that DO exist.
+//
+// The mapping is intentionally direct:
+//
+//   send_bytes/recv_bytes      -> MPI_Send/MPI_Recv (MPI_BYTE)
+//   isend/irecv                -> MPI_Isend/MPI_Irecv behind RequestState
+//   ialltoall(v)               -> MPI_Ialltoall(v) on duplicated
+//                                 per-channel communicators (the channel
+//                                 ordering contract maps onto comm
+//                                 ordering, one MPI_Comm_dup per channel)
+//   barrier/bcast/gather/...   -> the eponymous MPI collectives
+//   allreduce_sum(span)        -> MPI_Allreduce(MPI_SUM) — NOTE: bitwise
+//                                 cross-rank identity then relies on the
+//                                 MPI library's reduction order; the
+//                                 conformance suite flags libraries that
+//                                 break it
+//
+// Capability sheet: no fault injection, no latency emulation, no traffic
+// events, no checksums (the fabric's own integrity is trusted), and
+// cross_process (ranks are mpirun processes). run_world() on this backend
+// cannot FORK a world: it requires the process was launched under mpirun
+// and the requested nranks matches MPI_Comm_size, else it throws
+// soi::InvalidArgumentError.
+#pragma once
+
+#ifdef SOI_WITH_MPI
+
+#include <functional>
+#include <vector>
+
+#include "net/traffic.hpp"
+#include "net/transport.hpp"
+
+namespace soi::net {
+
+/// Run `body` on this mpirun-launched process' rank of MPI_COMM_WORLD.
+/// Requires nranks == MPI_Comm_size(MPI_COMM_WORLD); initialises MPI if
+/// the host did not. Returns no traffic events.
+std::vector<CommEvent> run_mpi_world(
+    int nranks, const NetOptions& opts,
+    const std::function<void(Transport&)>& body);
+
+/// Registers the "mpi" backend. Called exactly once by the registry's lazy
+/// initialiser when compiled in.
+void register_mpi_transport();
+
+}  // namespace soi::net
+
+#endif  // SOI_WITH_MPI

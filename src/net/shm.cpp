@@ -1,0 +1,1257 @@
+#include "net/shm.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <new>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "net/registry.hpp"
+
+namespace soi::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared-region layout
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kRingCapacity = std::size_t{1} << 20;  ///< per-rank inbox
+constexpr std::size_t kMaxFragPayload = std::size_t{60} << 10;
+constexpr std::size_t kMaxReduceLen = 1024;  ///< doubles per reduction
+constexpr int kMaxShmRanks = 64;
+constexpr std::size_t kMaxErrWhat = 480;
+/// Cap on any single condition wait: the staleness bound of the abort
+/// flag — a dead peer is observed within this many milliseconds even if
+/// its wakeup broadcast was lost with it.
+constexpr double kAbortPollMs = 25.0;
+
+// Internal tags mirror SimMPI's (user tags must be >= 0).
+constexpr int kTagBcast = -2;
+constexpr int kTagGather = -3;
+constexpr int kTagAllgather = -4;
+constexpr int kTagAlltoall = -5;
+constexpr int kTagAlltoallv = -6;
+/// Nonblocking collectives get a unique tag per posting — the same
+/// kTagICollBase - (seq * kMaxChannels + channel) encoding as SimMPI, with
+/// the per-(rank, channel) counters living in child-private memory (every
+/// rank advances its own counters identically because all ranks post one
+/// channel's collectives in the same program order).
+constexpr int kTagICollBase = -16;
+
+/// One on-wire fragment. A message larger than kMaxFragPayload travels as
+/// several frames sharing (src, seq); the CRC covers the REASSEMBLED
+/// payload and is carried redundantly in every fragment.
+struct FrameHeader {
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  std::uint64_t seq = 0;         ///< per (src -> dst) message sequence
+  std::uint64_t msg_bytes = 0;   ///< total payload of the whole message
+  std::uint64_t frag_offset = 0; ///< where this fragment lands
+  std::uint32_t frag_bytes = 0;  ///< payload bytes in this frame
+  std::uint32_t crc = 0;
+  std::uint32_t has_crc = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(FrameHeader) == 48, "frame header layout is part of the wire format");
+
+/// Ring-buffer control block; the data area follows at a fixed offset.
+/// head/tail are monotonic byte counters (offset = counter % capacity).
+struct RingHdr {
+  pthread_mutex_t mu;
+  pthread_cond_t cv;  ///< signalled on push (data) and on drain (space)
+  std::uint64_t head;
+  std::uint64_t tail;
+};
+
+/// Typed error a failing rank records for the parent to rethrow.
+struct ErrSlot {
+  std::int32_t valid;   ///< 0 = none, 1 = primary, 2 = induced world-abort
+  std::int32_t status;  ///< soi::Status of the primary error
+  char what[kMaxErrWhat];
+};
+
+struct WorldHdr {
+  std::int32_t nranks;
+  std::atomic<int> aborted;
+
+  // Resilience configuration (first configure_resilience caller wins).
+  std::atomic<int> configured;
+  std::atomic<double> timeout_ms;
+  std::atomic<int> max_retries;
+  std::atomic<int> checksums;
+
+  // World-wide counters surfaced through fault_stats().
+  std::atomic<std::int64_t> checksum_failures;
+  std::atomic<std::int64_t> timeouts;
+
+  // Generation-counted barrier.
+  pthread_mutex_t bar_mu;
+  pthread_cond_t bar_cv;
+  std::int32_t bar_waiting;
+  std::uint64_t bar_gen;
+
+  // Generation-counted reduction rendezvous. Contributions land in
+  // per-rank slots; the LAST arrival reduces them in RANK ORDER, so the
+  // result bits are identical on every rank and independent of arrival
+  // order.
+  pthread_mutex_t red_mu;
+  pthread_cond_t red_cv;
+  std::int32_t red_count;
+  std::uint64_t red_gen;
+  std::uint64_t red_len;
+  std::int32_t red_op;  ///< 0 = sum, 1 = max
+};
+
+constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+
+struct Layout {
+  std::size_t hdr_off;
+  std::size_t err_off;
+  std::size_t rings_off;
+  std::size_t ring_stride;  ///< RingHdr + data area, per rank
+  std::size_t red_off;      ///< (nranks + 1) * kMaxReduceLen doubles
+  std::size_t total;
+};
+
+Layout compute_layout(int nranks) {
+  Layout l{};
+  l.hdr_off = 0;
+  l.err_off = align_up(sizeof(WorldHdr), 64);
+  l.rings_off = align_up(
+      l.err_off + sizeof(ErrSlot) * static_cast<std::size_t>(nranks), 64);
+  l.ring_stride = align_up(sizeof(RingHdr), 64) + kRingCapacity;
+  l.red_off = align_up(
+      l.rings_off + l.ring_stride * static_cast<std::size_t>(nranks), 64);
+  l.total = align_up(l.red_off + sizeof(double) * kMaxReduceLen *
+                                     static_cast<std::size_t>(nranks + 1),
+                     4096);
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// pthread helpers (process-shared, monotonic-clock timed waits)
+// ---------------------------------------------------------------------------
+
+void init_shared_mutex(pthread_mutex_t* mu) {
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  pthread_mutex_init(mu, &attr);
+  pthread_mutexattr_destroy(&attr);
+}
+
+void init_shared_cond(pthread_cond_t* cv) {
+  pthread_condattr_t attr;
+  pthread_condattr_init(&attr);
+  pthread_condattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  pthread_condattr_setclock(&attr, CLOCK_MONOTONIC);
+  pthread_cond_init(cv, &attr);
+  pthread_condattr_destroy(&attr);
+}
+
+class MutexLock {
+ public:
+  explicit MutexLock(pthread_mutex_t* mu) : mu_(mu) { pthread_mutex_lock(mu_); }
+  ~MutexLock() { pthread_mutex_unlock(mu_); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  pthread_mutex_t* mu_;
+};
+
+/// Bounded condition wait (caller holds `mu`); never longer than `ms`.
+void timed_wait_ms(pthread_cond_t* cv, pthread_mutex_t* mu, double ms) {
+  if (ms <= 0) ms = 0.1;
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const auto ns = static_cast<long>(ms * 1e6);
+  ts.tv_nsec += ns % 1000000000L;
+  ts.tv_sec += ns / 1000000000L + ts.tv_nsec / 1000000000L;
+  ts.tv_nsec %= 1000000000L;
+  pthread_cond_timedwait(cv, mu, &ts);
+}
+
+// ---------------------------------------------------------------------------
+// The per-rank communicator (lives in the CHILD process)
+// ---------------------------------------------------------------------------
+
+/// A message reassembled out of the ring, waiting in the process-local
+/// mailbox for a matching receive.
+struct LocalMsg {
+  int src = 0;
+  int tag = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t crc = 0;
+  bool has_crc = false;
+  std::vector<std::byte> payload;
+};
+
+class ShmComm;
+
+/// shm's concrete request state. Passive, like SimRequest: completion is
+/// driven by the owning rank through test/wait. Destruction of a live
+/// collective cancels it via the owning communicator.
+class ShmRequest final : public RequestState {
+ public:
+  ShmRequest() = default;
+  ~ShmRequest() override;
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] int source() const override { return src_matched_; }
+
+ private:
+  friend class ShmComm;
+  enum class Kind : std::uint8_t { kNone, kSend, kRecv, kColl };
+
+  Kind kind_ = Kind::kNone;
+  bool done_ = true;
+  int peer_ = kAnySource;
+  int tag_ = 0;
+  int src_matched_ = -1;
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+
+  int next_step_ = 1;
+  cplx* recv_base_ = nullptr;
+  std::int64_t count_ = -1;
+  const std::int64_t* recv_counts_ = nullptr;
+  const std::int64_t* recv_displs_ = nullptr;
+
+  ShmComm* owner_ = nullptr;  ///< cancellation route for dropped collectives
+};
+
+constexpr TransportCaps kShmCaps{
+    /*name=*/"shm",
+    /*max_coll_channels=*/kMaxChannels,
+    /*alltoall_algo_choice=*/false,
+    /*checksums=*/true,
+    /*fault_injection=*/false,
+    /*latency_emulation=*/false,
+    /*traffic_events=*/false,
+    /*threaded_world=*/false,
+    /*cross_process=*/true,
+};
+
+class ShmComm final : public Transport {
+ public:
+  ShmComm(std::byte* base, const Layout& lay, int rank, int nranks)
+      : base_(base),
+        lay_(lay),
+        hdr_(reinterpret_cast<WorldHdr*>(base)),
+        rank_(rank),
+        nranks_(nranks),
+        send_seq_(static_cast<std::size_t>(nranks), 0),
+        last_seq_from_(static_cast<std::size_t>(nranks), 0),
+        coll_seq_(static_cast<std::size_t>(kMaxChannels), 0) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return nranks_; }
+  [[nodiscard]] const TransportCaps& caps() const override { return kShmCaps; }
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override {
+    SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+    send_message(dst, tag, data, bytes);
+  }
+
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override {
+    SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+    recv_message(src, tag, data, bytes);
+  }
+
+  void sendrecv(int dst, cspan send_data, int src, mspan recv_data,
+                int tag) override {
+    // Sends never need a matching receive to complete (a full ring is
+    // drained by its owner or by us below), so send-then-recv cannot
+    // deadlock even in a fully cyclic exchange.
+    send(dst, tag, send_data);
+    recv(src, tag, recv_data);
+  }
+
+  bool try_recv(int src, int tag, mspan data) override {
+    Request req = irecv(src, tag, data);
+    return test(req);
+  }
+
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override {
+    SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+    send_message(dst, tag, data, bytes);
+    auto req = std::make_unique<ShmRequest>();
+    req->kind_ = ShmRequest::Kind::kSend;
+    req->done_ = true;  // buffered: complete at post time
+    req->peer_ = dst;
+    req->tag_ = tag;
+    req->bytes_ = bytes;
+    return Request(std::move(req));
+  }
+
+  Request isend(int dst, int tag, cspan data) override {
+    return isend_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+
+  Request irecv_bytes(int src, int tag, void* data,
+                      std::size_t bytes) override {
+    SOI_CHECK(tag >= 0, "user tags must be non-negative (got " << tag << ")");
+    return make_recv(src, tag, data, bytes);
+  }
+
+  Request irecv(int src, int tag, mspan data) override {
+    return irecv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+
+  Request ialltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                    AlltoallAlgo algo, int channel) override {
+    (void)algo;  // one native schedule (caps().alltoall_algo_choice == false)
+    const int p = nranks_;
+    const auto block = static_cast<std::size_t>(count);
+    SOI_CHECK(count >= 0, "ialltoall: negative count");
+    SOI_CHECK(channel >= 0 && channel < kMaxChannels,
+              "ialltoall: channel " << channel << " out of range [0, "
+                                    << kMaxChannels << ")");
+    SOI_CHECK(send_data.size() >= block * static_cast<std::size_t>(p),
+              "ialltoall: send buffer too small");
+    SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(p),
+              "ialltoall: recv buffer too small");
+    const int tag = next_coll_tag(channel);
+
+    std::copy(send_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_,
+              send_data.begin() +
+                  static_cast<std::ptrdiff_t>(block) * (rank_ + 1),
+              recv_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_);
+    for (int step = 1; step < p; ++step) {
+      const int to = (rank_ + step) % p;
+      send_message(to, tag,
+                   send_data.data() + block * static_cast<std::size_t>(to),
+                   block * sizeof(cplx));
+    }
+
+    auto req = std::make_unique<ShmRequest>();
+    req->kind_ = ShmRequest::Kind::kColl;
+    req->done_ = (p == 1);
+    req->tag_ = tag;
+    req->recv_base_ = recv_data.data();
+    req->count_ = count;
+    req->next_step_ = 1;
+    req->owner_ = this;
+    return Request(std::move(req));
+  }
+
+  Request ialltoallv(cspan send_data,
+                     std::span<const std::int64_t> send_counts,
+                     std::span<const std::int64_t> send_displs,
+                     mspan recv_data,
+                     std::span<const std::int64_t> recv_counts,
+                     std::span<const std::int64_t> recv_displs,
+                     int channel) override {
+    const int p = nranks_;
+    SOI_CHECK(send_counts.size() == static_cast<std::size_t>(p) &&
+                  send_displs.size() == static_cast<std::size_t>(p) &&
+                  recv_counts.size() == static_cast<std::size_t>(p) &&
+                  recv_displs.size() == static_cast<std::size_t>(p),
+              "ialltoallv: counts/displs must have one entry per rank");
+    SOI_CHECK(channel >= 0 && channel < kMaxChannels,
+              "ialltoallv: channel " << channel << " out of range [0, "
+                                     << kMaxChannels << ")");
+    const int tag = next_coll_tag(channel);
+
+    {
+      const auto sc = static_cast<std::size_t>(
+          send_counts[static_cast<std::size_t>(rank_)]);
+      const auto rc = static_cast<std::size_t>(
+          recv_counts[static_cast<std::size_t>(rank_)]);
+      SOI_CHECK(sc == rc, "ialltoallv: self send/recv count mismatch");
+      std::copy_n(send_data.begin() +
+                      send_displs[static_cast<std::size_t>(rank_)],
+                  sc,
+                  recv_data.begin() +
+                      recv_displs[static_cast<std::size_t>(rank_)]);
+    }
+    for (int step = 1; step < p; ++step) {
+      const int to = (rank_ + step) % p;
+      const auto sc =
+          static_cast<std::size_t>(send_counts[static_cast<std::size_t>(to)]);
+      send_message(to, tag,
+                   send_data.data() + send_displs[static_cast<std::size_t>(to)],
+                   sc * sizeof(cplx));
+    }
+
+    auto req = std::make_unique<ShmRequest>();
+    req->kind_ = ShmRequest::Kind::kColl;
+    req->done_ = (p == 1);
+    req->tag_ = tag;
+    req->recv_base_ = recv_data.data();
+    req->count_ = -1;  // v-variant
+    req->recv_counts_ = recv_counts.data();
+    req->recv_displs_ = recv_displs.data();
+    req->next_step_ = 1;
+    req->owner_ = this;
+    return Request(std::move(req));
+  }
+
+  bool test(Request& req) override {
+    auto* st = static_cast<ShmRequest*>(req.state());
+    if (st == nullptr || st->done_) return true;
+    drain_ring();
+    return progress(*st);
+  }
+
+  void wait(Request& req) override {
+    auto* st = static_cast<ShmRequest*>(req.state());
+    if (st == nullptr || st->done_) return;
+    const double base = hdr_->timeout_ms.load(std::memory_order_relaxed);
+    if (base <= 0) {
+      wait_for(req, 0);
+      return;
+    }
+    double t = base;
+    const int maxr = hdr_->max_retries.load(std::memory_order_relaxed);
+    for (int attempt = 0;; ++attempt) {
+      if (wait_for(req, t)) return;
+      if (attempt >= maxr) {
+        std::ostringstream os;
+        os << "shm wait: request (tag " << st->tag_ << ") timed out after "
+           << (attempt + 1) << " attempt(s), base deadline " << base << " ms";
+        throw CommTimeoutError(os.str());
+      }
+      t *= 2;  // exponential backoff
+    }
+  }
+
+  bool wait_for(Request& req, double timeout_ms) override {
+    auto* st = static_cast<ShmRequest*>(req.state());
+    if (st == nullptr || st->done_) return true;
+    const bool bounded = timeout_ms > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(bounded ? timeout_ms : 0.0);
+    for (;;) {
+      drain_ring();
+      if (progress(*st)) return true;
+      check_alive();
+      double wait_ms = kAbortPollMs;
+      if (bounded) {
+        const double remaining =
+            std::chrono::duration<double, std::milli>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0) {
+          drain_ring();
+          const bool ok = progress(*st);
+          if (!ok) {
+            hdr_->timeouts.fetch_add(1, std::memory_order_relaxed);
+          }
+          return ok;
+        }
+        wait_ms = std::min(wait_ms, remaining);
+      }
+      wait_for_inbox(wait_ms);
+    }
+  }
+
+  void waitall(std::span<Request> reqs) override {
+    for (auto& r : reqs) wait(r);
+  }
+
+  void barrier() override {
+    auto& h = *hdr_;
+    MutexLock lock(&h.bar_mu);
+    check_alive();
+    const std::uint64_t gen = h.bar_gen;
+    if (++h.bar_waiting == nranks_) {
+      h.bar_waiting = 0;
+      ++h.bar_gen;
+      pthread_cond_broadcast(&h.bar_cv);
+    } else {
+      while (h.bar_gen == gen) {
+        check_alive();
+        timed_wait_ms(&h.bar_cv, &h.bar_mu, kAbortPollMs);
+      }
+    }
+  }
+
+  void bcast(mspan data, int root) override {
+    SOI_CHECK(root >= 0 && root < nranks_, "bcast: bad root " << root);
+    if (rank_ == root) {
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == root) continue;
+        send_message(r, kTagBcast, data.data(), data.size_bytes());
+      }
+    } else {
+      recv_message(root, kTagBcast, data.data(), data.size_bytes());
+    }
+  }
+
+  void gather(cspan send_data, mspan recv_data, int root) override {
+    const std::size_t block = send_data.size();
+    if (rank_ == root) {
+      SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(nranks_),
+                "gather: receive buffer too small");
+      std::copy(send_data.begin(), send_data.end(),
+                recv_data.begin() + static_cast<std::ptrdiff_t>(block) * root);
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == root) continue;
+        recv_message(r, kTagGather,
+                     recv_data.data() + block * static_cast<std::size_t>(r),
+                     block * sizeof(cplx));
+      }
+    } else {
+      send_message(root, kTagGather, send_data.data(), send_data.size_bytes());
+    }
+  }
+
+  void allgather(cspan send_data, mspan recv_data) override {
+    const std::size_t block = send_data.size();
+    SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(nranks_),
+              "allgather: receive buffer too small");
+    for (int r = 0; r < nranks_; ++r) {
+      if (r == rank_) continue;
+      send_message(r, kTagAllgather, send_data.data(), send_data.size_bytes());
+    }
+    std::copy(send_data.begin(), send_data.end(),
+              recv_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_);
+    for (int r = 0; r < nranks_; ++r) {
+      if (r == rank_) continue;
+      recv_message(r, kTagAllgather,
+                   recv_data.data() + block * static_cast<std::size_t>(r),
+                   block * sizeof(cplx));
+    }
+  }
+
+  double allreduce_sum(double value) override {
+    double v[1] = {value};
+    reduce(std::span<double>(v, 1), /*op=*/0);
+    return v[0];
+  }
+
+  double allreduce_max(double value) override {
+    double v[1] = {value};
+    reduce(std::span<double>(v, 1), /*op=*/1);
+    return v[0];
+  }
+
+  void allreduce_sum(std::span<double> values) override {
+    reduce(values, /*op=*/0);
+  }
+
+  void alltoall(cspan send_data, mspan recv_data, std::int64_t count,
+                AlltoallAlgo algo) override {
+    (void)algo;
+    const int p = nranks_;
+    const auto block = static_cast<std::size_t>(count);
+    SOI_CHECK(send_data.size() >= block * static_cast<std::size_t>(p),
+              "alltoall: send buffer too small");
+    SOI_CHECK(recv_data.size() >= block * static_cast<std::size_t>(p),
+              "alltoall: recv buffer too small");
+    std::copy(send_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_,
+              send_data.begin() +
+                  static_cast<std::ptrdiff_t>(block) * (rank_ + 1),
+              recv_data.begin() + static_cast<std::ptrdiff_t>(block) * rank_);
+    for (int step = 1; step < p; ++step) {
+      const int to = (rank_ + step) % p;
+      const int from = (rank_ - step + p) % p;
+      send_message(to, kTagAlltoall,
+                   send_data.data() + block * static_cast<std::size_t>(to),
+                   block * sizeof(cplx));
+      recv_message(from, kTagAlltoall,
+                   recv_data.data() + block * static_cast<std::size_t>(from),
+                   block * sizeof(cplx));
+    }
+  }
+
+  void alltoallv(cspan send_data, std::span<const std::int64_t> send_counts,
+                 std::span<const std::int64_t> send_displs, mspan recv_data,
+                 std::span<const std::int64_t> recv_counts,
+                 std::span<const std::int64_t> recv_displs) override {
+    const int p = nranks_;
+    SOI_CHECK(send_counts.size() == static_cast<std::size_t>(p) &&
+                  send_displs.size() == static_cast<std::size_t>(p) &&
+                  recv_counts.size() == static_cast<std::size_t>(p) &&
+                  recv_displs.size() == static_cast<std::size_t>(p),
+              "alltoallv: counts/displs must have one entry per rank");
+    {
+      const auto sc = static_cast<std::size_t>(
+          send_counts[static_cast<std::size_t>(rank_)]);
+      const auto rc = static_cast<std::size_t>(
+          recv_counts[static_cast<std::size_t>(rank_)]);
+      SOI_CHECK(sc == rc, "alltoallv: self send/recv count mismatch");
+      std::copy_n(send_data.begin() +
+                      send_displs[static_cast<std::size_t>(rank_)],
+                  sc,
+                  recv_data.begin() +
+                      recv_displs[static_cast<std::size_t>(rank_)]);
+    }
+    for (int step = 1; step < p; ++step) {
+      const int to = (rank_ + step) % p;
+      const int from = (rank_ - step + p) % p;
+      const auto sc =
+          static_cast<std::size_t>(send_counts[static_cast<std::size_t>(to)]);
+      const auto rc =
+          static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(from)]);
+      send_message(to, kTagAlltoallv,
+                   send_data.data() + send_displs[static_cast<std::size_t>(to)],
+                   sc * sizeof(cplx));
+      recv_message(
+          from, kTagAlltoallv,
+          recv_data.data() + recv_displs[static_cast<std::size_t>(from)],
+          rc * sizeof(cplx));
+    }
+  }
+
+  void configure_resilience(const NetOptions& opts) override {
+    int expected = 0;
+    if (hdr_->configured.compare_exchange_strong(expected, 1)) {
+      hdr_->timeout_ms.store(opts.timeout_ms, std::memory_order_relaxed);
+      hdr_->max_retries.store(opts.max_retries, std::memory_order_relaxed);
+      hdr_->checksums.store(opts.checksums ? 1 : 0, std::memory_order_relaxed);
+      // Capability mismatches are reported, never silently ignored.
+      for (const auto& w : unsupported_options(opts)) {
+        std::cerr << "soifft: warning: " << w << "\n";
+      }
+    }
+  }
+
+  [[nodiscard]] bool resilience_active() const override {
+    return hdr_->timeout_ms.load(std::memory_order_relaxed) > 0;
+  }
+
+  [[nodiscard]] double timeout_ms() const override {
+    return hdr_->timeout_ms.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int max_retries() const override {
+    return hdr_->max_retries.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] FaultStats fault_stats() const override {
+    FaultStats s;
+    s.checksum_failures =
+        hdr_->checksum_failures.load(std::memory_order_relaxed);
+    s.timeouts = hdr_->timeouts.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] TrafficLog& traffic() override { return traffic_; }
+
+  [[nodiscard]] std::int64_t bytes_sent() const override {
+    return bytes_sent_;
+  }
+
+ private:
+  friend class ShmRequest;  // cancel-on-drop route
+
+  // -- shared-region accessors --
+
+  RingHdr& ring(int r) {
+    return *reinterpret_cast<RingHdr*>(
+        base_ + lay_.rings_off + lay_.ring_stride * static_cast<std::size_t>(r));
+  }
+
+  std::byte* ring_data(int r) {
+    return base_ + lay_.rings_off +
+           lay_.ring_stride * static_cast<std::size_t>(r) +
+           align_up(sizeof(RingHdr), 64);
+  }
+
+  double* red_slot(int r) {
+    return reinterpret_cast<double*>(base_ + lay_.red_off) +
+           kMaxReduceLen * static_cast<std::size_t>(r);
+  }
+
+  double* red_result() { return red_slot(nranks_); }
+
+  void check_alive() const {
+    if (hdr_->aborted.load(std::memory_order_acquire) != 0) {
+      throw WorldAbortedError(
+          "shm: world aborted after a failure on a peer rank");
+    }
+  }
+
+  [[nodiscard]] bool checksums_on() const {
+    return hdr_->checksums.load(std::memory_order_relaxed) != 0;
+  }
+
+  int next_coll_tag(int channel) {
+    const int seq = coll_seq_[static_cast<std::size_t>(channel)]++;
+    return kTagICollBase - (seq * kMaxChannels + channel);
+  }
+
+  // -- ring I/O (wrap-aware) --
+
+  static void ring_write(std::byte* data, std::uint64_t pos, const void* src,
+                         std::size_t n) {
+    const std::size_t off = static_cast<std::size_t>(pos % kRingCapacity);
+    const std::size_t first = std::min(n, kRingCapacity - off);
+    std::memcpy(data + off, src, first);
+    if (n > first) {
+      std::memcpy(data, static_cast<const std::byte*>(src) + first, n - first);
+    }
+  }
+
+  static void ring_read(const std::byte* data, std::uint64_t pos, void* dst,
+                        std::size_t n) {
+    const std::size_t off = static_cast<std::size_t>(pos % kRingCapacity);
+    const std::size_t first = std::min(n, kRingCapacity - off);
+    std::memcpy(dst, data + off, first);
+    if (n > first) {
+      std::memcpy(static_cast<std::byte*>(dst) + first, data, n - first);
+    }
+  }
+
+  /// Append one frame to `dst`'s ring, blocking while it is full. A
+  /// blocked sender drains its OWN inbox between attempts, so two ranks
+  /// streaming into each other always make progress (no send-ring
+  /// deadlock), and polls the abort flag so a dead receiver cannot hang
+  /// the world.
+  void push_frame(int dst, const FrameHeader& h, const void* payload) {
+    SOI_CHECK(dst >= 0 && dst < nranks_,
+              "send: destination rank " << dst << " out of range");
+    RingHdr& r = ring(dst);
+    std::byte* data = ring_data(dst);
+    const std::size_t need =
+        align_up(sizeof(FrameHeader) + h.frag_bytes, 8);
+    SOI_CHECK(need <= kRingCapacity, "shm: frame exceeds ring capacity");
+    for (;;) {
+      {
+        MutexLock lock(&r.mu);
+        if (kRingCapacity - static_cast<std::size_t>(r.tail - r.head) >=
+            need) {
+          ring_write(data, r.tail, &h, sizeof(FrameHeader));
+          if (h.frag_bytes > 0) {
+            ring_write(data, r.tail + sizeof(FrameHeader), payload,
+                       h.frag_bytes);
+          }
+          r.tail += need;
+          pthread_cond_broadcast(&r.cv);
+          return;
+        }
+        timed_wait_ms(&r.cv, &r.mu, kAbortPollMs);
+      }
+      check_alive();
+      drain_ring();  // free OUR ring so peers blocked on it progress
+    }
+  }
+
+  /// Send one whole message (fragmenting as needed) with the CRC32C + seq
+  /// integrity envelope.
+  void send_message(int dst, int tag, const void* data, std::size_t bytes) {
+    const std::uint64_t seq =
+        ++send_seq_[static_cast<std::size_t>(dst)];
+    const bool has_crc = checksums_on();
+    const std::uint32_t crc = has_crc ? crc32(data, bytes) : 0;
+    std::size_t off = 0;
+    do {
+      const std::size_t frag = std::min(bytes - off, kMaxFragPayload);
+      FrameHeader h;
+      h.src = rank_;
+      h.tag = tag;
+      h.seq = seq;
+      h.msg_bytes = bytes;
+      h.frag_offset = off;
+      h.frag_bytes = static_cast<std::uint32_t>(frag);
+      h.crc = crc;
+      h.has_crc = has_crc ? 1 : 0;
+      push_frame(dst, h, static_cast<const std::byte*>(data) + off);
+      off += frag;
+    } while (off < bytes);
+    bytes_sent_ += static_cast<std::int64_t>(bytes);
+  }
+
+  /// Pull every complete frame out of our own ring into the local mailbox
+  /// (reassembling fragments), waking senders blocked on ring space.
+  void drain_ring() {
+    RingHdr& r = ring(rank_);
+    const std::byte* data = ring_data(rank_);
+    std::vector<std::pair<FrameHeader, std::vector<std::byte>>> frames;
+    {
+      MutexLock lock(&r.mu);
+      while (r.head < r.tail) {
+        FrameHeader h;
+        ring_read(data, r.head, &h, sizeof(FrameHeader));
+        std::vector<std::byte> pay(h.frag_bytes);
+        if (h.frag_bytes > 0) {
+          ring_read(data, r.head + sizeof(FrameHeader), pay.data(),
+                    h.frag_bytes);
+        }
+        r.head += align_up(sizeof(FrameHeader) + h.frag_bytes, 8);
+        frames.emplace_back(h, std::move(pay));
+      }
+      if (!frames.empty()) pthread_cond_broadcast(&r.cv);
+    }
+    for (auto& [h, pay] : frames) accept_frame(h, std::move(pay));
+  }
+
+  void accept_frame(const FrameHeader& h, std::vector<std::byte> pay) {
+    LocalMsg* msg = nullptr;
+    LocalMsg whole;
+    if (h.frag_offset == 0 && h.frag_bytes == h.msg_bytes) {
+      whole.payload = std::move(pay);
+      msg = &whole;
+    } else {
+      auto& part = partial_[{h.src, h.seq}];
+      if (part.payload.size() != h.msg_bytes) {
+        part.payload.resize(h.msg_bytes);
+        part.received = 0;
+      }
+      std::copy(pay.begin(), pay.end(),
+                part.payload.begin() +
+                    static_cast<std::ptrdiff_t>(h.frag_offset));
+      part.received += h.frag_bytes;
+      if (part.received < h.msg_bytes) return;
+      whole.payload = std::move(part.payload);
+      partial_.erase({h.src, h.seq});
+      msg = &whole;
+    }
+    // Per-source sequence numbers are strictly increasing (each sender
+    // stamps its own counter and the ring preserves its order): a
+    // violation means shared-memory corruption, not reordering.
+    auto& last = last_seq_from_[static_cast<std::size_t>(h.src)];
+    if (h.seq <= last) {
+      hdr_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream os;
+      os << "shm: out-of-order sequence " << h.seq << " from rank " << h.src
+         << " (last " << last << ") — shared region corrupted";
+      throw PayloadCorruptionError(os.str());
+    }
+    last = h.seq;
+    if (cancelled_.count(h.tag) != 0) return;  // dropped collective
+    msg->src = h.src;
+    msg->tag = h.tag;
+    msg->seq = h.seq;
+    msg->crc = h.crc;
+    msg->has_crc = h.has_crc != 0;
+    mailbox_.push_back(std::move(*msg));
+  }
+
+  /// First mailbox entry matching (src, tag), verified against the
+  /// integrity envelope. Size or CRC mismatches throw — there is no
+  /// retransmit source on this backend, so corruption is fatal (and loud).
+  std::optional<LocalMsg> take_match(int src, int tag,
+                                     std::size_t expected_bytes) {
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (it->tag != tag) continue;
+      if (src != kAnySource && it->src != src) continue;
+      LocalMsg m = std::move(*it);
+      mailbox_.erase(it);
+      if (m.payload.size() != expected_bytes) {
+        hdr_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream os;
+        os << "shm: size mismatch from rank " << m.src << " tag " << tag
+           << ": got " << m.payload.size() << " bytes, expected "
+           << expected_bytes;
+        throw PayloadCorruptionError(os.str());
+      }
+      if (m.has_crc && checksums_on() &&
+          crc32(m.payload.data(), m.payload.size()) != m.crc) {
+        hdr_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream os;
+        os << "shm: CRC mismatch from rank " << m.src << " tag " << tag
+           << " (" << m.payload.size() << " bytes)";
+        throw PayloadCorruptionError(os.str());
+      }
+      return m;
+    }
+    return std::nullopt;
+  }
+
+  /// Sleep (bounded) until our inbox plausibly has new data.
+  void wait_for_inbox(double ms) {
+    RingHdr& r = ring(rank_);
+    MutexLock lock(&r.mu);
+    if (r.head == r.tail) {
+      timed_wait_ms(&r.cv, &r.mu, std::min(ms, kAbortPollMs));
+    }
+  }
+
+  Request make_recv(int src, int tag, void* data, std::size_t bytes) {
+    SOI_CHECK(src == kAnySource || (src >= 0 && src < nranks_),
+              "irecv: source rank " << src << " out of range");
+    auto req = std::make_unique<ShmRequest>();
+    req->kind_ = ShmRequest::Kind::kRecv;
+    req->done_ = false;
+    req->peer_ = src;
+    req->tag_ = tag;
+    req->data_ = data;
+    req->bytes_ = bytes;
+    req->owner_ = this;
+    return Request(std::move(req));
+  }
+
+  /// Blocking matched receive with the world's deadline policy (mirrors
+  /// SimMPI's bounded pop: attempts with doubling backoff, then
+  /// CommTimeoutError). Used by recv_bytes and the blocking collectives.
+  void recv_message(int src, int tag, void* data, std::size_t bytes) {
+    Request req = make_recv(src, tag, data, bytes);
+    const double base = hdr_->timeout_ms.load(std::memory_order_relaxed);
+    if (base <= 0) {
+      wait_for(req, 0);
+      return;
+    }
+    double t = base;
+    const int maxr = hdr_->max_retries.load(std::memory_order_relaxed);
+    for (int attempt = 0;; ++attempt) {
+      if (wait_for(req, t)) return;
+      if (attempt >= maxr) {
+        std::ostringstream os;
+        os << "shm recv: timed out waiting for rank " << src << " tag " << tag
+           << " after " << (attempt + 1) << " attempt(s), base deadline "
+           << base << " ms";
+        throw CommTimeoutError(os.str());
+      }
+      t *= 2;
+    }
+  }
+
+  /// One completion attempt (mailbox already drained by the caller).
+  bool progress(ShmRequest& req) {
+    switch (req.kind_) {
+      case ShmRequest::Kind::kNone:
+      case ShmRequest::Kind::kSend:
+        return true;
+      case ShmRequest::Kind::kRecv: {
+        auto m = take_match(req.peer_, req.tag_, req.bytes_);
+        if (!m.has_value()) return false;
+        if (!m->payload.empty()) {
+          std::memcpy(req.data_, m->payload.data(), m->payload.size());
+        }
+        req.src_matched_ = m->src;
+        req.done_ = true;
+        return true;
+      }
+      case ShmRequest::Kind::kColl: {
+        const int p = nranks_;
+        while (req.next_step_ < p) {
+          const int from = (rank_ - req.next_step_ + p) % p;
+          std::int64_t rc = req.count_;
+          std::int64_t rd = req.count_ * from;
+          if (req.count_ < 0) {
+            rc = req.recv_counts_[static_cast<std::size_t>(from)];
+            rd = req.recv_displs_[static_cast<std::size_t>(from)];
+          }
+          auto m = take_match(from, req.tag_,
+                              static_cast<std::size_t>(rc) * sizeof(cplx));
+          if (!m.has_value()) return false;
+          if (!m->payload.empty()) {
+            std::memcpy(req.recv_base_ + rd, m->payload.data(),
+                        m->payload.size());
+          }
+          ++req.next_step_;
+        }
+        req.done_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Cancel a live collective dropped without a wait: purge its landed
+  /// blocks and discard future arrivals for its (unique) tag.
+  void cancel_tag(int tag) {
+    cancelled_.insert(tag);
+    mailbox_.erase(
+        std::remove_if(mailbox_.begin(), mailbox_.end(),
+                       [tag](const LocalMsg& m) { return m.tag == tag; }),
+        mailbox_.end());
+    // Half-assembled fragments of that collective are dropped too; keyed
+    // by (src, seq) so scan for the tag via the mailbox path is not
+    // possible — fragments carry the tag in their header, which we no
+    // longer have. Completion of such a partial will be discarded by the
+    // cancelled_ check in accept_frame.
+  }
+
+  /// Deterministic reduction: contributions land in per-rank slots, the
+  /// last arrival reduces them in rank order (op 0 = sum, 1 = max), every
+  /// rank reads back identical bits.
+  void reduce(std::span<double> values, int op) {
+    SOI_CHECK(values.size() <= kMaxReduceLen,
+              "shm allreduce: vector longer than " << kMaxReduceLen);
+    auto& h = *hdr_;
+    MutexLock lock(&h.red_mu);
+    check_alive();
+    const std::uint64_t gen = h.red_gen;
+    std::copy(values.begin(), values.end(), red_slot(rank_));
+    if (h.red_count == 0) {
+      h.red_len = values.size();
+      h.red_op = op;
+    } else {
+      SOI_CHECK(h.red_len == values.size(),
+                "allreduce: vector length mismatch across ranks");
+      SOI_CHECK(h.red_op == op, "allreduce: operation mismatch across ranks");
+    }
+    if (++h.red_count == nranks_) {
+      double* out = red_result();
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        double acc = red_slot(0)[i];
+        for (int r = 1; r < nranks_; ++r) {
+          acc = (op == 0) ? acc + red_slot(r)[i]
+                          : std::max(acc, red_slot(r)[i]);
+        }
+        out[i] = acc;
+      }
+      h.red_count = 0;
+      ++h.red_gen;
+      pthread_cond_broadcast(&h.red_cv);
+    } else {
+      while (h.red_gen == gen) {
+        check_alive();
+        timed_wait_ms(&h.red_cv, &h.red_mu, kAbortPollMs);
+      }
+    }
+    std::copy_n(red_result(), values.size(), values.begin());
+  }
+
+  std::byte* base_;
+  Layout lay_;
+  WorldHdr* hdr_;
+  int rank_;
+  int nranks_;
+
+  // Child-private state.
+  struct Partial {
+    std::uint64_t received = 0;
+    std::vector<std::byte> payload;
+  };
+  std::deque<LocalMsg> mailbox_;
+  std::map<std::pair<int, std::uint64_t>, Partial> partial_;
+  std::set<int> cancelled_;
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<std::uint64_t> last_seq_from_;
+  std::vector<int> coll_seq_;
+  std::int64_t bytes_sent_ = 0;
+  TrafficLog traffic_;  ///< inert (caps().traffic_events == false)
+};
+
+ShmRequest::~ShmRequest() {
+  if (kind_ == Kind::kColl && !done_ && owner_ != nullptr) {
+    owner_->cancel_tag(tag_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// World launch (parent side)
+// ---------------------------------------------------------------------------
+
+/// Environment knobs fill any NetOptions field left at its default
+/// (mirrors run_ranks' resolution).
+NetOptions resolve_env_options(NetOptions opts) {
+  if (!opts.faults.any()) {
+    const std::string spec = env_str("SOI_FAULTS", "");
+    if (!spec.empty()) opts.faults = FaultSpec::parse(spec);
+  }
+  if (opts.timeout_ms <= 0) opts.timeout_ms = env_f64("SOI_TIMEOUT_MS", 0.0);
+  opts.max_retries =
+      static_cast<int>(env_i64("SOI_MAX_RETRIES", opts.max_retries));
+  if (env_i64("SOI_CHECKSUMS", opts.checksums ? 1 : 0) == 0) {
+    opts.checksums = false;
+  }
+  return opts;
+}
+
+void record_error(ErrSlot& slot, int valid, Status status, const char* what) {
+  std::snprintf(slot.what, kMaxErrWhat, "%s", what);
+  slot.status = static_cast<std::int32_t>(status);
+  // `valid` is written LAST (the parent only reads slots after waitpid, so
+  // ordering is belt-and-braces, not load-bearing).
+  slot.valid = valid;
+}
+
+[[noreturn]] void rethrow_slot(const ErrSlot& slot) {
+  const std::string what(slot.what);
+  switch (static_cast<Status>(slot.status)) {
+    case Status::kCommTimeout:
+      throw CommTimeoutError(what);
+    case Status::kPayloadCorruption:
+      throw PayloadCorruptionError(what);
+    case Status::kAccuracyFault:
+      throw AccuracyFaultError(what);
+    case Status::kResourceExhausted:
+      throw AdmissionRejectedError(what);
+    default:
+      throw Error(what, static_cast<Status>(slot.status));
+  }
+}
+
+/// RAII holder for the mapped region (parent side).
+struct Mapping {
+  void* mem = MAP_FAILED;
+  std::size_t size = 0;
+  ~Mapping() {
+    if (mem != MAP_FAILED) ::munmap(mem, size);
+  }
+};
+
+[[noreturn]] void child_main(std::byte* base, const Layout& lay, int rank,
+                             int nranks,
+                             const std::function<void(Transport&)>& body) {
+  auto* hdr = reinterpret_cast<WorldHdr*>(base);
+  auto* err = reinterpret_cast<ErrSlot*>(base + lay.err_off);
+  int code = 0;
+  try {
+    ShmComm comm(base, lay, rank, nranks);
+    body(comm);
+  } catch (const WorldAbortedError& e) {
+    record_error(err[rank], /*valid=*/2, Status::kCommTimeout, e.what());
+    hdr->aborted.store(1, std::memory_order_release);
+    code = 3;
+  } catch (const Error& e) {
+    record_error(err[rank], /*valid=*/1, e.status(), e.what());
+    hdr->aborted.store(1, std::memory_order_release);
+    code = 2;
+  } catch (const std::exception& e) {
+    record_error(err[rank], /*valid=*/1, Status::kInvalidArgument, e.what());
+    hdr->aborted.store(1, std::memory_order_release);
+    code = 2;
+  } catch (...) {
+    record_error(err[rank], /*valid=*/1, Status::kInvalidArgument,
+                 "shm rank body failed with a non-standard exception");
+    hdr->aborted.store(1, std::memory_order_release);
+    code = 2;
+  }
+  // Skip static destructors (we forked from an arbitrary host process) but
+  // push out anything the body printed.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  ::_exit(code);
+}
+
+}  // namespace
+
+std::vector<CommEvent> run_shm_world(
+    int nranks, const NetOptions& opts,
+    const std::function<void(Transport&)>& body) {
+  SOI_CHECK(nranks >= 1, "run_shm_world: need at least one rank");
+  SOI_CHECK(nranks <= kMaxShmRanks,
+            "run_shm_world: at most " << kMaxShmRanks << " ranks (got "
+                                      << nranks << ")");
+  const NetOptions resolved = resolve_env_options(opts);
+  // Capability mismatches are reported, never silently ignored.
+  for (const auto& w : unsupported_option_warnings(kShmCaps, resolved)) {
+    std::cerr << "soifft: warning: " << w << "\n";
+  }
+
+  const Layout lay = compute_layout(nranks);
+  Mapping map;
+  map.size = lay.total;
+  map.mem = ::mmap(nullptr, lay.total, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  SOI_CHECK(map.mem != MAP_FAILED, "run_shm_world: mmap failed");
+  auto* base = static_cast<std::byte*>(map.mem);
+  std::memset(base, 0, lay.total);
+
+  auto* hdr = new (base) WorldHdr{};
+  hdr->nranks = nranks;
+  init_shared_mutex(&hdr->bar_mu);
+  init_shared_cond(&hdr->bar_cv);
+  init_shared_mutex(&hdr->red_mu);
+  init_shared_cond(&hdr->red_cv);
+  hdr->max_retries.store(resolved.max_retries, std::memory_order_relaxed);
+  hdr->checksums.store(resolved.checksums ? 1 : 0, std::memory_order_relaxed);
+  // Only a non-default configuration claims the configure slot; otherwise
+  // it stays open for DistOptions-level plumbing to install one later.
+  if (resolved.timeout_ms > 0 || !resolved.checksums) {
+    hdr->configured.store(1, std::memory_order_relaxed);
+    hdr->timeout_ms.store(resolved.timeout_ms, std::memory_order_relaxed);
+  }
+  for (int r = 0; r < nranks; ++r) {
+    auto* ring = reinterpret_cast<RingHdr*>(
+        base + lay.rings_off + lay.ring_stride * static_cast<std::size_t>(r));
+    init_shared_mutex(&ring->mu);
+    init_shared_cond(&ring->cv);
+    ring->head = 0;
+    ring->tail = 0;
+  }
+
+  // Buffered stdio must be flushed before forking or every child re-flushes
+  // the parent's pending output.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0; r < nranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      child_main(base, lay, r, nranks, body);  // never returns
+    }
+    if (pid < 0) {
+      // Fork failed: abort the world so already-launched children unwind,
+      // then reap them before reporting.
+      hdr->aborted.store(1, std::memory_order_release);
+      for (int k = 0; k < r; ++k) {
+        int st = 0;
+        while (::waitpid(pids[static_cast<std::size_t>(k)], &st, 0) < 0 &&
+               errno == EINTR) {
+        }
+      }
+      throw Error("run_shm_world: fork failed", Status::kResourceExhausted);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  std::vector<int> statuses(static_cast<std::size_t>(nranks), 0);
+  for (int r = 0; r < nranks; ++r) {
+    int st = 0;
+    while (::waitpid(pids[static_cast<std::size_t>(r)], &st, 0) < 0 &&
+           errno == EINTR) {
+    }
+    statuses[static_cast<std::size_t>(r)] = st;
+  }
+
+  // Primary errors first (by rank order), induced world-aborts only when
+  // no primary exists — exactly run_ranks' rethrow contract.
+  auto* err = reinterpret_cast<ErrSlot*>(base + lay.err_off);
+  for (int r = 0; r < nranks; ++r) {
+    if (err[r].valid == 1) rethrow_slot(err[r]);
+  }
+  for (int r = 0; r < nranks; ++r) {
+    const int st = statuses[static_cast<std::size_t>(r)];
+    const bool clean_exit =
+        WIFEXITED(st) && (WEXITSTATUS(st) == 0 || WEXITSTATUS(st) == 2 ||
+                          WEXITSTATUS(st) == 3);
+    if (!clean_exit) {
+      std::ostringstream os;
+      os << "run_shm_world: rank " << r << " terminated abnormally (";
+      if (WIFSIGNALED(st)) {
+        os << "signal " << WTERMSIG(st);
+      } else {
+        os << "exit status " << (WIFEXITED(st) ? WEXITSTATUS(st) : -1);
+      }
+      os << ")";
+      throw Error(os.str(), Status::kCommTimeout);
+    }
+  }
+  for (int r = 0; r < nranks; ++r) {
+    if (err[r].valid == 2) {
+      throw WorldAbortedError(std::string(err[r].what));
+    }
+  }
+  return {};  // no traffic events on this backend (caps.traffic_events)
+}
+
+void register_shm_transport() {
+  TransportRegistry::instance().register_backend(
+      "shm", TransportBackend{kShmCaps, run_shm_world});
+}
+
+}  // namespace soi::net

@@ -6,7 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
-#include "net/comm.hpp"
+#include "net/transport.hpp"
 
 namespace soi::net {
 
@@ -313,7 +313,7 @@ std::int64_t flat_bisection_blocks(int ranks) {
   return 2 * lo * hi;
 }
 
-void staged_alltoall(Comm& comm, const StagedPlan& plan, const void* send,
+void staged_alltoall(Transport& comm, const StagedPlan& plan, const void* send,
                      void* recv, std::int64_t block_bytes, void* scratch,
                      int tag_base) {
   const int R = plan.ranks;

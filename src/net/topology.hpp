@@ -148,15 +148,16 @@ struct StagedPlan {
 /// one block per (src, dst) pair on opposite sides.
 [[nodiscard]] std::int64_t flat_bisection_blocks(int ranks);
 
-class Comm;  // comm.hpp
+class Transport;  // transport.hpp
 
 /// Blocking staged all-to-all over `comm` following `plan`: block d of
 /// `send` (at d*block_bytes) lands at s*block_bytes of `recv` on the rank
-/// it addresses, bit-identically to Comm::alltoall. `scratch` must hold
-/// 3 * ranks * block_bytes (pack + ping-pong holdings) and may be null
-/// only when block_bytes == 0. Tags used: [tag_base, tag_base + phases).
-void staged_alltoall(Comm& comm, const StagedPlan& plan, const void* send,
-                     void* recv, std::int64_t block_bytes, void* scratch,
-                     int tag_base);
+/// it addresses, bit-identically to Transport::alltoall. `scratch` must
+/// hold 3 * ranks * block_bytes (pack + ping-pong holdings) and may be
+/// null only when block_bytes == 0. Tags used: [tag_base, tag_base +
+/// phases).
+void staged_alltoall(Transport& comm, const StagedPlan& plan,
+                     const void* send, void* recv, std::int64_t block_bytes,
+                     void* scratch, int tag_base);
 
 }  // namespace soi::net

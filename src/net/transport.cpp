@@ -1,0 +1,42 @@
+#include "net/transport.hpp"
+
+#include <sstream>
+
+namespace soi::net {
+
+std::vector<std::string> unsupported_option_warnings(const TransportCaps& caps,
+                                                     const NetOptions& opts) {
+  std::vector<std::string> warnings;
+  const auto warn = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "transport '" << caps.name << "' cannot honour " << what
+       << " (capability not supported; the option is ignored)";
+    warnings.push_back(os.str());
+  };
+  if (opts.faults.any() && !caps.fault_injection) {
+    warn("the fault-injection spec (NetOptions::faults)");
+  }
+  if (!caps.latency_emulation) {
+    if (opts.wire_latency_us > 0) {
+      warn("wire-latency emulation (NetOptions::wire_latency_us)");
+    }
+    if (opts.intra_latency_us > 0 || opts.topo_group_size > 0) {
+      warn("the intra-node latency tier (NetOptions::intra_latency_us / "
+           "topo_group_size)");
+    }
+  }
+  if (!opts.checksums && !caps.checksums) {
+    // Disabling checksums on a backend that never stamps them is a no-op
+    // worth flagging: the caller believes they toggled something.
+    warn("a checksum toggle (NetOptions::checksums — this backend has no "
+         "CRC envelope)");
+  }
+  return warnings;
+}
+
+std::vector<std::string> Transport::unsupported_options(
+    const NetOptions& opts) const {
+  return unsupported_option_warnings(caps(), opts);
+}
+
+}  // namespace soi::net

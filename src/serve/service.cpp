@@ -17,10 +17,10 @@ TransformService::TransformService(ServeOptions opts) : opts_(opts) {
   SOI_CHECK(opts_.workers >= 0,
             "TransformService: workers must be >= 0");
   SOI_CHECK(opts_.max_concurrency >= 1 &&
-                opts_.max_concurrency <= net::kMaxCollChannels,
+                opts_.max_concurrency <= net::kMaxChannels,
             "TransformService: max_concurrency " << opts_.max_concurrency
                                                  << " not in [1, "
-                                                 << net::kMaxCollChannels
+                                                 << net::kMaxChannels
                                                  << "]");
   SOI_CHECK(opts_.queue_capacity >= 1,
             "TransformService: queue_capacity must be >= 1");
@@ -35,12 +35,29 @@ TransformService::TransformService(ServeOptions opts) : opts_(opts) {
   cmd_acks_.reserve(256);
   cmd_errors_.reserve(256);
   if (dist_mode()) {
-    world_thread_ = std::thread([this] {
+    // Resolve + validate the transport up front, in the caller's thread:
+    // unknown names throw the registry's typed error (listing every
+    // registered backend), and cross-process fabrics are rejected here —
+    // the rank bodies read the service's request slots directly, which
+    // only works when every rank shares this address space.
+    const std::string tname = opts_.transport.empty()
+                                  ? net::default_transport()
+                                  : opts_.transport;
+    const net::TransportCaps& tcaps =
+        net::TransportRegistry::instance().caps(tname);
+    if (!tcaps.threaded_world) {
+      std::ostringstream os;
+      os << "TransformService: transport '" << tname
+         << "' runs ranks in separate processes; the serving rank team "
+            "needs a threaded_world transport (e.g. \"sim\")";
+      throw InvalidArgumentError(os.str());
+    }
+    world_thread_ = std::thread([this, tname] {
       try {
         net::NetOptions nopts;
         nopts.wire_latency_us = opts_.wire_latency_us;
-        net::run_ranks(opts_.ranks, nopts,
-                       [this](net::Comm& c) { rank_main(c); });
+        net::run_world(tname, opts_.ranks, nopts,
+                       [this](net::Transport& c) { rank_main(c); });
       } catch (...) {
         std::lock_guard<std::mutex> lk(mu_);
         if (!world_failed_) {
@@ -447,11 +464,11 @@ void TransformService::scheduler_main() {
   }
 }
 
-void TransformService::rank_main(net::Comm& comm) {
+void TransformService::rank_main(net::Transport& comm) {
   const int rank = comm.rank();
   std::array<std::unique_ptr<core::SoiFftDist>, kMaxLanes> plans;
-  std::array<cspan, net::kMaxCollChannels> xs;
-  std::array<mspan, net::kMaxCollChannels> ys;
+  std::array<cspan, net::kMaxChannels> xs;
+  std::array<mspan, net::kMaxChannels> ys;
   std::size_t cursor = 0;
   try {
     for (;;) {
@@ -537,8 +554,8 @@ void TransformService::rank_main(net::Comm& comm) {
           }
           // No inter-batch barrier: a rendezvous between every batch
           // convoys the ranks and costs O(ranks x scheduler latency) on
-          // an oversubscribed host. SimMPI matches messages FIFO per
-          // (src, dst, tag), so a fast rank may run ahead into the next
+          // an oversubscribed host. The transport matches messages FIFO
+          // per (src, dst, tag), so a fast rank may run ahead into the next
           // batch while a slow rank drains this one — its sends queue
           // behind the current batch's and match in order. Completion is
           // a countdown instead: the LAST rank to finish observes that

@@ -19,14 +19,16 @@
 //     plan is built once per shape via tune::PlanRegistry and never
 //     copied). Mixed-shape tenants run concurrently without contention.
 //
-//   * ranks >= 2 (distributed): the service hosts a SimMPI rank team and
-//     a scheduler thread. The scheduler forms batches of up to
-//     max_concurrency same-shape requests (head-of-queue lane first, so
-//     no lane starves) and publishes them to the rank bodies, which
-//     co-schedule each batch through SoiFftDist::forward_many — every
-//     instance's exchange pieces post on its own tagged SimMPI channel
-//     before any instance blocks, so waits mostly find their data
-//     already delivered. Requests carry the FULL N-point signal; rank r
+//   * ranks >= 2 (distributed): the service hosts an in-process rank
+//     team (any registered transport whose caps report threaded_world —
+//     the rank bodies share the service's address space) and a scheduler
+//     thread. The scheduler forms batches of up to max_concurrency
+//     same-shape requests (head-of-queue lane first, so no lane starves)
+//     and publishes them to the rank bodies, which co-schedule each
+//     batch through SoiFftDist::forward_many — every instance's exchange
+//     pieces post on its own tagged collective channel before any
+//     instance blocks, so waits mostly find their data already
+//     delivered. Requests carry the FULL N-point signal; rank r
 //     transforms the block subspan [r*N/R, (r+1)*N/R).
 //
 // Outputs are bit-identical to solo execution of the same request in
@@ -43,12 +45,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "common/types.hpp"
-#include "net/comm.hpp"
+#include "net/registry.hpp"
+#include "net/transport.hpp"
 #include "serve/metrics.hpp"
 #include "soi/dist.hpp"
 #include "soi/serial.hpp"
@@ -74,14 +78,20 @@ struct LaneSpec {
 };
 
 struct ServeOptions {
-  /// 0 = in-process serial backend (worker pool); >= 2 = SimMPI rank
+  /// 0 = in-process serial backend (worker pool); >= 2 = in-process rank
   /// team co-scheduling batches through forward_many.
   int ranks = 0;
+  /// Distributed backend: registered transport name hosting the rank
+  /// team ("" = net::default_transport()). The rank bodies read the
+  /// service's request slots directly, so the backend must report
+  /// TransportCaps::threaded_world; selecting a cross-process transport
+  /// (e.g. "shm") throws soi::InvalidArgumentError at construction.
+  std::string transport;
   /// Serial backend worker threads. 0 is allowed (nothing executes until
   /// stop(); admission/rejection stays fully deterministic for tests).
   int workers = 1;
   /// Max requests per co-scheduled batch (distributed backend); bounded
-  /// by net::kMaxCollChannels. Also the occupancy normaliser.
+  /// by net::kMaxChannels. Also the occupancy normaliser.
   int max_concurrency = 4;
   /// Bounded admission queue == request slot pool size. A request holds
   /// its slot from submit() until wait() returns, so this caps total
@@ -195,7 +205,7 @@ class TransformService {
     CmdType type = CmdType::kBatch;
     std::int32_t lane = -1;
     std::int32_t count = 0;
-    std::array<std::int32_t, net::kMaxCollChannels> slots{};
+    std::array<std::int32_t, net::kMaxChannels> slots{};
   };
 
   [[nodiscard]] bool dist_mode() const { return opts_.ranks >= 2; }
@@ -207,7 +217,7 @@ class TransformService {
   void await_acks(std::size_t cmd_idx, std::unique_lock<std::mutex>& lock);
   void worker_main(int w);
   void scheduler_main();
-  void rank_main(net::Comm& comm);
+  void rank_main(net::Transport& comm);
 
   ServeOptions opts_;
   Timer epoch_;

@@ -15,7 +15,7 @@ constexpr double kGuardSlack = 256.0;
 
 namespace soi::core {
 
-SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
+SoiFftDist::SoiFftDist(net::Transport& comm, std::int64_t n,
                        win::SoiProfile profile, std::int64_t segments_per_rank)
     : SoiFftDist(comm, n, std::move(profile), [&] {
         DistOptions opts;
@@ -23,7 +23,7 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
         return opts;
       }()) {}
 
-SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
+SoiFftDist::SoiFftDist(net::Transport& comm, std::int64_t n,
                        win::SoiProfile profile, DistOptions options)
     : comm_(comm),
       profile_(std::move(profile)),
@@ -33,8 +33,10 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
       table_(opts_.table ? opts_.table
                          : std::make_shared<const ConvTable>(
                                geom_, *profile_.window)),
-      batch_p_(geom_.p(), opts_.batch_width),
-      batch_mp_(geom_.mprime(), opts_.batch_width) {
+      batch_p_(fft::make_batch_plan(opts_.engine, geom_.p(),
+                                    opts_.batch_width)),
+      batch_mp_(fft::make_batch_plan(opts_.engine, geom_.mprime(),
+                                     opts_.batch_width)) {
   SOI_CHECK(spr_ >= 1, "SoiFftDist: segments_per_rank must be >= 1");
   // The halo crosses exactly one rank boundary (Fig. 4); a geometry whose
   // halo exceeds one segment would need points beyond the right neighbour.
@@ -47,8 +49,8 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
   // steady-state forward() allocates nothing.
   env_.geom = &geom_;
   env_.table = table_.get();
-  env_.batch_p = &batch_p_;
-  env_.batch_mp = &batch_mp_;
+  env_.batch_p = batch_p_.get();
+  env_.batch_mp = batch_mp_.get();
   env_.ranks = comm.size();
   env_.spr = spr_;
   env_.has_comm = true;
@@ -68,10 +70,11 @@ SoiFftDist::SoiFftDist(net::Comm& comm, std::int64_t n,
     env_.staged = net::build_staged_plan(env_.topo, comm.rank());
   }
   SOI_CHECK(opts_.max_concurrency >= 1 &&
-                opts_.max_concurrency <= net::kMaxCollChannels,
-            "SoiFftDist: max_concurrency " << opts_.max_concurrency
-                                           << " not in [1, "
-                                           << net::kMaxCollChannels << "]");
+                opts_.max_concurrency <= comm.caps().max_coll_channels,
+            "SoiFftDist: max_concurrency "
+                << opts_.max_concurrency << " not in [1, "
+                << comm.caps().max_coll_channels << "] (transport '"
+                << comm.caps().name << "')");
   env_.max_instances = opts_.max_concurrency;
   reserve_chain_buffers(state_.arena, env_, 0);
   append_chain_stages(pipeline_, env_);

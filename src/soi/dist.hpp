@@ -1,5 +1,5 @@
 // Distributed SOI FFT (paper, Sections 5-6, Figs. 2-4): the single-
-// all-to-all, in-order, O(N log N) 1-D FFT over a SimMPI communicator.
+// all-to-all, in-order, O(N log N) 1-D FFT over any net::Transport.
 //
 // Data distribution: block layout. Rank s holds x[s*M_rank .. (s+1)*M_rank)
 // on input and receives the same span of y (its segments of interest) on
@@ -25,8 +25,8 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "fft/batch.hpp"
-#include "net/comm.hpp"
+#include "fft/engine.hpp"
+#include "net/transport.hpp"
 #include "soi/breakdown.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/exec.hpp"
@@ -49,6 +49,12 @@ struct DistOptions {
   /// Transforms per SoA pass of the batched FFT stages (fft/batch.hpp);
   /// 0 derives the width from the detected SIMD tier. Autotuner knob.
   std::int64_t batch_width = 0;
+  /// FFT-engine backend the local transform stages run on ("" = the
+  /// process default: $SOI_FFT_ENGINE, else "batch"). Unknown names throw
+  /// soi::InvalidArgumentError listing the registered engines. Wisdom
+  /// records carry this, so tuned plans replay on the engine that scored
+  /// them.
+  std::string engine;
   /// Chunk groups the exchange..demod stages are cut into (the dataflow
   /// executor's double-buffer depth): group g+1's all-to-all piece is in
   /// flight while group g's f_mprime/demod computes under the pipelined
@@ -88,8 +94,9 @@ struct DistOptions {
   int validate_input = -1;
   /// Independent transforms forward_many() may co-schedule per call (the
   /// serving layer's batch width). Sizes the per-instance execution
-  /// states, request slots and SimMPI collective channels at plan time;
-  /// must not exceed net::kMaxCollChannels. 1 = solo execution only.
+  /// states, request slots and transport collective channels at plan
+  /// time; must not exceed the transport's caps().max_coll_channels. 1 =
+  /// solo execution only.
   int max_concurrency = 1;
 };
 
@@ -98,11 +105,11 @@ struct DistOptions {
 class SoiFftDist {
  public:
   /// P = comm.size() * segments_per_rank segments in total.
-  SoiFftDist(net::Comm& comm, std::int64_t n, win::SoiProfile profile,
+  SoiFftDist(net::Transport& comm, std::int64_t n, win::SoiProfile profile,
              std::int64_t segments_per_rank = 1);
 
   /// Fully-knobbed constructor (autotuner / registry entry point).
-  SoiFftDist(net::Comm& comm, std::int64_t n, win::SoiProfile profile,
+  SoiFftDist(net::Transport& comm, std::int64_t n, win::SoiProfile profile,
              DistOptions options);
 
   [[nodiscard]] const SoiGeometry& geometry() const { return geom_; }
@@ -136,7 +143,7 @@ class SoiFftDist {
   /// blocks, so waits mostly find their data already delivered — the
   /// multi-tenant throughput path. Collective: every rank must call with
   /// the same K, instance i's buffers on every rank belonging to the same
-  /// logical transform (instance i travels on SimMPI channel i). Each
+  /// logical transform (instance i travels on collective channel i). Each
   /// instance's output is bit-identical to a solo forward() of the same
   /// input; zero steady-state allocations on the SOI side (the simulated
   /// transport's per-message buffering is outside that guarantee).
@@ -181,14 +188,14 @@ class SoiFftDist {
   void run_pipeline(cspan x_local, mspan y_local, bool overlap);
   void guard_outputs(std::span<const cspan> xs, std::span<const mspan> ys);
 
-  net::Comm& comm_;
+  net::Transport& comm_;
   win::SoiProfile profile_;
   DistOptions opts_;
   std::int64_t spr_;
   SoiGeometry geom_;
   std::shared_ptr<const ConvTable> table_;
-  fft::BatchFft batch_p_;
-  fft::BatchFft batch_mp_;
+  std::unique_ptr<const fft::BatchTransform> batch_p_;
+  std::unique_ptr<const fft::BatchTransform> batch_mp_;
   ChainEnvT<double> env_;
   exec::PipelineT<double> pipeline_;
   exec::ExecState state_;

@@ -42,7 +42,7 @@
 #include "common/types.hpp"
 
 namespace soi::net {
-class Comm;
+class Transport;
 }
 
 namespace soi::exec {
@@ -150,7 +150,7 @@ struct RunScratch {
 ///
 /// The last three fields exist for co-scheduled execution (run_many):
 /// `instance` selects the per-execution slot of stage-held communication
-/// requests, `channel` is the SimMPI collective channel (and halo tag
+/// requests, `channel` is the transport collective channel (and halo tag
 /// offset) keeping concurrent executions' messages from cross-matching,
 /// and `scratch` overrides the pipeline's built-in ready-queue arrays so
 /// independent executions of one shared plan never contend.
@@ -159,12 +159,12 @@ struct ExecContextT {
   cspan_t<Real> in;
   mspan_t<Real> out;
   std::span<const Real> real_in;  ///< r2c wrapper input (real path only)
-  net::Comm* comm = nullptr;
+  net::Transport* comm = nullptr;
   bool overlap = false;
   WorkspaceArena* arena = nullptr;
   TraceLog* trace = nullptr;
   int instance = 0;   ///< execution slot (indexes stage request storage)
-  int channel = 0;    ///< SimMPI collective channel / halo tag offset
+  int channel = 0;    ///< transport collective channel / halo tag offset
   RunScratch* scratch = nullptr;  ///< null = the pipeline's built-in scratch
 };
 

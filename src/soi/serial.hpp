@@ -15,8 +15,10 @@
 
 #include <memory>
 
+#include <string>
+
 #include "common/types.hpp"
-#include "fft/batch.hpp"
+#include "fft/engine.hpp"
 #include "fft/plan.hpp"
 #include "soi/breakdown.hpp"
 #include "soi/conv_table.hpp"
@@ -42,7 +44,11 @@ namespace soi::core {
 template <class Real>
 class SoiFftSerialT {
  public:
-  SoiFftSerialT(std::int64_t n, std::int64_t p, win::SoiProfile profile);
+  /// `engine` names the FFT-engine backend the batched stages run on
+  /// ("" = the process default: $SOI_FFT_ENGINE, else "batch"); unknown
+  /// names throw soi::InvalidArgumentError listing the registered engines.
+  SoiFftSerialT(std::int64_t n, std::int64_t p, win::SoiProfile profile,
+                const std::string& engine = "");
 
   [[nodiscard]] const SoiGeometry& geometry() const { return geom_; }
   [[nodiscard]] const win::SoiProfile& profile() const { return profile_; }
@@ -88,8 +94,8 @@ class SoiFftSerialT {
   win::SoiProfile profile_;
   SoiGeometry geom_;
   ConvTableT<Real> table_;
-  fft::BatchFftT<Real> batch_p_;   // I_M' (x) F_P, SoA-vectorized
-  fft::BatchFftT<Real> batch_mp_;  // I_P (x) F_M'
+  std::unique_ptr<const fft::BatchTransformT<Real>> batch_p_;   // I_M' (x) F_P
+  std::unique_ptr<const fft::BatchTransformT<Real>> batch_mp_;  // I_P (x) F_M'
   ChainEnvT<Real> env_;
   exec::PipelineT<Real> pipeline_;
   mutable exec::ExecState state_;

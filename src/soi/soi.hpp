@@ -6,7 +6,8 @@
 //   core::SegmentPlan(n, p, profile)         -> zoom: one spectrum band
 //   core::SoiFftDist(comm, n, profile)       -> distributed, 1 all-to-all
 //   baseline::SixStepFftDist(comm, n)        -> comparator, 3 all-to-alls
-//   net::run_ranks / net::make_gordon_torus  -> SimMPI + fabric models
+//   net::run_world / net::TransportRegistry  -> pluggable rank fabrics
+//   fft::EngineRegistry                      -> pluggable FFT executors
 //   perf::t_soi / perf::speedup              -> Section 7.4 analytic model
 //   tune::autotune / tune::PlanRegistry      -> autotuning, plan cache,
 //   tune::WisdomStore                           persisted tuned decisions
@@ -18,11 +19,13 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "fft/dft.hpp"
+#include "fft/engine.hpp"
 #include "fft/plan.hpp"
 #include "fft/multi.hpp"
 #include "fft/real.hpp"
-#include "net/comm.hpp"
 #include "net/costmodel.hpp"
+#include "net/registry.hpp"
+#include "net/transport.hpp"
 #include "perfmodel/model.hpp"
 #include "soi/dist.hpp"
 #include "soi/real.hpp"

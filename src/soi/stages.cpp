@@ -16,7 +16,7 @@ namespace {
 constexpr int kTagHalo = 101;
 // Staged topology exchange: each store-and-forward phase travels on its
 // own tag, offset by the execution channel so co-scheduled instances
-// never cross-match (phases <= 3, channels < kMaxCollChannels, so the
+// never cross-match (phases <= 3, channels < kMaxChannels, so the
 // range [160, 160 + 3*16) stays clear of every other user tag).
 constexpr int kTagStaged = 160;
 
@@ -42,7 +42,7 @@ constexpr int kPhaseWork = 2;  ///< compute kernel
 /// counter, and doubles the deadline; soi::CommTimeoutError after the
 /// world's retry budget. Falls back to a plain blocking wait when the
 /// world has no deadline configured (the fault-free default).
-void wait_resilient(net::Comm& comm, net::Request& req,
+void wait_resilient(net::Transport& comm, net::Request& req,
                     exec::StageRecord& rec, const char* what) {
   const double base = comm.timeout_ms();
   if (base <= 0) {
@@ -281,7 +281,7 @@ class FpStageT final : public exec::StageT<Real> {
 /// Stage "exchange": the single global all-to-all, cut into chunk_depth
 /// nonblocking pieces. A post node (per chunk group) fires ialltoall /
 /// ialltoallv into that group's buffer slot; a wait node completes it.
-/// bytes_moved accumulates the measured per-rank send volume (net::Comm
+/// bytes_moved accumulates the measured per-rank send volume (the transport
 /// counters); a null comm declares no nodes and run() is a no-op.
 template <class Real>
 class ExchangeStageT final : public exec::StageT<Real> {
@@ -384,7 +384,7 @@ class ExchangeStageT final : public exec::StageT<Real> {
   }
 
   [[nodiscard]] int staged_tag(int phase, int channel) const {
-    return kTagStaged + phase * net::kMaxCollChannels + channel;
+    return kTagStaged + phase * net::kMaxChannels + channel;
   }
 
   /// Staged post node: pack + fire phase 0 of the store-and-forward

@@ -1,8 +1,8 @@
 // The shared SOI stage chain (Eq. 6), expressed once for every execution
-// path: serial (null comm), distributed (SimMPI comm) and the real-input
-// wrapper all append THESE stages to their pipelines — the conv, F_P +
-// permute, exchange, F_M' and demod bodies exist exactly once, in
-// stages.cpp.
+// path: serial (null comm), distributed (any net::Transport) and the
+// real-input wrapper all append THESE stages to their pipelines — the
+// conv, F_P + permute, exchange, F_M' and demod bodies exist exactly once,
+// in stages.cpp.
 //
 // Chain layout (pipeline positions relative to `base`):
 //   base+0  halo+conv   emits records "halo", "conv"
@@ -31,9 +31,9 @@
 #include <vector>
 
 #include "common/arena.hpp"
-#include "fft/batch.hpp"
-#include "net/comm.hpp"
+#include "fft/engine.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "soi/conv_table.hpp"
 #include "soi/exec.hpp"
 #include "soi/params.hpp"
@@ -60,8 +60,8 @@ template <class Real>
 struct ChainEnvT {
   const SoiGeometry* geom = nullptr;
   const ConvTableT<Real>* table = nullptr;
-  const fft::BatchFftT<Real>* batch_p = nullptr;
-  const fft::BatchFftT<Real>* batch_mp = nullptr;
+  const fft::BatchTransformT<Real>* batch_p = nullptr;
+  const fft::BatchTransformT<Real>* batch_mp = nullptr;
   int ranks = 1;          ///< communicator size (1 for serial)
   std::int64_t spr = 1;   ///< segments computed on this rank
   bool has_comm = false;  ///< false = null comm: serial specialisation

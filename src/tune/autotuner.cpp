@@ -7,7 +7,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "net/comm.hpp"
+#include "fft/engine.hpp"
+#include "net/registry.hpp"
 #include "net/topology.hpp"
 #include "soi/dist.hpp"
 #include "soi/params.hpp"
@@ -20,6 +21,38 @@ const net::NetworkModel& fabric_or_default(const TuneOptions& opts) {
   static const std::unique_ptr<net::NetworkModel> kDefault =
       net::make_endeavor_fat_tree();
   return opts.fabric ? *opts.fabric : *kDefault;
+}
+
+/// Fabric model for a candidate pinned to the node-local shm transport:
+/// memory-bus bandwidth and sub-microsecond wakeup latency, no
+/// oversubscription tier — the cluster models would price an exchange
+/// that never leaves the node.
+const net::NetworkModel& node_local_model() {
+  static const net::FatTreeModel kLocal{{160.0, 0.3e-6},
+                                        /*full_bisection_nodes=*/4096,
+                                        /*oversub_exponent=*/0.0,
+                                        /*alltoall_efficiency=*/1.0};
+  return kLocal;
+}
+
+/// The model pricing this candidate's communication. An explicit
+/// TuneOptions::fabric always wins (callers may ask "what would this
+/// shm-tuned shape cost on Endeavor"); otherwise shm-pinned candidates
+/// get the node-local model and everything else the default fat tree.
+const net::NetworkModel& fabric_for(const TuneOptions& opts,
+                                    const Candidate& cand) {
+  if (opts.fabric == nullptr && cand.transport == "shm") {
+    return node_local_model();
+  }
+  return fabric_or_default(opts);
+}
+
+/// Modeled compute-rate multiplier of the candidate's FFT engine
+/// (EngineInfo::compute_scale; 1.0 when unpinned). Unknown engine names
+/// surface the registry's typed error here, at scoring time.
+double engine_scale(const Candidate& cand) {
+  if (cand.engine.empty()) return 1.0;
+  return fft::EngineRegistry::instance().info(cand.engine).compute_scale;
 }
 
 PlanRegistry& registry_or_global(const TuneOptions& opts) {
@@ -137,12 +170,14 @@ CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
   const core::SoiGeometry g(key.n, key.ranks * cand.segments_per_rank, prof);
   CandidateScore score;
   score.candidate = cand;
+  // The engine's compute_scale multiplies the effective node rate, so
+  // every compute-derived quantity (total, conv share, downstream share)
+  // is repriced consistently per engine.
+  const double rate = opts.node_gflops * 1e9 * engine_scale(cand);
   score.compute_seconds =
-      modeled_compute_flops(g, cand.segments_per_rank) /
-      (opts.node_gflops * 1e9);
+      modeled_compute_flops(g, cand.segments_per_rank) / rate;
   // Shares of the compute that are convolution (the halo's overlap
   // budget) and the post-exchange stages (the chunked exchange's).
-  const double rate = opts.node_gflops * 1e9;
   const double conv_share =
       8.0 * static_cast<double>(cand.segments_per_rank) *
       static_cast<double>(g.conv_madds_per_rank()) / rate;
@@ -159,7 +194,7 @@ CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
                                  cand.segments_per_rank *
                                  g.chunks_per_rank() * (key.ranks - 1);
   score.comm_seconds =
-      modeled_comm_seconds(fabric_or_default(opts), key.ranks, halo_bytes,
+      modeled_comm_seconds(fabric_for(opts, cand), key.ranks, halo_bytes,
                            a2a_bytes, cand, conv_share, downstream_share);
   return score;
 }
@@ -179,7 +214,20 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
   std::int64_t halo_bytes = 0, alltoall_bytes = 0;
   std::vector<std::pair<std::string, double>> stage_seconds;
   std::mutex mu;
-  net::run_ranks(key.ranks, [&](net::Comm& comm) {
+  // The rank bodies write their measurements into captured locals, which
+  // only works when every rank shares this address space — reject
+  // cross-process transports up front with a typed error instead of
+  // silently returning unwritten zeros.
+  const std::string tname =
+      cand.transport.empty() ? net::default_transport() : cand.transport;
+  if (!net::TransportRegistry::instance().caps(tname).threaded_world) {
+    throw InvalidArgumentError(
+        "autotune: measured mode runs the rank team in-process; transport '" +
+        tname +
+        "' is cross-process — use modeled mode or a threaded_world "
+        "transport (e.g. \"sim\")");
+  }
+  net::run_world(tname, key.ranks, [&](net::Transport& comm) {
     core::DistOptions dopts;
     dopts.segments_per_rank = cand.segments_per_rank;
     dopts.alltoall_algo = cand.alltoall_algo;
@@ -187,6 +235,7 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
     dopts.batch_width = cand.batch_width;
     dopts.chunk_depth = cand.chunk_depth;
     dopts.topology = cand.topology;
+    dopts.engine = cand.engine;
     // All ranks share one registry-built table.
     dopts.table =
         reg.conv_table(key.n, key.ranks * cand.segments_per_rank, prof);
@@ -247,7 +296,7 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
   score.candidate = cand;
   score.compute_seconds = compute_best;
   score.comm_seconds =
-      modeled_comm_seconds(fabric_or_default(opts), key.ranks, halo_bytes,
+      modeled_comm_seconds(fabric_for(opts, cand), key.ranks, halo_bytes,
                            alltoall_bytes, cand, conv_best, downstream_best);
   score.stage_seconds = std::move(stage_seconds);
   return score;
@@ -301,6 +350,15 @@ void order_candidates_with_priors(std::vector<Candidate>& candidates,
 
 TuneResult autotune(const TuneKey& key, const TuneOptions& opts) {
   auto candidates = candidate_space(key, opts.max_segments_per_rank);
+  // Pin every candidate to the sweep's backends (stamped BEFORE scoring,
+  // so the scorers price them, and carried into the winning wisdom line —
+  // a decision tuned on one backend never silently replays on another).
+  if (!opts.transport.empty() || !opts.engine.empty()) {
+    for (auto& c : candidates) {
+      c.transport = opts.transport;
+      c.engine = opts.engine;
+    }
+  }
   if (opts.priors != nullptr) {
     order_candidates_with_priors(candidates, key, *opts.priors);
   }

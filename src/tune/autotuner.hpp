@@ -10,7 +10,10 @@
 //               run reproduces on the next.
 //
 //   kMeasured — per-rank compute is MEASURED by executing each candidate's
-//               SoiFftDist pipeline on SimMPI against a deterministic
+//               SoiFftDist pipeline on an in-process rank team (any
+//               registered transport with threaded_world capability;
+//               cross-process fabrics are rejected with a typed error)
+//               against a deterministic
 //               Gaussian input (fixed RNG seed) and taking the best of
 //               `reps` repetitions of SoiDistBreakdown::compute_total();
 //               communication is still modeled from the recorded volumes
@@ -34,11 +37,23 @@ namespace soi::tune {
 
 enum class TuneMode {
   kModeled,   ///< deterministic analytic scoring (default)
-  kMeasured,  ///< wall-clock compute via SimMPI execution
+  kMeasured,  ///< wall-clock compute via in-process execution
 };
 
 struct TuneOptions {
   TuneMode mode = TuneMode::kModeled;
+  /// Transport backend the decision targets ("" = unpinned: score for the
+  /// session default and record no pin). Pinned sweeps stamp every
+  /// candidate, so the wisdom line replays only on that backend; the
+  /// modeled scorer prices the node-local "shm" fabric at memory-bus
+  /// bandwidth instead of the cluster model, and the measured scorer runs
+  /// the rank team on the named transport (which must report
+  /// threaded_world — cross-process fabrics throw InvalidArgumentError).
+  std::string transport;
+  /// FFT-engine backend ("" = unpinned). The modeled scorer scales all
+  /// compute by the engine's EngineInfo::compute_scale; the measured
+  /// scorer builds each candidate's plans on this engine.
+  std::string engine;
   /// Repetitions per candidate in kMeasured mode (best-of).
   int reps = 3;
   /// RNG seed of the deterministic test signal (kMeasured input).

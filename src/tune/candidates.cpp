@@ -96,8 +96,11 @@ std::string Candidate::describe() const {
      << " cd=" << chunk_depth;
   // The topo token is emitted only for non-flat schedules, so flat
   // candidates keep the exact pre-v4 text (older readers and tests see
-  // unchanged lines).
+  // unchanged lines). Likewise the v5 backend tokens appear only when a
+  // decision is pinned to a named transport / engine.
   if (!topology.empty() && topology != "flat") os << " topo=" << topology;
+  if (!transport.empty()) os << " transport=" << transport;
+  if (!engine.empty()) os << " engine=" << engine;
   return os.str();
 }
 
@@ -139,6 +142,15 @@ Candidate parse_candidate(const std::string& text) {
                 "parse_candidate: unknown topology '" << v << "' in '"
                                                       << text << "'");
       c.topology = v == "flat" ? std::string{} : v;
+    } else if (k == "transport") {
+      // Optional (absent before v5 wisdom and for unpinned decisions).
+      // Name-level validation only: the registry is consulted where the
+      // decision is replayed, so wisdom written by a build with extra
+      // backends still parses everywhere.
+      c.transport = v;
+    } else if (k == "engine") {
+      // Optional (absent before v5 wisdom and for unpinned decisions).
+      c.engine = v;
     } else {
       throw Error("parse_candidate: unknown field '" + k + "'");
     }

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "net/comm.hpp"
+#include "net/transport.hpp"
 #include "window/design.hpp"
 
 namespace soi::tune {
@@ -62,11 +62,19 @@ struct Candidate {
   /// syntax): "" = the native flat all-to-all; "two-level[:G]" /
   /// "torus[:k0xk1xk2]" select the staged store-and-forward schedules.
   std::string topology;
+  /// Transport backend the decision was scored on ("" = unpinned / the
+  /// session default). Recorded so a wisdom line tuned against one fabric
+  /// is never silently replayed on another; new fields stay trailing —
+  /// candidate_space() aggregate-initialises the prefix.
+  std::string transport;
+  /// FFT-engine backend (fft::EngineRegistry name; "" = unpinned).
+  std::string engine;
 
   /// Canonical text form, e.g.
   /// "tier=full spr=2 algo=direct overlap=1 bw=0 cd=1"; a non-flat
-  /// topology appends " topo=<shape>". Round-trips through
-  /// parse_candidate().
+  /// topology appends " topo=<shape>", and pinned backends append
+  /// " transport=<name>" / " engine=<name>" (wisdom v5). Round-trips
+  /// through parse_candidate().
   [[nodiscard]] std::string describe() const;
 
   bool operator==(const Candidate& o) const {
@@ -74,7 +82,8 @@ struct Candidate {
            segments_per_rank == o.segments_per_rank &&
            alltoall_algo == o.alltoall_algo && overlap == o.overlap &&
            batch_width == o.batch_width && chunk_depth == o.chunk_depth &&
-           topology == o.topology;
+           topology == o.topology && transport == o.transport &&
+           engine == o.engine;
   }
 };
 

@@ -1,7 +1,7 @@
 // Wisdom: tuned plan decisions persisted across runs (FFTW's term for the
 // same idea). A wisdom file is versioned, line-oriented text:
 //
-//   soiwisdom v4
+//   soiwisdom v5
 //   # optional comments
 //   <key> | <candidate> | <score> | <profile> [| <stages>]
 //
@@ -15,12 +15,15 @@
 // these back as PRIORS that reorder candidate evaluation (comm-bound
 // shapes try overlapping/chunked candidates first); they never prune.
 //
-// v4 added the candidate's optional topo (exchange topology) field —
-// emitted only for non-flat schedules, so flat lines are byte-identical to
-// v3's. v3 added the candidate's cd (chunk depth) field and the optional
-// stages field. v2 added bw (SoA batch width). v1/v2/v3 files are still
-// READ (their candidates default to bw=0 / cd=1 / flat topology); files
-// are always WRITTEN at the current version.
+// v5 added the candidate's optional transport / engine backend fields —
+// emitted only for decisions pinned to a named backend, so unpinned lines
+// are byte-identical to v4's. v4 added the candidate's optional topo
+// (exchange topology) field — emitted only for non-flat schedules, so flat
+// lines are byte-identical to v3's. v3 added the candidate's cd (chunk
+// depth) field and the optional stages field. v2 added bw (SoA batch
+// width). v1–v4 files are still READ (their candidates default to bw=0 /
+// cd=1 / flat topology / unpinned backends); files are always WRITTEN at
+// the current version.
 //
 // This subsumes the old single-line `--profile` files of tools/soifft:
 // those stored only a window profile; wisdom stores the full tuned
@@ -58,8 +61,9 @@ struct TunedConfig {
 /// PlanRegistry — guard shared WisdomStore access externally.
 class WisdomStore {
  public:
-  static constexpr const char* kHeader = "soiwisdom v4";
+  static constexpr const char* kHeader = "soiwisdom v5";
   /// Older headers still accepted by parse() (read-compat).
+  static constexpr const char* kHeaderV4 = "soiwisdom v4";
   static constexpr const char* kHeaderV3 = "soiwisdom v3";
   static constexpr const char* kHeaderV2 = "soiwisdom v2";
   static constexpr const char* kHeaderV1 = "soiwisdom v1";
@@ -80,9 +84,9 @@ class WisdomStore {
   /// Full text form (header + one line per entry, key-sorted).
   [[nodiscard]] std::string serialize() const;
 
-  /// Parse text produced by serialize() — current, v2 or v1 format. Throws
-  /// soi::Error on a missing or unknown version header or any malformed
-  /// line.
+  /// Parse text produced by serialize() — current or any legacy (v1–v4)
+  /// format. Throws soi::Error on a missing or unknown version header or
+  /// any malformed line.
   static WisdomStore parse(const std::string& text);
 
   /// Write to / read from a file. load() throws soi::Error when the file

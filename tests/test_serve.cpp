@@ -262,6 +262,35 @@ TEST(ServeDist, WireLatencyWorldRoundTrips) {
   expect_bitwise_equal(slow, fast, "wire latency");
 }
 
+TEST(ServeDist, RejectsCrossProcessAndUnknownTransports) {
+  // The distributed backend hands service slot pointers across the rank
+  // boundary, which only works when ranks are threads of this process. A
+  // cross-process transport must be rejected at construction with a typed
+  // error — and an unknown name must name the registered backends.
+  ServeOptions so;
+  so.ranks = 2;
+  so.transport = "shm";
+  try {
+    TransformService svc(so);
+    FAIL() << "cross-process transport must be rejected";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("shm"), std::string::npos)
+        << e.what();
+  }
+  so.transport = "no-such-transport";
+  EXPECT_THROW(TransformService{so}, InvalidArgumentError);
+
+  // An explicit "sim" pin works exactly like the default.
+  so.transport = "sim";
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(4096, 2));
+  svc.warmup();
+  const cvec x = random_signal(4096, 99);
+  cvec y(4096);
+  const Ticket t = svc.submit(lane, 0, x, y);
+  svc.wait(t);
+}
+
 TEST(ServeDist, MetricsAccumulateAndReset) {
   ServeOptions so;
   so.ranks = 2;

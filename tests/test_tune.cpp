@@ -273,6 +273,32 @@ TEST(Registry, BatchPlanSharedAndKeyedOnWidth) {
   EXPECT_EQ(wide->batch_width(), 32);
 }
 
+TEST(Registry, SerialPlanKeyCarriesResolvedEngine) {
+  // "" and the default engine's explicit name must alias to ONE cached
+  // plan; a different engine is a different key — a plan built on one
+  // executor is never handed to a caller asking for another.
+  PlanRegistry reg(8);
+  const auto prof = reg.profile(win::Accuracy::kLow);
+  const auto dflt = reg.serial_plan(1 << 12, 4, *prof);
+  const auto named = reg.serial_plan(1 << 12, 4, *prof, fft::default_engine());
+  EXPECT_EQ(dflt.get(), named.get());
+  const auto scalar = reg.serial_plan(1 << 12, 4, *prof, "scalar");
+  EXPECT_NE(dflt.get(), scalar.get());
+  EXPECT_THROW((void)reg.serial_plan(1 << 12, 4, *prof, "no-such-engine"),
+               InvalidArgumentError);
+}
+
+TEST(Registry, BatchTransformKeyedByEngine) {
+  PlanRegistry reg(8);
+  const auto a = reg.batch_transform("batch", 256);
+  const auto b = reg.batch_transform("", 256);  // "" resolves to the default
+  EXPECT_EQ(a.get(), b.get());
+  const auto scalar = reg.batch_transform("scalar", 256);
+  EXPECT_NE(a.get(), scalar.get());
+  EXPECT_EQ(scalar->size(), 256);
+  EXPECT_EQ(scalar->batch_width(), 1);  // one transform at a time
+}
+
 TEST(Registry, LruEvictionDropsColdestEntry) {
   PlanRegistry reg(2);
   auto build_counting = [](std::atomic<int>& n) {
@@ -484,6 +510,60 @@ TEST(Wisdom, V4TopologyAndDeepChunksRoundTrip) {
   EXPECT_EQ(got->candidate.chunk_depth, 3);
 }
 
+TEST(Wisdom, V4FilesStillReadable) {
+  // A v4 file: v4 header, no transport/engine tokens. Entries without
+  // backend pins serialize byte-identically across v4/v5, so swapping the
+  // header alone yields a valid v4 file. It must parse with empty backend
+  // pins and re-serialise at the current version.
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  std::string text = store.serialize();
+  const std::string header(WisdomStore::kHeader);
+  text.replace(0, header.size(), WisdomStore::kHeaderV4);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, demo_config().candidate);
+  EXPECT_TRUE(got->candidate.transport.empty());
+  EXPECT_TRUE(got->candidate.engine.empty());
+  EXPECT_EQ(reparsed.serialize().rfind(WisdomStore::kHeader, 0), 0u);
+}
+
+TEST(Wisdom, V5BackendPinsRoundTrip) {
+  // The v5 additions: a decision pinned to a transport and an FFT engine
+  // survives a serialize/parse cycle, and the tokens appear in the text.
+  WisdomStore store;
+  const TuneKey key{1 << 16, 8, win::Accuracy::kMedium};
+  TunedConfig cfg;
+  cfg.candidate = Candidate{win::Accuracy::kMedium, 4,
+                            net::AlltoallAlgo::kDirect, true, 0, 2,
+                            "", "shm", "scalar"};
+  cfg.profile = win::make_profile(win::Accuracy::kMedium);
+  cfg.score_seconds = 2.5e-4;
+  store.put(key, cfg);
+  const std::string text = store.serialize();
+  EXPECT_NE(text.find("transport=shm"), std::string::npos);
+  EXPECT_NE(text.find("engine=scalar"), std::string::npos);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, cfg.candidate);
+  EXPECT_EQ(got->candidate.transport, "shm");
+  EXPECT_EQ(got->candidate.engine, "scalar");
+}
+
+TEST(Wisdom, UnpinnedEntriesCarryNoBackendTokens) {
+  // Decisions without backend pins must serialize without transport= /
+  // engine= tokens: their candidate text stays byte-compatible with v4
+  // readers of this repo's lineage, and the pins stay an opt-in.
+  WisdomStore store;
+  store.put(TuneKey{1 << 14, 4, win::Accuracy::kLow}, demo_config());
+  const std::string text = store.serialize();
+  EXPECT_EQ(text.find("transport="), std::string::npos);
+  EXPECT_EQ(text.find("engine="), std::string::npos);
+}
+
 TEST(Wisdom, StageSecondsRoundTrip) {
   WisdomStore store;
   const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
@@ -686,6 +766,77 @@ TEST(Autotune, TunedConfigCachesInWisdom) {
   const auto second = tuned_config(key, wisdom, {}, &was_hit);
   EXPECT_TRUE(was_hit);  // hit: no re-tuning
   EXPECT_EQ(first.candidate, second.candidate);
+}
+
+TEST(Autotune, BackendSelectionStampsEveryCandidate) {
+  // TuneOptions::transport/engine propagate onto every scored candidate,
+  // so the winner lands in wisdom carrying the backends it was priced for.
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  TuneOptions opts;
+  opts.transport = "shm";
+  opts.engine = "scalar";
+  const auto result = autotune(key, opts);
+  EXPECT_EQ(result.best.candidate.transport, "shm");
+  EXPECT_EQ(result.best.candidate.engine, "scalar");
+  for (const auto& sc : result.scores) {
+    EXPECT_EQ(sc.candidate.transport, "shm");
+    EXPECT_EQ(sc.candidate.engine, "scalar");
+  }
+}
+
+TEST(Autotune, ScalarEnginePricedSlowerThanBatch) {
+  // The modeled scorer divides node throughput by the engine's
+  // compute_scale: the scalar executor (scale < 1) must price every
+  // candidate's compute strictly above the batch executor's.
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  Candidate batch_cand{key.accuracy, 2, net::AlltoallAlgo::kPairwise, false};
+  Candidate scalar_cand = batch_cand;
+  batch_cand.engine = "batch";
+  scalar_cand.engine = "scalar";
+  const auto batch_score = score_candidate(key, batch_cand);
+  const auto scalar_score = score_candidate(key, scalar_cand);
+  EXPECT_GT(scalar_score.compute_seconds, batch_score.compute_seconds);
+  // The exchange bytes do not depend on the engine.
+  EXPECT_DOUBLE_EQ(scalar_score.comm_seconds, batch_score.comm_seconds);
+}
+
+TEST(Autotune, ShmTransportPricedOnNodeLocalFabric) {
+  // Without an explicit fabric, candidates pinned to the single-node shm
+  // transport are priced on the node-local memory fabric, which must make
+  // the exchange cheaper than the default cluster fat tree.
+  const TuneKey key{1 << 18, 8, win::Accuracy::kLow};
+  Candidate cluster{key.accuracy, 2, net::AlltoallAlgo::kPairwise, false};
+  Candidate local = cluster;
+  local.transport = "shm";
+  const auto cluster_score = score_candidate(key, cluster);
+  const auto local_score = score_candidate(key, local);
+  EXPECT_LT(local_score.comm_seconds, cluster_score.comm_seconds);
+  EXPECT_DOUBLE_EQ(local_score.compute_seconds, cluster_score.compute_seconds);
+  // An explicit fabric overrides the transport heuristic: both candidates
+  // must price their exchange identically on it.
+  const net::FatTreeModel fabric({40.0, 5e-6});
+  TuneOptions opts;
+  opts.fabric = &fabric;
+  EXPECT_DOUBLE_EQ(score_candidate(key, local, opts).comm_seconds,
+                   score_candidate(key, cluster, opts).comm_seconds);
+}
+
+TEST(Autotune, MeasuredModeRejectsCrossProcessTransport) {
+  // Measured scoring runs the rank team in-process and reads results from
+  // captured memory; a cross-process transport cannot do that and must be
+  // rejected with a typed error, not measured as garbage.
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  TuneOptions opts;
+  opts.mode = TuneMode::kMeasured;
+  opts.reps = 1;
+  opts.transport = "shm";
+  try {
+    (void)autotune(key, opts);
+    FAIL() << "measured autotune over a cross-process transport must throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("shm"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -74,22 +74,24 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
       {"design", {"accuracy", "mu", "nu", "eps", "kappa", "help"}},
       {"transform",
        {"n", "p", "accuracy", "mu", "nu", "eps", "kappa", "inverse", "check",
-        "input", "output", "seed", "wisdom", "trace", "help"}},
+        "input", "output", "seed", "wisdom", "trace", "engine", "help"}},
       {"segment",
        {"n", "p", "s", "accuracy", "mu", "nu", "eps", "kappa", "check",
         "input", "output", "seed", "help"}},
       {"bench",
        {"n", "p", "accuracy", "mu", "nu", "eps", "kappa", "reps", "input",
-        "seed", "trace", "help"}},
+        "seed", "trace", "engine", "help"}},
       {"tune",
        {"n", "p", "accuracy", "wisdom", "mode", "reps", "seed", "gflops",
-        "max-spr", "help"}},
+        "max-spr", "transport", "engine", "help"}},
       {"dist",
        {"n", "p", "accuracy", "wisdom", "check", "seed", "trace",
-        "fault-spec", "timeout-ms", "retries", "topology", "help"}},
+        "fault-spec", "timeout-ms", "retries", "topology", "transport",
+        "engine", "help"}},
       {"serve",
        {"n", "p", "accuracy", "lanes", "requests", "concurrency", "queue",
-        "rate", "workers", "wire-latency-us", "linger-us", "seed", "help"}},
+        "rate", "workers", "wire-latency-us", "linger-us", "seed",
+        "transport", "help"}},
   };
   return kFlags;
 }
@@ -133,6 +135,19 @@ int usage(std::FILE* out) {
       "            staged neighbour forwarding); overrides the tuned\n"
       "            topo= knob from --wisdom; results are bit-identical\n"
       "            across schedules\n"
+      "  --transport  rank fabric (tune/dist/serve): a registered\n"
+      "            net::TransportRegistry backend — sim (in-process\n"
+      "            threads, default), shm (forked processes over shared\n"
+      "            memory), mpi (builds with -DSOI_WITH_MPI=ON). Default\n"
+      "            from $SOI_TRANSPORT; unknown names are rejected with\n"
+      "            the registered list. serve and measured tune need an\n"
+      "            in-process (threaded) transport\n"
+      "  --engine  FFT executor (transform/bench/tune/dist): a registered\n"
+      "            fft::EngineRegistry backend — batch (SIMD SoA,\n"
+      "            default), scalar (one transform at a time), fftw\n"
+      "            (builds with -DSOI_WITH_FFTW=ON). Default from\n"
+      "            $SOI_FFT_ENGINE; unknown names are rejected with the\n"
+      "            registered list\n"
       "\n"
       "wisdom: `tune` persists the fastest (profile tier, segments/rank,\n"
       "all-to-all schedule, overlap) per shape; other subcommands reuse it\n"
@@ -184,6 +199,24 @@ win::SoiProfile profile_from(const Args& a) {
   // Registry-cached: repeated profile requests skip the design search.
   return *tune::PlanRegistry::global().profile(
       tune::accuracy_from_name(a.get("accuracy", "full")));
+}
+
+/// --transport, strictly validated: a named backend must exist in the
+/// registry (unknown names throw the registry's soi::InvalidArgumentError
+/// listing every registered backend). "" = the session default
+/// ($SOI_TRANSPORT, else "sim") — resolved by the callee.
+std::string transport_from(const Args& a) {
+  const std::string name = a.get("transport", "");
+  if (!name.empty()) net::TransportRegistry::instance().caps(name);
+  return name;
+}
+
+/// --engine, strictly validated against fft::EngineRegistry ("" = the
+/// session default: $SOI_FFT_ENGINE, else "batch").
+std::string engine_from(const Args& a) {
+  const std::string name = a.get("engine", "");
+  if (!name.empty()) fft::EngineRegistry::instance().info(name);
+  return name;
 }
 
 tune::TuneKey key_from(const Args& a, std::int64_t n, std::int64_t p) {
@@ -287,16 +320,19 @@ int cmd_transform(const Args& a) {
   const std::int64_t p = a.geti("p", 8);
   win::SoiProfile prof;
   std::int64_t segments = p;
+  std::string engine = engine_from(a);
   if (const auto tuned = wisdom_lookup(a, key_from(a, n, p))) {
     // Serial execution maps the tuned (ranks, segments/rank) granularity
     // onto P = ranks * spr total segments and reuses the tuned profile.
+    // An explicit --engine overrides the wisdom line's engine pin.
     prof = tuned->profile;
     segments = p * tuned->candidate.segments_per_rank;
+    if (engine.empty()) engine = tuned->candidate.engine;
   } else {
     prof = profile_from(a);
   }
   const auto plan =
-      tune::PlanRegistry::global().serial_plan(n, segments, prof);
+      tune::PlanRegistry::global().serial_plan(n, segments, prof, engine);
   const cvec x = load_or_generate(a, n);
   cvec y(x.size());
   Timer t;
@@ -359,7 +395,7 @@ int cmd_bench(const Args& a) {
   const std::int64_t p = a.geti("p", 8);
   const int reps = static_cast<int>(a.geti("reps", 5));
   const win::SoiProfile prof = profile_from(a);
-  core::SoiFftSerial soi(n, p, prof);
+  core::SoiFftSerial soi(n, p, prof, engine_from(a));
   fft::FftPlan exact(n);
   const cvec x = load_or_generate(a, n);
   cvec y(x.size());
@@ -405,6 +441,8 @@ int cmd_tune(const Args& a) {
   opts.seed = static_cast<std::uint64_t>(a.geti("seed", 1));
   opts.node_gflops = a.getf("gflops", 4.0);
   opts.max_segments_per_rank = a.geti("max-spr", 8);
+  opts.transport = transport_from(a);
+  opts.engine = engine_from(a);
 
   std::printf("tuning [%s], mode=%s\n", key.str().c_str(), mode.c_str());
   const Timer t;
@@ -447,6 +485,15 @@ int cmd_dist(const Args& a) {
   } else {
     prof = profile_from(a);
   }
+  // Explicit flags override the wisdom line's backend pins; the resolved
+  // names (wisdom pins included — they may come from a foreign build) are
+  // validated against the registries before any ranks launch.
+  std::string transport = transport_from(a);
+  if (transport.empty()) transport = cand.transport;
+  if (!transport.empty()) net::TransportRegistry::instance().caps(transport);
+  std::string engine = engine_from(a);
+  if (engine.empty()) engine = cand.engine;
+  if (!engine.empty()) fft::EngineRegistry::instance().info(engine);
 
   // Resilience knobs: --fault-spec is strictly validated (a malformed
   // spec is rejected with a precise message before any ranks launch).
@@ -458,28 +505,32 @@ int cmd_dist(const Args& a) {
   SOI_CHECK(nopts.max_retries >= 0, "--retries must be >= 0");
 
   cvec x = load_or_generate(a, n);
-  cvec y(x.size());
-  std::mutex mu;
-  core::SoiDistBreakdown bd0{};
-  exec::TraceLog trace0;
-  net::FaultStats fstats{};
+  const bool want_check = a.flag("check");
+  const bool want_trace = a.flag("trace");
   auto& registry = tune::PlanRegistry::global();
   Timer t;
-  net::run_ranks(ranks, nopts, [&](net::Comm& comm) {
+  // Every result is assembled and printed INSIDE the world body, by rank
+  // 0: with a cross-process transport (shm) the rank bodies run in child
+  // processes, where writes to captured host memory never propagate back
+  // to this caller — the full spectrum travels through the transport's
+  // own gather instead, and stdout (a shared descriptor) carries the
+  // report. The same path serves in-process transports unchanged.
+  net::run_world(transport, ranks, nopts, [&](net::Transport& comm) {
     core::DistOptions dopts;
     dopts.segments_per_rank = cand.segments_per_rank;
     dopts.alltoall_algo = cand.alltoall_algo;
     dopts.overlap = cand.overlap;
     dopts.batch_width = cand.batch_width;
     dopts.chunk_depth = cand.chunk_depth;
+    dopts.engine = engine;
     // --topology overrides the wisdom candidate's topo= knob (explicit
     // flag wins over tuned default; "flat" forces the flat schedule).
     dopts.topology = a.get("topology", cand.topology);
     dopts.faults = nopts.faults;
     dopts.timeout_ms = nopts.timeout_ms;
     dopts.max_retries = nopts.max_retries;
-    // One conv table for the whole world, built by whichever rank gets
-    // there first.
+    // One conv table per address space, built by whichever rank gets
+    // there first (cross-process worlds build one per rank process).
     dopts.table =
         registry.conv_table(n, ranks * cand.segments_per_rank, prof);
     core::SoiFftDist plan(comm, n, prof, dopts);
@@ -491,53 +542,56 @@ int cmd_dist(const Args& a) {
     // All traffic (and fault recovery) has quiesced once every rank
     // reaches this barrier, so rank 0's stats snapshot is complete.
     comm.barrier();
-    std::lock_guard<std::mutex> lock(mu);
-    std::copy(y_local.begin(), y_local.end(),
-              y.begin() + comm.rank() * m_rank);
-    if (comm.rank() == 0) {
-      bd0 = plan.last_breakdown();
-      const auto recs = plan.last_trace().records();
-      trace0.plan(std::vector<exec::StageRecord>(recs.begin(), recs.end()));
-      fstats = comm.fault_stats();
+    cvec y(x.size());
+    if (want_check) comm.gather(y_local, y, 0);
+    if (comm.rank() != 0) return;
+    if (comm.caps().threaded_world) {
+      // Only meaningful when the ranks share this registry instance.
+      const auto stats = registry.stats();
+      std::printf("plan registry: %lld hits / %lld misses (conv table "
+                  "built once, shared by %d ranks)\n",
+                  static_cast<long long>(stats.hits),
+                  static_cast<long long>(stats.misses), ranks);
+    }
+    const core::SoiDistBreakdown bd0 = plan.last_breakdown();
+    std::printf("rank-0 breakdown: halo %.2e conv %.2e F_P %.2e pack %.2e "
+                "a2a %.2e F_M' %.2e demod %.2e s\n",
+                bd0.halo, bd0.conv, bd0.fp, bd0.pack, bd0.alltoall, bd0.fm,
+                bd0.demod);
+    if (nopts.faults.any()) {
+      const net::FaultStats fstats = comm.fault_stats();
+      std::printf("faults [%s]: injected %lld (drop %lld corrupt %lld "
+                  "truncate %lld duplicate %lld delay %lld), checksum "
+                  "failures %lld, retransmits %lld, timeouts %lld\n",
+                  nopts.faults.str().c_str(),
+                  static_cast<long long>(fstats.faults_injected),
+                  static_cast<long long>(fstats.drops),
+                  static_cast<long long>(fstats.corruptions),
+                  static_cast<long long>(fstats.truncations),
+                  static_cast<long long>(fstats.duplicates),
+                  static_cast<long long>(fstats.delays),
+                  static_cast<long long>(fstats.checksum_failures),
+                  static_cast<long long>(fstats.retransmits),
+                  static_cast<long long>(fstats.timeouts));
+    }
+    if (want_trace) print_trace(plan.last_trace());
+    if (want_check) {
+      fft::FftPlan exact(n);
+      cvec want(x.size());
+      exact.forward(x, want);
+      const double snr = snr_db(y, want);
+      std::printf("SNR vs exact engine: %.1f dB (%.1f digits)\n", snr,
+                  snr_digits(snr));
     }
   });
   const double sec = t.seconds();
-  std::printf("distributed SOI transform: N=%lld ranks=%d (%s) in %.3f ms\n",
+  std::printf("distributed SOI transform: N=%lld ranks=%d (%s) over "
+              "transport=%s engine=%s in %.3f ms\n",
               static_cast<long long>(n), ranks, cand.describe().c_str(),
+              (transport.empty() ? net::default_transport() : transport)
+                  .c_str(),
+              (engine.empty() ? fft::default_engine() : engine).c_str(),
               sec * 1e3);
-  const auto stats = registry.stats();
-  std::printf("plan registry: %lld hits / %lld misses (conv table built "
-              "once, shared by %d ranks)\n",
-              static_cast<long long>(stats.hits),
-              static_cast<long long>(stats.misses), ranks);
-  std::printf("rank-0 breakdown: halo %.2e conv %.2e F_P %.2e pack %.2e "
-              "a2a %.2e F_M' %.2e demod %.2e s\n",
-              bd0.halo, bd0.conv, bd0.fp, bd0.pack, bd0.alltoall, bd0.fm,
-              bd0.demod);
-  if (nopts.faults.any()) {
-    std::printf("faults [%s]: injected %lld (drop %lld corrupt %lld "
-                "truncate %lld duplicate %lld delay %lld), checksum "
-                "failures %lld, retransmits %lld, timeouts %lld\n",
-                nopts.faults.str().c_str(),
-                static_cast<long long>(fstats.faults_injected),
-                static_cast<long long>(fstats.drops),
-                static_cast<long long>(fstats.corruptions),
-                static_cast<long long>(fstats.truncations),
-                static_cast<long long>(fstats.duplicates),
-                static_cast<long long>(fstats.delays),
-                static_cast<long long>(fstats.checksum_failures),
-                static_cast<long long>(fstats.retransmits),
-                static_cast<long long>(fstats.timeouts));
-  }
-  if (a.flag("trace")) print_trace(trace0);
-  if (a.flag("check")) {
-    fft::FftPlan exact(n);
-    cvec want(x.size());
-    exact.forward(x, want);
-    const double snr = snr_db(y, want);
-    std::printf("SNR vs exact engine: %.1f dB (%.1f digits)\n", snr,
-                snr_digits(snr));
-  }
   return 0;
 }
 
@@ -552,6 +606,7 @@ int cmd_serve(const Args& a) {
 
   serve::ServeOptions so;
   so.ranks = ranks;
+  so.transport = transport_from(a);
   so.workers = static_cast<int>(a.geti("workers", 1));
   so.max_concurrency = static_cast<int>(a.geti("concurrency", 4));
   so.queue_capacity = static_cast<int>(a.geti("queue", 64));
