@@ -16,6 +16,18 @@
 //   serve_serial — the service's in-process worker-pool backend (strict
 //     p50/p99 + zero-allocation story without a rank team).
 //
+// Plus three tenant-mix sweeps through the epoch-packing dist backend,
+// same open-loop Poisson arrivals, reporting per-tier p50/p99 and shed
+// counts ("tiers"/"shed" in the JSON):
+//
+//   mix_70_30 — 70% small-lane interactive, 30% large-lane batch.
+//   mix_uniform — lanes alternate evenly; priorities cycle through all
+//     three tiers.
+//   mix_priority_skew — 80% interactive small-lane with a generous
+//     deadline, 20% background large-lane with a tight one; under the
+//     saturating load the background tail is shed before execution while
+//     the interactive tier keeps completing.
+//
 // Every completed request's output is compared BIT-IDENTICAL against a
 // solo execution of the same transform, and the steady phase asserts
 // zero aligned-heap allocations after warmup (the acceptance criteria of
@@ -44,6 +56,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "harness.hpp"
@@ -68,6 +81,8 @@ struct TraceSpec {
   std::vector<int> lane;            // request i -> lane
   std::vector<cvec> inputs;         // per tenant (full N of its lane)
   std::vector<std::int64_t> n_of;   // per lane
+  /// Per-request priority/deadline (empty = all defaults).
+  std::vector<serve::SubmitOptions> sopt;
 };
 
 /// One shared request trace: round-robin tenants, tenant t on lane t%2,
@@ -83,6 +98,39 @@ TraceSpec make_trace(int requests, std::int64_t n0, std::int64_t n1) {
   for (int i = 0; i < requests; ++i) {
     ts.tenant.push_back(i % kTenants);
     ts.lane.push_back((i % kTenants) % 2);
+  }
+  return ts;
+}
+
+/// A tenant-mix trace: the lane split and per-request priority/deadline
+/// follow the named mix; tenants stay on their fixed lanes (lane parity,
+/// two tenants per lane) so the solo reference outputs still apply.
+TraceSpec make_mix_trace(const std::string& mix, int requests,
+                         std::int64_t n0, std::int64_t n1) {
+  TraceSpec ts = make_trace(requests, n0, n1);
+  std::mt19937_64 rng(777);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  ts.sopt.resize(ts.tenant.size());
+  for (std::size_t i = 0; i < ts.tenant.size(); ++i) {
+    int lane = 0;
+    serve::SubmitOptions so;
+    if (mix == "mix_70_30") {
+      lane = uni(rng) < 0.7 ? 0 : 1;
+      so.priority = lane == 0 ? serve::Priority::kInteractive
+                              : serve::Priority::kBatch;
+    } else if (mix == "mix_uniform") {
+      lane = static_cast<int>(i) % 2;
+      so.priority = static_cast<serve::Priority>(i % 3);
+    } else {  // mix_priority_skew
+      const bool small = uni(rng) < 0.8;
+      lane = small ? 0 : 1;
+      so.priority = small ? serve::Priority::kInteractive
+                          : serve::Priority::kBackground;
+      so.deadline_ms = small ? 10'000.0 : 250.0;
+    }
+    ts.lane[i] = lane;
+    ts.tenant[i] = lane + 2 * (static_cast<int>(i) & 1);
+    ts.sopt[i] = so;
   }
   return ts;
 }
@@ -113,7 +161,16 @@ double run_load(serve::TransformService& svc, const TraceSpec& ts,
       cv.wait(lk, [&] { return submitted > i; });
       const signed char st = status[i];
       lk.unlock();
-      if (st == 1) svc.wait(tickets[i]);
+      if (st == 1) {
+        try {
+          svc.wait(tickets[i]);
+        } catch (const Error&) {
+          // Shed (deadline) or failed request: mark it so the
+          // bit-identity check skips the never-written output. The
+          // metrics snapshot reports the shed/failed split.
+          status[i] = 3;
+        }
+      }
     }
   });
   Timer wall;
@@ -127,7 +184,7 @@ double run_load(serve::TransformService& svc, const TraceSpec& ts,
     const int l = ts.lane[i];
     const auto ticket = svc.try_submit(
         lane_ids[static_cast<std::size_t>(l)], t, ts.inputs[static_cast<std::size_t>(t)],
-        youts[i]);
+        youts[i], ts.sopt.empty() ? serve::SubmitOptions{} : ts.sopt[i]);
     {
       std::lock_guard<std::mutex> lk(mu);
       if (ticket) {
@@ -173,6 +230,19 @@ void fill_queueing(bench::BenchRecord& r, const serve::MetricsSnapshot& m,
   r.rejected = m.rejected;
   r.queue_peak = m.queue_peak;
   r.steady_state_allocs = allocs;
+  r.shed = m.shed;
+  for (int t = 0; t < serve::kTiers; ++t) {
+    const auto& tr = m.tiers[static_cast<std::size_t>(t)];
+    if (tr.admitted == 0 && tr.shed == 0) continue;
+    bench::BenchRecord::TierRecord out;
+    out.tier = serve::priority_name(static_cast<serve::Priority>(t));
+    out.admitted = tr.admitted;
+    out.completed = tr.completed;
+    out.shed = tr.shed;
+    out.p50_ms = tr.p50_ms;
+    out.p99_ms = tr.p99_ms;
+    r.tiers.push_back(out);
+  }
   if (!m.tenants.empty()) {
     double acc = 0.0;
     for (const auto& t : m.tenants) acc += t.overlap_efficiency;
@@ -314,6 +384,52 @@ int main(int argc, char** argv) {
     svc.stop();
   }
 
+  // --- tenant-mix sweeps: epoch-packed mixed shapes with priorities -----
+  // Each mix drives the same dist backend at the saturating 2x rate; the
+  // scheduler packs both lanes' chunk graphs into shared epochs, so the
+  // per-tier latency split and the shed counts land in the JSON.
+  int mix_bad = 0;
+  for (const char* mix :
+       {"mix_70_30", "mix_uniform", "mix_priority_skew"}) {
+    const TraceSpec mts = make_mix_trace(mix, requests, n0, n1);
+    serve::ServeOptions so;
+    so.transport = "sim";
+    so.ranks = ranks;
+    so.max_concurrency = kconc;
+    so.queue_capacity = 48;
+    so.wire_latency_us = lat_us;
+    so.batch_linger_us = 1500;
+    serve::TransformService svc(so);
+    std::vector<int> lane_ids;
+    for (int l = 0; l < 2; ++l) {
+      serve::LaneSpec spec;
+      spec.n = mts.n_of[static_cast<std::size_t>(l)];
+      spec.segments_per_rank = spr;
+      lane_ids.push_back(svc.create_lane(spec));
+    }
+    svc.warmup();
+    std::vector<cvec> youts;
+    for (std::size_t i = 0; i < mts.tenant.size(); ++i) {
+      youts.emplace_back(static_cast<std::size_t>(
+          mts.n_of[static_cast<std::size_t>(mts.lane[i])]));
+    }
+    std::vector<serve::Ticket> tickets(mts.tenant.size());
+    std::vector<signed char> status(mts.tenant.size(), 0);
+    svc.reset_metrics();
+    const std::int64_t allocs0 = alloc_stats().count;
+    const double elapsed = run_load(svc, mts, lane_ids, youts,
+                                    2.0 * serial_rate, tickets, status);
+    const std::int64_t allocs = alloc_stats().count - allocs0;
+    const auto m = svc.metrics();
+    mix_bad += check_bit_identity(mts, youts, status, ref_dist);
+    auto r = bench::make_record("bench_serve", mix, n0,
+                                std::max<std::int64_t>(m.completed, 1),
+                                elapsed);
+    fill_queueing(r, m, elapsed, allocs);
+    records.push_back(r);
+    svc.stop();
+  }
+
   // --- serve_serial: in-process worker-pool backend ----------------------
   int serial_bad = 0;
   {
@@ -368,25 +484,34 @@ int main(int argc, char** argv) {
   if (json) {
     std::fputs(bench::to_json(records).c_str(), stdout);
   } else {
-    std::printf("%-16s %10s %10s %10s %10s %8s %8s %6s\n", "case", "xput/s",
-                "p50 ms", "p99 ms", "admitted", "rejected", "qpeak",
-                "allocs");
+    std::printf("%-16s %10s %10s %10s %10s %8s %8s %6s %6s\n", "case",
+                "xput/s", "p50 ms", "p99 ms", "admitted", "rejected",
+                "qpeak", "shed", "allocs");
     for (const auto& r : records) {
-      std::printf("%-16s %10.1f %10.3f %10.3f %10lld %8lld %8lld %6lld\n",
-                  r.label.c_str(), r.transforms_per_sec, r.p50_ms, r.p99_ms,
-                  static_cast<long long>(r.admitted),
-                  static_cast<long long>(r.rejected),
-                  static_cast<long long>(r.queue_peak),
-                  static_cast<long long>(r.steady_state_allocs));
+      std::printf(
+          "%-16s %10.1f %10.3f %10.3f %10lld %8lld %8lld %6lld %6lld\n",
+          r.label.c_str(), r.transforms_per_sec, r.p50_ms, r.p99_ms,
+          static_cast<long long>(r.admitted),
+          static_cast<long long>(r.rejected),
+          static_cast<long long>(r.queue_peak),
+          static_cast<long long>(std::max<std::int64_t>(r.shed, 0)),
+          static_cast<long long>(r.steady_state_allocs));
+      for (const auto& t : r.tiers) {
+        std::printf("  tier %-11s admitted %6lld completed %6lld shed "
+                    "%6lld p50 %10.3f p99 %10.3f\n",
+                    t.tier.c_str(), static_cast<long long>(t.admitted),
+                    static_cast<long long>(t.completed),
+                    static_cast<long long>(t.shed), t.p50_ms, t.p99_ms);
+      }
     }
     std::printf("co-scheduled vs one-at-a-time: %.2fx transforms/sec\n",
                 dist_rate / serial_rate);
   }
-  if (dist_bad != 0 || serial_bad != 0) {
+  if (dist_bad != 0 || serial_bad != 0 || mix_bad != 0) {
     std::fprintf(stderr,
-                 "bench_serve: BIT-IDENTITY FAILURE (dist %d, serial %d "
-                 "mismatching requests)\n",
-                 dist_bad, serial_bad);
+                 "bench_serve: BIT-IDENTITY FAILURE (dist %d, serial %d, "
+                 "mix %d mismatching requests)\n",
+                 dist_bad, serial_bad, mix_bad);
     return 1;
   }
   return 0;

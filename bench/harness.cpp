@@ -121,6 +121,20 @@ std::string to_json(const std::vector<BenchRecord>& records) {
          << ", \"admitted\": " << r.admitted
          << ", \"rejected\": " << r.rejected
          << ", \"queue_peak\": " << r.queue_peak;
+      if (r.shed >= 0) os << ", \"shed\": " << r.shed;
+      if (!r.tiers.empty()) {
+        os << ", \"tiers\": [";
+        for (std::size_t t = 0; t < r.tiers.size(); ++t) {
+          const BenchRecord::TierRecord& tr = r.tiers[t];
+          os << (t == 0 ? "" : ", ") << "{\"tier\": ";
+          json_string(os, tr.tier);
+          os << ", \"admitted\": " << tr.admitted
+             << ", \"completed\": " << tr.completed
+             << ", \"shed\": " << tr.shed << ", \"p50_ms\": " << tr.p50_ms
+             << ", \"p99_ms\": " << tr.p99_ms << "}";
+        }
+        os << "]";
+      }
     }
     if (!r.transport.empty()) {
       os << ", \"transport\": ";

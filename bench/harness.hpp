@@ -33,14 +33,21 @@ namespace soi::bench {
 ///    "bisection_bytes"?,
 ///    "faults_injected"?,"retries"?,"checksum_failures"?,
 ///    "resilience_overhead"?,"p50_ms"?,"p99_ms"?,"transforms_per_sec"?,
-///    "admitted"?,"rejected"?,"queue_peak"?,"transport"?,"engine"?,
-///    "stages"?}
+///    "admitted"?,"rejected"?,"queue_peak"?,"shed"?,"tiers"?,
+///    "transport"?,"engine"?,"stages"?}
 /// `overlap_efficiency` (present when the bench captured a pipeline trace)
 /// is exec::overlap_efficiency() of that trace: 1 - wait/total, clamped to
 /// [0, 1]. The resilience triple (present when the bench sampled its
 /// world's fault counters) reports injected faults, bounded-wait retries
 /// and CRC rejections for the record's runs; `resilience_overhead` is the
-/// fault-free relative cost of checksums + the residual guard. `stages`
+/// fault-free relative cost of checksums + the residual guard. `shed`
+/// (present with the queueing fields when the bench used deadlines)
+/// counts requests dropped BEFORE execution by deadline-aware load
+/// shedding — disjoint from `rejected` (admission refusals) and from
+/// failures. `tiers` (present when the bench tagged requests with
+/// priorities) is an array of
+/// {"tier","admitted","completed","shed","p50_ms","p99_ms"} objects, one
+/// per priority tier that saw traffic. `stages`
 /// (trace condition) is an array of
 /// {"stage","chunks","seconds","wait_seconds","retries","bytes",
 /// "measured","flops"} objects whose seconds sum to ~the record's pipeline
@@ -85,6 +92,20 @@ struct BenchRecord {
   std::int64_t admitted = -1;
   std::int64_t rejected = -1;
   std::int64_t queue_peak = -1;
+  /// Requests shed before execution by deadline-aware load shedding;
+  /// -1 = the bench did not use deadlines.
+  std::int64_t shed = -1;
+  /// Per-priority-tier queue statistics (empty = untagged requests; the
+  /// "tiers" array is omitted from the JSON).
+  struct TierRecord {
+    std::string tier;  ///< "interactive" | "batch" | "background"
+    std::int64_t admitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t shed = 0;
+    double p50_ms = -1.0;
+    double p99_ms = -1.0;
+  };
+  std::vector<TierRecord> tiers;
   /// Backend the record's runs executed on (empty = the record is not
   /// backend-specific; the fields are omitted from the JSON). Benches that
   /// launch rank teams or build FFT plans stamp the RESOLVED names here, so

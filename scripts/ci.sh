@@ -9,6 +9,7 @@
 #   scripts/ci.sh chaos       # fault-injection suites under ASan + TSan
 #   scripts/ci.sh topology    # staged-exchange suites (two-level + torus)
 #   scripts/ci.sh backends    # transport/engine registries, shm conformance
+#   scripts/ci.sh serve-mix   # mixed-shape epoch scheduling suites + CLI
 #   scripts/ci.sh smoke       # just the tune -> wisdom -> reuse smoke
 #   scripts/ci.sh bench-smoke # JSON benches on tiny sizes, validated
 #
@@ -191,6 +192,58 @@ run_backends() {
   echo "backends OK"
 }
 
+run_serve_mix() {
+  echo "=== serve-mix: mixed-shape epoch scheduling under sanitizers ==="
+  # ASan: the epoch-packing scheduler and the cross-plan epoch executor.
+  # Mixed-shape composition, priority tiers, deadline shedding, budget
+  # throttling and the per-member fault-isolation gate all drive buffers
+  # (epoch scratch tables, per-member channel bindings) that the
+  # same-lane forward_many path never touches.
+  cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ci/asan -j "${jobs}" --target test_serve test_fault
+  (cd build-ci/asan &&
+    ./tests/test_serve \
+      --gtest_filter='ServePriority.*:ServeDist.*:ServeSerial.*' \
+      | grep -q "PASSED" &&
+    ./tests/test_fault --gtest_filter='Chaos.MixedShapeEpoch*' \
+      | grep -q "PASSED")
+  # TSan: the same suites with the scheduler thread packing epochs while
+  # callers submit, the rank team runs merged schedules and the harvester
+  # waits — the richest cross-thread interleaving in the tree. OpenMP off
+  # for the same reason as run_tsan.
+  cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
+  cmake --build build-ci/tsan -j "${jobs}" --target test_serve test_fault
+  (cd build-ci/tsan &&
+    ./tests/test_serve \
+      --gtest_filter='ServePriority.*:ServeDist.*:ServeSerial.*' \
+      | grep -q "PASSED" &&
+    ./tests/test_fault --gtest_filter='Chaos.MixedShapeEpoch*' \
+      | grep -q "PASSED")
+  # End-to-end: `soifft serve` with priority/deadline flags over both
+  # transports. The sim team serves in-process; shm ranks live in
+  # separate processes, so serving falls back to the worker backend with
+  # a note — either way the request mix must complete. An unknown tier
+  # must fail fast listing the valid ones.
+  cmake -B build-ci/tier1 -S . >/dev/null
+  cmake --build build-ci/tier1 -j "${jobs}" --target soifft
+  build-ci/tier1/tools/soifft serve --n 4096 --requests 6 --transport sim \
+    --p 2 --priority interactive --deadline-ms 30000 >/dev/null
+  build-ci/tier1/tools/soifft serve --n 4096 --requests 6 --transport shm \
+    --p 2 --priority background --deadline-ms 30000 \
+    >/dev/null 2>build-ci/serve_mix_note.txt
+  grep -q "serial worker backend" build-ci/serve_mix_note.txt
+  if build-ci/tier1/tools/soifft serve --n 4096 --requests 2 \
+      --priority urgent >/dev/null 2>build-ci/serve_mix_err.txt; then
+    echo "unknown priority tier must be rejected" >&2
+    exit 1
+  fi
+  grep -q "valid tiers" build-ci/serve_mix_err.txt
+  echo "serve-mix OK"
+}
+
 run_smoke() {
   echo "=== smoke: tune -> wisdom -> reuse pipeline ==="
   local bin=build-ci/tier1/tools/soifft
@@ -240,7 +293,8 @@ with open(path) as f:
 assert isinstance(records, list) and records, f"{path}: empty or not a list"
 # Every serving record must carry the queueing schema extension.
 cases = {r["case"] for r in records}
-for want in ("serial_baseline", "serve_dist", "serve_serial"):
+for want in ("serial_baseline", "serve_dist", "serve_serial",
+             "mix_70_30", "mix_uniform", "mix_priority_skew"):
     assert any(want in c for c in cases), f"{path}: missing case {want}"
 for r in records:
     for key in ("p50_ms", "p99_ms", "transforms_per_sec", "admitted",
@@ -249,12 +303,40 @@ for r in records:
     assert r["transforms_per_sec"] > 0, f"{path}: no throughput: {r}"
     assert r["p99_ms"] >= r["p50_ms"] > 0, f"{path}: bad latency order: {r}"
     assert r["admitted"] > 0 and r["rejected"] >= 0, f"{path}: counters: {r}"
-    if r["case"].startswith("serve"):
+    if r["case"].startswith(("serve", "mix")):
         # The service's acceptance criterion: nothing allocates on the
         # request path after warmup. (The one-at-a-time baseline does not
         # instrument allocations; it reports -1.)
         assert r["steady_state_allocs"] == 0, \
             f"{path}: serving steady state allocated: {r}"
+        # Deadline-aware shedding: the counter rides on every service
+        # record, disjoint from rejected, and nothing sheds below
+        # capacity at the smoke sizes.
+        assert r.get("shed") == 0, f"{path}: unexpected sheds: {r}"
+        # Per-tier split: tiers are named, counters add up to the record
+        # totals, and quantiles are ordered within each tier.
+        tiers = r.get("tiers")
+        assert tiers, f"{path}: service record missing tiers: {r}"
+        names = {t["tier"] for t in tiers}
+        assert names <= {"interactive", "batch", "background"}, \
+            f"{path}: unknown tier names {names}: {r}"
+        assert sum(t["admitted"] for t in tiers) == r["admitted"], \
+            f"{path}: tier admitted != total: {r}"
+        for t in tiers:
+            assert t["completed"] >= 0 and t["shed"] >= 0, \
+                f"{path}: bad tier counters: {t}"
+            if t["completed"] > 0:
+                assert t["p99_ms"] >= t["p50_ms"] > 0, \
+                    f"{path}: bad tier latency order: {t}"
+mixes = [r for r in records if r["case"].startswith("mix_")]
+assert any(len(r.get("tiers", [])) >= 2 for r in mixes), \
+    f"{path}: no mix record saw multiple priority tiers"
+# The mixes ride the epoch-packed dist backend; the overlap metric the
+# acceptance gate reads must be present and sane.
+for r in mixes:
+    eff = r.get("overlap_efficiency")
+    assert eff is not None and 0.0 <= eff <= 1.0, \
+        f"{path}: bad overlap_efficiency {eff}: {r}"
 print(f"{path}: {len(records)} serving records OK")
 EOF
   python3 - "${out}/batch_fft.json" "${out}/tuned.json" <<'EOF'
@@ -366,11 +448,12 @@ case "${stage}" in
   chaos) run_chaos ;;
   topology) run_topology ;;
   backends) run_backends ;;
+  serve-mix) run_serve_mix ;;
   smoke) run_smoke ;;
   bench-smoke) run_bench_smoke ;;
   all)   run_tier1; run_asan; run_tsan; run_chaos; run_topology; run_backends
-         run_smoke; run_bench_smoke ;;
-  *) echo "usage: $0 [tier1|asan|tsan|chaos|topology|backends|smoke|bench-smoke|all]" >&2
+         run_serve_mix; run_smoke; run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|tsan|chaos|topology|backends|serve-mix|smoke|bench-smoke|all]" >&2
      exit 2 ;;
 esac
 echo "ci: ${stage} passed"

@@ -22,6 +22,7 @@ enum class Status {
   kPayloadCorruption,   ///< checksum/size mismatch that recovery couldn't fix
   kAccuracyFault,       ///< residual guard: output outside the error bound
   kResourceExhausted,   ///< admission rejected: queue/capacity full
+  kDeadlineExceeded,    ///< request shed: cannot finish before its deadline
 };
 
 /// Stable name for a status code ("CommTimeout", ...).
@@ -33,6 +34,7 @@ enum class Status {
     case Status::kPayloadCorruption: return "PayloadCorruption";
     case Status::kAccuracyFault: return "AccuracyFault";
     case Status::kResourceExhausted: return "ResourceExhausted";
+    case Status::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -82,6 +84,16 @@ class AdmissionRejectedError : public Error {
  public:
   explicit AdmissionRejectedError(const std::string& what)
       : Error(what, Status::kResourceExhausted) {}
+};
+
+/// The serving scheduler shed the request: its deadline cannot be met
+/// (already past, or the modeled execution cost exceeds the remaining
+/// budget), so it was failed BEFORE any segment FFTs ran — wasted-work
+/// avoidance, not an execution fault.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : Error(what, Status::kDeadlineExceeded) {}
 };
 
 /// Explicit alias for the default taxonomy entry (NaN/Inf input pre-scan).

@@ -40,6 +40,7 @@ MetricsSnapshot ServeMetrics::snapshot(double elapsed_seconds,
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.queued = queued_.load(std::memory_order_relaxed);
   s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
   const double p50 = latency_.quantile(0.50);
@@ -69,6 +70,17 @@ MetricsSnapshot ServeMetrics::snapshot(double elapsed_seconds,
         secs > 0 ? std::clamp(1.0 - wait / secs, 0.0, 1.0) : 1.0;
     s.tenants.push_back(out);
   }
+  for (int t = 0; t < kTiers; ++t) {
+    const auto& c = tiers_[static_cast<std::size_t>(t)];
+    auto& out = s.tiers[static_cast<std::size_t>(t)];
+    out.admitted = c.admitted.load(std::memory_order_relaxed);
+    out.completed = c.completed.load(std::memory_order_relaxed);
+    out.shed = c.shed.load(std::memory_order_relaxed);
+    const double tp50 = c.latency.quantile(0.50);
+    const double tp99 = c.latency.quantile(0.99);
+    out.p50_ms = tp50 < 0 ? -1.0 : tp50 * 1e3;
+    out.p99_ms = tp99 < 0 ? -1.0 : tp99 * 1e3;
+  }
   return s;
 }
 
@@ -81,10 +93,17 @@ void ServeMetrics::reset() {
   queue_peak_.store(0, std::memory_order_relaxed);
   busy_slot_seconds_.store(0.0, std::memory_order_relaxed);
   latency_.reset();
+  shed_.store(0, std::memory_order_relaxed);
   for (auto& t : tenants_) {
     t.completed.store(0, std::memory_order_relaxed);
     t.seconds.store(0.0, std::memory_order_relaxed);
     t.wait_seconds.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& t : tiers_) {
+    t.admitted.store(0, std::memory_order_relaxed);
+    t.completed.store(0, std::memory_order_relaxed);
+    t.shed.store(0, std::memory_order_relaxed);
+    t.latency.reset();
   }
 }
 

@@ -22,6 +22,10 @@ namespace soi::serve {
 /// into the last bucket.
 inline constexpr int kMaxTenants = 32;
 
+/// Priority tiers the queue/latency counters split by: 0 = interactive,
+/// 1 = batch, 2 = background (serve::Priority maps onto these).
+inline constexpr int kTiers = 3;
+
 /// Lock-free fixed-bucket latency histogram: 128 quarter-octave buckets
 /// starting at 1 us (bucket b covers [2^(b/4), 2^((b+1)/4)) us), so the
 /// range spans 1 us .. ~4.3 ks with <= 19% bucket-width error — plenty
@@ -69,6 +73,11 @@ struct MetricsSnapshot {
   /// or co-scheduled instances): busy-slot-seconds / (elapsed * slots).
   double arena_occupancy = 0.0;
 
+  /// Requests shed by the deadline-aware scheduler BEFORE execution
+  /// (DeadlineExceededError); disjoint from `failed` (execution errors)
+  /// and `rejected` (queue-full backpressure).
+  std::int64_t shed = 0;
+
   struct Tenant {
     int tenant = 0;
     std::int64_t completed = 0;
@@ -77,6 +86,16 @@ struct MetricsSnapshot {
     double overlap_efficiency = 1.0;
   };
   std::vector<Tenant> tenants;
+
+  /// Per-priority-tier queue statistics (index = tier).
+  struct Tier {
+    std::int64_t admitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t shed = 0;
+    double p50_ms = -1.0;
+    double p99_ms = -1.0;
+  };
+  std::array<Tier, kTiers> tiers{};
 };
 
 /// Shared counter block of one TransformService. Writers are the
@@ -84,8 +103,10 @@ struct MetricsSnapshot {
 /// with writes and see a slightly torn but individually-consistent view.
 class ServeMetrics {
  public:
-  void note_admitted(std::int64_t queue_depth) {
+  void note_admitted(std::int64_t queue_depth, int tier = 1) {
     admitted_.fetch_add(1, std::memory_order_relaxed);
+    tiers_[clamp_tier(tier)].admitted.fetch_add(1,
+                                                std::memory_order_relaxed);
     queued_.fetch_add(1, std::memory_order_relaxed);
     std::int64_t peak = queue_peak_.load(std::memory_order_relaxed);
     while (queue_depth > peak &&
@@ -95,11 +116,19 @@ class ServeMetrics {
   }
   void note_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void note_dequeued() { queued_.fetch_sub(1, std::memory_order_relaxed); }
-  void note_completed(double latency_seconds) {
+  void note_completed(double latency_seconds, int tier = 1) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     latency_.record(latency_seconds);
+    auto& t = tiers_[clamp_tier(tier)];
+    t.completed.fetch_add(1, std::memory_order_relaxed);
+    t.latency.record(latency_seconds);
   }
   void note_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  /// One request shed by the deadline-aware scheduler before execution.
+  void note_shed(int tier) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    tiers_[clamp_tier(tier)].shed.fetch_add(1, std::memory_order_relaxed);
+  }
   void note_busy(double slot_seconds) {
     busy_slot_seconds_.fetch_add(slot_seconds, std::memory_order_relaxed);
   }
@@ -137,15 +166,28 @@ class ServeMetrics {
     std::atomic<double> wait_seconds{0.0};
   };
 
+  struct TierCounters {
+    std::atomic<std::int64_t> admitted{0};
+    std::atomic<std::int64_t> completed{0};
+    std::atomic<std::int64_t> shed{0};
+    LatencyHistogram latency;
+  };
+
+  static std::size_t clamp_tier(int tier) {
+    return static_cast<std::size_t>(std::clamp(tier, 0, kTiers - 1));
+  }
+
   std::atomic<std::int64_t> admitted_{0};
   std::atomic<std::int64_t> rejected_{0};
   std::atomic<std::int64_t> completed_{0};
   std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> shed_{0};
   std::atomic<std::int64_t> queued_{0};
   std::atomic<std::int64_t> queue_peak_{0};
   std::atomic<double> busy_slot_seconds_{0.0};
   LatencyHistogram latency_;
   std::array<TenantCounters, kMaxTenants> tenants_{};
+  std::array<TierCounters, kTiers> tiers_{};
 };
 
 }  // namespace soi::serve

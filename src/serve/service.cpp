@@ -4,11 +4,54 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "common/error.hpp"
+#include "tune/autotuner.hpp"
 #include "tune/registry.hpp"
 
 namespace soi::serve {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+    case Priority::kBackground: return "background";
+  }
+  return "batch";
+}
+
+Priority priority_from_name(const std::string& name) {
+  if (name == "interactive") return Priority::kInteractive;
+  if (name == "batch") return Priority::kBatch;
+  if (name == "background") return Priority::kBackground;
+  std::ostringstream os;
+  os << "unknown priority tier '" << name
+     << "'; valid tiers: interactive, batch, background";
+  throw InvalidArgumentError(os.str());
+}
+
+namespace {
+
+/// Modeled solo execution price of one request on a lane — the currency
+/// of deadline shedding and the epoch budget. Deliberately the SAME
+/// scorer the autotuner prices candidates with (kModeled), so the
+/// scheduler and the tuner agree on what "expensive" means.
+double modeled_lane_cost(const LaneSpec& spec, int ranks, bool overlap) {
+  tune::TuneKey key;
+  key.n = spec.n;
+  key.ranks = std::max(ranks, 1);
+  key.accuracy = spec.accuracy;
+  tune::Candidate cand;
+  cand.accuracy = spec.accuracy;
+  cand.segments_per_rank = spec.segments_per_rank;
+  cand.overlap = overlap;
+  cand.chunk_depth = overlap ? spec.chunk_depth : 1;
+  return tune::score_candidate(key, cand, tune::TuneOptions{})
+      .total_seconds();
+}
+
+}  // namespace
 
 TransformService::TransformService(ServeOptions opts) : opts_(opts) {
   SOI_CHECK(opts_.ranks == 0 || opts_.ranks >= 2,
@@ -122,6 +165,7 @@ int TransformService::create_lane(const LaneSpec& spec) {
     Lane& lane = lanes_[static_cast<std::size_t>(id)];
     lane.spec = spec;
     lane.plan = plan;
+    lane.cost_seconds = modeled_lane_cost(spec, /*ranks=*/1, opts_.overlap);
     lane.warm_in.assign(n, cplx{1.0, 0.0});
     // One warm-out slice per worker: all workers warm every lane
     // concurrently, so a shared output buffer would be a data race.
@@ -144,6 +188,7 @@ int TransformService::create_lane(const LaneSpec& spec) {
   const int id = nlanes_;
   Lane& lane = lanes_[static_cast<std::size_t>(id)];
   lane.spec = spec;
+  lane.cost_seconds = modeled_lane_cost(spec, opts_.ranks, opts_.overlap);
   lane.warm_in.assign(n, cplx{1.0, 0.0});
   lane.warm_out.assign(
       static_cast<std::size_t>(opts_.max_concurrency) * n, cplx{});
@@ -180,21 +225,43 @@ void TransformService::warmup() {
 }
 
 Ticket TransformService::submit(int lane, int tenant, cspan x, mspan y) {
-  return *admit(lane, tenant, x, y, /*throw_on_full=*/true);
+  return *admit(lane, tenant, x, y, SubmitOptions{}, /*throw_on_full=*/true);
+}
+
+Ticket TransformService::submit(int lane, int tenant, cspan x, mspan y,
+                                const SubmitOptions& so) {
+  return *admit(lane, tenant, x, y, so, /*throw_on_full=*/true);
 }
 
 std::optional<Ticket> TransformService::try_submit(int lane, int tenant,
                                                    cspan x, mspan y) {
-  return admit(lane, tenant, x, y, /*throw_on_full=*/false);
+  return admit(lane, tenant, x, y, SubmitOptions{}, /*throw_on_full=*/false);
+}
+
+std::optional<Ticket> TransformService::try_submit(int lane, int tenant,
+                                                   cspan x, mspan y,
+                                                   const SubmitOptions& so) {
+  return admit(lane, tenant, x, y, so, /*throw_on_full=*/false);
+}
+
+double TransformService::lane_cost_seconds(int lane) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SOI_CHECK(lane >= 0 && lane < nlanes_,
+            "TransformService: unknown lane " << lane);
+  return lanes_[static_cast<std::size_t>(lane)].cost_seconds;
 }
 
 std::optional<Ticket> TransformService::admit(int lane, int tenant, cspan x,
-                                              mspan y, bool throw_on_full) {
+                                              mspan y, const SubmitOptions& so,
+                                              bool throw_on_full) {
   std::lock_guard<std::mutex> lk(mu_);
   SOI_CHECK(!stopping_, "TransformService: submit after stop()");
   SOI_CHECK(lane >= 0 && lane < nlanes_,
             "TransformService: unknown lane " << lane);
   SOI_CHECK(tenant >= 0, "TransformService: tenant must be >= 0");
+  SOI_CHECK(so.deadline_ms >= 0.0,
+            "TransformService: deadline_ms must be >= 0, got "
+                << so.deadline_ms);
   const auto n = static_cast<std::size_t>(
       lanes_[static_cast<std::size_t>(lane)].spec.n);
   SOI_CHECK(x.size() == n, "TransformService: lane " << lane << " expects "
@@ -221,10 +288,14 @@ std::optional<Ticket> TransformService::admit(int lane, int tenant, cspan x,
   s.in = x;
   s.out = y;
   s.submit_seconds = epoch_.seconds();
+  s.priority = so.priority;
+  s.deadline_seconds =
+      so.deadline_ms > 0 ? s.submit_seconds + so.deadline_ms * 1e-3 : 0.0;
   s.error = nullptr;
   ring_[(ring_head_ + ring_size_) % ring_.size()] = idx;
   ++ring_size_;
-  metrics_.note_admitted(static_cast<std::int64_t>(ring_size_));
+  metrics_.note_admitted(static_cast<std::int64_t>(ring_size_),
+                         static_cast<int>(so.priority));
   cv_work_.notify_one();
   return Ticket{idx, s.gen};
 }
@@ -271,9 +342,32 @@ void TransformService::finish_slot_locked(std::int32_t idx,
   if (err) {
     metrics_.note_failed();
   } else {
-    metrics_.note_completed(epoch_.seconds() - s.submit_seconds);
+    metrics_.note_completed(epoch_.seconds() - s.submit_seconds,
+                            static_cast<int>(s.priority));
     metrics_.note_tenant(s.tenant, trace_seconds, trace_wait_seconds);
   }
+}
+
+void TransformService::shed_slot_locked(std::int32_t idx, double now) {
+  RequestSlot& s = slots_[static_cast<std::size_t>(idx)];
+  const Lane& lane = lanes_[static_cast<std::size_t>(s.lane)];
+  std::exception_ptr err;
+  try {
+    std::ostringstream os;
+    os << "TransformService: request on lane " << s.lane << " ("
+       << priority_name(s.priority) << ") shed before execution: "
+       << (now >= s.deadline_seconds
+               ? "deadline already passed"
+               : "modeled cost exceeds the remaining deadline budget")
+       << " (deadline in " << (s.deadline_seconds - now) * 1e3
+       << " ms, modeled cost " << lane.cost_seconds * 1e3 << " ms)";
+    throw DeadlineExceededError(os.str());
+  } catch (...) {
+    err = std::current_exception();
+  }
+  s.state = SlotState::kFailed;
+  s.error = err;
+  metrics_.note_shed(static_cast<int>(s.priority));
 }
 
 std::size_t TransformService::append_command_locked(const Command& cmd) {
@@ -361,13 +455,41 @@ void TransformService::worker_main(int w) {
       cv_done_.notify_all();
       continue;
     }
-    const std::int32_t idx = ring_[ring_head_];
-    ring_head_ = (ring_head_ + 1) % ring_.size();
+    // Tier-aware pick: the lowest tier present wins; within a tier the
+    // scan order IS admission order, so FIFO fairness is preserved.
+    const auto cap = ring_.size();
+    std::size_t pick = 0;
+    int best = static_cast<int>(
+        slots_[static_cast<std::size_t>(ring_[ring_head_])].priority);
+    for (std::size_t i = 1; i < ring_size_ && best > 0; ++i) {
+      const auto cidx =
+          static_cast<std::size_t>(ring_[(ring_head_ + i) % cap]);
+      const int tier = static_cast<int>(slots_[cidx].priority);
+      if (tier < best) {
+        best = tier;
+        pick = i;
+      }
+    }
+    const std::int32_t idx = ring_[(ring_head_ + pick) % cap];
+    for (std::size_t i = pick; i + 1 < ring_size_; ++i) {
+      ring_[(ring_head_ + i) % cap] = ring_[(ring_head_ + i + 1) % cap];
+    }
     --ring_size_;
     RequestSlot& s = slots_[static_cast<std::size_t>(idx)];
-    s.state = SlotState::kRunning;
     metrics_.note_dequeued();
+    // Deadline-aware shedding at dispatch: if the modeled cost no longer
+    // fits before the deadline, fail the request NOW — before any of its
+    // segment FFTs run — instead of wasting the worker on a result the
+    // caller will discard.
     const Lane& lane = lanes_[static_cast<std::size_t>(s.lane)];
+    const double now = epoch_.seconds();
+    if (s.deadline_seconds > 0 &&
+        now + lane.cost_seconds > s.deadline_seconds) {
+      shed_slot_locked(idx, now);
+      cv_done_.notify_all();
+      continue;
+    }
+    s.state = SlotState::kRunning;
     exec::ExecState& st =
         *states_[wi * kMaxLanes + static_cast<std::size_t>(s.lane)];
     const cspan in = s.in;
@@ -408,57 +530,111 @@ void TransformService::scheduler_main() {
               batches_issued_ - batches_done_ < kMaxBatchesInFlight);
     });
     if (stopping_) return;
-    // Batching delay: a below-capacity batch lingers (bounded) for more
-    // same-lane arrivals — dispatching a partial batch amortises the
-    // exchange flight time over fewer transforms. Only the scheduler
-    // dequeues, so the head request cannot disappear while lingering.
-    if (opts_.batch_linger_us > 0) {
-      const auto head_run = [&] {
-        const int head_lane =
-            slots_[static_cast<std::size_t>(ring_[ring_head_])].lane;
-        int run = 0;
-        for (std::size_t i = 0; i < ring_size_; ++i) {
-          const std::int32_t idx = ring_[(ring_head_ + i) % ring_.size()];
-          if (slots_[static_cast<std::size_t>(idx)].lane == head_lane) ++run;
-        }
-        return run;
-      };
+    // Epoch linger: a below-capacity epoch waits (bounded) for more
+    // arrivals of ANY shape — a partial epoch amortises the exchange
+    // flight time over fewer transforms. Only the scheduler dequeues, so
+    // queued requests cannot disappear while lingering.
+    if (opts_.batch_linger_us > 0 &&
+        ring_size_ < static_cast<std::size_t>(opts_.max_concurrency)) {
       const auto deadline =
           std::chrono::steady_clock::now() +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double, std::micro>(
                   opts_.batch_linger_us));
       cv_work_.wait_until(lk, deadline, [&] {
-        return stopping_ || head_run() >= opts_.max_concurrency;
+        return stopping_ ||
+               ring_size_ >= static_cast<std::size_t>(opts_.max_concurrency);
       });
       if (stopping_) return;
     }
-    // Head-of-queue lane is served first (no lane starves behind a busy
-    // one); the batch fills with same-lane requests from anywhere in the
-    // queue, since requests are mutually independent.
-    Command cmd;
-    cmd.type = CmdType::kBatch;
-    cmd.lane = slots_[static_cast<std::size_t>(ring_[ring_head_])].lane;
     const auto cap = ring_.size();
-    std::size_t kept = 0;
+    // Pass 1 — deadline-aware shedding. A request whose modeled cost no
+    // longer fits before its deadline fails HERE, before any of its
+    // segment FFTs run, so it never occupies an epoch slot a feasible
+    // request could use.
+    {
+      const double now = epoch_.seconds();
+      std::size_t kept = 0;
+      bool any_shed = false;
+      for (std::size_t i = 0; i < ring_size_; ++i) {
+        const std::int32_t idx = ring_[(ring_head_ + i) % cap];
+        const RequestSlot& s = slots_[static_cast<std::size_t>(idx)];
+        const Lane& lane = lanes_[static_cast<std::size_t>(s.lane)];
+        if (s.deadline_seconds > 0 &&
+            now + lane.cost_seconds > s.deadline_seconds) {
+          metrics_.note_dequeued();
+          shed_slot_locked(idx, now);
+          any_shed = true;
+        } else {
+          ring_[(ring_head_ + kept++) % cap] = idx;
+        }
+      }
+      ring_size_ = kept;
+      if (any_shed) cv_done_.notify_all();
+      if (ring_size_ == 0) continue;
+    }
+    // Pass 2 — epoch packing in (tier, FIFO) order: interactive members
+    // first, then batch, then background; within a tier the scan order
+    // IS admission order. Mixed shapes are welcome — the rank bodies
+    // compose them into one merged chunk graph (exec::run_epoch).
+    Command cmd;
+    const double budget = opts_.epoch_budget_ms > 0
+                              ? opts_.epoch_budget_ms * 1e-3
+                              : std::numeric_limits<double>::infinity();
+    double packed = 0.0;
     int taken = 0;
-    for (std::size_t i = 0; i < ring_size_; ++i) {
-      const std::int32_t idx = ring_[(ring_head_ + i) % cap];
-      RequestSlot& s = slots_[static_cast<std::size_t>(idx)];
-      if (taken < opts_.max_concurrency && s.lane == cmd.lane) {
-        cmd.slots[static_cast<std::size_t>(taken++)] = idx;
+    for (int tier = 0; tier < kTiers && taken < opts_.max_concurrency;
+         ++tier) {
+      for (std::size_t i = 0;
+           i < ring_size_ && taken < opts_.max_concurrency; ++i) {
+        const std::int32_t idx = ring_[(ring_head_ + i) % cap];
+        RequestSlot& s = slots_[static_cast<std::size_t>(idx)];
+        if (s.state != SlotState::kQueued ||
+            static_cast<int>(s.priority) != tier) {
+          continue;
+        }
+        const double cost =
+            lanes_[static_cast<std::size_t>(s.lane)].cost_seconds;
+        // The first member always fits (no livelock); after that only
+        // what the summed modeled price still allows.
+        if (taken > 0 && packed + cost > budget) continue;
+        cmd.slots[static_cast<std::size_t>(taken)] = idx;
+        cmd.lanes[static_cast<std::size_t>(taken)] = s.lane;
+        ++taken;
+        packed += cost;
         s.state = SlotState::kRunning;
         metrics_.note_dequeued();
-      } else {
+      }
+    }
+    // Compact: everything still queued keeps admission order.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < ring_size_; ++i) {
+      const std::int32_t idx = ring_[(ring_head_ + i) % cap];
+      if (slots_[static_cast<std::size_t>(idx)].state == SlotState::kQueued) {
         ring_[(ring_head_ + kept++) % cap] = idx;
       }
     }
     ring_size_ = kept;
     cmd.count = taken;
+    // Same-lane fast path: a uniform epoch needs no cross-plan graph
+    // composition — forward_many IS its merged schedule.
+    bool uniform = true;
+    for (int i = 1; i < taken; ++i) {
+      uniform = uniform && cmd.lanes[static_cast<std::size_t>(i)] ==
+                               cmd.lanes[0];
+    }
+    if (uniform) {
+      cmd.type = CmdType::kBatch;
+      cmd.lane = cmd.lanes[0];
+    } else {
+      cmd.type = CmdType::kEpoch;
+      cmd.lane = -1;
+    }
     ++batches_issued_;
     if (std::getenv("SOI_SERVE_DEBUG") != nullptr) {
-      std::fprintf(stderr, "batch lane=%d count=%d ring=%zu\n", cmd.lane,
-                   cmd.count, ring_size_);
+      std::fprintf(stderr, "%s lane=%d count=%d ring=%zu cost=%.3fms\n",
+                   cmd.type == CmdType::kEpoch ? "epoch" : "batch", cmd.lane,
+                   cmd.count, ring_size_, packed * 1e3);
     }
     append_command_locked(cmd);
   }
@@ -469,6 +645,9 @@ void TransformService::rank_main(net::Transport& comm) {
   std::array<std::unique_ptr<core::SoiFftDist>, kMaxLanes> plans;
   std::array<cspan, net::kMaxChannels> xs;
   std::array<mspan, net::kMaxChannels> ys;
+  // Rank-local composition scratch of the mixed-shape (kEpoch) path,
+  // (re)sized at kLane time so steady-state epochs never allocate.
+  exec::RunScratch escratch;
   std::size_t cursor = 0;
   try {
     for (;;) {
@@ -502,6 +681,16 @@ void TransformService::rank_main(net::Transport& comm) {
           plans[static_cast<std::size_t>(cmd.lane)] =
               std::make_unique<core::SoiFftDist>(comm, lane.spec.n, *prof,
                                                  dopts);
+          // Worst-case epoch: max_concurrency members all running the
+          // largest lane's graph.
+          std::size_t max_nodes = 0;
+          for (const auto& p : plans) {
+            if (p) max_nodes = std::max(max_nodes, p->node_count());
+          }
+          exec::bind_epoch_scratch(
+              escratch,
+              static_cast<std::size_t>(opts_.max_concurrency) * max_nodes,
+              opts_.max_concurrency);
           std::lock_guard<std::mutex> lk(mu_);
           ++cmd_acks_[cmd_idx];
           cv_done_.notify_all();
@@ -574,6 +763,73 @@ void TransformService::rank_main(net::Transport& comm) {
               if (!berr) {
                 for (const auto& r :
                      plan.instance_trace(static_cast<int>(i)).records()) {
+                  secs += r.seconds;
+                  wait += r.wait_seconds;
+                }
+              }
+              finish_slot_locked(cmd.slots[i], berr, secs, wait);
+            }
+            cv_done_.notify_all();
+          }
+          break;
+        }
+        case CmdType::kEpoch: {
+          // Mixed-shape epoch: compose every member's chunk graph into
+          // one merged schedule (exec::run_epoch). Member i rides
+          // collective channel i; instances of each plan are numbered in
+          // epoch order, identically on every rank.
+          const auto cnt = static_cast<std::size_t>(cmd.count);
+          std::array<exec::EpochMemberT<double>, net::kMaxChannels>
+              members{};
+          std::array<int, net::kMaxChannels> inst_of{};
+          std::array<int, kMaxLanes> per_lane{};
+          Timer bt;
+          std::exception_ptr err;
+          try {
+            for (std::size_t i = 0; i < cnt; ++i) {
+              const auto l = static_cast<std::size_t>(cmd.lanes[i]);
+              auto& plan = *plans[l];
+              const std::int64_t local = plan.local_size();
+              const RequestSlot& s =
+                  slots_[static_cast<std::size_t>(cmd.slots[i])];
+              xs[i] = cspan{s.in.data() + rank * local,
+                            static_cast<std::size_t>(local)};
+              ys[i] = mspan{s.out.data() + rank * local,
+                            static_cast<std::size_t>(local)};
+              inst_of[i] = per_lane[l]++;
+              plan.bind_epoch_member(members[i], inst_of[i],
+                                     static_cast<int>(i), xs[i], ys[i]);
+              members[i].tier = static_cast<int>(s.priority);
+            }
+            exec::run_epoch(std::span<const exec::EpochMemberT<double>>(
+                                members.data(), cnt),
+                            escratch);
+            // Per plan, ascending lane order — identical on every rank,
+            // because finish_epoch's residual guard may issue a
+            // collective.
+            for (std::size_t l = 0; l < kMaxLanes; ++l) {
+              if (per_lane[l] > 0) plans[l]->finish_epoch(per_lane[l]);
+            }
+          } catch (...) {
+            err = std::current_exception();
+          }
+          // Countdown retirement, exactly as kBatch: the LAST rank to
+          // finish retires every member.
+          std::lock_guard<std::mutex> lk(mu_);
+          if (err && !cmd_errors_[cmd_idx]) cmd_errors_[cmd_idx] = err;
+          if (++cmd_acks_[cmd_idx] == opts_.ranks) {
+            metrics_.note_busy(bt.seconds() * static_cast<double>(cnt));
+            ++batches_done_;
+            cv_work_.notify_all();
+            const std::exception_ptr berr = cmd_errors_[cmd_idx];
+            for (std::size_t i = 0; i < cnt; ++i) {
+              double secs = 0.0;
+              double wait = 0.0;
+              if (!berr) {
+                const auto& plan =
+                    *plans[static_cast<std::size_t>(cmd.lanes[i])];
+                for (const auto& r :
+                     plan.instance_trace(inst_of[i]).records()) {
                   secs += r.seconds;
                   wait += r.wait_seconds;
                 }

@@ -22,20 +22,32 @@
 //   * ranks >= 2 (distributed): the service hosts an in-process rank
 //     team (any registered transport whose caps report threaded_world —
 //     the rank bodies share the service's address space) and a scheduler
-//     thread. The scheduler forms batches of up to max_concurrency
-//     same-shape requests (head-of-queue lane first, so no lane starves)
-//     and publishes them to the rank bodies, which co-schedule each
-//     batch through SoiFftDist::forward_many — every instance's exchange
-//     pieces post on its own tagged collective channel before any
-//     instance blocks, so waits mostly find their data already
-//     delivered. Requests carry the FULL N-point signal; rank r
-//     transforms the block subspan [r*N/R, (r+1)*N/R).
+//     thread. The scheduler packs EPOCHS of up to max_concurrency
+//     requests in (priority tier, FIFO) order — mixed shapes are
+//     composed into one merged chunk graph via exec::run_epoch, each
+//     member's exchange pieces posting on its own tagged collective
+//     channel before any member blocks. When every packed request
+//     happens to share one lane the scheduler emits the same-lane fast
+//     path (SoiFftDist::forward_many) instead — identical schedule,
+//     no composition overhead. Requests carry the FULL N-point signal;
+//     rank r transforms the block subspan [r*N/R, (r+1)*N/R).
+//
+// Priority and deadlines: every request carries a tier (interactive <
+// batch < background) and an optional absolute deadline. The scheduler
+// admits lower tiers first within an epoch, and sheds any request whose
+// modeled execution cost (tune::score_candidate, kModeled) can no
+// longer fit before its deadline — the waiter sees the typed
+// soi::DeadlineExceededError BEFORE any of its segment FFTs ran, so an
+// infeasible background request never steals arena slots or exchange
+// bandwidth from co-admitted interactive work. epoch_budget_ms caps the
+// summed modeled cost packed into one epoch.
 //
 // Outputs are bit-identical to solo execution of the same request in
 // both backends (the dataflow executor runs each instance's nodes in a
 // topological order of its own edges). Queueing metrics — admitted /
 // rejected / queued, p50/p99 latency, transforms/sec, slot occupancy,
-// per-tenant overlap efficiency — accumulate in serve::ServeMetrics.
+// per-tenant overlap efficiency, per-tier completions and sheds —
+// accumulate in serve::ServeMetrics.
 #pragma once
 
 #include <array>
@@ -62,6 +74,31 @@ namespace soi::serve {
 
 /// Transform shapes one service instance can hold concurrently.
 inline constexpr int kMaxLanes = 8;
+
+/// Scheduling tier of a request. Lower values pack into an epoch first;
+/// maps 1:1 onto the serve::kTiers metric buckets.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBackground = 2,
+};
+
+/// Canonical tier name ("interactive" / "batch" / "background").
+[[nodiscard]] const char* priority_name(Priority p);
+
+/// Parse a tier name; throws soi::InvalidArgumentError listing the
+/// valid tiers on anything else (mirrors the transport/engine registry
+/// error style).
+[[nodiscard]] Priority priority_from_name(const std::string& name);
+
+/// Per-request scheduling knobs carried alongside the buffers.
+struct SubmitOptions {
+  Priority priority = Priority::kBatch;
+  /// Relative deadline in milliseconds from submit(); 0 = none. A
+  /// request whose modeled cost no longer fits before the deadline is
+  /// shed with soi::DeadlineExceededError before any execution.
+  double deadline_ms = 0.0;
+};
 
 /// One transform shape ("lane") requests are admitted against. Requests
 /// on the same lane share one plan (and, distributed, one co-scheduled
@@ -109,6 +146,11 @@ struct ServeOptions {
   /// flight time over fewer transforms). 0 = dispatch immediately;
   /// bounded per batch, so worst-case added latency is exactly this.
   double batch_linger_us = 0.0;
+  /// Distributed backend: cap on the summed modeled execution cost
+  /// (tune::score_candidate, kModeled) packed into one epoch, in
+  /// milliseconds. The first packed request always fits (no livelock);
+  /// 0 = unlimited (pack to max_concurrency).
+  double epoch_budget_ms = 0.0;
 };
 
 /// Handle of one submitted request. Value type; becomes stale after
@@ -142,11 +184,20 @@ class TransformService {
   /// must stay valid until wait() returns. Throws AdmissionRejectedError
   /// when the queue is full.
   Ticket submit(int lane, int tenant, cspan x, mspan y);
+  Ticket submit(int lane, int tenant, cspan x, mspan y,
+                const SubmitOptions& so);
 
   /// submit() that reports a full queue as std::nullopt instead of
   /// throwing (the open-loop load generator's path; still counts into
   /// metrics().rejected).
   std::optional<Ticket> try_submit(int lane, int tenant, cspan x, mspan y);
+  std::optional<Ticket> try_submit(int lane, int tenant, cspan x, mspan y,
+                                   const SubmitOptions& so);
+
+  /// Modeled solo execution cost of one request on `lane`, in seconds
+  /// (the deadline-shedding and epoch-budget price; priced once at
+  /// create_lane via the modeled autotuner scorer).
+  [[nodiscard]] double lane_cost_seconds(int lane) const;
 
   /// Block until the request finishes; rethrows its typed soi::Error if
   /// it failed, then frees the slot (the ticket becomes stale).
@@ -186,6 +237,9 @@ class TransformService {
     cspan in;
     mspan out;
     double submit_seconds = 0.0;  ///< epoch clock at admission
+    Priority priority = Priority::kBatch;
+    /// Absolute epoch-clock deadline in seconds; 0 = none.
+    double deadline_seconds = 0.0;
     std::exception_ptr error;
   };
 
@@ -194,25 +248,34 @@ class TransformService {
     std::shared_ptr<const core::SoiFftSerial> plan;  // serial backend only
     cvec warm_in;
     cvec warm_out;
+    /// Modeled solo execution cost (tune::score_candidate, kModeled) —
+    /// the deadline-shedding / epoch-budget price of one request.
+    double cost_seconds = 0.0;
   };
 
-  enum class CmdType : std::uint8_t { kLane, kWarm, kBatch, kStop };
+  enum class CmdType : std::uint8_t { kLane, kWarm, kBatch, kEpoch, kStop };
 
   /// One entry of the rank team's command log (distributed backend).
   /// Plain copyable value: rank bodies copy it out under the service
   /// mutex, so log growth never invalidates a reader.
   struct Command {
     CmdType type = CmdType::kBatch;
-    std::int32_t lane = -1;
+    std::int32_t lane = -1;  ///< kBatch/kLane/kWarm: the single lane
     std::int32_t count = 0;
     std::array<std::int32_t, net::kMaxChannels> slots{};
+    /// kEpoch: per-member lane ids (mixed shapes; member i rides
+    /// collective channel i).
+    std::array<std::int32_t, net::kMaxChannels> lanes{};
   };
 
   [[nodiscard]] bool dist_mode() const { return opts_.ranks >= 2; }
   std::optional<Ticket> admit(int lane, int tenant, cspan x, mspan y,
-                              bool throw_on_full);
+                              const SubmitOptions& so, bool throw_on_full);
   void finish_slot_locked(std::int32_t idx, std::exception_ptr err,
                           double trace_seconds, double trace_wait_seconds);
+  /// Fail a queued slot with DeadlineExceededError (counts into the
+  /// shed metrics, not failed); caller already removed it from the ring.
+  void shed_slot_locked(std::int32_t idx, double now);
   std::size_t append_command_locked(const Command& cmd);
   void await_acks(std::size_t cmd_idx, std::unique_lock<std::mutex>& lock);
   void worker_main(int w);

@@ -96,6 +96,8 @@ SoiFftDist::SoiFftDist(net::Transport& comm, std::int64_t n,
   many_ctx_.resize(static_cast<std::size_t>(kmax));
   many_ptrs_.resize(static_cast<std::size_t>(kmax));
   guard_energies_.resize(2 * static_cast<std::size_t>(kmax));
+  epoch_xs_.resize(static_cast<std::size_t>(kmax));
+  epoch_ys_.resize(static_cast<std::size_t>(kmax));
   SOI_CHECK(opts_.max_retries >= 0,
             "SoiFftDist: max_retries must be >= 0");
   SOI_CHECK(opts_.timeout_ms >= 0,
@@ -231,6 +233,78 @@ void SoiFftDist::forward_many(std::span<const cspan> xs_local,
   if (last_retries_ > 0) degraded_ = true;
 
   guard_outputs(xs_local, ys_local);
+}
+
+void SoiFftDist::bind_epoch_member(exec::EpochMemberT<double>& member,
+                                   int instance, int channel, cspan x_local,
+                                   mspan y_local) {
+  const std::int64_t m_rank = local_size();
+  SOI_CHECK(instance >= 0 && instance < opts_.max_concurrency,
+            "SoiFftDist::bind_epoch_member: instance "
+                << instance << " not in [0, " << opts_.max_concurrency
+                << ") (raise max_concurrency)");
+  SOI_CHECK(channel >= 0 && channel < comm_.caps().max_coll_channels,
+            "SoiFftDist::bind_epoch_member: channel "
+                << channel << " not in [0, "
+                << comm_.caps().max_coll_channels << ") (transport '"
+                << comm_.caps().name << "')");
+  SOI_CHECK(x_local.size() == static_cast<std::size_t>(m_rank),
+            "SoiFftDist::bind_epoch_member: instance "
+                << instance << " expects " << m_rank
+                << " local points, got " << x_local.size());
+  SOI_CHECK(y_local.size() >= static_cast<std::size_t>(m_rank),
+            "SoiFftDist::bind_epoch_member: instance " << instance
+                                                       << " output too small");
+  bool validate = opts_.validate_input > 0;
+#ifndef NDEBUG
+  if (opts_.validate_input < 0) validate = true;
+#endif
+  if (validate) {
+    const std::int64_t bad = first_nonfinite<double>(x_local);
+    if (bad >= 0) {
+      std::ostringstream os;
+      os << "SoiFftDist::bind_epoch_member: rank " << comm_.rank()
+         << " instance " << instance
+         << " input contains a non-finite value (NaN/Inf) at local index "
+         << bad;
+      throw InvalidArgumentError(os.str());
+    }
+  }
+  const auto i = static_cast<std::size_t>(instance);
+  exec::ExecContextT<double>& ctx = many_ctx_[i];
+  ctx = exec::ExecContextT<double>{};
+  ctx.in = x_local;
+  ctx.out = y_local;
+  ctx.comm = &comm_;
+  // Degradation is plan-global, exactly as in forward_many: once a run of
+  // this plan needed retries, all its epoch memberships run in order.
+  ctx.overlap = opts_.overlap && !degraded_;
+  ctx.arena = i == 0 ? &state_.arena : &slots_[i - 1]->arena;
+  ctx.trace = i == 0 ? &state_.trace : &slots_[i - 1]->trace;
+  ctx.instance = instance;
+  ctx.channel = channel;
+  epoch_xs_[i] = x_local;
+  epoch_ys_[i] = y_local;
+  member.pipeline = &pipeline_;
+  member.ctx = &ctx;
+}
+
+void SoiFftDist::finish_epoch(int k) {
+  SOI_CHECK(k >= 1 && k <= opts_.max_concurrency,
+            "SoiFftDist::finish_epoch: " << k << " members not in [1, "
+                                         << opts_.max_concurrency << "]");
+  breakdown_ = SoiDistBreakdown::from_trace(state_.trace);
+  last_retries_ = 0;
+  for (int i = 0; i < k; ++i) {
+    for (const auto& r :
+         many_ctx_[static_cast<std::size_t>(i)].trace->records()) {
+      last_retries_ += r.retries;
+    }
+  }
+  if (last_retries_ > 0) degraded_ = true;
+  guard_outputs(
+      std::span<const cspan>(epoch_xs_.data(), static_cast<std::size_t>(k)),
+      std::span<const mspan>(epoch_ys_.data(), static_cast<std::size_t>(k)));
 }
 
 void SoiFftDist::guard_outputs(std::span<const cspan> xs,

@@ -154,6 +154,35 @@ class SoiFftDist {
   /// same block layout, same single all-to-all.
   void inverse(cspan y_local, mspan x_local);
 
+  /// --- cross-plan epoch membership (exec::run_epoch) -------------------
+  ///
+  /// forward_many co-schedules K instances of ONE shape; an epoch
+  /// composes members of SEVERAL SoiFftDist plans (mixed shapes) sharing
+  /// one transport into a single merged schedule. Protocol, per epoch and
+  /// identical on every rank:
+  ///   1. bind_epoch_member() once per member, instances of each plan
+  ///      numbered 0..k-1 in epoch order, channels globally unique across
+  ///      the whole epoch (< caps().max_coll_channels);
+  ///   2. exec::run_epoch() over all members (scratch sized via
+  ///      exec::bind_epoch_scratch for the sum of the plans' node
+  ///      counts);
+  ///   3. finish_epoch() on each participating plan, in the SAME plan
+  ///      order on every rank (its residual guard may issue a collective).
+  /// Each member's output is bit-identical to a solo forward() of the
+  /// same input; all epoch state is preallocated at construction, so the
+  /// steady-state path allocates nothing.
+  void bind_epoch_member(exec::EpochMemberT<double>& member, int instance,
+                         int channel, cspan x_local, mspan y_local);
+
+  /// Fold trace/degradation bookkeeping and run the output acceptance
+  /// guard over the `k` members bound since the last finish_epoch().
+  void finish_epoch(int k);
+
+  /// Nodes in this plan's finalised chunk graph (sizes epoch scratch).
+  [[nodiscard]] std::size_t node_count() const {
+    return pipeline_.node_count();
+  }
+
   /// Timing/volume breakdown of the most recent forward() call — a view
   /// over the per-stage trace.
   [[nodiscard]] const SoiDistBreakdown& last_breakdown() const {
@@ -208,6 +237,10 @@ class SoiFftDist {
   std::vector<exec::ExecContextT<double>> many_ctx_;
   std::vector<exec::ExecContextT<double>*> many_ptrs_;
   std::vector<double> guard_energies_;  // 2 per instance (in, out)
+  // Epoch membership bookkeeping: the buffers bound per instance, so
+  // finish_epoch can run the guard without the caller re-passing them.
+  std::vector<cspan> epoch_xs_;
+  std::vector<mspan> epoch_ys_;
   bool degraded_ = false;
   std::int64_t last_retries_ = 0;
   cvec conj_in_, conj_out_;  // conjugation scratch (inverse)

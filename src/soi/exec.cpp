@@ -297,4 +297,183 @@ void PipelineT<Real>::execute(std::span<ExecContextT<Real>* const> ctxs,
 template class PipelineT<double>;
 template class PipelineT<float>;
 
+void bind_epoch_scratch(RunScratch& s, std::size_t total_nodes,
+                        int max_members) {
+  SOI_CHECK(max_members >= 1 && max_members <= kMaxEpochMembers,
+            "bind_epoch_scratch: members " << max_members << " not in [1, "
+                                           << kMaxEpochMembers << "]");
+  s.indegree.assign(total_nodes, 0);
+  s.heap.clear();
+  s.heap.reserve(total_nodes);
+  s.epoch_base.assign(static_cast<std::size_t>(max_members) + 1, 0);
+  s.epoch_member.assign(total_nodes, 0);
+  s.capacity = total_nodes;
+}
+
+template <class Real>
+void run_epoch(std::span<const EpochMemberT<Real>> members,
+               RunScratch& scratch) {
+  const int m = static_cast<int>(members.size());
+  SOI_CHECK(m >= 1 && m <= kMaxEpochMembers,
+            "run_epoch: " << m << " members not in [1, " << kMaxEpochMembers
+                          << "]");
+  std::size_t total = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto& em = members[static_cast<std::size_t>(i)];
+    SOI_CHECK(em.pipeline != nullptr && em.ctx != nullptr,
+              "run_epoch: member " << i << " missing pipeline/context");
+    const PipelineT<Real>& p = *em.pipeline;
+    SOI_CHECK(p.finalized_ && p.rec_offset_.size() == p.stages_.size(),
+              "run_epoch: member " << i << "'s pipeline not finalised "
+                                      "(init_trace() not called)");
+    SOI_CHECK(em.ctx->arena != nullptr && em.ctx->trace != nullptr,
+              "run_epoch: member " << i << " context missing arena/trace");
+    SOI_CHECK(em.tier >= 0 && em.tier < kMaxEpochMembers,
+              "run_epoch: member " << i << " tier " << em.tier
+                                   << " out of range");
+    total += p.nodes_.size();
+  }
+  // Concurrent members sharing one communicator must keep their traffic
+  // apart: distinct collective channels (the halo/staged tags derive from
+  // them too), and distinct instance slots when they share one pipeline.
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const auto& a = members[static_cast<std::size_t>(i)];
+      const auto& b = members[static_cast<std::size_t>(j)];
+      if (a.ctx->comm != nullptr && a.ctx->comm == b.ctx->comm) {
+        SOI_CHECK(a.ctx->channel != b.ctx->channel,
+                  "run_epoch: members " << i << " and " << j
+                                        << " share channel "
+                                        << a.ctx->channel
+                                        << " on one transport");
+      }
+      if (a.pipeline == b.pipeline) {
+        SOI_CHECK(a.ctx->instance != b.ctx->instance,
+                  "run_epoch: members " << i << " and " << j
+                                        << " share instance "
+                                        << a.ctx->instance
+                                        << " of one pipeline");
+      }
+    }
+  }
+  SOI_CHECK(scratch.capacity >= total,
+            "run_epoch: scratch bound for "
+                << scratch.capacity << " node slots, need " << total
+                << " (bind_epoch_scratch with enough nodes)");
+
+  bool expected = false;
+  SOI_CHECK(scratch.running.compare_exchange_strong(expected, true),
+            "run_epoch: concurrent execution on one scratch");
+  struct Release {
+    std::atomic<bool>& flag;
+    ~Release() { flag.store(false); }
+  } release{scratch.running};
+
+  // Member namespaces: member i owns global ids [base[i], base[i+1]).
+  auto& base = scratch.epoch_base;
+  auto& owner = scratch.epoch_member;
+  if (base.size() < static_cast<std::size_t>(m) + 1) {
+    base.resize(static_cast<std::size_t>(m) + 1);  // setup-time growth only
+  }
+  if (owner.size() < total) owner.resize(total);
+  base[0] = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto nn = static_cast<int>(
+        members[static_cast<std::size_t>(i)].pipeline->nodes_.size());
+    base[static_cast<std::size_t>(i) + 1] =
+        base[static_cast<std::size_t>(i)] + nn;
+    std::fill(owner.begin() + base[static_cast<std::size_t>(i)],
+              owner.begin() + base[static_cast<std::size_t>(i) + 1],
+              static_cast<std::int32_t>(i));
+  }
+
+  for (int i = 0; i < m; ++i) {
+    members[static_cast<std::size_t>(i)].ctx->trace->zero_seconds();
+  }
+
+  // Merged ready-queue over the composed graph. Ordering mirrors
+  // run_many's (phase << 40) + within scheme, generalised to
+  // heterogeneous members: phase-0 nodes (communication posts) order by
+  // (key, member) so every member's traffic is on the wire before any
+  // member blocks; phase-1/2 nodes run depth-first per member, members
+  // ordered by (tier, index) — an interactive member's wait..demod tail
+  // preempts a background member's whenever both are ready. All terms are
+  // pure functions of the member table, so every rank composing the same
+  // epoch posts communication in the same order.
+  auto priority = [&](int gv) -> std::int64_t {
+    const int mi = owner[static_cast<std::size_t>(gv)];
+    const auto& em = members[static_cast<std::size_t>(mi)];
+    const auto& n = em.pipeline->nodes_[static_cast<std::size_t>(
+        gv - base[static_cast<std::size_t>(mi)])];
+    const std::int64_t key = em.ctx->overlap ? n.ovl_key : n.seq_key;
+    const std::int64_t within =
+        n.many_phase == 0
+            ? key * m + mi
+            : (static_cast<std::int64_t>(em.tier) * kMaxEpochMembers + mi) *
+                      1000000 +
+                  key;
+    return (static_cast<std::int64_t>(n.many_phase) << 40) + within;
+  };
+  auto later = [&](int a, int b) {
+    const std::int64_t ra = priority(a);
+    const std::int64_t rb = priority(b);
+    return ra != rb ? ra > rb : a > b;
+  };
+
+  auto& indegree = scratch.indegree;
+  auto& heap = scratch.heap;
+  for (int i = 0; i < m; ++i) {
+    const auto& p = *members[static_cast<std::size_t>(i)].pipeline;
+    std::copy(p.indegree0_.begin(), p.indegree0_.end(),
+              indegree.begin() + base[static_cast<std::size_t>(i)]);
+  }
+  heap.clear();
+  for (std::size_t gv = 0; gv < total; ++gv) {
+    if (indegree[gv] == 0) {
+      heap.push_back(static_cast<int>(gv));
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+
+  std::size_t executed = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const int gv = heap.back();
+    heap.pop_back();
+    const int mi = owner[static_cast<std::size_t>(gv)];
+    const auto& em = members[static_cast<std::size_t>(mi)];
+    const PipelineT<Real>& p = *em.pipeline;
+    const int mbase = base[static_cast<std::size_t>(mi)];
+    const int v = gv - mbase;
+    ExecContextT<Real>& ctx = *em.ctx;
+    const NodeSpec& node = p.nodes_[static_cast<std::size_t>(v)];
+    StageRecord* rec =
+        ctx.trace->at(p.rec_offset_[static_cast<std::size_t>(node.stage)] +
+                      static_cast<std::size_t>(node.rec));
+    StageT<Real>& stage = *p.stages_[static_cast<std::size_t>(node.stage)];
+    if (node.is_auto) {
+      stage.run(ctx, rec);
+    } else {
+      stage.run_node(ctx, rec, node);
+    }
+    ++executed;
+    for (int e = p.succ_off_[static_cast<std::size_t>(v)];
+         e < p.succ_off_[static_cast<std::size_t>(v) + 1]; ++e) {
+      const int gu = mbase + p.succ_[static_cast<std::size_t>(e)];
+      if (--indegree[static_cast<std::size_t>(gu)] == 0) {
+        heap.push_back(gu);
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+  }
+  SOI_CHECK(executed == total, "run_epoch: scheduled "
+                                   << executed << " of " << total
+                                   << " nodes");
+}
+
+template void run_epoch<double>(
+    std::span<const EpochMemberT<double>> members, RunScratch& scratch);
+template void run_epoch<float>(std::span<const EpochMemberT<float>> members,
+                               RunScratch& scratch);
+
 }  // namespace soi::exec

@@ -142,6 +142,12 @@ struct RunScratch {
   std::atomic<bool> running{false};
   /// Node slots this scratch was bound for (instances * node count).
   std::size_t capacity = 0;
+  /// Epoch composition tables (run_epoch only; empty for run/run_many):
+  /// per-member first global node id, and the member owning each global
+  /// node id. Sized by bind_epoch_scratch() so steady-state epochs never
+  /// grow them.
+  std::vector<int> epoch_base;
+  std::vector<std::int32_t> epoch_member;
 };
 
 /// Everything a stage needs at run time. in/out are the caller's spans;
@@ -188,6 +194,58 @@ class StageT {
   }
 };
 
+template <class Real>
+class PipelineT;
+
+/// One member of a cross-graph epoch (run_epoch): an independent chunk
+/// graph — a finalised pipeline plus the execution context it runs under —
+/// co-scheduled with the other members' graphs in one merged ready-queue.
+/// `tier` is the member's priority class (0 = most urgent): among READY
+/// compute/wait nodes, lower tiers run first, so an interactive member's
+/// tail never queues behind a background member's. Communication posts
+/// ignore the tier (every member's traffic goes on the wire before anyone
+/// blocks — that interleaving IS the epoch's throughput win).
+template <class Real>
+struct EpochMemberT {
+  const PipelineT<Real>* pipeline = nullptr;
+  ExecContextT<Real>* ctx = nullptr;
+  int tier = 0;
+};
+
+/// Largest epoch run_epoch accepts (bounds the tier/member priority
+/// packing; transports cap concurrency far below this anyway).
+inline constexpr int kMaxEpochMembers = 64;
+
+/// Size `s` for epochs of heterogeneous graphs totalling up to
+/// `total_nodes` node slots over at most `max_members` members. Call at
+/// setup time (after the member pipelines' init_trace()) so steady-state
+/// run_epoch() calls never allocate.
+void bind_epoch_scratch(RunScratch& s, std::size_t total_nodes,
+                        int max_members);
+
+/// Co-scheduled execution of several INDEPENDENT chunk graphs — possibly
+/// of different shapes/pipelines — in one deterministic merged schedule.
+/// Each member's node ids live in their own namespace (member m's node v
+/// is global id epoch_base[m] + v), every edge stays member-local (WAR
+/// slot-cycle edges included), and the merged binary heap orders READY
+/// nodes by (many_phase, key): communication posts of all members
+/// interleave on the wire first, then compute/wait nodes run depth-first
+/// per member, lower tiers first. Members must carry distinct transport
+/// channels when a communicator is attached (their collective/halo
+/// traffic must not cross-match) and, when they share one pipeline,
+/// distinct instance numbers. Per-member node order is a topological
+/// order of the member's own edges, so each member's output is
+/// bit-identical to a solo run of its pipeline. Allocation-free once
+/// `scratch` was bound via bind_epoch_scratch().
+template <class Real>
+void run_epoch(std::span<const EpochMemberT<Real>> members,
+               RunScratch& scratch);
+
+extern template void run_epoch<double>(
+    std::span<const EpochMemberT<double>> members, RunScratch& scratch);
+extern template void run_epoch<float>(
+    std::span<const EpochMemberT<float>> members, RunScratch& scratch);
+
 /// Stage list + dataflow graph over one arena. add() all stages, declare
 /// nodes/edges for the chunked ones, then init_trace() once against the
 /// plan's TraceLog (this finalises the graph); run() drives the
@@ -233,6 +291,10 @@ class PipelineT {
 
   /// Nodes in the finalised graph (init_trace() must have run).
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  template <class R>
+  friend void run_epoch(std::span<const EpochMemberT<R>> members,
+                        RunScratch& scratch);
 
  private:
   void finalize_graph();

@@ -312,13 +312,17 @@ CandidateScore score_candidate(const TuneKey& key, const Candidate& cand,
              : score_measured(key, cand, opts, *prof);
 }
 
-void order_candidates_with_priors(std::vector<Candidate>& candidates,
-                                  const TuneKey& key,
-                                  const WisdomStore& priors) {
-  // Nearest previously tuned shape: same ranks and accuracy, smallest
-  // |log2(n / key.n)|. Only entries carrying stage priors qualify —
-  // modeled wisdom has no measured stage split to learn from.
-  const std::vector<std::pair<std::string, double>>* stages = nullptr;
+namespace {
+
+/// Nearest previously tuned shape carrying per-stage priors: same ranks
+/// and accuracy, smallest |log2(n / key.n)|. Only entries with measured
+/// stage seconds qualify (wisdom v3+) — modeled wisdom has no measured
+/// stage split to learn from. Returns nullptr when none qualifies;
+/// `neighbour_key`, when non-null, receives the winning entry's key.
+const TunedConfig* nearest_stage_priors(const TuneKey& key,
+                                        const WisdomStore& priors,
+                                        TuneKey* neighbour_key = nullptr) {
+  const TunedConfig* best = nullptr;
   double best_dist = 0.0;
   for (const auto& [ktext, cfg] : priors.entries()) {
     if (cfg.stage_seconds.empty()) continue;
@@ -326,15 +330,25 @@ void order_candidates_with_priors(std::vector<Candidate>& candidates,
     if (k.ranks != key.ranks || k.accuracy != key.accuracy) continue;
     const double dist = std::abs(std::log2(static_cast<double>(k.n)) -
                                  std::log2(static_cast<double>(key.n)));
-    if (stages == nullptr || dist < best_dist) {
-      stages = &cfg.stage_seconds;
+    if (best == nullptr || dist < best_dist) {
+      best = &cfg;
       best_dist = dist;
+      if (neighbour_key != nullptr) *neighbour_key = k;
     }
   }
-  if (stages == nullptr) return;
+  return best;
+}
+
+}  // namespace
+
+void order_candidates_with_priors(std::vector<Candidate>& candidates,
+                                  const TuneKey& key,
+                                  const WisdomStore& priors) {
+  const TunedConfig* nb = nearest_stage_priors(key, priors);
+  if (nb == nullptr) return;
 
   double total = 0.0, comm = 0.0;
-  for (const auto& [name, sec] : *stages) {
+  for (const auto& [name, sec] : nb->stage_seconds) {
     total += sec;
     if (name == "halo" || name == "exchange") comm += sec;
   }
@@ -362,12 +376,52 @@ TuneResult autotune(const TuneKey& key, const TuneOptions& opts) {
   if (opts.priors != nullptr) {
     order_candidates_with_priors(candidates, key, *opts.priors);
   }
+  // Rep gating (kMeasured + priors): price every candidate with the
+  // modeled scorer at a node rate CALIBRATED against the stage-prior
+  // neighbour's measured compute, then demote candidates priced more
+  // than rep_gate_factor x the modeled front to one measured rep. A
+  // gated candidate's per-stage minima can only come out >= the
+  // full-budget ones, so a genuinely far-off candidate still loses —
+  // the winner is unchanged, only the wall time shrinks.
+  std::vector<double> priced;
+  double front = 1e300;
+  if (opts.mode == TuneMode::kMeasured && opts.rep_gating && opts.reps > 1 &&
+      opts.priors != nullptr) {
+    TuneKey nkey;
+    const TunedConfig* nb = nearest_stage_priors(key, *opts.priors, &nkey);
+    if (nb != nullptr) {
+      TuneOptions mopts = opts;
+      mopts.mode = TuneMode::kModeled;
+      double measured = 0.0;
+      for (const auto& [name, sec] : nb->stage_seconds) {
+        if (name != "halo" && name != "exchange") measured += sec;
+      }
+      const double modeled =
+          score_candidate(nkey, nb->candidate, mopts).compute_seconds;
+      if (measured > 0.0 && modeled > 0.0) {
+        // nominal rate x (modeled@nominal / measured) = this machine's
+        // effective rate on the neighbour's kernels.
+        mopts.node_gflops = opts.node_gflops * modeled / measured;
+      }
+      priced.reserve(candidates.size());
+      for (const auto& c : candidates) {
+        priced.push_back(score_candidate(key, c, mopts).total_seconds());
+        front = std::min(front, priced.back());
+      }
+    }
+  }
   TuneResult result;
   result.key = key;
   result.scores.reserve(candidates.size());
   std::size_t best_idx = 0;
+  const double gate = front * std::max(1.0, opts.rep_gate_factor);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    result.scores.push_back(score_candidate(key, candidates[i], opts));
+    TuneOptions sopts = opts;
+    if (!priced.empty() && priced[i] > gate) {
+      sopts.reps = 1;
+      ++result.gated_candidates;
+    }
+    result.scores.push_back(score_candidate(key, candidates[i], sopts));
     if (result.scores[i].total_seconds() <
         result.scores[best_idx].total_seconds()) {
       best_idx = i;  // strict '<': ties keep the earliest (default) entry

@@ -56,6 +56,19 @@ struct TuneOptions {
   std::string engine;
   /// Repetitions per candidate in kMeasured mode (best-of).
   int reps = 3;
+  /// kMeasured + priors: gate the measurement budget by stage priors.
+  /// When the nearest tuned neighbour carries per-stage seconds (wisdom
+  /// v3+), the sweep first prices every candidate with the modeled
+  /// scorer at a node rate CALIBRATED against the neighbour's measured
+  /// compute; candidates priced more than rep_gate_factor x the modeled
+  /// front run a single repetition instead of `reps` (per-stage minima
+  /// can only stay >= with fewer reps, so a far-off candidate cannot
+  /// sneak past the front — winners are unchanged, wall time shrinks).
+  /// TuneResult::gated_candidates reports how many were demoted.
+  bool rep_gating = true;
+  /// Modeled-price multiple of the front beyond which a candidate's
+  /// measurement budget drops to one rep.
+  double rep_gate_factor = 2.0;
   /// RNG seed of the deterministic test signal (kMeasured input).
   std::uint64_t seed = 1;
   /// Nominal node compute rate for kModeled scoring, GFLOPS. Any fixed
@@ -97,6 +110,10 @@ struct TuneResult {
   CandidateScore best;
   win::SoiProfile profile;  ///< profile of the winning tier
   std::vector<CandidateScore> scores;
+  /// kMeasured sweeps: candidates whose measurement budget was gated to
+  /// one rep because stage priors priced them far off the front
+  /// (TuneOptions::rep_gating); 0 in modeled mode or without priors.
+  int gated_candidates = 0;
 
   /// The winner as a wisdom entry (measured stage timings ride along as
   /// the priors of later sweeps).

@@ -6,11 +6,13 @@
 // soi/params.cpp and soi/dist.cpp.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "baseline/sixstep.hpp"
@@ -20,6 +22,7 @@
 #include "net/comm.hpp"
 #include "net/fault.hpp"
 #include "soi/dist.hpp"
+#include "soi/exec.hpp"
 #include "soi/serial.hpp"
 #include "window/design.hpp"
 
@@ -465,6 +468,81 @@ TEST(Chaos, PipelinedDeepChunkStagedExchangeRecovers) {
     for (std::size_t i = 0; i < got.size(); ++i) {
       ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
           << "topo " << topo << " bin " << i;
+    }
+  }
+}
+
+// --- mixed-shape epoch chaos -------------------------------------------------
+
+TEST(Chaos, MixedShapeEpochFaultsStayIsolatedPerMember) {
+  // Two plans of DIFFERENT shapes share one faulty transport and their
+  // chunk graphs are composed into ONE epoch (exec::run_epoch) — the
+  // serving layer's mixed-shape packing. Injected drop/corrupt/delay
+  // faults must be recovered member-locally: every member's output stays
+  // bit-identical to its fault-free solo forward(), so one request's
+  // retries (and any degraded fallback its plan takes afterwards) never
+  // perturb a co-scheduled request's bits or completion.
+  const std::int64_t n0 = 8192;
+  const std::int64_t n1 = 16384;
+  const int p = 4;
+  const cvec x0 = random_signal(n0, 5100);
+  const cvec x1 = random_signal(n1, 5101);
+  core::DistOptions dopts;
+  dopts.segments_per_rank = 2;
+  dopts.overlap = true;
+  dopts.chunk_depth = 2;
+  const cvec clean0 = run_dist(n0, p, x0, net::NetOptions{}, dopts);
+  const cvec clean1 = run_dist(n1, p, x1, net::NetOptions{}, dopts);
+  for (const char* kind : {"drop", "corrupt", "delay"}) {
+    net::NetOptions nopts;
+    nopts.faults = FaultSpec::parse("23:" + std::string(kind) + ":0.05");
+    nopts.timeout_ms = 20;
+    cvec y0(static_cast<std::size_t>(n0));
+    cvec y1(static_cast<std::size_t>(n1));
+    net::FaultStats stats{};
+    std::mutex mu;
+    net::run_ranks(p, nopts, [&](net::Comm& comm) {
+      core::SoiFftDist plan0(comm, n0, full_profile(), dopts);
+      core::SoiFftDist plan1(comm, n1, full_profile(), dopts);
+      exec::RunScratch scratch;
+      exec::bind_epoch_scratch(scratch,
+                               plan0.node_count() + plan1.node_count(), 2);
+      const std::int64_t m0 = n0 / p;
+      const std::int64_t m1 = n1 / p;
+      const std::int64_t b0 = comm.rank() * m0;
+      const std::int64_t b1 = comm.rank() * m1;
+      cvec y0l(static_cast<std::size_t>(m0));
+      cvec y1l(static_cast<std::size_t>(m1));
+      std::array<exec::EpochMemberT<double>, 2> members;
+      plan0.bind_epoch_member(members[0], 0, 0,
+                              cspan{x0.data() + b0,
+                                    static_cast<std::size_t>(m0)},
+                              y0l);
+      plan1.bind_epoch_member(members[1], 0, 1,
+                              cspan{x1.data() + b1,
+                                    static_cast<std::size_t>(m1)},
+                              y1l);
+      members[0].tier = 0;  // interactive small member...
+      members[1].tier = 2;  // ...co-scheduled with a background large one
+      exec::run_epoch(std::span<const exec::EpochMemberT<double>>(
+                          members.data(), members.size()),
+                      scratch);
+      plan0.finish_epoch(1);
+      plan1.finish_epoch(1);
+      comm.barrier();
+      std::lock_guard<std::mutex> lock(mu);
+      std::copy(y0l.begin(), y0l.end(), y0.begin() + b0);
+      std::copy(y1l.begin(), y1l.end(), y1.begin() + b1);
+      if (comm.rank() == 0) stats = comm.fault_stats();
+    });
+    EXPECT_GT(stats.faults_injected, 0) << kind;
+    for (std::size_t i = 0; i < y0.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&y0[i], &clean0[i], sizeof(cplx)), 0)
+          << "kind " << kind << " member 0 bin " << i;
+    }
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&y1[i], &clean1[i], sizeof(cplx)), 0)
+          << "kind " << kind << " member 1 bin " << i;
     }
   }
 }

@@ -320,5 +320,198 @@ TEST(ServeDist, MetricsAccumulateAndReset) {
   EXPECT_TRUE(m.tenants.empty());
 }
 
+// --- priority tiers + deadline shedding --------------------------------------
+
+TEST(ServePriority, TierNamesRoundTripAndRejectUnknown) {
+  EXPECT_EQ(priority_from_name("interactive"), Priority::kInteractive);
+  EXPECT_EQ(priority_from_name("batch"), Priority::kBatch);
+  EXPECT_EQ(priority_from_name("background"), Priority::kBackground);
+  EXPECT_STREQ(priority_name(Priority::kBackground), "background");
+  try {
+    (void)priority_from_name("urgent");
+    FAIL() << "unknown tier must be rejected";
+  } catch (const InvalidArgumentError& e) {
+    // The error lists every valid tier, mirroring the registry style.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("urgent"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("interactive"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("background"), std::string::npos) << msg;
+  }
+}
+
+TEST(ServeDist, MixedShapeEpochBitIdenticalAcrossPriorities) {
+  // Mixed shapes AND mixed tiers packed into one epoch must come out
+  // bit-identical to solo submission, and the per-tier counters must
+  // attribute every completion to the tier it was submitted under.
+  ServeOptions so;
+  so.ranks = 2;
+  so.max_concurrency = 4;
+  so.queue_capacity = 16;
+  TransformService svc(so);
+  const int lane_a = svc.create_lane(low_lane(4096, 2));
+  const int lane_b = svc.create_lane(low_lane(8192, 2));
+  svc.warmup();
+  svc.reset_metrics();
+
+  const Priority tiers[4] = {Priority::kInteractive, Priority::kBackground,
+                             Priority::kBatch, Priority::kInteractive};
+  std::vector<cvec> xs, packed, solo;
+  std::vector<int> lanes;
+  for (int i = 0; i < 4; ++i) {
+    const std::int64_t n = (i % 2) == 1 ? 8192 : 4096;
+    lanes.push_back((i % 2) == 1 ? lane_b : lane_a);
+    xs.push_back(random_signal(n, 900 + static_cast<std::uint64_t>(i)));
+    packed.emplace_back(static_cast<std::size_t>(n));
+    solo.emplace_back(static_cast<std::size_t>(n));
+  }
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    SubmitOptions sopt;
+    sopt.priority = tiers[i];
+    tickets.push_back(svc.submit(lanes[static_cast<std::size_t>(i)], i,
+                                 xs[static_cast<std::size_t>(i)],
+                                 packed[static_cast<std::size_t>(i)], sopt));
+  }
+  for (const auto& t : tickets) svc.wait(t);
+  for (int i = 0; i < 4; ++i) {
+    const Ticket t = svc.submit(lanes[static_cast<std::size_t>(i)], i,
+                                xs[static_cast<std::size_t>(i)],
+                                solo[static_cast<std::size_t>(i)]);
+    svc.wait(t);
+  }
+  for (int i = 0; i < 4; ++i) {
+    expect_bitwise_equal(packed[static_cast<std::size_t>(i)],
+                         solo[static_cast<std::size_t>(i)], "epoch vs solo");
+  }
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.completed, 8);
+  EXPECT_EQ(m.failed, 0);
+  EXPECT_EQ(m.shed, 0);  // nothing below capacity is ever shed
+  EXPECT_EQ(m.tiers[0].completed, 2);      // the two interactive submits
+  EXPECT_EQ(m.tiers[1].completed, 5);      // default-tier solo resubmits + 1
+  EXPECT_EQ(m.tiers[2].completed, 1);      // the background submit
+  EXPECT_EQ(m.tiers[0].admitted, 2);
+  EXPECT_EQ(m.tiers[2].admitted, 1);
+}
+
+TEST(ServeDist, InfeasibleBackgroundShedBeforeExecutionInteractiveCompletes) {
+  // The wasted-work guarantee: a background request whose deadline cannot
+  // be met is failed with the typed DeadlineExceededError BEFORE any of
+  // its segment FFTs run (its output buffer is never touched), while a
+  // co-admitted interactive request completes within its deadline.
+  ServeOptions so;
+  so.ranks = 2;
+  so.max_concurrency = 4;
+  so.queue_capacity = 16;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(4096, 2));
+  svc.warmup();
+  svc.reset_metrics();
+  ASSERT_GT(svc.lane_cost_seconds(lane), 0.0);
+
+  const cvec x = random_signal(4096, 1234);
+  const cplx sentinel{-42.0, 42.0};
+  cvec y_interactive(4096), y_background(4096, sentinel);
+
+  SubmitOptions inter;
+  inter.priority = Priority::kInteractive;
+  inter.deadline_ms = 10'000.0;  // generous: must complete
+  SubmitOptions bg;
+  bg.priority = Priority::kBackground;
+  // Infeasible by construction: the modeled lane cost is strictly
+  // positive, so cost > deadline budget no matter how fast the scheduler
+  // picks the request up.
+  bg.deadline_ms = 1e-7;
+  const Ticket ti = svc.submit(lane, 0, x, y_interactive, inter);
+  const Ticket tb = svc.submit(lane, 1, x, y_background, bg);
+
+  svc.wait(ti);  // interactive result arrives despite the doomed peer
+  try {
+    svc.wait(tb);
+    FAIL() << "infeasible background request must be shed";
+  } catch (const DeadlineExceededError& e) {
+    EXPECT_EQ(e.status(), Status::kDeadlineExceeded);
+  }
+  // Shed strictly before execution: the output block was never written.
+  for (std::size_t i = 0; i < y_background.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&y_background[i], &sentinel, sizeof(cplx)), 0)
+        << "shed request's output was touched at bin " << i;
+  }
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.completed, 1);
+  EXPECT_EQ(m.shed, 1);
+  EXPECT_EQ(m.failed, 0);  // shed is disjoint from execution failure
+  EXPECT_EQ(m.tiers[0].completed, 1);
+  EXPECT_EQ(m.tiers[2].shed, 1);
+  EXPECT_GE(m.tiers[0].p50_ms, 0.0);
+  EXPECT_LT(m.tiers[0].p50_ms, 10'000.0);  // within its deadline
+}
+
+TEST(ServeDist, EpochBudgetThrottlesPackingWithoutLivelock) {
+  // A budget far below one request's modeled cost degenerates every epoch
+  // to a single member (the first always fits — no livelock); everything
+  // still completes, bit-identically.
+  ServeOptions so;
+  so.ranks = 2;
+  so.max_concurrency = 4;
+  so.queue_capacity = 16;
+  so.epoch_budget_ms = 1e-9;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(4096, 2));
+  svc.warmup();
+  svc.reset_metrics();
+
+  const int kReqs = 6;
+  std::vector<cvec> xs, ys;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kReqs; ++i) {
+    xs.push_back(random_signal(4096, 40 + static_cast<std::uint64_t>(i)));
+    ys.emplace_back(4096);
+    tickets.push_back(svc.submit(lane, i, xs[static_cast<std::size_t>(i)],
+                                 ys[static_cast<std::size_t>(i)]));
+  }
+  for (const auto& t : tickets) svc.wait(t);
+  for (int i = 0; i < kReqs; ++i) {
+    cvec ref(4096);
+    const Ticket t =
+        svc.submit(lane, i, xs[static_cast<std::size_t>(i)], ref);
+    svc.wait(t);
+    expect_bitwise_equal(ys[static_cast<std::size_t>(i)], ref, "budgeted");
+  }
+  EXPECT_EQ(svc.metrics().completed, 2 * kReqs);
+  EXPECT_EQ(svc.metrics().shed, 0);
+}
+
+TEST(ServeSerial, WorkerBackendShedsAndPrefersInteractive) {
+  // The serial worker backend shares the deadline/tier semantics: an
+  // infeasible request sheds at dispatch, and the tier-aware pick drains
+  // interactive requests ahead of earlier-queued background ones.
+  ServeOptions so;
+  so.ranks = 0;
+  so.workers = 1;
+  so.queue_capacity = 8;
+  TransformService svc(so);
+  const int lane = svc.create_lane(low_lane(2048));
+  svc.warmup();
+  svc.reset_metrics();
+  const cvec x = random_signal(2048, 5);
+  cvec y1(2048), y2(2048);
+
+  SubmitOptions bg;
+  bg.priority = Priority::kBackground;
+  bg.deadline_ms = 1e-7;  // infeasible: modeled cost > 0
+  SubmitOptions inter;
+  inter.priority = Priority::kInteractive;
+  const Ticket tb = svc.submit(lane, 0, x, y1, bg);
+  const Ticket ti = svc.submit(lane, 1, x, y2, inter);
+  svc.wait(ti);
+  EXPECT_THROW(svc.wait(tb), DeadlineExceededError);
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.completed, 1);
+  EXPECT_EQ(m.shed, 1);
+  EXPECT_EQ(m.tiers[2].shed, 1);
+  EXPECT_EQ(m.tiers[0].completed, 1);
+}
+
 }  // namespace
 }  // namespace soi::serve

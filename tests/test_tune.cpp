@@ -821,6 +821,75 @@ TEST(Autotune, ShmTransportPricedOnNodeLocalFabric) {
                    score_candidate(key, cluster, opts).comm_seconds);
 }
 
+TEST(Autotune, RepGatingByStagePriorsKeepsWinnerAndGatesFarCandidates) {
+  // Rep gating: with a stage-prior neighbour in wisdom, candidates the
+  // calibrated modeled scorer prices far off the front get ONE measured
+  // rep instead of the full budget. Per-stage minima can only stay >=
+  // with fewer reps, so the winner must be identical to the ungated
+  // sweep on the seeded fixture — only the measurement budget shrinks.
+  const TuneKey neighbour{1 << 13, 2, win::Accuracy::kLow};
+  TuneOptions seed_opts;
+  seed_opts.mode = TuneMode::kMeasured;
+  seed_opts.reps = 1;
+  seed_opts.max_segments_per_rank = 2;
+  WisdomStore wisdom;
+  (void)tuned_config(neighbour, wisdom, seed_opts);
+  ASSERT_FALSE(wisdom.find(neighbour)->stage_seconds.empty());
+
+  const TuneKey key{1 << 14, 2, win::Accuracy::kLow};
+  TuneOptions opts;
+  opts.mode = TuneMode::kMeasured;
+  opts.reps = 2;
+  opts.max_segments_per_rank = 2;
+  opts.priors = &wisdom;
+  opts.rep_gate_factor = 1.5;
+  // A high-latency fabric makes the (deterministic, modeled) exchange
+  // dominate every total, so the seeded fixture has ONE clear winner —
+  // measurement noise in the compute term cannot flip it between the
+  // gated and ungated sweeps.
+  const net::FatTreeModel slow_fabric({40.0, 200e-6});
+  opts.fabric = &slow_fabric;
+
+  opts.rep_gating = false;
+  const TuneResult ungated = autotune(key, opts);
+  EXPECT_EQ(ungated.gated_candidates, 0);
+
+  opts.rep_gating = true;
+  const TuneResult gated = autotune(key, opts);
+  // The demoted set is nonempty (the window-tier spread alone prices the
+  // full tier far above the low-tier front) but never everything — the
+  // modeled front itself always keeps the full budget.
+  EXPECT_GT(gated.gated_candidates, 0);
+  EXPECT_LT(gated.gated_candidates,
+            static_cast<int>(gated.scores.size()));
+  EXPECT_EQ(gated.scores.size(), ungated.scores.size());
+  // Identical winners on every axis the gate can influence: tier, spr,
+  // algorithm, overlap and topology are separated by the (deterministic)
+  // modeled exchange under the slow fabric, so both sweeps must agree on
+  // them. batch_width and chunk_depth are canonicalised before the
+  // comparison: at this shape the variants execute the exact same work
+  // and the modeled pricing ties them exactly, so the measured tie is
+  // broken by wall-clock noise even between two UNGATED sweeps — those
+  // axes carry no gating signal.
+  Candidate g = gated.best.candidate;
+  Candidate u = ungated.best.candidate;
+  g.batch_width = u.batch_width = 0;
+  g.chunk_depth = u.chunk_depth = 1;
+  EXPECT_EQ(g, u) << "gated winner " << gated.best.candidate.describe()
+                  << " vs ungated winner "
+                  << ungated.best.candidate.describe();
+  // And the winning totals agree to within measurement noise: the
+  // latency-priced exchange dominates both, so a gate that demoted the
+  // true front would show up as a materially different best time.
+  EXPECT_NEAR(gated.best.total_seconds(), ungated.best.total_seconds(),
+              0.05 * ungated.best.total_seconds());
+
+  // Without priors the gate never arms: every candidate keeps its reps.
+  TuneOptions no_priors = opts;
+  no_priors.priors = nullptr;
+  EXPECT_EQ(autotune(key, no_priors).gated_candidates, 0);
+}
+
 TEST(Autotune, MeasuredModeRejectsCrossProcessTransport) {
   // Measured scoring runs the rank team in-process and reads results from
   // captured memory; a cross-process transport cannot do that and must be

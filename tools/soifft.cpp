@@ -91,7 +91,7 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
       {"serve",
        {"n", "p", "accuracy", "lanes", "requests", "concurrency", "queue",
         "rate", "workers", "wire-latency-us", "linger-us", "seed",
-        "transport", "help"}},
+        "transport", "priority", "deadline-ms", "help"}},
   };
   return kFlags;
 }
@@ -114,10 +114,17 @@ int usage(std::FILE* out) {
       "  serve     --n N [--p P] [--accuracy A] [--lanes L] [--requests R]\n"
       "            [--concurrency K] [--queue Q] [--rate RPS] [--workers W]\n"
       "            [--wire-latency-us U] [--linger-us U] [--seed S]\n"
+      "            [--priority interactive|batch|background]\n"
+      "            [--deadline-ms D]\n"
       "            multi-tenant serving demo: L lanes (N, 2N, ...) behind\n"
       "            one TransformService (--p 0 = serial worker backend,\n"
       "            default co-scheduled rank team), open-loop Poisson\n"
-      "            arrivals at RPS (0 = burst), queueing metrics summary\n"
+      "            arrivals at RPS (0 = burst), queueing metrics summary.\n"
+      "            --priority sets the submission tier (default batch);\n"
+      "            --deadline-ms a per-request deadline (0 = none) —\n"
+      "            infeasible requests are shed with DeadlineExceeded\n"
+      "            before execution. A cross-process --transport falls\n"
+      "            back to the serial worker backend with a note\n"
       "  --help    print this message (exit 0)\n"
       "  --trace   per-stage table (name, seconds, bytes, flops, retries)\n"
       "            of the last pipeline execution (rank 0 for dist)\n"
@@ -604,6 +611,14 @@ int cmd_serve(const Args& a) {
             "--lanes must be in [1, " << serve::kMaxLanes << "]");
   SOI_CHECK(requests >= 1, "--requests must be >= 1");
 
+  // Per-request scheduling knobs, strictly validated before any setup:
+  // an unknown tier is rejected listing the valid ones (same style as
+  // --transport / --engine).
+  serve::SubmitOptions sopt;
+  sopt.priority = serve::priority_from_name(a.get("priority", "batch"));
+  sopt.deadline_ms = a.getf("deadline-ms", 0.0);
+  SOI_CHECK(sopt.deadline_ms >= 0.0, "--deadline-ms must be >= 0");
+
   serve::ServeOptions so;
   so.ranks = ranks;
   so.transport = transport_from(a);
@@ -612,6 +627,20 @@ int cmd_serve(const Args& a) {
   so.queue_capacity = static_cast<int>(a.geti("queue", 64));
   so.wire_latency_us = a.getf("wire-latency-us", 0.0);
   so.batch_linger_us = a.getf("linger-us", 0.0);
+  if (so.ranks >= 2 && !so.transport.empty() &&
+      !net::TransportRegistry::instance().caps(so.transport)
+           .threaded_world) {
+    // The rank team needs every rank in this address space; a
+    // cross-process fabric (e.g. shm) can still serve — through the
+    // serial worker backend — so the demo degrades instead of failing.
+    std::fprintf(stderr,
+                 "note: transport '%s' runs ranks in separate processes; "
+                 "serving falls back to the serial worker backend\n",
+                 so.transport.c_str());
+    so.ranks = 0;
+    so.transport.clear();
+    if (so.workers < 1) so.workers = 1;
+  }
   serve::TransformService svc(so);
 
   const auto accuracy =
@@ -661,7 +690,7 @@ int cmd_serve(const Args& a) {
                                   tenant,
                                   inputs[static_cast<std::size_t>(
                                       tenant % lanes)],
-                                  youts[static_cast<std::size_t>(i)]);
+                                  youts[static_cast<std::size_t>(i)], sopt);
     if (t) {
       tickets[static_cast<std::size_t>(i)] = *t;
       ok[static_cast<std::size_t>(i)] = 1;
@@ -679,17 +708,20 @@ int cmd_serve(const Args& a) {
       if (const auto t2 = svc.try_submit(
               lane_ids[static_cast<std::size_t>(tenant % lanes)], tenant,
               inputs[static_cast<std::size_t>(tenant % lanes)],
-              youts[static_cast<std::size_t>(i)])) {
+              youts[static_cast<std::size_t>(i)], sopt)) {
         tickets[static_cast<std::size_t>(i)] = *t2;
         ok[static_cast<std::size_t>(i)] = 1;
       }
     }
   }
   int failed = 0;
+  int shed = 0;
   for (int i = 0; i < requests; ++i) {
     if (ok[static_cast<std::size_t>(i)] != 1) continue;
     try {
       svc.wait(tickets[static_cast<std::size_t>(i)]);
+    } catch (const DeadlineExceededError&) {
+      ++shed;  // deadline shedding is a policy outcome, not a failure
     } catch (const std::exception& e) {
       ++failed;
       std::fprintf(stderr, "request %d failed: %s\n", i, e.what());
@@ -698,15 +730,19 @@ int cmd_serve(const Args& a) {
   const auto m = svc.metrics();
   svc.stop();
 
-  std::printf("serving %d lanes (N=%lld..%lld) on %s, %d tenants\n", lanes,
-              static_cast<long long>(n),
+  std::printf("serving %d lanes (N=%lld..%lld) on %s, %d tenants, "
+              "tier %s\n",
+              lanes, static_cast<long long>(n),
               static_cast<long long>(n << (lanes - 1)),
-              ranks > 0 ? "rank team" : "worker pool", tenants);
-  std::printf("admitted %lld  rejected %lld  completed %lld  failed %lld\n",
+              so.ranks > 0 ? "rank team" : "worker pool", tenants,
+              serve::priority_name(sopt.priority));
+  std::printf("admitted %lld  rejected %lld  completed %lld  failed %lld  "
+              "shed %lld\n",
               static_cast<long long>(m.admitted),
               static_cast<long long>(m.rejected),
               static_cast<long long>(m.completed),
-              static_cast<long long>(m.failed));
+              static_cast<long long>(m.failed),
+              static_cast<long long>(m.shed));
   std::printf("throughput %.1f transforms/s  p50 %.3f ms  p99 %.3f ms  "
               "queue peak %lld  occupancy %.2f\n",
               m.transforms_per_sec, m.p50_ms, m.p99_ms,
@@ -715,6 +751,17 @@ int cmd_serve(const Args& a) {
     std::printf("tenant %d: completed %lld  overlap efficiency %.3f\n",
                 t.tenant, static_cast<long long>(t.completed),
                 t.overlap_efficiency);
+  }
+  static const char* kTierNames[serve::kTiers] = {"interactive", "batch",
+                                                  "background"};
+  for (int t = 0; t < serve::kTiers; ++t) {
+    const auto& tier = m.tiers[static_cast<std::size_t>(t)];
+    if (tier.admitted == 0 && tier.shed == 0) continue;
+    std::printf("tier %-11s admitted %lld  completed %lld  shed %lld  "
+                "p50 %.3f ms  p99 %.3f ms\n",
+                kTierNames[t], static_cast<long long>(tier.admitted),
+                static_cast<long long>(tier.completed),
+                static_cast<long long>(tier.shed), tier.p50_ms, tier.p99_ms);
   }
   return failed == 0 ? 0 : 1;
 }
