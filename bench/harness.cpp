@@ -115,6 +115,13 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     if (r.resilience_overhead >= -0.5) {
       os << ", \"resilience_overhead\": " << r.resilience_overhead;
     }
+    if (r.recovered_chunks >= 0) {
+      os << ", \"recovered_chunks\": " << r.recovered_chunks
+         << ", \"parity_bytes\": " << r.parity_bytes;
+    }
+    if (r.coding_overhead >= 0.0) {
+      os << ", \"coding_overhead\": " << r.coding_overhead;
+    }
     if (r.transforms_per_sec >= 0.0) {
       os << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
          << ", \"transforms_per_sec\": " << r.transforms_per_sec

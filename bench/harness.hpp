@@ -32,7 +32,8 @@ namespace soi::bench {
 ///    "peak_rss_bytes","steady_state_allocs","overlap_efficiency"?,
 ///    "bisection_bytes"?,
 ///    "faults_injected"?,"retries"?,"checksum_failures"?,
-///    "resilience_overhead"?,"p50_ms"?,"p99_ms"?,"transforms_per_sec"?,
+///    "resilience_overhead"?,"recovered_chunks"?,"parity_bytes"?,
+///    "coding_overhead"?,"p50_ms"?,"p99_ms"?,"transforms_per_sec"?,
 ///    "admitted"?,"rejected"?,"queue_peak"?,"shed"?,"tiers"?,
 ///    "transport"?,"engine"?,"stages"?}
 /// `overlap_efficiency` (present when the bench captured a pipeline trace)
@@ -83,6 +84,15 @@ struct BenchRecord {
   /// residual guard) relative to running with both disabled:
   /// seconds_on / seconds_off - 1. Negative sentinel = not measured.
   double resilience_overhead = -1.0;
+  /// Coded-exchange counters (-1 = the record did not run coded): shards
+  /// rebuilt from parity instead of retransmitted, and parity payload
+  /// bytes pushed onto the wire, summed over all ranks of the record's
+  /// runs.
+  std::int64_t recovered_chunks = -1;
+  std::int64_t parity_bytes = -1;
+  /// Wire-volume inflation of the erasure code, (k + r) / k; negative
+  /// sentinel = uncoded.
+  double coding_overhead = -1.0;
   /// Queueing fields (bench_serve): request latency quantiles, sustained
   /// completion rate, and admission counters of the serving epoch.
   /// Negative sentinels = the bench did not serve requests.

@@ -7,6 +7,7 @@
 #   scripts/ci.sh asan        # just the ASan build + core suites
 #   scripts/ci.sh tsan        # ThreadSanitizer build + SimMPI dist/pipeline
 #   scripts/ci.sh chaos       # fault-injection suites under ASan + TSan
+#   scripts/ci.sh coded       # erasure-coded exchange suites + CLI
 #   scripts/ci.sh topology    # staged-exchange suites (two-level + torus)
 #   scripts/ci.sh backends    # transport/engine registries, shm conformance
 #   scripts/ci.sh serve-mix   # mixed-shape epoch scheduling suites + CLI
@@ -100,6 +101,54 @@ run_chaos() {
       --gtest_filter='Transport.*:Chaos.*:*ChaosSweep*:Degradation.*:ResidualGuard.*' \
       | grep -q "PASSED")
   echo "chaos OK"
+}
+
+run_coded() {
+  echo "=== coded: erasure-coded exchange suites under sanitizers + CLI ==="
+  # ASan: the GF(2^8) codec unit tests (field axioms, XOR fast path,
+  # Reed-Solomon over every k-subset of shards, malformed present-lists)
+  # plus the coded chaos gates: in-band parity recovery, corruption
+  # treated as erasure, straggler abandonment, the > r fallback, and the
+  # coded staged/pipelined schedules. Reconstruction writes through shard
+  # pointer tables into framed scratch — exactly where ASan earns its
+  # keep. The straggler injection suites ride along: same PR, same layer.
+  cmake -B build-ci/asan -S . -DSOI_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ci/asan -j "${jobs}" --target test_net test_fault
+  (cd build-ci/asan &&
+    ./tests/test_net --gtest_filter='Erasure.*' | grep -q "PASSED" &&
+    ./tests/test_fault --gtest_filter='ChaosCoded.*:*Straggler*:Chaos.Stragglers*' \
+      | grep -q "PASSED")
+  # TSan: every rank decodes its own codewords while peers' shards (and
+  # retransmit fallbacks) land concurrently in the mailbox — the coded
+  # mailbox semantics (erasure GC, parked-copy opt-out) must hold up
+  # under the race detector. OpenMP off for the same reason as run_tsan.
+  cmake -B build-ci/tsan -S . -DSOI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON >/dev/null
+  cmake --build build-ci/tsan -j "${jobs}" --target test_net test_fault
+  (cd build-ci/tsan &&
+    ./tests/test_net --gtest_filter='Erasure.*' | grep -q "PASSED" &&
+    ./tests/test_fault --gtest_filter='ChaosCoded.*' | grep -q "PASSED")
+  # End-to-end: the coded exchange through the CLI with the accuracy
+  # check on, over both transports; under injected loss the recovery
+  # counters must surface in the coded summary line; a malformed K+R must
+  # fail fast listing the valid forms.
+  cmake -B build-ci/tier1 -S . >/dev/null
+  cmake --build build-ci/tier1 -j "${jobs}" --target soifft
+  build-ci/tier1/tools/soifft dist --n 4096 --p 4 --check --coding 2+1 \
+    --transport sim >/dev/null
+  build-ci/tier1/tools/soifft dist --n 4096 --p 4 --check --coding 2+1 \
+    --transport shm >/dev/null
+  build-ci/tier1/tools/soifft dist --n 8192 --p 4 --check --coding 2+1 \
+    --fault-spec 19:drop:0.03 | grep -q "coded exchange"
+  if build-ci/tier1/tools/soifft dist --n 4096 --p 4 --coding 4+9 \
+      >/dev/null 2>build-ci/coded_err.txt; then
+    echo "invalid coding must be rejected" >&2
+    exit 1
+  fi
+  grep -q "want K+R" build-ci/coded_err.txt
+  echo "coded OK"
 }
 
 run_topology() {
@@ -418,7 +467,9 @@ path = sys.argv[1]
 with open(path) as f:
     records = json.load(f)
 assert isinstance(records, list) and records, f"{path}: empty or not a list"
-raw = [r for r in records if not r["case"].startswith("dist ")]
+loss = [r for r in records if r["case"].endswith(" exchange")]
+raw = [r for r in records
+       if not r["case"].startswith("dist ") and r not in loss]
 dist = [r for r in records if r["case"].startswith("dist ")]
 assert raw and dist, f"{path}: need both raw-exchange and dist records"
 topos = {"flat", "two-level", "torus"}
@@ -426,17 +477,39 @@ for want in topos:
     assert any(want in r["case"] for r in raw), f"{path}: no raw {want} case"
     assert any(want in r["case"] for r in dist), f"{path}: no dist {want} case"
 for r in records:
-    assert r["bisection_bytes"] > 0, f"{path}: missing bisection traffic: {r}"
     assert r["seconds"] > 0, f"{path}: non-positive seconds: {r}"
     # Every exchange record names the transport it was timed on; the
     # end-to-end dist records also name the FFT engine.
     assert r.get("transport"), f"{path}: record missing transport: {r}"
+for r in raw + dist:
+    assert r["bisection_bytes"] > 0, f"{path}: missing bisection traffic: {r}"
 for r in dist:
     eff = r.get("overlap_efficiency")
     assert eff is not None and 0.0 <= eff <= 1.0, \
         f"{path}: bad overlap_efficiency {eff}: {r}"
     assert r.get("engine"), f"{path}: dist record missing engine: {r}"
-print(f"{path}: {len(raw)} exchange + {len(dist)} dist records OK")
+# The coded-vs-retransmit loss sweep: exactly one coded and one
+# retransmit record, with the coding schema extension on the coded one —
+# in-band recovery visible, zero retries, and a cheaper exchange than
+# the retransmit baseline under the identical loss pattern.
+assert len(loss) == 3, f"{path}: want 3 loss-sweep records, got {len(loss)}"
+coded = [r for r in loss if r["case"].startswith("coded")]
+retx = [r for r in loss if r["case"].startswith("retransmit")]
+assert len(coded) == 1 and len(retx) == 1, f"{path}: bad loss cases: {loss}"
+c, t = coded[0], retx[0]
+for key in ("recovered_chunks", "parity_bytes", "coding_overhead"):
+    assert key in c, f"{path}: coded record missing {key}: {c}"
+    assert key not in t, f"{path}: uncoded record carries {key}: {t}"
+assert c["recovered_chunks"] > 0, f"{path}: coded run recovered nothing: {c}"
+assert c["parity_bytes"] > 0, f"{path}: coded run sent no parity: {c}"
+assert c["coding_overhead"] == 1.5, f"{path}: 2+1 overhead != 1.5: {c}"
+assert c["faults_injected"] > 0 and t["faults_injected"] > 0, \
+    f"{path}: loss sweep injected no faults"
+assert c["retries"] == 0, f"{path}: coded run paid retries: {c}"
+assert c["seconds"] < t["seconds"], \
+    f"{path}: coded {c['seconds']} not under retransmit {t['seconds']}"
+print(f"{path}: {len(raw)} exchange + {len(dist)} dist + "
+      f"{len(loss)} loss-sweep records OK")
 EOF
   echo "bench-smoke OK"
 }
@@ -446,14 +519,15 @@ case "${stage}" in
   asan)  run_asan ;;
   tsan)  run_tsan ;;
   chaos) run_chaos ;;
+  coded) run_coded ;;
   topology) run_topology ;;
   backends) run_backends ;;
   serve-mix) run_serve_mix ;;
   smoke) run_smoke ;;
   bench-smoke) run_bench_smoke ;;
-  all)   run_tier1; run_asan; run_tsan; run_chaos; run_topology; run_backends
-         run_serve_mix; run_smoke; run_bench_smoke ;;
-  *) echo "usage: $0 [tier1|asan|tsan|chaos|topology|backends|serve-mix|smoke|bench-smoke|all]" >&2
+  all)   run_tier1; run_asan; run_tsan; run_chaos; run_coded; run_topology
+         run_backends; run_serve_mix; run_smoke; run_bench_smoke ;;
+  *) echo "usage: $0 [tier1|asan|tsan|chaos|coded|topology|backends|serve-mix|smoke|bench-smoke|all]" >&2
      exit 2 ;;
 esac
 echo "ci: ${stage} passed"

@@ -1,5 +1,7 @@
 #include "net/comm.hpp"
 
+#include "net/erasure.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <exception>
@@ -124,13 +126,18 @@ struct World {
   /// wire_latency_s. latency_group == 0 disables the split.
   std::atomic<double> intra_latency_s{0.0};
   std::atomic<int> latency_group{0};
+  /// Set when the injector spec contains a straggler rule: stragglers are
+  /// expressed purely through Message::visible_at, so matching must honor
+  /// the stamps even when no latency tier is configured.
+  std::atomic<bool> straggle_active{false};
   FaultStatsAtomic stats;
 
   /// True when any latency tier is emulated — matching must then honor
   /// Message::visible_at stamps (even intra-only configurations stamp).
   bool latency_emulated() const {
     return wire_latency_s.load(std::memory_order_relaxed) > 0 ||
-           intra_latency_s.load(std::memory_order_relaxed) > 0;
+           intra_latency_s.load(std::memory_order_relaxed) > 0 ||
+           straggle_active.load(std::memory_order_relaxed);
   }
 
   /// Emulated latency of one src -> dst message, in seconds.
@@ -222,6 +229,11 @@ void World::configure(const NetOptions& opts) {
   latency_group.store(std::max(opts.topo_group_size, 0),
                       std::memory_order_relaxed);
   if (opts.faults.any()) {
+    for (const FaultRule& r : opts.faults.rules) {
+      if (r.kind == FaultKind::kStraggler) {
+        straggle_active.store(true, std::memory_order_relaxed);
+      }
+    }
     injector_owned = std::make_unique<FaultInjector>(opts.faults);
     injector.store(injector_owned.get(), std::memory_order_release);
   }
@@ -280,6 +292,29 @@ int requeue_retained_locked(World& w, Mailbox& box, int src, int tag) {
   return moved;
 }
 
+/// Coded tags are reused only every kCodedEpochCycle exchanges, and the
+/// coded receive path may abandon shards it no longer needs (a parity
+/// shard arriving after its codeword already reconstructed, or a shard
+/// whose wire copy was dropped and recovered from parity instead). Any
+/// queued or retained copy with a lower sequence number than a freshly
+/// delivered shard on the same (src, tag) channel belongs to a previous
+/// epoch and can never be wanted again — purge it so abandoned shards do
+/// not accumulate across epochs. Caller holds the mailbox mutex.
+void gc_stale_coded_locked(Mailbox& box, int src, int tag, std::uint64_t seq) {
+  const auto stale = [&](const Message& p) {
+    return p.src == src && p.tag == tag && p.reliable && p.seq < seq;
+  };
+  for (std::deque<Message>* q : {&box.msgs, &box.delayed, &box.retained}) {
+    for (auto it = q->begin(); it != q->end();) {
+      if (stale(*it)) {
+        it = q->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 /// Ordered match for reliable traffic. An engaged injector can scramble
 /// the queue order of one (src, tag) channel — a dropped or delayed
 /// message leaves the queue while a LATER same-tag send (e.g. the next
@@ -308,7 +343,11 @@ std::optional<Message> match_ordered_locked(
     if (chosen == box.msgs.end() || it->seq < chosen->seq) chosen = it;
   }
   if (chosen == box.msgs.end()) return std::nullopt;
-  if (chosen->reliable) {
+  // Coded shards opt out of the parked-copy refusal: each shard travels on
+  // its own tag, a missing shard is an ERASURE the codec absorbs, and a
+  // lower-seq parked copy on the same tag is a previous epoch's leftover —
+  // blocking on it would turn every erasure back into a retransmit wait.
+  if (chosen->reliable && !is_coded_tag(tag)) {
     const int csrc = chosen->src;
     const std::uint64_t cseq = chosen->seq;
     const auto earlier_parked = [&](const std::deque<Message>& q) {
@@ -328,6 +367,7 @@ std::optional<Message> match_ordered_locked(
   box.msgs.erase(chosen);
   return m;
 }
+
 
 /// Match + verify loop: dedup stale duplicates/retransmits, check size and
 /// CRC, and on a verification failure either recover (re-queue the retained
@@ -361,10 +401,21 @@ std::optional<Message> take_verified_locked(World& w, Mailbox& box, int src,
       if (m->reliable) {
         box.delivered.insert(key);
         erase_retained_locked(box, m->src, tag, m->seq);
+        if (is_coded_tag(tag)) {
+          gc_stale_coded_locked(box, m->src, tag, m->seq);
+        }
       }
       return m;
     }
     w.stats.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    if (m->reliable && is_coded_tag(tag)) {
+      // A corrupt or truncated coded shard is an ERASURE, not a
+      // retransmit trigger: discard the bad wire copy and let the codec
+      // reconstruct from parity. The retained clean copy stays put — the
+      // > r-losses fallback path can still surface it via the bounded
+      // wait's requeue.
+      continue;
+    }
     if (m->reliable && w.max_retries.load(std::memory_order_relaxed) > 0) {
       // Recovery on: re-queue the retained clean copy (if still held) and
       // keep scanning. A failed requeue must NOT be fatal — when a message
@@ -601,6 +652,20 @@ void send_impl(detail::World& w, int src, int dst, int tag, const void* data,
       if (act.duplicate) {
         box.msgs.push_back(wire);  // second, independently matchable copy
         st.duplicates.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (act.straggle_ms > 0.0) {
+        // The wire copy arrives intact but late; the retained clean copy
+        // keeps the original stamp so a retransmit is never slower than
+        // the straggler it replaces.
+        const auto base =
+            wire.visible_at == std::chrono::steady_clock::time_point{}
+                ? std::chrono::steady_clock::now()
+                : wire.visible_at;  // stack on top of emulated wire latency
+        wire.visible_at =
+            base +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(act.straggle_ms));
+        st.stragglers.fetch_add(1, std::memory_order_relaxed);
       }
       if (act.delay) {
         box.delayed.push_back(std::move(wire));

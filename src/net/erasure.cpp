@@ -1,0 +1,326 @@
+#include "net/erasure.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+
+namespace soi::net {
+
+static_assert(kMaxChannelsForCodedTags == kMaxChannels,
+              "coded tag space sized for a different channel ceiling");
+// Largest coded tag must stay well inside positive int range.
+static_assert(static_cast<long long>(kTagCodedBase) +
+                  static_cast<long long>(kCodedEpochCycle) *
+                      kMaxChannelsForCodedTags * kMaxCodedPhases *
+                      kMaxCodedGroups * kMaxCodedSubs <
+              (1LL << 31));
+
+namespace {
+
+// GF(2^8) with the AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d). exp table is doubled so mul never reduces mod 255.
+struct Gf256Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+  Gf256Tables() {
+    std::uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100U) x ^= 0x11dU;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+const Gf256Tables& tables() {
+  static const Gf256Tables t;
+  return t;
+}
+
+inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+inline std::uint8_t inv(std::uint8_t a) {
+  SOI_CHECK(a != 0, "GF(2^8): inverse of zero");
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+// dst ^= src * c over shard_bytes (c == 1 folds to plain XOR).
+void mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+             std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = tables();
+  const std::size_t lc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+// Invert a k x k matrix over GF(2^8) in place via Gauss-Jordan with
+// partial pivoting (row swaps). Returns false if singular.
+bool invert(std::vector<std::uint8_t>& m, std::vector<std::uint8_t>& out,
+            int k) {
+  const auto kk = static_cast<std::size_t>(k);
+  out.assign(kk * kk, 0);
+  for (std::size_t i = 0; i < kk; ++i) out[i * kk + i] = 1;
+  for (std::size_t col = 0; col < kk; ++col) {
+    std::size_t piv = col;
+    while (piv < kk && m[piv * kk + col] == 0) ++piv;
+    if (piv == kk) return false;
+    if (piv != col) {
+      for (std::size_t j = 0; j < kk; ++j) {
+        std::swap(m[piv * kk + j], m[col * kk + j]);
+        std::swap(out[piv * kk + j], out[col * kk + j]);
+      }
+    }
+    const std::uint8_t pi = inv(m[col * kk + col]);
+    for (std::size_t j = 0; j < kk; ++j) {
+      m[col * kk + j] = mul(m[col * kk + j], pi);
+      out[col * kk + j] = mul(out[col * kk + j], pi);
+    }
+    for (std::size_t row = 0; row < kk; ++row) {
+      if (row == col) continue;
+      const std::uint8_t f = m[row * kk + col];
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < kk; ++j) {
+        m[row * kk + j] ^= mul(f, m[col * kk + j]);
+        out[row * kk + j] ^= mul(f, out[col * kk + j]);
+      }
+    }
+  }
+  return true;
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) { return mul(a, b); }
+std::uint8_t gf256_inv(std::uint8_t a) { return inv(a); }
+
+bool Coding::parse(const std::string& text, Coding* out) {
+  const std::size_t plus = text.find('+');
+  if (plus == std::string::npos || plus == 0 || plus + 1 >= text.size()) {
+    return false;
+  }
+  long k = 0;
+  long r = 0;
+  for (std::size_t i = 0; i < plus; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    k = k * 10 + (c - '0');
+    if (k > kMaxCodedSubs) return false;
+  }
+  for (std::size_t i = plus + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    r = r * 10 + (c - '0');
+    if (r > kMaxCodedSubs) return false;
+  }
+  if (k < 1 || r < 1 || r > k || k + r > kMaxCodedSubs) return false;
+  out->k = static_cast<int>(k);
+  out->r = static_cast<int>(r);
+  return true;
+}
+
+std::string Coding::str() const {
+  if (!enabled()) return "";
+  return std::to_string(k) + "+" + std::to_string(r);
+}
+
+void write_coded_header(std::uint8_t* dst, const CodedFrame& f) {
+  store_le32(dst, f.epoch);
+  dst[4] = static_cast<std::uint8_t>(f.sub);
+  dst[5] = static_cast<std::uint8_t>(f.sub >> 8);
+  dst[6] = f.k;
+  dst[7] = f.r;
+  store_le64(dst + 8, f.cw_bytes);
+}
+
+bool read_coded_header(const std::uint8_t* src, std::size_t bytes,
+                       CodedFrame* out) {
+  if (bytes < kCodedHeaderBytes) return false;
+  out->epoch = load_le32(src);
+  out->sub = static_cast<std::uint16_t>(src[4] |
+                                        (static_cast<unsigned>(src[5]) << 8));
+  out->k = src[6];
+  out->r = src[7];
+  out->cw_bytes = load_le64(src + 8);
+  return true;
+}
+
+ErasureCode::ErasureCode(int k, int r) : k_(k), r_(r) {
+  SOI_CHECK(k >= 1 && r >= 1 && k + r <= kMaxCodedSubs,
+            "ErasureCode: invalid k=" << k << " r=" << r);
+  parity_.assign(static_cast<std::size_t>(r) * static_cast<std::size_t>(k), 0);
+  if (r == 1) {
+    // Systematic XOR parity: the all-ones row. Any k x k submatrix of
+    // [I ; 1] is nonsingular, so one lost shard is always recoverable.
+    for (int j = 0; j < k; ++j) parity_[static_cast<std::size_t>(j)] = 1;
+    return;
+  }
+  // Cauchy parity: P[i][j] = 1 / (x_i ^ y_j) with x_i = k + i (parity
+  // rows) and y_j = j (data columns) — all distinct for k + r <= 256, so
+  // every square submatrix is nonsingular and the code is MDS.
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < k; ++j) {
+      parity_[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+              static_cast<std::size_t>(j)] =
+          inv(static_cast<std::uint8_t>((k + i) ^ j));
+    }
+  }
+}
+
+void ErasureCode::encode(const std::uint8_t* const* data,
+                         std::uint8_t* const* parity,
+                         std::size_t shard_bytes) const {
+  for (int i = 0; i < r_; ++i) {
+    std::memset(parity[i], 0, shard_bytes);
+    const std::uint8_t* row =
+        parity_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(k_);
+    for (int j = 0; j < k_; ++j) {
+      mul_acc(parity[i], data[j], row[j], shard_bytes);
+    }
+  }
+}
+
+bool ErasureCode::reconstruct(const int* present,
+                              const std::uint8_t* const* shards,
+                              std::uint8_t* const* out_data,
+                              std::size_t shard_bytes) const {
+  const int n = k_ + r_;
+  std::array<bool, kMaxCodedSubs> seen{};
+  for (int t = 0; t < k_; ++t) {
+    const int idx = present[t];
+    if (idx < 0 || idx >= n || seen[static_cast<std::size_t>(idx)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+
+  // Fast path: all data shards present — pure copy-through.
+  bool all_data = true;
+  for (int t = 0; t < k_; ++t) {
+    if (present[t] != t) {
+      all_data = false;
+      break;
+    }
+  }
+  if (all_data) {
+    for (int t = 0; t < k_; ++t) {
+      if (out_data[t] != shards[t]) {
+        std::memcpy(out_data[t], shards[t], shard_bytes);
+      }
+    }
+    return true;
+  }
+
+  // Fast path: r == 1 with exactly one missing data shard — XOR of the
+  // survivors and the parity shard.
+  if (r_ == 1) {
+    int missing = -1;
+    for (int j = 0; j < k_; ++j) {
+      if (!seen[static_cast<std::size_t>(j)]) {
+        missing = j;
+        break;
+      }
+    }
+    // missing >= 0 here (all-data case handled above).
+    for (int t = 0; t < k_; ++t) {
+      const int idx = present[t];
+      if (idx < k_ && out_data[idx] != shards[t]) {
+        std::memcpy(out_data[idx], shards[t], shard_bytes);
+      }
+    }
+    std::uint8_t* dst = out_data[missing];
+    std::memset(dst, 0, shard_bytes);
+    for (int t = 0; t < k_; ++t) {
+      mul_acc(dst, shards[t], 1, shard_bytes);
+    }
+    return true;
+  }
+
+  // General path: invert the k x k submatrix of the generator picked out
+  // by the present shard indices, then synthesize only the missing rows.
+  const auto kk = static_cast<std::size_t>(k_);
+  std::vector<std::uint8_t> m(kk * kk, 0);
+  for (int t = 0; t < k_; ++t) {
+    const int idx = present[t];
+    std::uint8_t* row = m.data() + static_cast<std::size_t>(t) * kk;
+    if (idx < k_) {
+      row[static_cast<std::size_t>(idx)] = 1;
+    } else {
+      std::memcpy(row,
+                  parity_.data() +
+                      static_cast<std::size_t>(idx - k_) * kk,
+                  kk);
+    }
+  }
+  std::vector<std::uint8_t> minv;
+  if (!invert(m, minv, k_)) return false;  // unreachable for MDS generator
+
+  // Copy through the present data shards first (out_data may alias the
+  // matching present shard), then rebuild each missing shard as
+  // Minv[row] · present-shards.
+  std::array<const std::uint8_t*, kMaxCodedSubs> src{};
+  for (int t = 0; t < k_; ++t) src[static_cast<std::size_t>(t)] = shards[t];
+  for (int t = 0; t < k_; ++t) {
+    const int idx = present[t];
+    if (idx < k_ && out_data[idx] != shards[t]) {
+      std::memcpy(out_data[idx], shards[t], shard_bytes);
+    }
+  }
+  for (int j = 0; j < k_; ++j) {
+    if (seen[static_cast<std::size_t>(j)]) continue;
+    std::uint8_t* dst = out_data[j];
+    std::memset(dst, 0, shard_bytes);
+    const std::uint8_t* row = minv.data() + static_cast<std::size_t>(j) * kk;
+    for (int t = 0; t < k_; ++t) {
+      mul_acc(dst, src[static_cast<std::size_t>(t)],
+              row[static_cast<std::size_t>(t)], shard_bytes);
+    }
+  }
+  return true;
+}
+
+}  // namespace soi::net

@@ -1,0 +1,177 @@
+// Systematic erasure coding for the exchange: net::ErasureCode.
+//
+// A codeword is one peer's exchange payload split into k equal data
+// shards plus r parity shards (k+r <= 32). r = 1 uses plain XOR parity
+// (the all-ones generator row); r >= 2 uses a Reed–Solomon code over
+// GF(2^8) (polynomial 0x11d) with a Cauchy parity matrix, which is MDS:
+// ANY k of the k+r shards reconstruct the original bytes exactly, so a
+// receiver that saw at most r shards dropped, corrupted or straggling
+// recovers the payload locally — bit-identically — without a retransmit
+// round trip. Shards travel as ordinary tagged messages on the existing
+// transport ABI; each carries a 16-byte header (epoch, shard index, k, r,
+// codeword bytes) so stale arrivals from a previous exchange epoch are
+// recognised and discarded instead of mis-assembled.
+//
+// The sister type Coding is the user-facing knob ("k+r", e.g. "4+1"):
+// DistOptions::coding, soifft --coding, the tuner's code= candidate token
+// and wisdom v6 all speak it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soi::net {
+
+/// Ceilings for the coded tag space. One coded sub-message tag encodes
+/// (epoch mod 128, channel, phase, group, shard): keep products small
+/// enough that the largest tag stays far below INT_MAX.
+inline constexpr int kMaxCodedSubs = 32;    ///< k + r <= this
+inline constexpr int kMaxCodedGroups = 64;  ///< chunk groups per exchange
+inline constexpr int kMaxCodedPhases = 4;   ///< staged-schedule phases
+inline constexpr int kCodedEpochCycle = 128;
+/// Mirror of net::kMaxChannels (transport.hpp); kept as its own constant
+/// so this header stays self-contained. Static-asserted equal in
+/// erasure.cpp.
+inline constexpr int kMaxChannelsForCodedTags = 16;
+
+/// Base of the coded tag range. Everything at or above this is a coded
+/// shard; the SimMPI mailbox applies erasure semantics (discard bad
+/// arrivals instead of requeueing the retained copy) to these tags.
+inline constexpr int kTagCodedBase = 1 << 20;
+
+[[nodiscard]] inline constexpr bool is_coded_tag(int tag) {
+  return tag >= kTagCodedBase;
+}
+
+/// Tag for one coded shard. Distinct shards get distinct tags so one
+/// lost shard never blocks ordered matching of its siblings.
+[[nodiscard]] inline constexpr int coded_tag(std::uint32_t epoch, int channel,
+                                             int phase, int group, int sub) {
+  const int slot =
+      ((channel * kMaxCodedPhases + phase) * kMaxCodedGroups + group) *
+          kMaxCodedSubs +
+      sub;
+  return kTagCodedBase +
+         static_cast<int>(epoch % kCodedEpochCycle) *
+             (kMaxChannelsForCodedTags * kMaxCodedPhases * kMaxCodedGroups *
+              kMaxCodedSubs) +
+         slot;
+}
+
+/// The redundancy knob: split each peer payload into k data shards and
+/// add r parity shards. r == 0 (the default) means coding is off and the
+/// exchange uses the CRC32C + retransmit path alone.
+struct Coding {
+  int k = 0;
+  int r = 0;
+
+  [[nodiscard]] bool enabled() const { return k > 0 && r > 0; }
+  [[nodiscard]] int total() const { return k + r; }
+
+  /// Strict "k+r" parse (e.g. "4+1"). Returns false (and leaves *out
+  /// untouched) unless the string is exactly two positive integers
+  /// joined by '+' with 1 <= k, 1 <= r <= k and k + r <= kMaxCodedSubs.
+  static bool parse(const std::string& text, Coding* out);
+
+  /// Inverse of parse: "k+r", or "" when disabled.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Per-shard wire header (16 bytes, little-endian fields). Receivers
+/// validate every field before accepting a shard; any mismatch makes the
+/// arrival an erasure, never a retransmit.
+struct CodedFrame {
+  std::uint32_t epoch = 0;    ///< exchange epoch the shard belongs to
+  std::uint16_t sub = 0;      ///< shard index in [0, k + r)
+  std::uint8_t k = 0;         ///< data shards in this codeword
+  std::uint8_t r = 0;         ///< parity shards in this codeword
+  std::uint64_t cw_bytes = 0; ///< original (unpadded) codeword payload bytes
+};
+
+inline constexpr std::size_t kCodedHeaderBytes = 16;
+
+void write_coded_header(std::uint8_t* dst, const CodedFrame& f);
+/// Returns false if bytes < kCodedHeaderBytes (truncated frame).
+bool read_coded_header(const std::uint8_t* src, std::size_t bytes,
+                       CodedFrame* out);
+
+/// Bytes per data shard for a codeword of `payload` bytes under k-way
+/// splitting (last shard zero-padded up to this).
+[[nodiscard]] inline constexpr std::size_t coded_shard_bytes(
+    std::size_t payload, int k) {
+  return (payload + static_cast<std::size_t>(k) - 1) /
+         static_cast<std::size_t>(k);
+}
+
+/// Systematic MDS erasure codec over GF(2^8).
+///
+/// encode() turns k data shards into r parity shards; reconstruct()
+/// rebuilds the k data shards from ANY k of the k+r shards. All shards
+/// are shard_bytes long. The codec itself is stateless after
+/// construction and safe to share across threads.
+class ErasureCode {
+ public:
+  ErasureCode(int k, int r);
+  explicit ErasureCode(Coding c) : ErasureCode(c.k, c.r) {}
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int r() const { return r_; }
+
+  /// parity[j] (j < r) := generator row j applied to data[0..k).
+  void encode(const std::uint8_t* const* data, std::uint8_t* const* parity,
+              std::size_t shard_bytes) const;
+
+  /// Rebuild the original k data shards from k present shards.
+  /// `present` lists k shard indices (ascending, in [0, k+r)), `shards`
+  /// the matching payload pointers. Data shards are written to
+  /// out_data[0..k); entries whose index is listed in `present` are
+  /// copied through, missing ones are reconstructed. out_data pointers
+  /// may alias the corresponding present data shards (copy is skipped
+  /// when src == dst). Returns false only on malformed input (duplicate
+  /// or out-of-range indices) — with valid input any k shards decode.
+  bool reconstruct(const int* present, const std::uint8_t* const* shards,
+                   std::uint8_t* const* out_data,
+                   std::size_t shard_bytes) const;
+
+ private:
+  int k_;
+  int r_;
+  /// r x k parity part of the systematic generator [I | P^T].
+  std::vector<std::uint8_t> parity_;
+};
+
+/// GF(2^8) primitives (exposed for the codec unit tests).
+[[nodiscard]] std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b);
+[[nodiscard]] std::uint8_t gf256_inv(std::uint8_t a);
+
+/// Coded-exchange counters, mirrored into bench JSON
+/// (recovered_chunks / parity_bytes / coding_overhead) and the serve
+/// per-tier resilience summary.
+struct CodedStats {
+  std::uint64_t codewords = 0;         ///< coded exchanges completed
+  std::uint64_t recovered_chunks = 0;  ///< shards rebuilt from parity
+  std::uint64_t parity_bytes = 0;      ///< parity payload bytes sent
+  std::uint64_t coded_fallbacks = 0;   ///< codewords with > r losses
+};
+
+struct CodedStatsAtomic {
+  std::atomic<std::uint64_t> codewords{0};
+  std::atomic<std::uint64_t> recovered_chunks{0};
+  std::atomic<std::uint64_t> parity_bytes{0};
+  std::atomic<std::uint64_t> coded_fallbacks{0};
+
+  [[nodiscard]] CodedStats snapshot() const {
+    CodedStats s;
+    s.codewords = codewords.load(std::memory_order_relaxed);
+    s.recovered_chunks = recovered_chunks.load(std::memory_order_relaxed);
+    s.parity_bytes = parity_bytes.load(std::memory_order_relaxed);
+    s.coded_fallbacks = coded_fallbacks.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace soi::net

@@ -1,6 +1,8 @@
 #include "net/fault.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -14,6 +16,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kTruncate: return "truncate";
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kDelay: return "delay";
+    case FaultKind::kStraggler: return "straggler";
   }
   return "?";
 }
@@ -23,7 +26,7 @@ namespace {
 bool kind_from_name(const std::string& name, FaultKind& out) {
   for (const FaultKind k :
        {FaultKind::kDrop, FaultKind::kCorrupt, FaultKind::kTruncate,
-        FaultKind::kDuplicate, FaultKind::kDelay}) {
+        FaultKind::kDuplicate, FaultKind::kDelay, FaultKind::kStraggler}) {
     if (name == fault_kind_name(k)) {
       out = k;
       return true;
@@ -126,7 +129,8 @@ FaultSpec FaultSpec::parse(const std::string& text) {
     SOI_CHECK(kind_from_name(fields[0], rule.kind),
               "fault spec: unknown kind '"
                   << fields[0]
-                  << "' (drop, corrupt, truncate, duplicate, delay, stall)");
+                  << "' (drop, corrupt, truncate, duplicate, delay, "
+                     "straggler, stall)");
     rule.rate = parse_number(fields[1], "rate");
     SOI_CHECK(rule.rate >= 0.0 && rule.rate <= 1.0,
               "fault spec: rate " << rule.rate << " outside [0, 1]");
@@ -180,6 +184,17 @@ FaultInjector::Action FaultInjector::decide(int src, int dst, int tag,
       case FaultKind::kDelay:
         a.delay = true;
         break;
+      case FaultKind::kStraggler: {
+        // Heavy-tailed (Pareto, alpha = 1.5) extra one-way latency: scale
+        // ~1 ms, capped at 200 ms so a single straggler can never outlive
+        // the bounded-deadline retransmit machinery entirely. The draw is
+        // a pure function of the message coordinates, like every rule.
+        const double u = to_unit(mix64(h ^ 0x5354524147ULL));
+        const double pareto =
+            1.0 / std::pow(1.0 - u * 0.999999, 1.0 / 1.5) - 1.0;
+        a.straggle_ms = std::clamp(1.0 * pareto, 0.05, 200.0);
+        break;
+      }
     }
   }
   return a;

@@ -13,8 +13,11 @@
 //   seed:kind:rate[,kind:rate...][,stall:RANK:MS]
 // e.g. "42:drop:0.02,corrupt:0.01" or "7:delay:0.05,stall:1:20".
 // Kinds: drop, corrupt (single bit-flip), truncate (payload halved),
-// duplicate, delay (held until a waiter's deadline expires). stall pauses
-// the named rank MS milliseconds before each of its sends.
+// duplicate, delay (held until a waiter's deadline expires), straggler
+// (heavy-tailed per-message latency: the wire copy arrives late but
+// intact — distinct from delay's parked-until-deadline and from stall's
+// whole-rank freeze). stall pauses the named rank MS milliseconds before
+// each of its sends.
 #pragma once
 
 #include <atomic>
@@ -30,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kTruncate,   ///< payload cut to half its length
   kDuplicate,  ///< delivered twice (dedup by sequence number must absorb it)
   kDelay,      ///< parked until a waiter's deadline promotes it
+  kStraggler,  ///< delivered intact but late (heavy-tailed extra latency)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -66,6 +70,7 @@ struct FaultStats {
   std::int64_t truncations = 0;
   std::int64_t duplicates = 0;
   std::int64_t delays = 0;
+  std::int64_t stragglers = 0;
   std::int64_t checksum_failures = 0;  ///< CRC/size verification rejections
   std::int64_t retransmits = 0;  ///< retained clean copies re-queued
   std::int64_t timeouts = 0;     ///< bounded waits that expired at least once
@@ -81,6 +86,7 @@ struct FaultStatsAtomic {
   std::atomic<std::int64_t> truncations{0};
   std::atomic<std::int64_t> duplicates{0};
   std::atomic<std::int64_t> delays{0};
+  std::atomic<std::int64_t> stragglers{0};
   std::atomic<std::int64_t> checksum_failures{0};
   std::atomic<std::int64_t> retransmits{0};
   std::atomic<std::int64_t> timeouts{0};
@@ -93,6 +99,7 @@ struct FaultStatsAtomic {
     s.truncations = truncations.load(std::memory_order_relaxed);
     s.duplicates = duplicates.load(std::memory_order_relaxed);
     s.delays = delays.load(std::memory_order_relaxed);
+    s.stragglers = stragglers.load(std::memory_order_relaxed);
     s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
     s.retransmits = retransmits.load(std::memory_order_relaxed);
     s.timeouts = timeouts.load(std::memory_order_relaxed);
@@ -115,8 +122,12 @@ class FaultInjector {
     bool duplicate = false;
     bool delay = false;
     std::int64_t corrupt_bit = -1;
+    /// Extra one-way latency (heavy-tailed Pareto draw) for a straggling
+    /// message; 0 = not straggling.
+    double straggle_ms = 0.0;
     [[nodiscard]] bool fired() const {
-      return drop || truncate || duplicate || delay || corrupt_bit >= 0;
+      return drop || truncate || duplicate || delay || corrupt_bit >= 0 ||
+             straggle_ms > 0.0;
     }
   };
 

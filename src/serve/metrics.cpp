@@ -76,6 +76,10 @@ MetricsSnapshot ServeMetrics::snapshot(double elapsed_seconds,
     out.admitted = c.admitted.load(std::memory_order_relaxed);
     out.completed = c.completed.load(std::memory_order_relaxed);
     out.shed = c.shed.load(std::memory_order_relaxed);
+    out.recovered_chunks =
+        c.recovered_chunks.load(std::memory_order_relaxed);
+    out.parity_bytes = c.parity_bytes.load(std::memory_order_relaxed);
+    out.retries = c.retries.load(std::memory_order_relaxed);
     const double tp50 = c.latency.quantile(0.50);
     const double tp99 = c.latency.quantile(0.99);
     out.p50_ms = tp50 < 0 ? -1.0 : tp50 * 1e3;
@@ -103,6 +107,9 @@ void ServeMetrics::reset() {
     t.admitted.store(0, std::memory_order_relaxed);
     t.completed.store(0, std::memory_order_relaxed);
     t.shed.store(0, std::memory_order_relaxed);
+    t.recovered_chunks.store(0, std::memory_order_relaxed);
+    t.parity_bytes.store(0, std::memory_order_relaxed);
+    t.retries.store(0, std::memory_order_relaxed);
     t.latency.reset();
   }
 }

@@ -87,11 +87,20 @@ struct MetricsSnapshot {
   };
   std::vector<Tenant> tenants;
 
-  /// Per-priority-tier queue statistics (index = tier).
+  /// Per-priority-tier queue statistics (index = tier). The resilience
+  /// counters attribute the rank team's recovery work at batch
+  /// granularity (whole batch -> the tier of its first request):
+  /// recovered_chunks / parity_bytes come from the coded exchange
+  /// (core::SoiFftDist::coded_stats deltas), retries from the bounded-
+  /// wait retransmit path — so a tier burning parity or retries is
+  /// visible per tier, not just in aggregate.
   struct Tier {
     std::int64_t admitted = 0;
     std::int64_t completed = 0;
     std::int64_t shed = 0;
+    std::int64_t recovered_chunks = 0;  ///< shards rebuilt from parity
+    std::int64_t parity_bytes = 0;      ///< parity payload bytes sent
+    std::int64_t retries = 0;           ///< retransmit-path retries
     double p50_ms = -1.0;
     double p99_ms = -1.0;
   };
@@ -132,6 +141,27 @@ class ServeMetrics {
   void note_busy(double slot_seconds) {
     busy_slot_seconds_.fetch_add(slot_seconds, std::memory_order_relaxed);
   }
+  /// Fold one batch's resilience work into a tier: shards rebuilt from
+  /// parity + parity bytes sent (coded exchange) and retransmit-path
+  /// retries. Called by each rank with its own deltas, so the counters
+  /// aggregate across the rank team.
+  void note_resilience(int tier, std::uint64_t recovered_chunks,
+                       std::uint64_t parity_bytes, std::int64_t retries) {
+    auto& t = tiers_[clamp_tier(tier)];
+    if (recovered_chunks > 0) {
+      t.recovered_chunks.fetch_add(
+          static_cast<std::int64_t>(recovered_chunks),
+          std::memory_order_relaxed);
+    }
+    if (parity_bytes > 0) {
+      t.parity_bytes.fetch_add(static_cast<std::int64_t>(parity_bytes),
+                               std::memory_order_relaxed);
+    }
+    if (retries > 0) {
+      t.retries.fetch_add(retries, std::memory_order_relaxed);
+    }
+  }
+
   /// Fold one execution trace into the tenant's overlap accounting.
   void note_tenant(int tenant, double seconds, double wait_seconds) {
     auto& t = tenants_[static_cast<std::size_t>(
@@ -170,6 +200,9 @@ class ServeMetrics {
     std::atomic<std::int64_t> admitted{0};
     std::atomic<std::int64_t> completed{0};
     std::atomic<std::int64_t> shed{0};
+    std::atomic<std::int64_t> recovered_chunks{0};
+    std::atomic<std::int64_t> parity_bytes{0};
+    std::atomic<std::int64_t> retries{0};
     LatencyHistogram latency;
   };
 

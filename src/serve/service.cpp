@@ -648,6 +648,10 @@ void TransformService::rank_main(net::Transport& comm) {
   // Rank-local composition scratch of the mixed-shape (kEpoch) path,
   // (re)sized at kLane time so steady-state epochs never allocate.
   exec::RunScratch escratch;
+  // Rank-local coded-exchange snapshots (per lane): the plan's counters
+  // are cumulative, so per-batch resilience attribution is the delta
+  // against the previous retirement.
+  std::array<net::CodedStats, kMaxLanes> prev_coded{};
   std::size_t cursor = 0;
   try {
     for (;;) {
@@ -675,6 +679,7 @@ void TransformService::rank_main(net::Transport& comm) {
           dopts.chunk_depth = lane.spec.chunk_depth;
           dopts.overlap = opts_.overlap;
           dopts.max_concurrency = opts_.max_concurrency;
+          dopts.coding = opts_.coding;
           dopts.validate_input = 0;  // service-level contract: no pre-scan
           dopts.table = reg.conv_table(
               lane.spec.n, comm.size() * lane.spec.segments_per_rank, *prof);
@@ -752,6 +757,19 @@ void TransformService::rank_main(net::Transport& comm) {
           // requests.
           std::lock_guard<std::mutex> lk(mu_);
           if (err && !cmd_errors_[cmd_idx]) cmd_errors_[cmd_idx] = err;
+          {
+            // Each rank folds its OWN resilience deltas (parity
+            // recoveries are receive-side, per-rank work) into the
+            // batch's tier: the tier of the batch's first request.
+            auto& pc = prev_coded[static_cast<std::size_t>(cmd.lane)];
+            const net::CodedStats cs = plan.coded_stats();
+            metrics_.note_resilience(
+                static_cast<int>(
+                    slots_[static_cast<std::size_t>(cmd.slots[0])].priority),
+                cs.recovered_chunks - pc.recovered_chunks,
+                cs.parity_bytes - pc.parity_bytes, plan.last_retries());
+            pc = cs;
+          }
           if (++cmd_acks_[cmd_idx] == opts_.ranks) {
             metrics_.note_busy(bt.seconds() * static_cast<double>(cnt));
             ++batches_done_;
@@ -817,6 +835,21 @@ void TransformService::rank_main(net::Transport& comm) {
           // finish retires every member.
           std::lock_guard<std::mutex> lk(mu_);
           if (err && !cmd_errors_[cmd_idx]) cmd_errors_[cmd_idx] = err;
+          {
+            // Epoch-granularity attribution, same as kBatch: each rank's
+            // deltas, credited to the epoch's first request's tier.
+            const int tier0 = static_cast<int>(
+                slots_[static_cast<std::size_t>(cmd.slots[0])].priority);
+            for (std::size_t l = 0; l < kMaxLanes; ++l) {
+              if (per_lane[l] == 0) continue;
+              auto& pc = prev_coded[l];
+              const net::CodedStats cs = plans[l]->coded_stats();
+              metrics_.note_resilience(
+                  tier0, cs.recovered_chunks - pc.recovered_chunks,
+                  cs.parity_bytes - pc.parity_bytes, plans[l]->last_retries());
+              pc = cs;
+            }
+          }
           if (++cmd_acks_[cmd_idx] == opts_.ranks) {
             metrics_.note_busy(bt.seconds() * static_cast<double>(cnt));
             ++batches_done_;

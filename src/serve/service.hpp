@@ -63,6 +63,7 @@
 
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "net/erasure.hpp"
 #include "net/registry.hpp"
 #include "net/transport.hpp"
 #include "serve/metrics.hpp"
@@ -151,6 +152,11 @@ struct ServeOptions {
   /// milliseconds. The first packed request always fits (no livelock);
   /// 0 = unlimited (pack to max_concurrency).
   double epoch_budget_ms = 0.0;
+  /// Distributed backend: erasure-code the rank team's exchange
+  /// (DistOptions::coding, "k+r"). Recoveries and parity volume surface
+  /// in the per-tier resilience counters of the metrics snapshot.
+  /// Default-constructed = coding off. Ignored by the serial backend.
+  net::Coding coding;
 };
 
 /// Handle of one submitted request. Value type; becomes stale after

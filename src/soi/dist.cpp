@@ -76,6 +76,30 @@ SoiFftDist::SoiFftDist(net::Transport& comm, std::int64_t n,
                 << comm.caps().max_coll_channels << "] (transport '"
                 << comm.caps().name << "')");
   env_.max_instances = opts_.max_concurrency;
+  // Coded exchange: validate the redundancy knob against the coded tag
+  // space before any scratch is sized off it.
+  if (opts_.coding.enabled()) {
+    SOI_CHECK(opts_.coding.k >= 1 && opts_.coding.r >= 1 &&
+                  opts_.coding.r <= opts_.coding.k &&
+                  opts_.coding.total() <= net::kMaxCodedSubs,
+              "SoiFftDist: coding " << opts_.coding.str()
+                                    << " invalid (need 1 <= r <= k, k + r <= "
+                                    << net::kMaxCodedSubs << ")");
+    SOI_CHECK(env_.chunk_depth <= net::kMaxCodedGroups,
+              "SoiFftDist: coded exchange supports chunk_depth <= "
+                  << net::kMaxCodedGroups << ", got " << env_.chunk_depth);
+    SOI_CHECK(!env_.staged_exchange() ||
+                  static_cast<int>(env_.staged.phases.size()) <=
+                      net::kMaxCodedPhases,
+              "SoiFftDist: coded staged exchange supports <= "
+                  << net::kMaxCodedPhases << " phases, topology '"
+                  << opts_.topology << "' needs "
+                  << env_.staged.phases.size());
+    if (comm.size() > 1) {
+      env_.coding = opts_.coding;
+      env_.coded_stats = &coded_stats_;
+    }
+  }
   reserve_chain_buffers(state_.arena, env_, 0);
   append_chain_stages(pipeline_, env_);
   state_.arena.commit();

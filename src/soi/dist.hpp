@@ -26,6 +26,7 @@
 
 #include "common/types.hpp"
 #include "fft/engine.hpp"
+#include "net/erasure.hpp"
 #include "net/transport.hpp"
 #include "soi/breakdown.hpp"
 #include "soi/conv_table.hpp"
@@ -98,6 +99,13 @@ struct DistOptions {
   /// time; must not exceed the transport's caps().max_coll_channels. 1 =
   /// solo execution only.
   int max_concurrency = 1;
+  /// Forward-error-correct the exchange ("k+r", the code= knob): each
+  /// peer message travels as k data + r parity shards and the receiver
+  /// rebuilds up to r lost/late/corrupt shards locally from parity — zero
+  /// retransmit round trips, bit-identical output — falling back to the
+  /// CRC32C + retransmit path (and the degraded() protocol) only beyond r
+  /// losses. Default-constructed = coding off. Autotuner knob (code=).
+  net::Coding coding;
 };
 
 /// Distributed SOI plan bound to a communicator.
@@ -212,6 +220,13 @@ class SoiFftDist {
   /// Bounded-wait retries observed during the most recent run (summed
   /// over all stage records).
   [[nodiscard]] std::int64_t last_retries() const { return last_retries_; }
+  /// Cumulative coded-exchange counters (all zero when options().coding
+  /// is off): codewords completed, shards rebuilt from parity, parity
+  /// payload bytes sent, and codewords that exceeded r losses and fell
+  /// back to retransmit.
+  [[nodiscard]] net::CodedStats coded_stats() const {
+    return coded_stats_.snapshot();
+  }
 
  private:
   void run_pipeline(cspan x_local, mspan y_local, bool overlap);
@@ -243,6 +258,7 @@ class SoiFftDist {
   std::vector<mspan> epoch_ys_;
   bool degraded_ = false;
   std::int64_t last_retries_ = 0;
+  net::CodedStatsAtomic coded_stats_;  // env_.coded_stats points here
   cvec conj_in_, conj_out_;  // conjugation scratch (inverse)
 };
 

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <optional>
+#include <thread>
 #include <type_traits>
 
 #include "common/error.hpp"
@@ -306,7 +311,22 @@ class ExchangeStageT final : public exec::StageT<Real> {
         wreqs_(env->staged_exchange()
                    ? static_cast<std::size_t>(env->max_instances) *
                          static_cast<std::size_t>(env->staged.max_peers)
-                   : 0) {}
+                   : 0) {
+    if (env->coded_exchange()) {
+      const auto inst = static_cast<std::size_t>(env->max_instances);
+      const auto depth = static_cast<std::size_t>(env->chunk_depth);
+      const std::size_t mpg = msgs_per_group();
+      const auto subs = static_cast<std::size_t>(env->coding.total());
+      cstate_.resize(inst * depth * mpg);
+      creqs_.resize(inst * depth * mpg * subs);
+      if (env->staged_exchange()) {
+        cwstate_.resize(inst * mpg);
+        cwreqs_.resize(inst * mpg * subs);
+      }
+      epochs_.assign(inst * depth, 0);
+      codec_.emplace(env->coding);
+    }
+  }
 
   void plan_records(std::vector<exec::StageRecord>& out) const override {
     exec::StageRecord r;
@@ -318,6 +338,20 @@ class ExchangeStageT final : public exec::StageT<Real> {
     r.bytes_measured = remote();
     r.chunks = remote() ? env_->chunk_depth : 1;
     out.push_back(std::move(r));
+    if (env_->coded_exchange()) {
+      // Codec share of the exchange, broken out for --trace: encode/decode
+      // seconds are subsets of the exchange record's wall time (the
+      // breakdown folds only "exchange", so totals stay comparable with
+      // uncoded runs); parity_encode's bytes_moved counts parity payload.
+      exec::StageRecord enc;
+      enc.name = "parity_encode";
+      enc.chunks = env_->chunk_depth;
+      out.push_back(std::move(enc));
+      exec::StageRecord dec;
+      dec.name = "parity_decode";
+      dec.chunks = env_->chunk_depth;
+      out.push_back(std::move(dec));
+    }
   }
 
   void run(exec::ExecContextT<Real>& ctx,
@@ -339,6 +373,14 @@ class ExchangeStageT final : public exec::StageT<Real> {
           wait_staged(ctx, rec, node);
         } else {
           post_staged(ctx, rec, node);
+        }
+        return;
+      }
+      if (env.coded_exchange()) {
+        if (node.phase == kPhaseWait) {
+          wait_coded_flat(ctx, rec, node);
+        } else {
+          post_coded_flat(ctx, rec, node);
         }
         return;
       }
@@ -395,6 +437,409 @@ class ExchangeStageT final : public exec::StageT<Real> {
     return kTagStaged + phase * net::kMaxChannels + channel;
   }
 
+
+  // ---- coded exchange -------------------------------------------------
+  //
+  // Every peer message of the exchange (flat per-destination block, staged
+  // fused phase message) becomes one CODEWORD: k data shards + r parity
+  // shards, each framed with a 16-byte header and sent on its own tag
+  // (net::coded_tag over epoch/channel/phase/group/shard). The receiver
+  // reconstructs the payload as soon as ANY k shards land — a dropped,
+  // corrupted, truncated or straggling shard is an erasure the codec
+  // absorbs with no retransmit round trip. Only when more than r shards of
+  // one codeword are missing at the bounded deadline does the receiver
+  // fall back to the CRC32C + retained-copy retransmit path (data shards
+  // only; abandoned parity costs nothing), which bumps the record's retry
+  // counter and degrades the plan exactly like an uncoded retry.
+
+  /// One expected incoming codeword.
+  struct CodedMsg {
+    int peer = -1;
+    std::uint8_t* dst = nullptr;     ///< payload destination
+    std::size_t pb = 0;              ///< payload bytes
+    std::uint8_t* frames = nullptr;  ///< k+r receive frames
+    std::size_t sb = 0;              ///< shard bytes
+    std::size_t fb = 0;              ///< frame stride (header+shard, aligned)
+    std::uint8_t* dec = nullptr;     ///< r * sb decode scratch
+    std::uint32_t mask = 0;          ///< accepted-shard bitmask
+    bool done = false;
+  };
+
+  /// Expected codewords per chunk group (receive-state sizing).
+  [[nodiscard]] std::size_t msgs_per_group() const {
+    if (!env_->coded_exchange()) return 0;
+    return env_->staged_exchange()
+               ? static_cast<std::size_t>(env_->staged.max_peers)
+               : static_cast<std::size_t>(env_->ranks);
+  }
+
+  [[nodiscard]] static std::size_t frame_stride(std::size_t sb) {
+    return (net::kCodedHeaderBytes + sb + 7) & ~std::size_t{7};
+  }
+
+  /// Initialise one expected codeword at frame offset `off` of the slot's
+  /// frame scratch and post its k+r shard receives. Returns the offset
+  /// past this codeword's frames + decode scratch.
+  std::size_t coded_post_msg(exec::ExecContextT<Real>& ctx, CodedMsg& m,
+                             net::Request* rq, int peer, std::uint8_t* dst,
+                             std::size_t pb, std::span<std::uint8_t> frames,
+                             std::size_t off, std::uint32_t epoch, int phase,
+                             int group) const {
+    const net::Coding c = env_->coding;
+    const int subs = c.total();
+    m = CodedMsg{};
+    m.peer = peer;
+    m.dst = dst;
+    m.pb = pb;
+    m.sb = net::coded_shard_bytes(pb, c.k);
+    m.fb = frame_stride(m.sb);
+    m.frames = frames.data() + off;
+    m.dec = m.frames + static_cast<std::size_t>(subs) * m.fb;
+    const std::size_t need = off +
+                             static_cast<std::size_t>(subs) * m.fb +
+                             static_cast<std::size_t>(c.r) * m.sb;
+    SOI_CHECK(need <= frames.size(),
+              "coded exchange: frame scratch overflow (" << need << " > "
+                                                         << frames.size()
+                                                         << " bytes)");
+    for (int sub = 0; sub < subs; ++sub) {
+      rq[sub] = ctx.comm->irecv_bytes(
+          peer, net::coded_tag(epoch, ctx.channel, phase, group, sub),
+          m.frames + static_cast<std::size_t>(sub) * m.fb,
+          net::kCodedHeaderBytes + m.sb);
+    }
+    return need;
+  }
+
+  /// Split one outgoing message into k data + r parity framed shards and
+  /// post them (SimMPI/shm sends are buffered-complete at post, so the
+  /// single staging frame in `pack` is reusable between isend calls).
+  /// Encode time folds into `enc_rec` ("parity_encode").
+  void coded_send(exec::ExecContextT<Real>& ctx, const std::uint8_t* payload,
+                  std::size_t pb, int peer, std::uint32_t epoch, int phase,
+                  int group, std::span<std::uint8_t> pack,
+                  exec::StageRecord* enc_rec) const {
+    const net::Coding c = env_->coding;
+    const int subs = c.total();
+    const std::size_t sb = net::coded_shard_bytes(pb, c.k);
+    const std::size_t fb = frame_stride(sb);
+    SOI_CHECK((static_cast<std::size_t>(c.r) + 1) * sb + fb <= pack.size(),
+              "coded exchange: send staging scratch overflow");
+    std::uint8_t* parity0 = pack.data();
+    std::uint8_t* pad = parity0 + static_cast<std::size_t>(c.r) * sb;
+    std::uint8_t* frame = pad + sb;
+    std::array<const std::uint8_t*, net::kMaxCodedSubs> data{};
+    for (int j = 0; j < c.k; ++j) {
+      data[static_cast<std::size_t>(j)] =
+          payload + static_cast<std::size_t>(j) * sb;
+    }
+    if (static_cast<std::size_t>(c.k) * sb != pb) {
+      // Zero-pad the tail shard so every shard is exactly sb bytes.
+      const std::size_t tail = pb - static_cast<std::size_t>(c.k - 1) * sb;
+      std::memset(pad, 0, sb);
+      std::memcpy(pad, payload + static_cast<std::size_t>(c.k - 1) * sb, tail);
+      data[static_cast<std::size_t>(c.k - 1)] = pad;
+    }
+    std::array<std::uint8_t*, net::kMaxCodedSubs> par{};
+    for (int i = 0; i < c.r; ++i) {
+      par[static_cast<std::size_t>(i)] =
+          parity0 + static_cast<std::size_t>(i) * sb;
+    }
+    {
+      exec::StageTimer et(*enc_rec);
+      codec_->encode(data.data(), par.data(), sb);
+    }
+    enc_rec->bytes_moved += static_cast<std::int64_t>(c.r) *
+                            static_cast<std::int64_t>(sb);
+    net::CodedFrame f;
+    f.epoch = epoch;
+    f.k = static_cast<std::uint8_t>(c.k);
+    f.r = static_cast<std::uint8_t>(c.r);
+    f.cw_bytes = pb;
+    for (int sub = 0; sub < subs; ++sub) {
+      f.sub = static_cast<std::uint16_t>(sub);
+      net::write_coded_header(frame, f);
+      std::memcpy(frame + net::kCodedHeaderBytes,
+                  sub < c.k ? data[static_cast<std::size_t>(sub)]
+                            : par[static_cast<std::size_t>(sub - c.k)],
+                  sb);
+      ctx.comm->isend_bytes(
+          peer, net::coded_tag(epoch, ctx.channel, phase, group, sub), frame,
+          net::kCodedHeaderBytes + sb);
+    }
+    if (env_->coded_stats != nullptr) {
+      env_->coded_stats->parity_bytes.fetch_add(
+          static_cast<std::uint64_t>(c.r) * sb, std::memory_order_relaxed);
+    }
+  }
+
+  /// Validate a completed frame: a shard is accepted only when every
+  /// header field matches the expectation; anything else is a stale
+  /// arrival from a previous epoch (tag reuse) and becomes an erasure.
+  [[nodiscard]] bool coded_accept(const CodedMsg& m, int sub,
+                                  std::uint32_t epoch) const {
+    net::CodedFrame f;
+    if (!net::read_coded_header(
+            m.frames + static_cast<std::size_t>(sub) * m.fb,
+            net::kCodedHeaderBytes, &f)) {
+      return false;
+    }
+    const net::Coding c = env_->coding;
+    return f.epoch == epoch && f.sub == static_cast<std::uint16_t>(sub) &&
+           f.k == static_cast<std::uint8_t>(c.k) &&
+           f.r == static_cast<std::uint8_t>(c.r) && f.cw_bytes == m.pb;
+  }
+
+  void coded_repost(exec::ExecContextT<Real>& ctx, CodedMsg& m,
+                    net::Request& rq, std::uint32_t epoch, int phase,
+                    int group, int sub) const {
+    rq = ctx.comm->irecv_bytes(
+        m.peer, net::coded_tag(epoch, ctx.channel, phase, group, sub),
+        m.frames + static_cast<std::size_t>(sub) * m.fb,
+        net::kCodedHeaderBytes + m.sb);
+  }
+
+  /// Rebuild the codeword payload from the k accepted shards (any mix of
+  /// data and parity) into m.dst, byte-exact.
+  void coded_reconstruct(CodedMsg& m) const {
+    const net::Coding c = env_->coding;
+    std::array<int, net::kMaxCodedSubs> present{};
+    std::array<const std::uint8_t*, net::kMaxCodedSubs> shards{};
+    int np = 0;
+    for (int sub = 0; sub < c.total() && np < c.k; ++sub) {
+      if ((m.mask & (1u << sub)) != 0) {
+        present[static_cast<std::size_t>(np)] = sub;
+        shards[static_cast<std::size_t>(np)] =
+            m.frames + static_cast<std::size_t>(sub) * m.fb +
+            net::kCodedHeaderBytes;
+        ++np;
+      }
+    }
+    std::array<std::uint8_t*, net::kMaxCodedSubs> out{};
+    int nrec = 0;
+    for (int j = 0; j < c.k; ++j) {
+      if ((m.mask & (1u << j)) != 0) {
+        out[static_cast<std::size_t>(j)] = const_cast<std::uint8_t*>(
+            m.frames + static_cast<std::size_t>(j) * m.fb +
+            net::kCodedHeaderBytes);
+      } else {
+        out[static_cast<std::size_t>(j)] =
+            m.dec + static_cast<std::size_t>(nrec++) * m.sb;
+      }
+    }
+    SOI_CHECK(codec_->reconstruct(present.data(), shards.data(), out.data(),
+                                  m.sb),
+              "coded exchange: reconstruction failed");
+    for (int j = 0; j < c.k; ++j) {
+      const std::size_t at = static_cast<std::size_t>(j) * m.sb;
+      std::memcpy(m.dst + at, out[static_cast<std::size_t>(j)],
+                  std::min(m.sb, m.pb - at));
+    }
+    if (env_->coded_stats != nullptr && nrec > 0) {
+      env_->coded_stats->recovered_chunks.fetch_add(
+          static_cast<std::uint64_t>(nrec), std::memory_order_relaxed);
+    }
+  }
+
+  /// > r shards of one codeword lost: surface the retained clean copies of
+  /// the missing DATA shards through the bounded-deadline retransmit path,
+  /// then assemble without decoding. Abandoned parity receives cost
+  /// nothing. Counts as one retry on the stage record regardless of how
+  /// fast the retained copies land — exceeding the parity budget means the
+  /// coding choice failed and the plan must degrade (like an uncoded
+  /// retry), even though the requeued copy may satisfy the very wait that
+  /// expired.
+  void coded_fallback(exec::ExecContextT<Real>& ctx, CodedMsg& m,
+                      net::Request* rq, std::uint32_t epoch, int phase,
+                      int group, exec::StageRecord* rec) const {
+    const net::Coding c = env_->coding;
+    rec->retries += 1;
+    for (int j = 0; j < c.k; ++j) {
+      const std::uint32_t bit = 1u << j;
+      while ((m.mask & bit) == 0) {
+        wait_resilient(*ctx.comm, rq[j], *rec, "coded exchange");
+        if (coded_accept(m, j, epoch)) {
+          m.mask |= bit;
+        } else {
+          coded_repost(ctx, m, rq[j], epoch, phase, group, j);
+        }
+      }
+    }
+    for (int j = 0; j < c.k; ++j) {
+      const std::size_t at = static_cast<std::size_t>(j) * m.sb;
+      std::memcpy(m.dst + at,
+                  m.frames + static_cast<std::size_t>(j) * m.fb +
+                      net::kCodedHeaderBytes,
+                  std::min(m.sb, m.pb - at));
+    }
+    m.done = true;
+    if (env_->coded_stats != nullptr) {
+      env_->coded_stats->coded_fallbacks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+  }
+
+  /// Complete `n` expected codewords: poll the shard receives, reconstruct
+  /// each codeword as soon as ANY k shards are accepted, and fall back to
+  /// retransmit for codewords still short of k at the bounded deadline.
+  /// Decode time folds into `dec_rec` ("parity_decode"). Never calls a
+  /// blocking wait on the happy path, so erasures cost zero round trips.
+  void coded_complete(exec::ExecContextT<Real>& ctx, CodedMsg* msgs,
+                      std::size_t n, net::Request* rq, std::uint32_t epoch,
+                      int phase, int group, exec::StageRecord* rec,
+                      exec::StageRecord* dec_rec) const {
+    const net::Coding c = env_->coding;
+    const int subs = c.total();
+    std::size_t remaining = n;
+    const double tmo = ctx.comm->timeout_ms();
+    const auto t0 = std::chrono::steady_clock::now();
+    bool expired = false;
+    while (remaining > 0 && !expired) {
+      bool progress = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        CodedMsg& m = msgs[i];
+        if (m.done) continue;
+        for (int sub = 0; sub < subs && !m.done; ++sub) {
+          const std::uint32_t bit = 1u << sub;
+          if ((m.mask & bit) != 0) continue;
+          net::Request& r_ = rq[i * static_cast<std::size_t>(subs) +
+                                static_cast<std::size_t>(sub)];
+          if (!ctx.comm->test(r_)) continue;
+          progress = true;
+          if (coded_accept(m, sub, epoch)) {
+            m.mask |= bit;
+            if (std::popcount(m.mask) >= c.k) {
+              exec::StageTimer dt(*dec_rec);
+              coded_reconstruct(m);
+              m.done = true;
+              --remaining;
+            }
+          } else {
+            coded_repost(ctx, m, r_, epoch, phase, group, sub);
+          }
+        }
+      }
+      if (remaining == 0) break;
+      if (!progress) {
+        if (tmo > 0 &&
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                    .count() > tmo) {
+          expired = true;
+          break;
+        }
+        // Faultless worlds (tmo == 0) only reach here while shards are
+        // genuinely in wire flight, so a short sleep-poll is safe.
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+    if (expired) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!msgs[i].done) {
+          coded_fallback(ctx, msgs[i],
+                         rq + i * static_cast<std::size_t>(subs), epoch,
+                         phase, group, rec);
+        }
+      }
+    }
+    // Opportunistic drain: consume shards that already arrived but were
+    // not needed, then drop the rest of the receives (stale-arrival GC at
+    // tag reuse reclaims whatever still lands later).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int sub = 0; sub < subs; ++sub) {
+        if ((msgs[i].mask & (1u << sub)) == 0) {
+          (void)ctx.comm->test(rq[i * static_cast<std::size_t>(subs) +
+                                  static_cast<std::size_t>(sub)]);
+        }
+      }
+    }
+    if (env_->coded_stats != nullptr) {
+      env_->coded_stats->codewords.fetch_add(static_cast<std::uint64_t>(n),
+                                             std::memory_order_relaxed);
+    }
+  }
+
+  /// Flat coded post: post the k+r shard receives for every source's
+  /// block of this chunk group, copy the self block, and shard + send each
+  /// destination block. Replaces ialltoall(v) with point-to-point coded
+  /// messages in the same block layout, so unpack is schedule-oblivious.
+  void post_coded_flat(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                       const exec::NodeSpec& node) const {
+    using C = cplx_t<Real>;
+    const ChainEnvT<Real>& env = *env_;
+    const auto g = static_cast<std::size_t>(node.chunk);
+    const auto gi = static_cast<std::size_t>(ctx.instance) *
+                        static_cast<std::size_t>(env.chunk_depth) +
+                    g;
+    const std::uint32_t epoch = ++epochs_[gi];
+    const std::int64_t B =
+        env.chunk_depth == 1 ? env.spr * env.chunks() : block_elems();
+    const std::size_t pb = static_cast<std::size_t>(B) * sizeof(C);
+    const std::span<C> send = ctx.arena->template span<C>(env.send);
+    const std::span<C> recv = ctx.arena->template span<C>(
+        WorkspaceArena::slot(env.recv, node.chunk % env.nslots()));
+    const std::span<std::uint8_t> frames =
+        ctx.arena->template span<std::uint8_t>(
+            WorkspaceArena::slot(env.cframe, node.chunk % env.nslots()));
+    const std::span<std::uint8_t> pk =
+        ctx.arena->template span<std::uint8_t>(env.cpack);
+    const auto ranks = static_cast<std::size_t>(env.ranks);
+    const std::int64_t* sdispls =
+        env.chunk_depth == 1 ? nullptr
+                             : env.a2a_send_displs.data() + g * ranks;
+    const auto sdispl = [&](int d) {
+      return env.chunk_depth == 1 ? static_cast<std::int64_t>(d) * B
+                                  : sdispls[d];
+    };
+    const int me = ctx.comm->rank();
+    const std::size_t mpg = msgs_per_group();
+    const auto subs = static_cast<std::size_t>(env.coding.total());
+    CodedMsg* msgs = cstate_.data() + gi * mpg;
+    net::Request* rq = creqs_.data() + gi * mpg * subs;
+    const std::int64_t before = ctx.comm->bytes_sent();
+    {
+      exec::StageTimer st(*rec);
+      std::size_t off = 0;
+      std::size_t mi = 0;
+      for (int src = 0; src < env.ranks; ++src) {
+        if (src == me) continue;
+        off = coded_post_msg(
+            ctx, msgs[mi], rq + mi * subs, src,
+            reinterpret_cast<std::uint8_t*>(recv.data() +
+                                            static_cast<std::int64_t>(src) *
+                                                B),
+            pb, frames, off, epoch, 0, node.chunk);
+        ++mi;
+      }
+      std::copy_n(send.data() + sdispl(me), B,
+                  recv.data() + static_cast<std::int64_t>(me) * B);
+      for (int dst = 0; dst < env.ranks; ++dst) {
+        if (dst == me) continue;
+        coded_send(ctx,
+                   reinterpret_cast<const std::uint8_t*>(send.data() +
+                                                         sdispl(dst)),
+                   pb, dst, epoch, 0, node.chunk, pk, rec + 1);
+      }
+    }
+    rec->bytes_moved += ctx.comm->bytes_sent() - before;
+  }
+
+  /// Flat coded wait: complete the group's ranks-1 codewords.
+  void wait_coded_flat(exec::ExecContextT<Real>& ctx, exec::StageRecord* rec,
+                       const exec::NodeSpec& node) const {
+    const ChainEnvT<Real>& env = *env_;
+    const auto gi = static_cast<std::size_t>(ctx.instance) *
+                        static_cast<std::size_t>(env.chunk_depth) +
+                    static_cast<std::size_t>(node.chunk);
+    const std::size_t mpg = msgs_per_group();
+    const auto subs = static_cast<std::size_t>(env.coding.total());
+    exec::WaitTimer wt(*rec);
+    coded_complete(ctx, cstate_.data() + gi * mpg,
+                   static_cast<std::size_t>(env.ranks - 1),
+                   creqs_.data() + gi * mpg * subs, epochs_[gi], 0,
+                   node.chunk, rec, rec + 2);
+  }
+
   /// Staged post node: pack + fire phase 0 of the store-and-forward
   /// schedule. Fuses this group's blocks for each first-hop peer out of
   /// the send buffer (phase-0 gather indices ARE destination ranks, so
@@ -425,15 +870,41 @@ class ExchangeStageT final : public exec::StageT<Real> {
              static_cast<std::size_t>(env.chunk_depth) +
          g) *
             static_cast<std::size_t>(plan.max_peers);
+    const bool coded = env.coded_exchange();
+    const auto gi = static_cast<std::size_t>(ctx.instance) *
+                        static_cast<std::size_t>(env.chunk_depth) +
+                    g;
+    const auto subs = static_cast<std::size_t>(env.coding.total());
+    std::uint32_t epoch = 0;
+    CodedMsg* cmsgs = nullptr;
+    net::Request* crq = nullptr;
+    std::span<std::uint8_t> frames, cpk;
+    if (coded) {
+      epoch = ++epochs_[gi];
+      const std::size_t mpg = msgs_per_group();
+      cmsgs = cstate_.data() + gi * mpg;
+      crq = creqs_.data() + gi * mpg * subs;
+      frames = ctx.arena->template span<std::uint8_t>(
+          WorkspaceArena::slot(env.cframe, node.chunk % env.nslots()));
+      cpk = ctx.arena->template span<std::uint8_t>(env.cpack);
+    }
     const std::int64_t before = ctx.comm->bytes_sent();
     {
       exec::StageTimer st(*rec);
       std::size_t ri = 0;
+      std::size_t coff = 0;
       for (const net::StagedPlan::Recv& rv : ph0.recvs) {
-        rq[ri++] = ctx.comm->irecv_bytes(
-            rv.peer, tag, hold + static_cast<std::int64_t>(rv.first_slot) * B,
-            static_cast<std::size_t>(rv.nblocks) *
-                static_cast<std::size_t>(B) * sizeof(C));
+        std::uint8_t* dst = reinterpret_cast<std::uint8_t*>(
+            hold + static_cast<std::int64_t>(rv.first_slot) * B);
+        const std::size_t rb = static_cast<std::size_t>(rv.nblocks) *
+                               static_cast<std::size_t>(B) * sizeof(C);
+        if (coded) {
+          coff = coded_post_msg(ctx, cmsgs[ri], crq + subs * ri, rv.peer,
+                                dst, rb, frames, coff, epoch, 0, node.chunk);
+          ++ri;
+        } else {
+          rq[ri++] = ctx.comm->irecv_bytes(rv.peer, tag, dst, rb);
+        }
       }
       std::int64_t off = 0;
       for (const net::StagedPlan::Send& sd : ph0.sends) {
@@ -442,9 +913,14 @@ class ExchangeStageT final : public exec::StageT<Real> {
           std::copy_n(send.data() + displs[d], B, pack + off);
           off += B;
         }
-        ctx.comm->isend_bytes(sd.peer, tag, msg,
-                              sd.gather.size() *
-                                  static_cast<std::size_t>(B) * sizeof(C));
+        const std::size_t mb = sd.gather.size() *
+                               static_cast<std::size_t>(B) * sizeof(C);
+        if (coded) {
+          coded_send(ctx, reinterpret_cast<const std::uint8_t*>(msg), mb,
+                     sd.peer, epoch, 0, node.chunk, cpk, rec + 1);
+        } else {
+          ctx.comm->isend_bytes(sd.peer, tag, msg, mb);
+        }
       }
       for (const net::StagedPlan::Keep& kp : ph0.keeps) {
         std::copy_n(send.data() + displs[kp.from], B,
@@ -480,10 +956,36 @@ class ExchangeStageT final : public exec::StageT<Real> {
              static_cast<std::size_t>(env.chunk_depth) +
          g) *
             static_cast<std::size_t>(plan.max_peers);
+    const bool coded = env.coded_exchange();
+    const auto gi = static_cast<std::size_t>(ctx.instance) *
+                        static_cast<std::size_t>(env.chunk_depth) +
+                    g;
+    const auto subs = static_cast<std::size_t>(env.coding.total());
+    const std::size_t mpg = coded ? msgs_per_group() : 0;
+    const std::uint32_t epoch = coded ? epochs_[gi] : 0;
+    CodedMsg* cwmsgs = nullptr;
+    net::Request* cwrq = nullptr;
+    std::span<std::uint8_t> frames, cpk;
+    if (coded) {
+      cwmsgs = cwstate_.data() +
+               static_cast<std::size_t>(ctx.instance) * mpg;
+      cwrq = cwreqs_.data() +
+             static_cast<std::size_t>(ctx.instance) * mpg * subs;
+      frames = ctx.arena->template span<std::uint8_t>(
+          WorkspaceArena::slot(env.cframe, slot));
+      cpk = ctx.arena->template span<std::uint8_t>(env.cpack);
+    }
     {
       exec::WaitTimer wt(*rec);
-      for (std::size_t i = 0; i < plan.phases.front().recvs.size(); ++i) {
-        wait_resilient(*ctx.comm, rq[i], *rec, "exchange");
+      if (coded) {
+        coded_complete(ctx, cstate_.data() + gi * mpg,
+                       plan.phases.front().recvs.size(),
+                       creqs_.data() + gi * mpg * subs, epoch, 0, node.chunk,
+                       rec, rec + 2);
+      } else {
+        for (std::size_t i = 0; i < plan.phases.front().recvs.size(); ++i) {
+          wait_resilient(*ctx.comm, rq[i], *rec, "exchange");
+        }
       }
     }
     const std::int64_t before = ctx.comm->bytes_sent();
@@ -496,12 +998,20 @@ class ExchangeStageT final : public exec::StageT<Real> {
       std::size_t nr = 0;
       {
         exec::StageTimer st(*rec);
+        std::size_t coff = 0;
         for (const net::StagedPlan::Recv& rv : ph.recvs) {
-          wq[nr++] = ctx.comm->irecv_bytes(
-              rv.peer, tag,
-              cur + static_cast<std::int64_t>(rv.first_slot) * B,
-              static_cast<std::size_t>(rv.nblocks) *
-                  static_cast<std::size_t>(B) * sizeof(C));
+          std::uint8_t* dst = reinterpret_cast<std::uint8_t*>(
+              cur + static_cast<std::int64_t>(rv.first_slot) * B);
+          const std::size_t rb = static_cast<std::size_t>(rv.nblocks) *
+                                 static_cast<std::size_t>(B) * sizeof(C);
+          if (coded) {
+            coff = coded_post_msg(ctx, cwmsgs[nr], cwrq + subs * nr,
+                                  rv.peer, dst, rb, frames, coff, epoch,
+                                  static_cast<int>(p), node.chunk);
+            ++nr;
+          } else {
+            wq[nr++] = ctx.comm->irecv_bytes(rv.peer, tag, dst, rb);
+          }
         }
         std::int64_t off = 0;
         for (const net::StagedPlan::Send& sd : ph.sends) {
@@ -511,9 +1021,15 @@ class ExchangeStageT final : public exec::StageT<Real> {
                         pack + off);
             off += B;
           }
-          ctx.comm->isend_bytes(sd.peer, tag, msg,
-                                sd.gather.size() *
-                                    static_cast<std::size_t>(B) * sizeof(C));
+          const std::size_t mb = sd.gather.size() *
+                                 static_cast<std::size_t>(B) * sizeof(C);
+          if (coded) {
+            coded_send(ctx, reinterpret_cast<const std::uint8_t*>(msg), mb,
+                       sd.peer, epoch, static_cast<int>(p), node.chunk, cpk,
+                       rec + 1);
+          } else {
+            ctx.comm->isend_bytes(sd.peer, tag, msg, mb);
+          }
         }
         for (const net::StagedPlan::Keep& kp : ph.keeps) {
           std::copy_n(prev + static_cast<std::int64_t>(kp.from) * B, B,
@@ -522,8 +1038,13 @@ class ExchangeStageT final : public exec::StageT<Real> {
       }
       {
         exec::WaitTimer wt(*rec);
-        for (std::size_t i = 0; i < nr; ++i) {
-          wait_resilient(*ctx.comm, wq[i], *rec, "exchange");
+        if (coded) {
+          coded_complete(ctx, cwmsgs, nr, cwrq, epoch, static_cast<int>(p),
+                         node.chunk, rec, rec + 2);
+        } else {
+          for (std::size_t i = 0; i < nr; ++i) {
+            wait_resilient(*ctx.comm, wq[i], *rec, "exchange");
+          }
         }
       }
       std::swap(prev, cur);
@@ -551,6 +1072,16 @@ class ExchangeStageT final : public exec::StageT<Real> {
   // requests [instance][peer] (later phases run inline inside the wait
   // node, so one group per instance uses them at a time).
   mutable std::vector<net::Request> sreqs_, wreqs_;
+  // Coded exchange only: per-(instance, group) expected codewords with
+  // their shard receive requests ([instance][group][message][sub]), the
+  // staged forwarding phases' equivalents ([instance][message][sub] — one
+  // group per instance forwards at a time), and the per-(instance, group)
+  // exchange epoch counters that keep shard tags from colliding across
+  // calls (stale arrivals are recognised by header and reposted over).
+  mutable std::vector<CodedMsg> cstate_, cwstate_;
+  mutable std::vector<net::Request> creqs_, cwreqs_;
+  mutable std::vector<std::uint32_t> epochs_;
+  std::optional<net::ErasureCode> codec_;
 };
 
 /// Stage "unpack": assemble the received per-source blocks into segment
@@ -832,6 +1363,37 @@ void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
       env.stg =
           arena.reserve_slots("stg", cb(3 * gtotal), ns, base + 2, base + 5);
     }
+    if (env.coded_exchange()) {
+      // Frame scratch per slot: the worst case over (a) flat — ranks-1
+      // codewords of one block each, (b) staged — max_peers codewords
+      // whose payloads sum to at most the whole slot. Sum of per-shard
+      // sizes is bounded by total/k + nmsg (one ceil per message), each
+      // frame adds a <= 24-byte aligned header, plus r decode shards per
+      // message. The send pack needs r parity shards + 1 pad shard + 1
+      // frame of the largest single message.
+      const int k = env.coding.k;
+      const int r = env.coding.r;
+      const int subs = env.coding.total();
+      const std::size_t total = cb(static_cast<std::int64_t>(env.ranks) *
+                                   env.gseg() * chunks);
+      const std::size_t nmsg =
+          env.staged_exchange()
+              ? static_cast<std::size_t>(env.staged.max_peers)
+              : static_cast<std::size_t>(env.ranks - 1);
+      const std::size_t max_msg =
+          env.staged_exchange() ? total : cb(env.gseg() * chunks);
+      const std::size_t sb_sum =
+          total / static_cast<std::size_t>(k) + nmsg + 1;
+      const std::size_t slot_bytes =
+          static_cast<std::size_t>(subs) * (sb_sum + 24 * nmsg) +
+          static_cast<std::size_t>(r) * sb_sum + 64;
+      const std::size_t sb_max = net::coded_shard_bytes(max_msg, k);
+      const std::size_t pack_bytes =
+          static_cast<std::size_t>(r + 2) * sb_max + 32;
+      env.cframe =
+          arena.reserve_slots("cframe", slot_bytes, ns, base + 2, base + 5);
+      env.cpack = arena.reserve("cpack", pack_bytes, base + 2, base + 5);
+    }
 
     // ialltoallv layout: destination d's block for group g starts at
     // segment d*spr + g*gseg of the [sigma][chunk] send buffer; source s's
@@ -858,6 +1420,23 @@ void reserve_chain_buffers(WorkspaceArena& arena, ChainEnvT<Real>& env,
     env.recv = arena.reserve("recv", cb(seg_total), base + 2, base + 3);
     env.xt = arena.reserve("xt", cb(seg_total), base + 3, base + 4);
     env.uf = arena.reserve("uf", cb(seg_total), base + 4, base + 5);
+    if (env.coded_exchange()) {
+      const int k = env.coding.k;
+      const int r = env.coding.r;
+      const int subs = env.coding.total();
+      const std::size_t block = cb(env.spr * chunks);
+      const auto nmsg = static_cast<std::size_t>(env.ranks - 1);
+      const std::size_t sb_sum =
+          block * nmsg / static_cast<std::size_t>(k) + nmsg + 1;
+      const std::size_t slot_bytes =
+          static_cast<std::size_t>(subs) * (sb_sum + 24 * nmsg) +
+          static_cast<std::size_t>(r) * sb_sum + 64;
+      const std::size_t pack_bytes =
+          static_cast<std::size_t>(r + 2) * net::coded_shard_bytes(block, k) +
+          32;
+      env.cframe = arena.reserve("cframe", slot_bytes, base + 2, base + 2);
+      env.cpack = arena.reserve("cpack", pack_bytes, base + 2, base + 2);
+    }
   } else {
     // F_P stores straight into x-tilde; no exchange staging needed.
     env.xt = arena.reserve("xt", cb(seg_total), base + 1, base + 4);

@@ -32,6 +32,7 @@
 
 #include "common/arena.hpp"
 #include "fft/engine.hpp"
+#include "net/erasure.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
 #include "soi/conv_table.hpp"
@@ -76,6 +77,15 @@ struct ChainEnvT {
   /// blocks bit-identically.
   net::Topology topo;
   net::StagedPlan staged;
+  /// Exchange redundancy (k data + r parity shards per peer message).
+  /// Disabled (the default) keeps the pure CRC32C + retransmit path; when
+  /// enabled every exchange message — flat AND staged schedules — travels
+  /// as k+r coded shards and up to r losses per message are reconstructed
+  /// locally with no retransmit round trip.
+  net::Coding coding;
+  /// Sink for the coded exchange's counters (recovered shards, parity
+  /// bytes, fallbacks). Owned by the plan; null = untracked.
+  net::CodedStatsAtomic* coded_stats = nullptr;
   /// Executions of this chain that may be in flight at once (co-scheduled
   /// via Pipeline::run_many or racing from worker threads). The stages
   /// size their per-execution mutable state (in-flight requests) from
@@ -89,6 +99,10 @@ struct ChainEnvT {
   // rest). stg (staged topology schedules only) holds the per-slot
   // pack + ping-pong holdings scratch of the store-and-forward exchange.
   WorkspaceArena::BufferId ext, v, send, recv, xt, uf, stg;
+  /// Coded-exchange scratch (coding.enabled() only): cframe holds the
+  /// per-slot receive frames + decode scratch, cpack the send-side
+  /// staging frames (parity shards, padded tail shard, one wire frame).
+  WorkspaceArena::BufferId cpack, cframe;
   /// Optional chain endpoints: invalid = use ctx.in / ctx.out (the real
   /// wrapper brackets the chain with arena-resident z / zf instead).
   WorkspaceArena::BufferId src, dst;
@@ -119,6 +133,10 @@ struct ChainEnvT {
   [[nodiscard]] bool staged_exchange() const {
     return has_comm && ranks > 1 &&
            topo.kind() != net::TopologyKind::kFlat;
+  }
+  /// True when the exchange sends coded shards instead of raw blocks.
+  [[nodiscard]] bool coded_exchange() const {
+    return has_comm && ranks > 1 && coding.enabled();
   }
 };
 

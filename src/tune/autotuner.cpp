@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "fft/engine.hpp"
+#include "net/erasure.hpp"
 #include "net/registry.hpp"
 #include "net/topology.hpp"
 #include "soi/dist.hpp"
@@ -102,11 +103,23 @@ double modeled_compute_flops(const core::SoiGeometry& g, std::int64_t spr) {
 /// Never more than the unchunked exchange, so the pipelined schedule is
 /// never priced slower than the in-order one, while the latency surcharge
 /// gives the depth knob an interior optimum per fabric.
+///
+/// Resilience pricing (TuneOptions::loss_rate p > 0): every schedule's
+/// per-rank message count pays its expected recovery cost. Uncoded, each
+/// lost message costs a detection deadline plus a retransmit round trip,
+/// expected p/(1-p) times per message (retries can themselves be lost).
+/// Coded (cand.coding = "k+r"), the exchange volume inflates by (k+r)/k
+/// and only the p^(r+1) residual — more than r shards of one codeword
+/// lost — still pays the deadline + round trip. At p = 0 the coded
+/// overhead buys nothing, so retransmit-only wins; past the break-even
+/// loss rate the priced order flips.
 double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
                             std::int64_t halo_bytes,
                             std::int64_t alltoall_bytes_per_rank,
                             const Candidate& cand, double conv_seconds,
-                            double downstream_seconds) {
+                            double downstream_seconds,
+                            double loss_rate = 0.0,
+                            double retry_timeout_s = 0.05) {
   if (ranks <= 1) return 0.0;
   double halo = fabric.p2p_seconds(halo_bytes);
   if (cand.overlap) halo = std::max(0.0, halo - conv_seconds);
@@ -120,6 +133,9 @@ double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
   // counting. Clamped for models that charge less than the flat term.
   exchange = std::max(0.0, exchange - static_cast<double>(ranks - 1) * lat);
   double schedule;
+  // Messages each rank sends per exchange — the unit the per-loss recovery
+  // cost below multiplies.
+  double messages = static_cast<double>(ranks - 1);
   if (!cand.topology.empty() && cand.topology != "flat") {
     const net::Topology topo = net::Topology::parse(cand.topology, ranks);
     const double r = static_cast<double>(ranks);
@@ -130,6 +146,7 @@ double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
       constexpr double kIntraDiscount = 0.1;
       const double G = static_cast<double>(topo.group_size());
       const double Q = static_cast<double>(topo.groups());
+      messages = (G - 1.0) + (Q - 1.0);
       schedule = (G - 1.0) * lat * kIntraDiscount + (Q - 1.0) * lat;
       // Of the R-1 blocks each rank emits, R-G cross groups at full cost;
       // (G-1)*Q travel the cheap intra tier (phase-0 fan-out).
@@ -146,6 +163,7 @@ double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
         rounds += kd - 1.0;
         volume_blocks += r * (kd - 1.0) / kd;
       }
+      messages = rounds;
       schedule = rounds * lat;
       exchange *= volume_blocks / (r - 1.0);
     }
@@ -154,6 +172,24 @@ double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
                    ? static_cast<double>(ranks - 1) * lat
                    : 2.0 * lat;
   }
+  net::Coding code;
+  if (!cand.coding.empty()) {
+    // parse_candidate validated the text; a raw Candidate with a bad
+    // string just prices as uncoded.
+    (void)net::Coding::parse(cand.coding, &code);
+  }
+  double retry_per_msg = loss_rate > 0.0 && loss_rate < 1.0
+                             ? loss_rate / (1.0 - loss_rate)
+                             : 0.0;
+  if (code.enabled()) {
+    // Parity rides the same wire: volume inflates by (k+r)/k, losses up
+    // to r per codeword are absorbed locally, and only the residual
+    // P(> r of one codeword's shards lost) ~ p^(r+1) still pays the
+    // retransmit machinery.
+    exchange *= static_cast<double>(code.total()) /
+                static_cast<double>(code.k);
+    retry_per_msg = std::pow(loss_rate, static_cast<double>(code.r + 1));
+  }
   if (cand.overlap && cand.chunk_depth > 1) {
     const double d = static_cast<double>(cand.chunk_depth);
     const double overlapped = std::max(
@@ -161,7 +197,9 @@ double modeled_comm_seconds(const net::NetworkModel& fabric, int ranks,
     exchange =
         std::min(exchange, overlapped + (d - 1.0) * schedule);
   }
-  return halo + exchange + schedule;
+  const double resilience =
+      messages * retry_per_msg * (retry_timeout_s + 2.0 * lat);
+  return halo + exchange + schedule + resilience;
 }
 
 CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
@@ -195,7 +233,8 @@ CandidateScore score_modeled(const TuneKey& key, const Candidate& cand,
                                  g.chunks_per_rank() * (key.ranks - 1);
   score.comm_seconds =
       modeled_comm_seconds(fabric_for(opts, cand), key.ranks, halo_bytes,
-                           a2a_bytes, cand, conv_share, downstream_share);
+                           a2a_bytes, cand, conv_share, downstream_share,
+                           opts.loss_rate, opts.retry_timeout_s);
   return score;
 }
 
@@ -236,6 +275,9 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
     dopts.chunk_depth = cand.chunk_depth;
     dopts.topology = cand.topology;
     dopts.engine = cand.engine;
+    if (!cand.coding.empty()) {
+      (void)net::Coding::parse(cand.coding, &dopts.coding);
+    }
     // All ranks share one registry-built table.
     dopts.table =
         reg.conv_table(key.n, key.ranks * cand.segments_per_rank, prof);
@@ -297,7 +339,8 @@ CandidateScore score_measured(const TuneKey& key, const Candidate& cand,
   score.compute_seconds = compute_best;
   score.comm_seconds =
       modeled_comm_seconds(fabric_for(opts, cand), key.ranks, halo_bytes,
-                           alltoall_bytes, cand, conv_best, downstream_best);
+                           alltoall_bytes, cand, conv_best, downstream_best,
+                           opts.loss_rate, opts.retry_timeout_s);
   score.stage_seconds = std::move(stage_seconds);
   return score;
 }

@@ -78,6 +78,18 @@ struct TuneOptions {
   /// Fabric whose cost model prices the communication; null = the
   /// Endeavor fat tree (the paper's primary testbed).
   const net::NetworkModel* fabric = nullptr;
+  /// Expected per-message loss probability of the target fabric, folded
+  /// into the modeled score: an uncoded exchange pays
+  /// messages x p/(1-p) x (retry_timeout_s + 2 x latency) for detection +
+  /// retransmit round trips, a coded one inflates the wire volume by
+  /// (k+r)/k but only pays the p^(r+1) residual (> r shards of one
+  /// codeword lost). 0 (the default) prices a clean fabric, where the
+  /// parity overhead makes retransmit-only win.
+  double loss_rate = 0.0;
+  /// Modeled detection deadline of one lost-message retry, seconds —
+  /// the bounded-wait timeout the resilient exchange arms (NetOptions
+  /// timeout tier, 50 ms by default).
+  double retry_timeout_s = 0.05;
   /// Cap on the segments-per-rank knob (the paper uses up to 8).
   std::int64_t max_segments_per_rank = 8;
   /// Registry the sweep draws profiles/tables from; null = the global one.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "net/erasure.hpp"
 #include "net/topology.hpp"
 #include "soi/params.hpp"
 #include "tune/registry.hpp"
@@ -101,6 +102,9 @@ std::string Candidate::describe() const {
   if (!topology.empty() && topology != "flat") os << " topo=" << topology;
   if (!transport.empty()) os << " transport=" << transport;
   if (!engine.empty()) os << " engine=" << engine;
+  // v6 token, emitted only when the exchange is coded — uncoded lines stay
+  // byte-identical to v5 output.
+  if (!coding.empty()) os << " code=" << coding;
   return os.str();
 }
 
@@ -151,6 +155,13 @@ Candidate parse_candidate(const std::string& text) {
     } else if (k == "engine") {
       // Optional (absent before v5 wisdom and for unpinned decisions).
       c.engine = v;
+    } else if (k == "code") {
+      // Optional (absent before v6 wisdom and for uncoded candidates).
+      net::Coding code;
+      SOI_CHECK(net::Coding::parse(v, &code),
+                "parse_candidate: bad coding '" << v << "' in '" << text
+                                                << "' (want k+r, e.g. 4+1)");
+      c.coding = v;
     } else {
       throw Error("parse_candidate: unknown field '" + k + "'");
     }
@@ -227,8 +238,18 @@ std::vector<Candidate> candidate_space(const TuneKey& key,
                   algo == net::AlltoallAlgo::kPairwise && bw == 0;
               for (const std::string& topo : topos) {
                 if (!topo.empty() && !topo_axis) continue;
-                out.push_back(
-                    Candidate{tier, spr, algo, overlap, bw, cd, topo});
+                // The coded-exchange variant rides the same restricted
+                // axis: it trades wire volume for loss absorption, which
+                // is orthogonal to algo/bw, and doubling only this axis
+                // keeps the space bounded. Uncoded first, so the default
+                // still wins exact ties.
+                for (const char* code : {"", "4+1"}) {
+                  if (*code != '\0' && (!topo_axis || key.ranks < 2)) {
+                    continue;
+                  }
+                  out.push_back(Candidate{tier, spr, algo, overlap, bw, cd,
+                                          topo, {}, {}, code});
+                }
               }
             }
           }

@@ -69,12 +69,17 @@ struct Candidate {
   std::string transport;
   /// FFT-engine backend (fft::EngineRegistry name; "" = unpinned).
   std::string engine;
+  /// Erasure-coded exchange redundancy ("k+r", DistOptions::coding /
+  /// net::Coding syntax; "" = coding off, retransmit-only). Trailing field
+  /// of wisdom v6; prior-version lines parse with it defaulted off.
+  std::string coding;
 
   /// Canonical text form, e.g.
   /// "tier=full spr=2 algo=direct overlap=1 bw=0 cd=1"; a non-flat
-  /// topology appends " topo=<shape>", and pinned backends append
-  /// " transport=<name>" / " engine=<name>" (wisdom v5). Round-trips
-  /// through parse_candidate().
+  /// topology appends " topo=<shape>", pinned backends append
+  /// " transport=<name>" / " engine=<name>" (wisdom v5), and a coded
+  /// exchange appends " code=<k+r>" (wisdom v6). Round-trips through
+  /// parse_candidate().
   [[nodiscard]] std::string describe() const;
 
   bool operator==(const Candidate& o) const {
@@ -83,7 +88,7 @@ struct Candidate {
            alltoall_algo == o.alltoall_algo && overlap == o.overlap &&
            batch_width == o.batch_width && chunk_depth == o.chunk_depth &&
            topology == o.topology && transport == o.transport &&
-           engine == o.engine;
+           engine == o.engine && coding == o.coding;
   }
 };
 

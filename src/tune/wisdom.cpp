@@ -87,12 +87,12 @@ WisdomStore WisdomStore::parse(const std::string& text) {
   SOI_CHECK(std::getline(is, line),
             "wisdom: empty input (expected header '" << kHeader << "')");
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  SOI_CHECK(line == kHeader || line == kHeaderV4 || line == kHeaderV3 ||
-                line == kHeaderV2 || line == kHeaderV1,
+  SOI_CHECK(line == kHeader || line == kHeaderV5 || line == kHeaderV4 ||
+                line == kHeaderV3 || line == kHeaderV2 || line == kHeaderV1,
             "wisdom: version mismatch — expected header '"
-                << kHeader << "' (or legacy '" << kHeaderV4 << "' / '"
-                << kHeaderV3 << "' / '" << kHeaderV2 << "' / '" << kHeaderV1
-                << "'), got '" << line
+                << kHeader << "' (or legacy '" << kHeaderV5 << "' / '"
+                << kHeaderV4 << "' / '" << kHeaderV3 << "' / '" << kHeaderV2
+                << "' / '" << kHeaderV1 << "'), got '" << line
                 << "'; re-run `soifft tune` to regenerate");
   WisdomStore store;
   while (std::getline(is, line)) {

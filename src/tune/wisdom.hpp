@@ -1,7 +1,7 @@
 // Wisdom: tuned plan decisions persisted across runs (FFTW's term for the
 // same idea). A wisdom file is versioned, line-oriented text:
 //
-//   soiwisdom v5
+//   soiwisdom v6
 //   # optional comments
 //   <key> | <candidate> | <score> | <profile> [| <stages>]
 //
@@ -15,15 +15,17 @@
 // these back as PRIORS that reorder candidate evaluation (comm-bound
 // shapes try overlapping/chunked candidates first); they never prune.
 //
-// v5 added the candidate's optional transport / engine backend fields —
-// emitted only for decisions pinned to a named backend, so unpinned lines
-// are byte-identical to v4's. v4 added the candidate's optional topo
-// (exchange topology) field — emitted only for non-flat schedules, so flat
-// lines are byte-identical to v3's. v3 added the candidate's cd (chunk
-// depth) field and the optional stages field. v2 added bw (SoA batch
-// width). v1–v4 files are still READ (their candidates default to bw=0 /
-// cd=1 / flat topology / unpinned backends); files are always WRITTEN at
-// the current version.
+// v6 added the candidate's optional code (erasure-coded exchange, "k+r")
+// field — emitted only for coded decisions, so uncoded lines are
+// byte-identical to v5's. v5 added the candidate's optional transport /
+// engine backend fields — emitted only for decisions pinned to a named
+// backend, so unpinned lines are byte-identical to v4's. v4 added the
+// candidate's optional topo (exchange topology) field — emitted only for
+// non-flat schedules, so flat lines are byte-identical to v3's. v3 added
+// the candidate's cd (chunk depth) field and the optional stages field.
+// v2 added bw (SoA batch width). v1–v5 files are still READ (their
+// candidates default to bw=0 / cd=1 / flat topology / unpinned backends /
+// coding off); files are always WRITTEN at the current version.
 //
 // This subsumes the old single-line `--profile` files of tools/soifft:
 // those stored only a window profile; wisdom stores the full tuned
@@ -61,8 +63,9 @@ struct TunedConfig {
 /// PlanRegistry — guard shared WisdomStore access externally.
 class WisdomStore {
  public:
-  static constexpr const char* kHeader = "soiwisdom v5";
+  static constexpr const char* kHeader = "soiwisdom v6";
   /// Older headers still accepted by parse() (read-compat).
+  static constexpr const char* kHeaderV5 = "soiwisdom v5";
   static constexpr const char* kHeaderV4 = "soiwisdom v4";
   static constexpr const char* kHeaderV3 = "soiwisdom v3";
   static constexpr const char* kHeaderV2 = "soiwisdom v2";

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <limits>
@@ -20,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/comm.hpp"
+#include "net/erasure.hpp"
 #include "net/fault.hpp"
 #include "soi/dist.hpp"
 #include "soi/exec.hpp"
@@ -44,14 +46,21 @@ cvec random_signal(std::int64_t n, std::uint64_t seed) {
 }
 
 /// Run the distributed SOI forward under `nopts`/`dopts` and reassemble
-/// the global result. Throws whatever a rank body throws.
+/// the global result. Throws whatever a rank body throws. `stats_out` is
+/// world-global (rank 0's post-barrier snapshot covers everyone);
+/// `degraded_out` ORs across ranks and `coded_out` sums each rank's
+/// plan-local coded counters, because parity reconstruction is
+/// receive-side per-rank work.
 cvec run_dist(std::int64_t n, int p, const cvec& x,
               const net::NetOptions& nopts, core::DistOptions dopts,
               net::FaultStats* stats_out = nullptr,
-              bool* degraded_out = nullptr) {
+              bool* degraded_out = nullptr,
+              net::CodedStats* coded_out = nullptr) {
   const std::int64_t m = n / p;
   cvec y(static_cast<std::size_t>(n));
   std::mutex mu;
+  if (degraded_out != nullptr) *degraded_out = false;
+  if (coded_out != nullptr) *coded_out = net::CodedStats{};
   net::run_ranks(p, nopts, [&](net::Comm& comm) {
     core::SoiFftDist plan(comm, n, full_profile(), dopts);
     const std::int64_t base = comm.rank() * m;
@@ -64,8 +73,15 @@ cvec run_dist(std::int64_t n, int p, const cvec& x,
     if (comm.rank() == 0 && stats_out != nullptr) {
       *stats_out = comm.fault_stats();
     }
-    if (comm.rank() == 0 && degraded_out != nullptr) {
-      *degraded_out = plan.degraded();
+    if (degraded_out != nullptr && plan.degraded()) {
+      *degraded_out = true;
+    }
+    if (coded_out != nullptr) {
+      const net::CodedStats cs = plan.coded_stats();
+      coded_out->codewords += cs.codewords;
+      coded_out->recovered_chunks += cs.recovered_chunks;
+      coded_out->parity_bytes += cs.parity_bytes;
+      coded_out->coded_fallbacks += cs.coded_fallbacks;
     }
   });
   return y;
@@ -93,10 +109,22 @@ TEST(FaultSpec, ParsesSeedKindsAndStall) {
   EXPECT_DOUBLE_EQ(spec.stall_ms, 35.0);
 }
 
+TEST(FaultSpec, ParsesStragglerKind) {
+  const FaultSpec spec = FaultSpec::parse("5:straggler:0.15,drop:0.02");
+  EXPECT_TRUE(spec.any());
+  EXPECT_EQ(spec.seed, 5u);
+  ASSERT_EQ(spec.rules.size(), 2u);
+  EXPECT_EQ(spec.rules[0].kind, FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(spec.rules[0].rate, 0.15);
+  EXPECT_EQ(spec.rules[1].kind, FaultKind::kDrop);
+  EXPECT_STREQ(net::fault_kind_name(FaultKind::kStraggler), "straggler");
+}
+
 TEST(FaultSpec, StrRoundTrips) {
   for (const char* text :
        {"7:delay:0.25", "3:drop:0.01,duplicate:1",
-        "11:truncate:0.5,stall:0:12.5", "9:stall:1:20"}) {
+        "11:truncate:0.5,stall:0:12.5", "9:stall:1:20",
+        "5:straggler:0.15", "2:straggler:0.1,corrupt:0.05,stall:1:10"}) {
     const FaultSpec a = FaultSpec::parse(text);
     const FaultSpec b = FaultSpec::parse(a.str());
     EXPECT_EQ(a.str(), b.str()) << "spec '" << text << "'";
@@ -118,6 +146,9 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
         "1:frobnicate:0.5",  // unknown kind
         "1:stall:0",         // stall needs rank and ms
         "1:stall:0:-5",      // negative stall ms
+        "1:straggler",       // straggler needs a rate
+        "1:straggler:1.01",  // straggler rate out of [0, 1]
+        "1:straggler:0:5",   // straggler takes no extra field
         "1:drop:0.1,"})  {   // trailing empty entry
     EXPECT_THROW((void)FaultSpec::parse(bad), Error) << "spec '" << bad
                                                      << "'";
@@ -160,6 +191,29 @@ TEST(FaultInjector, DifferentSeedsGiveDifferentDecisions) {
     }
   }
   EXPECT_GT(differing, 20);
+}
+
+TEST(FaultInjector, StragglerDrawsDeterministicBoundedHeavyTailed) {
+  const net::FaultInjector a(FaultSpec::parse("7:straggler:1"));
+  const net::FaultInjector b(FaultSpec::parse("7:straggler:1"));
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (std::uint64_t seq = 1; seq <= 500; ++seq) {
+    const auto x = a.decide(0, 1, 9, seq, 256);
+    const auto y = b.decide(0, 1, 9, seq, 256);
+    EXPECT_DOUBLE_EQ(x.straggle_ms, y.straggle_ms);
+    EXPECT_TRUE(x.fired());
+    // The Pareto draw is clamped to [0.05, 200] ms so a single straggler
+    // can never outlive the bounded-deadline machinery entirely.
+    EXPECT_GE(x.straggle_ms, 0.05);
+    EXPECT_LE(x.straggle_ms, 200.0);
+    lo = std::min(lo, x.straggle_ms);
+    hi = std::max(hi, x.straggle_ms);
+  }
+  // Heavy tail: across 500 draws the extremes span orders of magnitude —
+  // a fixed-delay rule (like stall) could never produce this spread.
+  EXPECT_LT(lo, 1.0);
+  EXPECT_GT(hi, 5.0);
 }
 
 // --- CRC32C ------------------------------------------------------------------
@@ -306,6 +360,33 @@ TEST(Transport, StalledRankDelaysButCompletes) {
       cvec got(1);
       c.recv(0, 1, got);
       EXPECT_EQ(got[0], (cplx{9.0, 9.0}));
+    }
+  });
+}
+
+TEST(Transport, StragglersArriveLateButIntactWithoutRetransmit) {
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("3:straggler:1");  // every message lags
+  nopts.timeout_ms = 250;  // above the 200 ms straggle clamp
+  net::run_ranks(2, nopts, [](net::Comm& c) {
+    const int kCount = 3;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        cvec d = {cplx{static_cast<double>(i), -1.0}};
+        c.send(1, 6, d);
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        cvec got(1);
+        c.recv(0, 6, got);
+        EXPECT_EQ(got[0], (cplx{static_cast<double>(i), -1.0})) << i;
+      }
+      const net::FaultStats st = c.fault_stats();
+      EXPECT_GE(st.stragglers, kCount);
+      // Late but intact and inside the deadline: the payload arrives
+      // unmodified and no recovery machinery fires.
+      EXPECT_EQ(st.retransmits, 0);
+      EXPECT_EQ(st.checksum_failures, 0);
     }
   });
 }
@@ -469,6 +550,218 @@ TEST(Chaos, PipelinedDeepChunkStagedExchangeRecovers) {
       ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
           << "topo " << topo << " bin " << i;
     }
+  }
+}
+
+TEST(Chaos, StragglersDelayButOutputBitIdentical) {
+  // Heavy-tailed per-message latency with a deadline above the 200 ms
+  // straggle clamp: every message eventually shows up intact, so the run
+  // must finish bit-identically with ZERO recovery actions — stragglers
+  // cost time, not correctness.
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 3300);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("17:straggler:0.05");
+  nopts.timeout_ms = 250;
+  net::FaultStats stats{};
+  const cvec got = run_dist(n, p, x, nopts, {}, &stats);
+  EXPECT_GT(stats.stragglers, 0);
+  EXPECT_EQ(stats.retransmits, 0);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+// --- coded exchange chaos ----------------------------------------------------
+//
+// The erasure-coded all-to-all must satisfy a stronger contract than the
+// retransmit path: losses within the parity budget are absorbed IN BAND
+// (zero retransmit round trips, zero extra deadline waits), and only
+// losses beyond it fall back to the CRC/retransmit machinery — in every
+// case the output stays bit-identical to the uncoded fault-free run.
+
+net::Coding coding_or_die(const char* text) {
+  net::Coding c;
+  EXPECT_TRUE(net::Coding::parse(text, &c)) << text;
+  return c;
+}
+
+TEST(ChaosCoded, DropsWithinParityBudgetRecoverWithoutRetransmit) {
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 4100);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  core::DistOptions dopts;
+  dopts.coding = coding_or_die("2+1");
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("19:drop:0.03");
+  nopts.timeout_ms = 20;
+  net::FaultStats stats{};
+  bool degraded = false;
+  net::CodedStats coded{};
+  const cvec got = run_dist(n, p, x, nopts, dopts, &stats, &degraded,
+                            &coded);
+  EXPECT_GT(stats.faults_injected, 0);
+  EXPECT_GT(coded.codewords, 0u);
+  EXPECT_GT(coded.parity_bytes, 0u);
+  // Every dropped shard was rebuilt from parity at the receiver: no
+  // retransmit round trip, no fallback, and the plan never degrades.
+  EXPECT_GT(coded.recovered_chunks, 0u);
+  EXPECT_EQ(coded.coded_fallbacks, 0u);
+  EXPECT_EQ(stats.retransmits, 0);
+  EXPECT_FALSE(degraded);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+TEST(ChaosCoded, CorruptShardsAreErasuresNotRetransmitTriggers) {
+  // A corrupt coded shard fails the CRC and is discarded as an ERASURE:
+  // the codec rebuilds it from parity instead of requesting the retained
+  // clean copy, so checksum failures rise while retransmits stay at zero.
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 4200);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  core::DistOptions dopts;
+  dopts.coding = coding_or_die("2+1");
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("18:corrupt:0.03");
+  nopts.timeout_ms = 20;
+  net::FaultStats stats{};
+  bool degraded = false;
+  net::CodedStats coded{};
+  const cvec got = run_dist(n, p, x, nopts, dopts, &stats, &degraded,
+                            &coded);
+  EXPECT_GT(stats.corruptions, 0);
+  EXPECT_GT(stats.checksum_failures, 0);
+  EXPECT_GT(coded.recovered_chunks, 0u);
+  EXPECT_EQ(coded.coded_fallbacks, 0u);
+  EXPECT_EQ(stats.retransmits, 0);
+  EXPECT_FALSE(degraded);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+TEST(ChaosCoded, StragglingShardsAbandonedOnceKArrive) {
+  // A coded receiver reconstructs as soon as ANY k shards land — a
+  // straggling shard is simply never waited for. Rate 1 straggles EVERY
+  // shard with an independent heavy-tailed delay, so plenty of codewords
+  // see their parity land while a data shard is still in flight; with the
+  // deadline above the straggle clamp nothing times out, yet recoveries
+  // still happen: the codeword completes from the k prompt shards. Seed
+  // pinned to one whose delay spread keeps the race comfortably open even
+  // under sanitizer slowdown.
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 4300);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  core::DistOptions dopts;
+  dopts.coding = coding_or_die("2+1");
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("13:straggler:1");
+  nopts.timeout_ms = 250;
+  net::FaultStats stats{};
+  bool degraded = false;
+  net::CodedStats coded{};
+  const cvec got = run_dist(n, p, x, nopts, dopts, &stats, &degraded,
+                            &coded);
+  EXPECT_GT(stats.stragglers, 0);
+  EXPECT_GT(coded.recovered_chunks, 0u);
+  EXPECT_EQ(coded.coded_fallbacks, 0u);
+  EXPECT_EQ(stats.retransmits, 0);
+  EXPECT_FALSE(degraded);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+TEST(ChaosCoded, LossesBeyondParityBudgetFallBackAndDegrade) {
+  // Hammer the wire far past what r=1 can absorb: codewords that lose
+  // more than one shard take the retransmit fallback, which bumps the
+  // record's retry counter and degrades the plan — but the output is
+  // still bit-identical because the fallback drains the retained copies.
+  const std::int64_t n = 8192;
+  const int p = 4;
+  const cvec x = random_signal(n, 4400);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  core::DistOptions dopts;
+  dopts.coding = coding_or_die("2+1");
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("7:drop:0.4");
+  nopts.timeout_ms = 20;
+  net::FaultStats stats{};
+  bool degraded = false;
+  net::CodedStats coded{};
+  const cvec got = run_dist(n, p, x, nopts, dopts, &stats, &degraded,
+                            &coded);
+  EXPECT_GT(coded.coded_fallbacks, 0u);
+  EXPECT_GT(stats.retransmits, 0);
+  EXPECT_TRUE(degraded);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
+  }
+}
+
+TEST(ChaosCoded, StagedTopologiesRecoverUnderMixedLoss) {
+  // Coded staged exchange: every hop of the two-level and torus schedules
+  // frames its blocks into codewords, so per-hop losses are absorbed by
+  // parity hop-locally. Reed-Solomon r=2 here for codec coverage beyond
+  // the XOR fast path.
+  const std::int64_t n = 16384;
+  const int p = 4;
+  const cvec x = random_signal(n, 4500);
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, {});
+  for (const char* topo : {"two-level:2", "torus:2x2x1"}) {
+    core::DistOptions dopts;
+    dopts.topology = topo;
+    dopts.coding = coding_or_die("2+2");
+    net::NetOptions nopts;
+    nopts.faults = FaultSpec::parse("11:drop:0.04,corrupt:0.03");
+    nopts.timeout_ms = 20;
+    net::FaultStats stats{};
+    net::CodedStats coded{};
+    const cvec got =
+        run_dist(n, p, x, nopts, dopts, &stats, nullptr, &coded);
+    EXPECT_GT(stats.faults_injected, 0) << topo;
+    EXPECT_GT(coded.codewords, 0u) << topo;
+    EXPECT_GT(coded.recovered_chunks, 0u) << topo;
+    ASSERT_EQ(got.size(), clean.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0)
+          << "topo " << topo << " bin " << i;
+    }
+  }
+}
+
+TEST(ChaosCoded, PipelinedDeepChunksRecoverPerGroup) {
+  // Chunked pipelined schedule with coding on: each in-flight chunk
+  // group frames its own codewords, and groups recover independently
+  // while downstream compute overlaps.
+  const std::int64_t n = 16384;
+  const int p = 4;
+  const cvec x = random_signal(n, 4600);
+  core::DistOptions base;
+  base.segments_per_rank = 2;
+  base.overlap = true;
+  base.chunk_depth = 2;
+  const cvec clean = run_dist(n, p, x, net::NetOptions{}, base);
+  core::DistOptions dopts = base;
+  dopts.coding = coding_or_die("4+1");
+  net::NetOptions nopts;
+  nopts.faults = FaultSpec::parse("19:drop:0.03,corrupt:0.02");
+  nopts.timeout_ms = 20;
+  net::FaultStats stats{};
+  net::CodedStats coded{};
+  const cvec got = run_dist(n, p, x, nopts, dopts, &stats, nullptr, &coded);
+  EXPECT_GT(stats.faults_injected, 0);
+  EXPECT_GT(coded.codewords, 0u);
+  EXPECT_GT(coded.recovered_chunks, 0u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &clean[i], sizeof(cplx)), 0) << i;
   }
 }
 

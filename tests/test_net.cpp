@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "net/comm.hpp"
 #include "net/costmodel.hpp"
+#include "net/erasure.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
 
@@ -1169,6 +1170,227 @@ TEST(WireLatency, IntraGroupTierIsCheaperThanInterGroup) {
     }
     c.barrier();
   });
+}
+
+// --- erasure codec -----------------------------------------------------------
+
+TEST(Erasure, Gf256FieldAxiomsHold) {
+  // Multiplicative round trip: a * inv(a) == 1 for every nonzero element,
+  // and the field is commutative with 1 as identity.
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256_mul(ua, gf256_inv(ua)), 1) << "a=" << a;
+    EXPECT_EQ(gf256_mul(ua, 1), ua);
+    EXPECT_EQ(gf256_mul(ua, 0), 0);
+  }
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 1; b < 256; b += 17) {
+      EXPECT_EQ(gf256_mul(static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b)),
+                gf256_mul(static_cast<std::uint8_t>(b),
+                          static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+namespace {
+/// Deterministic test shards: k data shards of `bytes` pseudo-random
+/// bytes each.
+std::vector<std::vector<std::uint8_t>> make_shards(int k, std::size_t bytes,
+                                                   std::uint64_t seed) {
+  std::vector<std::vector<std::uint8_t>> shards(
+      static_cast<std::size_t>(k));
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (auto& sh : shards) {
+    sh.resize(bytes);
+    for (auto& b : sh) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      b = static_cast<std::uint8_t>(s >> 56);
+    }
+  }
+  return shards;
+}
+}  // namespace
+
+TEST(Erasure, SystematicIdentityAllDataPresent) {
+  // With every data shard present, reconstruct() is the identity — the
+  // parity never perturbs clean data (systematic code).
+  const int k = 4, r = 2;
+  const std::size_t bytes = 257;
+  const ErasureCode code(k, r);
+  const auto data = make_shards(k, bytes, 7);
+  std::vector<const std::uint8_t*> in(static_cast<std::size_t>(k));
+  std::vector<int> present(static_cast<std::size_t>(k));
+  std::vector<std::vector<std::uint8_t>> out(
+      static_cast<std::size_t>(k), std::vector<std::uint8_t>(bytes, 0xee));
+  std::vector<std::uint8_t*> outp(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    in[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i)].data();
+    present[static_cast<std::size_t>(i)] = i;
+    outp[static_cast<std::size_t>(i)] = out[static_cast<std::size_t>(i)].data();
+  }
+  ASSERT_TRUE(code.reconstruct(present.data(), in.data(), outp.data(), bytes));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)],
+              data[static_cast<std::size_t>(i)]) << "shard " << i;
+  }
+}
+
+TEST(Erasure, XorParityRecoversSingleLoss) {
+  // r = 1 is plain XOR: the parity equals the XOR of the data shards, and
+  // any single missing data shard comes back from the rest.
+  const int k = 3, r = 1;
+  const std::size_t bytes = 64;
+  const ErasureCode code(k, r);
+  const auto data = make_shards(k, bytes, 9);
+  std::vector<std::uint8_t> parity(bytes, 0);
+  const std::uint8_t* in[3] = {data[0].data(), data[1].data(),
+                               data[2].data()};
+  std::uint8_t* pout[1] = {parity.data()};
+  code.encode(in, pout, bytes);
+  for (std::size_t j = 0; j < bytes; ++j) {
+    EXPECT_EQ(parity[j], static_cast<std::uint8_t>(data[0][j] ^ data[1][j] ^
+                                                   data[2][j]));
+  }
+  for (int lost = 0; lost < k; ++lost) {
+    std::vector<int> present;
+    std::vector<const std::uint8_t*> shards;
+    for (int i = 0; i < k; ++i) {
+      if (i == lost) continue;
+      present.push_back(i);
+      shards.push_back(data[static_cast<std::size_t>(i)].data());
+    }
+    present.push_back(k);  // the parity shard
+    shards.push_back(parity.data());
+    std::vector<std::vector<std::uint8_t>> out(
+        static_cast<std::size_t>(k), std::vector<std::uint8_t>(bytes, 0));
+    std::uint8_t* outp[3] = {out[0].data(), out[1].data(), out[2].data()};
+    ASSERT_TRUE(
+        code.reconstruct(present.data(), shards.data(), outp, bytes));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                data[static_cast<std::size_t>(i)])
+          << "lost " << lost << " shard " << i;
+    }
+  }
+}
+
+TEST(Erasure, ReedSolomonRecoversAnyRLosses) {
+  // MDS property at r = 2 and r = 3: EVERY subset of k survivors (data
+  // and parity mixed) reconstructs the original data bit-exactly.
+  for (const int r : {2, 3}) {
+    const int k = 4;
+    const std::size_t bytes = 96;
+    const ErasureCode code(k, r);
+    const auto data = make_shards(k, bytes, 11 + static_cast<std::uint64_t>(r));
+    std::vector<std::vector<std::uint8_t>> parity(
+        static_cast<std::size_t>(r), std::vector<std::uint8_t>(bytes, 0));
+    std::vector<const std::uint8_t*> in(static_cast<std::size_t>(k));
+    std::vector<std::uint8_t*> pout(static_cast<std::size_t>(r));
+    for (int i = 0; i < k; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          data[static_cast<std::size_t>(i)].data();
+    }
+    for (int j = 0; j < r; ++j) {
+      pout[static_cast<std::size_t>(j)] =
+          parity[static_cast<std::size_t>(j)].data();
+    }
+    code.encode(in.data(), pout.data(), bytes);
+    // All k-subsets of the k+r shards (indices ascending).
+    const int total = k + r;
+    for (int mask = 0; mask < (1 << total); ++mask) {
+      if (__builtin_popcount(static_cast<unsigned>(mask)) != k) continue;
+      std::vector<int> present;
+      std::vector<const std::uint8_t*> shards;
+      for (int i = 0; i < total; ++i) {
+        if ((mask >> i & 1) == 0) continue;
+        present.push_back(i);
+        shards.push_back(i < k
+                             ? data[static_cast<std::size_t>(i)].data()
+                             : parity[static_cast<std::size_t>(i - k)].data());
+      }
+      std::vector<std::vector<std::uint8_t>> out(
+          static_cast<std::size_t>(k),
+          std::vector<std::uint8_t>(bytes, 0xaa));
+      std::vector<std::uint8_t*> outp(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) {
+        outp[static_cast<std::size_t>(i)] =
+            out[static_cast<std::size_t>(i)].data();
+      }
+      ASSERT_TRUE(
+          code.reconstruct(present.data(), shards.data(), outp.data(), bytes))
+          << "r=" << r << " mask=" << mask;
+      for (int i = 0; i < k; ++i) {
+        ASSERT_EQ(out[static_cast<std::size_t>(i)],
+                  data[static_cast<std::size_t>(i)])
+            << "r=" << r << " mask=" << mask << " shard " << i;
+      }
+    }
+  }
+}
+
+TEST(Erasure, ReconstructRejectsMalformedPresentLists) {
+  const ErasureCode code(2, 1);
+  const std::size_t bytes = 8;
+  const auto data = make_shards(2, bytes, 21);
+  const std::uint8_t* shards[2] = {data[0].data(), data[1].data()};
+  std::vector<std::vector<std::uint8_t>> out(
+      2, std::vector<std::uint8_t>(bytes, 0));
+  std::uint8_t* outp[2] = {out[0].data(), out[1].data()};
+  const int dup[2] = {1, 1};       // duplicate index
+  const int oob[2] = {0, 3};       // out of range (k + r == 3)
+  const int neg[2] = {-1, 1};      // negative
+  EXPECT_FALSE(code.reconstruct(dup, shards, outp, bytes));
+  EXPECT_FALSE(code.reconstruct(oob, shards, outp, bytes));
+  EXPECT_FALSE(code.reconstruct(neg, shards, outp, bytes));
+}
+
+TEST(Erasure, CodedHeaderRoundTripsAndRejectsTruncation) {
+  CodedFrame f;
+  f.epoch = 0xdeadbeef;
+  f.sub = 17;
+  f.k = 4;
+  f.r = 2;
+  f.cw_bytes = 0x123456789abcULL;
+  std::uint8_t buf[kCodedHeaderBytes];
+  write_coded_header(buf, f);
+  CodedFrame g;
+  ASSERT_TRUE(read_coded_header(buf, sizeof(buf), &g));
+  EXPECT_EQ(g.epoch, f.epoch);
+  EXPECT_EQ(g.sub, f.sub);
+  EXPECT_EQ(g.k, f.k);
+  EXPECT_EQ(g.r, f.r);
+  EXPECT_EQ(g.cw_bytes, f.cw_bytes);
+  EXPECT_FALSE(read_coded_header(buf, kCodedHeaderBytes - 1, &g));
+}
+
+TEST(Erasure, CodingParseAcceptsValidRejectsInvalid) {
+  Coding c;
+  ASSERT_TRUE(Coding::parse("4+1", &c));
+  EXPECT_EQ(c.k, 4);
+  EXPECT_EQ(c.r, 1);
+  EXPECT_TRUE(c.enabled());
+  EXPECT_EQ(c.str(), "4+1");
+  ASSERT_TRUE(Coding::parse("16+16", &c));  // k + r == kMaxCodedSubs
+  for (const char* bad :
+       {"", "4", "4+", "+1", "4+0", "0+1", "1+2",  // r > k
+        "4+1+1", "a+1", "4+b", "4 +1", "-4+1", "33+1", "17+16"}) {
+    Coding keep = c;
+    EXPECT_FALSE(Coding::parse(bad, &keep)) << "'" << bad << "'";
+    EXPECT_EQ(keep.k, c.k) << "'" << bad << "' touched *out";
+    EXPECT_EQ(keep.r, c.r) << "'" << bad << "' touched *out";
+  }
+  EXPECT_EQ(Coding{}.str(), "");
+  EXPECT_FALSE(Coding{}.enabled());
+}
+
+TEST(Erasure, ShardBytesCeilsAndPadsConsistently) {
+  EXPECT_EQ(coded_shard_bytes(10, 2), 5u);
+  EXPECT_EQ(coded_shard_bytes(11, 2), 6u);
+  EXPECT_EQ(coded_shard_bytes(1, 8), 1u);
+  // (k - 1) * ceil(pb / k) may exceed pb: the assembly path must clamp
+  // the final shard's copy length, never trust k * sb == pb.
+  EXPECT_GT(3u * coded_shard_bytes(10, 4), 10u - coded_shard_bytes(10, 4));
 }
 
 }  // namespace

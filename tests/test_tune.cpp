@@ -564,6 +564,55 @@ TEST(Wisdom, UnpinnedEntriesCarryNoBackendTokens) {
   EXPECT_EQ(text.find("engine="), std::string::npos);
 }
 
+TEST(Wisdom, V6CodingRoundTrip) {
+  // The v6 addition: a decision carrying an erasure-coding choice
+  // serializes with a code= token and survives a parse cycle.
+  WisdomStore store;
+  const TuneKey key{1 << 16, 8, win::Accuracy::kMedium};
+  TunedConfig cfg;
+  cfg.candidate = Candidate{win::Accuracy::kMedium, 2,
+                            net::AlltoallAlgo::kPairwise, true, 0, 2,
+                            "two-level:2", "", "", "4+1"};
+  cfg.profile = win::make_profile(win::Accuracy::kMedium);
+  cfg.score_seconds = 3.0e-4;
+  store.put(key, cfg);
+  const std::string text = store.serialize();
+  EXPECT_NE(text.find("code=4+1"), std::string::npos);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, cfg.candidate);
+  EXPECT_EQ(got->candidate.coding, "4+1");
+}
+
+TEST(Wisdom, UncodedEntriesCarryNoCodeToken) {
+  // Retransmit-only decisions must serialize without a code= token:
+  // their candidate text stays byte-compatible with v5 readers of this
+  // repo's lineage, and the coding knob stays an opt-in.
+  WisdomStore store;
+  store.put(TuneKey{1 << 14, 4, win::Accuracy::kLow}, demo_config());
+  EXPECT_EQ(store.serialize().find("code="), std::string::npos);
+}
+
+TEST(Wisdom, V5FilesStillReadable) {
+  // A v5 file: v5 header, no code= token. Uncoded entries serialize
+  // byte-identically across v5/v6, so swapping the header alone yields a
+  // valid v5 file. It must parse with coding off and re-serialise at the
+  // current version.
+  WisdomStore store;
+  const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
+  store.put(key, demo_config());
+  std::string text = store.serialize();
+  const std::string header(WisdomStore::kHeader);
+  text.replace(0, header.size(), WisdomStore::kHeaderV5);
+  const auto reparsed = WisdomStore::parse(text);
+  const auto got = reparsed.find(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->candidate, demo_config().candidate);
+  EXPECT_TRUE(got->candidate.coding.empty());
+  EXPECT_EQ(reparsed.serialize().rfind(WisdomStore::kHeader, 0), 0u);
+}
+
 TEST(Wisdom, StageSecondsRoundTrip) {
   WisdomStore store;
   const TuneKey key{1 << 14, 4, win::Accuracy::kLow};
@@ -628,6 +677,52 @@ TEST(Autotune, WinnerIsNeverWorseThanDefault) {
     EXPECT_LE(result.best.total_seconds(), dflt_score.total_seconds())
         << key.str();
   }
+}
+
+TEST(Autotune, RetransmitPricingReordersCandidatesUnderLoss) {
+  // The modeled scorer must stop assuming retries are free: on a clean
+  // link the coded candidate loses (its parity inflates wire volume by
+  // (k+r)/k for nothing), and on a lossy link the ranking flips — the
+  // uncoded candidate pays loss_rate/(1-loss_rate) retransmit round trips
+  // per message while the coded one absorbs losses in band.
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  Candidate uncoded{key.accuracy, 1, net::AlltoallAlgo::kPairwise, false};
+  Candidate coded = uncoded;
+  coded.coding = "4+1";
+
+  TuneOptions clean;  // loss_rate = 0: retries are genuinely free
+  const double clean_uncoded =
+      score_candidate(key, uncoded, clean).total_seconds();
+  const double clean_coded =
+      score_candidate(key, coded, clean).total_seconds();
+  EXPECT_LT(clean_uncoded, clean_coded);
+
+  TuneOptions lossy;
+  lossy.loss_rate = 0.05;
+  const double lossy_uncoded =
+      score_candidate(key, uncoded, lossy).total_seconds();
+  const double lossy_coded =
+      score_candidate(key, coded, lossy).total_seconds();
+  EXPECT_LT(lossy_coded, lossy_uncoded);
+
+  // The loss term only ever ADDS cost: both candidates price no cheaper
+  // on the lossy link than on the clean one.
+  EXPECT_GE(lossy_uncoded, clean_uncoded);
+  EXPECT_GE(lossy_coded, clean_coded);
+}
+
+TEST(Autotune, LossyLinkSelectsCodedCleanLinkDoesNot) {
+  // End-to-end through the full sweep: the winner carries coding exactly
+  // when the configured loss rate makes retransmit pricing dominate.
+  const TuneKey key{1 << 16, 8, win::Accuracy::kLow};
+  const auto clean = autotune(key);
+  EXPECT_TRUE(clean.best.candidate.coding.empty())
+      << clean.best.candidate.describe();
+  TuneOptions opts;
+  opts.loss_rate = 0.05;
+  const auto lossy = autotune(key, opts);
+  EXPECT_EQ(lossy.best.candidate.coding, "4+1")
+      << lossy.best.candidate.describe();
 }
 
 TEST(Autotune, PriorsReorderButNeverPrune) {

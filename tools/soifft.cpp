@@ -86,12 +86,12 @@ const std::map<std::string, std::set<std::string>>& valid_flags() {
         "max-spr", "transport", "engine", "help"}},
       {"dist",
        {"n", "p", "accuracy", "wisdom", "check", "seed", "trace",
-        "fault-spec", "timeout-ms", "retries", "topology", "transport",
-        "engine", "help"}},
+        "fault-spec", "timeout-ms", "retries", "topology", "coding",
+        "transport", "engine", "help"}},
       {"serve",
        {"n", "p", "accuracy", "lanes", "requests", "concurrency", "queue",
         "rate", "workers", "wire-latency-us", "linger-us", "seed",
-        "transport", "priority", "deadline-ms", "help"}},
+        "transport", "priority", "deadline-ms", "coding", "help"}},
   };
   return kFlags;
 }
@@ -111,11 +111,12 @@ int usage(std::FILE* out) {
       "  dist      --n N --p P [--accuracy A] [--wisdom F] [--check]\n"
       "            [--trace] [--fault-spec SEED:KIND:RATE[,...]]\n"
       "            [--timeout-ms T] [--retries R] [--topology T]\n"
+      "            [--coding K+R]\n"
       "  serve     --n N [--p P] [--accuracy A] [--lanes L] [--requests R]\n"
       "            [--concurrency K] [--queue Q] [--rate RPS] [--workers W]\n"
       "            [--wire-latency-us U] [--linger-us U] [--seed S]\n"
       "            [--priority interactive|batch|background]\n"
-      "            [--deadline-ms D]\n"
+      "            [--deadline-ms D] [--coding K+R]\n"
       "            multi-tenant serving demo: L lanes (N, 2N, ...) behind\n"
       "            one TransformService (--p 0 = serial worker backend,\n"
       "            default co-scheduled rank team), open-loop Poisson\n"
@@ -130,7 +131,7 @@ int usage(std::FILE* out) {
       "            of the last pipeline execution (rank 0 for dist)\n"
       "  --fault-spec  deterministic chaos scenario for dist: seed plus\n"
       "            kind:rate rules (drop, corrupt, truncate, duplicate,\n"
-      "            delay) and optional stall:RANK:MS, e.g.\n"
+      "            delay, straggler) and optional stall:RANK:MS, e.g.\n"
       "            42:drop:0.02,corrupt:0.01 — strictly validated\n"
       "  --timeout-ms  base deadline of one comm wait attempt (dist);\n"
       "            exponential backoff, typed CommTimeout after --retries\n"
@@ -142,6 +143,12 @@ int usage(std::FILE* out) {
       "            staged neighbour forwarding); overrides the tuned\n"
       "            topo= knob from --wisdom; results are bit-identical\n"
       "            across schedules\n"
+      "  --coding  erasure-code the exchange (dist/serve): K data + R\n"
+      "            parity shards per message, e.g. 4+1 (systematic XOR\n"
+      "            for R=1, Reed-Solomon GF(2^8) for R>=2). Receivers\n"
+      "            rebuild up to R lost/late/corrupt shards from parity\n"
+      "            instead of retransmitting; outputs stay bit-identical.\n"
+      "            Overrides the tuned code= knob from --wisdom\n"
       "  --transport  rank fabric (tune/dist/serve): a registered\n"
       "            net::TransportRegistry backend — sim (in-process\n"
       "            threads, default), shm (forked processes over shared\n"
@@ -511,6 +518,17 @@ int cmd_dist(const Args& a) {
   SOI_CHECK(nopts.timeout_ms >= 0, "--timeout-ms must be >= 0");
   SOI_CHECK(nopts.max_retries >= 0, "--retries must be >= 0");
 
+  // --coding overrides the tuned code= knob from --wisdom (explicit flag
+  // wins, like --topology); strictly validated before any ranks launch.
+  net::Coding coding;
+  const std::string coding_text = a.get("coding", cand.coding);
+  SOI_CHECK(coding_text.empty() || net::Coding::parse(coding_text, &coding),
+            "--coding '" << coding_text
+                         << "' invalid — want K+R with 1 <= R <= K and "
+                            "K + R <= "
+                         << net::kMaxCodedSubs
+                         << " (e.g. 2+1, 4+1, 4+2)");
+
   cvec x = load_or_generate(a, n);
   const bool want_check = a.flag("check");
   const bool want_trace = a.flag("trace");
@@ -533,6 +551,7 @@ int cmd_dist(const Args& a) {
     // --topology overrides the wisdom candidate's topo= knob (explicit
     // flag wins over tuned default; "flat" forces the flat schedule).
     dopts.topology = a.get("topology", cand.topology);
+    dopts.coding = coding;
     dopts.faults = nopts.faults;
     dopts.timeout_ms = nopts.timeout_ms;
     dopts.max_retries = nopts.max_retries;
@@ -568,8 +587,9 @@ int cmd_dist(const Args& a) {
     if (nopts.faults.any()) {
       const net::FaultStats fstats = comm.fault_stats();
       std::printf("faults [%s]: injected %lld (drop %lld corrupt %lld "
-                  "truncate %lld duplicate %lld delay %lld), checksum "
-                  "failures %lld, retransmits %lld, timeouts %lld\n",
+                  "truncate %lld duplicate %lld delay %lld straggle %lld), "
+                  "checksum failures %lld, retransmits %lld, timeouts "
+                  "%lld\n",
                   nopts.faults.str().c_str(),
                   static_cast<long long>(fstats.faults_injected),
                   static_cast<long long>(fstats.drops),
@@ -577,9 +597,22 @@ int cmd_dist(const Args& a) {
                   static_cast<long long>(fstats.truncations),
                   static_cast<long long>(fstats.duplicates),
                   static_cast<long long>(fstats.delays),
+                  static_cast<long long>(fstats.stragglers),
                   static_cast<long long>(fstats.checksum_failures),
                   static_cast<long long>(fstats.retransmits),
                   static_cast<long long>(fstats.timeouts));
+    }
+    if (coding.enabled()) {
+      // Rank 0's receive-side view; every rank does the same work.
+      const net::CodedStats cstats = plan.coded_stats();
+      std::printf("coded exchange [%s]: codewords %lld, shards rebuilt "
+                  "from parity %lld, parity bytes sent %lld, retransmit "
+                  "fallbacks %lld\n",
+                  coding.str().c_str(),
+                  static_cast<long long>(cstats.codewords),
+                  static_cast<long long>(cstats.recovered_chunks),
+                  static_cast<long long>(cstats.parity_bytes),
+                  static_cast<long long>(cstats.coded_fallbacks));
     }
     if (want_trace) print_trace(plan.last_trace());
     if (want_check) {
@@ -627,6 +660,15 @@ int cmd_serve(const Args& a) {
   so.queue_capacity = static_cast<int>(a.geti("queue", 64));
   so.wire_latency_us = a.getf("wire-latency-us", 0.0);
   so.batch_linger_us = a.getf("linger-us", 0.0);
+  // Erasure-code the rank team's exchange; same strict grammar as dist.
+  const std::string coding_text = a.get("coding", "");
+  SOI_CHECK(coding_text.empty() ||
+                net::Coding::parse(coding_text, &so.coding),
+            "--coding '" << coding_text
+                         << "' invalid — want K+R with 1 <= R <= K and "
+                            "K + R <= "
+                         << net::kMaxCodedSubs
+                         << " (e.g. 2+1, 4+1, 4+2)");
   if (so.ranks >= 2 && !so.transport.empty() &&
       !net::TransportRegistry::instance().caps(so.transport)
            .threaded_world) {
@@ -758,10 +800,18 @@ int cmd_serve(const Args& a) {
     const auto& tier = m.tiers[static_cast<std::size_t>(t)];
     if (tier.admitted == 0 && tier.shed == 0) continue;
     std::printf("tier %-11s admitted %lld  completed %lld  shed %lld  "
-                "p50 %.3f ms  p99 %.3f ms\n",
+                "p50 %.3f ms  p99 %.3f ms",
                 kTierNames[t], static_cast<long long>(tier.admitted),
                 static_cast<long long>(tier.completed),
                 static_cast<long long>(tier.shed), tier.p50_ms, tier.p99_ms);
+    if (so.coding.enabled() || tier.recovered_chunks > 0 ||
+        tier.parity_bytes > 0 || tier.retries > 0) {
+      std::printf("  recovered %lld  parity %lld B  retries %lld",
+                  static_cast<long long>(tier.recovered_chunks),
+                  static_cast<long long>(tier.parity_bytes),
+                  static_cast<long long>(tier.retries));
+    }
+    std::printf("\n");
   }
   return failed == 0 ? 0 : 1;
 }
